@@ -1,0 +1,47 @@
+package orca
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAutomaticAmpereCaptureOnError triggers an optimization failure (an
+// unsupported correlation shape) and verifies the facade writes a minimal
+// AMPERe dump, as in paper §6.1 ("an AMPERe dump is automatically triggered
+// when an unexpected error is encountered").
+func TestAutomaticAmpereCaptureOnError(t *testing.T) {
+	sys := testSystem(t)
+	sys.DumpDir = t.TempDir()
+
+	// Non-equality correlation inside an aggregate subquery is rejected by
+	// the decorrelation machinery.
+	_, _, err := sys.Optimize(`
+		SELECT s.item_id FROM sales s
+		WHERE s.amount > (SELECT avg(s2.amount) FROM sales s2 WHERE s2.item_id < s.item_id)`)
+	if err == nil {
+		t.Fatal("expected optimization to fail")
+	}
+	if !strings.Contains(err.Error(), "AMPERe dump:") {
+		t.Fatalf("error does not reference the dump: %v", err)
+	}
+	entries, err2 := os.ReadDir(sys.DumpDir)
+	if err2 != nil || len(entries) != 1 {
+		t.Fatalf("dump dir entries: %v, %v", entries, err2)
+	}
+	data, err2 := os.ReadFile(filepath.Join(sys.DumpDir, entries[0].Name()))
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	doc := string(data)
+	for _, want := range []string{"Stacktrace", "Metadata", "Query", "Subquery"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("dump missing %s section", want)
+		}
+	}
+	// Minimality: untouched tables are not in the dump.
+	if strings.Contains(doc, `Name="customer"`) {
+		t.Error("dump contains metadata the failing session never touched")
+	}
+}

@@ -1,0 +1,99 @@
+// Command ampere replays AMPERe dumps (paper §6.1): self-contained repro
+// files bundling a query, its minimal metadata and the optimizer
+// configuration. A dump that records an expected plan acts as a test case.
+//
+// Usage:
+//
+//	ampere -replay=dump.dxl           # re-optimize and print the plan
+//	ampere -check=dump.dxl            # compare against the expected plan
+//	ampere -capture -metadata=m.dxl -sql='...' -out=dump.dxl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"orca/internal/ampere"
+	"orca/internal/core"
+	"orca/internal/dxl"
+	"orca/internal/gpos"
+	"orca/internal/md"
+	"orca/internal/sql"
+)
+
+func main() {
+	replay := flag.String("replay", "", "dump file to replay")
+	check := flag.String("check", "", "dump file to run as a test case")
+	capture := flag.Bool("capture", false, "capture a new dump")
+	metadata := flag.String("metadata", "", "DXL metadata file (capture mode)")
+	sqlText := flag.String("sql", "", "SQL query (capture mode)")
+	out := flag.String("out", "dump.dxl", "output path (capture mode)")
+	segments := flag.Int("segments", 16, "segment count (capture mode)")
+	flag.Parse()
+
+	switch {
+	case *replay != "":
+		res, q, err := ampere.ReplayFile(*replay)
+		fatal(err)
+		fmt.Printf("replayed optimization: cost=%.0f, %d groups\n\n", res.Cost, res.Groups)
+		fmt.Println(core.Explain(res.Plan, q.Factory))
+
+	case *check != "":
+		data, err := os.ReadFile(*check)
+		fatal(err)
+		d, err := ampere.Parse(string(data))
+		fatal(err)
+		cr, err := ampere.Check(d)
+		fatal(err)
+		if cr.Passed {
+			fmt.Println("PASS: replayed plan matches the expected plan")
+			return
+		}
+		fmt.Println("FAIL: plan discrepancy")
+		fmt.Println("--- got ---")
+		fmt.Println(cr.GotPlan)
+		fmt.Println("--- expected ---")
+		fmt.Println(cr.ExpectedPlan)
+		os.Exit(1)
+
+	case *capture:
+		if *metadata == "" || *sqlText == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		provider, err := dxl.FileProvider(*metadata)
+		fatal(err)
+		memProvider, ok := provider.(*md.MemProvider)
+		if !ok {
+			fatal(fmt.Errorf("metadata provider is not harvestable"))
+		}
+		cache := md.NewCache(&gpos.MemoryAccountant{})
+		acc := md.NewAccessor(cache, memProvider)
+		q, err := sql.Bind(*sqlText, acc, md.NewColumnFactory())
+		fatal(err)
+		cfg := core.DefaultConfig(*segments)
+		// Optimize a second binding so the dump carries the pre-optimization
+		// tree, and record the produced plan as the expected plan.
+		q2, err := sql.Bind(*sqlText, md.NewAccessor(cache, memProvider), md.NewColumnFactory())
+		fatal(err)
+		res, err := core.Optimize(q2, cfg)
+		fatal(err)
+		d, err := ampere.Capture(q, cfg, memProvider, nil)
+		fatal(err)
+		d.ExpectedPlan = dxl.PlanFingerprint(res.Plan)
+		fatal(d.WriteFile(*out))
+		fmt.Printf("dump written to %s (expected plan cost %.0f)\n", *out, res.Cost)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ampere:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+// Command taqo measures cost-model accuracy (paper §6.2) on the TPC-DS
+// testbed: it samples plans uniformly from the optimizer's search space,
+// executes them on the simulated cluster and prints the correlation between
+// estimated and actual cost rankings.
+//
+// Usage:
+//
+//	taqo [-queries=q3,q19,q25] [-samples=16] [-segments=16] [-scale=2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"orca/internal/experiments"
+)
+
+func main() {
+	queries := flag.String("queries", "q3,q19,q25,q43,q71,q79", "comma-separated workload query names ('' = all)")
+	samples := flag.Int("samples", 16, "plans sampled per query")
+	segments := flag.Int("segments", 16, "cluster segments")
+	scale := flag.Int("scale", 2, "data scale factor")
+	seed := flag.Uint64("seed", 7, "data seed")
+	flag.Parse()
+
+	env, err := experiments.NewEnv(experiments.Config{
+		Segments: *segments, Scale: *scale, Seed: *seed, Budget: 20_000_000,
+	})
+	fatal(err)
+
+	var names []string
+	if *queries != "" {
+		names = strings.Split(*queries, ",")
+	}
+	rows, err := env.TAQO(names, *samples)
+	fatal(err)
+
+	fmt.Printf("%-6s %12s %10s %12s\n", "query", "correlation", "sampled", "plan-space")
+	var sum float64
+	for _, r := range rows {
+		fmt.Printf("%-6s %12.3f %10d %12.0f\n", r.Query, r.Correlation, r.Sampled, r.SpaceSize)
+		sum += r.Correlation
+	}
+	fmt.Printf("\nmean correlation: %.3f\n", sum/float64(len(rows)))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taqo:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,144 @@
+package orca
+
+import (
+	"testing"
+
+	"orca/internal/base"
+	"orca/internal/engine"
+	"orca/internal/md"
+)
+
+// evalSystem is a one-table system with hand-crafted values for end-to-end
+// expression semantics tests (SQL → optimizer → engine).
+func evalSystem(t testing.TB) *System {
+	t.Helper()
+	sys := NewSystem(2)
+	sys.AddTable(md.TableSpec{
+		Name: "v", Rows: 6,
+		Policy: md.DistHash, DistCols: []int{0},
+		Cols: []md.ColSpec{
+			{Name: "id", Type: base.TInt, NDV: 6, Lo: 0, Hi: 6},
+			{Name: "n", Type: base.TInt, NDV: 6, Lo: 0, Hi: 60, NullFrac: 0.2},
+			{Name: "s", Type: base.TString, NDV: 6, Lo: 0, Hi: 6},
+		},
+	})
+	rel, _ := sys.Provider.LookupRelation("v")
+	obj, _ := sys.Provider.GetObject(rel)
+	i := func(v int64) base.Datum { return base.NewInt(v) }
+	s := func(v string) base.Datum { return base.NewString(v) }
+	rows := [][]base.Datum{
+		{i(0), i(10), s("apple")},
+		{i(1), i(20), s("banana")},
+		{i(2), i(30), s("apricot")},
+		{i(3), base.Null, s("cherry")},
+		{i(4), i(50), s("avocado")},
+		{i(5), i(-5), s("banana")},
+	}
+	engineRows := make([]engine.Row, len(rows))
+	for idx, r := range rows {
+		engineRows[idx] = r
+	}
+	if err := sys.Cluster.CreateTable(obj.(*md.Relation), engineRows); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// one runs a single-row single-column query and returns the datum.
+func one(t *testing.T, sys *System, q string) base.Datum {
+	t.Helper()
+	res, err := sys.Run(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		t.Fatalf("%s: got %d rows", q, len(res.Rows))
+	}
+	return res.Rows[0][0]
+}
+
+func TestSQLExpressionSemantics(t *testing.T) {
+	sys := evalSystem(t)
+	cases := []struct {
+		q    string
+		want int64
+	}{
+		// Three-valued logic: NULL comparisons are not matches.
+		{"SELECT count(*) FROM v WHERE n > 0", 4},
+		{"SELECT count(*) FROM v WHERE n IS NULL", 1},
+		{"SELECT count(*) FROM v WHERE n IS NOT NULL", 5},
+		{"SELECT count(*) FROM v WHERE NOT n > 0", 1}, // NULL stays excluded under NOT
+		// BETWEEN and IN lists.
+		{"SELECT count(*) FROM v WHERE n BETWEEN 10 AND 30", 3},
+		{"SELECT count(*) FROM v WHERE n NOT BETWEEN 10 AND 30", 2},
+		{"SELECT count(*) FROM v WHERE id IN (1, 3, 5)", 3},
+		{"SELECT count(*) FROM v WHERE id NOT IN (1, 3, 5)", 3},
+		// LIKE.
+		{"SELECT count(*) FROM v WHERE s LIKE 'a%'", 3},
+		{"SELECT count(*) FROM v WHERE s LIKE '%an%'", 2},
+		{"SELECT count(*) FROM v WHERE s LIKE 'ap_le'", 1},
+		{"SELECT count(*) FROM v WHERE s LIKE 'app_e'", 1},
+		{"SELECT count(*) FROM v WHERE s NOT LIKE 'a%'", 3},
+		// CASE.
+		{"SELECT sum(CASE WHEN n > 15 THEN 1 ELSE 0 END) FROM v", 3},
+		// Arithmetic: NULL propagates, count skips it.
+		{"SELECT count(n + 1) FROM v", 5},
+		// Aggregates over negative values.
+		{"SELECT min(n) FROM v", -5},
+		{"SELECT max(n) FROM v", 50},
+		{"SELECT sum(n) FROM v", 105},
+		// Functions.
+		{"SELECT count(*) FROM v WHERE abs(n) = 5", 1},
+		{"SELECT count(*) FROM v WHERE coalesce(n, 99) = 99", 1},
+		{"SELECT count(*) FROM v WHERE substr(s, 1, 2) = 'ap'", 2},
+		// Integer arithmetic stays integral.
+		{"SELECT 7 % 3 + 2 * 3 FROM v LIMIT 1", 7},
+	}
+	for _, c := range cases {
+		got := one(t, sys, c.q)
+		if got.IsNull() || got.I != c.want {
+			t.Errorf("%s = %s, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSQLDivisionProducesFloat(t *testing.T) {
+	sys := evalSystem(t)
+	got := one(t, sys, "SELECT 7 / 2 FROM v LIMIT 1")
+	if got.Kind != base.DFloat || got.F != 3.5 {
+		t.Errorf("7/2 = %s, want 3.5", got)
+	}
+	if d := one(t, sys, "SELECT sum(n) / count(n) FROM v"); d.AsFloat() != 21 {
+		t.Errorf("avg via sum/count = %s, want 21", d)
+	}
+}
+
+func TestSQLAvgRewrite(t *testing.T) {
+	sys := evalSystem(t)
+	got := one(t, sys, "SELECT avg(n) FROM v")
+	if got.AsFloat() != 21 {
+		t.Errorf("avg(n) = %s, want 21 (NULL skipped)", got)
+	}
+}
+
+// TestMetadataVersionInvalidation reproduces the paper's §4.1 metadata
+// versioning story end to end: a version bump in the backend (ANALYZE/DDL)
+// must be picked up by the next optimization through the shared cache.
+func TestMetadataVersionInvalidation(t *testing.T) {
+	sys := evalSystem(t)
+	if _, err := sys.Explain("SELECT count(*) FROM v"); err != nil {
+		t.Fatal(err)
+	}
+	// The backend replaces the relation under a bumped version.
+	if _, err := sys.Provider.BumpRelationVersion("v"); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh session must resolve the new version and plan fine.
+	if _, err := sys.Explain("SELECT count(*) FROM v"); err != nil {
+		t.Fatalf("replan after version bump: %v", err)
+	}
+	hits, misses := sys.Cache.Stats()
+	if misses < 2 {
+		t.Errorf("expected a cache miss for the new version: hits=%d misses=%d", hits, misses)
+	}
+}

@@ -1,0 +1,3 @@
+module orca
+
+go 1.22

@@ -1,0 +1,196 @@
+// Package ampere implements AMPERe (paper §6.1): Automatic capture of
+// Minimal Portable Executable Repros. A dump bundles everything needed to
+// reproduce an optimization session away from the system that ran it — the
+// input query, the optimizer configuration, the minimal set of metadata
+// objects the session touched, and (when capture was triggered by an error)
+// the exception's stack trace. Any Orca instance can replay a dump through a
+// file-based metadata provider, and a dump with an expected plan doubles as
+// a self-contained regression test case.
+package ampere
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"orca/internal/core"
+	"orca/internal/dxl"
+	"orca/internal/gpos"
+	"orca/internal/md"
+)
+
+// Dump is one AMPERe repro.
+type Dump struct {
+	// Stack is the captured exception stack trace (empty for on-demand
+	// dumps).
+	Stack []string
+	// Config captures the optimizer configuration knobs that affect plans.
+	Segments      int
+	Workers       int
+	DisabledRules []string
+	// Metadata and Query are the serialized DXL payloads.
+	MetadataDoc *dxl.Node
+	QueryDoc    *dxl.Node
+	// ExpectedPlan, when set, turns the dump into a test case: replaying it
+	// must reproduce this exact plan fingerprint.
+	ExpectedPlan string
+}
+
+// Capture builds a dump for a bound query. The metadata section is minimal:
+// only the objects the session's accessor touched are harvested (plus, for
+// an unoptimized query, the objects reachable from binding). If err is a
+// gpos exception its stack trace is embedded, as in paper Listing 2.
+func Capture(q *core.Query, cfg core.Config, provider md.Provider, err error) (*Dump, error) {
+	meta, herr := dxl.Harvest(q.Accessor, provider)
+	if herr != nil {
+		return nil, herr
+	}
+	d := &Dump{
+		Segments:      cfg.Segments,
+		Workers:       cfg.Workers,
+		DisabledRules: cfg.DisabledRules,
+		MetadataDoc:   meta,
+		QueryDoc:      dxl.SerializeQuery(q),
+	}
+	if ex := gpos.AsException(err); ex != nil {
+		d.Stack = ex.Stack
+	}
+	return d, nil
+}
+
+// Render serializes the dump as a DXL document.
+func (d *Dump) Render() string {
+	thread := dxl.El("Thread").Set("Id", "0")
+	if len(d.Stack) > 0 {
+		st := dxl.El("Stacktrace")
+		st.Text = strings.Join(d.Stack, "\n")
+		thread.Add(st)
+	}
+	flags := dxl.El("TraceFlags").
+		Setf("Segments", "%d", d.Segments).
+		Setf("Workers", "%d", d.Workers)
+	if len(d.DisabledRules) > 0 {
+		flags.Set("DisabledRules", strings.Join(d.DisabledRules, ","))
+	}
+	thread.Add(flags)
+	thread.Add(d.MetadataDoc)
+	// Unwrap the query message if it is wrapped.
+	qn := d.QueryDoc
+	if qn.Name == "DXLMessage" {
+		qn = qn.Child("Query")
+	}
+	thread.Add(qn)
+	if d.ExpectedPlan != "" {
+		ep := dxl.El("ExpectedPlan")
+		ep.Text = d.ExpectedPlan
+		thread.Add(ep)
+	}
+	return dxl.El("DXLMessage").Add(thread).Render()
+}
+
+// WriteFile renders the dump to disk.
+func (d *Dump) WriteFile(path string) error {
+	return os.WriteFile(path, []byte(d.Render()), 0o644)
+}
+
+// Parse reads a dump document.
+func Parse(doc string) (*Dump, error) {
+	root, err := dxl.ParseXML(doc)
+	if err != nil {
+		return nil, err
+	}
+	thread := root.Child("Thread")
+	if thread == nil {
+		return nil, fmt.Errorf("ampere: dump has no Thread element")
+	}
+	d := &Dump{Segments: 1, Workers: 1}
+	if st := thread.Child("Stacktrace"); st != nil && st.Text != "" {
+		d.Stack = strings.Split(st.Text, "\n")
+	}
+	if tf := thread.Child("TraceFlags"); tf != nil {
+		if v, err := strconv.Atoi(tf.Attr("Segments")); err == nil && v > 0 {
+			d.Segments = v
+		}
+		if v, err := strconv.Atoi(tf.Attr("Workers")); err == nil && v > 0 {
+			d.Workers = v
+		}
+		if dr := tf.Attr("DisabledRules"); dr != "" {
+			d.DisabledRules = strings.Split(dr, ",")
+		}
+	}
+	d.MetadataDoc = thread.Child("Metadata")
+	d.QueryDoc = thread.Child("Query")
+	if d.MetadataDoc == nil || d.QueryDoc == nil {
+		return nil, fmt.Errorf("ampere: dump missing Metadata or Query section")
+	}
+	if ep := thread.Child("ExpectedPlan"); ep != nil {
+		d.ExpectedPlan = ep.Text
+	}
+	return d, nil
+}
+
+// Replay re-optimizes the dumped query against the dump's own metadata
+// (paper Figure 10: "the optimizer loads the input query from the dump,
+// creates a file-based MD Provider for the metadata, sets optimizer's
+// configurations and then spawns the optimization threads").
+func Replay(d *Dump) (*core.Result, *core.Query, error) {
+	p := md.NewMemProvider()
+	if err := dxl.ParseMetadata(d.MetadataDoc, p); err != nil {
+		return nil, nil, err
+	}
+	cache := md.NewCache(&gpos.MemoryAccountant{})
+	acc := md.NewAccessor(cache, p)
+	f := md.NewColumnFactory()
+	q, err := dxl.ParseQuery(d.QueryDoc, acc, f)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := core.DefaultConfig(d.Segments)
+	cfg.Workers = d.Workers
+	cfg.DisabledRules = d.DisabledRules
+	res, err := core.Optimize(q, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, q, nil
+}
+
+// ReplayFile replays a dump from disk.
+func ReplayFile(path string) (*core.Result, *core.Query, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := Parse(string(data))
+	if err != nil {
+		return nil, nil, err
+	}
+	return Replay(d)
+}
+
+// CheckResult is the outcome of running a dump as a test case.
+type CheckResult struct {
+	Passed       bool
+	GotPlan      string
+	ExpectedPlan string
+	Cost         float64
+}
+
+// Check replays a dump and compares the produced plan against the expected
+// plan recorded in it — the dump-as-test-case workflow of §6.1: "any bug
+// with an accompanying AMPERe dump ... can be automatically turned into a
+// self-contained test case".
+func Check(d *Dump) (*CheckResult, error) {
+	res, _, err := Replay(d)
+	if err != nil {
+		return nil, err
+	}
+	got := dxl.PlanFingerprint(res.Plan)
+	return &CheckResult{
+		Passed:       d.ExpectedPlan == "" || strings.TrimSpace(got) == strings.TrimSpace(d.ExpectedPlan),
+		GotPlan:      got,
+		ExpectedPlan: d.ExpectedPlan,
+		Cost:         res.Cost,
+	}, nil
+}

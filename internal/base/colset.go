@@ -1,0 +1,203 @@
+package base
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ColID identifies a column reference inside one optimization session.
+// Column IDs are allocated by the column factory (see internal/md) when a
+// query is bound; every occurrence of the same column in the query shares an
+// ID, and distinct query-level instances of the same table column receive
+// distinct IDs, exactly like DXL's ColId attribute in the paper's Listing 1.
+type ColID int32
+
+// ColSet is a set of column IDs implemented as a small bitset. The zero value
+// is the empty set. ColSet values are treated as immutable by the optimizer;
+// mutating methods are used only while building a set.
+type ColSet struct {
+	words []uint64
+}
+
+// MakeColSet returns a set containing the given columns.
+func MakeColSet(cols ...ColID) ColSet {
+	var s ColSet
+	for _, c := range cols {
+		s.Add(c)
+	}
+	return s
+}
+
+// Add inserts c into the set.
+func (s *ColSet) Add(c ColID) {
+	w := int(c) / 64
+	for len(s.words) <= w {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << (uint(c) % 64)
+}
+
+// Remove deletes c from the set.
+func (s *ColSet) Remove(c ColID) {
+	w := int(c) / 64
+	if w < len(s.words) {
+		s.words[w] &^= 1 << (uint(c) % 64)
+	}
+}
+
+// Contains reports whether c is in the set.
+func (s ColSet) Contains(c ColID) bool {
+	w := int(c) / 64
+	return w < len(s.words) && s.words[w]&(1<<(uint(c)%64)) != 0
+}
+
+// Empty reports whether the set has no elements.
+func (s ColSet) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of elements.
+func (s ColSet) Len() int {
+	n := 0
+	for _, w := range s.words {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Union returns s ∪ o.
+func (s ColSet) Union(o ColSet) ColSet {
+	n := len(s.words)
+	if len(o.words) > n {
+		n = len(o.words)
+	}
+	out := ColSet{words: make([]uint64, n)}
+	copy(out.words, s.words)
+	for i, w := range o.words {
+		out.words[i] |= w
+	}
+	return out
+}
+
+// Intersect returns s ∩ o.
+func (s ColSet) Intersect(o ColSet) ColSet {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	out := ColSet{words: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		out.words[i] = s.words[i] & o.words[i]
+	}
+	return out
+}
+
+// Difference returns s \ o.
+func (s ColSet) Difference(o ColSet) ColSet {
+	out := ColSet{words: make([]uint64, len(s.words))}
+	copy(out.words, s.words)
+	for i := 0; i < len(out.words) && i < len(o.words); i++ {
+		out.words[i] &^= o.words[i]
+	}
+	return out
+}
+
+// SubsetOf reports whether every element of s is in o.
+func (s ColSet) SubsetOf(o ColSet) bool {
+	for i, w := range s.words {
+		if i >= len(o.words) {
+			if w != 0 {
+				return false
+			}
+			continue
+		}
+		if w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and o share at least one element.
+func (s ColSet) Intersects(o ColSet) bool {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and o contain the same elements.
+func (s ColSet) Equal(o ColSet) bool {
+	return s.SubsetOf(o) && o.SubsetOf(s)
+}
+
+// Ordered returns the elements in ascending order.
+func (s ColSet) Ordered() []ColID {
+	out := make([]ColID, 0, 8)
+	for i, w := range s.words {
+		for ; w != 0; w &= w - 1 {
+			bit := trailingZeros64(w)
+			out = append(out, ColID(i*64+bit))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForEach calls f for each element in ascending order.
+func (s ColSet) ForEach(f func(ColID)) {
+	for _, c := range s.Ordered() {
+		f(c)
+	}
+}
+
+// String renders the set as "{1,2,5}" for debugging and plan explains.
+func (s ColSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, c := range s.Ordered() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(c)))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Hash returns a stable hash of the set contents.
+func (s ColSet) Hash() uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for i, w := range s.words {
+		if w == 0 {
+			continue
+		}
+		h = (h ^ uint64(i)) * prime64
+		h = (h ^ w) * prime64
+	}
+	return h
+}
+
+func trailingZeros64(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
+}

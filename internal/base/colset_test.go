@@ -1,0 +1,106 @@
+package base
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func setFrom(bits []uint8) ColSet {
+	var s ColSet
+	for _, b := range bits {
+		s.Add(ColID(b))
+	}
+	return s
+}
+
+func TestColSetBasics(t *testing.T) {
+	s := MakeColSet(1, 5, 130)
+	if !s.Contains(1) || !s.Contains(5) || !s.Contains(130) || s.Contains(2) {
+		t.Error("membership broken")
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	s.Remove(5)
+	if s.Contains(5) || s.Len() != 2 {
+		t.Error("Remove broken")
+	}
+	if got := MakeColSet(3, 1, 2).String(); got != "{1,2,3}" {
+		t.Errorf("String = %q", got)
+	}
+	if !(ColSet{}).Empty() || MakeColSet(0).Empty() {
+		t.Error("Empty broken")
+	}
+}
+
+func TestColSetOrdered(t *testing.T) {
+	s := MakeColSet(70, 3, 64, 0)
+	want := []ColID{0, 3, 64, 70}
+	got := s.Ordered()
+	if len(got) != len(want) {
+		t.Fatalf("Ordered = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ordered = %v, want %v", got, want)
+		}
+	}
+}
+
+// Algebraic properties over random sets.
+func TestColSetAlgebra(t *testing.T) {
+	f := func(a, b, c []uint8) bool {
+		A, B, C := setFrom(a), setFrom(b), setFrom(c)
+		// Union/intersect commutativity.
+		if !A.Union(B).Equal(B.Union(A)) || !A.Intersect(B).Equal(B.Intersect(A)) {
+			return false
+		}
+		// Distributivity: A ∩ (B ∪ C) = (A∩B) ∪ (A∩C).
+		if !A.Intersect(B.Union(C)).Equal(A.Intersect(B).Union(A.Intersect(C))) {
+			return false
+		}
+		// Difference: (A \ B) ∩ B = ∅ and (A\B) ∪ (A∩B) = A.
+		if A.Difference(B).Intersects(B) {
+			return false
+		}
+		if !A.Difference(B).Union(A.Intersect(B)).Equal(A) {
+			return false
+		}
+		// Subset relations.
+		if !A.Intersect(B).SubsetOf(A) || !A.SubsetOf(A.Union(B)) {
+			return false
+		}
+		// Intersects consistency.
+		if A.Intersects(B) != !A.Intersect(B).Empty() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColSetHashEqualConsistency(t *testing.T) {
+	f := func(a []uint8) bool {
+		A, B := setFrom(a), setFrom(a)
+		return A.Equal(B) && A.Hash() == B.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColSetForEachOrder(t *testing.T) {
+	s := MakeColSet(9, 2, 200)
+	var seen []ColID
+	s.ForEach(func(c ColID) { seen = append(seen, c) })
+	for i := 1; i < len(seen); i++ {
+		if seen[i-1] >= seen[i] {
+			t.Fatalf("ForEach not ascending: %v", seen)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("ForEach visited %d, want 3", len(seen))
+	}
+}

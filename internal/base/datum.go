@@ -1,0 +1,234 @@
+// Package base holds the primitive value and identifier types shared by every
+// layer of the optimizer and the execution engine: typed datums, column
+// identifiers and column sets.
+package base
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// TypeID identifies a scalar data type. The reproduction uses a small fixed
+// type system; the metadata layer decorates these with Mdids so that, as in
+// the paper, type information travels through DXL rather than being
+// hard-wired into the optimizer.
+type TypeID uint8
+
+// Supported scalar types.
+const (
+	TUnknown TypeID = iota
+	TInt            // 64-bit signed integer
+	TFloat          // 64-bit float
+	TString         // UTF-8 string
+	TBool           // boolean
+	TDate           // days since epoch, kept as an integer at runtime
+)
+
+// String returns the SQL-ish name of the type.
+func (t TypeID) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TString:
+		return "string"
+	case TBool:
+		return "bool"
+	case TDate:
+		return "date"
+	default:
+		return "unknown"
+	}
+}
+
+// DatumKind discriminates the runtime representation held by a Datum.
+type DatumKind uint8
+
+// Datum representations.
+const (
+	DNull DatumKind = iota
+	DInt
+	DFloat
+	DString
+	DBool
+)
+
+// Datum is a single runtime value. The zero value is SQL NULL.
+type Datum struct {
+	Kind DatumKind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Convenience constructors.
+
+// NewInt returns an integer datum.
+func NewInt(v int64) Datum { return Datum{Kind: DInt, I: v} }
+
+// NewFloat returns a float datum.
+func NewFloat(v float64) Datum { return Datum{Kind: DFloat, F: v} }
+
+// NewString returns a string datum.
+func NewString(v string) Datum { return Datum{Kind: DString, S: v} }
+
+// NewBool returns a boolean datum.
+func NewBool(v bool) Datum {
+	if v {
+		return Datum{Kind: DBool, I: 1}
+	}
+	return Datum{Kind: DBool}
+}
+
+// Null is the SQL NULL datum.
+var Null = Datum{Kind: DNull}
+
+// IsNull reports whether d is SQL NULL.
+func (d Datum) IsNull() bool { return d.Kind == DNull }
+
+// Bool returns the boolean value of d; NULL and non-bool datums are false.
+func (d Datum) Bool() bool { return d.Kind == DBool && d.I != 0 }
+
+// String renders the datum for plans, tests and error messages.
+func (d Datum) String() string {
+	switch d.Kind {
+	case DNull:
+		return "NULL"
+	case DInt:
+		return strconv.FormatInt(d.I, 10)
+	case DFloat:
+		return strconv.FormatFloat(d.F, 'g', -1, 64)
+	case DString:
+		return "'" + d.S + "'"
+	case DBool:
+		if d.I != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("datum(kind=%d)", d.Kind)
+	}
+}
+
+// Compare orders two datums. NULL sorts before every non-NULL value (the
+// convention the engine's sort and merge operators rely on). Cross-type
+// numeric comparisons (int vs float) are supported; any other cross-kind
+// comparison orders by kind, which keeps Compare a total order.
+func (d Datum) Compare(o Datum) int {
+	if d.Kind == DNull || o.Kind == DNull {
+		switch {
+		case d.Kind == DNull && o.Kind == DNull:
+			return 0
+		case d.Kind == DNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if d.Kind == o.Kind {
+		switch d.Kind {
+		case DInt, DBool:
+			return cmpInt64(d.I, o.I)
+		case DFloat:
+			return cmpFloat64(d.F, o.F)
+		case DString:
+			switch {
+			case d.S < o.S:
+				return -1
+			case d.S > o.S:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	// Numeric cross-kind comparison.
+	if d.isNumeric() && o.isNumeric() {
+		return cmpFloat64(d.asFloat(), o.asFloat())
+	}
+	return cmpInt64(int64(d.Kind), int64(o.Kind))
+}
+
+// Equal reports SQL equality ignoring the NULL=NULL subtlety (NULLs compare
+// equal here; predicate evaluation handles three-valued logic separately).
+func (d Datum) Equal(o Datum) bool { return d.Compare(o) == 0 }
+
+func (d Datum) isNumeric() bool { return d.Kind == DInt || d.Kind == DFloat }
+
+func (d Datum) asFloat() float64 {
+	if d.Kind == DFloat {
+		return d.F
+	}
+	return float64(d.I)
+}
+
+// AsFloat converts numeric datums to float64; non-numeric datums yield 0.
+// Histogram construction and cardinality estimation use this projection.
+func (d Datum) AsFloat() float64 {
+	if d.isNumeric() {
+		return d.asFloat()
+	}
+	if d.Kind == DString {
+		// Project strings onto a number so histograms can bucket them.
+		var v float64
+		for i := 0; i < len(d.S) && i < 8; i++ {
+			v = v*256 + float64(d.S[i])
+		}
+		return v
+	}
+	return 0
+}
+
+// Hash returns a stable hash of the datum, used by hash joins, hash
+// aggregation and hashed data distribution.
+func (d Datum) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	mix(byte(d.Kind))
+	switch d.Kind {
+	case DInt, DBool:
+		v := uint64(d.I)
+		for i := 0; i < 8; i++ {
+			mix(byte(v >> (8 * i)))
+		}
+	case DFloat:
+		// Normalize integral floats to hash like ints would not be correct in
+		// general; hash raw bits.
+		v := uint64(int64(d.F)) // truncate: engine only hashes join keys of one type
+		for i := 0; i < 8; i++ {
+			mix(byte(v >> (8 * i)))
+		}
+	case DString:
+		for i := 0; i < len(d.S); i++ {
+			mix(d.S[i])
+		}
+	}
+	return h
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,135 @@
+package base
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDatumString(t *testing.T) {
+	cases := []struct {
+		d    Datum
+		want string
+	}{
+		{Null, "NULL"},
+		{NewInt(42), "42"},
+		{NewInt(-7), "-7"},
+		{NewFloat(2.5), "2.5"},
+		{NewString("abc"), "'abc'"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDatumCompareBasics(t *testing.T) {
+	cases := []struct {
+		a, b Datum
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewFloat(1.5), NewFloat(2.5), -1},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{Null, NewInt(0), -1}, // NULL sorts first
+		{NewInt(0), Null, 1},
+		{Null, Null, 0},
+		{NewInt(2), NewFloat(2.5), -1}, // cross-kind numeric
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewInt(2), NewFloat(2.0), 0},
+		{NewBool(false), NewBool(true), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%s, %s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func randomDatum(r *rand.Rand) Datum {
+	switch r.Intn(5) {
+	case 0:
+		return Null
+	case 1:
+		return NewInt(int64(r.Intn(20) - 10))
+	case 2:
+		return NewFloat(float64(r.Intn(40))/4 - 5)
+	case 3:
+		return NewString(string(rune('a' + r.Intn(5))))
+	default:
+		return NewBool(r.Intn(2) == 0)
+	}
+}
+
+// TestDatumCompareTotalOrder checks antisymmetry and transitivity over
+// random datums — Compare must be a total order for sorting to be sane.
+func TestDatumCompareTotalOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomDatum(r), randomDatum(r), randomDatum(r)
+		// Antisymmetry.
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		// Transitivity.
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			return false
+		}
+		// Reflexivity.
+		return a.Compare(a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDatumHashConsistent: equal datums must hash equally (hash joins depend
+// on it).
+func TestDatumHashConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomDatum(r), randomDatum(r)
+		if a.Kind == b.Kind && a.Compare(b) == 0 && a.Hash() != b.Hash() {
+			return false
+		}
+		return a.Hash() == a.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatumBool(t *testing.T) {
+	if !NewBool(true).Bool() || NewBool(false).Bool() || Null.Bool() || NewInt(1).Bool() {
+		t.Error("Bool() coercion rules violated")
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if NewInt(3).AsFloat() != 3 || NewFloat(2.5).AsFloat() != 2.5 {
+		t.Error("numeric AsFloat broken")
+	}
+	// Strings project deterministically and order-consistently for short
+	// prefixes.
+	a, b := NewString("aa").AsFloat(), NewString("ab").AsFloat()
+	if a >= b {
+		t.Errorf("string projection not monotone: %v >= %v", a, b)
+	}
+}
+
+func TestTypeIDString(t *testing.T) {
+	for typ, want := range map[TypeID]string{
+		TInt: "int", TFloat: "float", TString: "string", TBool: "bool",
+		TDate: "date", TUnknown: "unknown",
+	} {
+		if typ.String() != want {
+			t.Errorf("TypeID(%d).String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+}

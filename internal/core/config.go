@@ -1,0 +1,80 @@
+// Package core ties Orca's components into the optimization workflow of
+// paper §4.1: normalization of the input query (including subquery
+// decorrelation and n-ary join collapse), copy-in to the Memo, exploration,
+// statistics derivation, implementation, property-driven optimization, and
+// plan extraction — optionally across multiple optimization stages with rule
+// subsets, timeouts and cost thresholds.
+package core
+
+import (
+	"time"
+)
+
+// Stage configures one optimization stage (paper §4.1 "Multi-Stage
+// Optimization"): a complete optimization workflow using a subset of
+// transformation rules with an optional timeout and cost threshold. A stage
+// terminates when a plan under the threshold is found, the timeout fires, or
+// its rule subset is exhausted.
+type Stage struct {
+	Name string
+	// DisabledRules names transformation rules switched off in this stage.
+	DisabledRules []string
+	// Timeout bounds the stage's wall-clock time (0 = none).
+	Timeout time.Duration
+	// CostThreshold stops the multi-stage loop early once a stage produces
+	// a plan at or below this cost (0 = none).
+	CostThreshold float64
+}
+
+// Config controls one optimization session.
+type Config struct {
+	// Segments is the number of segments in the target cluster.
+	Segments int
+	// Workers is the job-scheduler parallelism (paper §4.2); 1 gives a
+	// deterministic sequential search.
+	Workers int
+	// DisabledRules switches off transformation rules globally, in addition
+	// to any per-stage subsets.
+	DisabledRules []string
+	// JoinOrderDPLimit caps exhaustive dynamic-programming join ordering;
+	// larger joins fall back to the greedy cardinality-based rule.
+	JoinOrderDPLimit int
+	// Stages optionally splits optimization into stages; empty means one
+	// unrestricted stage.
+	Stages []Stage
+	// TraceMemo retains a printable dump of the final Memo in the result.
+	TraceMemo bool
+}
+
+// DefaultConfig returns a single-stage configuration for a cluster with the
+// given segment count.
+func DefaultConfig(segments int) Config {
+	return Config{
+		Segments:         segments,
+		Workers:          1,
+		JoinOrderDPLimit: 10,
+	}
+}
+
+// disabled builds the effective rule-disable set for a stage.
+func (c *Config) disabled(stage *Stage) map[string]bool {
+	out := make(map[string]bool)
+	for _, r := range c.DisabledRules {
+		out[r] = true
+	}
+	if stage != nil {
+		for _, r := range stage.DisabledRules {
+			out[r] = true
+		}
+	}
+	return out
+}
+
+// effectiveStages returns the configured stages, or the default single
+// unrestricted stage.
+func (c *Config) effectiveStages() []Stage {
+	if len(c.Stages) == 0 {
+		return []Stage{{Name: "full"}}
+	}
+	return c.Stages
+}

@@ -1,0 +1,16 @@
+package core
+
+import "testing"
+
+func TestMultiStageConfig(t *testing.T) {
+	cfg := DefaultConfig(4)
+	if got := cfg.effectiveStages(); len(got) != 1 || got[0].Name != "full" {
+		t.Errorf("default stages = %v", got)
+	}
+	cfg.DisabledRules = []string{"A"}
+	cfg.Stages = []Stage{{Name: "s1", DisabledRules: []string{"B"}}}
+	d := cfg.disabled(&cfg.Stages[0])
+	if !d["A"] || !d["B"] || d["C"] {
+		t.Errorf("disabled set = %v", d)
+	}
+}

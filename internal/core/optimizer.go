@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"orca/internal/base"
+	"orca/internal/cost"
+	"orca/internal/gpos"
+	"orca/internal/md"
+	"orca/internal/memo"
+	"orca/internal/ops"
+	"orca/internal/props"
+	"orca/internal/search"
+	"orca/internal/stats"
+	"orca/internal/xform"
+)
+
+// Query is a bound query handed to the optimizer: the logical tree plus the
+// query-level requirements of DXL's query message (output columns, sorting
+// columns, result distribution — paper Listing 1; the result distribution is
+// always Singleton: results are gathered to the master).
+type Query struct {
+	Tree     *ops.Expr
+	Order    props.OrderSpec
+	OutCols  []base.ColID
+	OutNames []string
+
+	Factory  *md.ColumnFactory
+	Accessor *md.Accessor
+}
+
+// Result is the outcome of one optimization session.
+type Result struct {
+	// Plan is the extracted physical plan.
+	Plan *ops.Expr
+	// Cost is the plan's estimated cost.
+	Cost float64
+	// Stage names the optimization stage that produced the plan.
+	Stage string
+
+	// Groups and GroupExprs describe the final Memo size.
+	Groups     int
+	GroupExprs int
+	// RulesFired counts transformation-rule applications.
+	RulesFired int64
+	// Duration is the optimization wall-clock time.
+	Duration time.Duration
+	// PeakMemBytes is the accountant's high-water mark.
+	PeakMemBytes int64
+
+	// Memo, RootGroup and RootReq expose the search state for tooling (TAQO
+	// plan sampling, tests); they refer to the winning stage's Memo.
+	Memo      *memo.Memo
+	RootGroup memo.GroupID
+	RootReq   props.Required
+
+	// MemoTrace is a printable Memo dump when Config.TraceMemo is set.
+	MemoTrace string
+}
+
+// Optimize runs the full optimization workflow over a bound query:
+// normalize, then for each configured stage: copy-in, explore, derive
+// statistics, implement, optimize, extract (paper §4.1). The best plan
+// across stages wins; a stage finishing under its cost threshold short-
+// circuits the remaining stages.
+func Optimize(q *Query, cfg Config) (*Result, error) {
+	start := time.Now()
+	mem := &gpos.MemoryAccountant{}
+
+	tree, err := Normalize(q.Tree, q.Factory)
+	if err != nil {
+		return nil, err
+	}
+
+	var best *Result
+	var lastErr error
+	for i, stage := range cfg.effectiveStages() {
+		st := stage
+		res, err := runStage(q, tree, cfg, &st, mem)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if best == nil || res.Cost < best.Cost {
+			best = res
+		}
+		if st.CostThreshold > 0 && best.Cost <= st.CostThreshold {
+			break
+		}
+		_ = i
+	}
+	if best == nil {
+		if lastErr != nil {
+			return nil, lastErr
+		}
+		return nil, gpos.Raise(gpos.CompOptimizer, "NoPlan", "no optimization stage produced a plan")
+	}
+	best.Duration = time.Since(start)
+	best.PeakMemBytes = mem.Peak()
+	return best, nil
+}
+
+// runStage executes one complete optimization workflow.
+func runStage(q *Query, tree *ops.Expr, cfg Config, stage *Stage, mem *gpos.MemoryAccountant) (*Result, error) {
+	m := memo.New(mem)
+	root, err := m.Insert(tree)
+	if err != nil {
+		return nil, err
+	}
+	m.SetRoot(root)
+
+	sctx := stats.NewContext(q.Accessor)
+	xctx := &xform.Context{
+		Memo:             m,
+		Stats:            sctx,
+		Accessor:         q.Accessor,
+		ColFactory:       q.Factory,
+		Segments:         cfg.Segments,
+		JoinOrderDPLimit: cfg.JoinOrderDPLimit,
+	}
+
+	disabled := cfg.disabled(stage)
+	var explorations, implementations []xform.Rule
+	for _, r := range xform.DefaultRules() {
+		if disabled[r.Name()] {
+			continue
+		}
+		if r.Kind() == xform.Exploration {
+			explorations = append(explorations, r)
+		} else {
+			implementations = append(implementations, r)
+		}
+	}
+
+	segments := cfg.Segments
+	if segments < 1 {
+		segments = 1
+	}
+	opt := &search.Optimizer{
+		Memo:            m,
+		XCtx:            xctx,
+		Cost:            cost.NewModel(cost.DefaultParams(segments)),
+		Explorations:    explorations,
+		Implementations: implementations,
+	}
+
+	var deadline time.Time
+	if stage.Timeout > 0 {
+		deadline = time.Now().Add(stage.Timeout)
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	// (1) Exploration.
+	if err := opt.Explore(root, workers, deadline); err != nil {
+		return nil, err
+	}
+	// (2) Statistics derivation on the compact Memo. The root walk registers
+	// CTE producer statistics before consumers need them; the full sweep
+	// covers groups off the promising path.
+	if _, err := m.DeriveStats(root, sctx); err != nil {
+		return nil, err
+	}
+	for gid := 0; gid < m.NumGroups(); gid++ {
+		if _, err := m.DeriveStats(memo.GroupID(gid), sctx); err != nil {
+			return nil, err
+		}
+	}
+	// (3+4) Implementation and optimization, driven by the initial request
+	// {Singleton, <order>} (paper Figure 6, req #1).
+	req := props.Required{Dist: props.SingletonDist, Order: q.Order}
+	bestCost, err := opt.Optimize(root, req, workers, deadline)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := m.ExtractPlan(root, req)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Plan:       plan,
+		Cost:       bestCost,
+		Stage:      stage.Name,
+		Groups:     m.NumGroups(),
+		GroupExprs: m.NumExprs(),
+		RulesFired: opt.RulesFired.Load(),
+		Memo:       m,
+		RootGroup:  root,
+		RootReq:    req,
+	}
+	if cfg.TraceMemo {
+		res.MemoTrace = m.String()
+	}
+	return res, nil
+}
+
+// Explain renders a physical plan with resolved column names, one operator
+// per line with delivered properties, estimated rows and cost.
+func Explain(plan *ops.Expr, f *md.ColumnFactory) string {
+	var b strings.Builder
+	explainNode(&b, plan, f, 0)
+	return b.String()
+}
+
+func explainNode(b *strings.Builder, e *ops.Expr, f *md.ColumnFactory, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	desc := ops.Describe(e.Op)
+	if f != nil {
+		desc = resolveColNames(desc, f)
+	}
+	b.WriteString(desc)
+	if e.Phys != nil {
+		fmt.Fprintf(b, "   [rows=%.0f cost=%.0f dist=%s", e.Rows, e.Cost, e.Phys.Dist)
+		if !e.Phys.Order.IsAny() {
+			fmt.Fprintf(b, " order=%s", e.Phys.Order)
+		}
+		b.WriteString("]")
+	}
+	b.WriteByte('\n')
+	for _, c := range e.Children {
+		explainNode(b, c, f, depth+1)
+	}
+	// SubPlans (legacy Planner) carry their inner plan out-of-line.
+	switch op := e.Op.(type) {
+	case *ops.SubPlanFilter:
+		b.WriteString(strings.Repeat("  ", depth+1))
+		b.WriteString("SubPlan:\n")
+		explainNode(b, op.Plan, f, depth+2)
+	case *ops.SubPlanProject:
+		b.WriteString(strings.Repeat("  ", depth+1))
+		b.WriteString("SubPlan:\n")
+		explainNode(b, op.Plan, f, depth+2)
+	}
+}
+
+// resolveColNames rewrites c<id> tokens into column names.
+func resolveColNames(s string, f *md.ColumnFactory) string {
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] == 'c' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9' &&
+			(i == 0 || !isWordChar(s[i-1])) {
+			j := i + 1
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+			if j >= len(s) || !isWordChar(s[j]) {
+				id := 0
+				for _, ch := range s[i+1 : j] {
+					id = id*10 + int(ch-'0')
+				}
+				b.WriteString(f.Name(base.ColID(id)))
+				i = j
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+func isWordChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"orca/internal/base"
+	"orca/internal/ops"
+)
+
+// PushPredicates runs predicate pushdown over a logical tree. It is exported
+// for the legacy Planner baseline, which shares PostgreSQL-style pushdown
+// but none of Orca's decorrelation or n-ary join collapse.
+func PushPredicates(e *ops.Expr) *ops.Expr { return pushPreds(e, nil) }
+
+// pushPreds pushes the given predicates (plus any Select predicates found on
+// the way) down to the lowest operator whose output columns cover them.
+// Predicate pushdown happens once during normalization, so the Memo's
+// exploration space is built from a canonical tree.
+func pushPreds(e *ops.Expr, preds []ops.ScalarExpr) *ops.Expr {
+	switch op := e.Op.(type) {
+	case *ops.Select:
+		return pushPreds(e.Children[0], append(preds, ops.Conjuncts(op.Pred)...))
+
+	case *ops.Join:
+		return pushJoin(e, op, preds)
+
+	case *ops.GbAgg:
+		groupSet := base.MakeColSet(op.GroupCols...)
+		var below, above []ops.ScalarExpr
+		for _, p := range preds {
+			if p.Cols().SubsetOf(groupSet) {
+				below = append(below, p)
+			} else {
+				above = append(above, p)
+			}
+		}
+		out := ops.NewExpr(op, pushPreds(e.Children[0], below))
+		return wrapSelect(out, above)
+
+	case *ops.Project:
+		pass := make(map[base.ColID]base.ColID)
+		for _, el := range op.Elems {
+			if id, ok := el.Expr.(*ops.Ident); ok {
+				pass[el.Col.ID] = id.Col
+			}
+		}
+		var below, above []ops.ScalarExpr
+		for _, p := range preds {
+			if translated, ok := translatePred(p, pass); ok {
+				below = append(below, translated)
+			} else {
+				above = append(above, p)
+			}
+		}
+		out := ops.NewExpr(op, pushPreds(e.Children[0], below))
+		return wrapSelect(out, above)
+
+	case *ops.Window:
+		partSet := base.MakeColSet(op.PartitionCols...)
+		var below, above []ops.ScalarExpr
+		for _, p := range preds {
+			if p.Cols().SubsetOf(partSet) {
+				below = append(below, p)
+			} else {
+				above = append(above, p)
+			}
+		}
+		out := ops.NewExpr(op, pushPreds(e.Children[0], below))
+		return wrapSelect(out, above)
+
+	case *ops.UnionAll:
+		children := make([]*ops.Expr, len(e.Children))
+		var above []ops.ScalarExpr
+		// Map output columns to each child's columns positionally.
+		outPos := make(map[base.ColID]int)
+		for i, c := range op.OutCols {
+			outPos[c.ID] = i
+		}
+		var pushable []ops.ScalarExpr
+		for _, p := range preds {
+			ok := true
+			p.Cols().ForEach(func(c base.ColID) {
+				if _, found := outPos[c]; !found {
+					ok = false
+				}
+			})
+			if ok {
+				pushable = append(pushable, p)
+			} else {
+				above = append(above, p)
+			}
+		}
+		for i := range e.Children {
+			mapping := make(map[base.ColID]base.ColID)
+			for _, p := range pushable {
+				p.Cols().ForEach(func(c base.ColID) {
+					mapping[c] = op.InCols[i][outPos[c]]
+				})
+			}
+			var childPreds []ops.ScalarExpr
+			for _, p := range pushable {
+				childPreds = append(childPreds, ops.ReplaceCols(p, mapping))
+			}
+			children[i] = pushPreds(e.Children[i], childPreds)
+		}
+		return wrapSelect(ops.NewExpr(op, children...), above)
+
+	case *ops.CTEAnchor:
+		producer := pushPreds(e.Children[0], nil)
+		body := pushPreds(e.Children[1], preds)
+		return ops.NewExpr(op, producer, body)
+
+	case *ops.Limit:
+		// Nothing may move below a limit.
+		out := ops.NewExpr(op, pushPreds(e.Children[0], nil))
+		return wrapSelect(out, preds)
+
+	default:
+		// Leaves (Get, CTEConsumer) and anything unrecognized: recurse into
+		// children with no predicates and wrap the remainder here.
+		if len(e.Children) > 0 {
+			children := make([]*ops.Expr, len(e.Children))
+			for i, c := range e.Children {
+				children[i] = pushPreds(c, nil)
+			}
+			e = ops.NewExpr(e.Op, children...)
+		}
+		return wrapSelect(e, preds)
+	}
+}
+
+// pushJoin distributes predicates around a join according to its type.
+func pushJoin(e *ops.Expr, op *ops.Join, preds []ops.ScalarExpr) *ops.Expr {
+	leftCols := ops.OutputColsOf(e.Children[0])
+	rightCols := ops.OutputColsOf(e.Children[1])
+	jconj := ops.Conjuncts(op.Pred)
+
+	var leftPreds, rightPreds, joinPreds, above []ops.ScalarExpr
+	route := func(p ops.ScalarExpr, fromAbove bool) {
+		cols := p.Cols()
+		switch {
+		case cols.SubsetOf(leftCols):
+			if op.Type == ops.InnerJoin || fromAbove {
+				leftPreds = append(leftPreds, p)
+			} else {
+				// Left-side-only conjunct of an outer/semi/anti join
+				// condition only filters matches; it must stay in the join.
+				joinPreds = append(joinPreds, p)
+			}
+		case cols.SubsetOf(rightCols):
+			if op.Type == ops.InnerJoin || !fromAbove {
+				rightPreds = append(rightPreds, p)
+			} else {
+				above = append(above, p)
+			}
+		default:
+			if fromAbove && op.Type != ops.InnerJoin {
+				above = append(above, p)
+			} else {
+				joinPreds = append(joinPreds, p)
+			}
+		}
+	}
+	for _, p := range preds {
+		route(p, true)
+	}
+	for _, p := range jconj {
+		route(p, false)
+	}
+	out := ops.NewExpr(
+		&ops.Join{Type: op.Type, Pred: ops.And(joinPreds...)},
+		pushPreds(e.Children[0], leftPreds),
+		pushPreds(e.Children[1], rightPreds),
+	)
+	return wrapSelect(out, above)
+}
+
+func translatePred(p ops.ScalarExpr, pass map[base.ColID]base.ColID) (ops.ScalarExpr, bool) {
+	ok := true
+	p.Cols().ForEach(func(c base.ColID) {
+		if _, found := pass[c]; !found {
+			ok = false
+		}
+	})
+	if !ok {
+		return nil, false
+	}
+	return ops.ReplaceCols(p, pass), true
+}
+
+func wrapSelect(e *ops.Expr, preds []ops.ScalarExpr) *ops.Expr {
+	if len(preds) == 0 {
+		return e
+	}
+	return ops.NewExpr(&ops.Select{Pred: ops.And(preds...)}, e)
+}
+
+// collapseJoins merges contiguous inner joins into NAryJoin operators, the
+// input shape of the join-ordering exploration rules.
+func collapseJoins(e *ops.Expr) *ops.Expr {
+	children := make([]*ops.Expr, len(e.Children))
+	for i, c := range e.Children {
+		children[i] = collapseJoins(c)
+	}
+	j, ok := e.Op.(*ops.Join)
+	if !ok || j.Type != ops.InnerJoin {
+		return ops.NewExpr(e.Op, children...)
+	}
+	var inputs []*ops.Expr
+	var preds []ops.ScalarExpr
+	for _, c := range children {
+		if nj, ok := c.Op.(*ops.NAryJoin); ok {
+			inputs = append(inputs, c.Children...)
+			preds = append(preds, nj.Preds...)
+		} else {
+			inputs = append(inputs, c)
+		}
+	}
+	preds = append(preds, ops.Conjuncts(j.Pred)...)
+	return ops.NewExpr(&ops.NAryJoin{Preds: preds}, inputs...)
+}

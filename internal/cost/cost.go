@@ -1,0 +1,227 @@
+// Package cost implements Orca's cost model: per-operator formulas over
+// estimated cardinalities, aware of the segment count and of data movement.
+// Costs approximate wall-clock execution time in abstract work units; work
+// performed by distributed operators is divided across segments, and skewed
+// redistributions are charged a skew multiplier derived from the statistics
+// (paper §4.1: histograms derive "estimates for cardinality and data skew").
+//
+// The parameters are deliberately tunable: §6.2 of the paper (TAQO) is about
+// measuring how well these numbers order real plans, and the TAQO harness in
+// internal/taqo scores exactly this model against the simulated engine.
+package cost
+
+import (
+	"math"
+
+	"orca/internal/ops"
+	"orca/internal/props"
+)
+
+// Params are the tunable cost-model constants, in abstract work units per
+// tuple (1.0 = one tuple touched by one CPU).
+type Params struct {
+	Segments int // number of segments in the cluster
+
+	CPUTuple     float64 // baseline per-tuple processing
+	CPUPred      float64 // per-tuple predicate evaluation
+	CPUProj      float64 // per-tuple projection
+	HashBuild    float64 // per-tuple hash table insert
+	HashProbe    float64 // per-tuple hash table probe
+	SortFactor   float64 // multiplier on n·log2(n)
+	NetTuple     float64 // per-tuple network transfer
+	Materialize  float64 // per-tuple spool write+read
+	IndexLookup  float64 // per-matching-tuple index access
+	MaxSkew      float64 // cap on the skew multiplier
+	NLJoinTuple  float64 // per-pair nested-loops evaluation
+	SubPlanStart float64 // per-outer-row subplan startup overhead
+}
+
+// DefaultParams returns the calibrated defaults for the simulated engine.
+func DefaultParams(segments int) Params {
+	if segments < 1 {
+		segments = 1
+	}
+	return Params{
+		Segments:     segments,
+		CPUTuple:     1.0,
+		CPUPred:      0.6,
+		CPUProj:      0.4,
+		HashBuild:    1.6,
+		HashProbe:    1.1,
+		SortFactor:   1.0,
+		NetTuple:     2.5,
+		Materialize:  1.4,
+		IndexLookup:  2.0,
+		MaxSkew:      4.0,
+		NLJoinTuple:  0.55,
+		SubPlanStart: 12.0,
+	}
+}
+
+// Model computes operator costs.
+type Model struct {
+	P Params
+}
+
+// NewModel builds a model over the given parameters.
+func NewModel(p Params) *Model { return &Model{P: p} }
+
+// Inputs carries everything the per-operator formulas need.
+type Inputs struct {
+	// OutRows is the estimated output cardinality of the operator.
+	OutRows float64
+	// ChildRows holds the estimated output cardinality of each child.
+	ChildRows []float64
+	// Delivered is the operator's delivered physical properties.
+	Delivered props.Derived
+	// Skew multiplies distributed work (1 = uniform); the optimizer derives
+	// it from the histogram of the hashing column for motions.
+	Skew float64
+}
+
+// parallelism returns the divisor for work performed under the given
+// distribution.
+func (m *Model) parallelism(d props.Distribution) float64 {
+	if d.Kind == props.DistSingleton {
+		return 1
+	}
+	return float64(m.P.Segments)
+}
+
+// LocalCost returns the cost of the operator itself, excluding children.
+func (m *Model) LocalCost(op ops.Operator, in Inputs) float64 {
+	p := m.P
+	skew := in.Skew
+	if skew < 1 {
+		skew = 1
+	}
+	if skew > p.MaxSkew {
+		skew = p.MaxSkew
+	}
+	par := m.parallelism(in.Delivered.Dist)
+	childRows := func(i int) float64 {
+		if i < len(in.ChildRows) {
+			return in.ChildRows[i]
+		}
+		return 0
+	}
+
+	switch o := op.(type) {
+	case *ops.Scan:
+		rows := o.BaseRows
+		if rows <= 0 {
+			rows = in.OutRows
+		}
+		work := rows * p.CPUTuple
+		if o.Filter != nil {
+			work += rows * p.CPUPred
+		}
+		return work / par * skew
+
+	case *ops.IndexScan:
+		base := o.BaseRows
+		if base < 2 {
+			base = 2
+		}
+		work := in.OutRows*p.IndexLookup + math.Log2(base)*p.CPUTuple
+		return work / par
+
+	case *ops.Filter:
+		return childRows(0) * p.CPUPred / par
+
+	case *ops.ComputeScalar:
+		return childRows(0) * p.CPUProj * float64(max(1, len(o.Elems))) / par
+
+	case *ops.HashJoin:
+		build := childRows(1) * p.HashBuild
+		probe := childRows(0)*p.HashProbe + in.OutRows*p.CPUTuple
+		if o.Residual != nil {
+			probe += in.OutRows * p.CPUPred
+		}
+		return (build + probe) / par * skew
+
+	case *ops.NLJoin:
+		pairs := childRows(0) * childRows(1)
+		return (pairs*p.NLJoinTuple + in.OutRows*p.CPUTuple) / par
+
+	case *ops.HashAgg:
+		return (childRows(0)*p.HashBuild + in.OutRows*p.CPUTuple) / par
+
+	case *ops.StreamAgg:
+		return (childRows(0)*p.CPUTuple + in.OutRows*p.CPUTuple) / par
+
+	case *ops.ScalarAgg:
+		return childRows(0) * p.CPUTuple / par
+
+	case *ops.Sort:
+		n := childRows(0) / par
+		if n < 2 {
+			n = 2
+		}
+		return n * math.Log2(n) * p.SortFactor
+
+	case *ops.PhysicalLimit:
+		return in.OutRows * p.CPUTuple
+
+	case *ops.Gather:
+		return childRows(0) * p.NetTuple
+
+	case *ops.GatherMerge:
+		return childRows(0) * (p.NetTuple + 0.2*p.CPUTuple)
+
+	case *ops.Redistribute:
+		return childRows(0) * p.NetTuple / par * skew
+
+	case *ops.Broadcast:
+		// Every segment receives the full input.
+		return childRows(0) * p.NetTuple
+
+	case *ops.Spool:
+		return childRows(0) * p.Materialize / par
+
+	case *ops.PhysicalUnionAll:
+		var total float64
+		for i := range in.ChildRows {
+			total += childRows(i)
+		}
+		return total * p.CPUTuple * 0.2 / par
+
+	case *ops.Sequence:
+		return 0
+
+	case *ops.PhysicalCTEProducer:
+		return childRows(0) * p.Materialize / par
+
+	case *ops.PhysicalCTEConsumer:
+		return in.OutRows * p.CPUTuple * 0.4 / par
+
+	case *ops.PhysicalWindow:
+		return childRows(0) * p.CPUTuple * float64(max(1, len(o.Wins))) / par
+
+	case *ops.SubPlanFilter:
+		return m.subPlanCost(childRows(0), o.Plan)
+
+	case *ops.SubPlanProject:
+		return m.subPlanCost(childRows(0), o.Plan)
+
+	default:
+		return in.OutRows * p.CPUTuple / par
+	}
+}
+
+// subPlanCost charges one full subplan execution per outer row — the
+// repeated-execution behaviour decorrelation exists to avoid.
+func (m *Model) subPlanCost(outerRows float64, plan *ops.Expr) float64 {
+	per := m.P.SubPlanStart
+	if plan != nil {
+		per += plan.Cost
+	}
+	return outerRows * per
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

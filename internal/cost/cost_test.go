@@ -1,0 +1,132 @@
+package cost
+
+import (
+	"testing"
+
+	"orca/internal/base"
+	"orca/internal/ops"
+	"orca/internal/props"
+)
+
+func model(segments int) *Model { return NewModel(DefaultParams(segments)) }
+
+func distributed(rows float64) Inputs {
+	return Inputs{OutRows: rows, ChildRows: []float64{rows}, Delivered: props.Derived{Dist: props.Hashed(0)}}
+}
+
+func TestParallelismDividesWork(t *testing.T) {
+	m := model(16)
+	scan := &ops.Scan{BaseRows: 16000}
+	par := m.LocalCost(scan, Inputs{OutRows: 16000, Delivered: props.Derived{Dist: props.Hashed(0)}, Skew: 1})
+	ser := m.LocalCost(scan, Inputs{OutRows: 16000, Delivered: props.Derived{Dist: props.SingletonDist}, Skew: 1})
+	if par*15 > ser*16 {
+		t.Errorf("distributed scan (%g) not ~16x cheaper than singleton (%g)", par, ser)
+	}
+}
+
+func TestSkewPenalizesDistributedWork(t *testing.T) {
+	m := model(8)
+	scan := &ops.Scan{BaseRows: 8000}
+	flat := m.LocalCost(scan, Inputs{OutRows: 8000, Delivered: props.Derived{Dist: props.Hashed(0)}, Skew: 1})
+	skewed := m.LocalCost(scan, Inputs{OutRows: 8000, Delivered: props.Derived{Dist: props.Hashed(0)}, Skew: 3})
+	if skewed <= flat {
+		t.Error("skew multiplier ignored")
+	}
+	capped := m.LocalCost(scan, Inputs{OutRows: 8000, Delivered: props.Derived{Dist: props.Hashed(0)}, Skew: 100})
+	if capped > flat*DefaultParams(8).MaxSkew*1.01 {
+		t.Error("skew multiplier not capped")
+	}
+}
+
+// TestBroadcastVsRedistributeCrossover reproduces the motion trade-off the
+// optimizer exploits: broadcasting a small inner side beats redistributing a
+// large outer side, and flips once the inner side grows.
+func TestBroadcastVsRedistributeCrossover(t *testing.T) {
+	m := model(16)
+	outer := 1_000_000.0
+	colocate := func(inner float64) float64 {
+		// redistribute both sides on the join key
+		return m.LocalCost(&ops.Redistribute{Cols: []base.ColID{0}},
+			Inputs{OutRows: outer, ChildRows: []float64{outer}, Delivered: props.Derived{Dist: props.Hashed(0)}, Skew: 1}) +
+			m.LocalCost(&ops.Redistribute{Cols: []base.ColID{0}},
+				Inputs{OutRows: inner, ChildRows: []float64{inner}, Delivered: props.Derived{Dist: props.Hashed(0)}, Skew: 1})
+	}
+	broadcast := func(inner float64) float64 {
+		return m.LocalCost(&ops.Broadcast{},
+			Inputs{OutRows: inner, ChildRows: []float64{inner}, Delivered: props.Derived{Dist: props.ReplicatedDist}, Skew: 1})
+	}
+	if broadcast(100) >= colocate(100) {
+		t.Errorf("tiny inner: broadcast (%g) should beat redistribution (%g)", broadcast(100), colocate(100))
+	}
+	if broadcast(5_000_000) <= colocate(5_000_000) {
+		t.Errorf("huge inner: redistribution (%g) should beat broadcast (%g)",
+			colocate(5_000_000), broadcast(5_000_000))
+	}
+}
+
+func TestNLJoinDwarfsHashJoinOnLargeInputs(t *testing.T) {
+	m := model(8)
+	in := Inputs{OutRows: 10000, ChildRows: []float64{10000, 10000}, Delivered: props.Derived{Dist: props.Hashed(0)}, Skew: 1}
+	hj := m.LocalCost(&ops.HashJoin{}, in)
+	nl := m.LocalCost(&ops.NLJoin{}, in)
+	if nl < hj*100 {
+		t.Errorf("NL join (%g) should dwarf hash join (%g) on 10k x 10k", nl, hj)
+	}
+}
+
+func TestSortCostSuperlinear(t *testing.T) {
+	m := model(1)
+	small := m.LocalCost(&ops.Sort{}, Inputs{ChildRows: []float64{1000}, Delivered: props.Derived{Dist: props.SingletonDist}})
+	big := m.LocalCost(&ops.Sort{}, Inputs{ChildRows: []float64{100000}, Delivered: props.Derived{Dist: props.SingletonDist}})
+	if big < small*100 {
+		t.Errorf("sort cost not superlinear: %g vs %g", small, big)
+	}
+}
+
+func TestIndexScanBeatsFullScanWhenSelective(t *testing.T) {
+	m := model(4)
+	full := m.LocalCost(&ops.Scan{BaseRows: 100000},
+		Inputs{OutRows: 10, Delivered: props.Derived{Dist: props.Hashed(0)}, Skew: 1})
+	idx := m.LocalCost(&ops.IndexScan{BaseRows: 100000},
+		Inputs{OutRows: 10, Delivered: props.Derived{Dist: props.Hashed(0)}, Skew: 1})
+	if idx >= full {
+		t.Errorf("selective index scan (%g) not cheaper than full scan (%g)", idx, full)
+	}
+}
+
+func TestSubPlanCostScalesWithOuterRows(t *testing.T) {
+	m := model(4)
+	inner := &ops.Expr{Cost: 500}
+	sp := &ops.SubPlanFilter{Plan: inner}
+	small := m.LocalCost(sp, Inputs{ChildRows: []float64{10}, Delivered: props.Derived{Dist: props.SingletonDist}})
+	big := m.LocalCost(sp, Inputs{ChildRows: []float64{10000}, Delivered: props.Derived{Dist: props.SingletonDist}})
+	if big < small*900 {
+		t.Errorf("subplan cost must scale with outer rows: %g vs %g", small, big)
+	}
+	if small < 10*500 {
+		t.Errorf("subplan cost must include inner plan cost per row: %g", small)
+	}
+}
+
+func TestCostsAreFiniteAndPositive(t *testing.T) {
+	m := model(4)
+	operators := []ops.Operator{
+		&ops.Scan{BaseRows: 100}, &ops.IndexScan{BaseRows: 100},
+		&ops.Filter{Pred: ops.NewConst(base.NewBool(true))},
+		ops.NewComputeScalar(nil),
+		&ops.HashJoin{}, &ops.NLJoin{},
+		&ops.HashAgg{}, &ops.StreamAgg{}, &ops.ScalarAgg{},
+		&ops.Sort{}, &ops.PhysicalLimit{},
+		&ops.Gather{}, &ops.GatherMerge{}, &ops.Redistribute{Cols: []base.ColID{0}},
+		&ops.Broadcast{}, &ops.Spool{}, &ops.PhysicalUnionAll{},
+		&ops.Sequence{}, &ops.PhysicalCTEProducer{}, &ops.PhysicalCTEConsumer{},
+		&ops.PhysicalWindow{},
+	}
+	in := Inputs{OutRows: 100, ChildRows: []float64{100, 100}, Delivered: props.Derived{Dist: props.Hashed(0)}, Skew: 1}
+	for _, op := range operators {
+		c := m.LocalCost(op, in)
+		if c < 0 || c != c /* NaN */ {
+			t.Errorf("%s cost = %g", op.Name(), c)
+		}
+	}
+}

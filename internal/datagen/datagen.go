@@ -1,0 +1,202 @@
+// Package datagen generates table data by reversing database statistics —
+// the approach of the paper's test-data tool (§6, ref [24] "Reversing
+// Statistics for Scalable Test Databases Generation"): given a relation's
+// histograms, it produces rows whose value distribution matches the
+// histograms, so that the optimizer's cardinality estimates are exercised by
+// data that actually behaves as declared.
+//
+// Convention: key columns declared with Lo=0, Hi=NDV produce the integers
+// 0..NDV-1, so equality joins between columns with aligned declarations
+// produce real matches.
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"orca/internal/base"
+	"orca/internal/engine"
+	"orca/internal/md"
+)
+
+// RNG is a small deterministic splitmix64 generator.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed ^ 0x9e3779b97f4a7c15} }
+
+// Next returns the next pseudo-random value.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// permutation returns a Fisher-Yates shuffle of 0..n-1.
+func (r *RNG) permutation(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Float returns a value in [0, 1).
+func (r *RNG) Float() float64 { return float64(r.Next()>>11) / float64(1<<53) }
+
+// Generate produces the relation's declared row count from its statistics.
+func Generate(rel *md.Relation, rs *md.RelStats, seed uint64) ([]engine.Row, error) {
+	n := int(rs.Rows)
+	rng := NewRNG(seed)
+	rows := make([]engine.Row, n)
+
+	// Precompute per-column bucket choosers.
+	type colGen struct {
+		cs  *md.ColStats
+		cum []float64
+		tot float64
+		typ base.TypeID
+		// key marks a unique column (NDV ≈ rows): values are generated as a
+		// permutation so the column behaves as the primary key it is
+		// declared to be.
+		key  bool
+		perm []int
+	}
+	gens := make([]colGen, len(rel.Columns))
+	for i := range rel.Columns {
+		g := colGen{typ: rel.Columns[i].Type}
+		if cs := rs.ColStatsFor(i); cs != nil {
+			g.cs = cs
+			for _, b := range cs.Buckets {
+				g.tot += b.Rows
+				g.cum = append(g.cum, g.tot)
+			}
+			if cs.NullFrac == 0 && cs.NDV >= rs.Rows*0.999 {
+				g.key = true
+				g.perm = rng.permutation(n)
+			}
+		}
+		gens[i] = g
+	}
+
+	for ri := 0; ri < n; ri++ {
+		row := make(engine.Row, len(rel.Columns))
+		for ci := range rel.Columns {
+			g := &gens[ci]
+			if g.cs == nil {
+				row[ci] = base.NewInt(int64(ri))
+				continue
+			}
+			if g.key {
+				row[ci] = gridValue(g.cs, g.perm[ri], g.typ)
+				continue
+			}
+			if g.cs.NullFrac > 0 && rng.Float() < g.cs.NullFrac {
+				row[ci] = base.Null
+				continue
+			}
+			row[ci] = sampleBucket(g.cs, g.cum, g.tot, rng, g.typ)
+		}
+		rows[ri] = row
+	}
+	return rows, nil
+}
+
+// gridValue maps ordinal i onto the column's value grid: NDV evenly spaced
+// values over [Lo, Hi), matching what sampleBucket draws from.
+func gridValue(cs *md.ColStats, i int, typ base.TypeID) base.Datum {
+	if len(cs.Buckets) == 0 {
+		return base.NewInt(int64(i))
+	}
+	lo := cs.Buckets[0].Lo.AsFloat()
+	hi := cs.Buckets[len(cs.Buckets)-1].Hi.AsFloat()
+	step := (hi - lo) / math.Max(cs.NDV, 1)
+	v := lo + float64(i)*step
+	switch typ {
+	case base.TInt, base.TDate:
+		return base.NewInt(int64(math.Round(v)))
+	case base.TFloat:
+		return base.NewFloat(v)
+	case base.TString:
+		return base.NewString(fmt.Sprintf("v%06d", int64(math.Round(v))))
+	default:
+		return base.NewFloat(v)
+	}
+}
+
+// sampleBucket picks a histogram bucket weighted by its row count, then one
+// of the bucket's distinct values on an even grid.
+func sampleBucket(cs *md.ColStats, cum []float64, tot float64, rng *RNG, typ base.TypeID) base.Datum {
+	if len(cs.Buckets) == 0 || tot <= 0 {
+		return base.NewInt(0)
+	}
+	target := rng.Float() * tot
+	bi := 0
+	for bi < len(cum)-1 && cum[bi] < target {
+		bi++
+	}
+	b := cs.Buckets[bi]
+	d := int(math.Max(b.Distincts, 1))
+	idx := rng.Intn(d)
+	lo, hi := b.Lo.AsFloat(), b.Hi.AsFloat()
+	step := (hi - lo) / math.Max(b.Distincts, 1)
+	v := lo + float64(idx)*step
+	switch typ {
+	case base.TInt, base.TDate:
+		return base.NewInt(int64(math.Round(v)))
+	case base.TFloat:
+		return base.NewFloat(v)
+	case base.TString:
+		return base.NewString(fmt.Sprintf("v%06d", int64(math.Round(v))))
+	case base.TBool:
+		return base.NewBool(int64(v)%2 == 0)
+	default:
+		return base.NewFloat(v)
+	}
+}
+
+// Load generates and loads a relation into the cluster.
+func Load(c *engine.Cluster, rel *md.Relation, rs *md.RelStats, seed uint64) error {
+	rows, err := Generate(rel, rs, seed)
+	if err != nil {
+		return err
+	}
+	return c.CreateTable(rel, rows)
+}
+
+// LoadAll generates and loads every relation registered with the provider.
+func LoadAll(c *engine.Cluster, p *md.MemProvider, seed uint64) error {
+	for i, name := range p.RelationNames() {
+		id, err := p.LookupRelation(name)
+		if err != nil {
+			return err
+		}
+		obj, err := p.GetObject(id)
+		if err != nil {
+			return err
+		}
+		rel := obj.(*md.Relation)
+		sobj, err := p.GetObject(rel.StatsMdid)
+		if err != nil {
+			return err
+		}
+		if err := Load(c, rel, sobj.(*md.RelStats), seed+uint64(i)*7919); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"orca/internal/base"
+	"orca/internal/engine"
+	"orca/internal/md"
+)
+
+func spec() md.TableSpec {
+	return md.TableSpec{
+		Name: "t", Rows: 5000, Policy: md.DistHash, DistCols: []int{0},
+		Cols: []md.ColSpec{
+			{Name: "pk", Type: base.TInt, NDV: 5000, Lo: 0, Hi: 5000},
+			{Name: "fk", Type: base.TInt, NDV: 100, Lo: 0, Hi: 100},
+			{Name: "f", Type: base.TFloat, NDV: 50, Lo: 0, Hi: 1},
+			{Name: "s", Type: base.TString, NDV: 10, Lo: 0, Hi: 10},
+			{Name: "n", Type: base.TInt, NDV: 20, Lo: 0, Hi: 20, NullFrac: 0.25},
+		},
+	}
+}
+
+func generate(t *testing.T, seed uint64) (*md.Relation, *md.RelStats, []engine.Row) {
+	t.Helper()
+	p := md.NewMemProvider()
+	rel := md.Build(p, spec())
+	sobj, err := p.GetObject(rel.StatsMdid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := sobj.(*md.RelStats)
+	rows, err := Generate(rel, rs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel, rs, rows
+}
+
+func TestGenerateMatchesDeclaredShape(t *testing.T) {
+	_, rs, rows := generate(t, 1)
+	if len(rows) != int(rs.Rows) {
+		t.Fatalf("rows = %d, want %g", len(rows), rs.Rows)
+	}
+	// Key column: every value distinct (reversing a full-NDV column must
+	// produce a permutation).
+	seen := map[int64]bool{}
+	for _, r := range rows {
+		if seen[r[0].I] {
+			t.Fatalf("duplicate pk %d", r[0].I)
+		}
+		seen[r[0].I] = true
+	}
+	// FK column: NDV close to declared 100, domain respected.
+	fks := map[int64]bool{}
+	for _, r := range rows {
+		if r[1].I < 0 || r[1].I > 100 {
+			t.Fatalf("fk %d outside domain", r[1].I)
+		}
+		fks[r[1].I] = true
+	}
+	if len(fks) < 80 || len(fks) > 101 {
+		t.Errorf("fk NDV = %d, want ~100", len(fks))
+	}
+	// Null fraction honoured within tolerance.
+	nulls := 0
+	for _, r := range rows {
+		if r[4].IsNull() {
+			nulls++
+		}
+	}
+	frac := float64(nulls) / float64(len(rows))
+	if math.Abs(frac-0.25) > 0.05 {
+		t.Errorf("null fraction %g, want ~0.25", frac)
+	}
+	// String column values are grid-formatted.
+	if rows[0][3].Kind != base.DString {
+		t.Errorf("string column generated %v", rows[0][3])
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	_, _, a := generate(t, 42)
+	_, _, b := generate(t, 42)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j].Compare(b[i][j]) != 0 {
+				t.Fatalf("row %d col %d differs across identical seeds", i, j)
+			}
+		}
+	}
+	_, _, c := generate(t, 43)
+	same := true
+	for i := range a {
+		if a[i][1].Compare(c[i][1]) != 0 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestKeysAlignAcrossTables(t *testing.T) {
+	// A fact FK over [0,100) and a dim PK with NDV=100 over [0,100) must
+	// produce joinable values: every fact FK hits an existing dim PK.
+	p := md.NewMemProvider()
+	dim := md.Build(p, md.TableSpec{
+		Name: "dim", Rows: 100, Policy: md.DistHash, DistCols: []int{0},
+		Cols: []md.ColSpec{{Name: "pk", Type: base.TInt, NDV: 100, Lo: 0, Hi: 100}},
+	})
+	fact := md.Build(p, md.TableSpec{
+		Name: "fact", Rows: 2000, Policy: md.DistHash, DistCols: []int{0},
+		Cols: []md.ColSpec{{Name: "fk", Type: base.TInt, NDV: 100, Lo: 0, Hi: 100}},
+	})
+	dimStats, _ := p.GetObject(dim.StatsMdid)
+	factStats, _ := p.GetObject(fact.StatsMdid)
+	dimRows, _ := Generate(dim, dimStats.(*md.RelStats), 1)
+	factRows, _ := Generate(fact, factStats.(*md.RelStats), 2)
+	pks := map[int64]bool{}
+	for _, r := range dimRows {
+		pks[r[0].I] = true
+	}
+	missed := 0
+	for _, r := range factRows {
+		if !pks[r[0].I] {
+			missed++
+		}
+	}
+	if missed > 0 {
+		t.Errorf("%d of %d fact keys have no dim match (grids misaligned)", missed, len(factRows))
+	}
+}
+
+func TestLoadAllDistributesByPolicy(t *testing.T) {
+	p := md.NewMemProvider()
+	md.Build(p, spec())
+	md.Build(p, md.TableSpec{
+		Name: "rep", Rows: 10, Policy: md.DistReplicated,
+		Cols: []md.ColSpec{{Name: "x", Type: base.TInt, NDV: 10, Lo: 0, Hi: 10}},
+	})
+	c := engine.NewCluster(4, p)
+	if err := LoadAll(c, p, 9); err != nil {
+		t.Fatal(err)
+	}
+	tt, ok := c.Table("t")
+	if !ok || tt.Rows() != 5000 {
+		t.Fatalf("t rows = %d", tt.Rows())
+	}
+	rep, _ := c.Table("rep")
+	if rep.Rows() != 10 {
+		t.Errorf("replicated table logical rows = %d, want 10", rep.Rows())
+	}
+	if got := len(rep.AllRows()); got != 10 {
+		t.Errorf("AllRows on replicated = %d, want one copy", got)
+	}
+}
+
+func TestRNGPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.permutation(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatal("not a permutation")
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,163 @@
+package dxl
+
+import (
+	"strings"
+	"testing"
+
+	"orca/internal/base"
+	"orca/internal/core"
+	"orca/internal/gpos"
+	"orca/internal/md"
+	"orca/internal/sql"
+)
+
+func testCatalog(t testing.TB) *md.MemProvider {
+	t.Helper()
+	p := md.NewMemProvider()
+	md.Build(p, md.TableSpec{
+		Name: "orders", Rows: 5000,
+		Policy: md.DistHash, DistCols: []int{0},
+		Cols: []md.ColSpec{
+			{Name: "o_id", Type: base.TInt, NDV: 5000, Lo: 0, Hi: 5000},
+			{Name: "o_cust", Type: base.TInt, NDV: 500, Lo: 0, Hi: 500},
+			{Name: "o_total", Type: base.TFloat, NDV: 1000, Lo: 0, Hi: 1000},
+			{Name: "o_date", Type: base.TInt, NDV: 365, Lo: 0, Hi: 365},
+		},
+		PartCol: 3,
+		Parts: []md.Partition{
+			{Name: "h1", Lo: base.NewInt(0), Hi: base.NewInt(183)},
+			{Name: "h2", Lo: base.NewInt(183), Hi: base.NewInt(366)},
+		},
+	})
+	md.Build(p, md.TableSpec{
+		Name: "cust", Rows: 500,
+		Policy: md.DistHash, DistCols: []int{0},
+		Cols: []md.ColSpec{
+			{Name: "c_id", Type: base.TInt, NDV: 500, Lo: 0, Hi: 500},
+			{Name: "c_region", Type: base.TString, NDV: 5, Lo: 0, Hi: 5},
+		},
+		IndexCols: []int{0},
+	})
+	return p
+}
+
+func bindOn(t testing.TB, p *md.MemProvider, query string) *core.Query {
+	t.Helper()
+	cache := md.NewCache(&gpos.MemoryAccountant{})
+	acc := md.NewAccessor(cache, p)
+	q, err := sql.Bind(query, acc, md.NewColumnFactory())
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	return q
+}
+
+const roundTripQuery = `
+	SELECT c.c_region, count(*) AS n, sum(o.o_total) AS total
+	FROM orders o, cust c
+	WHERE o.o_cust = c.c_id AND o.o_date < 100 AND c.c_region IN ('v000001','v000002')
+	GROUP BY c.c_region
+	ORDER BY c.c_region
+	LIMIT 5`
+
+func TestMetadataRoundTrip(t *testing.T) {
+	p := testCatalog(t)
+	doc := HarvestAll(p).Render()
+
+	p2, err := ProviderFromDocument(doc)
+	if err != nil {
+		t.Fatalf("parse metadata: %v", err)
+	}
+	for _, name := range p.RelationNames() {
+		id1, _ := p.LookupRelation(name)
+		id2, err := p2.LookupRelation(name)
+		if err != nil {
+			t.Fatalf("relation %q lost in round trip", name)
+		}
+		if id1 != id2 {
+			t.Errorf("relation %q mdid changed: %s vs %s", name, id1, id2)
+		}
+		o1, _ := p.GetObject(id1)
+		o2, _ := p2.GetObject(id2)
+		r1, r2 := o1.(*md.Relation), o2.(*md.Relation)
+		if len(r1.Columns) != len(r2.Columns) || r1.Policy != r2.Policy ||
+			len(r1.Parts) != len(r2.Parts) || r1.PartCol != r2.PartCol ||
+			len(r1.IndexIDs) != len(r2.IndexIDs) {
+			t.Errorf("relation %q shape changed in round trip", name)
+		}
+		s1, _ := p.GetObject(r1.StatsMdid)
+		s2, err := p2.GetObject(r2.StatsMdid)
+		if err != nil {
+			t.Fatalf("stats of %q lost", name)
+		}
+		st1, st2 := s1.(*md.RelStats), s2.(*md.RelStats)
+		if st1.Rows != st2.Rows || len(st1.Cols) != len(st2.Cols) {
+			t.Errorf("stats of %q changed: rows %g vs %g", name, st1.Rows, st2.Rows)
+		}
+		for i := range st1.Cols {
+			if st1.Cols[i].NDV != st2.Cols[i].NDV || len(st1.Cols[i].Buckets) != len(st2.Cols[i].Buckets) {
+				t.Errorf("histogram of %q.%s changed", name, st1.Cols[i].ColName)
+			}
+		}
+	}
+}
+
+// TestQueryRoundTripPlansIdentical is the stand-alone-optimizer property the
+// paper's architecture promises: a query serialized to DXL, shipped
+// elsewhere, and re-optimized against a file-based metadata provider must
+// produce the identical plan.
+func TestQueryRoundTripPlansIdentical(t *testing.T) {
+	p := testCatalog(t)
+	q1 := bindOn(t, p, roundTripQuery)
+	cfg := core.DefaultConfig(8)
+
+	res1, err := core.Optimize(q1, cfg)
+	if err != nil {
+		t.Fatalf("direct optimize: %v", err)
+	}
+
+	// Serialize query and (full) metadata; rebuild everything from text.
+	q1b := bindOn(t, p, roundTripQuery) // fresh bind: Optimize normalizes in place
+	queryDoc := SerializeQuery(q1b).Render()
+	metaDoc := HarvestAll(p).Render()
+
+	p2, err := ProviderFromDocument(metaDoc)
+	if err != nil {
+		t.Fatalf("metadata: %v", err)
+	}
+	root, err := ParseXML(queryDoc)
+	if err != nil {
+		t.Fatalf("query xml: %v", err)
+	}
+	cache := md.NewCache(&gpos.MemoryAccountant{})
+	acc := md.NewAccessor(cache, p2)
+	f := md.NewColumnFactory()
+	q2, err := ParseQuery(root, acc, f)
+	if err != nil {
+		t.Fatalf("parse query: %v", err)
+	}
+	res2, err := core.Optimize(q2, cfg)
+	if err != nil {
+		t.Fatalf("replayed optimize: %v", err)
+	}
+
+	fp1, fp2 := PlanFingerprint(res1.Plan), PlanFingerprint(res2.Plan)
+	if fp1 != fp2 {
+		t.Errorf("plans differ after DXL round trip:\n--- direct ---\n%s\n--- replayed ---\n%s", fp1, fp2)
+	}
+	if res1.Cost != res2.Cost {
+		t.Errorf("costs differ: %v vs %v", res1.Cost, res2.Cost)
+	}
+}
+
+func TestQuerySerializationIsStable(t *testing.T) {
+	p := testCatalog(t)
+	a := SerializeQuery(bindOn(t, p, roundTripQuery)).Render()
+	b := SerializeQuery(bindOn(t, p, roundTripQuery)).Render()
+	if a != b {
+		t.Error("query serialization is not deterministic")
+	}
+	if !strings.Contains(a, "LogicalGet") || !strings.Contains(a, "SortingColumn") {
+		t.Errorf("serialized query missing expected elements:\n%s", a)
+	}
+}

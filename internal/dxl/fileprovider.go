@@ -1,0 +1,99 @@
+package dxl
+
+import (
+	"fmt"
+	"os"
+
+	"orca/internal/md"
+)
+
+// FileProvider loads metadata from a DXL file, "eliminating the need to
+// access a live backend system" (paper §5): the stand-alone optimizer, the
+// AMPERe replayer and the test suite all use it. It materializes the
+// document into an in-memory provider at construction.
+func FileProvider(path string) (md.Provider, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dxl: reading metadata file: %w", err)
+	}
+	return ProviderFromDocument(string(data))
+}
+
+// ProviderFromDocument builds a provider from a DXL metadata document (a
+// dxl:Metadata element or a DXLMessage containing one).
+func ProviderFromDocument(doc string) (*md.MemProvider, error) {
+	root, err := ParseXML(doc)
+	if err != nil {
+		return nil, err
+	}
+	meta := root
+	if root.Name != "Metadata" {
+		meta = findMetadata(root)
+	}
+	if meta == nil {
+		return nil, fmt.Errorf("dxl: document contains no Metadata element")
+	}
+	p := md.NewMemProvider()
+	if err := ParseMetadata(meta, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func findMetadata(n *Node) *Node {
+	if n.Name == "Metadata" {
+		return n
+	}
+	for _, c := range n.Children {
+		if m := findMetadata(c); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// Harvest serializes the metadata objects touched by an optimization session
+// into a minimal metadata document — the paper's automated tool for
+// harvesting "metadata that optimizer needs into a minimal DXL file" (§5).
+// The harvest is closed under dependencies: a touched relation brings its
+// statistics and indexes so the dump replays even when the failing session
+// aborted before loading them.
+func Harvest(acc *md.Accessor, provider md.Provider) (*Node, error) {
+	seen := map[md.MDId]bool{}
+	var objects []md.Object
+	add := func(id md.MDId) error {
+		if !id.IsValid() || seen[id] {
+			return nil
+		}
+		seen[id] = true
+		obj, err := provider.GetObject(id)
+		if err != nil {
+			return err
+		}
+		objects = append(objects, obj)
+		if rel, ok := obj.(*md.Relation); ok {
+			for _, dep := range append([]md.MDId{rel.StatsMdid}, rel.IndexIDs...) {
+				if dep.IsValid() && !seen[dep] {
+					seen[dep] = true
+					dobj, err := provider.GetObject(dep)
+					if err != nil {
+						return err
+					}
+					objects = append(objects, dobj)
+				}
+			}
+		}
+		return nil
+	}
+	for _, id := range acc.Touched() {
+		if err := add(id); err != nil {
+			return nil, err
+		}
+	}
+	return SerializeMetadata(objects), nil
+}
+
+// HarvestAll serializes every object in a provider (full-catalog export).
+func HarvestAll(p *md.MemProvider) *Node {
+	return SerializeMetadata(p.Objects())
+}

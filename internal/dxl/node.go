@@ -1,0 +1,179 @@
+// Package dxl implements the Data eXchange Language (paper §3): the
+// XML-based format through which the stand-alone optimizer communicates with
+// host systems. It serializes and parses queries (input), plans (output) and
+// metadata, provides the file-based metadata provider of Figure 9, and is
+// the wire format of AMPERe dumps (§6.1).
+package dxl
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is a generic XML element; the serializers build Node trees and the
+// parsers interpret them, which keeps the operator mapping in one place
+// instead of scattering it over struct tags.
+type Node struct {
+	Name     string
+	Attrs    map[string]string
+	Children []*Node
+	Text     string
+}
+
+// El builds an element.
+func El(name string, children ...*Node) *Node {
+	return &Node{Name: name, Attrs: map[string]string{}, Children: children}
+}
+
+// Set sets an attribute and returns the node for chaining.
+func (n *Node) Set(key, val string) *Node {
+	n.Attrs[key] = val
+	return n
+}
+
+// Setf sets a formatted attribute.
+func (n *Node) Setf(key, format string, args ...any) *Node {
+	return n.Set(key, fmt.Sprintf(format, args...))
+}
+
+// Add appends children and returns the node.
+func (n *Node) Add(children ...*Node) *Node {
+	n.Children = append(n.Children, children...)
+	return n
+}
+
+// Attr returns an attribute value ("" when absent).
+func (n *Node) Attr(key string) string { return n.Attrs[key] }
+
+// Child returns the first child with the given name, or nil.
+func (n *Node) Child(name string) *Node {
+	for _, c := range n.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildrenNamed returns all children with the given name.
+func (n *Node) ChildrenNamed(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Render writes the node as indented XML with the dxl: namespace prefix.
+func (n *Node) Render() string {
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	b.WriteString(indent)
+	b.WriteString("<dxl:")
+	b.WriteString(n.Name)
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, " %s=\"%s\"", k, escapeAttr(n.Attrs[k]))
+	}
+	if len(n.Children) == 0 && n.Text == "" {
+		b.WriteString("/>\n")
+		return
+	}
+	b.WriteString(">")
+	if n.Text != "" {
+		if err := xml.EscapeText(b, []byte(n.Text)); err != nil {
+			b.WriteString(n.Text)
+		}
+	}
+	if len(n.Children) > 0 {
+		b.WriteString("\n")
+		for _, c := range n.Children {
+			c.render(b, depth+1)
+		}
+		b.WriteString(indent)
+	}
+	b.WriteString("</dxl:")
+	b.WriteString(n.Name)
+	b.WriteString(">\n")
+}
+
+// escapeAttr escapes an XML attribute value.
+func escapeAttr(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;",
+		"<", "&lt;",
+		">", "&gt;",
+		`"`, "&quot;",
+		"'", "&apos;",
+	)
+	return r.Replace(s)
+}
+
+// ParseXML reads a DXL document into a Node tree.
+func ParseXML(doc string) (*Node, error) {
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	var stack []*Node
+	var root *Node
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			if root != nil && len(stack) == 0 {
+				break
+			}
+			return nil, fmt.Errorf("dxl: %v", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Name: stripNS(t.Name.Local), Attrs: map[string]string{}}
+			for _, a := range t.Attr {
+				if a.Name.Local == "dxl" || a.Name.Space == "xmlns" {
+					continue
+				}
+				n.Attrs[a.Name.Local] = a.Value
+			}
+			if len(stack) > 0 {
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, n)
+			} else if root == nil {
+				root = n
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+		case xml.CharData:
+			if len(stack) > 0 {
+				stack[len(stack)-1].Text += strings.TrimSpace(string(t))
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("dxl: empty document")
+	}
+	return root, nil
+}
+
+func stripNS(name string) string {
+	if i := strings.Index(name, ":"); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}

@@ -1,0 +1,52 @@
+package dxl
+
+import (
+	"fmt"
+
+	"orca/internal/ops"
+)
+
+// SerializePlan renders a physical plan as a dxl:Plan message — the
+// optimizer's output format, shipped back to the host system where DXL2Plan
+// turns it into an executable plan (paper Figure 2). The encoding is
+// canonical (sorted attributes, stable parameter rendering) so two plans are
+// equal exactly when their serializations are equal, which is what the
+// AMPERe test framework compares.
+func SerializePlan(plan *ops.Expr) *Node {
+	msg := El("Plan")
+	msg.Add(serializePlanNode(plan))
+	return El("DXLMessage").Add(msg)
+}
+
+func serializePlanNode(e *ops.Expr) *Node {
+	n := El("PhysicalOp").Set("Name", e.Op.Name())
+	n.Set("Params", paramString(e.Op))
+	if e.Phys != nil {
+		n.Set("Dist", e.Phys.Dist.String())
+		if !e.Phys.Order.IsAny() {
+			n.Set("Order", e.Phys.Order.String())
+		}
+		n.Setf("Rows", "%.0f", e.Rows)
+		n.Setf("Cost", "%.0f", e.Cost)
+	}
+	for _, c := range e.Children {
+		n.Add(serializePlanNode(c))
+	}
+	switch op := e.Op.(type) {
+	case *ops.SubPlanFilter:
+		n.Add(El("SubPlan").Add(serializePlanNode(op.Plan)))
+	case *ops.SubPlanProject:
+		n.Add(El("SubPlan").Add(serializePlanNode(op.Plan)))
+	}
+	return n
+}
+
+// paramString renders operator parameters canonically.
+func paramString(op ops.Operator) string {
+	return fmt.Sprintf("%x:%s", op.ParamHash(), ops.Describe(op))
+}
+
+// PlanFingerprint returns a canonical string for plan-equality comparison.
+func PlanFingerprint(plan *ops.Expr) string {
+	return SerializePlan(plan).Render()
+}

@@ -1,0 +1,271 @@
+package dxl
+
+import (
+	"fmt"
+	"strconv"
+
+	"orca/internal/base"
+	"orca/internal/md"
+	"orca/internal/ops"
+)
+
+// paramElements are element names that carry operator parameters rather than
+// relational children.
+var paramElements = map[string]bool{
+	"TableDescriptor": true, "Predicate": true, "ProjElem": true,
+	"AggElem": true, "SortingColumnList": true, "OutputColumns": true,
+	"InputColumns": true, "ProducerColumns": true, "WindowFunc": true,
+	"Columns": true,
+}
+
+// treeChildren returns the relational children (non-parameter elements).
+func treeChildren(n *Node) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if !paramElements[c.Name] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// parseTree interprets a logical operator element into an expression tree.
+func (qp *queryParser) parseTree(n *Node) (*ops.Expr, error) {
+	childNodes := treeChildren(n)
+	children := make([]*ops.Expr, len(childNodes))
+	for i, c := range childNodes {
+		t, err := qp.parseTree(c)
+		if err != nil {
+			return nil, err
+		}
+		children[i] = t
+	}
+
+	switch n.Name {
+	case "LogicalGet":
+		td := n.Child("TableDescriptor")
+		if td == nil {
+			return nil, fmt.Errorf("dxl: LogicalGet missing TableDescriptor")
+		}
+		id, err := md.ParseMDId(td.Attr("Mdid"))
+		if err != nil {
+			return nil, err
+		}
+		rel, err := qp.acc.Relation(id)
+		if err != nil {
+			return nil, err
+		}
+		colsNode := td.Child("Columns")
+		if colsNode == nil {
+			return nil, fmt.Errorf("dxl: TableDescriptor missing Columns")
+		}
+		cols, err := qp.parseColRefs(colsNode)
+		if err != nil {
+			return nil, err
+		}
+		return ops.NewExpr(&ops.Get{Alias: n.Attr("Alias"), Rel: rel, Cols: cols}), nil
+
+	case "LogicalSelect":
+		pred, err := qp.parsePredicate(n)
+		if err != nil {
+			return nil, err
+		}
+		return ops.NewExpr(&ops.Select{Pred: pred}, children...), nil
+
+	case "LogicalProject":
+		var elems []ops.ProjElem
+		for _, pe := range n.ChildrenNamed("ProjElem") {
+			ref, err := qp.registerRef(pe)
+			if err != nil {
+				return nil, err
+			}
+			if len(pe.Children) == 0 {
+				return nil, fmt.Errorf("dxl: ProjElem without expression")
+			}
+			ex, err := qp.parseScalar(pe.Children[0])
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, ops.ProjElem{Col: ref, Expr: ex})
+		}
+		return ops.NewExpr(&ops.Project{Elems: elems}, children...), nil
+
+	case "LogicalJoin":
+		pred, err := qp.parsePredicate(n)
+		if err != nil {
+			return nil, err
+		}
+		var jt ops.JoinType
+		switch n.Attr("JoinType") {
+		case "Inner":
+			jt = ops.InnerJoin
+		case "Left":
+			jt = ops.LeftJoin
+		case "Semi":
+			jt = ops.SemiJoin
+		case "Anti":
+			jt = ops.AntiJoin
+		default:
+			return nil, fmt.Errorf("dxl: unknown join type %q", n.Attr("JoinType"))
+		}
+		return ops.NewExpr(&ops.Join{Type: jt, Pred: pred}, children...), nil
+
+	case "LogicalNAryJoin":
+		var preds []ops.ScalarExpr
+		for _, pn := range n.ChildrenNamed("Predicate") {
+			p, err := qp.parseScalar(pn.Children[0])
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, p)
+		}
+		return ops.NewExpr(&ops.NAryJoin{Preds: preds}, children...), nil
+
+	case "LogicalGbAgg":
+		group, err := parseColIDList(n.Attr("GroupCols"))
+		if err != nil {
+			return nil, err
+		}
+		var aggs []ops.AggElem
+		for _, an := range n.ChildrenNamed("AggElem") {
+			ref, err := qp.registerRef(an)
+			if err != nil {
+				return nil, err
+			}
+			agg := &ops.AggFunc{Name: an.Attr("AggName"), Distinct: an.Attr("Distinct") == "true"}
+			if len(an.Children) > 0 {
+				arg, err := qp.parseScalar(an.Children[0])
+				if err != nil {
+					return nil, err
+				}
+				agg.Arg = arg
+			}
+			aggs = append(aggs, ops.AggElem{Col: ref, Agg: agg})
+		}
+		return ops.NewExpr(&ops.GbAgg{GroupCols: group, Aggs: aggs}, children...), nil
+
+	case "LogicalLimit":
+		count, _ := strconv.ParseInt(n.Attr("Count"), 10, 64)
+		offset, _ := strconv.ParseInt(n.Attr("Offset"), 10, 64)
+		var l = &ops.Limit{Count: count, Offset: offset, HasCount: n.Attr("HasCount") == "true"}
+		if sn := n.Child("SortingColumnList"); sn != nil {
+			ord, err := parseOrderNode(sn)
+			if err != nil {
+				return nil, err
+			}
+			l.Order = ord
+		}
+		return ops.NewExpr(l, children...), nil
+
+	case "LogicalUnionAll":
+		u := &ops.UnionAll{}
+		if oc := n.Child("OutputColumns"); oc != nil {
+			refs, err := qp.parseColRefs(oc)
+			if err != nil {
+				return nil, err
+			}
+			u.OutCols = refs
+		}
+		for _, in := range n.ChildrenNamed("InputColumns") {
+			cols, err := parseColIDList(in.Attr("Cols"))
+			if err != nil {
+				return nil, err
+			}
+			u.InCols = append(u.InCols, cols)
+		}
+		return ops.NewExpr(u, children...), nil
+
+	case "LogicalCTEAnchor":
+		id, _ := strconv.Atoi(n.Attr("CTEId"))
+		a := &ops.CTEAnchor{ID: id}
+		if pc := n.Child("ProducerColumns"); pc != nil {
+			refs, err := qp.parseColRefs(pc)
+			if err != nil {
+				return nil, err
+			}
+			a.Cols = refs
+		}
+		return ops.NewExpr(a, children...), nil
+
+	case "LogicalCTEConsumer":
+		id, _ := strconv.Atoi(n.Attr("CTEId"))
+		c := &ops.CTEConsumer{ID: id}
+		prod, err := parseColIDList(n.Attr("ProducerCols"))
+		if err != nil {
+			return nil, err
+		}
+		c.ProducerCols = prod
+		if oc := n.Child("OutputColumns"); oc != nil {
+			refs, err := qp.parseColRefs(oc)
+			if err != nil {
+				return nil, err
+			}
+			c.Cols = refs
+		}
+		return ops.NewExpr(c), nil
+
+	case "LogicalWindow":
+		part, err := parseColIDList(n.Attr("PartitionCols"))
+		if err != nil {
+			return nil, err
+		}
+		w := &ops.Window{PartitionCols: part}
+		if sn := n.Child("SortingColumnList"); sn != nil {
+			ord, err := parseOrderNode(sn)
+			if err != nil {
+				return nil, err
+			}
+			w.Order = ord
+		}
+		for _, wn := range n.ChildrenNamed("WindowFunc") {
+			id, _ := strconv.Atoi(wn.Attr("ColId"))
+			ref := &md.ColRef{
+				ID:       base.ColID(id),
+				Name:     wn.Attr("ColName"),
+				Type:     parseTypeID(wn.Attr("Type")),
+				Ordinal:  -1,
+				Computed: true,
+			}
+			qp.f.Register(ref)
+			fn := &ops.WinFunc{Name: wn.Attr("Name")}
+			if len(wn.Children) > 0 {
+				arg, err := qp.parseScalar(wn.Children[0])
+				if err != nil {
+					return nil, err
+				}
+				fn.Arg = arg
+			}
+			w.Wins = append(w.Wins, ops.WinElem{Col: ref, Fn: fn})
+		}
+		return ops.NewExpr(w, children...), nil
+
+	default:
+		return nil, fmt.Errorf("dxl: unknown logical element %q", n.Name)
+	}
+}
+
+func (qp *queryParser) parsePredicate(n *Node) (ops.ScalarExpr, error) {
+	pn := n.Child("Predicate")
+	if pn == nil || len(pn.Children) == 0 {
+		return nil, nil
+	}
+	return qp.parseScalar(pn.Children[0])
+}
+
+// registerRef reads a (ColId, Name, Type) attribute triple and registers the
+// computed column reference.
+func (qp *queryParser) registerRef(n *Node) (*md.ColRef, error) {
+	v, err := strconv.Atoi(n.Attr("ColId"))
+	if err != nil {
+		return nil, fmt.Errorf("dxl: bad ColId on %s: %v", n.Name, err)
+	}
+	ref := &md.ColRef{
+		ID:       base.ColID(v),
+		Name:     n.Attr("Name"),
+		Type:     parseTypeID(n.Attr("Type")),
+		Ordinal:  -1,
+		Computed: true,
+	}
+	qp.f.Register(ref)
+	return ref, nil
+}

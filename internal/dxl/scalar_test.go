@@ -1,0 +1,117 @@
+package dxl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"orca/internal/base"
+	"orca/internal/md"
+	"orca/internal/ops"
+)
+
+// randScalar builds random scalar trees covering every serializable node.
+func randScalar(r *rand.Rand, depth int) ops.ScalarExpr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return ops.NewIdent(base.ColID(r.Intn(8)), base.TInt)
+		case 1:
+			return ops.NewConst(base.NewInt(int64(r.Intn(100) - 50)))
+		case 2:
+			return ops.NewConst(base.NewString("s<&>'\"x")) // XML-hostile
+		default:
+			return ops.NewConst(base.Null)
+		}
+	}
+	switch r.Intn(7) {
+	case 0:
+		return ops.NewCmp(ops.CmpOp(r.Intn(6)), randScalar(r, depth-1), randScalar(r, depth-1))
+	case 1:
+		return ops.And(randScalar(r, depth-1), randScalar(r, depth-1))
+	case 2:
+		return ops.Not(randScalar(r, depth-1))
+	case 3:
+		return &ops.BinOp{Op: []string{"+", "-", "*", "/", "%"}[r.Intn(5)],
+			L: randScalar(r, depth-1), R: randScalar(r, depth-1)}
+	case 4:
+		return &ops.Func{Name: "coalesce", Args: []ops.ScalarExpr{randScalar(r, depth-1), randScalar(r, depth-1)}}
+	case 5:
+		return &ops.Case{
+			Whens: []ops.CaseWhen{{When: randScalar(r, depth-1), Then: randScalar(r, depth-1)}},
+			Else:  randScalar(r, depth-1),
+		}
+	default:
+		return &ops.InList{Arg: randScalar(r, depth-1),
+			Vals:    []ops.ScalarExpr{ops.NewConst(base.NewInt(1)), ops.NewConst(base.NewFloat(2.5))},
+			Negated: r.Intn(2) == 0}
+	}
+}
+
+// TestScalarRoundTripProperty: serialize → render → parse → structurally
+// equal, for arbitrary scalar trees including XML-hostile string literals.
+func TestScalarRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randScalar(r, 4)
+		doc := El("Wrapper").Add(SerializeScalar(e)).Render()
+		root, err := ParseXML(doc)
+		if err != nil {
+			t.Logf("parse error for %s: %v", e, err)
+			return false
+		}
+		qp := &queryParser{f: md.NewColumnFactory()}
+		back, err := qp.parseScalar(root.Children[0])
+		if err != nil {
+			t.Logf("interpret error for %s: %v", e, err)
+			return false
+		}
+		return back.Equal(e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatumEncodingRoundTrip(t *testing.T) {
+	for _, d := range []base.Datum{
+		base.Null,
+		base.NewInt(-42),
+		base.NewFloat(3.25),
+		base.NewString("with spaces & <symbols>"),
+		base.NewString(""),
+		base.NewBool(true),
+		base.NewBool(false),
+	} {
+		back, err := parseDatum(datumString(d))
+		if err != nil {
+			t.Errorf("%s: %v", d, err)
+			continue
+		}
+		if back.Kind != d.Kind || back.Compare(d) != 0 {
+			t.Errorf("round trip %s -> %s", d, back)
+		}
+	}
+	for _, bad := range []string{"", "noprefix", "int:abc", "float:x", "weird:1"} {
+		if _, err := parseDatum(bad); err == nil {
+			t.Errorf("parseDatum(%q) accepted", bad)
+		}
+	}
+}
+
+func TestXMLEscaping(t *testing.T) {
+	n := El("X").Set("attr", `a<b&"c"'d'>`)
+	n.Text = "body <& text"
+	doc := El("Root").Add(n).Render()
+	back, err := ParseXML(doc)
+	if err != nil {
+		t.Fatalf("escaped document does not re-parse: %v\n%s", err, doc)
+	}
+	got := back.Child("X")
+	if got.Attr("attr") != `a<b&"c"'d'>` {
+		t.Errorf("attribute mangled: %q", got.Attr("attr"))
+	}
+	if got.Text != "body <& text" {
+		t.Errorf("text mangled: %q", got.Text)
+	}
+}

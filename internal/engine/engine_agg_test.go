@@ -1,0 +1,327 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"orca/internal/base"
+	"orca/internal/md"
+	"orca/internal/ops"
+	"orca/internal/props"
+)
+
+func aggElem(fx *fixture, name string, arg ops.ScalarExpr) ops.AggElem {
+	return ops.AggElem{
+		Col: fx.f.NewComputedColumn(name, base.TInt),
+		Agg: &ops.AggFunc{Name: name, Arg: arg},
+	}
+}
+
+func TestHashAggGrouped(t *testing.T) {
+	fx := newFixture(t)
+	scan, cols := fx.scan("t", nil)
+	v := ops.NewIdent(cols[2].ID, base.TInt)
+	agg := &ops.HashAgg{Mode: ops.AggSingle,
+		GroupCols: []base.ColID{cols[1].ID},
+		Aggs: []ops.AggElem{
+			aggElem(fx, "count", v),
+			aggElem(fx, "sum", v),
+			aggElem(fx, "min", v),
+			aggElem(fx, "max", v),
+		}}
+	// Group correctness needs co-location on the grouping column.
+	red := ops.NewExpr(&ops.Redistribute{Cols: []base.ColID{cols[1].ID}}, scan)
+	res := run(t, fx, ops.NewExpr(&ops.Gather{}, ops.NewExpr(agg, red)))
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d, want 2", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		g := r[0].I
+		switch g {
+		case 0: // v: 10,30,50,70
+			if r[1].I != 4 || r[2].I != 160 || r[3].I != 10 || r[4].I != 70 {
+				t.Errorf("group 0 aggs = %v", r)
+			}
+		case 1: // v: 20,40,60,NULL → count ignores NULL
+			if r[1].I != 3 || r[2].I != 120 || r[3].I != 20 || r[4].I != 60 {
+				t.Errorf("group 1 aggs = %v", r)
+			}
+		default:
+			t.Errorf("unexpected group %d", g)
+		}
+	}
+}
+
+func TestTwoStageAggMatchesSingleStage(t *testing.T) {
+	fx := newFixture(t)
+	// Single stage on gathered input.
+	scan1, cols1 := fx.scan("t", nil)
+	single := &ops.HashAgg{Mode: ops.AggSingle,
+		GroupCols: []base.ColID{cols1[1].ID},
+		Aggs:      []ops.AggElem{aggElem(fx, "count", ops.NewIdent(cols1[2].ID, base.TInt))}}
+	resSingle := run(t, fx, ops.NewExpr(single, ops.NewExpr(&ops.Gather{}, scan1)))
+
+	// Two stages: local partials, redistribute, global combine (count→sum).
+	scan2, cols2 := fx.scan("t", nil)
+	partial := fx.f.NewComputedColumn("partial", base.TInt)
+	local := &ops.HashAgg{Mode: ops.AggLocal,
+		GroupCols: []base.ColID{cols2[1].ID},
+		Aggs: []ops.AggElem{{Col: partial,
+			Agg: &ops.AggFunc{Name: "count", Arg: ops.NewIdent(cols2[2].ID, base.TInt)}}}}
+	outCol := fx.f.NewComputedColumn("count", base.TInt)
+	global := &ops.HashAgg{Mode: ops.AggGlobal,
+		GroupCols: []base.ColID{cols2[1].ID},
+		Aggs: []ops.AggElem{{Col: outCol,
+			Agg: &ops.AggFunc{Name: "sum", Arg: ops.NewIdent(partial.ID, base.TInt)}}}}
+	plan := ops.NewExpr(&ops.Gather{},
+		ops.NewExpr(global,
+			ops.NewExpr(&ops.Redistribute{Cols: []base.ColID{cols2[1].ID}},
+				ops.NewExpr(local, scan2))))
+	resTwo := run(t, fx, plan)
+
+	a, b := rowsAsStrings(resSingle), rowsAsStrings(resTwo)
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestScalarAggEmptyInput(t *testing.T) {
+	fx := newFixture(t)
+	rel := fx.rels["t"]
+	cols := []*md.ColRef{
+		fx.f.NewTableColumn("k", base.TInt, rel.Mdid, 0),
+		fx.f.NewTableColumn("g", base.TInt, rel.Mdid, 1),
+		fx.f.NewTableColumn("v", base.TInt, rel.Mdid, 2),
+	}
+	// Filter that matches nothing.
+	scan := ops.NewExpr(&ops.Scan{Rel: rel, Cols: cols, Filter: ops.NewCmp(ops.CmpGt,
+		ops.NewIdent(cols[0].ID, base.TInt), ops.NewConst(base.NewInt(1000)))})
+	star := ops.AggElem{Col: fx.f.NewComputedColumn("count", base.TInt), Agg: &ops.AggFunc{Name: "count"}}
+	sum := aggElem(fx, "sum", ops.NewIdent(cols[2].ID, base.TInt))
+	agg := &ops.ScalarAgg{Mode: ops.AggSingle, Aggs: []ops.AggElem{star, sum}}
+	res := run(t, fx, ops.NewExpr(agg, ops.NewExpr(&ops.Gather{}, scan)))
+	if len(res.Rows) != 1 {
+		t.Fatalf("scalar agg over empty input returned %d rows, want 1", len(res.Rows))
+	}
+	if res.Rows[0][0].I != 0 {
+		t.Errorf("count(*) over empty = %s, want 0", res.Rows[0][0])
+	}
+	if !res.Rows[0][1].IsNull() {
+		t.Errorf("sum over empty = %s, want NULL", res.Rows[0][1])
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	fx := newFixture(t)
+	scan, cols := fx.scan("t", nil)
+	distinct := ops.AggElem{
+		Col: fx.f.NewComputedColumn("dc", base.TInt),
+		Agg: &ops.AggFunc{Name: "count", Arg: ops.NewIdent(cols[1].ID, base.TInt), Distinct: true},
+	}
+	agg := &ops.ScalarAgg{Mode: ops.AggSingle, Aggs: []ops.AggElem{distinct}}
+	res := run(t, fx, ops.NewExpr(agg, ops.NewExpr(&ops.Gather{}, scan)))
+	if res.Rows[0][0].I != 2 {
+		t.Errorf("count(distinct g) = %s, want 2", res.Rows[0][0])
+	}
+}
+
+func TestSortLimitOffset(t *testing.T) {
+	fx := newFixture(t)
+	scan, cols := fx.scan("t", nil)
+	order := props.OrderSpec{Items: []props.OrderItem{{Col: cols[2].ID, Desc: true}}}
+	lim := &ops.PhysicalLimit{Order: order, Count: 3, Offset: 1, HasCount: true}
+	res := run(t, fx, ops.NewExpr(lim, ops.NewExpr(&ops.Gather{}, scan)))
+	if len(res.Rows) != 3 {
+		t.Fatalf("limit rows = %d, want 3", len(res.Rows))
+	}
+	// v desc: 70,60,50,... offset 1 → 60,50,40.
+	want := []int64{60, 50, 40}
+	for i, r := range res.Rows {
+		if r[2].I != want[i] {
+			t.Errorf("row %d v = %s, want %d", i, r[2], want[i])
+		}
+	}
+}
+
+func TestSortNullsFirst(t *testing.T) {
+	fx := newFixture(t)
+	scan, cols := fx.scan("t", nil)
+	order := props.MakeOrder(cols[2].ID)
+	sorted := ops.NewExpr(&ops.Sort{Order: order}, ops.NewExpr(&ops.Gather{}, scan))
+	res := run(t, fx, sorted)
+	if !res.Rows[0][2].IsNull() {
+		t.Errorf("NULL must sort first, got %s", res.Rows[0][2])
+	}
+}
+
+func TestGatherMergePreservesOrder(t *testing.T) {
+	fx := newFixture(t)
+	scan, cols := fx.scan("t", nil)
+	order := props.MakeOrder(cols[0].ID)
+	plan := ops.NewExpr(&ops.GatherMerge{Order: order}, ops.NewExpr(&ops.Sort{Order: order}, scan))
+	res := run(t, fx, plan)
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i-1][0].Compare(res.Rows[i][0]) > 0 {
+			t.Fatalf("gather-merge output out of order at %d", i)
+		}
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	fx := newFixture(t)
+	s1, c1 := fx.scan("t", nil)
+	s2, c2 := fx.scan("t", nil)
+	out := fx.f.NewComputedColumn("u", base.TInt)
+	u := &ops.PhysicalUnionAll{
+		InCols:  [][]base.ColID{{c1[0].ID}, {c2[0].ID}},
+		OutCols: []*md.ColRef{out},
+	}
+	res := run(t, fx, ops.NewExpr(&ops.Gather{}, ops.NewExpr(u, s1, s2)))
+	if len(res.Rows) != 16 {
+		t.Errorf("union rows = %d, want 16", len(res.Rows))
+	}
+}
+
+func TestWindowFunctions(t *testing.T) {
+	fx := newFixture(t)
+	scan, cols := fx.scan("t", nil)
+	rk := fx.f.NewComputedColumn("rank", base.TInt)
+	rn := fx.f.NewComputedColumn("row_number", base.TInt)
+	sm := fx.f.NewComputedColumn("sum", base.TInt)
+	w := &ops.PhysicalWindow{
+		PartitionCols: []base.ColID{cols[1].ID},
+		Order:         props.OrderSpec{Items: []props.OrderItem{{Col: cols[2].ID, Desc: true}}},
+		Wins: []ops.WinElem{
+			{Col: rk, Fn: &ops.WinFunc{Name: "rank"}},
+			{Col: rn, Fn: &ops.WinFunc{Name: "row_number"}},
+			{Col: sm, Fn: &ops.WinFunc{Name: "sum", Arg: ops.NewIdent(cols[2].ID, base.TInt)}},
+		},
+	}
+	plan := ops.NewExpr(&ops.Gather{}, ops.NewExpr(w, ops.NewExpr(&ops.Gather{}, scan)))
+	res := run(t, fx, plan)
+	if len(res.Rows) != 8 {
+		t.Fatalf("window rows = %d", len(res.Rows))
+	}
+	// Partition sums: g=0 → 160, g=1 → 120 on every row of the partition.
+	for _, r := range res.Rows {
+		wantSum := int64(160)
+		if r[1].I == 1 {
+			wantSum = 120
+		}
+		if r[5].I != wantSum {
+			t.Errorf("window sum for g=%d is %s, want %d", r[1].I, r[5], wantSum)
+		}
+		if r[3].I < 1 || r[3].I > 4 || r[4].I < 1 || r[4].I > 4 {
+			t.Errorf("rank/row_number out of range: %v", r)
+		}
+	}
+}
+
+func TestCTEProducerConsumerSharing(t *testing.T) {
+	fx := newFixture(t)
+	scan, cols := fx.scan("t", nil)
+	prod := &ops.PhysicalCTEProducer{ID: 1, Cols: []base.ColID{cols[0].ID, cols[2].ID}}
+	c1 := fx.f.NewComputedColumn("k1", base.TInt)
+	c2 := fx.f.NewComputedColumn("k2", base.TInt)
+	cons1 := &ops.PhysicalCTEConsumer{ID: 1, Cols: []*md.ColRef{c1}, ProducerCols: []base.ColID{cols[0].ID}}
+	cons2 := &ops.PhysicalCTEConsumer{ID: 1, Cols: []*md.ColRef{c2}, ProducerCols: []base.ColID{cols[0].ID}}
+	join := &ops.HashJoin{Type: ops.InnerJoin,
+		LeftKeys: []base.ColID{c1.ID}, RightKeys: []base.ColID{c2.ID}}
+	body := ops.NewExpr(&ops.Gather{}, ops.NewExpr(join,
+		ops.NewExpr(&ops.Redistribute{Cols: []base.ColID{c1.ID}}, ops.NewExpr(cons1)),
+		ops.NewExpr(&ops.Redistribute{Cols: []base.ColID{c2.ID}}, ops.NewExpr(cons2))))
+	seq := ops.NewExpr(&ops.Sequence{}, ops.NewExpr(prod, scan), body)
+	res := run(t, fx, seq)
+	if len(res.Rows) != 8 {
+		t.Errorf("CTE self join rows = %d, want 8", len(res.Rows))
+	}
+}
+
+func TestBudgetTimeout(t *testing.T) {
+	fx := newFixture(t)
+	scan, _ := fx.scan("t", nil)
+	res, err := fx.c.Execute(ops.NewExpr(&ops.Gather{}, scan), Options{Budget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Error("tiny budget did not time out")
+	}
+}
+
+func TestMemLimitOOM(t *testing.T) {
+	fx := newFixture(t)
+	s1, c1 := fx.scan("t", nil)
+	s2, c2 := fx.scan("t", nil)
+	j := &ops.HashJoin{Type: ops.InnerJoin,
+		LeftKeys: []base.ColID{c1[0].ID}, RightKeys: []base.ColID{c2[0].ID}}
+	plan := ops.NewExpr(&ops.Gather{}, ops.NewExpr(j,
+		ops.NewExpr(&ops.Redistribute{Cols: []base.ColID{c1[0].ID}}, s1),
+		ops.NewExpr(&ops.Broadcast{}, s2)))
+	// The broadcast build side holds all 8 rows per segment: cap below it.
+	if _, err := fx.c.Execute(plan, Options{MemLimitRows: 4}); err != ErrOOM {
+		t.Errorf("want ErrOOM, got %v", err)
+	}
+	if _, err := fx.c.Execute(plan, Options{MemLimitRows: 100}); err != nil {
+		t.Errorf("generous limit failed: %v", err)
+	}
+}
+
+func TestSubPlanFilterExists(t *testing.T) {
+	fx := newFixture(t)
+	outer, oCols := fx.scan("t", nil)
+	// Correlated inner: dim.id = t.g (t.g bound per outer row).
+	rel := fx.rels["dim"]
+	dCols := []*md.ColRef{
+		fx.f.NewTableColumn("id", base.TInt, rel.Mdid, 0),
+		fx.f.NewTableColumn("name", base.TString, rel.Mdid, 1),
+	}
+	inner := ops.NewExpr(&ops.Scan{Rel: rel, Cols: dCols,
+		Filter: ops.Eq(ops.NewIdent(dCols[0].ID, base.TInt), ops.NewIdent(oCols[1].ID, base.TInt))})
+	sub := &ops.SubPlanFilter{Kind: ops.SubExists, Plan: inner, SubCol: dCols[0].ID}
+	res := run(t, fx, ops.NewExpr(sub, ops.NewExpr(&ops.Gather{}, outer)))
+	if len(res.Rows) != 8 {
+		t.Errorf("EXISTS rows = %d, want 8 (g always in dim)", len(res.Rows))
+	}
+	sub2 := &ops.SubPlanFilter{Kind: ops.SubNotExists, Plan: inner, SubCol: dCols[0].ID}
+	res2 := run(t, fx, ops.NewExpr(sub2, ops.NewExpr(&ops.Gather{}, outer)))
+	if len(res2.Rows) != 0 {
+		t.Errorf("NOT EXISTS rows = %d, want 0", len(res2.Rows))
+	}
+}
+
+func TestLikeMatcherAgainstReference(t *testing.T) {
+	// Property: the fast-path LIKE matcher agrees with the recursive
+	// reference for random strings and patterns over a tiny alphabet.
+	ref := func(s, p string) bool { return likeRec(s, p) }
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		alphabet := []byte("ab%_")
+		gen := func(n int) string {
+			b := make([]byte, r.Intn(n))
+			for i := range b {
+				b[i] = alphabet[r.Intn(len(alphabet))]
+			}
+			return string(b)
+		}
+		sAlpha := []byte("ab")
+		sGen := func(n int) string {
+			b := make([]byte, r.Intn(n))
+			for i := range b {
+				b[i] = sAlpha[r.Intn(2)]
+			}
+			return string(b)
+		}
+		s, p := sGen(8), gen(6)
+		return likeMatch(s, p) == ref(s, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,338 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"orca/internal/base"
+	"orca/internal/ops"
+)
+
+// schema maps column ids to row positions.
+type schema map[base.ColID]int
+
+func schemaOf(cols []base.ColID) schema {
+	s := make(schema, len(cols))
+	for i, c := range cols {
+		s[c] = i
+	}
+	return s
+}
+
+// evalCtx evaluates scalar expressions over a row. bindings supplies values
+// for correlation parameters (columns not in the local schema) during
+// SubPlan re-execution.
+type evalCtx struct {
+	sch      schema
+	bindings map[base.ColID]base.Datum
+}
+
+func (e *evalCtx) col(id base.ColID, row Row) (base.Datum, error) {
+	if i, ok := e.sch[id]; ok {
+		return row[i], nil
+	}
+	if e.bindings != nil {
+		if v, ok := e.bindings[id]; ok {
+			return v, nil
+		}
+	}
+	return base.Null, fmt.Errorf("engine: unbound column c%d", id)
+}
+
+// eval computes a scalar expression over the row.
+func (e *evalCtx) eval(x ops.ScalarExpr, row Row) (base.Datum, error) {
+	switch v := x.(type) {
+	case *ops.Ident:
+		return e.col(v.Col, row)
+	case *ops.Const:
+		return v.Val, nil
+	case *ops.Cmp:
+		l, err := e.eval(v.L, row)
+		if err != nil {
+			return base.Null, err
+		}
+		r, err := e.eval(v.R, row)
+		if err != nil {
+			return base.Null, err
+		}
+		if l.IsNull() || r.IsNull() {
+			return base.Null, nil
+		}
+		c := l.Compare(r)
+		var ok bool
+		switch v.Op {
+		case ops.CmpEq:
+			ok = c == 0
+		case ops.CmpNe:
+			ok = c != 0
+		case ops.CmpLt:
+			ok = c < 0
+		case ops.CmpLe:
+			ok = c <= 0
+		case ops.CmpGt:
+			ok = c > 0
+		case ops.CmpGe:
+			ok = c >= 0
+		}
+		return base.NewBool(ok), nil
+	case *ops.BoolOp:
+		return e.evalBool(v, row)
+	case *ops.BinOp:
+		return e.evalBin(v, row)
+	case *ops.Func:
+		return e.evalFunc(v, row)
+	case *ops.Case:
+		for _, w := range v.Whens {
+			cond, err := e.eval(w.When, row)
+			if err != nil {
+				return base.Null, err
+			}
+			if cond.Bool() {
+				return e.eval(w.Then, row)
+			}
+		}
+		if v.Else != nil {
+			return e.eval(v.Else, row)
+		}
+		return base.Null, nil
+	case *ops.IsNull:
+		val, err := e.eval(v.Arg, row)
+		if err != nil {
+			return base.Null, err
+		}
+		return base.NewBool(val.IsNull() != v.Negated), nil
+	case *ops.InList:
+		val, err := e.eval(v.Arg, row)
+		if err != nil {
+			return base.Null, err
+		}
+		if val.IsNull() {
+			return base.Null, nil
+		}
+		found := false
+		for _, item := range v.Vals {
+			iv, err := e.eval(item, row)
+			if err != nil {
+				return base.Null, err
+			}
+			if !iv.IsNull() && val.Compare(iv) == 0 {
+				found = true
+				break
+			}
+		}
+		return base.NewBool(found != v.Negated), nil
+	default:
+		return base.Null, fmt.Errorf("engine: cannot evaluate %T at runtime", x)
+	}
+}
+
+// truthy evaluates a predicate; SQL three-valued NULL collapses to false.
+func (e *evalCtx) truthy(x ops.ScalarExpr, row Row) (bool, error) {
+	if x == nil {
+		return true, nil
+	}
+	v, err := e.eval(x, row)
+	if err != nil {
+		return false, err
+	}
+	return v.Bool(), nil
+}
+
+func (e *evalCtx) evalBool(v *ops.BoolOp, row Row) (base.Datum, error) {
+	switch v.Kind {
+	case ops.BoolNot:
+		a, err := e.eval(v.Args[0], row)
+		if err != nil {
+			return base.Null, err
+		}
+		if a.IsNull() {
+			return base.Null, nil
+		}
+		return base.NewBool(!a.Bool()), nil
+	case ops.BoolAnd:
+		anyNull := false
+		for _, a := range v.Args {
+			av, err := e.eval(a, row)
+			if err != nil {
+				return base.Null, err
+			}
+			if av.IsNull() {
+				anyNull = true
+				continue
+			}
+			if !av.Bool() {
+				return base.NewBool(false), nil
+			}
+		}
+		if anyNull {
+			return base.Null, nil
+		}
+		return base.NewBool(true), nil
+	default: // OR
+		anyNull := false
+		for _, a := range v.Args {
+			av, err := e.eval(a, row)
+			if err != nil {
+				return base.Null, err
+			}
+			if av.IsNull() {
+				anyNull = true
+				continue
+			}
+			if av.Bool() {
+				return base.NewBool(true), nil
+			}
+		}
+		if anyNull {
+			return base.Null, nil
+		}
+		return base.NewBool(false), nil
+	}
+}
+
+func (e *evalCtx) evalBin(v *ops.BinOp, row Row) (base.Datum, error) {
+	l, err := e.eval(v.L, row)
+	if err != nil {
+		return base.Null, err
+	}
+	r, err := e.eval(v.R, row)
+	if err != nil {
+		return base.Null, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return base.Null, nil
+	}
+	// Integer arithmetic stays integral except division.
+	if l.Kind == base.DInt && r.Kind == base.DInt && v.Op != "/" {
+		switch v.Op {
+		case "+":
+			return base.NewInt(l.I + r.I), nil
+		case "-":
+			return base.NewInt(l.I - r.I), nil
+		case "*":
+			return base.NewInt(l.I * r.I), nil
+		case "%":
+			if r.I == 0 {
+				return base.Null, nil
+			}
+			return base.NewInt(l.I % r.I), nil
+		}
+	}
+	lf, rf := l.AsFloat(), r.AsFloat()
+	switch v.Op {
+	case "+":
+		return base.NewFloat(lf + rf), nil
+	case "-":
+		return base.NewFloat(lf - rf), nil
+	case "*":
+		return base.NewFloat(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return base.Null, nil
+		}
+		return base.NewFloat(lf / rf), nil
+	case "%":
+		if rf == 0 {
+			return base.Null, nil
+		}
+		return base.NewFloat(float64(int64(lf) % int64(rf))), nil
+	default:
+		return base.Null, fmt.Errorf("engine: unknown operator %q", v.Op)
+	}
+}
+
+func (e *evalCtx) evalFunc(v *ops.Func, row Row) (base.Datum, error) {
+	args := make([]base.Datum, len(v.Args))
+	for i, a := range v.Args {
+		av, err := e.eval(a, row)
+		if err != nil {
+			return base.Null, err
+		}
+		args[i] = av
+	}
+	switch v.Name {
+	case "like":
+		if args[0].IsNull() || args[1].IsNull() {
+			return base.Null, nil
+		}
+		return base.NewBool(likeMatch(args[0].S, args[1].S)), nil
+	case "coalesce":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return base.Null, nil
+	case "abs":
+		if args[0].IsNull() {
+			return base.Null, nil
+		}
+		if args[0].Kind == base.DInt {
+			if args[0].I < 0 {
+				return base.NewInt(-args[0].I), nil
+			}
+			return args[0], nil
+		}
+		f := args[0].AsFloat()
+		if f < 0 {
+			f = -f
+		}
+		return base.NewFloat(f), nil
+	case "substr":
+		if args[0].IsNull() {
+			return base.Null, nil
+		}
+		s := args[0].S
+		start := int(args[1].I) - 1
+		n := len(s)
+		if len(args) > 2 {
+			n = int(args[2].I)
+		}
+		if start < 0 {
+			start = 0
+		}
+		if start >= len(s) {
+			return base.NewString(""), nil
+		}
+		end := start + n
+		if end > len(s) {
+			end = len(s)
+		}
+		return base.NewString(s[start:end]), nil
+	default:
+		return base.Null, fmt.Errorf("engine: unknown function %q", v.Name)
+	}
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pattern string) bool {
+	// Fast paths for the common shapes.
+	switch {
+	case !strings.ContainsAny(pattern, "%_"):
+		return s == pattern
+	case strings.Count(pattern, "%") == 2 && strings.HasPrefix(pattern, "%") &&
+		strings.HasSuffix(pattern, "%") && !strings.Contains(pattern[1:len(pattern)-1], "%") &&
+		!strings.Contains(pattern, "_"):
+		return strings.Contains(s, pattern[1:len(pattern)-1])
+	}
+	return likeRec(s, pattern)
+}
+
+func likeRec(s, p string) bool {
+	if p == "" {
+		return s == ""
+	}
+	switch p[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if likeRec(s[i:], p[1:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		return s != "" && likeRec(s[1:], p[1:])
+	default:
+		return s != "" && s[0] == p[0] && likeRec(s[1:], p[1:])
+	}
+}

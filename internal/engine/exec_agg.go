@@ -1,0 +1,524 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"orca/internal/base"
+	"orca/internal/ops"
+)
+
+// aggState accumulates one aggregate function.
+type aggState struct {
+	fn      *ops.AggFunc
+	count   int64
+	sum     base.Datum
+	minmax  base.Datum
+	seen    map[string]bool // DISTINCT tracking
+	anyRows bool
+}
+
+func newAggState(fn *ops.AggFunc) *aggState {
+	s := &aggState{fn: fn, sum: base.Null, minmax: base.Null}
+	if fn.Distinct {
+		s.seen = make(map[string]bool)
+	}
+	return s
+}
+
+func (s *aggState) add(v base.Datum, isStar bool) {
+	s.anyRows = true
+	if isStar {
+		s.count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	if s.seen != nil {
+		k := v.String()
+		if s.seen[k] {
+			return
+		}
+		s.seen[k] = true
+	}
+	s.count++
+	switch s.fn.Name {
+	case "sum":
+		s.sum = addDatum(s.sum, v)
+	case "min":
+		if s.minmax.IsNull() || v.Compare(s.minmax) < 0 {
+			s.minmax = v
+		}
+	case "max":
+		if s.minmax.IsNull() || v.Compare(s.minmax) > 0 {
+			s.minmax = v
+		}
+	}
+}
+
+func addDatum(acc, v base.Datum) base.Datum {
+	if acc.IsNull() {
+		return v
+	}
+	if acc.Kind == base.DInt && v.Kind == base.DInt {
+		return base.NewInt(acc.I + v.I)
+	}
+	return base.NewFloat(acc.AsFloat() + v.AsFloat())
+}
+
+func (s *aggState) value() base.Datum {
+	switch s.fn.Name {
+	case "count":
+		return base.NewInt(s.count)
+	case "sum":
+		return s.sum
+	case "min", "max":
+		return s.minmax
+	default:
+		return base.Null
+	}
+}
+
+// execGroupAgg implements HashAgg and StreamAgg uniformly (the stream
+// variant's ordering requirement only affects planning and cost).
+func (ex *executor) execGroupAgg(groupCols []base.ColID, aggs []ops.AggElem, child *ops.Expr) (*result, error) {
+	in, err := ex.exec(child)
+	if err != nil {
+		return nil, err
+	}
+	sch := in.sch()
+	gPos, err := colPositions(sch, groupCols)
+	if err != nil {
+		return nil, err
+	}
+	outSchema := append([]base.ColID(nil), groupCols...)
+	for _, a := range aggs {
+		outSchema = append(outSchema, a.Col.ID)
+	}
+	out := &result{schema: outSchema, parts: make([][]Row, len(in.parts)), rep: in.rep}
+	ectx := &evalCtx{sch: sch, bindings: ex.bindings}
+
+	for s, rows := range in.oneCopy() {
+		if err := ex.charge(len(rows)); err != nil {
+			return nil, err
+		}
+		type group struct {
+			key    Row
+			states []*aggState
+		}
+		groups := make(map[string]*group)
+		var order []string
+		for _, r := range rows {
+			k := keyString(r, gPos)
+			g, ok := groups[k]
+			if !ok {
+				key := make(Row, len(gPos))
+				for i, p := range gPos {
+					key[i] = r[p]
+				}
+				g = &group{key: key, states: make([]*aggState, len(aggs))}
+				for i, a := range aggs {
+					g.states[i] = newAggState(a.Agg)
+				}
+				groups[k] = g
+				order = append(order, k)
+			}
+			for i, a := range aggs {
+				if a.Agg.Arg == nil {
+					g.states[i].add(base.Null, true)
+					continue
+				}
+				v, err := ectx.eval(a.Agg.Arg, r)
+				if err != nil {
+					return nil, err
+				}
+				g.states[i].add(v, false)
+			}
+		}
+		if ex.opts.MemLimitRows > 0 && len(groups) > ex.opts.MemLimitRows {
+			return nil, ErrOOM
+		}
+		for _, k := range order {
+			g := groups[k]
+			row := append(Row{}, g.key...)
+			for _, st := range g.states {
+				row = append(row, st.value())
+			}
+			out.parts[s] = append(out.parts[s], row)
+		}
+	}
+	fillReplicated(out)
+	return out, nil
+}
+
+// execScalarAgg aggregates without grouping, producing exactly one row per
+// logical copy (Local mode produces one row per segment, feeding a Global
+// combine above a motion).
+func (ex *executor) execScalarAgg(op *ops.ScalarAgg, child *ops.Expr) (*result, error) {
+	in, err := ex.exec(child)
+	if err != nil {
+		return nil, err
+	}
+	outSchema := make([]base.ColID, len(op.Aggs))
+	for i, a := range op.Aggs {
+		outSchema[i] = a.Col.ID
+	}
+	out := &result{schema: outSchema, parts: make([][]Row, len(in.parts))}
+	ectx := &evalCtx{sch: in.sch(), bindings: ex.bindings}
+
+	emit := func(s int, rows []Row) error {
+		if err := ex.charge(len(rows)); err != nil {
+			return err
+		}
+		states := make([]*aggState, len(op.Aggs))
+		for i, a := range op.Aggs {
+			states[i] = newAggState(a.Agg)
+		}
+		for _, r := range rows {
+			for i, a := range op.Aggs {
+				if a.Agg.Arg == nil {
+					states[i].add(base.Null, true)
+					continue
+				}
+				v, err := ectx.eval(a.Agg.Arg, r)
+				if err != nil {
+					return err
+				}
+				states[i].add(v, false)
+			}
+		}
+		row := make(Row, len(states))
+		for i, st := range states {
+			row[i] = st.value()
+		}
+		out.parts[s] = append(out.parts[s], row)
+		return nil
+	}
+
+	if op.Mode == ops.AggLocal {
+		// One partial row per segment, where segment data exists.
+		for s, rows := range in.oneCopy() {
+			if len(rows) == 0 {
+				continue
+			}
+			if err := emit(s, rows); err != nil {
+				return nil, err
+			}
+		}
+		// Guarantee at least one partial so the global stage still emits a
+		// row for empty inputs (count() = 0).
+		empty := true
+		for _, p := range out.parts {
+			if len(p) > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			if err := emit(0, nil); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	// Single / Global: one row over the whole (gathered) input.
+	var all []Row
+	for _, rows := range in.oneCopy() {
+		all = append(all, rows...)
+	}
+	if err := emit(0, all); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Window functions
+
+func (ex *executor) execWindow(op *ops.PhysicalWindow, child *ops.Expr) (*result, error) {
+	in, err := ex.exec(child)
+	if err != nil {
+		return nil, err
+	}
+	sch := in.sch()
+	pPos, err := colPositions(sch, op.PartitionCols)
+	if err != nil {
+		return nil, err
+	}
+	outSchema := append([]base.ColID(nil), in.schema...)
+	for _, w := range op.Wins {
+		outSchema = append(outSchema, w.Col.ID)
+	}
+	out := &result{schema: outSchema, parts: make([][]Row, len(in.parts)), rep: in.rep}
+	ectx := &evalCtx{sch: sch, bindings: ex.bindings}
+
+	for s, rows := range in.oneCopy() {
+		if err := ex.charge(len(rows) * maxi(len(op.Wins), 1)); err != nil {
+			return nil, err
+		}
+		// Partition.
+		parts := make(map[string][]Row)
+		var order []string
+		for _, r := range rows {
+			k := keyString(r, pPos)
+			if _, ok := parts[k]; !ok {
+				order = append(order, k)
+			}
+			parts[k] = append(parts[k], r)
+		}
+		for _, k := range order {
+			prows := append([]Row(nil), parts[k]...)
+			if !op.Order.IsAny() {
+				sortRows(prows, sch, op.Order)
+			}
+			// Whole-partition frame aggregates.
+			frameVals := make([]base.Datum, len(op.Wins))
+			for wi, w := range op.Wins {
+				switch w.Fn.Name {
+				case "sum", "min", "max", "count":
+					st := newAggState(&ops.AggFunc{Name: w.Fn.Name, Arg: w.Fn.Arg})
+					for _, r := range prows {
+						if w.Fn.Arg == nil {
+							st.add(base.Null, true)
+							continue
+						}
+						v, err := ectx.eval(w.Fn.Arg, r)
+						if err != nil {
+							return nil, err
+						}
+						st.add(v, false)
+					}
+					frameVals[wi] = st.value()
+				}
+			}
+			var prevKeyRow Row
+			rank := 0
+			for ri, r := range prows {
+				nr := append([]base.Datum{}, r...)
+				for wi, w := range op.Wins {
+					switch w.Fn.Name {
+					case "row_number":
+						nr = append(nr, base.NewInt(int64(ri+1)))
+					case "rank":
+						if prevKeyRow == nil || orderValsDiffer(ectx, op, prevKeyRow, r) {
+							rank = ri + 1
+						}
+						nr = append(nr, base.NewInt(int64(rank)))
+					case "sum", "min", "max", "count":
+						nr = append(nr, frameVals[wi])
+					default:
+						return nil, fmt.Errorf("engine: unknown window function %q", w.Fn.Name)
+					}
+				}
+				prevKeyRow = r
+				out.parts[s] = append(out.parts[s], nr)
+			}
+		}
+	}
+	fillReplicated(out)
+	return out, nil
+}
+
+func orderValsDiffer(ectx *evalCtx, op *ops.PhysicalWindow, a, b Row) bool {
+	for _, it := range op.Order.Items {
+		p := ectx.sch[it.Col]
+		if a[p].Compare(b[p]) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// CTEs
+
+func (ex *executor) execCTEProducer(op *ops.PhysicalCTEProducer, child *ops.Expr) (*result, error) {
+	in, err := ex.exec(child)
+	if err != nil {
+		return nil, err
+	}
+	if err := ex.charge(in.totalRows()); err != nil { // materialization
+		return nil, err
+	}
+	ex.cte[op.ID] = in
+	return in, nil
+}
+
+func (ex *executor) execCTEConsumer(op *ops.PhysicalCTEConsumer) (*result, error) {
+	prod, ok := ex.cte[op.ID]
+	if !ok {
+		return nil, fmt.Errorf("engine: CTE %d consumed before production", op.ID)
+	}
+	pos, err := colPositions(schemaOf(prod.schema), op.ProducerCols)
+	if err != nil {
+		return nil, err
+	}
+	sch := make([]base.ColID, len(op.Cols))
+	for i, c := range op.Cols {
+		sch[i] = c.ID
+	}
+	out := &result{schema: sch, parts: make([][]Row, len(prod.parts))}
+	for s, rows := range prod.oneCopy() {
+		if err := ex.charge(len(rows)); err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			nr := make(Row, len(pos))
+			for i, p := range pos {
+				nr[i] = r[p]
+			}
+			out.parts[s] = append(out.parts[s], nr)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// SubPlans (legacy Planner execution of non-decorrelated subqueries)
+
+// runSubPlan executes the subplan once under the given outer-row bindings
+// and returns all produced values of the requested column.
+func (ex *executor) runSubPlan(plan *ops.Expr, col base.ColID, bindings map[base.ColID]base.Datum) ([]base.Datum, error) {
+	saved := ex.bindings
+	merged := make(map[base.ColID]base.Datum, len(saved)+len(bindings))
+	for k, v := range saved {
+		merged[k] = v
+	}
+	for k, v := range bindings {
+		merged[k] = v
+	}
+	ex.bindings = merged
+	defer func() { ex.bindings = saved }()
+
+	res, err := ex.exec(plan)
+	if err != nil {
+		return nil, err
+	}
+	pos, ok := res.sch()[col]
+	if !ok {
+		// EXISTS-style subplans only need row existence: return a NULL per
+		// produced row.
+		var out []base.Datum
+		for _, rows := range res.oneCopy() {
+			for range rows {
+				out = append(out, base.Null)
+			}
+		}
+		return out, nil
+	}
+	var out []base.Datum
+	for _, rows := range res.oneCopy() {
+		for _, r := range rows {
+			out = append(out, r[pos])
+		}
+	}
+	return out, nil
+}
+
+// bindingsFor snapshots the outer row's columns as correlation parameters.
+func bindingsFor(sch []base.ColID, r Row) map[base.ColID]base.Datum {
+	out := make(map[base.ColID]base.Datum, len(sch))
+	for i, c := range sch {
+		out[c] = r[i]
+	}
+	return out
+}
+
+func (ex *executor) execSubPlanFilter(op *ops.SubPlanFilter, child *ops.Expr) (*result, error) {
+	in, err := ex.exec(child)
+	if err != nil {
+		return nil, err
+	}
+	out := &result{schema: in.schema, parts: make([][]Row, len(in.parts))}
+	ectx := &evalCtx{sch: in.sch(), bindings: ex.bindings}
+	for s, rows := range in.oneCopy() {
+		for _, r := range rows {
+			if err := ex.charge(1); err != nil {
+				return nil, err
+			}
+			vals, err := ex.runSubPlan(op.Plan, op.SubCol, bindingsFor(in.schema, r))
+			if err != nil {
+				return nil, err
+			}
+			keep := false
+			switch op.Kind {
+			case ops.SubExists:
+				keep = len(vals) > 0
+			case ops.SubNotExists:
+				keep = len(vals) == 0
+			case ops.SubIn, ops.SubNotIn:
+				test, err := ectx.eval(op.Test, r)
+				if err != nil {
+					return nil, err
+				}
+				found := false
+				for _, v := range vals {
+					if !v.IsNull() && !test.IsNull() && v.Compare(test) == 0 {
+						found = true
+						break
+					}
+				}
+				keep = found == (op.Kind == ops.SubIn)
+			case ops.SubScalar:
+				v := base.Null
+				if len(vals) > 0 {
+					v = vals[0]
+				}
+				sub := &evalCtx{sch: ectx.sch, bindings: map[base.ColID]base.Datum{op.SubCol: v}}
+				for k, b := range ex.bindings {
+					sub.bindings[k] = b
+				}
+				keep, err = sub.truthy(op.Test, r)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if keep {
+				out.parts[s] = append(out.parts[s], r)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (ex *executor) execSubPlanProject(op *ops.SubPlanProject, child *ops.Expr) (*result, error) {
+	in, err := ex.exec(child)
+	if err != nil {
+		return nil, err
+	}
+	sch := append(append([]base.ColID(nil), in.schema...), op.OutCol)
+	out := &result{schema: sch, parts: make([][]Row, len(in.parts))}
+	for s, rows := range in.oneCopy() {
+		for _, r := range rows {
+			if err := ex.charge(1); err != nil {
+				return nil, err
+			}
+			vals, err := ex.runSubPlan(op.Plan, op.SubCol, bindingsFor(in.schema, r))
+			if err != nil {
+				return nil, err
+			}
+			v := base.Null
+			if len(vals) > 0 {
+				v = vals[0]
+			}
+			out.parts[s] = append(out.parts[s], append(append(Row{}, r...), v))
+		}
+	}
+	return out, nil
+}
+
+// SortResult orders gathered result rows for deterministic comparison in
+// tests and tools.
+func SortResult(res *Result) {
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		a, b := res.Rows[i], res.Rows[j]
+		for k := range a {
+			c := a[k].Compare(b[k])
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}

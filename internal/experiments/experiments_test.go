@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"testing"
+
+	"orca/internal/rival"
+)
+
+func smallConfig() Config {
+	return Config{Segments: 8, Scale: 1, Seed: 42, Budget: 4_000_000}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Figure 12 run skipped in -short mode")
+	}
+	env, err := NewEnv(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := env.Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 25 {
+		t.Fatalf("too few queries: %d", len(rows))
+	}
+	s := Summarize(rows)
+	t.Logf("Figure 12: %d queries, suite speed-up %.1fx, geomean %.1fx, "+
+		"same-or-better %.0f%%, %d timeout-capped, max %.0fx, worst %.2fx",
+		s.Queries, s.SuiteSpeedup, s.GeoMeanSpeedup, 100*s.SameOrBetterFrac,
+		s.TimeoutCapped, s.MaxSpeedup, s.WorstSlowdown)
+	for _, r := range rows {
+		t.Logf("  %-5s orca=%-9d planner=%-9d speedup=%6.1fx timeout=%v",
+			r.Query, r.OrcaWork, r.PlannerWork, r.Speedup, r.PlannerTimedOut)
+	}
+	// Paper shape: Orca wins overall (5x suite-wide), ~80% same-or-better,
+	// several timeout-capped outliers from correlated subqueries.
+	if s.SuiteSpeedup < 2 {
+		t.Errorf("suite speed-up %.2fx: expected a clear Orca win (paper: 5x)", s.SuiteSpeedup)
+	}
+	if s.SameOrBetterFrac < 0.6 {
+		t.Errorf("same-or-better fraction %.2f: expected most queries to not regress", s.SameOrBetterFrac)
+	}
+	if s.TimeoutCapped == 0 {
+		t.Error("expected at least one timeout-capped query (the 1000x phenomenon)")
+	}
+}
+
+func TestFigure15Shape(t *testing.T) {
+	env, err := NewEnv(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := env.Figure15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SupportRow{}
+	for _, r := range rows {
+		byName[r.System] = r
+		t.Logf("Figure 15: %-8s optimize=%3d execute=%3d", r.System, r.Optimize, r.Execute)
+	}
+	if byName["HAWQ"].Optimize != 111 || byName["HAWQ"].Execute != 111 {
+		t.Errorf("HAWQ must support all 111 queries, got %+v", byName["HAWQ"])
+	}
+	if byName["Presto"].Execute != 0 {
+		t.Errorf("Presto executions must all fail (paper), got %d", byName["Presto"].Execute)
+	}
+	if !(byName["HAWQ"].Optimize > byName["Impala"].Optimize &&
+		byName["Impala"].Optimize > byName["Presto"].Optimize) {
+		t.Errorf("support ordering violated: %+v", rows)
+	}
+	if byName["Stinger"].Execute != byName["Stinger"].Optimize {
+		t.Errorf("Stinger materializes to disk and should execute what it optimizes")
+	}
+}
+
+func TestFigureRivalShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rival comparison skipped in -short mode")
+	}
+	env, err := NewEnv(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*rival.Profile{rival.Impala(), rival.Stinger()} {
+		rows, err := env.FigureRival(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if len(rows) == 0 {
+			t.Fatalf("%s: no comparable queries", p.Name)
+		}
+		wins := 0
+		var logSum float64
+		for _, r := range rows {
+			if r.Speedup >= 1 {
+				wins++
+			}
+			logSum += logf(r.Speedup)
+			t.Logf("  %s %-5s hawq=%-9d rival=%-9d speedup=%6.1fx oom=%v",
+				p.Name, r.Query, r.HAWQWork, r.RivalWork, r.Speedup, r.RivalOOM)
+		}
+		geo := expf(logSum / float64(len(rows)))
+		t.Logf("Figure %s: %d queries, geomean speed-up %.1fx, HAWQ wins %d/%d",
+			p.Name, len(rows), geo, wins, len(rows))
+		if geo < 1.5 {
+			t.Errorf("%s: expected a clear HAWQ win (paper: 6x/21x), got %.2fx", p.Name, geo)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package gpos is the reproduction of Orca's OS-abstraction layer. In the
+// paper, GPOS supplies the optimizer with a memory manager, concurrency
+// primitives, exception handling with stack traces, and file I/O so that the
+// optimizer itself stays portable. In Go most of that is the runtime's job;
+// this package keeps the pieces the rest of the system genuinely depends on:
+//
+//   - structured exceptions carrying component, code and a captured stack
+//     trace (consumed by AMPERe dumps, cf. paper Listing 2),
+//   - a memory accountant used to report the optimizer's footprint
+//     (paper §7.2.2 reports ~200 MB average),
+//   - a small task/worker abstraction used by the job scheduler.
+package gpos
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// Component identifies the subsystem that raised an exception.
+type Component string
+
+// Components mirroring the paper's architecture diagram (Figure 3).
+const (
+	CompOptimizer Component = "optimizer"
+	CompMemo      Component = "memo"
+	CompSearch    Component = "search"
+	CompStats     Component = "stats"
+	CompCost      Component = "cost"
+	CompMD        Component = "metadata"
+	CompDXL       Component = "dxl"
+	CompEngine    Component = "engine"
+	CompSQL       Component = "sql"
+)
+
+// Exception is a structured error with a captured stack trace, the GPOS
+// analogue of CException. AMPERe embeds the trace in its dumps.
+type Exception struct {
+	Comp  Component
+	Code  string
+	Msg   string
+	Stack []string
+	Cause error
+}
+
+// Raise creates an Exception capturing the current goroutine's stack.
+func Raise(comp Component, code, format string, args ...any) *Exception {
+	return &Exception{
+		Comp:  comp,
+		Code:  code,
+		Msg:   fmt.Sprintf(format, args...),
+		Stack: captureStack(2),
+	}
+}
+
+// Wrap attaches a cause to a raised exception.
+func Wrap(cause error, comp Component, code, format string, args ...any) *Exception {
+	ex := Raise(comp, code, format, args...)
+	ex.Cause = cause
+	return ex
+}
+
+// Error implements the error interface.
+func (e *Exception) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("%s/%s: %s: %v", e.Comp, e.Code, e.Msg, e.Cause)
+	}
+	return fmt.Sprintf("%s/%s: %s", e.Comp, e.Code, e.Msg)
+}
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *Exception) Unwrap() error { return e.Cause }
+
+// StackTrace renders the captured stack, one frame per line, in the format
+// AMPERe serializes (cf. paper Listing 2).
+func (e *Exception) StackTrace() string { return strings.Join(e.Stack, "\n") }
+
+// AsException extracts an *Exception from an error chain, or nil.
+func AsException(err error) *Exception {
+	var ex *Exception
+	if errors.As(err, &ex) {
+		return ex
+	}
+	return nil
+}
+
+func captureStack(skip int) []string {
+	pcs := make([]uintptr, 32)
+	n := runtime.Callers(skip+1, pcs)
+	frames := runtime.CallersFrames(pcs[:n])
+	var out []string
+	for i := 1; ; i++ {
+		f, more := frames.Next()
+		out = append(out, fmt.Sprintf("%d %s (%s:%d)", i, f.Function, trimPath(f.File), f.Line))
+		if !more || len(out) >= 16 {
+			break
+		}
+	}
+	return out
+}
+
+func trimPath(p string) string {
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

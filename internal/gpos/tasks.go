@@ -1,0 +1,105 @@
+package gpos
+
+import (
+	"sync"
+)
+
+// Task is a unit of work executed by a WorkerPool. It mirrors GPOS's CTask:
+// a re-entrant procedure plus an error slot inspected after completion.
+type Task struct {
+	Name string
+	Run  func() error
+
+	mu   sync.Mutex
+	err  error
+	done bool
+}
+
+// Err returns the task's error after it completed.
+func (t *Task) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Done reports whether the task finished.
+func (t *Task) Done() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done
+}
+
+func (t *Task) finish(err error) {
+	t.mu.Lock()
+	t.err = err
+	t.done = true
+	t.mu.Unlock()
+}
+
+// WorkerPool executes tasks on a fixed set of worker goroutines, the GPOS
+// analogue of CWorkerPoolManager. The job scheduler in internal/search layers
+// dependency tracking on top; the pool itself only runs what it is given.
+type WorkerPool struct {
+	tasks chan *Task
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewWorkerPool starts a pool with n workers (n < 1 is clamped to 1).
+func NewWorkerPool(n int) *WorkerPool {
+	if n < 1 {
+		n = 1
+	}
+	p := &WorkerPool{tasks: make(chan *Task, 256)}
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *WorkerPool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		t.finish(p.safeRun(t))
+	}
+}
+
+func (p *WorkerPool) safeRun(t *Task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = Wrap(e, CompSearch, "PanicInTask", "task %q panicked", t.Name)
+			} else {
+				err = Raise(CompSearch, "PanicInTask", "task %q panicked: %v", t.Name, r)
+			}
+		}
+	}()
+	return t.Run()
+}
+
+// Submit enqueues a task; it returns false if the pool is closed.
+func (p *WorkerPool) Submit(t *Task) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.tasks <- t
+	return true
+}
+
+// Close stops accepting tasks and waits for in-flight tasks to finish.
+func (p *WorkerPool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,149 @@
+package md
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Accessor mediates all metadata access for one optimization session (paper
+// §5, Figure 9). It keeps track of every object pinned during the session
+// and releases them all when the session completes or aborts; it fetches
+// objects transparently from the session's external provider when the shared
+// cache misses. Different concurrent sessions may use different providers
+// against the same cache.
+//
+// The accessor also records which objects the session touched, which is what
+// AMPERe harvests into a minimal repro dump (paper §6.1: "the dump captures
+// the state of MD Cache which includes only the metadata acquired during the
+// course of query optimization").
+type Accessor struct {
+	cache    *Cache
+	provider Provider
+
+	mu      sync.Mutex
+	pinned  map[MDId]int
+	touched []MDId
+}
+
+// NewAccessor opens a session-scoped accessor over the shared cache and the
+// session's provider.
+func NewAccessor(cache *Cache, provider Provider) *Accessor {
+	return &Accessor{
+		cache:    cache,
+		provider: provider,
+		pinned:   make(map[MDId]int),
+	}
+}
+
+// Get returns the metadata object with the given id, fetching it through the
+// provider on a cache miss and pinning it for the session.
+func (a *Accessor) Get(id MDId) (Object, error) {
+	if !id.IsValid() {
+		return nil, NotFound("invalid mdid %s", id)
+	}
+	obj, ok := a.cache.Lookup(id)
+	if !ok {
+		fetched, err := a.provider.GetObject(id)
+		if err != nil {
+			return nil, err
+		}
+		obj = a.cache.Insert(fetched)
+	}
+	a.mu.Lock()
+	a.pinned[id]++
+	if a.pinned[id] == 1 {
+		a.touched = append(a.touched, id)
+	}
+	a.mu.Unlock()
+	return obj, nil
+}
+
+// Relation returns the relation with the given id.
+func (a *Accessor) Relation(id MDId) (*Relation, error) {
+	obj, err := a.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	rel, ok := obj.(*Relation)
+	if !ok {
+		return nil, fmt.Errorf("md: object %s is %T, not a relation", id, obj)
+	}
+	return rel, nil
+}
+
+// RelationByName resolves and returns a relation by name.
+func (a *Accessor) RelationByName(name string) (*Relation, error) {
+	id, err := a.provider.LookupRelation(name)
+	if err != nil {
+		return nil, err
+	}
+	return a.Relation(id)
+}
+
+// Stats returns the statistics object for a relation. Statistics are loaded
+// on demand — during the statistics-derivation step, not at bind time —
+// matching the paper's lazy histogram loading (§4.1 step 2).
+func (a *Accessor) Stats(id MDId) (*RelStats, error) {
+	obj, err := a.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	st, ok := obj.(*RelStats)
+	if !ok {
+		return nil, fmt.Errorf("md: object %s is %T, not relation stats", id, obj)
+	}
+	return st, nil
+}
+
+// Type returns a scalar type object.
+func (a *Accessor) Type(id MDId) (*Type, error) {
+	obj, err := a.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := obj.(*Type)
+	if !ok {
+		return nil, fmt.Errorf("md: object %s is %T, not a type", id, obj)
+	}
+	return t, nil
+}
+
+// Index returns an index object.
+func (a *Accessor) Index(id MDId) (*Index, error) {
+	obj, err := a.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	ix, ok := obj.(*Index)
+	if !ok {
+		return nil, fmt.Errorf("md: object %s is %T, not an index", id, obj)
+	}
+	return ix, nil
+}
+
+// Touched returns the ids of all objects accessed in this session, in first-
+// touch order. AMPERe serializes exactly these into a dump.
+func (a *Accessor) Touched() []MDId {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]MDId, len(a.touched))
+	copy(out, a.touched)
+	return out
+}
+
+// Close unpins everything the session pinned. The accessor must not be used
+// afterwards.
+func (a *Accessor) Close() {
+	a.mu.Lock()
+	pinned := a.pinned
+	a.pinned = map[MDId]int{}
+	a.mu.Unlock()
+	for id, n := range pinned {
+		for i := 0; i < n; i++ {
+			a.cache.Unpin(id)
+		}
+	}
+}
+
+// Provider exposes the session's provider (for name resolution in binders).
+func (a *Accessor) Provider() Provider { return a.provider }

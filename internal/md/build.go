@@ -1,0 +1,134 @@
+package md
+
+import (
+	"math"
+
+	"orca/internal/base"
+)
+
+// ColSpec describes one column when building a catalog programmatically.
+type ColSpec struct {
+	Name string
+	Type base.TypeID
+	// Statistics: NDV distinct values uniformly spread over [Lo, Hi].
+	// NDV 0 means "no statistics for this column".
+	NDV      float64
+	Lo, Hi   float64
+	NullFrac float64
+	// Skewed, when > 1, concentrates that multiple of the uniform share on
+	// the lowest value (a simple Zipf-ish head).
+	Skewed float64
+}
+
+// TableSpec describes a relation plus synthetic statistics.
+type TableSpec struct {
+	Name     string
+	Cols     []ColSpec
+	Policy   DistPolicy
+	DistCols []int
+	Rows     float64
+	// PartCol/Parts configure range partitioning (PartCol < 0 = none).
+	PartCol int
+	Parts   []Partition
+	// Indexes lists single-column index definitions by column ordinal.
+	IndexCols []int
+}
+
+// Build registers the relation, its statistics and indexes with the
+// provider and returns the relation object. Histograms are equi-depth over
+// the declared uniform ranges, with optional head skew.
+func Build(p *MemProvider, spec TableSpec) *Relation {
+	relID := NewMDId(p.AllocOID())
+	statsID := NewMDId(p.AllocOID())
+
+	cols := make([]Column, len(spec.Cols))
+	for i, c := range spec.Cols {
+		cols[i] = Column{Name: c.Name, Attno: i + 1, Type: c.Type, Nullable: c.NullFrac > 0}
+	}
+	partCol := spec.PartCol
+	if len(spec.Parts) == 0 {
+		partCol = -1
+	}
+	rel := &Relation{
+		Mdid:      relID,
+		Name:      spec.Name,
+		Columns:   cols,
+		Policy:    spec.Policy,
+		DistCols:  spec.DistCols,
+		PartCol:   partCol,
+		Parts:     spec.Parts,
+		StatsMdid: statsID,
+	}
+
+	rs := &RelStats{Mdid: statsID, RelName: spec.Name, Rows: spec.Rows}
+	for i, c := range spec.Cols {
+		if c.NDV <= 0 {
+			continue
+		}
+		rs.Cols = append(rs.Cols, ColStats{
+			ColName:  c.Name,
+			Ordinal:  i,
+			NDV:      c.NDV,
+			NullFrac: c.NullFrac,
+			Buckets:  UniformBuckets(spec.Rows*(1-c.NullFrac), c.NDV, c.Lo, c.Hi, c.Skewed),
+		})
+	}
+
+	for _, ord := range spec.IndexCols {
+		ixID := NewMDId(p.AllocOID())
+		ix := &Index{
+			Mdid:    ixID,
+			Name:    spec.Name + "_" + spec.Cols[ord].Name + "_idx",
+			RelMdid: relID,
+			KeyCols: []int{ord},
+		}
+		rel.IndexIDs = append(rel.IndexIDs, ixID)
+		p.Put(ix)
+	}
+
+	p.Put(rel)
+	p.Put(rs)
+	return rel
+}
+
+// UniformBuckets builds an equi-depth histogram of up to 16 buckets for rows
+// tuples holding ndv distinct values uniformly spread over [lo, hi]. A skew
+// factor > 1 moves extra mass onto the lowest bucket.
+func UniformBuckets(rows, ndv, lo, hi float64, skew float64) []Bucket {
+	if rows <= 0 || ndv <= 0 {
+		return nil
+	}
+	if hi < lo {
+		hi = lo
+	}
+	n := 16
+	if ndv < float64(n) {
+		n = int(math.Max(ndv, 1))
+	}
+	buckets := make([]Bucket, 0, n)
+	span := (hi - lo) / float64(n)
+	perRows := rows / float64(n)
+	perNDV := ndv / float64(n)
+	for i := 0; i < n; i++ {
+		bLo := lo + span*float64(i)
+		bHi := bLo + span
+		if i == n-1 {
+			bHi = hi
+		}
+		buckets = append(buckets, Bucket{
+			Lo:        base.NewFloat(bLo),
+			Hi:        base.NewFloat(bHi),
+			Rows:      perRows,
+			Distincts: math.Max(perNDV, 1),
+		})
+	}
+	if skew > 1 && n > 1 {
+		extra := math.Min(rows*0.5, buckets[0].Rows*(skew-1))
+		buckets[0].Rows += extra
+		steal := extra / float64(n-1)
+		for i := 1; i < n; i++ {
+			buckets[i].Rows = math.Max(buckets[i].Rows-steal, 0)
+		}
+	}
+	return buckets
+}

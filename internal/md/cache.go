@@ -1,0 +1,121 @@
+package md
+
+import (
+	"sync"
+
+	"orca/internal/gpos"
+)
+
+// Cache is the optimizer-side metadata cache (paper §3, "Metadata Cache").
+// Metadata changes infrequently, so shipping it with every query is wasted
+// work; instead objects are fetched once through a provider and kept across
+// optimization sessions. Entries are keyed by full MDId — object id plus
+// version — so a version bump in the backend naturally misses the cache and
+// the stale entry is evicted on the next lookup of the same object.
+//
+// Objects in the cache are pinned by accessors while an optimization session
+// uses them, and unpinned when the session ends (or an error aborts it).
+// Eviction skips pinned entries.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[MDId]*cacheEntry
+	byOID   map[int64]MDId // latest cached version per object id
+	mem     *gpos.MemoryAccountant
+
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	obj  Object
+	pins int
+}
+
+// NewCache returns an empty cache charging the given accountant (which may
+// be nil).
+func NewCache(mem *gpos.MemoryAccountant) *Cache {
+	return &Cache{
+		entries: make(map[MDId]*cacheEntry),
+		byOID:   make(map[int64]MDId),
+		mem:     mem,
+	}
+}
+
+// Lookup returns the cached object and pins it, or reports a miss.
+func (c *Cache) Lookup(id MDId) (Object, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	e.pins++
+	return e.obj, true
+}
+
+// Insert adds obj pinned once. If a different version of the same object id
+// is cached and unpinned, it is evicted — it can never be requested again
+// because requests carry exact versions.
+func (c *Cache) Insert(obj Object) Object {
+	id := obj.ID()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[id]; ok {
+		// Raced with another session fetching the same object.
+		e.pins++
+		return e.obj
+	}
+	if prev, ok := c.byOID[id.OID]; ok && prev != id {
+		if e, ok := c.entries[prev]; ok && e.pins == 0 {
+			delete(c.entries, prev)
+			c.mem.Release(e.obj.SizeBytes())
+		}
+	}
+	c.entries[id] = &cacheEntry{obj: obj, pins: 1}
+	c.byOID[id.OID] = id
+	c.mem.Charge(obj.SizeBytes())
+	return obj
+}
+
+// Unpin releases one pin on the object.
+func (c *Cache) Unpin(id MDId) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[id]; ok && e.pins > 0 {
+		e.pins--
+	}
+}
+
+// Evict removes all unpinned entries and returns how many were dropped.
+func (c *Cache) Evict() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for id, e := range c.entries {
+		if e.pins == 0 {
+			delete(c.entries, id)
+			if c.byOID[id.OID] == id {
+				delete(c.byOID, id.OID)
+			}
+			c.mem.Release(e.obj.SizeBytes())
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,254 @@
+package md
+
+import (
+	"testing"
+	"testing/quick"
+
+	"orca/internal/base"
+	"orca/internal/gpos"
+)
+
+func TestMDIdParseFormat(t *testing.T) {
+	id, err := ParseMDId("0.688.1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.OID != 688 || id.Major != 1 || id.Minor != 1 {
+		t.Errorf("parsed %+v", id)
+	}
+	if id.String() != "0.688.1.1" {
+		t.Errorf("round trip: %s", id)
+	}
+	short, err := ParseMDId("2.99")
+	if err != nil || short.Sys != 2 || short.OID != 99 || short.Major != 1 {
+		t.Errorf("short form: %+v err=%v", short, err)
+	}
+	for _, bad := range []string{"", "1", "a.b.c.d", "1.2.3", "1.2.3.4.5"} {
+		if _, err := ParseMDId(bad); err == nil {
+			t.Errorf("ParseMDId(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMDIdRoundTripProperty(t *testing.T) {
+	f := func(sys int16, oid uint32, major, minor uint16) bool {
+		id := MDId{Sys: int32(sys), OID: int64(oid), Major: int32(major), Minor: int32(minor)}
+		back, err := ParseMDId(id.String())
+		return err == nil && back == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMDIdVersioning(t *testing.T) {
+	id := NewMDId(42)
+	b := id.Bumped()
+	if !b.SameObject(id) || b == id || b.Major != id.Major+1 {
+		t.Errorf("Bumped: %v -> %v", id, b)
+	}
+}
+
+func testRel(t *testing.T) (*MemProvider, *Relation) {
+	t.Helper()
+	p := NewMemProvider()
+	rel := Build(p, TableSpec{
+		Name: "t", Rows: 1000,
+		Policy: DistHash, DistCols: []int{0},
+		Cols: []ColSpec{
+			{Name: "a", Type: base.TInt, NDV: 1000, Lo: 0, Hi: 1000},
+			{Name: "b", Type: base.TInt, NDV: 10, Lo: 0, Hi: 10, NullFrac: 0.1},
+		},
+		IndexCols: []int{0},
+	})
+	return p, rel
+}
+
+func TestBuildRegistersEverything(t *testing.T) {
+	p, rel := testRel(t)
+	if rel.ColumnOrdinal("b") != 1 || rel.ColumnOrdinal("zzz") != -1 {
+		t.Error("ColumnOrdinal broken")
+	}
+	if _, err := p.GetObject(rel.StatsMdid); err != nil {
+		t.Errorf("stats not registered: %v", err)
+	}
+	if len(rel.IndexIDs) != 1 {
+		t.Fatalf("index not registered")
+	}
+	obj, err := p.GetObject(rel.IndexIDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := obj.(*Index)
+	if ix.RelMdid != rel.Mdid || len(ix.KeyCols) != 1 || ix.KeyCols[0] != 0 {
+		t.Errorf("index shape: %+v", ix)
+	}
+	sobj, _ := p.GetObject(rel.StatsMdid)
+	rs := sobj.(*RelStats)
+	if rs.Rows != 1000 || len(rs.Cols) != 2 {
+		t.Errorf("stats shape: rows=%g cols=%d", rs.Rows, len(rs.Cols))
+	}
+	// Histogram mass matches the non-null rows.
+	cs := rs.ColStatsFor(1)
+	var mass float64
+	for _, b := range cs.Buckets {
+		mass += b.Rows
+	}
+	if mass < 890 || mass > 910 {
+		t.Errorf("histogram mass %g, want ~900 (10%% nulls)", mass)
+	}
+}
+
+func TestCacheHitMissAndPinning(t *testing.T) {
+	p, rel := testRel(t)
+	mem := &gpos.MemoryAccountant{}
+	cache := NewCache(mem)
+	acc := NewAccessor(cache, p)
+
+	if _, err := acc.Relation(rel.Mdid); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := cache.Stats()
+	if hits != 0 || misses != 1 {
+		t.Errorf("first access: hits=%d misses=%d", hits, misses)
+	}
+	if _, err := acc.Relation(rel.Mdid); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ = cache.Stats()
+	if hits != 1 {
+		t.Errorf("second access should hit, hits=%d", hits)
+	}
+	// Pinned entries survive eviction.
+	if n := cache.Evict(); n != 0 {
+		t.Errorf("evicted %d pinned entries", n)
+	}
+	acc.Close()
+	if n := cache.Evict(); n != 1 {
+		t.Errorf("evicted %d after close, want 1", n)
+	}
+	if mem.Current() != 0 {
+		t.Errorf("memory not released: %d", mem.Current())
+	}
+}
+
+func TestCacheVersionInvalidation(t *testing.T) {
+	p, rel := testRel(t)
+	cache := NewCache(nil)
+	acc := NewAccessor(cache, p)
+	if _, err := acc.Relation(rel.Mdid); err != nil {
+		t.Fatal(err)
+	}
+	acc.Close()
+
+	// DDL: bump the version in the backend.
+	newID, err := p.BumpRelationVersion("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID == rel.Mdid {
+		t.Fatal("version not bumped")
+	}
+
+	// A new session resolves the new version; the old entry is evicted when
+	// the new version is inserted.
+	acc2 := NewAccessor(cache, p)
+	got, err := acc2.RelationByName("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mdid != newID {
+		t.Errorf("resolved %s, want %s", got.Mdid, newID)
+	}
+	// The stale version can no longer be fetched from the provider.
+	if _, err := p.GetObject(rel.Mdid); err == nil {
+		t.Error("stale version still served by provider")
+	}
+	acc2.Close()
+}
+
+func TestAccessorTouchedIsMinimal(t *testing.T) {
+	p, rel := testRel(t)
+	Build(p, TableSpec{
+		Name: "other", Rows: 5, Policy: DistHash, DistCols: []int{0},
+		Cols: []ColSpec{{Name: "x", Type: base.TInt, NDV: 5, Lo: 0, Hi: 5}},
+	})
+	acc := NewAccessor(NewCache(nil), p)
+	if _, err := acc.Relation(rel.Mdid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.Stats(rel.StatsMdid); err != nil {
+		t.Fatal(err)
+	}
+	touched := acc.Touched()
+	if len(touched) != 2 {
+		t.Errorf("touched %v, want exactly the 2 accessed objects", touched)
+	}
+}
+
+func TestAccessorTypeMismatch(t *testing.T) {
+	p, rel := testRel(t)
+	acc := NewAccessor(NewCache(nil), p)
+	if _, err := acc.Stats(rel.Mdid); err == nil {
+		t.Error("relation accepted as stats")
+	}
+	if _, err := acc.Relation(rel.StatsMdid); err == nil {
+		t.Error("stats accepted as relation")
+	}
+	if _, err := acc.Get(MDId{}); err == nil {
+		t.Error("invalid mdid accepted")
+	}
+}
+
+func TestColumnFactory(t *testing.T) {
+	f := NewColumnFactory()
+	a := f.NewTableColumn("a", base.TInt, NewMDId(1), 0)
+	b := f.NewComputedColumn("b", base.TFloat)
+	if a.ID == b.ID {
+		t.Error("ids collide")
+	}
+	if f.Lookup(a.ID) != a || f.Lookup(b.ID) != b {
+		t.Error("lookup broken")
+	}
+	if f.Name(a.ID) != "a" || f.Name(999) != "col999" {
+		t.Error("Name fallback broken")
+	}
+	// Register with explicit id advances the allocator.
+	f.Register(&ColRef{ID: 100, Name: "ext"})
+	c := f.NewComputedColumn("c", base.TInt)
+	if c.ID <= 100 {
+		t.Errorf("allocator did not advance past registered id: %d", c.ID)
+	}
+	if f.Count() != 4 {
+		t.Errorf("Count = %d, want 4", f.Count())
+	}
+}
+
+func TestPartitionContains(t *testing.T) {
+	p := Partition{Lo: base.NewInt(10), Hi: base.NewInt(20)}
+	if !p.Contains(base.NewInt(10)) || !p.Contains(base.NewInt(19)) {
+		t.Error("inclusive lower bound broken")
+	}
+	if p.Contains(base.NewInt(20)) || p.Contains(base.NewInt(9)) {
+		t.Error("exclusive upper bound broken")
+	}
+}
+
+func TestUniformBucketsSkew(t *testing.T) {
+	flat := UniformBuckets(1000, 100, 0, 100, 0)
+	skewed := UniformBuckets(1000, 100, 0, 100, 5)
+	if len(flat) == 0 || len(skewed) == 0 {
+		t.Fatal("no buckets")
+	}
+	var flatMass, skewMass float64
+	for i := range flat {
+		flatMass += flat[i].Rows
+		skewMass += skewed[i].Rows
+	}
+	if flatMass < 999 || flatMass > 1001 || skewMass < 999 || skewMass > 1001 {
+		t.Errorf("mass not preserved: flat=%g skewed=%g", flatMass, skewMass)
+	}
+	if skewed[0].Rows <= flat[0].Rows {
+		t.Error("skew factor did not concentrate the head bucket")
+	}
+}

@@ -1,0 +1,191 @@
+package md
+
+import (
+	"fmt"
+
+	"orca/internal/base"
+)
+
+// Object is any metadata object exchanged between a backend and the
+// optimizer: types, relations, indexes and statistics. Objects are immutable
+// once published to a provider; modifications produce a new version.
+type Object interface {
+	ID() MDId
+	// SizeBytes is the logical size charged to the memory accountant when
+	// the object enters the MD cache.
+	SizeBytes() int64
+}
+
+// DistPolicy describes how a stored table is distributed across segments
+// (paper §2.1): hashed on columns, replicated to every segment, randomly
+// spread, or resident on a single host.
+type DistPolicy uint8
+
+// Distribution policies for stored relations.
+const (
+	DistHash DistPolicy = iota
+	DistRandom
+	DistReplicated
+	DistSingleton
+)
+
+// String names the policy as serialized in DXL.
+func (p DistPolicy) String() string {
+	switch p {
+	case DistHash:
+		return "Hash"
+	case DistRandom:
+		return "Random"
+	case DistReplicated:
+		return "Replicated"
+	case DistSingleton:
+		return "Singleton"
+	default:
+		return fmt.Sprintf("DistPolicy(%d)", p)
+	}
+}
+
+// Type is a scalar type's metadata. The optimizer asks whether values of the
+// type can be redistributed (hashed) when planning motions.
+type Type struct {
+	Mdid              MDId
+	Name              string
+	Base              base.TypeID
+	IsRedistributable bool
+	Length            int
+}
+
+// ID implements Object.
+func (t *Type) ID() MDId { return t.Mdid }
+
+// SizeBytes implements Object.
+func (t *Type) SizeBytes() int64 { return int64(48 + len(t.Name)) }
+
+// Column describes one column of a relation.
+type Column struct {
+	Name     string
+	Attno    int // 1-based attribute number
+	TypeMdid MDId
+	Type     base.TypeID
+	Nullable bool
+}
+
+// Partition is one range partition of a partitioned table. Partitioning is
+// always by range on a single column in this reproduction (the common
+// TPC-DS pattern: facts partitioned by date key). Lo is inclusive, Hi is
+// exclusive.
+type Partition struct {
+	Name string
+	Lo   base.Datum
+	Hi   base.Datum
+}
+
+// Contains reports whether v falls in the partition range.
+func (p Partition) Contains(v base.Datum) bool {
+	return p.Lo.Compare(v) <= 0 && v.Compare(p.Hi) < 0
+}
+
+// Relation is a stored table's metadata: schema, distribution and (optional)
+// range partitioning. Statistics are separate objects (RelStats, ColStats) so
+// that they can be refreshed — re-versioned — without touching the schema,
+// mirroring the paper's split between Relation and RelStats dumps.
+type Relation struct {
+	Mdid      MDId
+	Name      string
+	Columns   []Column
+	Policy    DistPolicy
+	DistCols  []int // ordinals into Columns (for DistHash)
+	PartCol   int   // ordinal of the partitioning column, -1 if not partitioned
+	Parts     []Partition
+	IndexIDs  []MDId
+	StatsMdid MDId
+}
+
+// ID implements Object.
+func (r *Relation) ID() MDId { return r.Mdid }
+
+// SizeBytes implements Object.
+func (r *Relation) SizeBytes() int64 {
+	return int64(96 + len(r.Name) + 48*len(r.Columns) + 64*len(r.Parts))
+}
+
+// IsPartitioned reports whether the relation has range partitions.
+func (r *Relation) IsPartitioned() bool { return r.PartCol >= 0 && len(r.Parts) > 0 }
+
+// ColumnOrdinal returns the ordinal of the named column, or -1.
+func (r *Relation) ColumnOrdinal(name string) int {
+	for i := range r.Columns {
+		if r.Columns[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Index is a secondary index usable for IndexScan implementations that
+// deliver sorted output without a Sort enforcer.
+type Index struct {
+	Mdid     MDId
+	Name     string
+	RelMdid  MDId
+	KeyCols  []int // ordinals into the relation's columns
+	IsUnique bool
+}
+
+// ID implements Object.
+func (ix *Index) ID() MDId { return ix.Mdid }
+
+// SizeBytes implements Object.
+func (ix *Index) SizeBytes() int64 { return int64(64 + len(ix.Name)) }
+
+// Bucket is one equi-depth histogram bucket over a column's value domain.
+// Bounds project onto float64 (base.Datum.AsFloat) so that the estimator can
+// interpolate within a bucket. Lo is inclusive; Hi is inclusive for the last
+// bucket and exclusive otherwise.
+type Bucket struct {
+	Lo        base.Datum
+	Hi        base.Datum
+	Rows      float64 // tuples falling in the bucket
+	Distincts float64 // distinct values in the bucket
+}
+
+// ColStats is the statistics object for one column of one relation: an
+// equi-depth histogram plus NDV and null fraction. The optimizer's stats
+// derivation (internal/stats) transforms these through operators.
+type ColStats struct {
+	ColName  string
+	Ordinal  int
+	NDV      float64
+	NullFrac float64
+	Buckets  []Bucket
+}
+
+// RelStats carries table-level statistics and the per-column histograms.
+type RelStats struct {
+	Mdid    MDId
+	RelName string
+	Rows    float64
+	Cols    []ColStats
+}
+
+// ID implements Object.
+func (s *RelStats) ID() MDId { return s.Mdid }
+
+// SizeBytes implements Object.
+func (s *RelStats) SizeBytes() int64 {
+	n := int64(64)
+	for i := range s.Cols {
+		n += 48 + 40*int64(len(s.Cols[i].Buckets))
+	}
+	return n
+}
+
+// ColStatsFor returns the stats of the column at the given ordinal, or nil.
+func (s *RelStats) ColStatsFor(ordinal int) *ColStats {
+	for i := range s.Cols {
+		if s.Cols[i].Ordinal == ordinal {
+			return &s.Cols[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,419 @@
+// Package memo implements the Memo (paper §3): the compact in-memory
+// encoding of the plan space. Groups contain logically equivalent
+// expressions; group expressions are operators whose children are groups.
+// The package also holds the optimization machinery attached to the Memo in
+// the paper's Figure 6: per-group hash tables mapping optimization requests
+// to best group expressions, per-group-expression local hash tables mapping
+// incoming requests to child requests (the linkage structure), enforcer
+// insertion, statistics derivation over the compact structure, and final
+// plan extraction.
+package memo
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"orca/internal/base"
+	"orca/internal/gpos"
+	"orca/internal/ops"
+	"orca/internal/props"
+	"orca/internal/stats"
+)
+
+// GroupID identifies a Memo group.
+type GroupID int32
+
+// Memo is the plan-space structure. All methods are safe for concurrent use
+// by optimization jobs.
+type Memo struct {
+	mu     sync.Mutex
+	groups []*Group
+	// fingerprints provides the duplicate detection "based on expression
+	// topology" (paper §4.1 step 1): operator parameters plus child groups.
+	fingerprints map[uint64][]*GroupExpr
+	mem          *gpos.MemoryAccountant
+
+	root GroupID
+}
+
+// New returns an empty Memo charging the given accountant (may be nil).
+func New(mem *gpos.MemoryAccountant) *Memo {
+	return &Memo{fingerprints: make(map[uint64][]*GroupExpr), mem: mem}
+}
+
+// Root returns the root group id.
+func (m *Memo) Root() GroupID { return m.root }
+
+// SetRoot marks the root group.
+func (m *Memo) SetRoot(g GroupID) { m.root = g }
+
+// Group returns the group with the given id.
+func (m *Memo) Group(id GroupID) *Group {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.groups[id]
+}
+
+// NumGroups returns the current number of groups.
+func (m *Memo) NumGroups() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.groups)
+}
+
+// NumExprs returns the total number of group expressions.
+func (m *Memo) NumExprs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, g := range m.groups {
+		n += len(g.exprs)
+	}
+	return n
+}
+
+// Insert copies a logical expression tree into the Memo (paper Figure 4),
+// creating groups bottom-up, and returns the root group id.
+func (m *Memo) Insert(e *ops.Expr) (GroupID, error) {
+	children := make([]GroupID, len(e.Children))
+	for i, c := range e.Children {
+		id, err := m.Insert(c)
+		if err != nil {
+			return 0, err
+		}
+		children[i] = id
+	}
+	ge, err := m.InsertExpr(e.Op, children, -1)
+	if err != nil {
+		return 0, err
+	}
+	return ge.group.ID, nil
+}
+
+// InsertExpr adds one group expression with the given children. If target is
+// a valid group id, the expression is added to that group (a transformation
+// result), deduplicated against the group's existing expressions — the
+// Memo's topology-based duplicate detection (§4.1 step 1). Otherwise the
+// expression denotes a fresh sub-goal: the content-addressed subtree
+// registry either returns the existing group holding that expression or
+// creates a new one.
+//
+// Keeping the two namespaces separate makes the explored plan space a pure
+// function of the rule set (independent of job scheduling order): rule
+// results always land in their target group, and subtree groups are keyed by
+// content alone. Full cross-group merging is out of scope (DESIGN.md §5).
+func (m *Memo) InsertExpr(op ops.Operator, children []GroupID, target GroupID) (*GroupExpr, error) {
+	fp := fingerprint(op, children)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var grp *Group
+	if target >= 0 {
+		grp = m.groups[int(target)]
+		grp.mu.Lock()
+		for _, ge := range grp.exprs {
+			if ge.fp == fp && ge.matches(op, children) {
+				grp.mu.Unlock()
+				return ge, nil
+			}
+		}
+		grp.mu.Unlock()
+	} else {
+		for _, ge := range m.fingerprints[fp] {
+			if ge.matches(op, children) {
+				return ge, nil
+			}
+		}
+		grp = m.newGroupLocked()
+	}
+
+	ge := &GroupExpr{
+		Op:       op,
+		Children: children,
+		group:    grp,
+		fp:       fp,
+		local:    make(map[uint64][]*localLink),
+		applied:  make(map[string]bool),
+	}
+	if target < 0 {
+		m.fingerprints[fp] = append(m.fingerprints[fp], ge)
+	}
+	grp.mu.Lock()
+	grp.exprs = append(grp.exprs, ge)
+	grp.mu.Unlock()
+	m.mem.Charge(128)
+	return ge, nil
+}
+
+func (m *Memo) newGroupLocked() *Group {
+	g := &Group{
+		ID:   GroupID(len(m.groups)),
+		memo: m,
+		ctxs: make(map[uint64][]*OptContext),
+	}
+	m.groups = append(m.groups, g)
+	m.mem.Charge(256)
+	return g
+}
+
+func fingerprint(op ops.Operator, children []GroupID) uint64 {
+	const prime = 1099511628211
+	h := op.ParamHash()
+	for _, c := range children {
+		h = (h ^ uint64(c)) * prime
+	}
+	return h
+}
+
+// String renders the Memo's groups and expressions for debugging and for
+// the optimizer's trace facility.
+func (m *Memo) String() string {
+	m.mu.Lock()
+	groups := append([]*Group(nil), m.groups...)
+	m.mu.Unlock()
+	var b strings.Builder
+	for _, g := range groups {
+		g.mu.Lock()
+		fmt.Fprintf(&b, "GROUP %d", g.ID)
+		if g.stats != nil {
+			fmt.Fprintf(&b, " (rows=%.0f)", g.stats.Rows)
+		}
+		b.WriteString(":\n")
+		for i, ge := range g.exprs {
+			fmt.Fprintf(&b, "  %d: %s %v\n", i, ops.Describe(ge.Op), ge.Children)
+		}
+		g.mu.Unlock()
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Group
+
+// Group is a container of logically equivalent expressions capturing one
+// sub-goal of the query (paper §3).
+type Group struct {
+	ID   GroupID
+	memo *Memo
+
+	mu    sync.Mutex
+	exprs []*GroupExpr
+
+	logical  *props.Logical
+	stats    *stats.Stats
+	explored bool
+	impl     bool
+	enforced map[uint64]bool // requests whose enforcers were added
+	ctxs     map[uint64][]*OptContext
+}
+
+// Exprs returns a snapshot of the group's expressions.
+func (g *Group) Exprs() []*GroupExpr {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*GroupExpr(nil), g.exprs...)
+}
+
+// NumExprs returns the current expression count.
+func (g *Group) NumExprs() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.exprs)
+}
+
+// Expr returns the i-th expression.
+func (g *Group) Expr(i int) *GroupExpr {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.exprs[i]
+}
+
+// Explored reports whether exploration finished for this group.
+func (g *Group) Explored() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.explored
+}
+
+// SetExplored marks exploration complete.
+func (g *Group) SetExplored() {
+	g.mu.Lock()
+	g.explored = true
+	g.mu.Unlock()
+}
+
+// Implemented reports whether implementation finished for this group.
+func (g *Group) Implemented() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.impl
+}
+
+// SetImplemented marks implementation complete.
+func (g *Group) SetImplemented() {
+	g.mu.Lock()
+	g.impl = true
+	g.mu.Unlock()
+}
+
+// Logical returns the group's logical properties, deriving them on first use
+// from the first logical expression.
+func (g *Group) Logical() *props.Logical {
+	g.mu.Lock()
+	if g.logical != nil {
+		defer g.mu.Unlock()
+		return g.logical
+	}
+	var first *GroupExpr
+	for _, ge := range g.exprs {
+		if _, ok := ge.Op.(ops.Logical); ok {
+			first = ge
+			break
+		}
+	}
+	if first == nil && len(g.exprs) > 0 {
+		first = g.exprs[0]
+	}
+	g.mu.Unlock()
+
+	lp := props.NewLogical()
+	if first != nil {
+		childOuts := make([]base.ColSet, len(first.Children))
+		for i, cid := range first.Children {
+			childOuts[i] = g.memo.Group(cid).Logical().OutputCols
+		}
+		lp.OutputCols = ops.OutputColsOp(first.Op, childOuts)
+	}
+	g.mu.Lock()
+	if g.logical == nil {
+		g.logical = lp
+	}
+	out := g.logical
+	g.mu.Unlock()
+	return out
+}
+
+// Stats returns the group's statistics object (nil before derivation).
+func (g *Group) Stats() *stats.Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// SetStats attaches a statistics object to the group (paper Figure 5d).
+func (g *Group) SetStats(s *stats.Stats) {
+	g.mu.Lock()
+	if g.stats == nil {
+		g.stats = s
+		g.memo.mem.Charge(s.SizeBytes())
+	}
+	g.mu.Unlock()
+}
+
+// Rows returns the group's estimated cardinality (0 before derivation).
+func (g *Group) Rows() float64 {
+	if s := g.Stats(); s != nil {
+		return s.Rows
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// GroupExpr
+
+// GroupExpr is an operator whose children are groups (paper §3). Its local
+// hash table maps incoming optimization requests to the child requests of
+// the best plan alternative — the linkage structure used for plan extraction
+// (paper Figure 6) and for TAQO's uniform plan sampling.
+type GroupExpr struct {
+	Op       ops.Operator
+	Children []GroupID
+
+	group *Group
+	fp    uint64
+
+	mu      sync.Mutex
+	local   map[uint64][]*localLink
+	applied map[string]bool
+}
+
+type localLink struct {
+	req props.Required
+	// alternatives costed for this request (used by TAQO sampling).
+	candidates []Candidate
+}
+
+// Candidate is one costed way of satisfying a request with this expression.
+type Candidate struct {
+	ChildReqs []props.Required
+	LocalCost float64
+	Cost      float64 // subtree total
+	Delivered props.Derived
+}
+
+// Group returns the owning group.
+func (ge *GroupExpr) Group() *Group { return ge.group }
+
+func (ge *GroupExpr) matches(op ops.Operator, children []GroupID) bool {
+	if len(ge.Children) != len(children) || !ge.Op.ParamEqual(op) {
+		return false
+	}
+	for i := range children {
+		if ge.Children[i] != children[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MarkApplied records that a rule ran on this expression; it returns false
+// if the rule had already been applied (rules fire once per expression).
+func (ge *GroupExpr) MarkApplied(rule string) bool {
+	ge.mu.Lock()
+	defer ge.mu.Unlock()
+	if ge.applied[rule] {
+		return false
+	}
+	ge.applied[rule] = true
+	return true
+}
+
+// AddCandidate records a costed alternative for the request in the local
+// hash table.
+func (ge *GroupExpr) AddCandidate(req props.Required, c Candidate) {
+	h := req.Hash()
+	ge.mu.Lock()
+	defer ge.mu.Unlock()
+	for _, l := range ge.local[h] {
+		if l.req.Equal(req) {
+			l.candidates = append(l.candidates, c)
+			return
+		}
+	}
+	ge.local[h] = append(ge.local[h], &localLink{req: req, candidates: []Candidate{c}})
+}
+
+// Candidates returns the costed alternatives recorded for a request.
+func (ge *GroupExpr) Candidates(req props.Required) []Candidate {
+	h := req.Hash()
+	ge.mu.Lock()
+	defer ge.mu.Unlock()
+	for _, l := range ge.local[h] {
+		if l.req.Equal(req) {
+			return append([]Candidate(nil), l.candidates...)
+		}
+	}
+	return nil
+}
+
+// IsEnforcer reports whether the expression is an enforcer operator.
+func (ge *GroupExpr) IsEnforcer() bool {
+	_, ok := ge.Op.(ops.Enforcer)
+	return ok
+}
+
+// String renders "Op [c1 c2]".
+func (ge *GroupExpr) String() string {
+	return fmt.Sprintf("%s %v", ops.Describe(ge.Op), ge.Children)
+}

@@ -1,0 +1,269 @@
+package memo
+
+import (
+	"math"
+	"sync"
+
+	"orca/internal/base"
+	"orca/internal/ops"
+	"orca/internal/props"
+)
+
+// InfCost marks an unsatisfiable optimization request.
+var InfCost = math.Inf(1)
+
+// OptContext is one entry of a group's hash table (paper Figure 6): an
+// optimization request together with the best group expression found for it
+// and the linkage needed to extract the plan.
+type OptContext struct {
+	Group *Group
+	Req   props.Required
+
+	mu       sync.Mutex
+	done     bool
+	best     *GroupExpr
+	bestCand Candidate
+	haveBest bool
+}
+
+// Context returns the group's context for a request, creating it if needed;
+// created reports whether this call created it (the caller then owns driving
+// its optimization — this is the job-queue dedup of paper §4.2).
+func (g *Group) Context(req props.Required) (ctx *OptContext, created bool) {
+	h := req.Hash()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, c := range g.ctxs[h] {
+		if c.Req.Equal(req) {
+			return c, false
+		}
+	}
+	c := &OptContext{Group: g, Req: req}
+	g.ctxs[h] = append(g.ctxs[h], c)
+	g.memo.mem.Charge(96)
+	return c, true
+}
+
+// LookupContext returns the existing context for a request, or nil.
+func (g *Group) LookupContext(req props.Required) *OptContext {
+	h := req.Hash()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, c := range g.ctxs[h] {
+		if c.Req.Equal(req) {
+			return c
+		}
+	}
+	return nil
+}
+
+// Contexts returns a snapshot of all contexts of the group.
+func (g *Group) Contexts() []*OptContext {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []*OptContext
+	for _, list := range g.ctxs {
+		out = append(out, list...)
+	}
+	return out
+}
+
+// Offer proposes a costed candidate plan rooted at ge for this request,
+// keeping it if it beats the current best.
+func (c *OptContext) Offer(ge *GroupExpr, cand Candidate) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.haveBest || cand.Cost < c.bestCand.Cost {
+		c.best = ge
+		c.bestCand = cand
+		c.haveBest = true
+	}
+}
+
+// Best returns the best expression, its winning candidate, and whether any
+// plan satisfies the request.
+func (c *OptContext) Best() (*GroupExpr, Candidate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.best, c.bestCand, c.haveBest
+}
+
+// BestCost returns the best plan cost, or InfCost.
+func (c *OptContext) BestCost() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.haveBest {
+		return InfCost
+	}
+	return c.bestCand.Cost
+}
+
+// MarkDone marks the context fully optimized.
+func (c *OptContext) MarkDone() {
+	c.mu.Lock()
+	c.done = true
+	c.mu.Unlock()
+}
+
+// Done reports whether optimization of this context completed.
+func (c *OptContext) Done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.done
+}
+
+// ---------------------------------------------------------------------------
+// Enforcer insertion (paper §4.1: "Enforcers are added to the group
+// containing the group expression being optimized.")
+
+// AddEnforcers inserts the enforcer expressions that could satisfy req into
+// the group, once per distinct request. Each enforcer is a group expression
+// whose single child is the group itself (cf. "6: Sort(T1.a) [0]" in
+// Figure 6).
+func (g *Group) AddEnforcers(req props.Required) error {
+	h := req.Hash()
+	g.mu.Lock()
+	if g.enforced == nil {
+		g.enforced = make(map[uint64]bool)
+	}
+	if g.enforced[h] {
+		g.mu.Unlock()
+		return nil
+	}
+	g.enforced[h] = true
+	g.mu.Unlock()
+
+	self := []GroupID{g.ID}
+	var enforcers []ops.Operator
+	if !req.Order.IsAny() {
+		enforcers = append(enforcers, &ops.Sort{Order: req.Order})
+	}
+	switch req.Dist.Kind {
+	case props.DistSingleton:
+		enforcers = append(enforcers, &ops.Gather{})
+		if !req.Order.IsAny() {
+			enforcers = append(enforcers, &ops.GatherMerge{Order: req.Order})
+		}
+	case props.DistHashed:
+		enforcers = append(enforcers, &ops.Redistribute{Cols: req.Dist.Cols})
+	case props.DistReplicated:
+		enforcers = append(enforcers, &ops.Broadcast{})
+	case props.DistRandom:
+		// Only needed when children deliver Replicated: spread one copy.
+		if cols := g.Logical().OutputCols.Ordered(); len(cols) > 0 {
+			enforcers = append(enforcers, &ops.Redistribute{Cols: []base.ColID{cols[0]}})
+		}
+	}
+	if req.Rewindable {
+		enforcers = append(enforcers, &ops.Spool{})
+	}
+	for _, e := range enforcers {
+		if _, err := g.memo.InsertExpr(e, self, g.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnforcerUseful reports whether optimizing the enforcer expression under
+// req can contribute a satisfying plan: the enforcer must deliver a property
+// the request actually demands. This is also the cycle guard — an enforcer
+// whose child request would equal the incoming request is never useful.
+func EnforcerUseful(op ops.Operator, req props.Required) bool {
+	switch o := op.(type) {
+	case *ops.Sort:
+		return !req.Order.IsAny() && o.Order.Satisfies(req.Order)
+	case *ops.Gather:
+		return req.Dist.Kind == props.DistSingleton && req.Order.IsAny()
+	case *ops.GatherMerge:
+		return req.Dist.Kind == props.DistSingleton && o.Order.Satisfies(req.Order)
+	case *ops.Redistribute:
+		if req.Dist.Kind == props.DistRandom {
+			return true
+		}
+		if req.Dist.Kind != props.DistHashed || !req.Order.IsAny() {
+			return false
+		}
+		d := props.Distribution{Kind: props.DistHashed, Cols: o.Cols}
+		return d.Satisfies(props.Distribution{Kind: props.DistHashed, Cols: req.Dist.Cols, AllowReplicated: req.Dist.AllowReplicated})
+	case *ops.Broadcast:
+		return req.Dist.Kind == props.DistReplicated && req.Order.IsAny() ||
+			req.Dist.Kind == props.DistHashed && req.Dist.AllowReplicated && req.Order.IsAny()
+	case *ops.Spool:
+		return req.Rewindable
+	default:
+		return false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Plan extraction (paper §4.1, Figure 6)
+
+// ExtractPlan walks the linkage structure from the root group's best
+// expression for the initial request down through the recorded child
+// requests, building the final physical plan.
+func (m *Memo) ExtractPlan(g GroupID, req props.Required) (*ops.Expr, error) {
+	grp := m.Group(g)
+	ctx := grp.LookupContext(req)
+	if ctx == nil {
+		return nil, errNoPlan(grp, req)
+	}
+	best, cand, ok := ctx.Best()
+	if !ok {
+		return nil, errNoPlan(grp, req)
+	}
+	children := make([]*ops.Expr, len(best.Children))
+	childDerived := make([]props.Derived, len(best.Children))
+	for i, cid := range best.Children {
+		c, err := m.ExtractPlan(cid, cand.ChildReqs[i])
+		if err != nil {
+			return nil, err
+		}
+		children[i] = c
+		childDerived[i] = *c.Phys
+	}
+	phys := best.Op.(ops.Physical).Derive(childDerived)
+	rows := grp.Rows()
+	return &ops.Expr{
+		Op:       best.Op,
+		Children: children,
+		Phys:     &phys,
+		Cost:     cand.Cost,
+		Rows:     rows,
+	}, nil
+}
+
+type noPlanError struct {
+	group GroupID
+	req   props.Required
+}
+
+func (e *noPlanError) Error() string {
+	return "memo: no plan for group " + itoa(int(e.group)) + " under " + e.req.String()
+}
+
+func errNoPlan(g *Group, req props.Required) error {
+	return &noPlanError{group: g.ID, req: req}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,652 @@
+package ops
+
+import (
+	"fmt"
+	"strings"
+
+	"orca/internal/base"
+	"orca/internal/md"
+	"orca/internal/props"
+)
+
+// logicalBase provides the Logical marker.
+type logicalBase struct{}
+
+func (logicalBase) logical() {}
+
+// ---------------------------------------------------------------------------
+// Get
+
+// Get is a logical table access: one instance of a base relation with its
+// query-level column references (cf. dxl:LogicalGet in paper Listing 1).
+type Get struct {
+	logicalBase
+	Alias string
+	Rel   *md.Relation
+	Cols  []*md.ColRef
+}
+
+// Name implements Operator.
+func (*Get) Name() string { return "Get" }
+
+// Arity implements Operator.
+func (*Get) Arity() int { return 0 }
+
+// ParamHash implements Operator; two Gets are the same expression only if
+// they are the same table *instance*, which the first column id identifies.
+func (g *Get) ParamHash() uint64 {
+	h := hashString(fnvOffset, "get")
+	h = hashMix(h, uint64(g.Rel.Mdid.OID))
+	if len(g.Cols) > 0 {
+		h = hashMix(h, uint64(g.Cols[0].ID))
+	}
+	return h
+}
+
+// ParamEqual implements Operator.
+func (g *Get) ParamEqual(o Operator) bool {
+	og, ok := o.(*Get)
+	if !ok || og.Rel.Mdid != g.Rel.Mdid || len(og.Cols) != len(g.Cols) {
+		return false
+	}
+	for i := range g.Cols {
+		if og.Cols[i].ID != g.Cols[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// OutputCols returns the columns the instance produces.
+func (g *Get) OutputCols() base.ColSet {
+	var s base.ColSet
+	for _, c := range g.Cols {
+		s.Add(c.ID)
+	}
+	return s
+}
+
+// ColID returns the ColID of the relation column at the given ordinal.
+func (g *Get) ColID(ordinal int) base.ColID { return g.Cols[ordinal].ID }
+
+// DistCols returns the ColIDs of the relation's hash-distribution columns.
+func (g *Get) DistCols() []base.ColID {
+	out := make([]base.ColID, len(g.Rel.DistCols))
+	for i, ord := range g.Rel.DistCols {
+		out[i] = g.Cols[ord].ID
+	}
+	return out
+}
+
+// Describe renders "Get(t1 as a)".
+func (g *Get) Describe() string {
+	if g.Alias != "" && g.Alias != g.Rel.Name {
+		return fmt.Sprintf("Get(%s as %s)", g.Rel.Name, g.Alias)
+	}
+	return fmt.Sprintf("Get(%s)", g.Rel.Name)
+}
+
+// ---------------------------------------------------------------------------
+// Select
+
+// Select filters its child by a predicate.
+type Select struct {
+	logicalBase
+	Pred ScalarExpr
+}
+
+// Name implements Operator.
+func (*Select) Name() string { return "Select" }
+
+// Arity implements Operator.
+func (*Select) Arity() int { return 1 }
+
+// ParamHash implements Operator.
+func (s *Select) ParamHash() uint64 { return hashMix(hashString(fnvOffset, "select"), s.Pred.Hash()) }
+
+// ParamEqual implements Operator.
+func (s *Select) ParamEqual(o Operator) bool {
+	os, ok := o.(*Select)
+	return ok && os.Pred.Equal(s.Pred)
+}
+
+// Describe renders the predicate.
+func (s *Select) Describe() string { return "Select " + s.Pred.String() }
+
+// ---------------------------------------------------------------------------
+// Project
+
+// ProjElem is one projected column: a target column reference and the
+// defining expression.
+type ProjElem struct {
+	Col  *md.ColRef
+	Expr ScalarExpr
+}
+
+// Project computes scalar expressions; pass-through columns are ProjElems
+// whose Expr is an Ident of the same column.
+type Project struct {
+	logicalBase
+	Elems []ProjElem
+}
+
+// Name implements Operator.
+func (*Project) Name() string { return "Project" }
+
+// Arity implements Operator.
+func (*Project) Arity() int { return 1 }
+
+// ParamHash implements Operator.
+func (p *Project) ParamHash() uint64 {
+	h := hashString(fnvOffset, "project")
+	for _, e := range p.Elems {
+		h = hashMix(h, uint64(e.Col.ID))
+		h = hashMix(h, e.Expr.Hash())
+	}
+	return h
+}
+
+// ParamEqual implements Operator.
+func (p *Project) ParamEqual(o Operator) bool {
+	op, ok := o.(*Project)
+	if !ok || len(op.Elems) != len(p.Elems) {
+		return false
+	}
+	for i := range p.Elems {
+		if op.Elems[i].Col.ID != p.Elems[i].Col.ID || !op.Elems[i].Expr.Equal(p.Elems[i].Expr) {
+			return false
+		}
+	}
+	return true
+}
+
+// OutputCols returns the projected column set.
+func (p *Project) OutputCols() base.ColSet {
+	var s base.ColSet
+	for _, e := range p.Elems {
+		s.Add(e.Col.ID)
+	}
+	return s
+}
+
+// UsedCols returns the columns the projections reference.
+func (p *Project) UsedCols() base.ColSet {
+	var s base.ColSet
+	for _, e := range p.Elems {
+		s = s.Union(e.Expr.Cols())
+	}
+	return s
+}
+
+// Describe renders the projection list.
+func (p *Project) Describe() string {
+	parts := make([]string, len(p.Elems))
+	for i, e := range p.Elems {
+		parts[i] = fmt.Sprintf("c%d=%s", e.Col.ID, e.Expr)
+	}
+	return "Project [" + strings.Join(parts, ", ") + "]"
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+
+// JoinType enumerates join semantics.
+type JoinType uint8
+
+// Join types.
+const (
+	InnerJoin JoinType = iota
+	LeftJoin
+	SemiJoin
+	AntiJoin
+)
+
+// String names the join type.
+func (t JoinType) String() string {
+	switch t {
+	case InnerJoin:
+		return "Inner"
+	case LeftJoin:
+		return "Left"
+	case SemiJoin:
+		return "Semi"
+	case AntiJoin:
+		return "Anti"
+	default:
+		return fmt.Sprintf("JoinType(%d)", t)
+	}
+}
+
+// Join is a binary logical join (children: outer, inner).
+type Join struct {
+	logicalBase
+	Type JoinType
+	Pred ScalarExpr // nil means cross join / constant TRUE
+}
+
+// Name implements Operator.
+func (j *Join) Name() string { return j.Type.String() + "Join" }
+
+// Arity implements Operator.
+func (*Join) Arity() int { return 2 }
+
+// ParamHash implements Operator.
+func (j *Join) ParamHash() uint64 {
+	h := hashString(fnvOffset, "join")
+	h = hashMix(h, uint64(j.Type))
+	if j.Pred != nil {
+		h = hashMix(h, j.Pred.Hash())
+	}
+	return h
+}
+
+// ParamEqual implements Operator.
+func (j *Join) ParamEqual(o Operator) bool {
+	oj, ok := o.(*Join)
+	if !ok || oj.Type != j.Type || (oj.Pred == nil) != (j.Pred == nil) {
+		return false
+	}
+	return j.Pred == nil || oj.Pred.Equal(j.Pred)
+}
+
+// Describe renders "InnerJoin (c0 = c3)".
+func (j *Join) Describe() string {
+	if j.Pred == nil {
+		return j.Name()
+	}
+	return j.Name() + " " + j.Pred.String()
+}
+
+// NAryJoin is the collapsed inner-join of several inputs plus the conjunction
+// of all join predicates; the join-ordering exploration rules (DP, greedy,
+// left-deep — paper §7.2.2 "Join Ordering") expand it into binary join trees.
+type NAryJoin struct {
+	logicalBase
+	Preds []ScalarExpr
+}
+
+// Name implements Operator.
+func (*NAryJoin) Name() string { return "NAryJoin" }
+
+// Arity implements Operator.
+func (*NAryJoin) Arity() int { return -1 }
+
+// ParamHash implements Operator.
+func (j *NAryJoin) ParamHash() uint64 {
+	h := hashString(fnvOffset, "naryjoin")
+	for _, p := range j.Preds {
+		h = hashMix(h, p.Hash())
+	}
+	return h
+}
+
+// ParamEqual implements Operator.
+func (j *NAryJoin) ParamEqual(o Operator) bool {
+	oj, ok := o.(*NAryJoin)
+	if !ok || len(oj.Preds) != len(j.Preds) {
+		return false
+	}
+	for i := range j.Preds {
+		if !oj.Preds[i].Equal(j.Preds[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Describe renders the predicate list.
+func (j *NAryJoin) Describe() string {
+	parts := make([]string, len(j.Preds))
+	for i, p := range j.Preds {
+		parts[i] = p.String()
+	}
+	return "NAryJoin [" + strings.Join(parts, " AND ") + "]"
+}
+
+// ---------------------------------------------------------------------------
+// Grouping and aggregation
+
+// AggElem is one computed aggregate: target column plus aggregate function.
+type AggElem struct {
+	Col *md.ColRef
+	Agg *AggFunc
+}
+
+// GbAgg groups its input and computes aggregates.
+type GbAgg struct {
+	logicalBase
+	GroupCols []base.ColID
+	Aggs      []AggElem
+}
+
+// Name implements Operator.
+func (*GbAgg) Name() string { return "GbAgg" }
+
+// Arity implements Operator.
+func (*GbAgg) Arity() int { return 1 }
+
+// ParamHash implements Operator.
+func (g *GbAgg) ParamHash() uint64 {
+	h := hashString(fnvOffset, "gbagg")
+	for _, c := range g.GroupCols {
+		h = hashMix(h, uint64(c))
+	}
+	for _, a := range g.Aggs {
+		h = hashMix(h, uint64(a.Col.ID))
+		h = hashMix(h, a.Agg.Hash())
+	}
+	return h
+}
+
+// ParamEqual implements Operator.
+func (g *GbAgg) ParamEqual(o Operator) bool {
+	og, ok := o.(*GbAgg)
+	if !ok || len(og.GroupCols) != len(g.GroupCols) || len(og.Aggs) != len(g.Aggs) {
+		return false
+	}
+	for i := range g.GroupCols {
+		if og.GroupCols[i] != g.GroupCols[i] {
+			return false
+		}
+	}
+	for i := range g.Aggs {
+		if og.Aggs[i].Col.ID != g.Aggs[i].Col.ID || !og.Aggs[i].Agg.Equal(g.Aggs[i].Agg) {
+			return false
+		}
+	}
+	return true
+}
+
+// OutputCols returns group columns plus aggregate output columns.
+func (g *GbAgg) OutputCols() base.ColSet {
+	s := base.MakeColSet(g.GroupCols...)
+	for _, a := range g.Aggs {
+		s.Add(a.Col.ID)
+	}
+	return s
+}
+
+// UsedCols returns the columns referenced by grouping and aggregation.
+func (g *GbAgg) UsedCols() base.ColSet {
+	s := base.MakeColSet(g.GroupCols...)
+	for _, a := range g.Aggs {
+		s = s.Union(a.Agg.Cols())
+	}
+	return s
+}
+
+// Describe renders grouping columns and aggregates.
+func (g *GbAgg) Describe() string {
+	parts := make([]string, len(g.Aggs))
+	for i, a := range g.Aggs {
+		parts[i] = fmt.Sprintf("c%d=%s", a.Col.ID, a.Agg)
+	}
+	return fmt.Sprintf("GbAgg group=%v aggs=[%s]", g.GroupCols, strings.Join(parts, ", "))
+}
+
+// ---------------------------------------------------------------------------
+// Limit
+
+// Limit returns the first Count rows (after Offset) of its input under the
+// given order. A Limit with an empty order is a bare LIMIT clause.
+type Limit struct {
+	logicalBase
+	Order  props.OrderSpec
+	Count  int64
+	Offset int64
+	// HasCount distinguishes LIMIT 0 from no LIMIT (pure OFFSET).
+	HasCount bool
+}
+
+// Name implements Operator.
+func (*Limit) Name() string { return "Limit" }
+
+// Arity implements Operator.
+func (*Limit) Arity() int { return 1 }
+
+// ParamHash implements Operator.
+func (l *Limit) ParamHash() uint64 {
+	h := hashString(fnvOffset, "limit")
+	h = hashMix(h, l.Order.Hash())
+	h = hashMix(h, uint64(l.Count))
+	h = hashMix(h, uint64(l.Offset))
+	if l.HasCount {
+		h = hashMix(h, 1)
+	}
+	return h
+}
+
+// ParamEqual implements Operator.
+func (l *Limit) ParamEqual(o Operator) bool {
+	ol, ok := o.(*Limit)
+	return ok && ol.Order.Equal(l.Order) && ol.Count == l.Count && ol.Offset == l.Offset && ol.HasCount == l.HasCount
+}
+
+// Describe renders count/offset/order.
+func (l *Limit) Describe() string {
+	return fmt.Sprintf("Limit %d offset %d order %s", l.Count, l.Offset, l.Order)
+}
+
+// ---------------------------------------------------------------------------
+// UnionAll
+
+// UnionAll concatenates its children. InCols maps each child's columns to the
+// output positions; OutCols are the produced column references.
+type UnionAll struct {
+	logicalBase
+	InCols  [][]base.ColID
+	OutCols []*md.ColRef
+}
+
+// Name implements Operator.
+func (*UnionAll) Name() string { return "UnionAll" }
+
+// Arity implements Operator.
+func (*UnionAll) Arity() int { return -1 }
+
+// ParamHash implements Operator.
+func (u *UnionAll) ParamHash() uint64 {
+	h := hashString(fnvOffset, "unionall")
+	for _, cols := range u.InCols {
+		for _, c := range cols {
+			h = hashMix(h, uint64(c))
+		}
+		h = hashMix(h, 0xfe)
+	}
+	for _, c := range u.OutCols {
+		h = hashMix(h, uint64(c.ID))
+	}
+	return h
+}
+
+// ParamEqual implements Operator.
+func (u *UnionAll) ParamEqual(o Operator) bool {
+	ou, ok := o.(*UnionAll)
+	if !ok || len(ou.InCols) != len(u.InCols) || len(ou.OutCols) != len(u.OutCols) {
+		return false
+	}
+	for i := range u.InCols {
+		if len(ou.InCols[i]) != len(u.InCols[i]) {
+			return false
+		}
+		for j := range u.InCols[i] {
+			if ou.InCols[i][j] != u.InCols[i][j] {
+				return false
+			}
+		}
+	}
+	for i := range u.OutCols {
+		if ou.OutCols[i].ID != u.OutCols[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// OutputCols returns the union's output column set.
+func (u *UnionAll) OutputCols() base.ColSet {
+	var s base.ColSet
+	for _, c := range u.OutCols {
+		s.Add(c.ID)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Common table expressions (paper §7.2.2 "Common Expressions": a
+// producer/consumer model for WITH clause)
+
+// CTEAnchor scopes a common table expression: child 0 is the producer (the
+// CTE definition), child 1 is the body in which consumers appear. Physical
+// implementation is a Sequence that materializes the producer once and then
+// evaluates the body, the paper's produce-once/consume-many model.
+type CTEAnchor struct {
+	logicalBase
+	ID   int
+	Cols []*md.ColRef // producer output columns
+}
+
+// Name implements Operator.
+func (*CTEAnchor) Name() string { return "CTEAnchor" }
+
+// Arity implements Operator.
+func (*CTEAnchor) Arity() int { return 2 }
+
+// ParamHash implements Operator.
+func (c *CTEAnchor) ParamHash() uint64 {
+	return hashMix(hashString(fnvOffset, "cteanchor"), uint64(c.ID))
+}
+
+// ParamEqual implements Operator.
+func (c *CTEAnchor) ParamEqual(o Operator) bool {
+	oc, ok := o.(*CTEAnchor)
+	return ok && oc.ID == c.ID
+}
+
+// Describe renders the CTE id.
+func (c *CTEAnchor) Describe() string { return fmt.Sprintf("CTEAnchor(%d)", c.ID) }
+
+// CTEConsumer reads the materialized output of a CTE producer, exposing it
+// under fresh column references (each consumer instance gets its own ColIDs).
+type CTEConsumer struct {
+	logicalBase
+	ID           int
+	Cols         []*md.ColRef // this consumer's output columns
+	ProducerCols []base.ColID // the producer columns, positionally
+}
+
+// Name implements Operator.
+func (*CTEConsumer) Name() string { return "CTEConsumer" }
+
+// Arity implements Operator.
+func (*CTEConsumer) Arity() int { return 0 }
+
+// ParamHash implements Operator.
+func (c *CTEConsumer) ParamHash() uint64 {
+	h := hashMix(hashString(fnvOffset, "ctecons"), uint64(c.ID))
+	if len(c.Cols) > 0 {
+		h = hashMix(h, uint64(c.Cols[0].ID))
+	}
+	return h
+}
+
+// ParamEqual implements Operator.
+func (c *CTEConsumer) ParamEqual(o Operator) bool {
+	oc, ok := o.(*CTEConsumer)
+	if !ok || oc.ID != c.ID || len(oc.Cols) != len(c.Cols) {
+		return false
+	}
+	for i := range c.Cols {
+		if oc.Cols[i].ID != c.Cols[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// OutputCols returns the consumer's output columns.
+func (c *CTEConsumer) OutputCols() base.ColSet {
+	var s base.ColSet
+	for _, cr := range c.Cols {
+		s.Add(cr.ID)
+	}
+	return s
+}
+
+// Describe renders the CTE id.
+func (c *CTEConsumer) Describe() string { return fmt.Sprintf("CTEConsumer(%d)", c.ID) }
+
+// ---------------------------------------------------------------------------
+// Window
+
+// WinElem is one computed window function column.
+type WinElem struct {
+	Col *md.ColRef
+	Fn  *WinFunc
+}
+
+// Window computes window functions over partitions of its input.
+type Window struct {
+	logicalBase
+	PartitionCols []base.ColID
+	Order         props.OrderSpec
+	Wins          []WinElem
+}
+
+// Name implements Operator.
+func (*Window) Name() string { return "Window" }
+
+// Arity implements Operator.
+func (*Window) Arity() int { return 1 }
+
+// ParamHash implements Operator.
+func (w *Window) ParamHash() uint64 {
+	h := hashString(fnvOffset, "window")
+	for _, c := range w.PartitionCols {
+		h = hashMix(h, uint64(c))
+	}
+	h = hashMix(h, w.Order.Hash())
+	for _, e := range w.Wins {
+		h = hashMix(h, uint64(e.Col.ID))
+		h = hashMix(h, e.Fn.Hash())
+	}
+	return h
+}
+
+// ParamEqual implements Operator.
+func (w *Window) ParamEqual(o Operator) bool {
+	ow, ok := o.(*Window)
+	if !ok || len(ow.PartitionCols) != len(w.PartitionCols) || len(ow.Wins) != len(w.Wins) || !ow.Order.Equal(w.Order) {
+		return false
+	}
+	for i := range w.PartitionCols {
+		if ow.PartitionCols[i] != w.PartitionCols[i] {
+			return false
+		}
+	}
+	for i := range w.Wins {
+		if ow.Wins[i].Col.ID != w.Wins[i].Col.ID || !ow.Wins[i].Fn.Equal(w.Wins[i].Fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// UsedCols returns columns referenced by partitioning, ordering and args.
+func (w *Window) UsedCols() base.ColSet {
+	s := base.MakeColSet(w.PartitionCols...)
+	s = s.Union(w.Order.Cols())
+	for _, e := range w.Wins {
+		s = s.Union(e.Fn.Cols())
+	}
+	return s
+}
+
+// Describe renders partition and functions.
+func (w *Window) Describe() string {
+	parts := make([]string, len(w.Wins))
+	for i, e := range w.Wins {
+		parts[i] = fmt.Sprintf("c%d=%s", e.Col.ID, e.Fn)
+	}
+	return fmt.Sprintf("Window part=%v order=%s fns=[%s]", w.PartitionCols, w.Order, strings.Join(parts, ", "))
+}

@@ -1,0 +1,447 @@
+package ops
+
+import (
+	"fmt"
+	"strings"
+
+	"orca/internal/base"
+	"orca/internal/md"
+	"orca/internal/props"
+)
+
+// physicalBase provides the Physical marker.
+type physicalBase struct{}
+
+func (physicalBase) physical() {}
+
+// enforcerBase additionally provides the Enforcer marker.
+type enforcerBase struct{ physicalBase }
+
+func (enforcerBase) enforcer() {}
+
+// noChildren is the single "no requirements" alternative for leaf operators.
+var noChildren = [][]props.Required{{}}
+
+func anyReq() props.Required { return props.Required{Dist: props.AnyDist} }
+
+// passThrough builds a child request keeping dist and order but dropping
+// rewindability (most operators cannot deliver it; the Spool enforcer can).
+func passThrough(req props.Required) props.Required {
+	return props.Required{Dist: req.Dist, Order: req.Order}
+}
+
+// ---------------------------------------------------------------------------
+// Scan / IndexScan
+
+// Scan is a physical table scan. Filter is an optional pushed-down predicate
+// evaluated during the scan. For partitioned tables, Pruned/Parts record
+// static partition elimination (paper §7.2.2 "Partition Elimination"): when
+// Pruned is set, only the partitions listed in Parts are read.
+type Scan struct {
+	physicalBase
+	Alias  string
+	Rel    *md.Relation
+	Cols   []*md.ColRef
+	Filter ScalarExpr
+	Pruned bool
+	Parts  []int
+	// BaseRows is the estimated number of tuples the scan reads (after
+	// partition elimination, before the filter). It is derived state set by
+	// the implementation rules for costing and excluded from fingerprints.
+	BaseRows float64
+}
+
+// Name implements Operator.
+func (*Scan) Name() string { return "Scan" }
+
+// Arity implements Operator.
+func (*Scan) Arity() int { return 0 }
+
+// ParamHash implements Operator.
+func (s *Scan) ParamHash() uint64 {
+	h := hashString(fnvOffset, "scan")
+	h = hashMix(h, uint64(s.Rel.Mdid.OID))
+	if len(s.Cols) > 0 {
+		h = hashMix(h, uint64(s.Cols[0].ID))
+	}
+	if s.Filter != nil {
+		h = hashMix(h, s.Filter.Hash())
+	}
+	if s.Pruned {
+		h = hashMix(h, 1)
+		for _, p := range s.Parts {
+			h = hashMix(h, uint64(p))
+		}
+	}
+	return h
+}
+
+// ParamEqual implements Operator.
+func (s *Scan) ParamEqual(o Operator) bool {
+	os, ok := o.(*Scan)
+	if !ok || os.Rel.Mdid != s.Rel.Mdid || len(os.Cols) != len(s.Cols) ||
+		(os.Filter == nil) != (s.Filter == nil) || os.Pruned != s.Pruned || len(os.Parts) != len(s.Parts) {
+		return false
+	}
+	for i := range s.Cols {
+		if os.Cols[i].ID != s.Cols[i].ID {
+			return false
+		}
+	}
+	for i := range s.Parts {
+		if os.Parts[i] != s.Parts[i] {
+			return false
+		}
+	}
+	return s.Filter == nil || os.Filter.Equal(s.Filter)
+}
+
+// OutputCols returns the scanned columns.
+func (s *Scan) OutputCols() base.ColSet {
+	var out base.ColSet
+	for _, c := range s.Cols {
+		out.Add(c.ID)
+	}
+	return out
+}
+
+// DistCols returns the ColIDs of the table's hash-distribution columns.
+func (s *Scan) DistCols() []base.ColID {
+	out := make([]base.ColID, len(s.Rel.DistCols))
+	for i, ord := range s.Rel.DistCols {
+		out[i] = s.Cols[ord].ID
+	}
+	return out
+}
+
+// ChildReqs implements Physical.
+func (s *Scan) ChildReqs(props.Required) [][]props.Required { return noChildren }
+
+// Derive implements Physical: the delivered distribution is the stored
+// table's distribution; scans are natively rewindable.
+func (s *Scan) Derive([]props.Derived) props.Derived {
+	return props.Derived{Dist: tableDist(s.Rel, s.Cols), Rewindable: true}
+}
+
+// Describe renders the scan with filter and partition selection.
+func (s *Scan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scan(%s)", s.Rel.Name)
+	if s.Pruned {
+		fmt.Fprintf(&b, " parts=%d/%d", len(s.Parts), len(s.Rel.Parts))
+	}
+	if s.Filter != nil {
+		fmt.Fprintf(&b, " filter=%s", s.Filter)
+	}
+	return b.String()
+}
+
+func tableDist(rel *md.Relation, cols []*md.ColRef) props.Distribution {
+	switch rel.Policy {
+	case md.DistHash:
+		hc := make([]base.ColID, len(rel.DistCols))
+		for i, ord := range rel.DistCols {
+			hc[i] = cols[ord].ID
+		}
+		return props.Hashed(hc...)
+	case md.DistReplicated:
+		return props.ReplicatedDist
+	case md.DistSingleton:
+		return props.SingletonDist
+	default:
+		return props.RandomDist
+	}
+}
+
+// IndexScan reads a relation through a secondary index, delivering the
+// index order without a Sort enforcer. EqFilter is the portion of the
+// predicate matched against the index key; Residual is evaluated afterwards.
+type IndexScan struct {
+	physicalBase
+	Alias    string
+	Rel      *md.Relation
+	Index    *md.Index
+	Cols     []*md.ColRef
+	EqFilter ScalarExpr
+	Residual ScalarExpr
+	// BaseRows is the table's estimated row count (derived state, excluded
+	// from fingerprints), used by the cost model's lookup formula.
+	BaseRows float64
+}
+
+// Name implements Operator.
+func (*IndexScan) Name() string { return "IndexScan" }
+
+// Arity implements Operator.
+func (*IndexScan) Arity() int { return 0 }
+
+// ParamHash implements Operator.
+func (s *IndexScan) ParamHash() uint64 {
+	h := hashString(fnvOffset, "indexscan")
+	h = hashMix(h, uint64(s.Rel.Mdid.OID))
+	h = hashMix(h, uint64(s.Index.Mdid.OID))
+	if len(s.Cols) > 0 {
+		h = hashMix(h, uint64(s.Cols[0].ID))
+	}
+	if s.EqFilter != nil {
+		h = hashMix(h, s.EqFilter.Hash())
+	}
+	if s.Residual != nil {
+		h = hashMix(h, s.Residual.Hash())
+	}
+	return h
+}
+
+// ParamEqual implements Operator.
+func (s *IndexScan) ParamEqual(o Operator) bool {
+	os, ok := o.(*IndexScan)
+	if !ok || os.Rel.Mdid != s.Rel.Mdid || os.Index.Mdid != s.Index.Mdid || len(os.Cols) != len(s.Cols) {
+		return false
+	}
+	for i := range s.Cols {
+		if os.Cols[i].ID != s.Cols[i].ID {
+			return false
+		}
+	}
+	if (os.EqFilter == nil) != (s.EqFilter == nil) || (os.Residual == nil) != (s.Residual == nil) {
+		return false
+	}
+	return (s.EqFilter == nil || os.EqFilter.Equal(s.EqFilter)) &&
+		(s.Residual == nil || os.Residual.Equal(s.Residual))
+}
+
+// OutputCols returns the scanned columns.
+func (s *IndexScan) OutputCols() base.ColSet {
+	var out base.ColSet
+	for _, c := range s.Cols {
+		out.Add(c.ID)
+	}
+	return out
+}
+
+// Order returns the sort order the index delivers.
+func (s *IndexScan) Order() props.OrderSpec {
+	items := make([]props.OrderItem, len(s.Index.KeyCols))
+	for i, ord := range s.Index.KeyCols {
+		items[i] = props.OrderItem{Col: s.Cols[ord].ID}
+	}
+	return props.OrderSpec{Items: items}
+}
+
+// ChildReqs implements Physical.
+func (s *IndexScan) ChildReqs(props.Required) [][]props.Required { return noChildren }
+
+// Derive implements Physical.
+func (s *IndexScan) Derive([]props.Derived) props.Derived {
+	return props.Derived{Dist: tableDist(s.Rel, s.Cols), Order: s.Order(), Rewindable: true}
+}
+
+// Describe renders the index scan.
+func (s *IndexScan) Describe() string {
+	d := fmt.Sprintf("IndexScan(%s via %s)", s.Rel.Name, s.Index.Name)
+	if s.EqFilter != nil {
+		d += " key=" + s.EqFilter.String()
+	}
+	if s.Residual != nil {
+		d += " residual=" + s.Residual.String()
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Filter / ComputeScalar
+
+// Filter evaluates a predicate over its child's rows.
+type Filter struct {
+	physicalBase
+	Pred ScalarExpr
+}
+
+// Name implements Operator.
+func (*Filter) Name() string { return "Filter" }
+
+// Arity implements Operator.
+func (*Filter) Arity() int { return 1 }
+
+// ParamHash implements Operator.
+func (f *Filter) ParamHash() uint64 { return hashMix(hashString(fnvOffset, "filter"), f.Pred.Hash()) }
+
+// ParamEqual implements Operator.
+func (f *Filter) ParamEqual(o Operator) bool {
+	of, ok := o.(*Filter)
+	return ok && of.Pred.Equal(f.Pred)
+}
+
+// ChildReqs implements Physical: requirements pass through the filter.
+func (f *Filter) ChildReqs(req props.Required) [][]props.Required {
+	return [][]props.Required{{passThrough(req)}}
+}
+
+// Derive implements Physical: distribution and order pass through.
+func (f *Filter) Derive(children []props.Derived) props.Derived {
+	return props.Derived{Dist: children[0].Dist, Order: children[0].Order}
+}
+
+// Describe renders the predicate.
+func (f *Filter) Describe() string { return "Filter " + f.Pred.String() }
+
+// ComputeScalar evaluates projection expressions. PassMap maps output column
+// ids to the input columns they alias (identity projections), which lets
+// requirements on aliased columns pass through to the child.
+type ComputeScalar struct {
+	physicalBase
+	Elems   []ProjElem
+	PassMap map[base.ColID]base.ColID
+}
+
+// NewComputeScalar builds the operator, deriving the pass-through map.
+func NewComputeScalar(elems []ProjElem) *ComputeScalar {
+	pass := make(map[base.ColID]base.ColID)
+	for _, e := range elems {
+		if id, ok := e.Expr.(*Ident); ok {
+			pass[e.Col.ID] = id.Col
+		}
+	}
+	return &ComputeScalar{Elems: elems, PassMap: pass}
+}
+
+// Name implements Operator.
+func (*ComputeScalar) Name() string { return "ComputeScalar" }
+
+// Arity implements Operator.
+func (*ComputeScalar) Arity() int { return 1 }
+
+// ParamHash implements Operator.
+func (p *ComputeScalar) ParamHash() uint64 {
+	h := hashString(fnvOffset, "compute")
+	for _, e := range p.Elems {
+		h = hashMix(h, uint64(e.Col.ID))
+		h = hashMix(h, e.Expr.Hash())
+	}
+	return h
+}
+
+// ParamEqual implements Operator.
+func (p *ComputeScalar) ParamEqual(o Operator) bool {
+	op, ok := o.(*ComputeScalar)
+	if !ok || len(op.Elems) != len(p.Elems) {
+		return false
+	}
+	for i := range p.Elems {
+		if op.Elems[i].Col.ID != p.Elems[i].Col.ID || !op.Elems[i].Expr.Equal(p.Elems[i].Expr) {
+			return false
+		}
+	}
+	return true
+}
+
+// OutputCols returns the projected columns.
+func (p *ComputeScalar) OutputCols() base.ColSet {
+	var s base.ColSet
+	for _, e := range p.Elems {
+		s.Add(e.Col.ID)
+	}
+	return s
+}
+
+// UsedCols returns the referenced input columns.
+func (p *ComputeScalar) UsedCols() base.ColSet {
+	var s base.ColSet
+	for _, e := range p.Elems {
+		s = s.Union(e.Expr.Cols())
+	}
+	return s
+}
+
+// translate rewrites a requirement through the pass-through map; ok is false
+// when a required column is genuinely computed here and cannot be requested
+// from the child.
+func (p *ComputeScalar) translate(req props.Required) (props.Required, bool) {
+	out := props.Required{}
+	switch req.Dist.Kind {
+	case props.DistHashed:
+		cols := make([]base.ColID, len(req.Dist.Cols))
+		for i, c := range req.Dist.Cols {
+			in, ok := p.PassMap[c]
+			if !ok {
+				return out, false
+			}
+			cols[i] = in
+		}
+		out.Dist = props.Distribution{Kind: props.DistHashed, Cols: cols, AllowReplicated: req.Dist.AllowReplicated}
+	default:
+		out.Dist = req.Dist
+	}
+	items := make([]props.OrderItem, len(req.Order.Items))
+	for i, it := range req.Order.Items {
+		in, ok := p.PassMap[it.Col]
+		if !ok {
+			return out, false
+		}
+		items[i] = props.OrderItem{Col: in, Desc: it.Desc}
+	}
+	out.Order = props.OrderSpec{Items: items}
+	return out, true
+}
+
+// ChildReqs implements Physical.
+func (p *ComputeScalar) ChildReqs(req props.Required) [][]props.Required {
+	if creq, ok := p.translate(req); ok {
+		return [][]props.Required{{creq}}
+	}
+	// Requirements name computed columns; ask nothing and let enforcers
+	// above this operator deliver them.
+	return [][]props.Required{{anyReq()}}
+}
+
+// Derive implements Physical: delivered properties are the child's,
+// translated through the projection; hashing/ordering columns that are
+// projected away degrade the distribution to Random and truncate the order.
+func (p *ComputeScalar) Derive(children []props.Derived) props.Derived {
+	out := props.Derived{}
+	// Build reverse map input→output for identity projections.
+	rev := make(map[base.ColID]base.ColID, len(p.PassMap))
+	for o, in := range p.PassMap {
+		rev[in] = o
+	}
+	cd := children[0]
+	switch cd.Dist.Kind {
+	case props.DistHashed:
+		cols := make([]base.ColID, len(cd.Dist.Cols))
+		ok := true
+		for i, c := range cd.Dist.Cols {
+			if o, found := rev[c]; found {
+				cols[i] = o
+			} else {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Dist = props.Hashed(cols...)
+		} else {
+			out.Dist = props.RandomDist
+		}
+	default:
+		out.Dist = cd.Dist
+	}
+	var items []props.OrderItem
+	for _, it := range cd.Order.Items {
+		o, found := rev[it.Col]
+		if !found {
+			break
+		}
+		items = append(items, props.OrderItem{Col: o, Desc: it.Desc})
+	}
+	out.Order = props.OrderSpec{Items: items}
+	return out
+}
+
+// Describe renders the projections.
+func (p *ComputeScalar) Describe() string {
+	parts := make([]string, len(p.Elems))
+	for i, e := range p.Elems {
+		parts[i] = fmt.Sprintf("c%d=%s", e.Col.ID, e.Expr)
+	}
+	return "ComputeScalar [" + strings.Join(parts, ", ") + "]"
+}

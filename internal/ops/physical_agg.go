@@ -1,0 +1,293 @@
+package ops
+
+import (
+	"fmt"
+	"strings"
+
+	"orca/internal/base"
+	"orca/internal/props"
+)
+
+// AggMode distinguishes the stages of a multi-stage (MPP) aggregate: a
+// Single aggregate does all the work at once; a Local aggregate
+// pre-aggregates segment-resident data and a Global aggregate combines the
+// partial states after a motion — the classic two-stage aggregation plan.
+type AggMode uint8
+
+// Aggregation modes.
+const (
+	AggSingle AggMode = iota
+	AggLocal
+	AggGlobal
+)
+
+// String names the mode.
+func (m AggMode) String() string {
+	switch m {
+	case AggLocal:
+		return "Local"
+	case AggGlobal:
+		return "Global"
+	default:
+		return "Single"
+	}
+}
+
+func hashAggElems(h uint64, groupCols []base.ColID, aggs []AggElem) uint64 {
+	for _, c := range groupCols {
+		h = hashMix(h, uint64(c))
+	}
+	for _, a := range aggs {
+		h = hashMix(h, uint64(a.Col.ID))
+		h = hashMix(h, a.Agg.Hash())
+	}
+	return h
+}
+
+func aggElemsEqual(a, b []AggElem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Col.ID != b[i].Col.ID || !a[i].Agg.Equal(b[i].Agg) {
+			return false
+		}
+	}
+	return true
+}
+
+func colIDsEqual(a, b []base.ColID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func aggOutputCols(groupCols []base.ColID, aggs []AggElem) base.ColSet {
+	s := base.MakeColSet(groupCols...)
+	for _, a := range aggs {
+		s.Add(a.Col.ID)
+	}
+	return s
+}
+
+func aggUsedCols(groupCols []base.ColID, aggs []AggElem) base.ColSet {
+	s := base.MakeColSet(groupCols...)
+	for _, a := range aggs {
+		s = s.Union(a.Agg.Cols())
+	}
+	return s
+}
+
+// groupDistAlternatives lists the child distribution requests that make a
+// grouped aggregate correct: partition on all grouping columns, on any
+// single grouping column (rows in one hash bucket of a grouping column
+// necessarily agree on that column, so groups never straddle segments), or
+// everything on one host.
+func groupDistAlternatives(groupCols []base.ColID) []props.Distribution {
+	var out []props.Distribution
+	out = append(out, props.Hashed(groupCols...))
+	if len(groupCols) > 1 {
+		for _, c := range groupCols {
+			out = append(out, props.Hashed(c))
+		}
+	}
+	out = append(out, props.SingletonDist)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// HashAgg
+
+// HashAgg implements grouping via a hash table. In Global mode the aggregate
+// functions combine partial states produced by a matching Local aggregate
+// below (count→sum of partial counts, sum/min/max→same function).
+type HashAgg struct {
+	physicalBase
+	Mode      AggMode
+	GroupCols []base.ColID
+	Aggs      []AggElem
+}
+
+// Name implements Operator.
+func (a *HashAgg) Name() string { return a.Mode.String() + "HashAgg" }
+
+// Arity implements Operator.
+func (*HashAgg) Arity() int { return 1 }
+
+// ParamHash implements Operator.
+func (a *HashAgg) ParamHash() uint64 {
+	h := hashString(fnvOffset, "hashagg")
+	h = hashMix(h, uint64(a.Mode))
+	return hashAggElems(h, a.GroupCols, a.Aggs)
+}
+
+// ParamEqual implements Operator.
+func (a *HashAgg) ParamEqual(o Operator) bool {
+	oa, ok := o.(*HashAgg)
+	return ok && oa.Mode == a.Mode && colIDsEqual(oa.GroupCols, a.GroupCols) && aggElemsEqual(oa.Aggs, a.Aggs)
+}
+
+// OutputCols returns group plus aggregate columns.
+func (a *HashAgg) OutputCols() base.ColSet { return aggOutputCols(a.GroupCols, a.Aggs) }
+
+// UsedCols returns referenced input columns.
+func (a *HashAgg) UsedCols() base.ColSet { return aggUsedCols(a.GroupCols, a.Aggs) }
+
+// ChildReqs implements Physical.
+func (a *HashAgg) ChildReqs(props.Required) [][]props.Required {
+	if a.Mode == AggLocal {
+		return [][]props.Required{{anyReq()}}
+	}
+	dists := groupDistAlternatives(a.GroupCols)
+	alts := make([][]props.Required, len(dists))
+	for i, d := range dists {
+		alts[i] = []props.Required{{Dist: d}}
+	}
+	return alts
+}
+
+// Derive implements Physical: the child distribution is preserved; hash
+// aggregation destroys order.
+func (a *HashAgg) Derive(children []props.Derived) props.Derived {
+	return props.Derived{Dist: children[0].Dist}
+}
+
+// Describe renders mode, grouping and aggregates.
+func (a *HashAgg) Describe() string {
+	return fmt.Sprintf("%s group=%v aggs=[%s]", a.Name(), a.GroupCols, aggList(a.Aggs))
+}
+
+func aggList(aggs []AggElem) string {
+	parts := make([]string, len(aggs))
+	for i, a := range aggs {
+		parts[i] = fmt.Sprintf("c%d=%s", a.Col.ID, a.Agg)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ---------------------------------------------------------------------------
+// StreamAgg
+
+// StreamAgg implements grouping over input sorted by the grouping columns,
+// preserving that order in its output.
+type StreamAgg struct {
+	physicalBase
+	GroupCols []base.ColID
+	Aggs      []AggElem
+}
+
+// Name implements Operator.
+func (*StreamAgg) Name() string { return "StreamAgg" }
+
+// Arity implements Operator.
+func (*StreamAgg) Arity() int { return 1 }
+
+// ParamHash implements Operator.
+func (a *StreamAgg) ParamHash() uint64 {
+	return hashAggElems(hashString(fnvOffset, "streamagg"), a.GroupCols, a.Aggs)
+}
+
+// ParamEqual implements Operator.
+func (a *StreamAgg) ParamEqual(o Operator) bool {
+	oa, ok := o.(*StreamAgg)
+	return ok && colIDsEqual(oa.GroupCols, a.GroupCols) && aggElemsEqual(oa.Aggs, a.Aggs)
+}
+
+// OutputCols returns group plus aggregate columns.
+func (a *StreamAgg) OutputCols() base.ColSet { return aggOutputCols(a.GroupCols, a.Aggs) }
+
+// UsedCols returns referenced input columns.
+func (a *StreamAgg) UsedCols() base.ColSet { return aggUsedCols(a.GroupCols, a.Aggs) }
+
+// GroupOrder is the input order the operator requires.
+func (a *StreamAgg) GroupOrder() props.OrderSpec { return props.MakeOrder(a.GroupCols...) }
+
+// ChildReqs implements Physical.
+func (a *StreamAgg) ChildReqs(props.Required) [][]props.Required {
+	ord := a.GroupOrder()
+	dists := groupDistAlternatives(a.GroupCols)
+	alts := make([][]props.Required, len(dists))
+	for i, d := range dists {
+		alts[i] = []props.Required{{Dist: d, Order: ord}}
+	}
+	return alts
+}
+
+// Derive implements Physical: distribution and the group order pass through.
+func (a *StreamAgg) Derive(children []props.Derived) props.Derived {
+	return props.Derived{Dist: children[0].Dist, Order: a.GroupOrder()}
+}
+
+// Describe renders grouping and aggregates.
+func (a *StreamAgg) Describe() string {
+	return fmt.Sprintf("StreamAgg group=%v aggs=[%s]", a.GroupCols, aggList(a.Aggs))
+}
+
+// ---------------------------------------------------------------------------
+// ScalarAgg
+
+// ScalarAgg aggregates without grouping, producing exactly one row (per
+// segment in Local mode).
+type ScalarAgg struct {
+	physicalBase
+	Mode AggMode
+	Aggs []AggElem
+}
+
+// Name implements Operator.
+func (a *ScalarAgg) Name() string { return a.Mode.String() + "ScalarAgg" }
+
+// Arity implements Operator.
+func (*ScalarAgg) Arity() int { return 1 }
+
+// ParamHash implements Operator.
+func (a *ScalarAgg) ParamHash() uint64 {
+	h := hashString(fnvOffset, "scalaragg")
+	h = hashMix(h, uint64(a.Mode))
+	return hashAggElems(h, nil, a.Aggs)
+}
+
+// ParamEqual implements Operator.
+func (a *ScalarAgg) ParamEqual(o Operator) bool {
+	oa, ok := o.(*ScalarAgg)
+	return ok && oa.Mode == a.Mode && aggElemsEqual(oa.Aggs, a.Aggs)
+}
+
+// OutputCols returns the aggregate columns.
+func (a *ScalarAgg) OutputCols() base.ColSet { return aggOutputCols(nil, a.Aggs) }
+
+// UsedCols returns referenced input columns.
+func (a *ScalarAgg) UsedCols() base.ColSet { return aggUsedCols(nil, a.Aggs) }
+
+// ChildReqs implements Physical.
+func (a *ScalarAgg) ChildReqs(props.Required) [][]props.Required {
+	if a.Mode == AggLocal {
+		return [][]props.Required{{anyReq()}}
+	}
+	// Single and Global both consume everything on one host.
+	return [][]props.Required{{{Dist: props.SingletonDist}}}
+}
+
+// Derive implements Physical: a Local scalar aggregate emits one row per
+// segment (no placement guarantee); Single/Global emit one row on one host.
+func (a *ScalarAgg) Derive(children []props.Derived) props.Derived {
+	if a.Mode == AggLocal {
+		d := children[0].Dist
+		if d.Kind == props.DistSingleton || d.Kind == props.DistReplicated {
+			return props.Derived{Dist: props.SingletonDist}
+		}
+		return props.Derived{Dist: props.RandomDist}
+	}
+	return props.Derived{Dist: props.SingletonDist}
+}
+
+// Describe renders the aggregates.
+func (a *ScalarAgg) Describe() string {
+	return fmt.Sprintf("%s aggs=[%s]", a.Name(), aggList(a.Aggs))
+}

@@ -1,0 +1,220 @@
+package ops
+
+import (
+	"fmt"
+
+	"orca/internal/base"
+	"orca/internal/props"
+)
+
+// HashJoin is a hash join on equality keys (children: outer/probe, inner/
+// build). Its child-request alternatives reproduce the paper's Figure 7:
+// co-locate both sides on the join keys, broadcast one side, or gather both
+// sides to a single host; the cost model differentiates them.
+type HashJoin struct {
+	physicalBase
+	Type      JoinType
+	LeftKeys  []base.ColID
+	RightKeys []base.ColID
+	Residual  ScalarExpr // non-equi conjuncts evaluated after matching
+}
+
+// Name implements Operator.
+func (j *HashJoin) Name() string { return "Inner" + suffixFor(j.Type) + "HashJoin" }
+
+func suffixFor(t JoinType) string {
+	switch t {
+	case InnerJoin:
+		return ""
+	case LeftJoin:
+		return "Left"
+	case SemiJoin:
+		return "Semi"
+	case AntiJoin:
+		return "Anti"
+	default:
+		return "?"
+	}
+}
+
+// Arity implements Operator.
+func (*HashJoin) Arity() int { return 2 }
+
+// ParamHash implements Operator.
+func (j *HashJoin) ParamHash() uint64 {
+	h := hashString(fnvOffset, "hashjoin")
+	h = hashMix(h, uint64(j.Type))
+	for _, c := range j.LeftKeys {
+		h = hashMix(h, uint64(c))
+	}
+	for _, c := range j.RightKeys {
+		h = hashMix(h, uint64(c))
+	}
+	if j.Residual != nil {
+		h = hashMix(h, j.Residual.Hash())
+	}
+	return h
+}
+
+// ParamEqual implements Operator.
+func (j *HashJoin) ParamEqual(o Operator) bool {
+	oj, ok := o.(*HashJoin)
+	if !ok || oj.Type != j.Type || len(oj.LeftKeys) != len(j.LeftKeys) || len(oj.RightKeys) != len(j.RightKeys) {
+		return false
+	}
+	for i := range j.LeftKeys {
+		if oj.LeftKeys[i] != j.LeftKeys[i] || oj.RightKeys[i] != j.RightKeys[i] {
+			return false
+		}
+	}
+	if (oj.Residual == nil) != (j.Residual == nil) {
+		return false
+	}
+	return j.Residual == nil || oj.Residual.Equal(j.Residual)
+}
+
+// ChildReqs implements Physical. Alternatives, in the paper's spirit
+// (Figure 7 and footnote 2: "there can be many other alternatives"):
+//
+//  1. co-locate: redistribute both sides on the join keys,
+//  2. broadcast the inner side, keep the outer side in place,
+//  3. broadcast the outer side (inner joins only — broadcasting the
+//     row-preserving side of an outer/semi/anti join would duplicate it),
+//  4. gather both sides to a single host.
+func (j *HashJoin) ChildReqs(props.Required) [][]props.Required {
+	var alts [][]props.Required
+	if len(j.LeftKeys) > 0 {
+		alts = append(alts, []props.Required{
+			{Dist: props.HashedDupSafe(j.LeftKeys...)},
+			{Dist: props.HashedDupSafe(j.RightKeys...)},
+		})
+	}
+	alts = append(alts, []props.Required{
+		{Dist: props.AnyDist},
+		{Dist: props.ReplicatedDist},
+	})
+	if j.Type == InnerJoin {
+		alts = append(alts, []props.Required{
+			{Dist: props.ReplicatedDist},
+			{Dist: props.AnyDist},
+		})
+	}
+	alts = append(alts, []props.Required{
+		{Dist: props.SingletonDist},
+		{Dist: props.SingletonDist},
+	})
+	return alts
+}
+
+// Derive implements Physical.
+func (j *HashJoin) Derive(children []props.Derived) props.Derived {
+	return props.Derived{Dist: joinDist(children[0].Dist, children[1].Dist)}
+}
+
+// joinDist combines child distributions into the join output distribution:
+// a replicated side defers to the other side; co-located sides keep the
+// outer distribution; a mismatch (should not survive property checking)
+// degrades to Random.
+func joinDist(outer, inner props.Distribution) props.Distribution {
+	switch {
+	case outer.Kind == props.DistReplicated && inner.Kind == props.DistReplicated:
+		return props.ReplicatedDist
+	case outer.Kind == props.DistReplicated:
+		return inner
+	case inner.Kind == props.DistReplicated:
+		return outer
+	case outer.Kind == props.DistSingleton && inner.Kind == props.DistSingleton:
+		return props.SingletonDist
+	case outer.Kind == props.DistHashed:
+		return outer
+	default:
+		return props.RandomDist
+	}
+}
+
+// Describe renders the join keys.
+func (j *HashJoin) Describe() string {
+	d := j.Name() + " " + keysString(j.LeftKeys, j.RightKeys)
+	if j.Residual != nil {
+		d += " residual=" + j.Residual.String()
+	}
+	return d
+}
+
+func keysString(l, r []base.ColID) string {
+	s := "["
+	for i := range l {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("c%d=c%d", l[i], r[i])
+	}
+	return s + "]"
+}
+
+// NLJoin is a nested-loops join (children: outer, inner). The inner side is
+// requested rewindable — it is re-scanned per outer tuple — and either
+// replicated or co-resident on a single host. NLJoin preserves the outer
+// child's sort order, which is how an order-preserving NL join avoids a Sort
+// enforcer (paper §4.1).
+type NLJoin struct {
+	physicalBase
+	Type JoinType
+	Pred ScalarExpr
+}
+
+// Name implements Operator.
+func (j *NLJoin) Name() string { return "Inner" + suffixFor(j.Type) + "NLJoin" }
+
+// Arity implements Operator.
+func (*NLJoin) Arity() int { return 2 }
+
+// ParamHash implements Operator.
+func (j *NLJoin) ParamHash() uint64 {
+	h := hashString(fnvOffset, "nljoin")
+	h = hashMix(h, uint64(j.Type))
+	if j.Pred != nil {
+		h = hashMix(h, j.Pred.Hash())
+	}
+	return h
+}
+
+// ParamEqual implements Operator.
+func (j *NLJoin) ParamEqual(o Operator) bool {
+	oj, ok := o.(*NLJoin)
+	if !ok || oj.Type != j.Type || (oj.Pred == nil) != (j.Pred == nil) {
+		return false
+	}
+	return j.Pred == nil || oj.Pred.Equal(j.Pred)
+}
+
+// ChildReqs implements Physical.
+func (j *NLJoin) ChildReqs(req props.Required) [][]props.Required {
+	return [][]props.Required{
+		{
+			{Dist: props.AnyDist, Order: req.Order},
+			{Dist: props.ReplicatedDist, Rewindable: true},
+		},
+		{
+			{Dist: props.SingletonDist, Order: req.Order},
+			{Dist: props.SingletonDist, Rewindable: true},
+		},
+	}
+}
+
+// Derive implements Physical: distribution combines like a hash join; the
+// outer child's order is preserved.
+func (j *NLJoin) Derive(children []props.Derived) props.Derived {
+	return props.Derived{
+		Dist:  joinDist(children[0].Dist, children[1].Dist),
+		Order: children[0].Order,
+	}
+}
+
+// Describe renders the predicate.
+func (j *NLJoin) Describe() string {
+	if j.Pred == nil {
+		return j.Name()
+	}
+	return j.Name() + " " + j.Pred.String()
+}

@@ -1,0 +1,262 @@
+package planner
+
+import (
+	"math"
+
+	"orca/internal/base"
+	"orca/internal/ops"
+	"orca/internal/props"
+)
+
+// planJoinTree plans a join subtree. Chains of inner joins are flattened and
+// re-ordered greedily (left-deep, smallest-estimated-result-first) over the
+// planner's crude estimates; outer/semi/anti joins are planned in place.
+func (p *Planner) planJoinTree(e *ops.Expr) (*subplan, error) {
+	op := e.Op.(*ops.Join)
+	if op.Type != ops.InnerJoin {
+		left, err := p.plan(e.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		right, err := p.plan(e.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		plain, withSub := splitSubqueryConjuncts(op.Pred)
+		out, err := p.joinPhysical(op.Type, ops.And(plain...), left, right)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range withSub {
+			out, err = p.planSubPlanFilter(out, c)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	var inputs []*ops.Expr
+	var preds []ops.ScalarExpr
+	flattenInner(e, &inputs, &preds)
+
+	plans := make([]*subplan, len(inputs))
+	for i, in := range inputs {
+		sp, err := p.plan(in)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = sp
+	}
+	plain, withSub := splitSubqueryConjuncts(ops.And(preds...))
+
+	remaining := append([]ops.ScalarExpr(nil), plain...)
+	if p.LiteralJoinOrder {
+		// Rival-engine mode: join exactly as written (paper §7.3.2).
+		cur := plans[0]
+		for i := 1; i < len(plans); i++ {
+			crossing := crossingPreds(remaining, cur.out, plans[i].out)
+			remaining = removePreds(remaining, crossing)
+			joined, err := p.joinPhysical(ops.InnerJoin, ops.And(crossing...), cur, plans[i])
+			if err != nil {
+				return nil, err
+			}
+			cur = joined
+		}
+		return p.finishJoin(cur, remaining, withSub)
+	}
+	// Greedy left-deep: start from the smallest input.
+	cur := plans[0]
+	curIdx := 0
+	for i, sp := range plans {
+		if sp.rows < cur.rows {
+			cur, curIdx = sp, i
+		}
+	}
+	used := map[int]bool{curIdx: true}
+	for len(used) < len(plans) {
+		bestIdx := -1
+		bestRows := math.Inf(1)
+		bestConnected := false
+		for i, sp := range plans {
+			if used[i] {
+				continue
+			}
+			crossing := crossingPreds(remaining, cur.out, sp.out)
+			connected := len(crossing) > 0
+			if bestConnected && !connected {
+				continue
+			}
+			rows := p.joinRows(ops.And(crossing...), cur, sp)
+			if connected && !bestConnected {
+				bestConnected = true
+				bestRows = math.Inf(1)
+			}
+			if rows < bestRows {
+				bestRows = rows
+				bestIdx = i
+			}
+		}
+		next := plans[bestIdx]
+		crossing := crossingPreds(remaining, cur.out, next.out)
+		remaining = removePreds(remaining, crossing)
+		joined, err := p.joinPhysical(ops.InnerJoin, ops.And(crossing...), cur, next)
+		if err != nil {
+			return nil, err
+		}
+		cur = joined
+		used[bestIdx] = true
+	}
+	return p.finishJoin(cur, remaining, withSub)
+}
+
+// finishJoin applies leftover predicates and subquery conjuncts above a
+// completed join tree.
+func (p *Planner) finishJoin(cur *subplan, remaining, withSub []ops.ScalarExpr) (*subplan, error) {
+	if len(remaining) > 0 {
+		pred := ops.And(remaining...)
+		cur = &subplan{
+			expr: ops.NewExpr(&ops.Filter{Pred: pred}, cur.expr),
+			dist: cur.dist, ord: cur.ord,
+			rows: cur.rows * p.predSel(pred),
+			cost: cur.cost + cur.rows,
+			out:  cur.out,
+		}
+	}
+	var err error
+	for _, c := range withSub {
+		cur, err = p.planSubPlanFilter(cur, c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+func flattenInner(e *ops.Expr, inputs *[]*ops.Expr, preds *[]ops.ScalarExpr) {
+	if j, ok := e.Op.(*ops.Join); ok && j.Type == ops.InnerJoin {
+		flattenInner(e.Children[0], inputs, preds)
+		flattenInner(e.Children[1], inputs, preds)
+		*preds = append(*preds, ops.Conjuncts(j.Pred)...)
+		return
+	}
+	*inputs = append(*inputs, e)
+}
+
+func crossingPreds(preds []ops.ScalarExpr, l, r base.ColSet) []ops.ScalarExpr {
+	both := l.Union(r)
+	var out []ops.ScalarExpr
+	for _, p := range preds {
+		pc := p.Cols()
+		if pc.SubsetOf(both) && pc.Intersects(l) && pc.Intersects(r) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func removePreds(preds, drop []ops.ScalarExpr) []ops.ScalarExpr {
+	var out []ops.ScalarExpr
+	for _, p := range preds {
+		found := false
+		for _, d := range drop {
+			if d == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// joinRows estimates the join result size: 1/max(NDV) per equality key,
+// magic fractions otherwise.
+func (p *Planner) joinRows(pred ops.ScalarExpr, l, r *subplan) float64 {
+	lk, rk, residual := ops.EquiKeys(pred, l.out, r.out)
+	sel := 1.0
+	if len(lk) == 0 && pred != nil {
+		sel = magicRangeSel
+	}
+	for i := range lk {
+		lndv := p.colNDV(p.f.Lookup(lk[i]))
+		rndv := p.colNDV(p.f.Lookup(rk[i]))
+		ndv := math.Max(lndv, rndv)
+		if ndv <= 0 {
+			ndv = math.Max(math.Max(l.rows, r.rows)*0.1, 1)
+		}
+		sel /= ndv
+	}
+	for range residual {
+		sel *= magicRangeSel
+	}
+	return math.Max(l.rows*r.rows*sel, 1)
+}
+
+// joinPhysical builds one physical join with Redistribute/Gather motions —
+// the broadcast alternative is not in the legacy planner's vocabulary.
+func (p *Planner) joinPhysical(t ops.JoinType, pred ops.ScalarExpr, l, r *subplan) (*subplan, error) {
+	lk, rk, residual := ops.EquiKeys(pred, l.out, r.out)
+	rows := p.joinRows(pred, l, r)
+	switch t {
+	case ops.LeftJoin:
+		rows = math.Max(rows, l.rows)
+	case ops.SemiJoin:
+		rows = l.rows * 0.5
+	case ops.AntiJoin:
+		rows = l.rows * 0.5
+	}
+
+	if len(lk) > 0 {
+		var lIn, rIn *subplan
+		if p.BroadcastRight {
+			// Impala-style: always replicate the build side.
+			lIn = l
+			rIn = p.enforce(r, props.ReplicatedDist, props.OrderSpec{})
+		} else {
+			// Co-locate both sides on the join keys (replicated inputs are
+			// accepted in place).
+			lIn = l
+			if !l.dist.Satisfies(props.HashedDupSafe(lk...)) {
+				lIn = p.enforce(l, props.Hashed(lk...), props.OrderSpec{})
+			}
+			rIn = r
+			if !r.dist.Satisfies(props.HashedDupSafe(rk...)) {
+				rIn = p.enforce(r, props.Hashed(rk...), props.OrderSpec{})
+			}
+		}
+		hj := &ops.HashJoin{Type: t, LeftKeys: lk, RightKeys: rk, Residual: ops.And(residual...)}
+		dist := lIn.dist
+		if dist.Kind == props.DistReplicated {
+			dist = rIn.dist
+		}
+		return &subplan{
+			expr: ops.NewExpr(hj, lIn.expr, rIn.expr),
+			dist: dist,
+			rows: rows,
+			cost: lIn.cost + rIn.cost + lIn.rows + rIn.rows,
+			out:  joinOut(t, l.out, r.out),
+		}, nil
+	}
+
+	// Non-equi join: gather both sides to the master and nested-loop there.
+	lIn := p.enforce(l, props.SingletonDist, props.OrderSpec{})
+	rIn := p.enforce(r, props.SingletonDist, props.OrderSpec{})
+	nl := &ops.NLJoin{Type: t, Pred: pred}
+	return &subplan{
+		expr: ops.NewExpr(nl, lIn.expr, rIn.expr),
+		dist: props.SingletonDist,
+		rows: rows,
+		cost: lIn.cost + rIn.cost + lIn.rows*math.Max(rIn.rows, 1),
+		out:  joinOut(t, l.out, r.out),
+	}, nil
+}
+
+func joinOut(t ops.JoinType, l, r base.ColSet) base.ColSet {
+	if t == ops.SemiJoin || t == ops.AntiJoin {
+		return l
+	}
+	return l.Union(r)
+}

@@ -1,0 +1,513 @@
+package planner
+
+import (
+	"fmt"
+	"math"
+
+	"orca/internal/base"
+	"orca/internal/md"
+	"orca/internal/ops"
+	"orca/internal/props"
+)
+
+// plan translates a (pushed-down, CTE-inlined) logical tree bottom-up into a
+// physical plan, choosing join order greedily over crude estimates and
+// placing Redistribute/Gather motions.
+func (p *Planner) plan(e *ops.Expr) (*subplan, error) {
+	switch op := e.Op.(type) {
+	case *ops.Get:
+		return p.planGet(op, nil)
+	case *ops.Select:
+		return p.planSelect(op, e.Children[0])
+	case *ops.Project:
+		return p.planProject(op, e.Children[0])
+	case *ops.Join:
+		return p.planJoinTree(e)
+	case *ops.GbAgg:
+		return p.planAgg(op, e.Children[0])
+	case *ops.Limit:
+		return p.planLimit(op, e.Children[0])
+	case *ops.UnionAll:
+		return p.planUnion(op, e.Children)
+	case *ops.Window:
+		return p.planWindow(op, e.Children[0])
+	default:
+		return nil, fmt.Errorf("planner: unsupported operator %s", e.Op.Name())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Crude estimation: row counts and NDV only, magic fractions otherwise
+// (no histograms — the PostgreSQL-lineage limitation the paper contrasts
+// with Orca's Memo-wide histogram derivation).
+
+const (
+	magicEqSel    = 0.005
+	magicRangeSel = 1.0 / 3
+	magicLikeSel  = 0.1
+)
+
+func (p *Planner) tableRows(rel *md.Relation) float64 {
+	if rel.StatsMdid.IsValid() {
+		if rs, err := p.acc.Stats(rel.StatsMdid); err == nil {
+			return rs.Rows
+		}
+	}
+	return 1000
+}
+
+func (p *Planner) colNDV(ref *md.ColRef) float64 {
+	if ref == nil || !ref.RelMdid.IsValid() {
+		return 0
+	}
+	rel, err := p.acc.Relation(ref.RelMdid)
+	if err != nil || !rel.StatsMdid.IsValid() {
+		return 0
+	}
+	rs, err := p.acc.Stats(rel.StatsMdid)
+	if err != nil {
+		return 0
+	}
+	if cs := rs.ColStatsFor(ref.Ordinal); cs != nil {
+		return cs.NDV
+	}
+	return 0
+}
+
+// predSel estimates a predicate's selectivity without histograms.
+func (p *Planner) predSel(pred ops.ScalarExpr) float64 {
+	if pred == nil {
+		return 1
+	}
+	sel := 1.0
+	for _, c := range ops.Conjuncts(pred) {
+		sel *= p.conjunctSel(c)
+	}
+	return sel
+}
+
+func (p *Planner) conjunctSel(c ops.ScalarExpr) float64 {
+	switch x := c.(type) {
+	case *ops.Cmp:
+		if x.Op == ops.CmpEq {
+			if id, ok := x.L.(*ops.Ident); ok {
+				if ndv := p.colNDV(p.f.Lookup(id.Col)); ndv > 0 {
+					return 1 / ndv
+				}
+			}
+			return magicEqSel
+		}
+		if x.Op == ops.CmpNe {
+			return 1 - magicEqSel
+		}
+		return magicRangeSel
+	case *ops.BoolOp:
+		switch x.Kind {
+		case ops.BoolNot:
+			return 1 - p.conjunctSel(x.Args[0])
+		case ops.BoolOr:
+			notSel := 1.0
+			for _, a := range x.Args {
+				notSel *= 1 - p.conjunctSel(a)
+			}
+			return 1 - notSel
+		default:
+			s := 1.0
+			for _, a := range x.Args {
+				s *= p.conjunctSel(a)
+			}
+			return s
+		}
+	case *ops.InList:
+		s := magicEqSel * float64(len(x.Vals))
+		if x.Negated {
+			s = 1 - s
+		}
+		return clamp01(s)
+	case *ops.IsNull:
+		if x.Negated {
+			return 0.99
+		}
+		return 0.01
+	case *ops.Func:
+		if x.Name == "like" {
+			return magicLikeSel
+		}
+		return magicRangeSel
+	case *ops.Subquery:
+		return 0.5
+	default:
+		return magicRangeSel
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Leaf operators
+
+func (p *Planner) planGet(op *ops.Get, filter ops.ScalarExpr) (*subplan, error) {
+	rows := p.tableRows(op.Rel)
+	scan := &ops.Scan{Alias: op.Alias, Rel: op.Rel, Cols: op.Cols, Filter: filter, BaseRows: rows}
+	// No partition elimination: the legacy planner scans every partition.
+	dist := props.RandomDist
+	switch op.Rel.Policy {
+	case md.DistHash:
+		dist = props.Hashed(op.DistCols()...)
+	case md.DistReplicated:
+		dist = props.ReplicatedDist
+	case md.DistSingleton:
+		dist = props.SingletonDist
+	}
+	outRows := rows * p.predSel(filter)
+	return &subplan{
+		expr: ops.NewExpr(scan),
+		dist: dist,
+		rows: outRows,
+		cost: rows,
+		out:  op.OutputCols(),
+	}, nil
+}
+
+// splitSubqueryConjuncts separates conjuncts that embed subqueries.
+func splitSubqueryConjuncts(pred ops.ScalarExpr) (plain, withSub []ops.ScalarExpr) {
+	for _, c := range ops.Conjuncts(pred) {
+		if containsSubquery(c) {
+			withSub = append(withSub, c)
+		} else {
+			plain = append(plain, c)
+		}
+	}
+	return plain, withSub
+}
+
+func containsSubquery(e ops.ScalarExpr) bool {
+	switch x := e.(type) {
+	case *ops.Subquery:
+		return true
+	case *ops.Cmp:
+		return containsSubquery(x.L) || containsSubquery(x.R)
+	case *ops.BoolOp:
+		for _, a := range x.Args {
+			if containsSubquery(a) {
+				return true
+			}
+		}
+	case *ops.BinOp:
+		return containsSubquery(x.L) || containsSubquery(x.R)
+	case *ops.Func:
+		for _, a := range x.Args {
+			if containsSubquery(a) {
+				return true
+			}
+		}
+	case *ops.InList:
+		if containsSubquery(x.Arg) {
+			return true
+		}
+		for _, v := range x.Vals {
+			if containsSubquery(v) {
+				return true
+			}
+		}
+	case *ops.IsNull:
+		return containsSubquery(x.Arg)
+	case *ops.Case:
+		for _, w := range x.Whens {
+			if containsSubquery(w.When) || containsSubquery(w.Then) {
+				return true
+			}
+		}
+		return x.Else != nil && containsSubquery(x.Else)
+	}
+	return false
+}
+
+func (p *Planner) planSelect(op *ops.Select, child *ops.Expr) (*subplan, error) {
+	plain, withSub := splitSubqueryConjuncts(op.Pred)
+
+	var in *subplan
+	var err error
+	// Merge plain filters into a scan when the child is a bare Get.
+	if get, ok := child.Op.(*ops.Get); ok && len(plain) > 0 {
+		in, err = p.planGet(get, ops.And(plain...))
+	} else {
+		in, err = p.plan(child)
+		if err == nil && len(plain) > 0 {
+			in = &subplan{
+				expr: ops.NewExpr(&ops.Filter{Pred: ops.And(plain...)}, in.expr),
+				dist: in.dist, ord: in.ord,
+				rows: in.rows * p.predSel(ops.And(plain...)),
+				cost: in.cost + in.rows,
+				out:  in.out,
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Each subquery conjunct becomes a SubPlan re-executed per row.
+	for _, c := range withSub {
+		in, err = p.planSubPlanFilter(in, c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+// planSubPlanFilter plans one subquery conjunct as a SubPlanFilter over the
+// (gathered) outer rows — the repeated-execution strategy the paper's
+// Figure 12 outliers come from.
+func (p *Planner) planSubPlanFilter(outer *subplan, conjunct ops.ScalarExpr) (*subplan, error) {
+	gathered := p.enforce(outer, props.SingletonDist, props.OrderSpec{})
+
+	build := func(sq *ops.Subquery, kind ops.SubqueryKind, test ops.ScalarExpr) (*subplan, error) {
+		inner, err := p.plan(sq.Input)
+		if err != nil {
+			return nil, err
+		}
+		filter := &ops.SubPlanFilter{Kind: kind, Plan: inner.expr, SubCol: sq.OutCol, Test: test}
+		filter.Plan.Cost = inner.cost
+		return &subplan{
+			expr: ops.NewExpr(filter, gathered.expr),
+			dist: props.SingletonDist, ord: gathered.ord,
+			rows: gathered.rows * 0.5,
+			cost: gathered.cost + gathered.rows*(inner.cost+1),
+			out:  gathered.out,
+		}, nil
+	}
+
+	switch x := conjunct.(type) {
+	case *ops.Subquery:
+		return build(x, x.Kind, x.Test)
+	case *ops.Cmp:
+		if sq, ok := x.R.(*ops.Subquery); ok && sq.Kind == ops.SubScalar {
+			test := &ops.Cmp{Op: x.Op, L: x.L, R: ops.NewIdent(sq.OutCol, base.TUnknown)}
+			return build(sq, ops.SubScalar, test)
+		}
+		if sq, ok := x.L.(*ops.Subquery); ok && sq.Kind == ops.SubScalar {
+			test := &ops.Cmp{Op: x.Op.Commuted(), L: x.R, R: ops.NewIdent(sq.OutCol, base.TUnknown)}
+			return build(sq, ops.SubScalar, test)
+		}
+	}
+	return nil, fmt.Errorf("planner: unsupported subquery conjunct %s", conjunct)
+}
+
+func (p *Planner) planProject(op *ops.Project, child *ops.Expr) (*subplan, error) {
+	// Scalar subqueries in projections become SubPlanProjects.
+	in, err := p.plan(child)
+	if err != nil {
+		return nil, err
+	}
+	elems := make([]ops.ProjElem, 0, len(op.Elems))
+	cur := in
+	rewrites := map[base.ColID]base.ColID{}
+	for _, el := range op.Elems {
+		if sq, ok := el.Expr.(*ops.Subquery); ok && sq.Kind == ops.SubScalar {
+			inner, err := p.plan(sq.Input)
+			if err != nil {
+				return nil, err
+			}
+			gathered := p.enforce(cur, props.SingletonDist, props.OrderSpec{})
+			proj := &ops.SubPlanProject{Plan: inner.expr, SubCol: sq.OutCol, OutCol: el.Col.ID}
+			proj.Plan.Cost = inner.cost
+			cur = &subplan{
+				expr: ops.NewExpr(proj, gathered.expr),
+				dist: props.SingletonDist, ord: gathered.ord,
+				rows: gathered.rows,
+				cost: gathered.cost + gathered.rows*(inner.cost+1),
+				out:  gathered.out.Union(base.MakeColSet(el.Col.ID)),
+			}
+			rewrites[el.Col.ID] = el.Col.ID
+			elems = append(elems, ops.ProjElem{Col: el.Col, Expr: ops.NewIdent(el.Col.ID, el.Col.Type)})
+			continue
+		}
+		elems = append(elems, el)
+	}
+	cs := ops.NewComputeScalar(elems)
+	out := &subplan{
+		expr: ops.NewExpr(cs, cur.expr),
+		dist: cs.Derive([]props.Derived{{Dist: cur.dist, Order: cur.ord}}).Dist,
+		ord:  cs.Derive([]props.Derived{{Dist: cur.dist, Order: cur.ord}}).Order,
+		rows: cur.rows,
+		cost: cur.cost + cur.rows,
+		out:  cs.OutputCols(),
+	}
+	return out, nil
+}
+
+func (p *Planner) planLimit(op *ops.Limit, child *ops.Expr) (*subplan, error) {
+	in, err := p.plan(child)
+	if err != nil {
+		return nil, err
+	}
+	in = p.enforce(in, props.SingletonDist, op.Order)
+	rows := in.rows
+	if op.HasCount && float64(op.Count) < rows {
+		rows = float64(op.Count)
+	}
+	return &subplan{
+		expr: ops.NewExpr(&ops.PhysicalLimit{Order: op.Order, Count: op.Count, Offset: op.Offset, HasCount: op.HasCount}, in.expr),
+		dist: props.SingletonDist, ord: op.Order,
+		rows: rows, cost: in.cost + rows, out: in.out,
+	}, nil
+}
+
+func (p *Planner) planUnion(op *ops.UnionAll, children []*ops.Expr) (*subplan, error) {
+	var plans []*ops.Expr
+	rows, cost := 0.0, 0.0
+	for _, c := range children {
+		sp, err := p.plan(c)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, sp.expr)
+		rows += sp.rows
+		cost += sp.cost
+	}
+	pu := &ops.PhysicalUnionAll{InCols: op.InCols, OutCols: op.OutCols}
+	var out base.ColSet
+	for _, c := range op.OutCols {
+		out.Add(c.ID)
+	}
+	return &subplan{
+		expr: ops.NewExpr(pu, plans...),
+		dist: props.RandomDist,
+		rows: rows, cost: cost + rows, out: out,
+	}, nil
+}
+
+func (p *Planner) planWindow(op *ops.Window, child *ops.Expr) (*subplan, error) {
+	in, err := p.plan(child)
+	if err != nil {
+		return nil, err
+	}
+	fullOrder := props.OrderSpec{}
+	for _, c := range op.PartitionCols {
+		fullOrder.Items = append(fullOrder.Items, props.OrderItem{Col: c})
+	}
+	fullOrder.Items = append(fullOrder.Items, op.Order.Items...)
+	if len(op.PartitionCols) > 0 {
+		in = p.enforce(in, props.Hashed(op.PartitionCols...), fullOrder)
+	} else {
+		in = p.enforce(in, props.SingletonDist, fullOrder)
+	}
+	w := &ops.PhysicalWindow{PartitionCols: op.PartitionCols, Order: op.Order, Wins: op.Wins}
+	out := in.out
+	for _, e := range op.Wins {
+		out = out.Union(base.MakeColSet(e.Col.ID))
+	}
+	return &subplan{
+		expr: ops.NewExpr(w, in.expr),
+		dist: in.dist, ord: in.ord,
+		rows: in.rows, cost: in.cost + in.rows, out: out,
+	}, nil
+}
+
+func (p *Planner) planAgg(op *ops.GbAgg, child *ops.Expr) (*subplan, error) {
+	in, err := p.plan(child)
+	if err != nil {
+		return nil, err
+	}
+	groups := math.Max(in.rows*0.1, 1)
+	hasDistinct := false
+	for _, a := range op.Aggs {
+		if a.Agg.Distinct {
+			hasDistinct = true
+		}
+	}
+	if hasDistinct {
+		// DISTINCT aggregates cannot be split into partials: gather and
+		// aggregate in one stage.
+		var dist props.Distribution
+		var rows float64
+		if len(op.GroupCols) == 0 {
+			dist, rows = props.SingletonDist, 1
+		} else {
+			dist, rows = props.SingletonDist, groups
+		}
+		gathered := p.enforce(in, props.SingletonDist, props.OrderSpec{})
+		var agg ops.Operator
+		if len(op.GroupCols) == 0 {
+			agg = &ops.ScalarAgg{Mode: ops.AggSingle, Aggs: op.Aggs}
+		} else {
+			agg = &ops.HashAgg{Mode: ops.AggSingle, GroupCols: op.GroupCols, Aggs: op.Aggs}
+		}
+		return &subplan{
+			expr: ops.NewExpr(agg, gathered.expr),
+			dist: dist,
+			rows: rows, cost: gathered.cost + gathered.rows,
+			out: aggOut(op.GroupCols, op.Aggs),
+		}, nil
+	}
+	if len(op.GroupCols) == 0 {
+		// Two-stage scalar aggregation.
+		local, global := splitAggs(p.f, op.Aggs)
+		lp := ops.NewExpr(&ops.ScalarAgg{Mode: ops.AggLocal, Aggs: local}, in.expr)
+		gathered := ops.NewExpr(&ops.Gather{}, lp)
+		gp := ops.NewExpr(&ops.ScalarAgg{Mode: ops.AggGlobal, Aggs: global}, gathered)
+		var out base.ColSet
+		for _, a := range op.Aggs {
+			out.Add(a.Col.ID)
+		}
+		return &subplan{
+			expr: gp, dist: props.SingletonDist,
+			rows: 1, cost: in.cost + in.rows, out: out,
+		}, nil
+	}
+	// Two-stage hash aggregation: local pre-aggregate, redistribute on the
+	// grouping columns, global combine.
+	local, global := splitAggs(p.f, op.Aggs)
+	lp := &subplan{
+		expr: ops.NewExpr(&ops.HashAgg{Mode: ops.AggLocal, GroupCols: op.GroupCols, Aggs: local}, in.expr),
+		dist: in.dist,
+		rows: math.Min(in.rows, groups*float64(p.segments)),
+		cost: in.cost + in.rows,
+		out:  aggOut(op.GroupCols, local),
+	}
+	red := p.enforce(lp, props.Hashed(op.GroupCols...), props.OrderSpec{})
+	gp := &subplan{
+		expr: ops.NewExpr(&ops.HashAgg{Mode: ops.AggGlobal, GroupCols: op.GroupCols, Aggs: global}, red.expr),
+		dist: red.dist,
+		rows: groups,
+		cost: red.cost + red.rows,
+		out:  aggOut(op.GroupCols, global),
+	}
+	return gp, nil
+}
+
+func aggOut(group []base.ColID, aggs []ops.AggElem) base.ColSet {
+	s := base.MakeColSet(group...)
+	for _, a := range aggs {
+		s.Add(a.Col.ID)
+	}
+	return s
+}
+
+// splitAggs builds the local/global aggregate pair (count → sum of partial
+// counts; DISTINCT aggregates degrade to a single-stage-correct
+// approximation by keeping the distinct in the local stage).
+func splitAggs(f *md.ColumnFactory, aggs []ops.AggElem) (local, global []ops.AggElem) {
+	for _, a := range aggs {
+		partial := f.NewComputedColumn("partial_"+a.Col.Name, a.Col.Type)
+		local = append(local, ops.AggElem{Col: partial, Agg: a.Agg})
+		name := a.Agg.Name
+		if name == "count" {
+			name = "sum"
+		}
+		global = append(global, ops.AggElem{
+			Col: a.Col,
+			Agg: &ops.AggFunc{Name: name, Arg: ops.NewIdent(partial.ID, a.Col.Type)},
+		})
+	}
+	return local, global
+}

@@ -1,0 +1,314 @@
+// Package planner reproduces the GPDB legacy query optimizer ("Planner",
+// paper §7.2) as the comparison baseline for the Figure 12 experiment. The
+// Planner inherits its design from the PostgreSQL optimizer: a solid
+// bottom-up planner that nevertheless lacks the Orca capabilities the paper
+// credits for its speedups (§7.2.2):
+//
+//   - Correlated subqueries run as SubPlans re-executed per outer row — no
+//     unified decorrelation.
+//   - Cardinality estimation uses row counts, distinct counts and magic
+//     selectivity fractions, not Memo-wide histogram derivation, so
+//     selective filters are routinely underestimated.
+//   - Join ordering is greedy and left-deep over those crude estimates.
+//   - Motions are limited to Redistribute and Gather; the broadcast
+//     alternative for small inner sides is never considered.
+//   - Partitioned tables are always fully scanned (no partition
+//     elimination).
+//   - WITH common table expressions are inlined per consumer — the shared
+//     expression is recomputed for every reference.
+package planner
+
+import (
+	"math"
+
+	"orca/internal/base"
+	"orca/internal/core"
+	"orca/internal/md"
+	"orca/internal/ops"
+	"orca/internal/props"
+)
+
+// Planner is the legacy optimizer instance. The two public knobs let the
+// rival-engine simulators (internal/rival) reuse this machinery with their
+// own join behaviour: LiteralJoinOrder keeps joins exactly as written, and
+// BroadcastRight replicates every join's right input instead of co-locating.
+type Planner struct {
+	LiteralJoinOrder bool
+	BroadcastRight   bool
+
+	segments int
+	acc      *md.Accessor
+	f        *md.ColumnFactory
+}
+
+// New builds a Planner for the given cluster size.
+func New(segments int, acc *md.Accessor, f *md.ColumnFactory) *Planner {
+	if segments < 1 {
+		segments = 1
+	}
+	return &Planner{segments: segments, acc: acc, f: f}
+}
+
+// Optimize plans a bound query, returning an executable physical plan that
+// gathers ordered results at the master.
+func (p *Planner) Optimize(q *core.Query) (*ops.Expr, error) {
+	tree := p.inlineCTEs(q.Tree, map[int]*cteBody{})
+	tree = core.PushPredicates(tree)
+	pl, err := p.plan(tree)
+	if err != nil {
+		return nil, err
+	}
+	// Deliver {Singleton, <order>} at the master.
+	pl = p.enforce(pl, props.SingletonDist, q.Order)
+	return pl.expr, nil
+}
+
+// subplan carries the physical expression plus delivered properties and the
+// planner's cost/cardinality estimates.
+type subplan struct {
+	expr *ops.Expr
+	dist props.Distribution
+	ord  props.OrderSpec
+	rows float64
+	cost float64
+	out  base.ColSet
+}
+
+// ---------------------------------------------------------------------------
+// CTE inlining
+
+type cteBody struct {
+	tree *ops.Expr
+	cols []base.ColID
+}
+
+// inlineCTEs removes CTEAnchor/CTEConsumer by substituting a remapped copy
+// of the producer at every consumer site.
+func (p *Planner) inlineCTEs(e *ops.Expr, env map[int]*cteBody) *ops.Expr {
+	switch op := e.Op.(type) {
+	case *ops.CTEAnchor:
+		producer := p.inlineCTEs(e.Children[0], env)
+		cols := make([]base.ColID, len(op.Cols))
+		for i, c := range op.Cols {
+			cols[i] = c.ID
+		}
+		env[op.ID] = &cteBody{tree: producer, cols: cols}
+		return p.inlineCTEs(e.Children[1], env)
+	case *ops.CTEConsumer:
+		def, ok := env[op.ID]
+		if !ok {
+			return e
+		}
+		mapping := map[base.ColID]base.ColID{}
+		copyTree := p.remapTree(def.tree, mapping)
+		// Map producer outputs to this consumer's columns.
+		elems := make([]ops.ProjElem, len(op.Cols))
+		for i, c := range op.Cols {
+			src := def.cols[i]
+			if m, ok := mapping[src]; ok {
+				src = m
+			}
+			elems[i] = ops.ProjElem{Col: c, Expr: ops.NewIdent(src, c.Type)}
+		}
+		return ops.NewExpr(&ops.Project{Elems: elems}, copyTree)
+	default:
+		children := make([]*ops.Expr, len(e.Children))
+		for i, c := range e.Children {
+			children[i] = p.inlineCTEs(c, env)
+		}
+		// Subqueries embedded in scalar parameters may reference CTEs too.
+		var newOp ops.Operator = e.Op
+		switch o := e.Op.(type) {
+		case *ops.Select:
+			newOp = &ops.Select{Pred: p.inlineScalar(o.Pred, env)}
+		case *ops.Join:
+			newOp = &ops.Join{Type: o.Type, Pred: p.inlineScalar(o.Pred, env)}
+		case *ops.Project:
+			elems := make([]ops.ProjElem, len(o.Elems))
+			for i, el := range o.Elems {
+				elems[i] = ops.ProjElem{Col: el.Col, Expr: p.inlineScalar(el.Expr, env)}
+			}
+			newOp = &ops.Project{Elems: elems}
+		}
+		return ops.NewExpr(newOp, children...)
+	}
+}
+
+// inlineScalar rewrites CTE consumers inside subquery inputs.
+func (p *Planner) inlineScalar(s ops.ScalarExpr, env map[int]*cteBody) ops.ScalarExpr {
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *ops.Subquery:
+		return &ops.Subquery{
+			Kind:   x.Kind,
+			Input:  p.inlineCTEs(x.Input, env),
+			OutCol: x.OutCol,
+			Test:   p.inlineScalar(x.Test, env),
+		}
+	case *ops.Cmp:
+		return &ops.Cmp{Op: x.Op, L: p.inlineScalar(x.L, env), R: p.inlineScalar(x.R, env)}
+	case *ops.BoolOp:
+		args := make([]ops.ScalarExpr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = p.inlineScalar(a, env)
+		}
+		return &ops.BoolOp{Kind: x.Kind, Args: args}
+	case *ops.BinOp:
+		return &ops.BinOp{Op: x.Op, L: p.inlineScalar(x.L, env), R: p.inlineScalar(x.R, env)}
+	default:
+		return s
+	}
+}
+
+// remapTree deep-copies a logical tree, allocating fresh column references
+// for every produced column (so multiple inlined copies do not collide) and
+// rewriting scalars accordingly.
+func (p *Planner) remapTree(e *ops.Expr, mapping map[base.ColID]base.ColID) *ops.Expr {
+	children := make([]*ops.Expr, len(e.Children))
+	for i, c := range e.Children {
+		children[i] = p.remapTree(c, mapping)
+	}
+	mapScalar := func(s ops.ScalarExpr) ops.ScalarExpr { return ops.ReplaceCols(s, mapping) }
+
+	switch op := e.Op.(type) {
+	case *ops.Get:
+		cols := make([]*md.ColRef, len(op.Cols))
+		for i, c := range op.Cols {
+			nc := p.f.NewTableColumn(c.Name, c.Type, c.RelMdid, c.Ordinal)
+			cols[i] = nc
+			mapping[c.ID] = nc.ID
+		}
+		return ops.NewExpr(&ops.Get{Alias: op.Alias, Rel: op.Rel, Cols: cols})
+	case *ops.Select:
+		return ops.NewExpr(&ops.Select{Pred: mapScalar(op.Pred)}, children...)
+	case *ops.Project:
+		elems := make([]ops.ProjElem, len(op.Elems))
+		for i, el := range op.Elems {
+			nc := p.f.NewComputedColumn(el.Col.Name, el.Col.Type)
+			elems[i] = ops.ProjElem{Col: nc, Expr: mapScalar(el.Expr)}
+			mapping[el.Col.ID] = nc.ID
+		}
+		return ops.NewExpr(&ops.Project{Elems: elems}, children...)
+	case *ops.Join:
+		return ops.NewExpr(&ops.Join{Type: op.Type, Pred: mapScalar(op.Pred)}, children...)
+	case *ops.GbAgg:
+		group := make([]base.ColID, len(op.GroupCols))
+		for i, g := range op.GroupCols {
+			group[i] = remapCol(g, mapping)
+		}
+		aggs := make([]ops.AggElem, len(op.Aggs))
+		for i, a := range op.Aggs {
+			nc := p.f.NewComputedColumn(a.Col.Name, a.Col.Type)
+			aggs[i] = ops.AggElem{Col: nc, Agg: &ops.AggFunc{Name: a.Agg.Name, Arg: mapScalar(a.Agg.Arg), Distinct: a.Agg.Distinct}}
+			mapping[a.Col.ID] = nc.ID
+		}
+		return ops.NewExpr(&ops.GbAgg{GroupCols: group, Aggs: aggs}, children...)
+	case *ops.Limit:
+		ord := props.OrderSpec{Items: make([]props.OrderItem, len(op.Order.Items))}
+		for i, it := range op.Order.Items {
+			ord.Items[i] = props.OrderItem{Col: remapCol(it.Col, mapping), Desc: it.Desc}
+		}
+		return ops.NewExpr(&ops.Limit{Order: ord, Count: op.Count, Offset: op.Offset, HasCount: op.HasCount}, children...)
+	case *ops.UnionAll:
+		in := make([][]base.ColID, len(op.InCols))
+		for i, cols := range op.InCols {
+			in[i] = make([]base.ColID, len(cols))
+			for j, c := range cols {
+				in[i][j] = remapCol(c, mapping)
+			}
+		}
+		outCols := make([]*md.ColRef, len(op.OutCols))
+		for i, c := range op.OutCols {
+			nc := p.f.NewComputedColumn(c.Name, c.Type)
+			outCols[i] = nc
+			mapping[c.ID] = nc.ID
+		}
+		return ops.NewExpr(&ops.UnionAll{InCols: in, OutCols: outCols}, children...)
+	case *ops.Window:
+		part := make([]base.ColID, len(op.PartitionCols))
+		for i, c := range op.PartitionCols {
+			part[i] = remapCol(c, mapping)
+		}
+		ord := props.OrderSpec{Items: make([]props.OrderItem, len(op.Order.Items))}
+		for i, it := range op.Order.Items {
+			ord.Items[i] = props.OrderItem{Col: remapCol(it.Col, mapping), Desc: it.Desc}
+		}
+		wins := make([]ops.WinElem, len(op.Wins))
+		for i, w := range op.Wins {
+			nc := p.f.NewComputedColumn(w.Col.Name, w.Col.Type)
+			wins[i] = ops.WinElem{Col: nc, Fn: &ops.WinFunc{Name: w.Fn.Name, Arg: mapScalar(w.Fn.Arg)}}
+			mapping[w.Col.ID] = nc.ID
+		}
+		return ops.NewExpr(&ops.Window{PartitionCols: part, Order: ord, Wins: wins}, children...)
+	default:
+		return ops.NewExpr(e.Op, children...)
+	}
+}
+
+func remapCol(c base.ColID, mapping map[base.ColID]base.ColID) base.ColID {
+	if m, ok := mapping[c]; ok {
+		return m
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Enforcement helpers (Redistribute and Gather only — no Broadcast)
+
+func (p *Planner) enforce(in *subplan, dist props.Distribution, ord props.OrderSpec) *subplan {
+	out := in
+	switch dist.Kind {
+	case props.DistSingleton:
+		if out.dist.Kind != props.DistSingleton {
+			if !ord.IsAny() {
+				out = p.sort(out, ord)
+				out = &subplan{
+					expr: ops.NewExpr(&ops.GatherMerge{Order: ord}, out.expr),
+					dist: props.SingletonDist, ord: ord,
+					rows: out.rows, cost: out.cost + out.rows*3, out: out.out,
+				}
+			} else {
+				out = &subplan{
+					expr: ops.NewExpr(&ops.Gather{}, out.expr),
+					dist: props.SingletonDist,
+					rows: out.rows, cost: out.cost + out.rows*3, out: out.out,
+				}
+			}
+		}
+	case props.DistHashed:
+		if !out.dist.Satisfies(dist) {
+			out = &subplan{
+				expr: ops.NewExpr(&ops.Redistribute{Cols: dist.Cols}, out.expr),
+				dist: props.Hashed(dist.Cols...),
+				rows: out.rows, cost: out.cost + out.rows*2, out: out.out,
+			}
+		}
+	case props.DistReplicated:
+		// Only the rival-engine profiles request replication; the legacy
+		// planner itself never considers broadcast motions.
+		if out.dist.Kind != props.DistReplicated {
+			out = &subplan{
+				expr: ops.NewExpr(&ops.Broadcast{}, out.expr),
+				dist: props.ReplicatedDist,
+				rows: out.rows, cost: out.cost + out.rows*float64(p.segments), out: out.out,
+			}
+		}
+	}
+	if !ord.IsAny() && !out.ord.Satisfies(ord) {
+		out = p.sort(out, ord)
+	}
+	return out
+}
+
+func (p *Planner) sort(in *subplan, ord props.OrderSpec) *subplan {
+	if in.ord.Satisfies(ord) {
+		return in
+	}
+	n := math.Max(in.rows, 2)
+	return &subplan{
+		expr: ops.NewExpr(&ops.Sort{Order: ord}, in.expr),
+		dist: in.dist, ord: ord,
+		rows: in.rows, cost: in.cost + n*math.Log2(n), out: in.out,
+	}
+}

@@ -1,0 +1,164 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"orca/internal/base"
+	"orca/internal/core"
+	"orca/internal/gpos"
+	"orca/internal/md"
+	"orca/internal/ops"
+	"orca/internal/sql"
+)
+
+func plannerCatalog(t testing.TB) (*md.Accessor, *md.ColumnFactory) {
+	t.Helper()
+	p := md.NewMemProvider()
+	md.Build(p, md.TableSpec{
+		Name: "fact", Rows: 100000, Policy: md.DistHash, DistCols: []int{0},
+		PartCol: 2,
+		Parts: []md.Partition{
+			{Name: "p0", Lo: base.NewInt(0), Hi: base.NewInt(50)},
+			{Name: "p1", Lo: base.NewInt(50), Hi: base.NewInt(101)},
+		},
+		Cols: []md.ColSpec{
+			{Name: "k", Type: base.TInt, NDV: 1000, Lo: 0, Hi: 1000},
+			{Name: "v", Type: base.TInt, NDV: 100, Lo: 0, Hi: 100},
+			{Name: "d", Type: base.TInt, NDV: 100, Lo: 0, Hi: 100},
+		},
+	})
+	md.Build(p, md.TableSpec{
+		Name: "small", Rows: 100, Policy: md.DistHash, DistCols: []int{0},
+		Cols: []md.ColSpec{
+			{Name: "k", Type: base.TInt, NDV: 100, Lo: 0, Hi: 1000},
+			{Name: "tag", Type: base.TInt, NDV: 5, Lo: 0, Hi: 5},
+		},
+	})
+	return md.NewAccessor(md.NewCache(&gpos.MemoryAccountant{}), p), md.NewColumnFactory()
+}
+
+func plan(t *testing.T, query string, tweak func(*Planner)) (*ops.Expr, *md.ColumnFactory) {
+	t.Helper()
+	acc, f := plannerCatalog(t)
+	q, err := sql.Bind(query, acc, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := New(16, acc, f)
+	if tweak != nil {
+		tweak(pl)
+	}
+	out, err := pl.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, f
+}
+
+func explain(e *ops.Expr, f *md.ColumnFactory) string { return core.Explain(e, f) }
+
+func TestPlannerNeverBroadcastsByDefault(t *testing.T) {
+	p, f := plan(t, "SELECT fact.v FROM fact, small WHERE fact.k = small.k", nil)
+	s := explain(p, f)
+	if strings.Contains(s, "Broadcast") {
+		t.Errorf("legacy planner must not broadcast:\n%s", s)
+	}
+	if !strings.Contains(s, "HashJoin") {
+		t.Errorf("equi join should hash join:\n%s", s)
+	}
+}
+
+func TestPlannerNoPartitionElimination(t *testing.T) {
+	p, f := plan(t, "SELECT count(*) FROM fact WHERE d < 10", nil)
+	s := explain(p, f)
+	if strings.Contains(s, "parts=") {
+		t.Errorf("legacy planner must scan all partitions:\n%s", s)
+	}
+}
+
+func TestPlannerKeepsSubPlans(t *testing.T) {
+	p, f := plan(t, `
+		SELECT fact.k FROM fact
+		WHERE fact.v > (SELECT avg(f2.v) FROM fact f2 WHERE f2.k = fact.k)`, nil)
+	s := explain(p, f)
+	if !strings.Contains(s, "SubPlan") {
+		t.Errorf("correlated subquery must stay a SubPlan:\n%s", s)
+	}
+}
+
+func TestPlannerInlinesCTEs(t *testing.T) {
+	p, f := plan(t, `
+		WITH agg AS (SELECT k, sum(v) AS total FROM fact GROUP BY k)
+		SELECT a.k FROM agg a, agg b WHERE a.k = b.k`, nil)
+	s := explain(p, f)
+	if strings.Contains(s, "CTE") {
+		t.Errorf("CTE operators must be inlined away:\n%s", s)
+	}
+	// Inlining duplicates the producer: the fact table is scanned twice.
+	if n := strings.Count(s, "Scan(fact)"); n != 2 {
+		t.Errorf("fact scanned %d times, want 2 (one per consumer):\n%s", n, s)
+	}
+}
+
+func TestPlannerGreedyStartsSmall(t *testing.T) {
+	// Greedy ordering joins through the small table first even when the
+	// query lists the big one first... the left-deep result's leftmost leaf
+	// is the smallest input.
+	p, _ := plan(t, "SELECT fact.v FROM fact, small WHERE fact.k = small.k", nil)
+	leftmost := p
+	for len(leftmost.Children) > 0 {
+		leftmost = leftmost.Children[0]
+	}
+	if scan, ok := leftmost.Op.(*ops.Scan); !ok || scan.Rel.Name != "small" {
+		t.Errorf("leftmost leaf is %s, want Scan(small)", ops.Describe(leftmost.Op))
+	}
+}
+
+func TestPlannerLiteralJoinOrderMode(t *testing.T) {
+	p, _ := plan(t, "SELECT fact.v FROM fact, small WHERE fact.k = small.k",
+		func(pl *Planner) { pl.LiteralJoinOrder = true })
+	leftmost := p
+	for len(leftmost.Children) > 0 {
+		leftmost = leftmost.Children[0]
+	}
+	if scan, ok := leftmost.Op.(*ops.Scan); !ok || scan.Rel.Name != "fact" {
+		t.Errorf("literal mode leftmost leaf is %s, want Scan(fact) (as written)", ops.Describe(leftmost.Op))
+	}
+}
+
+func TestPlannerBroadcastRightMode(t *testing.T) {
+	p, f := plan(t, "SELECT fact.v FROM fact JOIN small ON fact.k = small.k",
+		func(pl *Planner) {
+			pl.LiteralJoinOrder = true
+			pl.BroadcastRight = true
+		})
+	s := explain(p, f)
+	if !strings.Contains(s, "Broadcast") {
+		t.Errorf("broadcast-right mode must replicate the build side:\n%s", s)
+	}
+}
+
+func TestPlannerDeliversRootRequirements(t *testing.T) {
+	p, _ := plan(t, "SELECT k, sum(v) AS s FROM fact GROUP BY k ORDER BY k LIMIT 5", nil)
+	// Root of the plan must be executable and singleton-delivering: walk
+	// down—the top op should be Limit or a gather variant.
+	name := p.Op.Name()
+	if name != "Limit" && name != "Gather" && name != "GatherMerge" {
+		t.Errorf("root op = %s", name)
+	}
+}
+
+func TestPlannerTwoStageAggregation(t *testing.T) {
+	p, f := plan(t, "SELECT k, count(*) AS c FROM fact GROUP BY k", nil)
+	s := explain(p, f)
+	if !strings.Contains(s, "LocalHashAgg") || !strings.Contains(s, "GlobalHashAgg") {
+		t.Errorf("planner should two-stage plain aggregates:\n%s", s)
+	}
+	// DISTINCT forces a single gathered stage.
+	p2, f2 := plan(t, "SELECT count(DISTINCT v) AS c FROM fact", nil)
+	s2 := explain(p2, f2)
+	if strings.Contains(s2, "Local") {
+		t.Errorf("DISTINCT aggregate must not be split:\n%s", s2)
+	}
+}

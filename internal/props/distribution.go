@@ -1,0 +1,164 @@
+package props
+
+import (
+	"strings"
+
+	"orca/internal/base"
+)
+
+// DistKind enumerates data distributions in the MPP cluster (paper §2.1 and
+// Figure 6): how a plan fragment's output tuples are spread across segments.
+type DistKind uint8
+
+// Distribution kinds.
+const (
+	// DistAny is only valid as a requirement: the parent does not care.
+	DistAny DistKind = iota
+	// DistSingleton: all tuples on a single host (the master).
+	DistSingleton
+	// DistHashed: tuples distributed by a hash of specific columns.
+	DistHashed
+	// DistReplicated: a full copy of the data on every segment.
+	DistReplicated
+	// DistRandom: tuples spread across segments with no placement guarantee.
+	DistRandom
+)
+
+// Distribution is a required or delivered data distribution. Hashed carries
+// the hashing columns, in order.
+//
+// AllowReplicated is meaningful only on Hashed *requirements*: it marks the
+// requirement as duplicate-tolerant, i.e. replicated delivery is acceptable.
+// Joins set it when requesting co-location (every segment holding the full
+// inner side joins correctly against the local partition of the outer side);
+// duplicate-sensitive consumers such as grouping aggregates leave it unset,
+// forcing a motion that collapses replicated data back to one logical copy.
+type Distribution struct {
+	Kind            DistKind
+	Cols            []base.ColID // hashing columns for DistHashed
+	AllowReplicated bool         // requirement tolerates replicated delivery
+}
+
+// Common distribution values.
+var (
+	AnyDist        = Distribution{Kind: DistAny}
+	SingletonDist  = Distribution{Kind: DistSingleton}
+	ReplicatedDist = Distribution{Kind: DistReplicated}
+	RandomDist     = Distribution{Kind: DistRandom}
+)
+
+// Hashed builds a hashed distribution on the given columns.
+func Hashed(cols ...base.ColID) Distribution {
+	return Distribution{Kind: DistHashed, Cols: cols}
+}
+
+// HashedDupSafe builds a duplicate-tolerant hashed requirement, used by joins
+// when requesting child co-location.
+func HashedDupSafe(cols ...base.ColID) Distribution {
+	return Distribution{Kind: DistHashed, Cols: cols, AllowReplicated: true}
+}
+
+// IsAny reports whether this is the no-requirement distribution.
+func (d Distribution) IsAny() bool { return d.Kind == DistAny }
+
+// Satisfies reports whether data delivered with distribution d satisfies the
+// requirement req. Matching is deliberately strict — alternatives such as
+// "broadcast the inner side instead of co-locating both sides" are generated
+// explicitly by operators as distinct optimization requests, exactly as the
+// paper describes for InnerHashJoin (§4.1, Figure 7) — with two sound
+// relaxations:
+//
+//   - Replicated data satisfies a Singleton requirement (one designated copy
+//     is read; the motion is free of network traffic), and
+//   - Replicated data satisfies a *duplicate-tolerant* Hashed requirement
+//     (see AllowReplicated), which is how an already-replicated dimension
+//     table joins without any motion.
+func (d Distribution) Satisfies(req Distribution) bool {
+	switch req.Kind {
+	case DistAny:
+		return true
+	case DistSingleton:
+		return d.Kind == DistSingleton || d.Kind == DistReplicated
+	case DistReplicated:
+		return d.Kind == DistReplicated
+	case DistHashed:
+		if d.Kind == DistReplicated {
+			return req.AllowReplicated
+		}
+		if d.Kind != DistHashed || len(d.Cols) != len(req.Cols) {
+			return false
+		}
+		for i := range d.Cols {
+			if d.Cols[i] != req.Cols[i] {
+				return false
+			}
+		}
+		return true
+	case DistRandom:
+		// A Random requirement really means "one logical copy per row, any
+		// placement" — satisfied by anything except replication.
+		return d.Kind == DistRandom || d.Kind == DistHashed || d.Kind == DistSingleton
+	default:
+		return false
+	}
+}
+
+// Equal reports whether two distributions are identical.
+func (d Distribution) Equal(o Distribution) bool {
+	if d.Kind != o.Kind || len(d.Cols) != len(o.Cols) || d.AllowReplicated != o.AllowReplicated {
+		return false
+	}
+	for i := range d.Cols {
+		if d.Cols[i] != o.Cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsDistributed reports whether tuples live on multiple segments.
+func (d Distribution) IsDistributed() bool {
+	return d.Kind == DistHashed || d.Kind == DistRandom
+}
+
+// Hash returns a stable hash for request deduplication.
+func (d Distribution) Hash() uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	h = (h ^ uint64(d.Kind)) * prime64
+	if d.AllowReplicated {
+		h = (h ^ 0x9e37) * prime64
+	}
+	for _, c := range d.Cols {
+		h = (h ^ uint64(c)) * prime64
+	}
+	return h
+}
+
+// String renders the distribution as in the paper's figures, e.g.
+// "Singleton", "Hashed(3)", "Replicated", "Any".
+func (d Distribution) String() string {
+	switch d.Kind {
+	case DistAny:
+		return "Any"
+	case DistSingleton:
+		return "Singleton"
+	case DistReplicated:
+		return "Replicated"
+	case DistRandom:
+		return "Random"
+	case DistHashed:
+		var b strings.Builder
+		b.WriteString("Hashed(")
+		for i, c := range d.Cols {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(itoa(int(c)))
+		}
+		b.WriteByte(')')
+		return b.String()
+	default:
+		return "Unknown"
+	}
+}

@@ -1,0 +1,125 @@
+// Package props implements Orca's property framework (paper §3 "Property
+// Enforcement" and §4.1): logical properties derived bottom-up from the
+// query, and the physical properties — sort order and data distribution —
+// that optimization requests ask for and plans deliver. Required properties
+// form the optimization-request keys of the Memo's group hash tables;
+// derived properties are compared against requirements to decide whether an
+// enforcer (Sort, Gather, GatherMerge, Redistribute, Broadcast) must be
+// plugged into a plan.
+package props
+
+import (
+	"strings"
+
+	"orca/internal/base"
+)
+
+// OrderItem is one column of a sort order.
+type OrderItem struct {
+	Col  base.ColID
+	Desc bool
+}
+
+// OrderSpec is a required or delivered sort order. The empty spec means
+// "Any order" (no requirement / no guarantee).
+type OrderSpec struct {
+	Items []OrderItem
+}
+
+// AnyOrder is the empty ordering requirement.
+var AnyOrder = OrderSpec{}
+
+// MakeOrder builds an ascending order spec on the given columns.
+func MakeOrder(cols ...base.ColID) OrderSpec {
+	items := make([]OrderItem, len(cols))
+	for i, c := range cols {
+		items[i] = OrderItem{Col: c}
+	}
+	return OrderSpec{Items: items}
+}
+
+// IsAny reports whether the spec imposes no order.
+func (o OrderSpec) IsAny() bool { return len(o.Items) == 0 }
+
+// Satisfies reports whether data ordered by o is also ordered by req: req
+// must be a prefix of o.
+func (o OrderSpec) Satisfies(req OrderSpec) bool {
+	if len(req.Items) > len(o.Items) {
+		return false
+	}
+	for i, it := range req.Items {
+		if o.Items[i] != it {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two specs are identical.
+func (o OrderSpec) Equal(other OrderSpec) bool {
+	return o.Satisfies(other) && other.Satisfies(o)
+}
+
+// Cols returns the set of columns mentioned by the order.
+func (o OrderSpec) Cols() base.ColSet {
+	var s base.ColSet
+	for _, it := range o.Items {
+		s.Add(it.Col)
+	}
+	return s
+}
+
+// Hash returns a stable hash for request deduplication.
+func (o OrderSpec) Hash() uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, it := range o.Items {
+		h = (h ^ uint64(it.Col)) * prime64
+		if it.Desc {
+			h = (h ^ 1) * prime64
+		}
+	}
+	return h
+}
+
+// String renders "<1,2 desc>" or "Any".
+func (o OrderSpec) String() string {
+	if o.IsAny() {
+		return "Any"
+	}
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, it := range o.Items {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(itoa(int(it.Col)))
+		if it.Desc {
+			b.WriteString(" desc")
+		}
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,86 @@
+package rival
+
+import (
+	"testing"
+
+	"orca/internal/tpcds"
+)
+
+func TestHAWQHasNoGates(t *testing.T) {
+	h := HAWQ()
+	for _, tpl := range tpcds.Templates() {
+		if !h.CanOptimize(tpl.Features) {
+			t.Fatalf("HAWQ cannot optimize q%d", tpl.ID)
+		}
+	}
+}
+
+func TestDocumentedGates(t *testing.T) {
+	// §7.3.1's explicit statements must hold.
+	cases := []struct {
+		p    *Profile
+		feat tpcds.Feature
+		ok   bool
+	}{
+		{Impala(), tpcds.FWindow, false},       // "Impala does not yet support window functions"
+		{Impala(), tpcds.FOrderNoLimit, false}, // "ORDER BY statement without LIMIT"
+		{Impala(), tpcds.FRollupCube, false},   // "ROLLUP and CUBE"
+		{Presto(), tpcds.FNonEquiJoin, false},  // "Presto does not yet support non-equi joins"
+		{Stinger(), tpcds.FCTE, false},         // "Stinger ... does not support WITH clause"
+		{Stinger(), tpcds.FCase, false},        // "... and CASE statement"
+		{Impala(), tpcds.FIntersect, false},    // "none of the systems supports INTERSECT"
+		{Presto(), tpcds.FExcept, false},
+		{Stinger(), tpcds.FDisjunctJoin, false},
+		{Impala(), tpcds.FCorrelated, false}, // "... and correlated subqueries"
+		{Presto(), tpcds.FCorrelated, false},
+		{Stinger(), tpcds.FCorrelated, false},
+		// Plain star joins everyone can run.
+		{Impala(), 0, true},
+		{Presto(), 0, true},
+		{Stinger(), 0, true},
+	}
+	for _, c := range cases {
+		if got := c.p.CanOptimize(c.feat); got != c.ok {
+			t.Errorf("%s.CanOptimize(%b) = %v, want %v", c.p.Name, c.feat, got, c.ok)
+		}
+	}
+}
+
+func TestSupportOrdering(t *testing.T) {
+	count := func(p *Profile) int {
+		n := 0
+		for _, tpl := range tpcds.Templates() {
+			if p.CanOptimize(tpl.Features &^ tpcds.FImplicitCross) {
+				n += tpl.Instances
+			}
+		}
+		return n
+	}
+	hawq, impala, presto, stinger := count(HAWQ()), count(Impala()), count(Presto()), count(Stinger())
+	if hawq != 111 {
+		t.Errorf("HAWQ optimizes %d, want 111", hawq)
+	}
+	// The paper's ordering: HAWQ >> Impala > Stinger > Presto.
+	if !(hawq > impala && impala > presto && stinger > presto) {
+		t.Errorf("support ordering broken: hawq=%d impala=%d presto=%d stinger=%d",
+			hawq, impala, presto, stinger)
+	}
+	if presto > 30 {
+		t.Errorf("Presto optimizes %d; the paper's Presto planned only 12 of 111", presto)
+	}
+}
+
+func TestExecOptionsCarryProfileBehaviour(t *testing.T) {
+	o := Impala().ExecOptions(1000)
+	if o.Budget != 1000 || o.MemLimitRows == 0 || o.StagePenalty != 0 {
+		t.Errorf("Impala options: %+v", o)
+	}
+	s := Stinger().ExecOptions(1000)
+	if s.StagePenalty <= 1 || s.MemLimitRows != 0 {
+		t.Errorf("Stinger options: %+v", s)
+	}
+	p := Presto().ExecOptions(1000)
+	if p.PipelineMemRows == 0 {
+		t.Errorf("Presto options: %+v", p)
+	}
+}

@@ -1,0 +1,399 @@
+package search
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"orca/internal/base"
+	"orca/internal/cost"
+	"orca/internal/memo"
+	"orca/internal/ops"
+	"orca/internal/props"
+	"orca/internal/xform"
+)
+
+// Optimizer drives the Memo through the optimization workflow using the job
+// scheduler. It corresponds to the paper's "Search" component (Figure 3).
+type Optimizer struct {
+	Memo *memo.Memo
+	XCtx *xform.Context
+	Cost *cost.Model
+
+	Explorations    []xform.Rule
+	Implementations []xform.Rule
+
+	// RulesFired counts rule applications across all workers.
+	RulesFired atomic.Int64
+}
+
+// Explore runs the exploration phase from the root group (paper §4.1 step 1).
+func (o *Optimizer) Explore(root memo.GroupID, workers int, deadline time.Time) error {
+	s := NewScheduler(workers)
+	s.SetDeadline(deadline)
+	return s.Run(&expGroupJob{o: o, g: o.Memo.Group(root)})
+}
+
+// Optimize runs implementation and optimization for the root group under the
+// initial request, returning the best plan cost (paper §4.1 steps 3-4).
+func (o *Optimizer) Optimize(root memo.GroupID, req props.Required, workers int, deadline time.Time) (float64, error) {
+	s := NewScheduler(workers)
+	s.SetDeadline(deadline)
+	g := o.Memo.Group(root)
+	if err := s.Run(&optGroupJob{o: o, g: g, req: req}); err != nil {
+		return memo.InfCost, err
+	}
+	ctx := g.LookupContext(req)
+	if ctx == nil {
+		return memo.InfCost, fmt.Errorf("search: missing optimization context for root")
+	}
+	return ctx.BestCost(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Exp(g): generate logically equivalent expressions of all group expressions
+// in group g.
+
+type expGroupJob struct {
+	o         *Optimizer
+	g         *memo.Group
+	processed int
+}
+
+func (j *expGroupJob) Key() string { return fmt.Sprintf("eg:%d", j.g.ID) }
+
+func (j *expGroupJob) Step(*Scheduler) ([]Job, bool, error) {
+	if j.g.Explored() {
+		return nil, true, nil
+	}
+	exprs := j.g.Exprs()
+	var children []Job
+	for ; j.processed < len(exprs); j.processed++ {
+		ge := exprs[j.processed]
+		if _, ok := ge.Op.(ops.Logical); ok {
+			children = append(children, &expGexprJob{o: j.o, ge: ge})
+		}
+	}
+	if len(children) > 0 {
+		// Transformations may add new expressions; re-check on resume.
+		return children, false, nil
+	}
+	j.g.SetExplored()
+	return nil, true, nil
+}
+
+// Exp(gexpr): explore one group expression — explore its children first so
+// multi-level rule patterns can bind, then fire the exploration rules.
+
+type expGexprJob struct {
+	o     *Optimizer
+	ge    *memo.GroupExpr
+	phase int
+}
+
+func (j *expGexprJob) Key() string { return fmt.Sprintf("ex:%p", j.ge) }
+
+func (j *expGexprJob) Step(*Scheduler) ([]Job, bool, error) {
+	switch j.phase {
+	case 0:
+		j.phase = 1
+		var children []Job
+		for _, cid := range j.ge.Children {
+			children = append(children, &expGroupJob{o: j.o, g: j.o.Memo.Group(cid)})
+		}
+		if len(children) > 0 {
+			return children, false, nil
+		}
+		fallthrough
+	case 1:
+		j.phase = 2
+		var children []Job
+		for _, r := range j.o.Explorations {
+			if r.Matches(j.ge) {
+				children = append(children, &xformJob{o: j.o, ge: j.ge, rule: r})
+			}
+		}
+		if len(children) > 0 {
+			return children, false, nil
+		}
+	}
+	return nil, true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Imp(g) / Imp(gexpr)
+
+type impGroupJob struct {
+	o     *Optimizer
+	g     *memo.Group
+	phase int
+}
+
+func (j *impGroupJob) Key() string { return fmt.Sprintf("ig:%d", j.g.ID) }
+
+func (j *impGroupJob) Step(*Scheduler) ([]Job, bool, error) {
+	if j.g.Implemented() {
+		return nil, true, nil
+	}
+	switch j.phase {
+	case 0:
+		j.phase = 1
+		return []Job{&expGroupJob{o: j.o, g: j.g}}, false, nil
+	case 1:
+		j.phase = 2
+		var children []Job
+		for _, ge := range j.g.Exprs() {
+			if _, ok := ge.Op.(ops.Logical); ok {
+				children = append(children, &impGexprJob{o: j.o, ge: ge})
+			}
+		}
+		if len(children) > 0 {
+			return children, false, nil
+		}
+		fallthrough
+	default:
+		j.g.SetImplemented()
+		return nil, true, nil
+	}
+}
+
+type impGexprJob struct {
+	o     *Optimizer
+	ge    *memo.GroupExpr
+	phase int
+}
+
+func (j *impGexprJob) Key() string { return fmt.Sprintf("ix:%p", j.ge) }
+
+func (j *impGexprJob) Step(*Scheduler) ([]Job, bool, error) {
+	if j.phase == 0 {
+		j.phase = 1
+		var children []Job
+		for _, r := range j.o.Implementations {
+			if r.Matches(j.ge) {
+				children = append(children, &xformJob{o: j.o, ge: j.ge, rule: r})
+			}
+		}
+		if len(children) > 0 {
+			return children, false, nil
+		}
+	}
+	return nil, true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Xform(gexpr, t)
+
+type xformJob struct {
+	o    *Optimizer
+	ge   *memo.GroupExpr
+	rule xform.Rule
+}
+
+func (j *xformJob) Key() string { return fmt.Sprintf("xf:%p:%s", j.ge, j.rule.Name()) }
+
+func (j *xformJob) Step(*Scheduler) ([]Job, bool, error) {
+	if j.ge.MarkApplied(j.rule.Name()) {
+		if err := j.rule.Apply(j.o.XCtx, j.ge); err != nil {
+			return nil, false, err
+		}
+		j.o.RulesFired.Add(1)
+	}
+	return nil, true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Opt(g, req): find the least-cost plan rooted in group g satisfying req.
+
+type optGroupJob struct {
+	o     *Optimizer
+	g     *memo.Group
+	req   props.Required
+	phase int
+}
+
+func (j *optGroupJob) Key() string {
+	return fmt.Sprintf("og:%d:%x:%s", j.g.ID, j.req.Hash(), j.req)
+}
+
+func (j *optGroupJob) Step(*Scheduler) ([]Job, bool, error) {
+	ctx, _ := j.g.Context(j.req)
+	if ctx.Done() {
+		return nil, true, nil
+	}
+	switch j.phase {
+	case 0:
+		j.phase = 1
+		return []Job{&impGroupJob{o: j.o, g: j.g}}, false, nil
+	case 1:
+		j.phase = 2
+		if err := j.g.AddEnforcers(j.req); err != nil {
+			return nil, false, err
+		}
+		var children []Job
+		for _, ge := range j.g.Exprs() {
+			if _, ok := ge.Op.(ops.Physical); !ok {
+				continue
+			}
+			if ge.IsEnforcer() && !memo.EnforcerUseful(ge.Op, j.req) {
+				continue
+			}
+			children = append(children, &optGexprJob{o: j.o, ge: ge, req: j.req})
+		}
+		if len(children) > 0 {
+			return children, false, nil
+		}
+		fallthrough
+	default:
+		ctx.MarkDone()
+		return nil, true, nil
+	}
+}
+
+// Opt(gexpr, req): cost one group expression under a request, enumerating
+// its child-request alternatives.
+
+type optGexprJob struct {
+	o   *Optimizer
+	ge  *memo.GroupExpr
+	req props.Required
+
+	init    bool
+	alts    [][]props.Required
+	altIdx  int
+	spawned bool
+}
+
+func (j *optGexprJob) Key() string {
+	return fmt.Sprintf("ox:%p:%x:%s", j.ge, j.req.Hash(), j.req)
+}
+
+func (j *optGexprJob) Step(*Scheduler) ([]Job, bool, error) {
+	phys := j.ge.Op.(ops.Physical)
+	if !j.init {
+		j.init = true
+		for _, alt := range phys.ChildReqs(j.req) {
+			if j.selfCycle(alt) {
+				continue
+			}
+			j.alts = append(j.alts, alt)
+		}
+	}
+	for j.altIdx < len(j.alts) {
+		alt := j.alts[j.altIdx]
+		if !j.spawned {
+			j.spawned = true
+			var children []Job
+			for i, creq := range alt {
+				children = append(children, &optGroupJob{o: j.o, g: j.o.Memo.Group(j.ge.Children[i]), req: creq})
+			}
+			if len(children) > 0 {
+				return children, false, nil
+			}
+		}
+		// Children optimized: evaluate this alternative.
+		if err := j.evaluate(alt); err != nil {
+			return nil, false, err
+		}
+		j.altIdx++
+		j.spawned = false
+	}
+	return nil, true, nil
+}
+
+// selfCycle reports whether an alternative asks this expression's own group
+// for the very request being optimized (possible only for enforcers), which
+// would recurse forever.
+func (j *optGexprJob) selfCycle(alt []props.Required) bool {
+	for i, creq := range alt {
+		if j.ge.Children[i] == j.ge.Group().ID && creq.Equal(j.req) {
+			return true
+		}
+	}
+	return false
+}
+
+// evaluate combines the children's best plans for one alternative, checks
+// delivered properties against the request, costs the plan and offers it to
+// the group's context (paper §4.1 step 4).
+func (j *optGexprJob) evaluate(alt []props.Required) error {
+	o := j.o
+	n := len(j.ge.Children)
+	childDerived := make([]props.Derived, n)
+	childRows := make([]float64, n)
+	total := 0.0
+	for i, creq := range alt {
+		cg := o.Memo.Group(j.ge.Children[i])
+		cctx := cg.LookupContext(creq)
+		if cctx == nil {
+			return nil // child not optimizable under this request
+		}
+		_, cand, ok := cctx.Best()
+		if !ok {
+			return nil
+		}
+		childDerived[i] = cand.Delivered
+		if cg.Stats() == nil {
+			if _, err := o.Memo.DeriveStats(cg.ID, o.XCtx.Stats); err != nil {
+				return err
+			}
+		}
+		childRows[i] = cg.Rows()
+		total += cand.Cost
+	}
+	phys := j.ge.Op.(ops.Physical)
+	delivered := phys.Derive(childDerived)
+	if !delivered.Satisfies(j.req) {
+		return nil
+	}
+	g := j.ge.Group()
+	if g.Stats() == nil {
+		if _, err := o.Memo.DeriveStats(g.ID, o.XCtx.Stats); err != nil {
+			return err
+		}
+	}
+	in := cost.Inputs{
+		OutRows:   g.Rows(),
+		ChildRows: childRows,
+		Delivered: delivered,
+		Skew:      j.skew(delivered),
+	}
+	local := o.Cost.LocalCost(j.ge.Op, in)
+	cand := memo.Candidate{
+		ChildReqs: alt,
+		LocalCost: local,
+		Cost:      local + total,
+		Delivered: delivered,
+	}
+	j.ge.AddCandidate(j.req, cand)
+	ctx, _ := g.Context(j.req)
+	ctx.Offer(j.ge, cand)
+	return nil
+}
+
+// skew estimates the data-skew multiplier for operators that hash-partition
+// data, from the histogram of the first hashing column.
+func (j *optGexprJob) skew(delivered props.Derived) float64 {
+	var col base.ColID = -1
+	switch op := j.ge.Op.(type) {
+	case *ops.Redistribute:
+		if len(op.Cols) > 0 {
+			col = op.Cols[0]
+		}
+	case *ops.HashJoin:
+		if delivered.Dist.Kind == props.DistHashed && len(delivered.Dist.Cols) > 0 {
+			col = delivered.Dist.Cols[0]
+		}
+	default:
+		return 1
+	}
+	if col < 0 {
+		return 1
+	}
+	if s := j.ge.Group().Stats(); s != nil {
+		if h := s.Hist(col); h != nil {
+			return h.SkewRatio()
+		}
+	}
+	return 1
+}

@@ -1,0 +1,188 @@
+// Package search implements Orca's search mechanism and job scheduler
+// (paper §4.2): optimization is broken into small, re-entrant jobs —
+// Exp(g), Exp(gexpr), Imp(g), Imp(gexpr), Opt(g, req), Opt(gexpr, req) and
+// Xform(gexpr, t) — linked by child-parent dependencies. A parent job
+// suspends while its children run (possibly in parallel on other workers)
+// and resumes when they all finish. Jobs are deduplicated by goal: when a
+// job with some goal is already active, later jobs with the same goal attach
+// as waiters instead of redoing the work, which is the paper's group job
+// queue.
+package search
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrTimeout reports that the optimization stage exceeded its deadline.
+var ErrTimeout = errors.New("search: optimization timed out")
+
+// Job is one re-entrant unit of optimization work. Step performs as much
+// work as possible without blocking; to wait for other jobs, it returns them
+// as children and will be re-entered once they all complete.
+type Job interface {
+	// Key identifies the job's goal for deduplication.
+	Key() string
+	// Step advances the job. done reports completion; children are jobs the
+	// job must wait for before being re-entered.
+	Step(s *Scheduler) (children []Job, done bool, err error)
+}
+
+type jobState struct {
+	job     Job
+	parents []*jobState
+	pending int
+	done    bool
+	queued  bool
+	running bool
+}
+
+// Scheduler runs jobs on a fixed number of workers.
+type Scheduler struct {
+	workers  int
+	deadline time.Time
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	registry map[string]*jobState
+	queue    []*jobState
+	active   int
+	err      error
+	stopped  bool
+
+	// JobsRun counts job steps for diagnostics.
+	JobsRun int64
+}
+
+// NewScheduler builds a scheduler with the given parallelism (minimum 1).
+func NewScheduler(workers int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Scheduler{workers: workers, registry: make(map[string]*jobState)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// SetDeadline aborts the run once the deadline passes (zero = none).
+func (s *Scheduler) SetDeadline(d time.Time) { s.deadline = d }
+
+// Run executes the root job (and its transitively spawned children) to
+// completion. It returns the first error encountered, or ErrTimeout.
+func (s *Scheduler) Run(root Job) error {
+	s.mu.Lock()
+	s.enqueueLocked(root, nil)
+	s.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for i := 0; i < s.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.worker()
+		}()
+	}
+	wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// enqueueLocked registers a job (deduplicating by key) and attaches the
+// parent as a waiter. It returns whether the parent must wait.
+func (s *Scheduler) enqueueLocked(j Job, parent *jobState) (wait bool) {
+	st, ok := s.registry[j.Key()]
+	if !ok {
+		st = &jobState{job: j}
+		s.registry[j.Key()] = st
+		st.queued = true
+		s.queue = append(s.queue, st)
+		s.cond.Broadcast()
+	}
+	if st.done {
+		return false
+	}
+	if parent != nil {
+		st.parents = append(st.parents, parent)
+	}
+	return true
+}
+
+func (s *Scheduler) worker() {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && s.active > 0 && !s.stopped {
+			s.cond.Wait()
+		}
+		if s.stopped || (len(s.queue) == 0 && s.active == 0) {
+			s.stopped = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			s.err = ErrTimeout
+			s.stopped = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		// LIFO pop keeps the search depth-first, bounding live jobs.
+		st := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		st.queued = false
+		st.running = true
+		s.active++
+		s.JobsRun++
+		s.mu.Unlock()
+
+		children, done, err := st.job.Step(s)
+
+		s.mu.Lock()
+		st.running = false
+		s.active--
+		if err != nil {
+			if s.err == nil {
+				s.err = err
+			}
+			s.stopped = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		if done {
+			s.completeLocked(st)
+		} else {
+			waiting := 0
+			for _, c := range children {
+				if s.enqueueLocked(c, st) {
+					waiting++
+				}
+			}
+			st.pending += waiting
+			if st.pending == 0 {
+				// Children all finished already (or none): rerun.
+				st.queued = true
+				s.queue = append(s.queue, st)
+			}
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+func (s *Scheduler) completeLocked(st *jobState) {
+	if st.done {
+		return
+	}
+	st.done = true
+	for _, p := range st.parents {
+		p.pending--
+		if p.pending == 0 && !p.done && !p.queued && !p.running {
+			p.queued = true
+			s.queue = append(s.queue, p)
+		}
+	}
+	st.parents = nil
+}

@@ -1,0 +1,178 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stepJob is a configurable test job.
+type stepJob struct {
+	key   string
+	steps []func() ([]Job, bool, error)
+	calls int32
+}
+
+func (j *stepJob) Key() string { return j.key }
+
+func (j *stepJob) Step(*Scheduler) ([]Job, bool, error) {
+	n := atomic.AddInt32(&j.calls, 1)
+	if int(n) > len(j.steps) {
+		return nil, true, nil
+	}
+	return j.steps[n-1]()
+}
+
+func leaf(key string, hit *int32) *stepJob {
+	return &stepJob{key: key, steps: []func() ([]Job, bool, error){
+		func() ([]Job, bool, error) {
+			atomic.AddInt32(hit, 1)
+			return nil, true, nil
+		},
+	}}
+}
+
+func TestSchedulerRunsDependencyTree(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var hits int32
+		children := []Job{leaf("a", &hits), leaf("b", &hits), leaf("c", &hits)}
+		var resumed int32
+		root := &stepJob{key: "root", steps: []func() ([]Job, bool, error){
+			func() ([]Job, bool, error) { return children, false, nil },
+			func() ([]Job, bool, error) {
+				// All children must have completed before the parent resumes.
+				if atomic.LoadInt32(&hits) != 3 {
+					return nil, false, errors.New("parent resumed early")
+				}
+				atomic.AddInt32(&resumed, 1)
+				return nil, true, nil
+			},
+		}}
+		s := NewScheduler(workers)
+		if err := s.Run(root); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if hits != 3 || resumed != 1 {
+			t.Errorf("workers=%d: hits=%d resumed=%d", workers, hits, resumed)
+		}
+	}
+}
+
+func TestSchedulerDeduplicatesByKey(t *testing.T) {
+	// Two parents wait on the same child goal: the child must run once and
+	// both parents must resume — the paper's group job queue (§4.2).
+	var childRuns int32
+	mkParent := func(name string) *stepJob {
+		return &stepJob{key: name, steps: []func() ([]Job, bool, error){
+			func() ([]Job, bool, error) {
+				return []Job{leaf("shared-goal", &childRuns)}, false, nil
+			},
+			func() ([]Job, bool, error) { return nil, true, nil },
+		}}
+	}
+	root := &stepJob{key: "root", steps: []func() ([]Job, bool, error){
+		func() ([]Job, bool, error) { return []Job{mkParent("p1"), mkParent("p2")}, false, nil },
+		func() ([]Job, bool, error) { return nil, true, nil },
+	}}
+	s := NewScheduler(4)
+	if err := s.Run(root); err != nil {
+		t.Fatal(err)
+	}
+	if childRuns != 1 {
+		t.Errorf("shared goal ran %d times, want 1", childRuns)
+	}
+}
+
+func TestSchedulerPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	bad := &stepJob{key: "bad", steps: []func() ([]Job, bool, error){
+		func() ([]Job, bool, error) { return nil, false, boom },
+	}}
+	root := &stepJob{key: "root", steps: []func() ([]Job, bool, error){
+		func() ([]Job, bool, error) { return []Job{bad}, false, nil },
+	}}
+	s := NewScheduler(2)
+	if err := s.Run(root); !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestSchedulerTimeout(t *testing.T) {
+	// An endless chain of jobs must be cut off by the deadline.
+	var counter int64
+	var mk func(i int64) Job
+	mk = func(i int64) Job {
+		return &stepJob{key: fmt.Sprintf("j%d", i), steps: []func() ([]Job, bool, error){
+			func() ([]Job, bool, error) {
+				atomic.AddInt64(&counter, 1)
+				time.Sleep(200 * time.Microsecond)
+				return []Job{mk(i + 1)}, false, nil
+			},
+			func() ([]Job, bool, error) { return nil, true, nil },
+		}}
+	}
+	s := NewScheduler(1)
+	s.SetDeadline(time.Now().Add(30 * time.Millisecond))
+	err := s.Run(mk(0))
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestSchedulerDeepRecursion(t *testing.T) {
+	// A deep linear dependency chain exercises suspend/resume bookkeeping.
+	const depth = 2000
+	var done int32
+	var mk func(i int) Job
+	mk = func(i int) Job {
+		return &stepJob{key: fmt.Sprintf("d%d", i), steps: []func() ([]Job, bool, error){
+			func() ([]Job, bool, error) {
+				if i == depth {
+					atomic.AddInt32(&done, 1)
+					return nil, true, nil
+				}
+				return []Job{mk(i + 1)}, false, nil
+			},
+			func() ([]Job, bool, error) { return nil, true, nil },
+		}}
+	}
+	s := NewScheduler(2)
+	if err := s.Run(mk(0)); err != nil {
+		t.Fatal(err)
+	}
+	if done != 1 {
+		t.Error("chain did not complete")
+	}
+}
+
+func TestSchedulerManyParallelLeaves(t *testing.T) {
+	var hits int32
+	var children []Job
+	for i := 0; i < 500; i++ {
+		children = append(children, leaf(fmt.Sprintf("leaf%d", i), &hits))
+	}
+	var mu sync.Mutex
+	resumeCount := 0
+	root := &stepJob{key: "root", steps: []func() ([]Job, bool, error){
+		func() ([]Job, bool, error) { return children, false, nil },
+		func() ([]Job, bool, error) {
+			mu.Lock()
+			resumeCount++
+			mu.Unlock()
+			return nil, true, nil
+		},
+	}}
+	s := NewScheduler(8)
+	if err := s.Run(root); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 500 || resumeCount != 1 {
+		t.Errorf("hits=%d resume=%d", hits, resumeCount)
+	}
+	if s.JobsRun < 501 {
+		t.Errorf("JobsRun = %d", s.JobsRun)
+	}
+}

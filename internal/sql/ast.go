@@ -1,0 +1,205 @@
+package sql
+
+// The AST mirrors the supported SQL surface. It is deliberately small: the
+// binder immediately turns it into the optimizer's logical algebra.
+
+// Statement is a full query: optional WITH list plus a set-operation tree of
+// select blocks with optional ORDER BY / LIMIT on the outermost level.
+type Statement struct {
+	CTEs []CTE
+	Body SetExpr
+	// Order/Limit apply to the whole set expression.
+	Order  []OrderItem
+	Limit  *int64
+	Offset int64
+}
+
+// CTE is one WITH entry.
+type CTE struct {
+	Name string
+	Cols []string // optional column aliases
+	Stmt *Statement
+}
+
+// SetExpr is a select block or a set operation over two of them.
+type SetExpr interface{ isSetExpr() }
+
+// SetOp combines two set expressions.
+type SetOp struct {
+	Op   string // "union all", "intersect", "except"
+	L, R SetExpr
+}
+
+func (*SetOp) isSetExpr() {}
+
+// SelectBlock is one SELECT ... FROM ... query block.
+type SelectBlock struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableExpr
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+}
+
+func (*SelectBlock) isSetExpr() {}
+
+// SelectItem is one output expression (Star for "*").
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+}
+
+// OrderItem is one ORDER BY element (expression or 1-based position).
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableExpr is a FROM item.
+type TableExpr interface{ isTableExpr() }
+
+// TableRef names a base table or CTE.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+func (*TableRef) isTableExpr() {}
+
+// SubqueryRef is a derived table.
+type SubqueryRef struct {
+	Stmt  *Statement
+	Alias string
+}
+
+func (*SubqueryRef) isTableExpr() {}
+
+// JoinExpr is an explicit JOIN ... ON.
+type JoinExpr struct {
+	Kind string // "inner", "left", "cross"
+	L, R TableExpr
+	On   Expr
+}
+
+func (*JoinExpr) isTableExpr() {}
+
+// Expr is a scalar AST node.
+type Expr interface{ isExpr() }
+
+// ColName references a column, optionally qualified.
+type ColName struct {
+	Table string
+	Name  string
+}
+
+func (*ColName) isExpr() {}
+
+// NumLit is a numeric literal.
+type NumLit struct {
+	Text  string
+	IsInt bool
+}
+
+func (*NumLit) isExpr() {}
+
+// StrLit is a string literal.
+type StrLit struct{ Val string }
+
+func (*StrLit) isExpr() {}
+
+// BoolLit is TRUE/FALSE.
+type BoolLit struct{ Val bool }
+
+func (*BoolLit) isExpr() {}
+
+// NullLit is NULL.
+type NullLit struct{}
+
+func (*NullLit) isExpr() {}
+
+// BinExpr covers arithmetic, comparison and AND/OR.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (*BinExpr) isExpr() {}
+
+// UnaryExpr covers NOT and unary minus.
+type UnaryExpr struct {
+	Op  string
+	Arg Expr
+}
+
+func (*UnaryExpr) isExpr() {}
+
+// FuncCall is a function or aggregate call; Star marks count(*).
+type FuncCall struct {
+	Name     string
+	Args     []Expr
+	Distinct bool
+	Star     bool
+	// Over, when non-nil, marks a window function.
+	Over *WindowDef
+}
+
+func (*FuncCall) isExpr() {}
+
+// WindowDef is an OVER clause.
+type WindowDef struct {
+	PartitionBy []Expr
+	OrderBy     []OrderItem
+}
+
+// CaseExpr is a searched CASE.
+type CaseExpr struct {
+	Whens []struct {
+		When Expr
+		Then Expr
+	}
+	Else Expr
+}
+
+func (*CaseExpr) isExpr() {}
+
+// IsNullExpr is IS [NOT] NULL.
+type IsNullExpr struct {
+	Arg     Expr
+	Negated bool
+}
+
+func (*IsNullExpr) isExpr() {}
+
+// InExpr is `expr [NOT] IN (list)` or `expr [NOT] IN (subquery)`.
+type InExpr struct {
+	Arg     Expr
+	List    []Expr
+	Sub     *Statement
+	Negated bool
+}
+
+func (*InExpr) isExpr() {}
+
+// ExistsExpr is [NOT] EXISTS (subquery).
+type ExistsExpr struct {
+	Sub     *Statement
+	Negated bool
+}
+
+func (*ExistsExpr) isExpr() {}
+
+// SubqueryExpr is a scalar subquery used as a value.
+type SubqueryExpr struct{ Sub *Statement }
+
+func (*SubqueryExpr) isExpr() {}
+
+// BetweenExpr is `expr [NOT] BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	Arg     Expr
+	Lo, Hi  Expr
+	Negated bool
+}
+
+func (*BetweenExpr) isExpr() {}

@@ -1,0 +1,277 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+
+	"orca/internal/base"
+	"orca/internal/md"
+	"orca/internal/ops"
+)
+
+// bindExpr binds a scalar AST expression. replaced maps aggregate/window
+// calls (by AST node identity) to their pre-computed output columns.
+func (b *binder) bindExpr(e Expr, sc *scope, replaced map[*FuncCall]*md.ColRef) (ops.ScalarExpr, error) {
+	switch x := e.(type) {
+	case *ColName:
+		ref, err := sc.resolve(x.Table, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return ops.NewIdent(ref.ID, ref.Type), nil
+
+	case *NumLit:
+		if x.IsInt {
+			v, err := strconv.ParseInt(x.Text, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad integer %q", x.Text)
+			}
+			return ops.NewConst(base.NewInt(v)), nil
+		}
+		v, err := strconv.ParseFloat(x.Text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", x.Text)
+		}
+		return ops.NewConst(base.NewFloat(v)), nil
+
+	case *StrLit:
+		return ops.NewConst(base.NewString(x.Val)), nil
+
+	case *BoolLit:
+		return ops.NewConst(base.NewBool(x.Val)), nil
+
+	case *NullLit:
+		return ops.NewConst(base.Null), nil
+
+	case *BinExpr:
+		return b.bindBin(x, sc, replaced)
+
+	case *UnaryExpr:
+		arg, err := b.bindExpr(x.Arg, sc, replaced)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "not":
+			// NOT over a quantified subquery flips its kind so the
+			// normalizer can unnest it into an anti join.
+			if sq, ok := arg.(*ops.Subquery); ok {
+				switch sq.Kind {
+				case ops.SubExists:
+					sq.Kind = ops.SubNotExists
+					return sq, nil
+				case ops.SubNotExists:
+					sq.Kind = ops.SubExists
+					return sq, nil
+				case ops.SubIn:
+					sq.Kind = ops.SubNotIn
+					return sq, nil
+				case ops.SubNotIn:
+					sq.Kind = ops.SubIn
+					return sq, nil
+				}
+			}
+			return ops.Not(arg), nil
+		case "-":
+			return &ops.BinOp{Op: "-", L: ops.NewConst(base.NewInt(0)), R: arg}, nil
+		default:
+			return nil, fmt.Errorf("sql: unknown unary operator %q", x.Op)
+		}
+
+	case *FuncCall:
+		if ref, ok := replaced[x]; ok {
+			return ops.NewIdent(ref.ID, ref.Type), nil
+		}
+		if aggNames[x.Name] && x.Over == nil {
+			return nil, fmt.Errorf("sql: aggregate %q not allowed here", x.Name)
+		}
+		args := make([]ops.ScalarExpr, len(x.Args))
+		for i, a := range x.Args {
+			sa, err := b.bindExpr(a, sc, replaced)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = sa
+		}
+		return &ops.Func{Name: x.Name, Args: args}, nil
+
+	case *CaseExpr:
+		out := &ops.Case{}
+		for _, w := range x.Whens {
+			when, err := b.bindExpr(w.When, sc, replaced)
+			if err != nil {
+				return nil, err
+			}
+			then, err := b.bindExpr(w.Then, sc, replaced)
+			if err != nil {
+				return nil, err
+			}
+			out.Whens = append(out.Whens, ops.CaseWhen{When: when, Then: then})
+		}
+		if x.Else != nil {
+			els, err := b.bindExpr(x.Else, sc, replaced)
+			if err != nil {
+				return nil, err
+			}
+			out.Else = els
+		}
+		return out, nil
+
+	case *IsNullExpr:
+		arg, err := b.bindExpr(x.Arg, sc, replaced)
+		if err != nil {
+			return nil, err
+		}
+		return &ops.IsNull{Arg: arg, Negated: x.Negated}, nil
+
+	case *BetweenExpr:
+		arg, err := b.bindExpr(x.Arg, sc, replaced)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := b.bindExpr(x.Lo, sc, replaced)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := b.bindExpr(x.Hi, sc, replaced)
+		if err != nil {
+			return nil, err
+		}
+		rng := ops.And(ops.NewCmp(ops.CmpGe, arg, lo), ops.NewCmp(ops.CmpLe, arg, hi))
+		if x.Negated {
+			return ops.Not(rng), nil
+		}
+		return rng, nil
+
+	case *InExpr:
+		arg, err := b.bindExpr(x.Arg, sc, replaced)
+		if err != nil {
+			return nil, err
+		}
+		if x.Sub == nil {
+			vals := make([]ops.ScalarExpr, len(x.List))
+			for i, v := range x.List {
+				sv, err := b.bindExpr(v, sc, replaced)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = sv
+			}
+			return &ops.InList{Arg: arg, Vals: vals, Negated: x.Negated}, nil
+		}
+		tree, sub, _, err := b.bindStatement(x.Sub, sc)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub.cols) != 1 {
+			return nil, fmt.Errorf("sql: IN subquery must return one column")
+		}
+		kind := ops.SubIn
+		if x.Negated {
+			kind = ops.SubNotIn
+		}
+		return &ops.Subquery{Kind: kind, Input: tree, OutCol: sub.cols[0].ref.ID, Test: arg}, nil
+
+	case *ExistsExpr:
+		tree, _, _, err := b.bindStatement(x.Sub, sc)
+		if err != nil {
+			return nil, err
+		}
+		kind := ops.SubExists
+		if x.Negated {
+			kind = ops.SubNotExists
+		}
+		return &ops.Subquery{Kind: kind, Input: tree}, nil
+
+	case *SubqueryExpr:
+		tree, sub, _, err := b.bindStatement(x.Sub, sc)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub.cols) != 1 {
+			return nil, fmt.Errorf("sql: scalar subquery must return one column")
+		}
+		return &ops.Subquery{Kind: ops.SubScalar, Input: tree, OutCol: sub.cols[0].ref.ID}, nil
+
+	default:
+		return nil, fmt.Errorf("sql: unsupported expression %T", e)
+	}
+}
+
+var cmpKinds = map[string]ops.CmpOp{
+	"=": ops.CmpEq, "<>": ops.CmpNe, "<": ops.CmpLt,
+	"<=": ops.CmpLe, ">": ops.CmpGt, ">=": ops.CmpGe,
+}
+
+func (b *binder) bindBin(x *BinExpr, sc *scope, replaced map[*FuncCall]*md.ColRef) (ops.ScalarExpr, error) {
+	l, err := b.bindExpr(x.L, sc, replaced)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.bindExpr(x.R, sc, replaced)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "and":
+		return ops.And(l, r), nil
+	case "or":
+		return ops.Or(l, r), nil
+	case "+", "-", "*", "/", "%":
+		return &ops.BinOp{Op: x.Op, L: l, R: r}, nil
+	default:
+		if op, ok := cmpKinds[x.Op]; ok {
+			return ops.NewCmp(op, l, r), nil
+		}
+		return nil, fmt.Errorf("sql: unknown operator %q", x.Op)
+	}
+}
+
+// scalarType infers a rough result type for computed columns.
+func scalarType(e ops.ScalarExpr, f *md.ColumnFactory) base.TypeID {
+	switch x := e.(type) {
+	case *ops.Ident:
+		if r := f.Lookup(x.Col); r != nil {
+			return r.Type
+		}
+		return base.TUnknown
+	case *ops.Const:
+		switch x.Val.Kind {
+		case base.DInt:
+			return base.TInt
+		case base.DFloat:
+			return base.TFloat
+		case base.DString:
+			return base.TString
+		case base.DBool:
+			return base.TBool
+		}
+		return base.TUnknown
+	case *ops.BinOp:
+		lt, rt := scalarType(x.L, f), scalarType(x.R, f)
+		if x.Op == "/" || lt == base.TFloat || rt == base.TFloat {
+			return base.TFloat
+		}
+		return base.TInt
+	case *ops.Cmp, *ops.BoolOp, *ops.IsNull, *ops.InList:
+		return base.TBool
+	case *ops.Case:
+		if len(x.Whens) > 0 {
+			return scalarType(x.Whens[0].Then, f)
+		}
+		return base.TUnknown
+	case *ops.Func:
+		switch x.Name {
+		case "like":
+			return base.TBool
+		case "substr":
+			return base.TString
+		}
+		if len(x.Args) > 0 {
+			return scalarType(x.Args[0], f)
+		}
+		return base.TUnknown
+	default:
+		return base.TUnknown
+	}
+}

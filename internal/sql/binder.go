@@ -1,0 +1,245 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+
+	"orca/internal/base"
+	"orca/internal/core"
+	"orca/internal/md"
+	"orca/internal/ops"
+	"orca/internal/props"
+)
+
+// Bind parses and binds a SQL statement into a core.Query ready for
+// optimization: names are resolved to column references, tables to metadata
+// relations, aggregates and window functions to operator parameters.
+func Bind(src string, acc *md.Accessor, f *md.ColumnFactory) (*core.Query, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	b := &binder{acc: acc, f: f, ctes: map[string]*cteDef{}}
+	tree, sc, order, err := b.bindStatement(stmt, nil)
+	if err != nil {
+		return nil, err
+	}
+	q := &core.Query{
+		Tree:     tree,
+		Order:    order,
+		Factory:  f,
+		Accessor: acc,
+	}
+	for _, c := range sc.cols {
+		q.OutCols = append(q.OutCols, c.ref.ID)
+		q.OutNames = append(q.OutNames, c.name)
+	}
+	return q, nil
+}
+
+type binder struct {
+	acc    *md.Accessor
+	f      *md.ColumnFactory
+	ctes   map[string]*cteDef
+	cteSeq int
+}
+
+type cteDef struct {
+	id    int
+	cols  []*md.ColRef // producer output columns
+	names []string
+}
+
+// scope tracks visible columns; parents provide correlation.
+type scope struct {
+	parent *scope
+	cols   []scopeCol
+}
+
+type scopeCol struct {
+	table string
+	name  string
+	ref   *md.ColRef
+}
+
+func (s *scope) add(table, name string, ref *md.ColRef) {
+	s.cols = append(s.cols, scopeCol{table: table, name: name, ref: ref})
+}
+
+// resolve finds a column by (optional) table qualifier and name, searching
+// outer scopes for correlation.
+func (s *scope) resolve(table, name string) (*md.ColRef, error) {
+	for sc := s; sc != nil; sc = sc.parent {
+		var found *md.ColRef
+		n := 0
+		for _, c := range sc.cols {
+			if c.name == name && (table == "" || c.table == table) {
+				found = c.ref
+				n++
+			}
+		}
+		if n > 1 {
+			return nil, fmt.Errorf("sql: ambiguous column %q", name)
+		}
+		if n == 1 {
+			return found, nil
+		}
+	}
+	if table != "" {
+		return nil, fmt.Errorf("sql: unknown column %s.%s", table, name)
+	}
+	return nil, fmt.Errorf("sql: unknown column %q", name)
+}
+
+// ---------------------------------------------------------------------------
+// Statements and set operations
+
+func (b *binder) bindStatement(stmt *Statement, outer *scope) (*ops.Expr, *scope, props.OrderSpec, error) {
+	// Bind CTE producers; consumers are resolved by name in FROM clauses.
+	type boundCTE struct {
+		def  *cteDef
+		tree *ops.Expr
+	}
+	var anchors []boundCTE
+	saved := make(map[string]*cteDef)
+	for _, cte := range stmt.CTEs {
+		tree, sc, _, err := b.bindStatement(cte.Stmt, outer)
+		if err != nil {
+			return nil, nil, props.OrderSpec{}, err
+		}
+		def := &cteDef{id: b.cteSeq}
+		b.cteSeq++
+		for i, c := range sc.cols {
+			name := c.name
+			if i < len(cte.Cols) {
+				name = cte.Cols[i]
+			}
+			def.cols = append(def.cols, c.ref)
+			def.names = append(def.names, name)
+		}
+		if prev, ok := b.ctes[cte.Name]; ok {
+			saved[cte.Name] = prev
+		} else {
+			saved[cte.Name] = nil
+		}
+		b.ctes[cte.Name] = def
+		anchors = append(anchors, boundCTE{def: def, tree: tree})
+	}
+	defer func() {
+		for name, prev := range saved {
+			if prev == nil {
+				delete(b.ctes, name)
+			} else {
+				b.ctes[name] = prev
+			}
+		}
+	}()
+
+	body, sc, err := b.bindSetExpr(stmt.Body, outer)
+	if err != nil {
+		return nil, nil, props.OrderSpec{}, err
+	}
+
+	order, err := b.bindOrder(stmt.Order, sc)
+	if err != nil {
+		return nil, nil, props.OrderSpec{}, err
+	}
+
+	if stmt.Limit != nil || stmt.Offset > 0 {
+		l := &ops.Limit{Order: order, Offset: stmt.Offset}
+		if stmt.Limit != nil {
+			l.HasCount = true
+			l.Count = *stmt.Limit
+		}
+		body = ops.NewExpr(l, body)
+	}
+
+	// Wrap CTE anchors outermost-first so producers dominate their body.
+	for i := len(anchors) - 1; i >= 0; i-- {
+		a := anchors[i]
+		body = ops.NewExpr(&ops.CTEAnchor{ID: a.def.id, Cols: a.def.cols}, a.tree, body)
+	}
+	return body, sc, order, nil
+}
+
+func (b *binder) bindOrder(items []OrderItem, sc *scope) (props.OrderSpec, error) {
+	var out props.OrderSpec
+	for _, it := range items {
+		var ref *md.ColRef
+		switch e := it.Expr.(type) {
+		case *NumLit:
+			pos, err := strconv.Atoi(e.Text)
+			if err != nil || pos < 1 || pos > len(sc.cols) {
+				return out, fmt.Errorf("sql: ORDER BY position %q out of range", e.Text)
+			}
+			ref = sc.cols[pos-1].ref
+		case *ColName:
+			r, err := sc.resolve(e.Table, e.Name)
+			if err != nil {
+				return out, err
+			}
+			ref = r
+		default:
+			return out, fmt.Errorf("sql: ORDER BY supports columns and positions only")
+		}
+		out.Items = append(out.Items, props.OrderItem{Col: ref.ID, Desc: it.Desc})
+	}
+	return out, nil
+}
+
+func (b *binder) bindSetExpr(se SetExpr, outer *scope) (*ops.Expr, *scope, error) {
+	switch s := se.(type) {
+	case *SelectBlock:
+		return b.bindSelect(s, outer)
+	case *SetOp:
+		return b.bindSetOp(s, outer)
+	default:
+		return nil, nil, fmt.Errorf("sql: unsupported set expression %T", se)
+	}
+}
+
+func (b *binder) bindSetOp(s *SetOp, outer *scope) (*ops.Expr, *scope, error) {
+	lt, ls, err := b.bindSetExpr(s.L, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	rt, rs, err := b.bindSetExpr(s.R, outer)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(ls.cols) != len(rs.cols) {
+		return nil, nil, fmt.Errorf("sql: set operation arity mismatch: %d vs %d", len(ls.cols), len(rs.cols))
+	}
+	switch s.Op {
+	case "union all":
+		out := &scope{}
+		u := &ops.UnionAll{InCols: make([][]base.ColID, 2)}
+		for i, c := range ls.cols {
+			ref := b.f.NewComputedColumn(c.name, c.ref.Type)
+			u.OutCols = append(u.OutCols, ref)
+			u.InCols[0] = append(u.InCols[0], c.ref.ID)
+			u.InCols[1] = append(u.InCols[1], rs.cols[i].ref.ID)
+			out.add("", c.name, ref)
+		}
+		return ops.NewExpr(u, lt, rt), out, nil
+	case "intersect", "except":
+		// Desugared: DISTINCT(L) ⋉/▷ R on all columns equal.
+		jt := ops.SemiJoin
+		if s.Op == "except" {
+			jt = ops.AntiJoin
+		}
+		var groupCols []base.ColID
+		var preds []ops.ScalarExpr
+		for i, c := range ls.cols {
+			groupCols = append(groupCols, c.ref.ID)
+			preds = append(preds, ops.Eq(
+				ops.NewIdent(c.ref.ID, c.ref.Type),
+				ops.NewIdent(rs.cols[i].ref.ID, rs.cols[i].ref.Type)))
+		}
+		distinct := ops.NewExpr(&ops.GbAgg{GroupCols: groupCols}, lt)
+		join := ops.NewExpr(&ops.Join{Type: jt, Pred: ops.And(preds...)}, distinct, rt)
+		return join, ls, nil
+	default:
+		return nil, nil, fmt.Errorf("sql: unsupported set operation %q", s.Op)
+	}
+}

@@ -1,0 +1,412 @@
+package sql
+
+// Expression parsing with standard precedence:
+//   OR < AND < NOT < comparison/IN/LIKE/BETWEEN/IS < additive < multiplicative < unary < primary
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: "or", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: "and", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		arg, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "not", Arg: arg}, nil
+	}
+	return p.parseComparison()
+}
+
+var cmpOps = map[string]bool{"=": true, "<": true, ">": true, "<=": true, ">=": true, "<>": true, "!=": true}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokSymbol && cmpOps[t.text]:
+			p.next()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			op := t.text
+			if op == "!=" {
+				op = "<>"
+			}
+			left = &BinExpr{Op: op, L: left, R: right}
+
+		case t.kind == tokKeyword && t.text == "IS":
+			p.next()
+			neg := p.accept(tokKeyword, "NOT")
+			if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+				return nil, err
+			}
+			left = &IsNullExpr{Arg: left, Negated: neg}
+
+		case t.kind == tokKeyword && (t.text == "IN" || t.text == "NOT" || t.text == "BETWEEN" || t.text == "LIKE"):
+			neg := false
+			if t.text == "NOT" {
+				// lookahead: NOT IN / NOT BETWEEN / NOT LIKE
+				if p.pos+1 < len(p.toks) {
+					nxt := p.toks[p.pos+1]
+					if nxt.kind != tokKeyword || (nxt.text != "IN" && nxt.text != "BETWEEN" && nxt.text != "LIKE") {
+						return left, nil
+					}
+				}
+				p.next()
+				neg = true
+				t = p.peek()
+			}
+			switch t.text {
+			case "IN":
+				p.next()
+				e, err := p.parseInTail(left, neg)
+				if err != nil {
+					return nil, err
+				}
+				left = e
+			case "BETWEEN":
+				p.next()
+				lo, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokKeyword, "AND"); err != nil {
+					return nil, err
+				}
+				hi, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				left = &BetweenExpr{Arg: left, Lo: lo, Hi: hi, Negated: neg}
+			case "LIKE":
+				p.next()
+				pat, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				like := &FuncCall{Name: "like", Args: []Expr{left, pat}}
+				if neg {
+					left = &UnaryExpr{Op: "not", Arg: like}
+				} else {
+					left = like
+				}
+			default:
+				return left, nil
+			}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseInTail(arg Expr, neg bool) (Expr, error) {
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	if p.at(tokKeyword, "SELECT") || p.at(tokKeyword, "WITH") {
+		sub, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{Arg: arg, Sub: sub, Negated: neg}, nil
+	}
+	var list []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return &InExpr{Arg: arg, List: list, Negated: neg}, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "+" || t.text == "-") {
+			p.next()
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinExpr{Op: t.text, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "*" || t.text == "/" || t.text == "%") {
+			p.next()
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinExpr{Op: t.text, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokSymbol, "-") {
+		arg, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", Arg: arg}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return &NumLit{Text: t.text, IsInt: !containsDot(t.text)}, nil
+
+	case t.kind == tokString:
+		p.next()
+		return &StrLit{Val: t.text}, nil
+
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.next()
+		return &NullLit{}, nil
+
+	case t.kind == tokKeyword && t.text == "TRUE":
+		p.next()
+		return &BoolLit{Val: true}, nil
+
+	case t.kind == tokKeyword && t.text == "FALSE":
+		p.next()
+		return &BoolLit{Val: false}, nil
+
+	case t.kind == tokKeyword && t.text == "EXISTS":
+		p.next()
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Sub: sub}, nil
+
+	case t.kind == tokKeyword && t.text == "CASE":
+		return p.parseCase()
+
+	case t.kind == tokSymbol && t.text == "(":
+		p.next()
+		if p.at(tokKeyword, "SELECT") || p.at(tokKeyword, "WITH") {
+			sub, err := p.parseStatement()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &SubqueryExpr{Sub: sub}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case t.kind == tokIdent:
+		p.next()
+		// Function call?
+		if p.at(tokSymbol, "(") {
+			return p.parseFuncCall(t.text)
+		}
+		// Qualified column?
+		if p.accept(tokSymbol, ".") {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &ColName{Table: t.text, Name: col.text}, nil
+		}
+		return &ColName{Name: t.text}, nil
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}
+
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	fc := &FuncCall{Name: name}
+	if p.accept(tokSymbol, "*") {
+		fc.Star = true
+	} else if !p.at(tokSymbol, ")") {
+		fc.Distinct = p.accept(tokKeyword, "DISTINCT")
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, a)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "OVER") {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		w := &WindowDef{}
+		if p.accept(tokKeyword, "PARTITION") {
+			if _, err := p.expect(tokKeyword, "BY"); err != nil {
+				return nil, err
+			}
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				w.PartitionBy = append(w.PartitionBy, e)
+				if !p.accept(tokSymbol, ",") {
+					break
+				}
+			}
+		}
+		if p.accept(tokKeyword, "ORDER") {
+			if _, err := p.expect(tokKeyword, "BY"); err != nil {
+				return nil, err
+			}
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				item := OrderItem{Expr: e}
+				if p.accept(tokKeyword, "DESC") {
+					item.Desc = true
+				} else {
+					p.accept(tokKeyword, "ASC")
+				}
+				w.OrderBy = append(w.OrderBy, item)
+				if !p.accept(tokSymbol, ",") {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		fc.Over = w
+	}
+	return fc, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if _, err := p.expect(tokKeyword, "CASE"); err != nil {
+		return nil, err
+	}
+	c := &CaseExpr{}
+	for p.accept(tokKeyword, "WHEN") {
+		when, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, struct {
+			When Expr
+			Then Expr
+		}{when, then})
+	}
+	if p.accept(tokKeyword, "ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if _, err := p.expect(tokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func containsDot(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return true
+		}
+	}
+	return false
+}

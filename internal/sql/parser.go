@@ -1,0 +1,384 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse turns SQL text into a Statement AST.
+func Parse(src string) (*Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("unexpected %q after statement", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %q, found %q", text, p.peek().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: parse error near offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *parser) parseStatement() (*Statement, error) {
+	stmt := &Statement{}
+	if p.accept(tokKeyword, "WITH") {
+		for {
+			cte, err := p.parseCTE()
+			if err != nil {
+				return nil, err
+			}
+			stmt.CTEs = append(stmt.CTEs, *cte)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	body, err := p.parseSetExpr()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Body = body
+
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			stmt.Order = append(stmt.Order, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		stmt.Limit = &n
+	}
+	if p.accept(tokKeyword, "OFFSET") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad OFFSET %q", t.text)
+		}
+		stmt.Offset = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseCTE() (*CTE, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	cte := &CTE{Name: name.text}
+	if p.accept(tokSymbol, "(") {
+		for {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			cte.Cols = append(cte.Cols, col.text)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokKeyword, "AS"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	inner, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	cte.Stmt = inner
+	return cte, nil
+}
+
+func (p *parser) parseSetExpr() (SetExpr, error) {
+	left, err := p.parseSetPrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokKeyword, "UNION"):
+			if _, err := p.expect(tokKeyword, "ALL"); err != nil {
+				return nil, p.errf("only UNION ALL is supported")
+			}
+			right, err := p.parseSetPrimary()
+			if err != nil {
+				return nil, err
+			}
+			left = &SetOp{Op: "union all", L: left, R: right}
+		case p.accept(tokKeyword, "INTERSECT"):
+			right, err := p.parseSetPrimary()
+			if err != nil {
+				return nil, err
+			}
+			left = &SetOp{Op: "intersect", L: left, R: right}
+		case p.accept(tokKeyword, "EXCEPT"):
+			right, err := p.parseSetPrimary()
+			if err != nil {
+				return nil, err
+			}
+			left = &SetOp{Op: "except", L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseSetPrimary() (SetExpr, error) {
+	if p.accept(tokSymbol, "(") {
+		inner, err := p.parseSetExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseSelect()
+}
+
+func (p *parser) parseSelect() (*SelectBlock, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	blk := &SelectBlock{}
+	blk.Distinct = p.accept(tokKeyword, "DISTINCT")
+	for {
+		if p.accept(tokSymbol, "*") {
+			blk.Items = append(blk.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept(tokKeyword, "AS") {
+				a, err := p.expect(tokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a.text
+			} else if p.at(tokIdent, "") {
+				item.Alias = p.next().text
+			}
+			blk.Items = append(blk.Items, item)
+		}
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "FROM") {
+		for {
+			te, err := p.parseTableExpr()
+			if err != nil {
+				return nil, err
+			}
+			blk.From = append(blk.From, te)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		blk.Where = e
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		// ROLLUP/CUBE parse as plain grouping (documented simplification).
+		wrapped := p.accept(tokKeyword, "ROLLUP") || p.accept(tokKeyword, "CUBE")
+		if wrapped {
+			if _, err := p.expect(tokSymbol, "("); err != nil {
+				return nil, err
+			}
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			blk.GroupBy = append(blk.GroupBy, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if wrapped {
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.accept(tokKeyword, "HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		blk.Having = e
+	}
+	return blk, nil
+}
+
+// ---------------------------------------------------------------------------
+// FROM items
+
+func (p *parser) parseTableExpr() (TableExpr, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		kind := ""
+		switch {
+		case p.accept(tokKeyword, "JOIN"):
+			kind = "inner"
+		case p.at(tokKeyword, "INNER"):
+			p.next()
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			kind = "inner"
+		case p.at(tokKeyword, "LEFT"):
+			p.next()
+			p.accept(tokKeyword, "OUTER")
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			kind = "left"
+		case p.at(tokKeyword, "CROSS"):
+			p.next()
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			kind = "cross"
+		default:
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		j := &JoinExpr{Kind: kind, L: left, R: right}
+		if kind != "cross" {
+			if _, err := p.expect(tokKeyword, "ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			j.On = on
+		}
+		left = j
+	}
+}
+
+func (p *parser) parseTablePrimary() (TableExpr, error) {
+	if p.accept(tokSymbol, "(") {
+		stmt, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		p.accept(tokKeyword, "AS")
+		alias, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, p.errf("derived table requires an alias")
+		}
+		return &SubqueryRef{Stmt: stmt, Alias: alias.text}, nil
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	ref := &TableRef{Name: name.text, Alias: name.text}
+	if p.accept(tokKeyword, "AS") {
+		a, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ref.Alias = a.text
+	} else if p.at(tokIdent, "") {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}

@@ -1,0 +1,237 @@
+// Package stats implements Orca's statistics derivation (paper §4.1 step 2):
+// statistics objects are collections of column histograms used to derive
+// cardinality and skew estimates. Derivation happens on the compact Memo —
+// one statistics object per group, computed from the most promising group
+// expression — and histograms are transformed through operators (filters
+// reshape them, joins intersect them, aggregates collapse them).
+package stats
+
+import (
+	"math"
+
+	"orca/internal/base"
+	"orca/internal/md"
+)
+
+// Default selectivities used when no histogram is available, in the
+// tradition of Selinger-style magic numbers.
+const (
+	DefaultEqSel    = 0.005
+	DefaultRangeSel = 0.33
+	DefaultNeSel    = 0.995
+)
+
+// Histogram is an equi-depth histogram over one column plus NDV and null
+// fraction. Rows in the histogram are absolute counts (not fractions), so a
+// histogram is meaningful only together with its owning Stats row count.
+type Histogram struct {
+	Buckets  []md.Bucket
+	NDV      float64
+	NullFrac float64
+}
+
+// FromColStats converts catalog column statistics.
+func FromColStats(cs *md.ColStats) *Histogram {
+	if cs == nil {
+		return nil
+	}
+	buckets := make([]md.Bucket, len(cs.Buckets))
+	copy(buckets, cs.Buckets)
+	return &Histogram{Buckets: buckets, NDV: cs.NDV, NullFrac: cs.NullFrac}
+}
+
+// Rows returns the total row count covered by the histogram buckets.
+func (h *Histogram) Rows() float64 {
+	var n float64
+	for _, b := range h.Buckets {
+		n += b.Rows
+	}
+	return n
+}
+
+// Lo and Hi return the histogram's value range projected to float64.
+func (h *Histogram) Lo() float64 {
+	if len(h.Buckets) == 0 {
+		return 0
+	}
+	return h.Buckets[0].Lo.AsFloat()
+}
+
+// Hi returns the histogram's upper bound projected to float64.
+func (h *Histogram) Hi() float64 {
+	if len(h.Buckets) == 0 {
+		return 0
+	}
+	return h.Buckets[len(h.Buckets)-1].Hi.AsFloat()
+}
+
+// Scale returns a copy with all bucket counts and the NDV scaled by factor
+// (NDV scales sublinearly, following the standard distinct-value decay).
+func (h *Histogram) Scale(factor float64) *Histogram {
+	if h == nil {
+		return nil
+	}
+	if factor > 1 {
+		// Row multiplication (e.g. joins): counts scale, NDV does not grow.
+		out := &Histogram{NDV: h.NDV, NullFrac: h.NullFrac}
+		out.Buckets = make([]md.Bucket, len(h.Buckets))
+		for i, b := range h.Buckets {
+			out.Buckets[i] = md.Bucket{Lo: b.Lo, Hi: b.Hi, Rows: b.Rows * factor, Distincts: b.Distincts}
+		}
+		return out
+	}
+	out := &Histogram{NullFrac: h.NullFrac}
+	out.Buckets = make([]md.Bucket, len(h.Buckets))
+	for i, b := range h.Buckets {
+		out.Buckets[i] = md.Bucket{
+			Lo:        b.Lo,
+			Hi:        b.Hi,
+			Rows:      b.Rows * factor,
+			Distincts: scaleNDV(b.Distincts, b.Rows, factor),
+		}
+		out.NDV += out.Buckets[i].Distincts
+	}
+	return out
+}
+
+// scaleNDV estimates how many of d distinct values survive keeping a
+// `factor` fraction of n rows, using the standard balls-and-bins estimate.
+func scaleNDV(d, n, factor float64) float64 {
+	if d <= 0 || n <= 0 || factor <= 0 {
+		return 0
+	}
+	kept := n * factor
+	if d <= 1 {
+		// Sub-unit distinct counts arise from repeated scaling; the power
+		// formula needs d > 1 (its base must stay in (0,1)).
+		return math.Min(d, kept)
+	}
+	// Expected distinct values after sampling `kept` of n rows over d values.
+	est := d * (1 - math.Pow(1-1/d, kept))
+	return math.Min(est, math.Min(d, kept))
+}
+
+// EqSel returns the fraction of rows equal to v.
+func (h *Histogram) EqSel(v base.Datum) float64 {
+	total := h.Rows()
+	if total <= 0 {
+		return DefaultEqSel
+	}
+	f := v.AsFloat()
+	for i, b := range h.Buckets {
+		lo, hi := b.Lo.AsFloat(), b.Hi.AsFloat()
+		last := i == len(h.Buckets)-1
+		if f >= lo && (f < hi || (last && f <= hi)) {
+			if b.Distincts <= 0 {
+				return 0
+			}
+			return (b.Rows / b.Distincts) / total
+		}
+	}
+	return 0
+}
+
+// RangeSel returns the fraction of rows in [lo, hi]; use math.Inf bounds for
+// open ranges.
+func (h *Histogram) RangeSel(lo, hi float64) float64 {
+	total := h.Rows()
+	if total <= 0 {
+		return DefaultRangeSel
+	}
+	var kept float64
+	for _, b := range h.Buckets {
+		blo, bhi := b.Lo.AsFloat(), b.Hi.AsFloat()
+		kept += b.Rows * overlapFrac(blo, bhi, lo, hi)
+	}
+	return kept / total
+}
+
+// overlapFrac returns the fraction of [blo,bhi) overlapped by [lo,hi],
+// assuming uniformity within the bucket.
+func overlapFrac(blo, bhi, lo, hi float64) float64 {
+	if bhi <= blo {
+		// Degenerate single-value bucket.
+		if blo >= lo && blo <= hi {
+			return 1
+		}
+		return 0
+	}
+	l := math.Max(blo, lo)
+	r := math.Min(bhi, hi)
+	if r <= l {
+		return 0
+	}
+	return (r - l) / (bhi - blo)
+}
+
+// FilterRange returns a copy of the histogram restricted to [lo, hi].
+func (h *Histogram) FilterRange(lo, hi float64) *Histogram {
+	out := &Histogram{NullFrac: 0}
+	for _, b := range h.Buckets {
+		frac := overlapFrac(b.Lo.AsFloat(), b.Hi.AsFloat(), lo, hi)
+		if frac <= 0 {
+			continue
+		}
+		nb := md.Bucket{
+			Lo:        b.Lo,
+			Hi:        b.Hi,
+			Rows:      b.Rows * frac,
+			Distincts: scaleNDV(b.Distincts, b.Rows, frac),
+		}
+		out.Buckets = append(out.Buckets, nb)
+		out.NDV += nb.Distincts
+	}
+	return out
+}
+
+// JoinOverlap estimates the equi-join between columns described by h and o:
+// it returns the selectivity to apply to the row-count product, and the NDV
+// of the join key in the result.
+func JoinOverlap(h, o *Histogram) (sel, ndv float64) {
+	if h == nil || o == nil || h.NDV <= 0 || o.NDV <= 0 {
+		return DefaultEqSel, 0
+	}
+	// Fraction of each side's domain inside the shared value range.
+	lo := math.Max(h.Lo(), o.Lo())
+	hi := math.Min(h.Hi(), o.Hi())
+	if hi < lo {
+		return 0, 0
+	}
+	hin := h.RangeSel(lo, hi)
+	oin := o.RangeSel(lo, hi)
+	hNDV := math.Max(h.NDV*hin, 1)
+	oNDV := math.Max(o.NDV*oin, 1)
+	matchNDV := math.Min(hNDV, oNDV)
+	// Containment assumption: sel applied to |R|x|S|.
+	sel = hin * oin / math.Max(hNDV, oNDV)
+	return sel, matchNDV
+}
+
+// SkewRatio estimates distribution skew for hashing on this column: the
+// ratio of the most frequent value's share to the uniform share (1 = no
+// skew). The cost model charges skewed redistributions extra (paper §4.1:
+// statistics derive "estimates for cardinality and data skew").
+func (h *Histogram) SkewRatio() float64 {
+	total := h.Rows()
+	if h == nil || total <= 0 || h.NDV <= 0 {
+		return 1
+	}
+	var maxPerVal float64
+	for _, b := range h.Buckets {
+		if b.Distincts > 0 {
+			perVal := b.Rows / b.Distincts
+			if perVal > maxPerVal {
+				maxPerVal = perVal
+			}
+		}
+	}
+	uniform := total / h.NDV
+	if uniform <= 0 {
+		return 1
+	}
+	r := maxPerVal / uniform
+	if r < 1 {
+		return 1
+	}
+	return r
+}

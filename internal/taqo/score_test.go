@@ -1,0 +1,68 @@
+package taqo
+
+import (
+	"math"
+	"testing"
+)
+
+func runsOf(pairs ...[2]float64) []PlanRun {
+	out := make([]PlanRun, len(pairs))
+	for i, p := range pairs {
+		out[i] = PlanRun{EstCost: p[0], Actual: p[1]}
+	}
+	return out
+}
+
+func TestCorrelationPerfectOrdering(t *testing.T) {
+	runs := runsOf([2]float64{1, 10}, [2]float64{2, 20}, [2]float64{3, 40}, [2]float64{4, 80})
+	if got := correlation(runs, 0.05); got != 1 {
+		t.Errorf("perfect ordering scores %g, want 1", got)
+	}
+}
+
+func TestCorrelationInvertedOrdering(t *testing.T) {
+	runs := runsOf([2]float64{4, 10}, [2]float64{3, 20}, [2]float64{2, 40}, [2]float64{1, 80})
+	if got := correlation(runs, 0.05); got != -1 {
+		t.Errorf("inverted ordering scores %g, want -1", got)
+	}
+}
+
+func TestCorrelationIgnoresClosePairs(t *testing.T) {
+	// Two plans 1% apart in actual cost are "the same plan" for scoring
+	// (ref [15]: no penalty for small differences) even when the estimates
+	// order them wrongly.
+	runs := runsOf([2]float64{2, 100}, [2]float64{1, 101}, [2]float64{3, 500})
+	if got := correlation(runs, 0.05); got != 1 {
+		t.Errorf("close pair not ignored: %g", got)
+	}
+}
+
+func TestCorrelationWeightsGoodPlansMore(t *testing.T) {
+	// One mistake involving the best plan must cost more than one mistake
+	// among the worst plans (the importance weighting of ref [15]).
+	mistakeAtBest := runsOf(
+		[2]float64{5, 10}, // best actual, worst estimate: wrong vs everyone
+		[2]float64{1, 100},
+		[2]float64{2, 200},
+		[2]float64{3, 400},
+	)
+	mistakeAtWorst := runsOf(
+		[2]float64{1, 10},
+		[2]float64{2, 100},
+		[2]float64{4, 400}, // swapped with its neighbour only
+		[2]float64{3, 200},
+	)
+	a, b := correlation(mistakeAtBest, 0.05), correlation(mistakeAtWorst, 0.05)
+	if a >= b {
+		t.Errorf("mistake at best plan (%g) must score below mistake at tail (%g)", a, b)
+	}
+}
+
+func TestCorrelationDegenerate(t *testing.T) {
+	if got := correlation(runsOf([2]float64{1, 50}, [2]float64{2, 50}), 0.05); got != 1 {
+		t.Errorf("all-equal actuals must score 1 (nothing to misorder), got %g", got)
+	}
+	if got := correlation(nil, 0.05); math.IsNaN(got) {
+		t.Error("empty runs produce NaN")
+	}
+}

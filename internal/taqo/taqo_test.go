@@ -1,0 +1,140 @@
+package taqo
+
+import (
+	"testing"
+
+	"orca/internal/base"
+	"orca/internal/core"
+	"orca/internal/datagen"
+	"orca/internal/engine"
+	"orca/internal/gpos"
+	"orca/internal/md"
+	"orca/internal/sql"
+)
+
+func setup(t testing.TB) (*core.Result, *engine.Cluster) {
+	t.Helper()
+	p := md.NewMemProvider()
+	md.Build(p, md.TableSpec{
+		Name: "f", Rows: 3000,
+		Policy: md.DistHash, DistCols: []int{0},
+		Cols: []md.ColSpec{
+			{Name: "k", Type: base.TInt, NDV: 150, Lo: 0, Hi: 150},
+			{Name: "v", Type: base.TInt, NDV: 60, Lo: 0, Hi: 60},
+		},
+	})
+	md.Build(p, md.TableSpec{
+		Name: "d", Rows: 150,
+		Policy: md.DistHash, DistCols: []int{0},
+		Cols: []md.ColSpec{
+			{Name: "k", Type: base.TInt, NDV: 150, Lo: 0, Hi: 150},
+			{Name: "grp", Type: base.TInt, NDV: 12, Lo: 0, Hi: 12},
+		},
+	})
+	cluster := engine.NewCluster(4, p)
+	if err := datagen.LoadAll(cluster, p, 11); err != nil {
+		t.Fatal(err)
+	}
+	cache := md.NewCache(&gpos.MemoryAccountant{})
+	q, err := sql.Bind(`
+		SELECT d.grp, sum(f.v) AS total
+		FROM f, d
+		WHERE f.k = d.k AND d.grp < 6
+		GROUP BY d.grp ORDER BY d.grp`, md.NewAccessor(cache, p), md.NewColumnFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Optimize(q, core.DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, cluster
+}
+
+func TestPlanSpaceCountingAndSampling(t *testing.T) {
+	res, _ := setup(t)
+	s := NewSampler(res.Memo, res.RootGroup, res.RootReq)
+	n := s.Count()
+	if n < 2 {
+		t.Fatalf("plan space too small: %g", n)
+	}
+	// Every rank must unrank into a valid plan; distinct ranks often give
+	// distinct plans.
+	distinct := map[string]bool{}
+	limit := int(n)
+	if limit > 64 {
+		limit = 64
+	}
+	for r := 0; r < limit; r++ {
+		plan, cost, err := s.Sample(float64(r))
+		if err != nil {
+			t.Fatalf("sample %d: %v", r, err)
+		}
+		if cost <= 0 {
+			t.Errorf("sample %d has non-positive cost", r)
+		}
+		distinct[plan.String()] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("expected multiple distinct plans, got %d", len(distinct))
+	}
+	t.Logf("plan space = %g plans, %d distinct among first %d ranks", n, len(distinct), limit)
+}
+
+func TestBestPlanIsInSampledSpace(t *testing.T) {
+	res, _ := setup(t)
+	s := NewSampler(res.Memo, res.RootGroup, res.RootReq)
+	n := int(s.Count())
+	if n > 20000 {
+		n = 20000
+	}
+	best := res.Cost
+	found := false
+	for r := 0; r < n; r++ {
+		_, cost, err := s.Sample(float64(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost < best-1e-6 {
+			t.Fatalf("sampled plan cheaper (%g) than the optimizer's best (%g)", cost, best)
+		}
+		if cost <= best+1e-6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("optimizer's best plan not found in the sampled space")
+	}
+}
+
+func TestEvaluateCostModelAccuracy(t *testing.T) {
+	res, cluster := setup(t)
+	score, err := Evaluate(res.Memo, res.RootGroup, res.RootReq, cluster, Options{Samples: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("TAQO: correlation=%.3f over %d plans (space=%g)", score.Correlation, score.Sampled, score.SpaceSize)
+	if score.Sampled < 2 {
+		t.Fatalf("too few plans sampled: %d", score.Sampled)
+	}
+	// The calibrated cost model should order plans largely correctly.
+	if score.Correlation < 0.3 {
+		t.Errorf("cost model correlation too low: %.3f", score.Correlation)
+	}
+	// Sampled plans must all produce the same result set.
+	var wantRows int = -1
+	for _, run := range score.Runs {
+		if run.TimedOut {
+			continue
+		}
+		out, err := cluster.Execute(run.Plan, engine.Options{})
+		if err != nil {
+			t.Fatalf("re-executing sampled plan: %v", err)
+		}
+		if wantRows == -1 {
+			wantRows = len(out.Rows)
+		} else if len(out.Rows) != wantRows {
+			t.Errorf("sampled plans disagree on result size: %d vs %d", len(out.Rows), wantRows)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package tpcds
+
+import (
+	"testing"
+
+	"orca/internal/core"
+	"orca/internal/gpos"
+	"orca/internal/md"
+	"orca/internal/sql"
+)
+
+// TestParallelOptimizationDeterministicCost hammers the multi-core job
+// scheduler (paper §4.2) on a join-heavy query: the best plan cost must be
+// identical across worker counts and repetitions — plan choice is a pure
+// function of the search space, not of scheduling order. Run with -race to
+// exercise the Memo's concurrency control.
+func TestParallelOptimizationDeterministicCost(t *testing.T) {
+	p := md.NewMemProvider()
+	BuildCatalog(p, Scale{Factor: 1})
+	cache := md.NewCache(&gpos.MemoryAccountant{})
+
+	var q25 string
+	for _, wq := range Workload() {
+		if wq.Name == "q25" {
+			q25 = wq.SQL
+		}
+	}
+
+	costs := map[int]float64{}
+	for _, workers := range []int{1, 2, 8} {
+		cfg := core.DefaultConfig(16)
+		cfg.Workers = workers
+		for rep := 0; rep < 3; rep++ {
+			q, err := sql.Bind(q25, md.NewAccessor(cache, p), md.NewColumnFactory())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Optimize(q, cfg)
+			if err != nil {
+				t.Fatalf("workers=%d rep=%d: %v", workers, rep, err)
+			}
+			if prev, ok := costs[workers]; ok && prev != res.Cost {
+				t.Errorf("workers=%d: cost varies across reps: %g vs %g", workers, prev, res.Cost)
+			}
+			costs[workers] = res.Cost
+		}
+	}
+	if costs[1] != costs[2] || costs[1] != costs[8] {
+		t.Errorf("best cost differs by worker count: %v", costs)
+	}
+}

@@ -1,0 +1,432 @@
+package tpcds
+
+// Query is one executable workload query: a TPC-DS template it descends
+// from, an instance label, and the SQL text in the dialect of internal/sql
+// against the tpcds schema.
+type Query struct {
+	TemplateID int
+	Name       string
+	SQL        string
+}
+
+// Workload returns the executable performance workload: TPC-DS-derived
+// queries covering star joins with selective dimension filters, correlated
+// and quantified subqueries, common table expressions, unions across sales
+// channels, window functions, set operations and outer joins — the feature
+// interplay §7.2.2 credits for Orca's Figure 12 speedups.
+func Workload() []Query {
+	return []Query{
+		{3, "q3", `
+			SELECT dt.d_year, i.i_brand_id, sum(ss.ss_sales_price) AS sum_agg
+			FROM date_dim dt, store_sales ss, item i
+			WHERE dt.d_date_sk = ss.ss_sold_date_sk
+			  AND ss.ss_item_sk = i.i_item_sk
+			  AND i.i_manager_id = 8 AND dt.d_moy = 11
+			GROUP BY dt.d_year, i.i_brand_id
+			ORDER BY dt.d_year, sum_agg DESC, i.i_brand_id
+			LIMIT 100`},
+
+		{42, "q42", `
+			SELECT dt.d_year, i.i_category_id, sum(ss.ss_net_profit) AS total
+			FROM date_dim dt, store_sales ss, item i
+			WHERE dt.d_date_sk = ss.ss_sold_date_sk
+			  AND ss.ss_item_sk = i.i_item_sk
+			  AND i.i_manager_id BETWEEN 1 AND 10 AND dt.d_moy = 12 AND dt.d_year = 2020
+			GROUP BY dt.d_year, i.i_category_id
+			ORDER BY total DESC, dt.d_year, i.i_category_id
+			LIMIT 100`},
+
+		{52, "q52", `
+			SELECT dt.d_year, i.i_brand_id, sum(ss.ss_ext_price_proxy) AS ext
+			FROM (SELECT ss_sold_date_sk, ss_item_sk,
+			             ss_sales_price * ss_quantity AS ss_ext_price_proxy
+			      FROM store_sales) ss,
+			     date_dim dt, item i
+			WHERE dt.d_date_sk = ss.ss_sold_date_sk
+			  AND ss.ss_item_sk = i.i_item_sk
+			  AND i.i_manager_id = 1 AND dt.d_moy = 11 AND dt.d_year = 2021
+			GROUP BY dt.d_year, i.i_brand_id
+			ORDER BY dt.d_year, ext DESC, i.i_brand_id
+			LIMIT 100`},
+
+		{55, "q55", `
+			SELECT i.i_brand_id, sum(ss.ss_sales_price) AS ext_price
+			FROM date_dim d, store_sales ss, item i
+			WHERE d.d_date_sk = ss.ss_sold_date_sk
+			  AND ss.ss_item_sk = i.i_item_sk
+			  AND i.i_manager_id = 28 AND d.d_moy = 11 AND d.d_year = 2022
+			GROUP BY i.i_brand_id
+			ORDER BY ext_price DESC, i.i_brand_id
+			LIMIT 100`},
+
+		{7, "q7", `
+			SELECT i.i_item_sk, avg(ss.ss_quantity) AS agg1,
+			       avg(ss.ss_sales_price) AS agg2
+			FROM store_sales ss, customer_demographics cd, date_dim d, item i, promotion p
+			WHERE ss.ss_sold_date_sk = d.d_date_sk
+			  AND ss.ss_item_sk = i.i_item_sk
+			  AND ss.ss_customer_sk = cd.cd_demo_sk
+			  AND ss.ss_promo_sk = p.p_promo_sk
+			  AND cd.cd_gender_id = 1 AND cd.cd_education_id = 3
+			  AND p.p_channel_id = 1 AND d.d_year = 2020
+			GROUP BY i.i_item_sk
+			ORDER BY i.i_item_sk
+			LIMIT 100`},
+
+		{19, "q19", `
+			SELECT i.i_brand_id, sum(ss.ss_sales_price) AS ext_price
+			FROM date_dim d, store_sales ss, item i, customer c, customer_address ca
+			WHERE d.d_date_sk = ss.ss_sold_date_sk
+			  AND ss.ss_item_sk = i.i_item_sk
+			  AND ss.ss_customer_sk = c.c_customer_sk
+			  AND c.c_current_addr_sk = ca.ca_address_sk
+			  AND i.i_manager_id = 7 AND d.d_moy = 11 AND d.d_year = 2021
+			  AND ca.ca_state_id < 25
+			GROUP BY i.i_brand_id
+			ORDER BY ext_price DESC, i.i_brand_id
+			LIMIT 100`},
+
+		{1, "q1", `
+			WITH customer_total_return AS (
+				SELECT sr.sr_customer_sk AS ctr_customer_sk,
+				       sr.sr_store_sk AS ctr_store_sk,
+				       sum(sr.sr_return_amt) AS ctr_total_return
+				FROM store_returns sr, date_dim d
+				WHERE sr.sr_returned_date_sk = d.d_date_sk AND d.d_year = 2020
+				GROUP BY sr.sr_customer_sk, sr.sr_store_sk
+			)
+			SELECT ctr1.ctr_customer_sk
+			FROM customer_total_return ctr1, store s, customer c
+			WHERE ctr1.ctr_total_return > (
+					SELECT avg(ctr2.ctr_total_return) * 1.2
+					FROM customer_total_return ctr2
+					WHERE ctr1.ctr_store_sk = ctr2.ctr_store_sk)
+			  AND s.s_store_sk = ctr1.ctr_store_sk
+			  AND s.s_state_id = 3
+			  AND ctr1.ctr_customer_sk = c.c_customer_sk
+			ORDER BY ctr1.ctr_customer_sk
+			LIMIT 100`},
+
+		{6, "q6", `
+			SELECT ca.ca_state_id AS state, count(*) AS cnt
+			FROM customer_address ca, customer c, store_sales ss, date_dim d, item i
+			WHERE ca.ca_address_sk = c.c_current_addr_sk
+			  AND c.c_customer_sk = ss.ss_customer_sk
+			  AND ss.ss_sold_date_sk = d.d_date_sk
+			  AND ss.ss_item_sk = i.i_item_sk
+			  AND d.d_year = 2021 AND d.d_moy = 1
+			  AND i.i_current_price > (
+					SELECT 1.2 * avg(j.i_current_price)
+					FROM item j
+					WHERE j.i_category_id = i.i_category_id)
+			GROUP BY ca.ca_state_id
+			HAVING count(*) >= 2
+			ORDER BY cnt, state
+			LIMIT 100`},
+
+		{15, "q15", `
+			SELECT ca.ca_state_id, sum(cs.cs_sales_price) AS total
+			FROM catalog_sales cs, customer c, customer_address ca, date_dim d
+			WHERE cs.cs_customer_sk = c.c_customer_sk
+			  AND c.c_current_addr_sk = ca.ca_address_sk
+			  AND cs.cs_sold_date_sk = d.d_date_sk
+			  AND d.d_qoy = 1 AND d.d_year = 2022
+			GROUP BY ca.ca_state_id
+			HAVING sum(cs.cs_sales_price) > 50
+			ORDER BY ca.ca_state_id`},
+
+		{25, "q25", `
+			SELECT i.i_item_sk, s.s_store_sk,
+			       sum(ss.ss_net_profit) AS store_profit,
+			       sum(sr.sr_return_amt) AS return_amt,
+			       sum(cs.cs_net_profit) AS catalog_profit
+			FROM store_sales ss, store_returns sr, catalog_sales cs,
+			     date_dim d1, store s, item i
+			WHERE ss.ss_sold_date_sk = d1.d_date_sk AND d1.d_moy = 4 AND d1.d_year = 2020
+			  AND ss.ss_item_sk = i.i_item_sk
+			  AND ss.ss_store_sk = s.s_store_sk
+			  AND ss.ss_customer_sk = sr.sr_customer_sk
+			  AND ss.ss_item_sk = sr.sr_item_sk
+			  AND sr.sr_customer_sk = cs.cs_customer_sk
+			  AND sr.sr_item_sk = cs.cs_item_sk
+			GROUP BY i.i_item_sk, s.s_store_sk
+			ORDER BY i.i_item_sk, s.s_store_sk
+			LIMIT 100`},
+
+		{95, "q95", `
+			WITH ws_wh AS (
+				SELECT ws1.ws_item_sk AS item_sk, ws1.ws_web_site_sk AS site_sk,
+				       sum(ws1.ws_net_profit) AS profit
+				FROM web_sales ws1, date_dim d
+				WHERE ws1.ws_sold_date_sk = d.d_date_sk AND d.d_year = 2021
+				GROUP BY ws1.ws_item_sk, ws1.ws_web_site_sk
+			)
+			SELECT w1.item_sk, w1.profit
+			FROM ws_wh w1
+			WHERE w1.profit > (SELECT avg(w2.profit) FROM ws_wh w2
+			                   WHERE w2.site_sk = w1.site_sk)
+			  AND EXISTS (SELECT 1 FROM web_returns wr
+			              WHERE wr.wr_item_sk = w1.item_sk)
+			ORDER BY w1.item_sk, w1.profit
+			LIMIT 100`},
+
+		{16, "q16", `
+			SELECT count(DISTINCT cs.cs_item_sk) AS order_count,
+			       sum(cs.cs_net_profit) AS total_net_profit
+			FROM catalog_sales cs, date_dim d, call_center cc
+			WHERE cs.cs_sold_date_sk = d.d_date_sk AND d.d_year = 2020
+			  AND cs.cs_call_center_sk = cc.cc_call_center_sk
+			  AND cc.cc_state_id = 1
+			  AND EXISTS (SELECT 1 FROM catalog_sales cs2
+			              WHERE cs2.cs_item_sk = cs.cs_item_sk
+			                AND cs2.cs_call_center_sk <> cs.cs_call_center_sk)
+			  AND NOT EXISTS (SELECT 1 FROM web_returns wr
+			                  WHERE wr.wr_item_sk = cs.cs_item_sk
+			                    AND wr.wr_return_amt > 290)`},
+
+		{10, "q10", `
+			SELECT cd.cd_gender_id, cd.cd_education_id, count(*) AS cnt
+			FROM customer c, customer_address ca, customer_demographics cd
+			WHERE c.c_current_addr_sk = ca.ca_address_sk
+			  AND ca.ca_state_id IN (1, 2, 3, 4, 5)
+			  AND cd.cd_demo_sk = c.c_current_cdemo_sk
+			  AND EXISTS (SELECT 1 FROM store_sales ss, date_dim d
+			              WHERE c.c_customer_sk = ss.ss_customer_sk
+			                AND ss.ss_sold_date_sk = d.d_date_sk
+			                AND d.d_year = 2020)
+			GROUP BY cd.cd_gender_id, cd.cd_education_id
+			ORDER BY cnt DESC, cd.cd_gender_id, cd.cd_education_id
+			LIMIT 100`},
+
+		{69, "q69", `
+			SELECT cd.cd_gender_id, count(*) AS cnt
+			FROM customer c, customer_address ca, customer_demographics cd
+			WHERE c.c_current_addr_sk = ca.ca_address_sk
+			  AND cd.cd_demo_sk = c.c_current_cdemo_sk
+			  AND c.c_customer_sk IN (SELECT ss.ss_customer_sk FROM store_sales ss)
+			  AND c.c_customer_sk NOT IN (SELECT ws.ws_customer_sk FROM web_sales ws)
+			GROUP BY cd.cd_gender_id
+			ORDER BY cnt DESC, cd.cd_gender_id
+			LIMIT 100`},
+
+		{38, "q38", `
+			SELECT ss.ss_customer_sk FROM store_sales ss
+			INTERSECT
+			SELECT cs.cs_customer_sk FROM catalog_sales cs
+			INTERSECT
+			SELECT ws.ws_customer_sk FROM web_sales ws
+			ORDER BY 1
+			LIMIT 100`},
+
+		{87, "q87", `
+			SELECT ss.ss_customer_sk FROM store_sales ss, date_dim d
+			WHERE ss.ss_sold_date_sk = d.d_date_sk AND d.d_year = 2020
+			EXCEPT
+			SELECT ws.ws_customer_sk FROM web_sales ws
+			ORDER BY 1`},
+
+		{71, "q71", `
+			SELECT i.i_brand_id, t.channel, sum(t.price) AS total
+			FROM (
+				SELECT ws_item_sk AS item_sk, ws_sales_price AS price, 1 AS channel
+				FROM web_sales, date_dim
+				WHERE ws_sold_date_sk = d_date_sk AND d_moy = 11 AND d_year = 2021
+				UNION ALL
+				SELECT cs_item_sk AS item_sk, cs_sales_price AS price, 2 AS channel
+				FROM catalog_sales, date_dim
+				WHERE cs_sold_date_sk = d_date_sk AND d_moy = 11 AND d_year = 2021
+				UNION ALL
+				SELECT ss_item_sk AS item_sk, ss_sales_price AS price, 3 AS channel
+				FROM store_sales, date_dim
+				WHERE ss_sold_date_sk = d_date_sk AND d_moy = 11 AND d_year = 2021
+			) AS t, item i
+			WHERE t.item_sk = i.i_item_sk AND i.i_manager_id = 1
+			GROUP BY i.i_brand_id, t.channel
+			ORDER BY i.i_brand_id, t.channel
+			LIMIT 100`},
+
+		{67, "q67", `
+			SELECT cat, total, rk FROM (
+				SELECT g.cat AS cat, g.total AS total,
+				       rank() OVER (ORDER BY g.total DESC) AS rk
+				FROM (SELECT i.i_category_id AS cat, sum(ss.ss_sales_price) AS total
+				      FROM store_sales ss, item i, date_dim d
+				      WHERE ss.ss_item_sk = i.i_item_sk
+				        AND ss.ss_sold_date_sk = d.d_date_sk AND d.d_year = 2021
+				      GROUP BY i.i_category_id) AS g
+			) AS ranked
+			WHERE rk <= 5
+			ORDER BY rk, cat`},
+
+		{53, "q53", `
+			SELECT mgr, total, total_share FROM (
+				SELECT g.mgr AS mgr, g.total AS total,
+				       sum(g.total) OVER (PARTITION BY g.grp) AS total_share,
+				       g.grp AS grp
+				FROM (SELECT i.i_manager_id AS mgr, i.i_category_id AS grp,
+				             sum(ss.ss_sales_price) AS total
+				      FROM store_sales ss, item i
+				      WHERE ss.ss_item_sk = i.i_item_sk
+				      GROUP BY i.i_manager_id, i.i_category_id) AS g
+			) AS w
+			ORDER BY mgr, total
+			LIMIT 100`},
+
+		{65, "q65", `
+			SELECT s.s_store_sk, i.i_item_sk, sc.revenue
+			FROM store s, item i,
+			     (SELECT ss_store_sk AS store_sk, ss_item_sk AS item_sk,
+			             sum(ss_sales_price) AS revenue
+			      FROM store_sales GROUP BY ss_store_sk, ss_item_sk) AS sc
+			WHERE s.s_store_sk = sc.store_sk
+			  AND i.i_item_sk = sc.item_sk
+			  AND sc.revenue > (
+					SELECT 0.1 * avg(sc2.revenue)
+					FROM (SELECT ss_store_sk AS store_sk2, sum(ss_sales_price) AS revenue
+					      FROM store_sales GROUP BY ss_store_sk, ss_item_sk) AS sc2
+					WHERE sc2.store_sk2 = s.s_store_sk)
+			ORDER BY s.s_store_sk, i.i_item_sk
+			LIMIT 100`},
+
+		{92, "q92", `
+			SELECT sum(ws.ws_sales_price) AS excess_discount
+			FROM web_sales ws, item i, date_dim d
+			WHERE i.i_manager_id = 5
+			  AND i.i_item_sk = ws.ws_item_sk
+			  AND ws.ws_sold_date_sk = d.d_date_sk AND d.d_year = 2021
+			  AND ws.ws_sales_price > (
+					SELECT 1.3 * avg(ws2.ws_sales_price)
+					FROM web_sales ws2
+					WHERE ws2.ws_item_sk = i.i_item_sk)`},
+
+		{43, "q43", `
+			SELECT s.s_store_sk,
+			       sum(CASE WHEN d.d_dow = 0 THEN ss.ss_sales_price ELSE 0 END) AS sun_sales,
+			       sum(CASE WHEN d.d_dow = 6 THEN ss.ss_sales_price ELSE 0 END) AS sat_sales
+			FROM date_dim d, store_sales ss, store s
+			WHERE d.d_date_sk = ss.ss_sold_date_sk
+			  AND ss.ss_store_sk = s.s_store_sk
+			  AND d.d_year = 2020
+			GROUP BY s.s_store_sk
+			ORDER BY s.s_store_sk`},
+
+		{73, "q73", `
+			SELECT c.c_customer_sk, cnt_t.cnt
+			FROM (SELECT ss_customer_sk AS cust_sk, count(*) AS cnt
+			      FROM store_sales, date_dim
+			      WHERE ss_sold_date_sk = d_date_sk AND d_year = 2021
+			      GROUP BY ss_customer_sk
+			      HAVING count(*) BETWEEN 3 AND 50) AS cnt_t,
+			     customer c
+			WHERE c.c_customer_sk = cnt_t.cust_sk
+			ORDER BY cnt_t.cnt DESC, c.c_customer_sk
+			LIMIT 100`},
+
+		{79, "q79", `
+			SELECT s.s_store_sk, hd.hd_dep_count, sum(ss.ss_net_profit) AS profit
+			FROM store_sales ss, household_demographics hd, store s
+			WHERE ss.ss_customer_sk = hd.hd_demo_sk
+			  AND ss.ss_store_sk = s.s_store_sk
+			  AND hd.hd_vehicle_count > 2
+			GROUP BY s.s_store_sk, hd.hd_dep_count
+			ORDER BY profit DESC, s.s_store_sk, hd.hd_dep_count
+			LIMIT 100`},
+
+		{82, "q82", `
+			SELECT i.i_item_sk, i.i_current_price
+			FROM item i, inventory inv, date_dim d
+			WHERE i.i_item_sk = inv.inv_item_sk
+			  AND inv.inv_date_sk = d.d_date_sk
+			  AND i.i_current_price BETWEEN 30 AND 60
+			  AND inv.inv_quantity_on_hand BETWEEN 100 AND 400
+			  AND d.d_year = 2020
+			GROUP BY i.i_item_sk, i.i_current_price
+			ORDER BY i.i_item_sk
+			LIMIT 100`},
+
+		{93, "q93", `
+			SELECT t.cust, sum(t.act_price) AS sumsales
+			FROM (
+				SELECT ss.ss_customer_sk AS cust,
+				       CASE WHEN sr.sr_ticket_number IS NOT NULL
+				            THEN ss.ss_sales_price - sr.sr_return_amt
+				            ELSE ss.ss_sales_price END AS act_price
+				FROM store_sales ss
+				LEFT JOIN store_returns sr
+				  ON ss.ss_ticket_number = sr.sr_ticket_number
+				 AND ss.ss_item_sk = sr.sr_item_sk
+			) AS t
+			GROUP BY t.cust
+			ORDER BY sumsales DESC, t.cust
+			LIMIT 100`},
+
+		{84, "q84", `
+			SELECT c.c_customer_sk, ca.ca_state_id
+			FROM customer c, customer_address ca, customer_demographics cd
+			WHERE c.c_current_addr_sk = ca.ca_address_sk
+			  AND ca.ca_gmt_offset = -5
+			  AND cd.cd_demo_sk = c.c_current_cdemo_sk
+			  AND cd.cd_purchase_estimate BETWEEN 3000 AND 8000
+			ORDER BY c.c_customer_sk
+			LIMIT 100`},
+
+		{96, "q96", `
+			SELECT count(*) AS cnt
+			FROM store_sales ss, household_demographics hd, store s
+			WHERE ss.ss_customer_sk = hd.hd_demo_sk
+			  AND ss.ss_store_sk = s.s_store_sk
+			  AND hd.hd_dep_count = 5 AND s.s_state_id = 2`},
+
+		{90, "q90", `
+			SELECT am.amc * 1000 / (pm.pmc + 1) AS am_pm_ratio
+			FROM (SELECT count(*) AS amc FROM web_sales, date_dim
+			      WHERE ws_sold_date_sk = d_date_sk AND d_moy BETWEEN 1 AND 6) AS am,
+			     (SELECT count(*) AS pmc FROM web_sales, date_dim
+			      WHERE ws_sold_date_sk = d_date_sk AND d_moy BETWEEN 7 AND 12) AS pm`},
+
+		{62, "q62", `
+			SELECT w.w_state_id,
+			       sum(CASE WHEN inv.inv_quantity_on_hand <= 100 THEN 1 ELSE 0 END) AS low,
+			       sum(CASE WHEN inv.inv_quantity_on_hand > 100 THEN 1 ELSE 0 END) AS high
+			FROM inventory inv, warehouse w
+			WHERE inv.inv_warehouse_sk = w.w_warehouse_sk
+			GROUP BY w.w_state_id
+			ORDER BY w.w_state_id`},
+
+		{29, "q29", `
+			SELECT i.i_item_sk, sum(ss.ss_quantity) AS store_qty,
+			       sum(sr.sr_return_amt) AS ret_amt,
+			       sum(cs.cs_quantity) AS cat_qty
+			FROM store_sales ss, store_returns sr, catalog_sales cs, item i, date_dim d1
+			WHERE d1.d_date_sk = ss.ss_sold_date_sk AND d1.d_moy = 9 AND d1.d_year = 2020
+			  AND i.i_item_sk = ss.ss_item_sk
+			  AND ss.ss_customer_sk = sr.sr_customer_sk AND ss.ss_item_sk = sr.sr_item_sk
+			  AND sr.sr_customer_sk = cs.cs_customer_sk AND sr.sr_item_sk = cs.cs_item_sk
+			GROUP BY i.i_item_sk
+			ORDER BY i.i_item_sk
+			LIMIT 100`},
+
+		{68, "q68", `
+			SELECT c.c_customer_sk, sums.city_profit
+			FROM customer c,
+			     (SELECT ss_customer_sk AS cust_sk, sum(ss_net_profit) AS city_profit
+			      FROM store_sales, date_dim, store
+			      WHERE ss_sold_date_sk = d_date_sk AND d_year = 2021
+			        AND ss_store_sk = s_store_sk AND s_state_id IN (1, 3)
+			      GROUP BY ss_customer_sk) AS sums
+			WHERE c.c_customer_sk = sums.cust_sk
+			ORDER BY sums.city_profit DESC, c.c_customer_sk
+			LIMIT 100`},
+	}
+}
+
+// WorkloadQueryIDs lists the TPC-DS template ids covered by the executable
+// workload.
+func WorkloadQueryIDs() []int {
+	w := Workload()
+	out := make([]int, len(w))
+	for i, q := range w {
+		out[i] = q.TemplateID
+	}
+	return out
+}

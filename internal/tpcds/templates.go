@@ -1,0 +1,112 @@
+package tpcds
+
+// Feature flags tag each TPC-DS template with the SQL surface it exercises.
+// The rival-system capability matrices (internal/rival) intersect with these
+// tags to reproduce the Figure 15 support counts.
+type Feature uint32
+
+// SQL features appearing in TPC-DS templates.
+const (
+	FWindow Feature = 1 << iota
+	FCTE
+	FCorrelated // correlated subquery
+	FScalarSub  // uncorrelated scalar subquery
+	FInSubquery // [NOT] IN (subquery)
+	FExists     // [NOT] EXISTS
+	FIntersect
+	FExcept
+	FRollupCube // ROLLUP / CUBE / GROUPING SETS
+	FOuterJoin
+	FUnion
+	FCase
+	FOrderNoLimit  // ORDER BY without LIMIT
+	FNonEquiJoin   // inequality join condition
+	FDisjunctJoin  // OR in join condition
+	FImplicitCross // comma-style cross join syntax
+)
+
+// Has reports whether the set contains the feature.
+func (f Feature) Has(x Feature) bool { return f&x != 0 }
+
+// Template describes one of the 99 TPC-DS query templates.
+type Template struct {
+	ID        int // TPC-DS query number (1..99)
+	Instances int // parameter instantiations (Σ = 111, cf. §7.2.2)
+	Features  Feature
+}
+
+// feature membership lists, derived from the TPC-DS v1.x template texts
+// (approximate where templates mix many constructs; see EXPERIMENTS.md).
+var (
+	windowQs     = []int{12, 20, 36, 44, 47, 49, 51, 53, 57, 63, 67, 70, 86, 89, 98}
+	cteQs        = []int{1, 2, 4, 11, 14, 23, 24, 30, 31, 39, 47, 51, 54, 57, 59, 64, 74, 81, 95}
+	correlatedQs = []int{1, 6, 10, 16, 23, 30, 32, 35, 41, 44, 54, 58, 81, 92, 94, 95}
+	scalarSubQs  = []int{6, 9, 28, 32, 44, 58, 61, 65, 90, 92}
+	inSubQs      = []int{8, 10, 14, 23, 33, 45, 54, 56, 58, 60, 69, 83, 95}
+	existsQs     = []int{10, 16, 35, 69, 94, 95}
+	intersectQs  = []int{8, 14, 38}
+	exceptQs     = []int{87}
+	rollupQs     = []int{5, 14, 18, 22, 27, 36, 67, 70, 77, 80, 86}
+	outerJoinQs  = []int{5, 10, 13, 21, 22, 25, 27, 34, 40, 43, 49, 59, 66, 72, 76, 78, 80, 84, 85, 93, 97}
+	unionQs      = []int{2, 5, 11, 14, 33, 49, 54, 56, 60, 66, 71, 74, 75, 76, 80, 97}
+	caseQs       = []int{9, 21, 34, 35, 37, 39, 43, 47, 53, 57, 61, 62, 66, 76, 85, 88, 89, 90, 93, 96, 98, 99}
+	orderNoLimQs = []int{4, 11, 22, 31, 35, 38, 41, 66, 74, 87}
+	nonEquiQs    = []int{13, 48, 72, 85}
+	disjunctQs   = []int{13, 48, 85}
+	// Templates instantiated more than once to form the 111-query run
+	// (the a/b variants plus heavily parameterized reporting templates).
+	twoInstanceQs = []int{5, 14, 18, 22, 23, 24, 27, 36, 39, 67, 70, 86}
+)
+
+// Templates returns the full 99-template catalog.
+func Templates() []Template {
+	feat := make(map[int]Feature, 99)
+	mark := func(ids []int, f Feature) {
+		for _, id := range ids {
+			feat[id] |= f
+		}
+	}
+	mark(windowQs, FWindow)
+	mark(cteQs, FCTE)
+	mark(correlatedQs, FCorrelated)
+	mark(scalarSubQs, FScalarSub)
+	mark(inSubQs, FInSubquery)
+	mark(existsQs, FExists)
+	mark(intersectQs, FIntersect)
+	mark(exceptQs, FExcept)
+	mark(rollupQs, FRollupCube)
+	mark(outerJoinQs, FOuterJoin)
+	mark(unionQs, FUnion)
+	mark(caseQs, FCase)
+	mark(orderNoLimQs, FOrderNoLimit)
+	mark(nonEquiQs, FNonEquiJoin)
+	mark(disjunctQs, FDisjunctJoin)
+	// Nearly every template uses the comma-join syntax somewhere.
+	for id := 1; id <= 99; id++ {
+		feat[id] |= FImplicitCross
+	}
+
+	two := map[int]bool{}
+	for _, id := range twoInstanceQs {
+		two[id] = true
+	}
+	out := make([]Template, 0, 99)
+	for id := 1; id <= 99; id++ {
+		inst := 1
+		if two[id] {
+			inst = 2
+		}
+		out = append(out, Template{ID: id, Instances: inst, Features: feat[id]})
+	}
+	return out
+}
+
+// TotalInstances returns the number of queries the template catalog expands
+// to (the paper's "111 queries out of the 99 templates").
+func TotalInstances() int {
+	n := 0
+	for _, t := range Templates() {
+		n += t.Instances
+	}
+	return n
+}

@@ -1,0 +1,38 @@
+package tpcds
+
+import (
+	"sort"
+	"strings"
+
+	"orca/internal/base"
+	"orca/internal/core"
+	"orca/internal/engine"
+	"orca/internal/planner"
+)
+
+func newLegacy(segments int, q *core.Query) *planner.Planner {
+	return planner.New(segments, q.Accessor, q.Factory)
+}
+
+// projectRows renders the result narrowed to the query's output columns as a
+// sorted string multiset, for optimizer-vs-optimizer comparison.
+func projectRows(res *engine.Result, outCols []base.ColID) []string {
+	pos := make([]int, len(outCols))
+	idx := map[base.ColID]int{}
+	for i, c := range res.Schema {
+		idx[c] = i
+	}
+	for i, c := range outCols {
+		pos[i] = idx[c]
+	}
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		parts := make([]string, len(pos))
+		for j, p := range pos {
+			parts[j] = r[p].String()
+		}
+		out[i] = strings.Join(parts, ",")
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,128 @@
+// Package xform implements Orca's transformation rules (paper §3
+// "Transformations"): self-contained components producing either equivalent
+// logical expressions (exploration) or physical implementations
+// (implementation). Each rule can be activated or deactivated individually
+// through the optimizer configuration, which is also how optimization stages
+// select rule subsets (paper §4.1 "Multi-Stage Optimization").
+package xform
+
+import (
+	"orca/internal/md"
+	"orca/internal/memo"
+	"orca/internal/ops"
+	"orca/internal/stats"
+)
+
+// Kind separates exploration from implementation rules.
+type Kind uint8
+
+// Rule kinds.
+const (
+	Exploration Kind = iota
+	Implementation
+)
+
+// Context carries everything rules need: the Memo for copy-in, the
+// statistics context for cardinality-driven rules (join ordering), metadata
+// access for index and partition information, the column factory for fresh
+// columns (two-stage aggregates), and the segment count.
+type Context struct {
+	Memo       *memo.Memo
+	Stats      *stats.Context
+	Accessor   *md.Accessor
+	ColFactory *md.ColumnFactory
+	Segments   int
+	// JoinOrderDPLimit is the largest n-ary join the DP rule enumerates
+	// exhaustively; larger joins use the greedy rule.
+	JoinOrderDPLimit int
+	// RulesFired counts rule applications for optimizer diagnostics.
+	RulesFired int
+}
+
+// Rule is one transformation. Rules fire at most once per group expression
+// (tracked on the expression); Apply inserts its results into the source
+// expression's group.
+type Rule interface {
+	// Name identifies the rule in configurations and AMPERe dumps.
+	Name() string
+	// Kind reports exploration vs implementation.
+	Kind() Kind
+	// Matches reports whether the rule's pattern matches the expression.
+	Matches(ge *memo.GroupExpr) bool
+	// Apply performs the transformation, copying results into the Memo.
+	Apply(ctx *Context, ge *memo.GroupExpr) error
+}
+
+// Node is a partially-materialized expression used as a rule result: either
+// an operator over child nodes, or a reference to an existing group.
+type Node struct {
+	Op       ops.Operator
+	Children []*Node
+	Leaf     memo.GroupID
+}
+
+// Op builds an internal node.
+func Op(op ops.Operator, children ...*Node) *Node {
+	return &Node{Op: op, Children: children}
+}
+
+// Leaf references an existing group.
+func Leaf(g memo.GroupID) *Node { return &Node{Op: nil, Leaf: g} }
+
+// Insert copies a rule result into the Memo, targeting the given group for
+// the root node (paper §3: "results of applying transformation rules are
+// copied-in to the Memo, which may result in creating new groups and/or
+// adding new group expressions to existing groups").
+func (ctx *Context) Insert(n *Node, target memo.GroupID) (*memo.GroupExpr, error) {
+	children := make([]memo.GroupID, len(n.Children))
+	for i, c := range n.Children {
+		if c.Op == nil {
+			children[i] = c.Leaf
+			continue
+		}
+		ge, err := ctx.Insert(c, -1)
+		if err != nil {
+			return nil, err
+		}
+		children[i] = ge.Group().ID
+	}
+	return ctx.Memo.InsertExpr(n.Op, children, target)
+}
+
+// DefaultRules returns every rule in registration order. The optimizer's
+// stage configuration filters this list by name.
+func DefaultRules() []Rule {
+	return []Rule{
+		// Exploration.
+		&JoinCommutativity{},
+		&JoinAssociativity{},
+		&ExpandNAryJoinDP{},
+		&ExpandNAryJoinGreedy{},
+		&ExpandNAryJoinLeftDeep{},
+		// Implementation.
+		&Get2Scan{},
+		&Select2Scan{},
+		&Select2IndexScan{},
+		&Select2Filter{},
+		&Project2ComputeScalar{},
+		&Join2HashJoin{},
+		&Join2NLJoin{},
+		&GbAgg2HashAgg{},
+		&GbAgg2StreamAgg{},
+		&GbAgg2TwoStageAgg{},
+		&Limit2PhysicalLimit{},
+		&UnionAll2Physical{},
+		&CTEAnchor2Sequence{},
+		&CTEConsumer2Physical{},
+		&Window2PhysicalWindow{},
+	}
+}
+
+// RuleNames returns the names of the given rules.
+func RuleNames(rules []Rule) []string {
+	out := make([]string, len(rules))
+	for i, r := range rules {
+		out[i] = r.Name()
+	}
+	return out
+}

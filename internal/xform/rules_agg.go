@@ -1,0 +1,144 @@
+package xform
+
+import (
+	"math"
+
+	"orca/internal/base"
+	"orca/internal/memo"
+	"orca/internal/ops"
+)
+
+// GbAgg2HashAgg implements grouped aggregation as a single-stage hash
+// aggregate (or a scalar aggregate when there are no grouping columns).
+type GbAgg2HashAgg struct{}
+
+// Name implements Rule.
+func (*GbAgg2HashAgg) Name() string { return "GbAgg2HashAgg" }
+
+// Kind implements Rule.
+func (*GbAgg2HashAgg) Kind() Kind { return Implementation }
+
+// Matches implements Rule.
+func (*GbAgg2HashAgg) Matches(ge *memo.GroupExpr) bool {
+	_, ok := ge.Op.(*ops.GbAgg)
+	return ok
+}
+
+// Apply implements Rule.
+func (*GbAgg2HashAgg) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	agg := ge.Op.(*ops.GbAgg)
+	var op ops.Operator
+	if len(agg.GroupCols) == 0 {
+		op = &ops.ScalarAgg{Mode: ops.AggSingle, Aggs: agg.Aggs}
+	} else {
+		op = &ops.HashAgg{Mode: ops.AggSingle, GroupCols: agg.GroupCols, Aggs: agg.Aggs}
+	}
+	_, err := ctx.Insert(Op(op, Leaf(ge.Children[0])), ge.Group().ID)
+	return err
+}
+
+// GbAgg2StreamAgg implements grouped aggregation over sorted input.
+type GbAgg2StreamAgg struct{}
+
+// Name implements Rule.
+func (*GbAgg2StreamAgg) Name() string { return "GbAgg2StreamAgg" }
+
+// Kind implements Rule.
+func (*GbAgg2StreamAgg) Kind() Kind { return Implementation }
+
+// Matches implements Rule.
+func (*GbAgg2StreamAgg) Matches(ge *memo.GroupExpr) bool {
+	agg, ok := ge.Op.(*ops.GbAgg)
+	return ok && len(agg.GroupCols) > 0
+}
+
+// Apply implements Rule.
+func (*GbAgg2StreamAgg) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	agg := ge.Op.(*ops.GbAgg)
+	op := &ops.StreamAgg{GroupCols: agg.GroupCols, Aggs: agg.Aggs}
+	_, err := ctx.Insert(Op(op, Leaf(ge.Children[0])), ge.Group().ID)
+	return err
+}
+
+// GbAgg2TwoStageAgg implements the MPP two-stage aggregation: a Local
+// aggregate computes partial states on segment-resident data, a motion
+// (placed by the enforcement framework) repartitions the partials, and a
+// Global aggregate combines them. This is the plan shape that avoids moving
+// the full input across the interconnect.
+type GbAgg2TwoStageAgg struct{}
+
+// Name implements Rule.
+func (*GbAgg2TwoStageAgg) Name() string { return "GbAgg2TwoStageAgg" }
+
+// Kind implements Rule.
+func (*GbAgg2TwoStageAgg) Kind() Kind { return Implementation }
+
+// Matches implements Rule.
+func (*GbAgg2TwoStageAgg) Matches(ge *memo.GroupExpr) bool {
+	agg, ok := ge.Op.(*ops.GbAgg)
+	if !ok {
+		return false
+	}
+	for _, a := range agg.Aggs {
+		if a.Agg.Distinct {
+			// DISTINCT aggregates cannot be split into partials.
+			return false
+		}
+	}
+	return true
+}
+
+// Apply implements Rule.
+func (*GbAgg2TwoStageAgg) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	agg := ge.Op.(*ops.GbAgg)
+
+	localAggs := make([]ops.AggElem, len(agg.Aggs))
+	globalAggs := make([]ops.AggElem, len(agg.Aggs))
+	for i, a := range agg.Aggs {
+		partial := ctx.ColFactory.NewComputedColumn("partial_"+a.Col.Name, a.Col.Type)
+		localAggs[i] = ops.AggElem{Col: partial, Agg: a.Agg}
+		combineName := a.Agg.Name
+		if combineName == "count" {
+			// Partial counts are summed, not re-counted.
+			combineName = "sum"
+		}
+		globalAggs[i] = ops.AggElem{
+			Col: a.Col,
+			Agg: &ops.AggFunc{Name: combineName, Arg: ops.NewIdent(partial.ID, a.Col.Type)},
+		}
+	}
+
+	var localOp, globalOp ops.Operator
+	if len(agg.GroupCols) == 0 {
+		localOp = &ops.ScalarAgg{Mode: ops.AggLocal, Aggs: localAggs}
+		globalOp = &ops.ScalarAgg{Mode: ops.AggGlobal, Aggs: globalAggs}
+	} else {
+		localOp = &ops.HashAgg{Mode: ops.AggLocal, GroupCols: agg.GroupCols, Aggs: localAggs}
+		globalOp = &ops.HashAgg{Mode: ops.AggGlobal, GroupCols: agg.GroupCols, Aggs: globalAggs}
+	}
+
+	localGE, err := ctx.Insert(Op(localOp, Leaf(ge.Children[0])), -1)
+	if err != nil {
+		return err
+	}
+	// Seed the local group's statistics: at most `groups` rows per segment.
+	if localGE.Group().Stats() == nil {
+		if childStats, err := ctx.Memo.DeriveStats(ge.Children[0], ctx.Stats); err == nil {
+			gb := ctx.Stats.DeriveGroupBy(agg.GroupCols, childStats)
+			rows := math.Min(childStats.Rows, gb.Rows*float64(maxInt(ctx.Segments, 1)))
+			localGE.Group().SetStats(gb.WithRows(rows))
+		}
+	}
+	_, err = ctx.Insert(Op(globalOp, Leaf(localGE.Group().ID)), ge.Group().ID)
+	return err
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// groupColSet is a small helper used in tests.
+func groupColSet(cols []base.ColID) base.ColSet { return base.MakeColSet(cols...) }

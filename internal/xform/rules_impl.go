@@ -1,0 +1,361 @@
+package xform
+
+import (
+	"math"
+
+	"orca/internal/base"
+	"orca/internal/md"
+	"orca/internal/memo"
+	"orca/internal/ops"
+)
+
+// Get2Scan implements a bare table access as a sequential scan — the paper's
+// canonical implementation-rule example (§4.1 step 3).
+type Get2Scan struct{}
+
+// Name implements Rule.
+func (*Get2Scan) Name() string { return "Get2Scan" }
+
+// Kind implements Rule.
+func (*Get2Scan) Kind() Kind { return Implementation }
+
+// Matches implements Rule.
+func (*Get2Scan) Matches(ge *memo.GroupExpr) bool {
+	_, ok := ge.Op.(*ops.Get)
+	return ok
+}
+
+// Apply implements Rule.
+func (*Get2Scan) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	get := ge.Op.(*ops.Get)
+	rows := groupRows(ctx, ge.Group())
+	scan := &ops.Scan{Alias: get.Alias, Rel: get.Rel, Cols: get.Cols, BaseRows: rows}
+	_, err := ctx.Insert(Op(scan), ge.Group().ID)
+	return err
+}
+
+func groupRows(ctx *Context, g *memo.Group) float64 {
+	if s, err := ctx.Memo.DeriveStats(g.ID, ctx.Stats); err == nil {
+		return s.Rows
+	}
+	return 1000
+}
+
+// Select2Scan merges a Select over a Get into a filtering scan, performing
+// static partition elimination when the predicate constrains the partition
+// column (paper §7.2.2 "Partition Elimination").
+type Select2Scan struct{}
+
+// Name implements Rule.
+func (*Select2Scan) Name() string { return "Select2Scan" }
+
+// Kind implements Rule.
+func (*Select2Scan) Kind() Kind { return Implementation }
+
+// Matches implements Rule.
+func (*Select2Scan) Matches(ge *memo.GroupExpr) bool {
+	_, ok := ge.Op.(*ops.Select)
+	return ok
+}
+
+// Apply implements Rule.
+func (*Select2Scan) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	sel := ge.Op.(*ops.Select)
+	child := ctx.Memo.Group(ge.Children[0])
+	for _, cge := range child.Exprs() {
+		get, ok := cge.Op.(*ops.Get)
+		if !ok {
+			continue
+		}
+		baseRows := groupRows(ctx, child)
+		scan := &ops.Scan{
+			Alias:    get.Alias,
+			Rel:      get.Rel,
+			Cols:     get.Cols,
+			Filter:   sel.Pred,
+			BaseRows: baseRows,
+		}
+		if get.Rel.IsPartitioned() {
+			if parts, pruned := PrunePartitions(get.Rel, get.Cols, sel.Pred); pruned {
+				scan.Pruned = true
+				scan.Parts = parts
+				if len(get.Rel.Parts) > 0 {
+					scan.BaseRows = baseRows * float64(len(parts)) / float64(len(get.Rel.Parts))
+				}
+			}
+		}
+		if _, err := ctx.Insert(Op(scan), ge.Group().ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrunePartitions statically eliminates partitions that cannot contain rows
+// matching the predicate. It returns the kept partition ordinals and whether
+// pruning applies (a partition-column constraint was found).
+func PrunePartitions(rel *md.Relation, cols []*md.ColRef, pred ops.ScalarExpr) ([]int, bool) {
+	if !rel.IsPartitioned() || rel.PartCol >= len(cols) {
+		return nil, false
+	}
+	partCol := cols[rel.PartCol].ID
+	lo, hi := math.Inf(-1), math.Inf(1)
+	hiExcl := false
+	var eqVals []float64
+	constrained := false
+	for _, c := range ops.Conjuncts(pred) {
+		switch x := c.(type) {
+		case *ops.Cmp:
+			l, r, op := x.L, x.R, x.Op
+			if _, ok := l.(*ops.Const); ok {
+				l, r = r, l
+				op = op.Commuted()
+			}
+			id, lok := l.(*ops.Ident)
+			cv, rok := r.(*ops.Const)
+			if !lok || !rok || id.Col != partCol {
+				continue
+			}
+			v := cv.Val.AsFloat()
+			constrained = true
+			switch op {
+			case ops.CmpEq:
+				eqVals = append(eqVals, v)
+			case ops.CmpLt:
+				if v <= hi {
+					hi = v
+					hiExcl = true
+				}
+			case ops.CmpLe:
+				if v < hi {
+					hi = v
+					hiExcl = false
+				}
+			case ops.CmpGt, ops.CmpGe:
+				lo = math.Max(lo, v)
+			default:
+				constrained = constrained || false
+			}
+		case *ops.InList:
+			id, ok := x.Arg.(*ops.Ident)
+			if !ok || id.Col != partCol || x.Negated {
+				continue
+			}
+			allConst := true
+			var vals []float64
+			for _, v := range x.Vals {
+				if cv, ok := v.(*ops.Const); ok {
+					vals = append(vals, cv.Val.AsFloat())
+				} else {
+					allConst = false
+				}
+			}
+			if allConst {
+				constrained = true
+				eqVals = append(eqVals, vals...)
+			}
+		}
+	}
+	if !constrained {
+		return nil, false
+	}
+	var keep []int
+	for i, p := range rel.Parts {
+		plo, phi := p.Lo.AsFloat(), p.Hi.AsFloat()
+		if len(eqVals) > 0 {
+			match := false
+			for _, v := range eqVals {
+				if v >= plo && v < phi {
+					match = true
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+		}
+		if phi <= lo {
+			continue
+		}
+		if hiExcl && plo >= hi || !hiExcl && plo > hi {
+			continue
+		}
+		keep = append(keep, i)
+	}
+	return keep, true
+}
+
+// Select2IndexScan implements Select(Get) through a matching index: the
+// index's leading key column must be constrained by an equality or range
+// conjunct. The resulting IndexScan delivers the index order natively —
+// letting plans skip a Sort enforcer, the IndexScan example of paper §3.
+type Select2IndexScan struct{}
+
+// Name implements Rule.
+func (*Select2IndexScan) Name() string { return "Select2IndexScan" }
+
+// Kind implements Rule.
+func (*Select2IndexScan) Kind() Kind { return Implementation }
+
+// Matches implements Rule.
+func (*Select2IndexScan) Matches(ge *memo.GroupExpr) bool {
+	_, ok := ge.Op.(*ops.Select)
+	return ok
+}
+
+// Apply implements Rule.
+func (*Select2IndexScan) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	if ctx.Accessor == nil {
+		return nil
+	}
+	sel := ge.Op.(*ops.Select)
+	child := ctx.Memo.Group(ge.Children[0])
+	for _, cge := range child.Exprs() {
+		get, ok := cge.Op.(*ops.Get)
+		if !ok {
+			continue
+		}
+		for _, ixID := range get.Rel.IndexIDs {
+			ix, err := ctx.Accessor.Index(ixID)
+			if err != nil {
+				continue
+			}
+			if len(ix.KeyCols) == 0 || ix.KeyCols[0] >= len(get.Cols) {
+				continue
+			}
+			keyCol := get.Cols[ix.KeyCols[0]].ID
+			var keyPreds, residual []ops.ScalarExpr
+			for _, c := range ops.Conjuncts(sel.Pred) {
+				if cmp, ok := c.(*ops.Cmp); ok && constrainsCol(cmp, keyCol) {
+					keyPreds = append(keyPreds, c)
+				} else {
+					residual = append(residual, c)
+				}
+			}
+			if len(keyPreds) == 0 {
+				continue
+			}
+			scan := &ops.IndexScan{
+				Alias:    get.Alias,
+				Rel:      get.Rel,
+				Index:    ix,
+				Cols:     get.Cols,
+				EqFilter: ops.And(keyPreds...),
+				Residual: ops.And(residual...),
+				BaseRows: groupRows(ctx, child),
+			}
+			if _, err := ctx.Insert(Op(scan), ge.Group().ID); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func constrainsCol(cmp *ops.Cmp, col base.ColID) bool {
+	l, r := cmp.L, cmp.R
+	if _, ok := l.(*ops.Const); ok {
+		l, r = r, l
+	}
+	id, lok := l.(*ops.Ident)
+	_, rok := r.(*ops.Const)
+	return lok && rok && id.Col == col
+}
+
+// Select2Filter implements Select as a Filter over any child plan.
+type Select2Filter struct{}
+
+// Name implements Rule.
+func (*Select2Filter) Name() string { return "Select2Filter" }
+
+// Kind implements Rule.
+func (*Select2Filter) Kind() Kind { return Implementation }
+
+// Matches implements Rule.
+func (*Select2Filter) Matches(ge *memo.GroupExpr) bool {
+	_, ok := ge.Op.(*ops.Select)
+	return ok
+}
+
+// Apply implements Rule.
+func (*Select2Filter) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	sel := ge.Op.(*ops.Select)
+	_, err := ctx.Insert(Op(&ops.Filter{Pred: sel.Pred}, Leaf(ge.Children[0])), ge.Group().ID)
+	return err
+}
+
+// Project2ComputeScalar implements Project as ComputeScalar.
+type Project2ComputeScalar struct{}
+
+// Name implements Rule.
+func (*Project2ComputeScalar) Name() string { return "Project2ComputeScalar" }
+
+// Kind implements Rule.
+func (*Project2ComputeScalar) Kind() Kind { return Implementation }
+
+// Matches implements Rule.
+func (*Project2ComputeScalar) Matches(ge *memo.GroupExpr) bool {
+	_, ok := ge.Op.(*ops.Project)
+	return ok
+}
+
+// Apply implements Rule.
+func (*Project2ComputeScalar) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	p := ge.Op.(*ops.Project)
+	_, err := ctx.Insert(Op(ops.NewComputeScalar(p.Elems), Leaf(ge.Children[0])), ge.Group().ID)
+	return err
+}
+
+// Join2HashJoin implements a join with extractable equality keys as a hash
+// join (paper: InnerJoin2HashJoin).
+type Join2HashJoin struct{}
+
+// Name implements Rule.
+func (*Join2HashJoin) Name() string { return "Join2HashJoin" }
+
+// Kind implements Rule.
+func (*Join2HashJoin) Kind() Kind { return Implementation }
+
+// Matches implements Rule.
+func (*Join2HashJoin) Matches(ge *memo.GroupExpr) bool {
+	_, ok := ge.Op.(*ops.Join)
+	return ok
+}
+
+// Apply implements Rule.
+func (*Join2HashJoin) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	j := ge.Op.(*ops.Join)
+	leftCols := ctx.Memo.Group(ge.Children[0]).Logical().OutputCols
+	rightCols := ctx.Memo.Group(ge.Children[1]).Logical().OutputCols
+	lk, rk, residual := ops.EquiKeys(j.Pred, leftCols, rightCols)
+	if len(lk) == 0 {
+		return nil
+	}
+	hj := &ops.HashJoin{Type: j.Type, LeftKeys: lk, RightKeys: rk, Residual: ops.And(residual...)}
+	_, err := ctx.Insert(Op(hj, Leaf(ge.Children[0]), Leaf(ge.Children[1])), ge.Group().ID)
+	return err
+}
+
+// Join2NLJoin implements any join as a nested-loops join (paper:
+// InnerJoin2NLJoin); it is the only option for non-equi predicates.
+type Join2NLJoin struct{}
+
+// Name implements Rule.
+func (*Join2NLJoin) Name() string { return "Join2NLJoin" }
+
+// Kind implements Rule.
+func (*Join2NLJoin) Kind() Kind { return Implementation }
+
+// Matches implements Rule.
+func (*Join2NLJoin) Matches(ge *memo.GroupExpr) bool {
+	_, ok := ge.Op.(*ops.Join)
+	return ok
+}
+
+// Apply implements Rule.
+func (*Join2NLJoin) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	j := ge.Op.(*ops.Join)
+	nl := &ops.NLJoin{Type: j.Type, Pred: j.Pred}
+	_, err := ctx.Insert(Op(nl, Leaf(ge.Children[0]), Leaf(ge.Children[1])), ge.Group().ID)
+	return err
+}

@@ -1,0 +1,397 @@
+package xform
+
+import (
+	"math"
+	"sort"
+
+	"orca/internal/base"
+	"orca/internal/gpos"
+	"orca/internal/memo"
+	"orca/internal/ops"
+	"orca/internal/stats"
+)
+
+// JoinCommutativity generates InnerJoin(B,A) from InnerJoin(A,B) — the
+// paper's first exploration example (§4.1 step 1).
+type JoinCommutativity struct{}
+
+// Name implements Rule.
+func (*JoinCommutativity) Name() string { return "JoinCommutativity" }
+
+// Kind implements Rule.
+func (*JoinCommutativity) Kind() Kind { return Exploration }
+
+// Matches implements Rule.
+func (*JoinCommutativity) Matches(ge *memo.GroupExpr) bool {
+	j, ok := ge.Op.(*ops.Join)
+	return ok && j.Type == ops.InnerJoin
+}
+
+// Apply implements Rule.
+func (*JoinCommutativity) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	j := ge.Op.(*ops.Join)
+	_, err := ctx.Insert(
+		Op(&ops.Join{Type: ops.InnerJoin, Pred: j.Pred}, Leaf(ge.Children[1]), Leaf(ge.Children[0])),
+		ge.Group().ID)
+	return err
+}
+
+// JoinAssociativity rewrites (A ⋈ B) ⋈ C into A ⋈ (B ⋈ C), redistributing
+// predicate conjuncts to the lowest join where their columns are available.
+// Together with commutativity it spans the full join-order space; the n-ary
+// expansion rules below cover large joins without exhaustive exploration.
+type JoinAssociativity struct{}
+
+// Name implements Rule.
+func (*JoinAssociativity) Name() string { return "JoinAssociativity" }
+
+// Kind implements Rule.
+func (*JoinAssociativity) Kind() Kind { return Exploration }
+
+// Matches implements Rule.
+func (*JoinAssociativity) Matches(ge *memo.GroupExpr) bool {
+	j, ok := ge.Op.(*ops.Join)
+	return ok && j.Type == ops.InnerJoin
+}
+
+// Apply implements Rule.
+func (r *JoinAssociativity) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	top := ge.Op.(*ops.Join)
+	leftGroup := ctx.Memo.Group(ge.Children[0])
+	cGroup := ge.Children[1]
+	cCols := ctx.Memo.Group(cGroup).Logical().OutputCols
+
+	for _, lower := range leftGroup.Exprs() {
+		lj, ok := lower.Op.(*ops.Join)
+		if !ok || lj.Type != ops.InnerJoin {
+			continue
+		}
+		aGroup, bGroup := lower.Children[0], lower.Children[1]
+		aCols := ctx.Memo.Group(aGroup).Logical().OutputCols
+		bCols := ctx.Memo.Group(bGroup).Logical().OutputCols
+
+		all := append(ops.Conjuncts(top.Pred), ops.Conjuncts(lj.Pred)...)
+		bc := bCols.Union(cCols)
+		var innerPreds, outerPreds []ops.ScalarExpr
+		for _, p := range all {
+			if p.Cols().SubsetOf(bc) {
+				innerPreds = append(innerPreds, p)
+			} else {
+				outerPreds = append(outerPreds, p)
+			}
+		}
+		// Require a genuine join condition for the new inner join to avoid
+		// manufacturing cross products.
+		joinsBoth := false
+		for _, p := range innerPreds {
+			if p.Cols().Intersects(bCols) && p.Cols().Intersects(cCols) {
+				joinsBoth = true
+				break
+			}
+		}
+		if !joinsBoth {
+			continue
+		}
+		inner := Op(&ops.Join{Type: ops.InnerJoin, Pred: ops.And(innerPreds...)}, Leaf(bGroup), Leaf(cGroup))
+		if _, err := ctx.Insert(
+			Op(&ops.Join{Type: ops.InnerJoin, Pred: ops.And(outerPreds...)}, Leaf(aGroup), inner),
+			ge.Group().ID); err != nil {
+			return err
+		}
+		_ = aCols
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// N-ary join expansion (paper §7.2.2 "Join Ordering": "a number of join
+// ordering optimizations based on dynamic programming, left-deep join trees
+// and cardinality-based join ordering")
+
+// joinGraph is the shared machinery of the expansion rules.
+type joinGraph struct {
+	children []memo.GroupID
+	cols     []base.ColSet
+	rows     []float64
+	st       []*stats.Stats
+	preds    []ops.ScalarExpr
+}
+
+func buildJoinGraph(ctx *Context, ge *memo.GroupExpr) (*joinGraph, error) {
+	nj := ge.Op.(*ops.NAryJoin)
+	g := &joinGraph{preds: nj.Preds}
+	for _, cid := range ge.Children {
+		grp := ctx.Memo.Group(cid)
+		s, err := ctx.Memo.DeriveStats(cid, ctx.Stats)
+		if err != nil {
+			return nil, err
+		}
+		g.children = append(g.children, cid)
+		g.cols = append(g.cols, grp.Logical().OutputCols)
+		g.rows = append(g.rows, s.Rows)
+		g.st = append(g.st, s)
+	}
+	return g, nil
+}
+
+// colsOf returns the output columns of a subset (bitmask over children).
+func (g *joinGraph) colsOf(mask uint32) base.ColSet {
+	var s base.ColSet
+	for i := range g.children {
+		if mask&(1<<uint(i)) != 0 {
+			s = s.Union(g.cols[i])
+		}
+	}
+	return s
+}
+
+// predsBetween returns the predicates fully covered by the union of two
+// subsets that reference both sides (true join conditions), plus those
+// covered but not crossing (they were applied earlier).
+func (g *joinGraph) predsBetween(l, r uint32) (crossing []ops.ScalarExpr) {
+	lc, rc := g.colsOf(l), g.colsOf(r)
+	both := lc.Union(rc)
+	for _, p := range g.preds {
+		pc := p.Cols()
+		if pc.SubsetOf(both) && pc.Intersects(lc) && pc.Intersects(rc) {
+			crossing = append(crossing, p)
+		}
+	}
+	return crossing
+}
+
+// connected reports whether some predicate joins the two subsets.
+func (g *joinGraph) connected(l, r uint32) bool { return len(g.predsBetween(l, r)) > 0 }
+
+// estimate computes the estimated cardinality of a join tree node.
+type joinTree struct {
+	mask  uint32
+	node  *Node
+	rows  float64
+	stats *stats.Stats
+	cost  float64 // cumulative intermediate-result size, the DP objective
+}
+
+func (g *joinGraph) leafTree(i int) *joinTree {
+	return &joinTree{
+		mask:  1 << uint(i),
+		node:  Leaf(g.children[i]),
+		rows:  g.rows[i],
+		stats: g.st[i],
+	}
+}
+
+// combine builds the join of two subtrees, assigning the crossing
+// predicates to the new join node.
+func (g *joinGraph) combine(ctx *Context, l, r *joinTree) *joinTree {
+	preds := g.predsBetween(l.mask, r.mask)
+	pred := ops.And(preds...)
+	st := ctx.Stats.DeriveJoin(ops.InnerJoin, pred, l.stats, r.stats)
+	return &joinTree{
+		mask:  l.mask | r.mask,
+		node:  Op(&ops.Join{Type: ops.InnerJoin, Pred: pred}, l.node, r.node),
+		rows:  st.Rows,
+		stats: st,
+		cost:  l.cost + r.cost + st.Rows,
+	}
+}
+
+// ExpandNAryJoinDP enumerates bushy join trees over connected subgraphs with
+// dynamic programming (DPsub) and copies the cheapest tree into the group.
+type ExpandNAryJoinDP struct{}
+
+// Name implements Rule.
+func (*ExpandNAryJoinDP) Name() string { return "ExpandNAryJoinDP" }
+
+// Kind implements Rule.
+func (*ExpandNAryJoinDP) Kind() Kind { return Exploration }
+
+// Matches implements Rule.
+func (*ExpandNAryJoinDP) Matches(ge *memo.GroupExpr) bool {
+	_, ok := ge.Op.(*ops.NAryJoin)
+	return ok
+}
+
+// Apply implements Rule.
+func (r *ExpandNAryJoinDP) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	n := len(ge.Children)
+	limit := ctx.JoinOrderDPLimit
+	if limit <= 0 {
+		limit = 10
+	}
+	if n < 2 || n > limit {
+		return nil
+	}
+	g, err := buildJoinGraph(ctx, ge)
+	if err != nil {
+		return err
+	}
+	full := uint32(1<<uint(n)) - 1
+	best := make(map[uint32]*joinTree, 1<<uint(n))
+	for i := 0; i < n; i++ {
+		best[1<<uint(i)] = g.leafTree(i)
+	}
+	for mask := uint32(1); mask <= full; mask++ {
+		if best[mask] != nil || popcount(mask) < 2 {
+			continue
+		}
+		var bestTree *joinTree
+		// Enumerate proper subset splits.
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			other := mask &^ sub
+			if sub > other {
+				continue // each split once
+			}
+			l, r := best[sub], best[other]
+			if l == nil || r == nil {
+				continue
+			}
+			// Prefer connected splits; allow cross products only if the
+			// subset has no connected split at all (handled after loop).
+			if !g.connected(sub, other) {
+				continue
+			}
+			t := g.combine(ctx, l, r)
+			if bestTree == nil || t.cost < bestTree.cost {
+				bestTree = t
+			}
+		}
+		if bestTree == nil {
+			// Disconnected subset: fall back to any split (cross product).
+			for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+				other := mask &^ sub
+				if sub > other {
+					continue
+				}
+				l, r := best[sub], best[other]
+				if l == nil || r == nil {
+					continue
+				}
+				t := g.combine(ctx, l, r)
+				// Penalize cross products heavily so they only survive when
+				// unavoidable.
+				t.cost += t.rows * 10
+				if bestTree == nil || t.cost < bestTree.cost {
+					bestTree = t
+				}
+			}
+		}
+		if bestTree != nil {
+			best[mask] = bestTree
+		}
+	}
+	win := best[full]
+	if win == nil {
+		return gpos.Raise(gpos.CompOptimizer, "JoinOrderDP", "no join tree for %d-way join", n)
+	}
+	_, err = ctx.Insert(win.node, ge.Group().ID)
+	return err
+}
+
+func popcount(v uint32) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// ExpandNAryJoinGreedy builds a join tree by repeatedly joining the pair
+// with the smallest estimated result (cardinality-based ordering); it covers
+// joins too large for DP.
+type ExpandNAryJoinGreedy struct{}
+
+// Name implements Rule.
+func (*ExpandNAryJoinGreedy) Name() string { return "ExpandNAryJoinGreedy" }
+
+// Kind implements Rule.
+func (*ExpandNAryJoinGreedy) Kind() Kind { return Exploration }
+
+// Matches implements Rule.
+func (*ExpandNAryJoinGreedy) Matches(ge *memo.GroupExpr) bool {
+	_, ok := ge.Op.(*ops.NAryJoin)
+	return ok
+}
+
+// Apply implements Rule.
+func (r *ExpandNAryJoinGreedy) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	n := len(ge.Children)
+	if n < 2 {
+		return nil
+	}
+	g, err := buildJoinGraph(ctx, ge)
+	if err != nil {
+		return err
+	}
+	trees := make([]*joinTree, n)
+	for i := 0; i < n; i++ {
+		trees[i] = g.leafTree(i)
+	}
+	// Start from the smallest relation for determinism.
+	sort.SliceStable(trees, func(i, j int) bool { return trees[i].rows < trees[j].rows })
+	for len(trees) > 1 {
+		bi, bj := -1, -1
+		bestRows := math.Inf(1)
+		connectedFound := false
+		for i := 0; i < len(trees); i++ {
+			for j := i + 1; j < len(trees); j++ {
+				conn := g.connected(trees[i].mask, trees[j].mask)
+				if connectedFound && !conn {
+					continue
+				}
+				t := g.combine(ctx, trees[i], trees[j])
+				if conn && !connectedFound {
+					connectedFound = true
+					bi, bj = -1, -1
+					bestRows = math.Inf(1)
+				}
+				if bi == -1 || t.rows < bestRows {
+					bestRows = t.rows
+					bi, bj = i, j
+				}
+			}
+		}
+		merged := g.combine(ctx, trees[bi], trees[bj])
+		trees[bi] = merged
+		trees = append(trees[:bj], trees[bj+1:]...)
+	}
+	_, err = ctx.Insert(trees[0].node, ge.Group().ID)
+	return err
+}
+
+// ExpandNAryJoinLeftDeep emits the literal left-deep tree in the order the
+// query listed the inputs; it guarantees the group always has at least one
+// binary expansion even when the cost-based expansions are disabled, and is
+// the shape rule-based systems (paper §7.3.2: Impala, Stinger) are stuck
+// with.
+type ExpandNAryJoinLeftDeep struct{}
+
+// Name implements Rule.
+func (*ExpandNAryJoinLeftDeep) Name() string { return "ExpandNAryJoinLeftDeep" }
+
+// Kind implements Rule.
+func (*ExpandNAryJoinLeftDeep) Kind() Kind { return Exploration }
+
+// Matches implements Rule.
+func (*ExpandNAryJoinLeftDeep) Matches(ge *memo.GroupExpr) bool {
+	_, ok := ge.Op.(*ops.NAryJoin)
+	return ok
+}
+
+// Apply implements Rule.
+func (r *ExpandNAryJoinLeftDeep) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	n := len(ge.Children)
+	if n < 2 {
+		return nil
+	}
+	g, err := buildJoinGraph(ctx, ge)
+	if err != nil {
+		return err
+	}
+	acc := g.leafTree(0)
+	for i := 1; i < n; i++ {
+		acc = g.combine(ctx, acc, g.leafTree(i))
+	}
+	_, err = ctx.Insert(acc.node, ge.Group().ID)
+	return err
+}

@@ -1,0 +1,133 @@
+package xform
+
+import (
+	"orca/internal/base"
+	"orca/internal/memo"
+	"orca/internal/ops"
+)
+
+// Limit2PhysicalLimit implements Limit.
+type Limit2PhysicalLimit struct{}
+
+// Name implements Rule.
+func (*Limit2PhysicalLimit) Name() string { return "Limit2PhysicalLimit" }
+
+// Kind implements Rule.
+func (*Limit2PhysicalLimit) Kind() Kind { return Implementation }
+
+// Matches implements Rule.
+func (*Limit2PhysicalLimit) Matches(ge *memo.GroupExpr) bool {
+	_, ok := ge.Op.(*ops.Limit)
+	return ok
+}
+
+// Apply implements Rule.
+func (*Limit2PhysicalLimit) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	l := ge.Op.(*ops.Limit)
+	p := &ops.PhysicalLimit{Order: l.Order, Count: l.Count, Offset: l.Offset, HasCount: l.HasCount}
+	_, err := ctx.Insert(Op(p, Leaf(ge.Children[0])), ge.Group().ID)
+	return err
+}
+
+// UnionAll2Physical implements UnionAll.
+type UnionAll2Physical struct{}
+
+// Name implements Rule.
+func (*UnionAll2Physical) Name() string { return "UnionAll2Physical" }
+
+// Kind implements Rule.
+func (*UnionAll2Physical) Kind() Kind { return Implementation }
+
+// Matches implements Rule.
+func (*UnionAll2Physical) Matches(ge *memo.GroupExpr) bool {
+	_, ok := ge.Op.(*ops.UnionAll)
+	return ok
+}
+
+// Apply implements Rule.
+func (*UnionAll2Physical) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	u := ge.Op.(*ops.UnionAll)
+	p := &ops.PhysicalUnionAll{InCols: u.InCols, OutCols: u.OutCols}
+	leaves := make([]*Node, len(ge.Children))
+	for i, c := range ge.Children {
+		leaves[i] = Leaf(c)
+	}
+	_, err := ctx.Insert(Op(p, leaves...), ge.Group().ID)
+	return err
+}
+
+// CTEAnchor2Sequence implements the CTE anchor as a Sequence over a
+// CTEProducer — the paper's producer/consumer model for WITH (§7.2.2
+// "Common Expressions"): the shared expression is evaluated once and its
+// output consumed by every consumer.
+type CTEAnchor2Sequence struct{}
+
+// Name implements Rule.
+func (*CTEAnchor2Sequence) Name() string { return "CTEAnchor2Sequence" }
+
+// Kind implements Rule.
+func (*CTEAnchor2Sequence) Kind() Kind { return Implementation }
+
+// Matches implements Rule.
+func (*CTEAnchor2Sequence) Matches(ge *memo.GroupExpr) bool {
+	_, ok := ge.Op.(*ops.CTEAnchor)
+	return ok
+}
+
+// Apply implements Rule.
+func (*CTEAnchor2Sequence) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	a := ge.Op.(*ops.CTEAnchor)
+	cols := make([]base.ColID, len(a.Cols))
+	for i, c := range a.Cols {
+		cols[i] = c.ID
+	}
+	producer := Op(&ops.PhysicalCTEProducer{ID: a.ID, Cols: cols}, Leaf(ge.Children[0]))
+	_, err := ctx.Insert(Op(&ops.Sequence{}, producer, Leaf(ge.Children[1])), ge.Group().ID)
+	return err
+}
+
+// CTEConsumer2Physical implements a CTE consumer leaf.
+type CTEConsumer2Physical struct{}
+
+// Name implements Rule.
+func (*CTEConsumer2Physical) Name() string { return "CTEConsumer2Physical" }
+
+// Kind implements Rule.
+func (*CTEConsumer2Physical) Kind() Kind { return Implementation }
+
+// Matches implements Rule.
+func (*CTEConsumer2Physical) Matches(ge *memo.GroupExpr) bool {
+	_, ok := ge.Op.(*ops.CTEConsumer)
+	return ok
+}
+
+// Apply implements Rule.
+func (*CTEConsumer2Physical) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	c := ge.Op.(*ops.CTEConsumer)
+	p := &ops.PhysicalCTEConsumer{ID: c.ID, Cols: c.Cols, ProducerCols: c.ProducerCols}
+	_, err := ctx.Insert(Op(p), ge.Group().ID)
+	return err
+}
+
+// Window2PhysicalWindow implements window functions.
+type Window2PhysicalWindow struct{}
+
+// Name implements Rule.
+func (*Window2PhysicalWindow) Name() string { return "Window2PhysicalWindow" }
+
+// Kind implements Rule.
+func (*Window2PhysicalWindow) Kind() Kind { return Implementation }
+
+// Matches implements Rule.
+func (*Window2PhysicalWindow) Matches(ge *memo.GroupExpr) bool {
+	_, ok := ge.Op.(*ops.Window)
+	return ok
+}
+
+// Apply implements Rule.
+func (*Window2PhysicalWindow) Apply(ctx *Context, ge *memo.GroupExpr) error {
+	w := ge.Op.(*ops.Window)
+	p := &ops.PhysicalWindow{PartitionCols: w.PartitionCols, Order: w.Order, Wins: w.Wins}
+	_, err := ctx.Insert(Op(p, Leaf(ge.Children[0])), ge.Group().ID)
+	return err
+}

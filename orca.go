@@ -1,0 +1,237 @@
+// Package orca is a from-scratch Go reproduction of Orca, the modular query
+// optimizer architecture of Soliman et al., SIGMOD 2014: a stand-alone,
+// Cascades-style, cost-based optimizer for massively parallel (MPP)
+// databases, together with every substrate its evaluation depends on — a
+// metadata exchange layer with provider plug-ins and a versioned cache, a
+// DXL serialization format, a simulated shared-nothing MPP execution engine,
+// a legacy PostgreSQL-lineage "Planner" baseline, simulated Hadoop SQL
+// rivals, the AMPERe minimal-repro tool and the TAQO cost-model accuracy
+// harness, and a TPC-DS-derived benchmark workload.
+//
+// The System type bundles a catalog, a simulated cluster and the optimizer
+// into the end-to-end surface the examples and benchmarks use:
+//
+//	sys := orca.NewSystem(16)
+//	sys.MustAddTable(md.TableSpec{Name: "t", ...})
+//	sys.MustLoad(42)
+//	res, _ := sys.Run("SELECT count(*) FROM t")
+//
+// Every component is also usable on its own; see DESIGN.md for the module
+// map and EXPERIMENTS.md for the reproduced evaluation.
+package orca
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"orca/internal/ampere"
+	"orca/internal/core"
+	"orca/internal/datagen"
+	"orca/internal/engine"
+	"orca/internal/gpos"
+	"orca/internal/md"
+	"orca/internal/ops"
+	"orca/internal/planner"
+	"orca/internal/sql"
+)
+
+// System bundles a catalog (metadata provider), the shared metadata cache, a
+// simulated MPP cluster and an optimizer configuration.
+type System struct {
+	Provider *md.MemProvider
+	Cache    *md.Cache
+	Cluster  *engine.Cluster
+	Config   core.Config
+	Mem      *gpos.MemoryAccountant
+
+	// DumpDir, when set, enables AMPERe's automatic capture (paper §6.1):
+	// an optimization failure writes a minimal self-contained repro dump —
+	// query, touched metadata, configuration and the error's stack trace —
+	// into this directory.
+	DumpDir string
+}
+
+// NewSystem creates a system with the given segment count and a default
+// single-stage optimizer configuration.
+func NewSystem(segments int) *System {
+	mem := &gpos.MemoryAccountant{}
+	p := md.NewMemProvider()
+	return &System{
+		Provider: p,
+		Cache:    md.NewCache(mem),
+		Cluster:  engine.NewCluster(segments, p),
+		Config:   core.DefaultConfig(segments),
+		Mem:      mem,
+	}
+}
+
+// AddTable registers a table (schema plus synthetic statistics) in the
+// catalog.
+func (s *System) AddTable(spec md.TableSpec) *md.Relation {
+	return md.Build(s.Provider, spec)
+}
+
+// MustAddTable is AddTable for fluent setup code.
+func (s *System) MustAddTable(spec md.TableSpec) *md.Relation { return s.AddTable(spec) }
+
+// Load generates data for every registered table by reversing its declared
+// statistics (datagen) and loads it into the cluster.
+func (s *System) Load(seed uint64) error {
+	return datagen.LoadAll(s.Cluster, s.Provider, seed)
+}
+
+// MustLoad panics on load failure; for examples and tests.
+func (s *System) MustLoad(seed uint64) {
+	if err := s.Load(seed); err != nil {
+		panic(err)
+	}
+}
+
+// Accessor opens a session-scoped metadata accessor over the shared cache.
+func (s *System) Accessor() *md.Accessor {
+	return md.NewAccessor(s.Cache, s.Provider)
+}
+
+// Bind parses and binds a SQL query into an optimizable form.
+func (s *System) Bind(query string) (*core.Query, error) {
+	acc := s.Accessor()
+	f := md.NewColumnFactory()
+	return sql.Bind(query, acc, f)
+}
+
+// Optimize binds and optimizes a SQL query, returning the optimization
+// result (plan, cost, Memo statistics). When DumpDir is set, a failure
+// automatically captures an AMPERe repro dump.
+func (s *System) Optimize(query string) (*core.Result, *core.Query, error) {
+	q, err := s.Bind(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer q.Accessor.Close()
+	res, err := core.Optimize(q, s.Config)
+	if err != nil {
+		if path, derr := s.captureDump(query, err); derr == nil && path != "" {
+			return nil, nil, fmt.Errorf("%w (AMPERe dump: %s)", err, path)
+		}
+		return nil, nil, err
+	}
+	return res, q, nil
+}
+
+// captureDump writes an AMPERe dump for a failed optimization of the given
+// query text; it re-binds the query so the dump carries the original tree.
+func (s *System) captureDump(query string, cause error) (string, error) {
+	if s.DumpDir == "" {
+		return "", nil
+	}
+	q, err := s.Bind(query)
+	if err != nil {
+		return "", err
+	}
+	defer q.Accessor.Close()
+	d, err := ampere.Capture(q, s.Config, s.Provider, cause)
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(s.DumpDir, fmt.Sprintf("ampere-%d.dxl", time.Now().UnixNano()))
+	if err := d.WriteFile(path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Explain returns the optimized plan rendered as text.
+func (s *System) Explain(query string) (string, error) {
+	res, q, err := s.Optimize(query)
+	if err != nil {
+		return "", err
+	}
+	return core.Explain(res.Plan, q.Factory), nil
+}
+
+// Run optimizes and executes a SQL query on the simulated cluster.
+func (s *System) Run(query string) (*engine.Result, error) {
+	return s.RunOpts(query, engine.Options{})
+}
+
+// RunOpts is Run with execution options (budgets, memory limits).
+func (s *System) RunOpts(query string, opts engine.Options) (*engine.Result, error) {
+	res, q, err := s.Optimize(query)
+	if err != nil {
+		return nil, err
+	}
+	out, err := s.Cluster.Execute(res.Plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	return projectOutput(out, q)
+}
+
+// OptimizeLegacy plans a SQL query with the legacy Planner baseline (the
+// paper's §7.2 comparison system) instead of Orca.
+func (s *System) OptimizeLegacy(query string) (*ops.Expr, *core.Query, error) {
+	q, err := s.Bind(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	pl := planner.New(s.Cluster.Segments, q.Accessor, q.Factory)
+	plan, err := pl.Optimize(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, q, nil
+}
+
+// RunLegacy optimizes with the legacy Planner and executes on the cluster.
+func (s *System) RunLegacy(query string, opts engine.Options) (*engine.Result, error) {
+	plan, q, err := s.OptimizeLegacy(query)
+	if err != nil {
+		return nil, err
+	}
+	defer q.Accessor.Close()
+	out, err := s.Cluster.Execute(plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	return projectOutput(out, q)
+}
+
+// ExplainLegacy renders the legacy Planner's plan.
+func (s *System) ExplainLegacy(query string) (string, error) {
+	plan, q, err := s.OptimizeLegacy(query)
+	if err != nil {
+		return "", err
+	}
+	defer q.Accessor.Close()
+	return core.Explain(plan, q.Factory), nil
+}
+
+// projectOutput narrows an execution result to the query's declared output
+// columns, in order.
+func projectOutput(out *engine.Result, q *core.Query) (*engine.Result, error) {
+	if len(q.OutCols) == 0 || out.TimedOut {
+		return out, nil
+	}
+	pos := make([]int, len(q.OutCols))
+	idx := make(map[int32]int)
+	for i, c := range out.Schema {
+		idx[int32(c)] = i
+	}
+	for i, c := range q.OutCols {
+		p, ok := idx[int32(c)]
+		if !ok {
+			return nil, fmt.Errorf("orca: output column %d missing from plan result", c)
+		}
+		pos[i] = p
+	}
+	res := &engine.Result{Schema: q.OutCols, Stats: out.Stats, TimedOut: out.TimedOut}
+	for _, r := range out.Rows {
+		nr := make(engine.Row, len(pos))
+		for i, p := range pos {
+			nr[i] = r[p]
+		}
+		res.Rows = append(res.Rows, nr)
+	}
+	return res, nil
+}

@@ -1,0 +1,222 @@
+package orca
+
+import (
+	"strings"
+	"testing"
+
+	"orca/internal/base"
+	"orca/internal/engine"
+	"orca/internal/md"
+)
+
+// testSystem builds a small star schema: a fact table hash-distributed and
+// date-partitioned, two dimensions.
+func testSystem(t testing.TB) *System {
+	t.Helper()
+	sys := NewSystem(4)
+	sys.AddTable(md.TableSpec{
+		Name: "sales", Rows: 4000,
+		Policy: md.DistHash, DistCols: []int{0},
+		Cols: []md.ColSpec{
+			{Name: "item_id", Type: base.TInt, NDV: 100, Lo: 0, Hi: 100},
+			{Name: "cust_id", Type: base.TInt, NDV: 200, Lo: 0, Hi: 200},
+			{Name: "date_id", Type: base.TInt, NDV: 100, Lo: 0, Hi: 100},
+			{Name: "amount", Type: base.TInt, NDV: 50, Lo: 1, Hi: 51},
+		},
+		PartCol: 2,
+		Parts: []md.Partition{
+			{Name: "p0", Lo: base.NewInt(0), Hi: base.NewInt(25)},
+			{Name: "p1", Lo: base.NewInt(25), Hi: base.NewInt(50)},
+			{Name: "p2", Lo: base.NewInt(50), Hi: base.NewInt(75)},
+			{Name: "p3", Lo: base.NewInt(75), Hi: base.NewInt(101)},
+		},
+	})
+	sys.AddTable(md.TableSpec{
+		Name: "item", Rows: 100,
+		Policy: md.DistHash, DistCols: []int{0},
+		Cols: []md.ColSpec{
+			{Name: "item_id", Type: base.TInt, NDV: 100, Lo: 0, Hi: 100},
+			{Name: "category", Type: base.TInt, NDV: 10, Lo: 0, Hi: 10},
+			{Name: "price", Type: base.TInt, NDV: 100, Lo: 0, Hi: 100},
+		},
+	})
+	sys.AddTable(md.TableSpec{
+		Name: "customer", Rows: 200,
+		Policy: md.DistHash, DistCols: []int{0},
+		Cols: []md.ColSpec{
+			{Name: "cust_id", Type: base.TInt, NDV: 200, Lo: 0, Hi: 200},
+			{Name: "region", Type: base.TInt, NDV: 5, Lo: 0, Hi: 5},
+		},
+	})
+	sys.MustLoad(7)
+	return sys
+}
+
+func TestRunCountStar(t *testing.T) {
+	sys := testSystem(t)
+	res, err := sys.Run("SELECT count(*) FROM sales")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("want 1 row, got %d", len(res.Rows))
+	}
+	if got := res.Rows[0][0].I; got != 4000 {
+		t.Errorf("count(*) = %d, want 4000", got)
+	}
+}
+
+func TestRunJoinAggregate(t *testing.T) {
+	sys := testSystem(t)
+	res, err := sys.Run(`
+		SELECT i.category, count(*) AS cnt, sum(s.amount) AS total
+		FROM sales s, item i
+		WHERE s.item_id = i.item_id
+		GROUP BY i.category
+		ORDER BY i.category`)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Cross-check against a direct computation on the raw data.
+	sales, _ := sys.Cluster.Table("sales")
+	item, _ := sys.Cluster.Table("item")
+	cat := map[int64]int64{}
+	for _, r := range allRows(item) {
+		cat[r[0].I] = r[1].I
+	}
+	wantCnt := map[int64]int64{}
+	wantSum := map[int64]int64{}
+	total := int64(0)
+	for _, r := range allRows(sales) {
+		c, ok := cat[r[0].I]
+		if !ok {
+			continue
+		}
+		wantCnt[c]++
+		wantSum[c] += r[3].I
+		total++
+	}
+	var gotTotal int64
+	for _, r := range res.Rows {
+		c := r[0].I
+		if r[1].I != wantCnt[c] {
+			t.Errorf("category %d: count=%d want %d", c, r[1].I, wantCnt[c])
+		}
+		if r[2].I != wantSum[c] {
+			t.Errorf("category %d: sum=%d want %d", c, r[2].I, wantSum[c])
+		}
+		gotTotal += r[1].I
+	}
+	if gotTotal != total {
+		t.Errorf("total joined rows %d, want %d", gotTotal, total)
+	}
+	// ORDER BY must hold.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i-1][0].Compare(res.Rows[i][0]) > 0 {
+			t.Errorf("rows not ordered by category at %d", i)
+		}
+	}
+}
+
+func TestPartitionEliminationPlan(t *testing.T) {
+	sys := testSystem(t)
+	plan, err := sys.Explain("SELECT count(*) FROM sales WHERE date_id < 25")
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if want := "parts=1/4"; !contains(plan, want) {
+		t.Errorf("expected %q (static partition elimination) in plan:\n%s", want, plan)
+	}
+	res, err := sys.Run("SELECT count(*) FROM sales WHERE date_id < 25")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Cross-check.
+	var want int64
+	sales, _ := sys.Cluster.Table("sales")
+	for _, r := range allRows(sales) {
+		if !r[2].IsNull() && r[2].I < 25 {
+			want++
+		}
+	}
+	if got := res.Rows[0][0].I; got != want {
+		t.Errorf("count=%d want %d", got, want)
+	}
+}
+
+func TestCorrelatedSubqueryDecorrelation(t *testing.T) {
+	sys := testSystem(t)
+	q := `
+		SELECT s.item_id, s.amount
+		FROM sales s
+		WHERE s.amount > (SELECT 2 * avg(s2.amount) FROM sales s2 WHERE s2.item_id = s.item_id)
+		ORDER BY s.item_id, s.amount`
+	plan, err := sys.Explain(q)
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if contains(plan, "SubPlan") {
+		t.Errorf("Orca must decorrelate, found SubPlan in:\n%s", plan)
+	}
+	res, err := sys.Run(q)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Reference computation.
+	sales, _ := sys.Cluster.Table("sales")
+	sum := map[int64]int64{}
+	cnt := map[int64]int64{}
+	for _, r := range allRows(sales) {
+		sum[r[0].I] += r[3].I
+		cnt[r[0].I]++
+	}
+	var want int
+	for _, r := range allRows(sales) {
+		avg := float64(sum[r[0].I]) / float64(cnt[r[0].I])
+		if float64(r[3].I) > 2*avg {
+			want++
+		}
+	}
+	if len(res.Rows) != want {
+		t.Errorf("got %d rows, want %d", len(res.Rows), want)
+	}
+}
+
+func TestCTEProducerConsumer(t *testing.T) {
+	sys := testSystem(t)
+	q := `
+		WITH top_items AS (
+			SELECT item_id, sum(amount) AS total FROM sales GROUP BY item_id
+		)
+		SELECT a.item_id, a.total, b.total
+		FROM top_items a, top_items b
+		WHERE a.item_id = b.item_id
+		ORDER BY a.item_id
+		LIMIT 10`
+	plan, err := sys.Explain(q)
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if !contains(plan, "CTEProducer") || !contains(plan, "CTEConsumer") {
+		t.Errorf("expected producer/consumer CTE plan:\n%s", plan)
+	}
+	res, err := sys.Run(q)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Rows) != 10 {
+		t.Errorf("LIMIT 10 returned %d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r[1].Compare(r[2]) != 0 {
+			t.Errorf("self-joined CTE totals differ: %v vs %v", r[1], r[2])
+		}
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+func allRows(t *engine.Table) []engine.Row { return t.AllRows() }
