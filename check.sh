@@ -1,0 +1,40 @@
+#!/bin/sh
+# check.sh — the repo's full quality gate. Exits non-zero on any finding.
+#
+#   build    go build ./...
+#   format   gofmt -l on all tracked Go files
+#   vet      go vet ./...
+#   orcavet  the project's own static analyzers (cmd/orcavet):
+#            memoimmut, lockcheck, opexhaustive, errdrop
+#   test     go test ./...
+#   race     go test -race over the concurrency-heavy packages
+#            (search scheduler, memo, gpos worker pool)
+#
+# Run from the repository root: ./check.sh
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> build"
+go build ./...
+
+echo "==> gofmt"
+unformatted=$(gofmt -l . | grep -v '/testdata/' || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> orcavet"
+go run ./cmd/orcavet ./...
+
+echo "==> go test"
+go test ./...
+
+echo "==> go test -race (scheduler / memo / gpos)"
+go test -race ./internal/search/... ./internal/memo/... ./internal/gpos/...
+
+echo "All checks passed."

@@ -1,0 +1,81 @@
+// Command orcavet runs the orca-specific static analyzers over the module:
+//
+//	go run ./cmd/orcavet ./...
+//
+// It prints one line per finding and exits non-zero if any finding remains
+// after //orcavet:ignore suppression. See internal/analysis for the
+// analyzer suite and the ignore mechanism.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"orca/internal/analysis"
+)
+
+func main() {
+	var (
+		list = flag.Bool("analyzers", false, "print the analyzer suite and exit")
+		only = flag.String("run", "", "comma-separated analyzer names to run (default all)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: orcavet [-run name,...] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the Orca invariant analyzers over the given go list patterns\n")
+		fmt.Fprintf(os.Stderr, "(default ./...). Suppress a finding with a //orcavet:ignore <reason>\n")
+		fmt.Fprintf(os.Stderr, "comment on the offending line, or alone on the line above it.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = suite[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "orcavet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := analysis.NewLoader("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orcavet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orcavet:", err)
+		os.Exit(2)
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Run(pkg, suite) {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "orcavet: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}

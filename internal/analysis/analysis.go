@@ -1,0 +1,184 @@
+// Package analysis implements orcavet, a static-analysis suite enforcing
+// optimizer invariants the Go compiler cannot check: Memo immutability,
+// scheduler lock/condvar discipline, exhaustive operator-kind handling, and
+// non-discarded errors from the GPOS/DXL layers. The suite is built directly
+// on the stdlib go/ast + go/types packages (no external dependencies); the
+// loader shells out to `go list -export` for package metadata and export
+// data, mirroring how the go vet driver loads packages.
+//
+// Analyzers report Diagnostics through a Pass, the per-package unit of work.
+// A diagnostic can be suppressed with a `//orcavet:ignore <reason>` comment
+// on the same line (or on the line above, when the comment stands alone);
+// see Suppressed.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check run over a package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("memoimmut", ...).
+	Name string
+	// Doc is a one-paragraph description shown by `orcavet -help`.
+	Doc string
+	// Run reports the analyzer's findings on one package.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf returns the object denoted by the identifier, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf(id) }
+
+// Run applies the analyzers to pkg and returns their findings, with
+// suppressed diagnostics filtered out, sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+		a.Run(pass)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !pkg.Suppressed(d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// All returns the orcavet analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{MemoImmut, LockCheck, OpExhaustive, ErrDrop}
+}
+
+// ---------------------------------------------------------------------------
+// Shared AST/type helpers
+
+// walkStack traverses every file of the pass's package keeping an ancestor
+// stack. fn is called pre-order; returning false prunes the subtree. The
+// stack excludes n itself; stack[len-1] is n's parent.
+func (p *Pass) walkStack(fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			ok := fn(n, stack)
+			if ok {
+				stack = append(stack, n)
+			}
+			return ok
+		})
+	}
+}
+
+// namedType returns the named type of t after stripping pointers and
+// aliases, or nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamed reports whether t (possibly behind a pointer) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// calleeObj resolves the called function or method object of a call, or nil
+// (e.g. for calls through function-typed variables or conversions).
+func (p *Pass) calleeObj(call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if o := p.Pkg.Info.Uses[fun]; o != nil {
+			if _, ok := o.(*types.Func); ok {
+				return o
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Pkg.Info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified call: pkg.F(...).
+		if o := p.Pkg.Info.Uses[fun.Sel]; o != nil {
+			if _, ok := o.(*types.Func); ok {
+				return o
+			}
+		}
+	}
+	return nil
+}
+
+// enclosingFunc returns the innermost function declaration or literal in the
+// ancestor stack, or nil at package scope.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The golden-file convention: a fixture line carries one `// want "rx" "rx"`
+// comment listing regexps that must each match one diagnostic reported on
+// that line. Lines without a want comment must stay silent. Fixtures live in
+// testdata/src/<name>/ and are loaded as a package outside the module graph,
+// so they may contain deliberate invariant violations without breaking the
+// build.
+
+var (
+	loaderOnce sync.Once
+	loaderInst *Loader
+	loaderErr  error
+)
+
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loaderInst, loaderErr = NewLoader("")
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return loaderInst
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// runFixture loads testdata/src/<fixture> and checks the analyzer's filtered
+// diagnostics against the // want expectations.
+func runFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := sharedLoader(t).LoadDir(dir, "orcavet.test/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags := Run(pkg, []*Analyzer{a})
+
+	// Collect expectations: file:line -> regexps.
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				for _, pat := range splitQuoted(t, c, m[1]) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", name, line, pat, err)
+					}
+					wants[key{name, line}] = append(wants[key{name, line}], rx)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, rx := range wants[k] {
+			if rx.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, rxs := range wants {
+		for _, rx := range rxs {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(k.file), k.line, rx)
+		}
+	}
+}
+
+// splitQuoted parses the tail of a want comment: one or more regexps quoted
+// with double quotes or backticks.
+func splitQuoted(t *testing.T, c *ast.Comment, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		q := s[0]
+		if q != '"' && q != '`' {
+			t.Fatalf("malformed want comment %q (expected quoted regexps)", c.Text)
+		}
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			t.Fatalf("unterminated regexp in want comment %q", c.Text)
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}

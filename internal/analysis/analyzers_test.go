@@ -1,0 +1,48 @@
+package analysis
+
+import "testing"
+
+func TestMemoImmut(t *testing.T)    { runFixture(t, MemoImmut, "memoimmut") }
+func TestLockCheck(t *testing.T)    { runFixture(t, LockCheck, "lockcheck") }
+func TestOpExhaustive(t *testing.T) { runFixture(t, OpExhaustive, "opexhaustive") }
+func TestErrDrop(t *testing.T)      { runFixture(t, ErrDrop, "errdrop") }
+
+// TestSuiteCleanOnRepo is the self-hosting check: the analyzer suite must
+// report nothing on the module's own packages (after suppressions), which is
+// also enforced by check.sh via `go run ./cmd/orcavet ./...`.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	l := sharedLoader(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("expected to load the whole module, got %d packages", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, d := range Run(pkg, All()) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+}
+
+func TestLoaderBasics(t *testing.T) {
+	l := sharedLoader(t)
+	pkgs, err := l.Load("./internal/gpos")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.PkgPath != "orca/internal/gpos" || p.Types == nil || len(p.Files) == 0 {
+		t.Fatalf("bad package: %+v", p.PkgPath)
+	}
+	if p.Types.Scope().Lookup("WorkerPool") == nil {
+		t.Fatalf("type information missing WorkerPool")
+	}
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags discarded error results from the GPOS and DXL layers. Both
+// packages report failures through structured gpos.Exception values that
+// AMPERe dumps depend on (paper §6); swallowing them hides optimizer
+// failures from the fallback and replay machinery.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "flags internal/gpos and internal/dxl calls whose error result is " +
+		"discarded (statement calls, go/defer calls, or assignment to _)",
+	Run: runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	self := p.Pkg.Types.Path()
+	if self == gposPkgPath || self == dxlPkgPath {
+		return // intra-layer plumbing may handle errors structurally
+	}
+	p.walkStack(func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				checkDroppedCall(p, call, "is discarded")
+			}
+		case *ast.GoStmt:
+			checkDroppedCall(p, n.Call, "is discarded by go statement")
+		case *ast.DeferStmt:
+			checkDroppedCall(p, n.Call, "is discarded by defer")
+		case *ast.AssignStmt:
+			checkBlankAssign(p, n)
+		}
+		return true
+	})
+}
+
+// errResultIndices returns the positions of error-typed results of the
+// called gpos/dxl function, or nil when the call is out of scope.
+func (p *Pass) errResultIndices(call *ast.CallExpr) []int {
+	fn, _ := p.calleeObj(call).(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	if path := fn.Pkg().Path(); path != gposPkgPath && path != dxlPkgPath {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var idx []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// isErrorType accepts error itself and concrete error implementations such
+// as *gpos.Exception, the layer's structured error constructor result.
+func isErrorType(t types.Type) bool {
+	errType := types.Universe.Lookup("error").Type()
+	if types.Identical(t, errType) {
+		return true
+	}
+	return types.Implements(t, errType.Underlying().(*types.Interface))
+}
+
+func (p *Pass) callName(call *ast.CallExpr) string {
+	fn, _ := p.calleeObj(call).(*types.Func)
+	if fn == nil {
+		return "call"
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if n := namedType(recv.Type()); n != nil {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+func checkDroppedCall(p *Pass, call *ast.CallExpr, how string) {
+	if idx := p.errResultIndices(call); len(idx) > 0 {
+		p.Reportf(call.Pos(), "error result of %s %s", p.callName(call), how)
+	}
+}
+
+// checkBlankAssign flags `_ = f()` and `v, _ := f()` when the blank slot is
+// an error from a gpos/dxl call.
+func checkBlankAssign(p *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// v, err := f(): tuple assignment.
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for _, i := range p.errResultIndices(call) {
+			if i < len(as.Lhs) && isBlank(as.Lhs[i]) {
+				p.Reportf(as.Lhs[i].Pos(), "error result of %s is assigned to _", p.callName(call))
+			}
+		}
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) || !isBlank(as.Lhs[i]) {
+			continue
+		}
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			if idx := p.errResultIndices(call); len(idx) == 1 && p.singleErrResult(call) {
+				p.Reportf(as.Lhs[i].Pos(), "error result of %s is assigned to _", p.callName(call))
+			}
+		}
+	}
+}
+
+// singleErrResult reports whether the call returns exactly one value.
+func (p *Pass) singleErrResult(call *ast.CallExpr) bool {
+	fn, _ := p.calleeObj(call).(*types.Func)
+	if fn == nil {
+		return false
+	}
+	return fn.Type().(*types.Signature).Results().Len() == 1
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is the comment prefix that suppresses orcavet findings.
+// `stmt() //orcavet:ignore reason` suppresses findings on its own line;
+// a standalone `//orcavet:ignore reason` comment suppresses the next line.
+// A reason is conventionally required so suppressions stay auditable.
+const ignoreDirective = "orcavet:ignore"
+
+// Suppressed reports whether a diagnostic at pos is silenced by an
+// `//orcavet:ignore` directive.
+func (p *Package) Suppressed(pos token.Position) bool {
+	if p.suppressed == nil {
+		p.suppressed = make(map[string]map[int]bool)
+		for _, f := range p.Files {
+			name := p.Fset.Position(f.Pos()).Filename
+			lines := make(map[int]bool)
+			src := p.Sources[name]
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+					if !strings.HasPrefix(text, ignoreDirective) {
+						continue
+					}
+					cp := p.Fset.Position(c.Pos())
+					if standaloneComment(src, cp.Offset) {
+						lines[cp.Line+1] = true
+					} else {
+						lines[cp.Line] = true
+					}
+				}
+			}
+			p.suppressed[name] = lines
+		}
+	}
+	return p.suppressed[pos.Filename][pos.Line]
+}
+
+// standaloneComment reports whether only whitespace precedes the comment
+// starting at offset on its line.
+func standaloneComment(src []byte, offset int) bool {
+	for i := offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,300 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCheck enforces the scheduler's synchronization discipline (paper
+// §4.2): condition variables must be re-checked in a loop after waking,
+// every Lock needs a matching Unlock reachable on all return paths, and
+// structs embedding a mutex must never be copied.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "flags sync.Cond.Wait calls not wrapped in a for loop, Lock calls " +
+		"without a deferred/paired Unlock on every return path, and copies " +
+		"of structs containing sync primitives",
+	Run: runLockCheck,
+}
+
+func runLockCheck(p *Pass) {
+	units := make(map[ast.Node]*lockUnit)
+	unitFor := func(n ast.Node) *lockUnit {
+		u := units[n]
+		if u == nil {
+			u = &lockUnit{}
+			units[n] = u
+		}
+		return u
+	}
+	p.walkStack(func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkLockCall(p, n, stack, unitFor)
+			checkLockArgs(p, n)
+		case *ast.ReturnStmt:
+			if fn := enclosingFunc(stack); fn != nil {
+				unitFor(fn).returns = append(unitFor(fn).returns, n.Pos())
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				// Assigning to _ does not create a usable copy.
+				if len(n.Lhs) == len(n.Rhs) && isBlank(n.Lhs[i]) {
+					continue
+				}
+				checkLockCopy(p, rhs)
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				checkLockCopy(p, v)
+			}
+		case *ast.FuncDecl:
+			if n.Recv != nil && len(n.Recv.List) == 1 {
+				if t := p.TypeOf(n.Recv.List[0].Type); t != nil && containsLock(t) {
+					p.Reportf(n.Recv.Pos(), "method %s has a value receiver of type %s, which contains a sync primitive and is copied on every call", n.Name.Name, t)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := p.TypeOf(n.Value); t != nil && containsLock(t) {
+					p.Reportf(n.Value.Pos(), "range copies values of type %s, which contains a sync primitive", t)
+				}
+			}
+		}
+		return true
+	})
+	for _, u := range units {
+		u.report(p)
+	}
+}
+
+// lockUnit accumulates the lock-relevant events of one function body.
+type lockUnit struct {
+	locks   []lockEvent
+	unlocks []lockEvent
+	returns []token.Pos
+}
+
+type lockEvent struct {
+	key      string // receiver expression + lock mode, e.g. "s.mu/W"
+	pos      token.Pos
+	deferred bool
+}
+
+// checkLockCall classifies mutex/condvar method calls. The owning function
+// of an event is the nearest enclosing FuncDecl/FuncLit, except that a call
+// inside a directly deferred func literal (defer func(){...}()) is credited,
+// as deferred, to the function running the defer.
+func checkLockCall(p *Pass, call *ast.CallExpr, stack []ast.Node, unitFor func(ast.Node) *lockUnit) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := p.TypeOf(sel.X)
+
+	if sel.Sel.Name == "Wait" && isNamed(recv, "sync", "Cond") {
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch stack[i].(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				return
+			case *ast.FuncDecl, *ast.FuncLit:
+				p.Reportf(call.Pos(), "sync.Cond.Wait must be wrapped in a for loop re-checking the condition (wakeups can be spurious)")
+				return
+			}
+		}
+		return
+	}
+
+	var mode string
+	switch sel.Sel.Name {
+	case "Lock", "Unlock":
+		mode = "W"
+	case "RLock", "RUnlock":
+		mode = "R"
+	default:
+		return
+	}
+	if !isNamed(recv, "sync", "Mutex") && !isNamed(recv, "sync", "RWMutex") {
+		return
+	}
+	owner, deferred := lockOwner(stack)
+	if owner == nil {
+		return
+	}
+	ev := lockEvent{key: types.ExprString(sel.X) + "/" + mode, pos: call.Pos(), deferred: deferred}
+	u := unitFor(owner)
+	if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+		u.locks = append(u.locks, ev)
+	} else {
+		u.unlocks = append(u.unlocks, ev)
+	}
+}
+
+// lockOwner walks outward to the function owning a lock event, looking
+// through deferred func literals.
+func lockOwner(stack []ast.Node) (owner ast.Node, deferred bool) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.DeferStmt:
+			deferred = true
+		case *ast.FuncLit:
+			// Look through `defer func() { ... }()`.
+			if i >= 2 {
+				if call, ok := stack[i-1].(*ast.CallExpr); ok && call.Fun == n {
+					if _, ok := stack[i-2].(*ast.DeferStmt); ok {
+						deferred = true
+						i -= 2
+						continue
+					}
+				}
+			}
+			return n, deferred
+		case *ast.FuncDecl:
+			return n, deferred
+		}
+	}
+	return nil, false
+}
+
+func (u *lockUnit) report(p *Pass) {
+	type keyState struct {
+		firstLock   token.Pos
+		hasDeferred bool
+	}
+	keys := make(map[string]*keyState)
+	for _, l := range u.locks {
+		ks := keys[l.key]
+		if ks == nil {
+			keys[l.key] = &keyState{firstLock: l.pos}
+		}
+	}
+	for _, ul := range u.unlocks {
+		if ks := keys[ul.key]; ks != nil && ul.deferred {
+			ks.hasDeferred = true
+		}
+	}
+	for key, ks := range keys {
+		var unlocks []token.Pos
+		for _, ul := range u.unlocks {
+			if ul.key == key {
+				unlocks = append(unlocks, ul.pos)
+			}
+		}
+		if len(unlocks) == 0 {
+			p.Reportf(ks.firstLock, "%s without a matching %s in the same function", lockName(key), unlockName(key))
+			continue
+		}
+		if ks.hasDeferred {
+			continue
+		}
+		// Every return after a Lock needs an intervening Unlock.
+		for _, ret := range u.returns {
+			missing := false
+			for _, l := range u.locks {
+				if l.key != key || l.pos >= ret {
+					continue
+				}
+				covered := false
+				for _, up := range unlocks {
+					if up > l.pos && up < ret {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					missing = true
+				}
+			}
+			if missing {
+				p.Reportf(ret, "return path may leave %s held: no %s between the %s and this return, and none is deferred", key[:len(key)-2], unlockName(key), lockName(key))
+			}
+		}
+	}
+}
+
+func lockName(key string) string {
+	if key[len(key)-1] == 'R' {
+		return key[:len(key)-2] + ".RLock"
+	}
+	return key[:len(key)-2] + ".Lock"
+}
+
+func unlockName(key string) string {
+	if key[len(key)-1] == 'R' {
+		return key[:len(key)-2] + ".RUnlock"
+	}
+	return key[:len(key)-2] + ".Unlock"
+}
+
+// checkLockCopy flags reads that copy a value whose type contains a sync
+// primitive (the copied lock is independent of the original, which silently
+// breaks mutual exclusion).
+func checkLockCopy(p *Pass, rhs ast.Expr) {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return // composite literals, calls, &x, ... do not copy an existing value
+	}
+	if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+		if _, isVar := p.ObjectOf(id).(*types.Var); !isVar {
+			return
+		}
+	}
+	if t := p.TypeOf(rhs); t != nil && containsLock(t) {
+		p.Reportf(rhs.Pos(), "assignment copies a value of type %s, which contains a sync primitive", t)
+	}
+}
+
+// checkLockArgs flags passing a lock-bearing struct by value to a function.
+func checkLockArgs(p *Pass, call *ast.CallExpr) {
+	if tv, ok := p.Pkg.Info.Types[call.Fun]; !ok || tv.IsType() || tv.IsBuiltin() {
+		return // conversion or builtin, not a call
+	}
+	if _, ok := p.TypeOf(call.Fun).Underlying().(*types.Signature); !ok {
+		return
+	}
+	for _, arg := range call.Args {
+		switch ast.Unparen(arg).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			if t := p.TypeOf(arg); t != nil && containsLock(t) {
+				p.Reportf(arg.Pos(), "call passes a value of type %s by value, which contains a sync primitive", t)
+			}
+		}
+	}
+}
+
+// containsLock reports whether a value of type t embeds a sync primitive
+// (directly or through nested structs/arrays). Pointers do not propagate.
+func containsLock(t types.Type) bool {
+	return containsLock1(t, make(map[types.Type]bool))
+}
+
+func containsLock1(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	t = types.Unalias(t)
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "Cond", "WaitGroup", "Once", "Pool", "Map":
+				return true
+			}
+		}
+		return containsLock1(n.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock1(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock1(u.Elem(), seen)
+	}
+	return false
+}

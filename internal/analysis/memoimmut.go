@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Package paths whose invariants the analyzers enforce.
+const (
+	memoPkgPath = "orca/internal/memo"
+	opsPkgPath  = "orca/internal/ops"
+	gposPkgPath = "orca/internal/gpos"
+	dxlPkgPath  = "orca/internal/dxl"
+)
+
+// MemoImmut enforces the Memo's append-only contract (paper §4.1): once a
+// group expression is inserted, its operator and child groups never change,
+// because the fingerprint-based duplicate detection and the per-group
+// optimization contexts both key off them.
+var MemoImmut = &Analyzer{
+	Name: "memoimmut",
+	Doc: "flags writes to memo.Group/memo.GroupExpr fields from outside " +
+		"internal/memo, and mutation of a child-group slice after it was " +
+		"handed to Memo.InsertExpr (the Memo retains the slice)",
+	Run: runMemoImmut,
+}
+
+func runMemoImmut(p *Pass) {
+	if p.Pkg.Types.Path() == memoPkgPath {
+		return
+	}
+	p.walkStack(func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkMemoWrite(p, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkMemoWrite(p, n.X)
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				checkInsertRetention(p, n.Body)
+			}
+		}
+		return true
+	})
+}
+
+// checkMemoWrite flags `x.Field = v` and `x.Children[i] = v` where x is a
+// memo.Group or memo.GroupExpr.
+func checkMemoWrite(p *Pass, lhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		lhs = ast.Unparen(idx.X)
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	base := p.TypeOf(sel.X)
+	for _, name := range [...]string{"Group", "GroupExpr", "Memo"} {
+		if isNamed(base, memoPkgPath, name) {
+			p.Reportf(sel.Pos(), "write to memo.%s.%s outside internal/memo: memo structures are append-only once inserted", name, sel.Sel.Name)
+			return
+		}
+	}
+}
+
+// checkInsertRetention flags mutations of a slice variable after it was
+// passed as the children argument of Memo.InsertExpr. InsertExpr stores the
+// slice in the new GroupExpr, so later writes through the caller's variable
+// would corrupt the Memo's duplicate-detection fingerprints.
+func checkInsertRetention(p *Pass, body *ast.BlockStmt) {
+	// Pass 1: record (variable, position) for child-slice arguments.
+	type retained struct {
+		v   *types.Var
+		end token.Pos
+	}
+	var handedOff []retained
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		fn, _ := p.calleeObj(call).(*types.Func)
+		if fn == nil || fn.Name() != "InsertExpr" || fn.Pkg() == nil || fn.Pkg().Path() != memoPkgPath {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[1]).(*ast.Ident); ok {
+			if v, ok := p.ObjectOf(id).(*types.Var); ok {
+				handedOff = append(handedOff, retained{v: v, end: call.End()})
+			}
+		}
+		return true
+	})
+	if len(handedOff) == 0 {
+		return
+	}
+	retainedAt := func(id *ast.Ident) (token.Pos, bool) {
+		v, _ := p.ObjectOf(id).(*types.Var)
+		if v == nil {
+			return token.NoPos, false
+		}
+		for _, r := range handedOff {
+			if r.v == v && id.Pos() > r.end {
+				return r.end, true
+			}
+		}
+		return token.NoPos, false
+	}
+	// Pass 2: flag writes through those variables after the call.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			switch lhs := ast.Unparen(lhs).(type) {
+			case *ast.IndexExpr:
+				if id, ok := ast.Unparen(lhs.X).(*ast.Ident); ok {
+					if _, ok := retainedAt(id); ok {
+						p.Reportf(lhs.Pos(), "mutation of slice %s after it was passed to Memo.InsertExpr, which retains it", id.Name)
+					}
+				}
+			case *ast.Ident:
+				// x = append(x, ...) can write into the retained backing array.
+				if i >= len(as.Rhs) {
+					continue
+				}
+				call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					continue
+				}
+				if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fun.Name != "append" {
+					continue
+				}
+				arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+				if !ok || p.ObjectOf(arg) == nil || p.ObjectOf(arg) != p.ObjectOf(lhs) {
+					continue
+				}
+				if _, ok := retainedAt(lhs); ok {
+					p.Reportf(lhs.Pos(), "append to slice %s after it was passed to Memo.InsertExpr may write into the retained backing array", lhs.Name)
+				}
+			}
+		}
+		return true
+	})
+}

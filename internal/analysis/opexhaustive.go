@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// OpExhaustive enforces that every operator kind is handled consistently
+// across the optimizer's layers. The operator vocabulary lives in
+// internal/ops in two forms: the concrete operator types behind the
+// Operator/Logical/Physical/Enforcer/ScalarExpr interfaces, and the
+// parameter enums (JoinType, AggMode, CmpOp, BoolOpKind, ...). A switch in
+// another package over either form must cover every kind or carry an
+// explicit default; otherwise a newly added operator silently falls through
+// in cost, stats, DXL or xform code.
+var OpExhaustive = &Analyzer{
+	Name: "opexhaustive",
+	Doc: "flags switches over internal/ops operator interfaces or enums " +
+		"that miss a kind and have no default clause",
+	Run: runOpExhaustive,
+}
+
+func runOpExhaustive(p *Pass) {
+	if p.Pkg.Types.Path() == opsPkgPath {
+		return // the vocabulary package itself may define partial helpers
+	}
+	p.walkStack(func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SwitchStmt:
+			checkEnumSwitch(p, n)
+		case *ast.TypeSwitchStmt:
+			checkTypeSwitch(p, n)
+		}
+		return true
+	})
+}
+
+// checkEnumSwitch handles `switch v { case ops.InnerJoin: ... }` where v has
+// a constant-enum type declared in internal/ops.
+func checkEnumSwitch(p *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	named := namedType(p.TypeOf(sw.Tag))
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != opsPkgPath {
+		return
+	}
+	if _, ok := named.Underlying().(*types.Basic); !ok {
+		return
+	}
+	// Universe: package-level constants of the tag type, deduplicated by
+	// value so aliases count once.
+	universe := make(map[string]string) // exact value -> first const name
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		v := c.Val().ExactString()
+		if _, ok := universe[v]; !ok {
+			universe[v] = name
+		}
+	}
+	if len(universe) == 0 {
+		return
+	}
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			return // explicit default: author opted out of exhaustiveness
+		}
+		for _, e := range cc.List {
+			if tv, ok := p.Pkg.Info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for v, name := range universe {
+		if !covered[v] {
+			missing = append(missing, name)
+		}
+	}
+	reportMissing(p, sw.Pos(), fmt.Sprintf("ops.%s", named.Obj().Name()), missing)
+}
+
+// checkTypeSwitch handles `switch op.(type)` where the scrutinee's static
+// type is an operator interface from internal/ops. Every exported concrete
+// implementor must be covered by a concrete case or a broader interface
+// case, unless a default is present.
+func checkTypeSwitch(p *Pass, sw *ast.TypeSwitchStmt) {
+	var x ast.Expr
+	switch a := sw.Assign.(type) {
+	case *ast.ExprStmt:
+		x = a.X.(*ast.TypeAssertExpr).X
+	case *ast.AssignStmt:
+		x = a.Rhs[0].(*ast.TypeAssertExpr).X
+	default:
+		return
+	}
+	named := namedType(p.TypeOf(x))
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != opsPkgPath {
+		return
+	}
+	iface, ok := named.Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	// Universe: exported concrete types in internal/ops implementing iface.
+	scope := named.Obj().Pkg().Scope()
+	universe := make(map[*types.TypeName]bool)
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if _, ok := t.Underlying().(*types.Interface); ok {
+			continue
+		}
+		if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+			universe[tn] = true
+		}
+	}
+	if len(universe) == 0 {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			return // explicit default
+		}
+		for _, e := range cc.List {
+			tv, ok := p.Pkg.Info.Types[e]
+			if !ok || tv.IsNil() {
+				continue
+			}
+			caseT := tv.Type
+			if ci, ok := caseT.Underlying().(*types.Interface); ok {
+				// An interface case covers all its implementors.
+				for tn := range universe {
+					if types.Implements(tn.Type(), ci) || types.Implements(types.NewPointer(tn.Type()), ci) {
+						delete(universe, tn)
+					}
+				}
+				continue
+			}
+			if cn := namedType(caseT); cn != nil {
+				delete(universe, cn.Obj())
+			}
+		}
+	}
+	var missing []string
+	for tn := range universe {
+		missing = append(missing, tn.Name())
+	}
+	reportMissing(p, sw.Pos(), fmt.Sprintf("ops.%s", named.Obj().Name()), missing)
+}
+
+func reportMissing(p *Pass, pos token.Pos, subject string, missing []string) {
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	shown := missing
+	const maxShown = 6
+	suffix := ""
+	if len(shown) > maxShown {
+		suffix = fmt.Sprintf(" and %d more", len(shown)-maxShown)
+		shown = shown[:maxShown]
+	}
+	p.Reportf(pos, "switch over %s is not exhaustive and has no default: missing %s%s",
+		subject, strings.Join(shown, ", "), suffix)
+}

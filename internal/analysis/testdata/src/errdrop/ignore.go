@@ -1,0 +1,15 @@
+package errdropfix
+
+import "orca/internal/gpos"
+
+// This file exercises the //orcavet:ignore mechanism: both violations below
+// are suppressed, so the fixture expects no diagnostics here.
+
+func suppressedSameLine(t *gpos.Task) {
+	t.Err() //orcavet:ignore fixture exercises same-line suppression
+}
+
+func suppressedNextLine(t *gpos.Task) {
+	//orcavet:ignore fixture exercises standalone next-line suppression
+	t.Err()
+}

@@ -1,0 +1,108 @@
+// Package lockcheckfix seeds violations and legal near-misses for the
+// lockcheck analyzer.
+package lockcheckfix
+
+import "sync"
+
+type queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func (q *queue) badWait() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == 0 {
+		q.cond.Wait() // want `sync\.Cond\.Wait must be wrapped in a for loop`
+	}
+}
+
+func (q *queue) okWait() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 {
+		q.cond.Wait()
+	}
+}
+
+func (q *queue) badNoUnlock() {
+	q.mu.Lock() // want `q\.mu\.Lock without a matching q\.mu\.Unlock in the same function`
+	q.n++
+}
+
+func badNoRUnlock(rw *sync.RWMutex, n *int) {
+	rw.RLock() // want `rw\.RLock without a matching rw\.RUnlock in the same function`
+	(*n)++
+}
+
+func (q *queue) badReturnBetween(x bool) {
+	q.mu.Lock()
+	if x {
+		return // want `return path may leave q\.mu held`
+	}
+	q.mu.Unlock()
+}
+
+func (q *queue) okDeferred(x bool) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if x {
+		return 0
+	}
+	return q.n
+}
+
+func (q *queue) okDeferredClosure() {
+	q.mu.Lock()
+	defer func() {
+		q.n--
+		q.mu.Unlock()
+	}()
+	q.n++
+}
+
+func (q *queue) okManualOnEveryPath(x bool) {
+	q.mu.Lock()
+	if x {
+		q.mu.Unlock()
+		return
+	}
+	q.n++
+	q.mu.Unlock()
+}
+
+// holder embeds a mutex; copying it breaks mutual exclusion.
+type holder struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (h holder) badValueRecv() int { // want `value receiver of type .*holder`
+	return h.v
+}
+
+func badAssignCopy(h *holder) {
+	cp := *h // want `assignment copies a value of type .*holder`
+	cp.v++
+}
+
+func badRangeCopy(hs []holder) int {
+	total := 0
+	for _, h := range hs { // want `range copies values of type .*holder`
+		total += h.v
+	}
+	return total
+}
+
+func sink(holder) {}
+
+func badArgCopy(h *holder) {
+	sink(*h) // want `call passes a value of type .*holder by value`
+}
+
+func okPointerUse(h *holder) *holder {
+	p := h // copying the pointer is fine
+	sink(holder{})
+	return p
+}

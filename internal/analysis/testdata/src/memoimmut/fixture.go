@@ -1,0 +1,47 @@
+// Package memoimmutfix seeds violations and legal near-misses for the
+// memoimmut analyzer.
+package memoimmutfix
+
+import (
+	"orca/internal/memo"
+	"orca/internal/ops"
+)
+
+func badFieldWrites(ge *memo.GroupExpr, g *memo.Group) {
+	ge.Op = nil        // want `write to memo\.GroupExpr\.Op outside internal/memo`
+	ge.Children = nil  // want `write to memo\.GroupExpr\.Children outside internal/memo`
+	ge.Children[0] = 7 // want `write to memo\.GroupExpr\.Children outside internal/memo`
+	g.ID++             // want `write to memo\.Group\.ID outside internal/memo`
+}
+
+// fakeExpr has the same field names as memo.GroupExpr; writes to it are legal.
+type fakeExpr struct {
+	Op       ops.Operator
+	Children []memo.GroupID
+}
+
+func okFieldAccess(f *fakeExpr, ge *memo.GroupExpr) {
+	f.Op = ge.Op             // reading memo fields is fine
+	f.Children = ge.Children // writing our own struct is fine
+	if len(ge.Children) > 0 {
+		_ = ge.Children[0]
+	}
+}
+
+func badRetention(m *memo.Memo, children []memo.GroupID) {
+	if _, err := m.InsertExpr(&ops.Get{}, children, -1); err != nil {
+		return
+	}
+	children[0] = 1                // want `mutation of slice children after it was passed to Memo\.InsertExpr`
+	children = append(children, 2) // want `append to slice children after it was passed to Memo\.InsertExpr`
+	_ = children
+}
+
+func okRetention(m *memo.Memo, children []memo.GroupID) {
+	children[0] = 1 // mutation before the hand-off is fine
+	cp := append([]memo.GroupID(nil), children...)
+	if _, err := m.InsertExpr(&ops.Get{}, cp, -1); err != nil {
+		return
+	}
+	children[1] = 2 // a different slice than the one handed off
+}

@@ -1,0 +1,87 @@
+// Package opexhaustivefix seeds violations and legal near-misses for the
+// opexhaustive analyzer.
+package opexhaustivefix
+
+import "orca/internal/ops"
+
+func badEnumSwitch(t ops.JoinType) string {
+	switch t { // want `switch over ops\.JoinType is not exhaustive and has no default: missing AntiJoin, LeftJoin, SemiJoin`
+	case ops.InnerJoin:
+		return "inner"
+	}
+	return ""
+}
+
+func okEnumDefault(t ops.JoinType) string {
+	switch t {
+	case ops.InnerJoin:
+		return "inner"
+	default:
+		return "other"
+	}
+}
+
+func okEnumFull(t ops.JoinType) string {
+	switch t {
+	case ops.InnerJoin, ops.LeftJoin:
+		return "plain"
+	case ops.SemiJoin, ops.AntiJoin:
+		return "existential"
+	}
+	return ""
+}
+
+func badBoolKind(k ops.BoolOpKind) int {
+	switch k { // want `switch over ops\.BoolOpKind is not exhaustive and has no default: missing BoolNot`
+	case ops.BoolAnd:
+		return 1
+	case ops.BoolOr:
+		return 2
+	}
+	return 0
+}
+
+func badTypeSwitch(op ops.Operator) int {
+	switch op.(type) { // want `switch over ops\.Operator is not exhaustive and has no default`
+	case *ops.Get:
+		return 1
+	case *ops.Select:
+		return 2
+	}
+	return 0
+}
+
+func okTypeSwitchDefault(op ops.Operator) int {
+	switch op.(type) {
+	case *ops.Get:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// All enforcers are physical operators, so a single interface case covers
+// the whole universe without a default.
+func okInterfaceCovers(e ops.Enforcer) int {
+	switch e.(type) {
+	case ops.Physical:
+		return 1
+	}
+	return 0
+}
+
+// Switches over non-ops enums are out of scope.
+type localKind int
+
+const (
+	kindA localKind = iota
+	kindB
+)
+
+func okLocalEnum(k localKind) int {
+	switch k {
+	case kindA:
+		return 1
+	}
+	return 0
+}

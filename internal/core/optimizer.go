@@ -235,6 +235,8 @@ func explainNode(b *strings.Builder, e *ops.Expr, f *md.ColumnFactory, depth int
 		b.WriteString(strings.Repeat("  ", depth+1))
 		b.WriteString("SubPlan:\n")
 		explainNode(b, op.Plan, f, depth+2)
+	default:
+		// Only the SubPlan operators carry an out-of-line inner plan.
 	}
 }
 

@@ -37,6 +37,8 @@ func serializePlanNode(e *ops.Expr) *Node {
 		n.Add(El("SubPlan").Add(serializePlanNode(op.Plan)))
 	case *ops.SubPlanProject:
 		n.Add(El("SubPlan").Add(serializePlanNode(op.Plan)))
+	default:
+		// Only the SubPlan operators carry an out-of-line inner plan.
 	}
 	return n
 }

@@ -19,8 +19,10 @@ func SerializeScalar(e ops.ScalarExpr) *Node {
 		return El("Comparison").Set("Operator", x.Op.String()).
 			Add(SerializeScalar(x.L), SerializeScalar(x.R))
 	case *ops.BoolOp:
-		kind := "And"
+		var kind string
 		switch x.Kind {
+		case ops.BoolAnd:
+			kind = "And"
 		case ops.BoolOr:
 			kind = "Or"
 		case ops.BoolNot:

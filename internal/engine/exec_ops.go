@@ -173,6 +173,9 @@ func (ex *executor) execHashJoin(op *ops.HashJoin, outerE, innerE *ops.Expr) (*r
 					out.parts[s] = append(out.parts[s], joined)
 				case ops.SemiJoin:
 					out.parts[s] = append(out.parts[s], or)
+				case ops.AntiJoin:
+					// Matched outer rows are excluded; see the unmatched
+					// handling below.
 				}
 				if op.Type == ops.SemiJoin {
 					break
@@ -187,6 +190,8 @@ func (ex *executor) execHashJoin(op *ops.HashJoin, outerE, innerE *ops.Expr) (*r
 				if !matched {
 					out.parts[s] = append(out.parts[s], or)
 				}
+			case ops.InnerJoin, ops.SemiJoin:
+				// Emit-on-match only; nothing to do for unmatched rows.
 			}
 		}
 	}
@@ -268,6 +273,9 @@ func (ex *executor) execNLJoin(op *ops.NLJoin, outerE, innerE *ops.Expr) (*resul
 					out.parts[s] = append(out.parts[s], joined)
 				case ops.SemiJoin:
 					out.parts[s] = append(out.parts[s], or)
+				case ops.AntiJoin:
+					// Matched outer rows are excluded; see the unmatched
+					// handling below.
 				}
 				if op.Type == ops.SemiJoin {
 					break
@@ -282,6 +290,8 @@ func (ex *executor) execNLJoin(op *ops.NLJoin, outerE, innerE *ops.Expr) (*resul
 				if !matched {
 					out.parts[s] = append(out.parts[s], or)
 				}
+			case ops.InnerJoin, ops.SemiJoin:
+				// Emit-on-match only; nothing to do for unmatched rows.
 			}
 		}
 	}

@@ -55,6 +55,16 @@ func TestInsertCreatesGroupsBottomUp(t *testing.T) {
 	if join.Op.Name() != "InnerJoin" || len(join.Children) != 2 {
 		t.Errorf("root gexpr = %s", join)
 	}
+	mustValidate(t, m)
+}
+
+// mustValidate asserts the Memo's structural invariants (see validate.go);
+// it cross-covers the memoimmut static analyzer at runtime.
+func mustValidate(t *testing.T, m *Memo) {
+	t.Helper()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Memo.Validate: %v", err)
+	}
 }
 
 func TestDuplicateDetection(t *testing.T) {
@@ -90,6 +100,7 @@ func TestDuplicateDetection(t *testing.T) {
 	if m.NumExprs() != before+1 {
 		t.Errorf("expected exactly one new expression")
 	}
+	mustValidate(t, m)
 }
 
 func TestGroupLogicalProps(t *testing.T) {

@@ -201,6 +201,8 @@ func (p *Planner) joinPhysical(t ops.JoinType, pred ops.ScalarExpr, l, r *subpla
 	lk, rk, residual := ops.EquiKeys(pred, l.out, r.out)
 	rows := p.joinRows(pred, l, r)
 	switch t {
+	case ops.InnerJoin:
+		// joinRows already estimates the inner join.
 	case ops.LeftJoin:
 		rows = math.Max(rows, l.rows)
 	case ops.SemiJoin:

@@ -227,6 +227,8 @@ func containsSubquery(e ops.ScalarExpr) bool {
 			}
 		}
 		return x.Else != nil && containsSubquery(x.Else)
+	default:
+		// Leaf scalars (Ident, Const) embed no subquery.
 	}
 	return false
 }
@@ -298,6 +300,8 @@ func (p *Planner) planSubPlanFilter(outer *subplan, conjunct ops.ScalarExpr) (*s
 			test := &ops.Cmp{Op: x.Op.Commuted(), L: x.R, R: ops.NewIdent(sq.OutCol, base.TUnknown)}
 			return build(sq, ops.SubScalar, test)
 		}
+	default:
+		// Fall through to the unsupported-conjunct error.
 	}
 	return nil, fmt.Errorf("planner: unsupported subquery conjunct %s", conjunct)
 }

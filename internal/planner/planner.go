@@ -129,6 +129,9 @@ func (p *Planner) inlineCTEs(e *ops.Expr, env map[int]*cteBody) *ops.Expr {
 				elems[i] = ops.ProjElem{Col: el.Col, Expr: p.inlineScalar(el.Expr, env)}
 			}
 			newOp = &ops.Project{Elems: elems}
+		default:
+			// Remaining operators carry no subquery-bearing scalar
+			// parameters in the legacy planner's vocabulary.
 		}
 		return ops.NewExpr(newOp, children...)
 	}

@@ -176,3 +176,53 @@ func TestSchedulerManyParallelLeaves(t *testing.T) {
 		t.Errorf("JobsRun = %d", s.JobsRun)
 	}
 }
+
+func TestSchedulerStressSharedGoals(t *testing.T) {
+	// High-contention stress for the race gate: many parents per level all
+	// depend on the same small set of shared goals, so workers constantly
+	// collide on the dedup table and the suspend/resume condvar path.
+	const (
+		levels  = 6
+		fanout  = 20
+		sharing = 4 // distinct goals per level that all parents contend on
+	)
+	var runs int32
+	var mk func(level, i int) Job
+	mk = func(level, i int) Job {
+		key := fmt.Sprintf("L%d/g%d", level, i%sharing)
+		return &stepJob{key: key, steps: []func() ([]Job, bool, error){
+			func() ([]Job, bool, error) {
+				atomic.AddInt32(&runs, 1)
+				if level == levels {
+					return nil, true, nil
+				}
+				var deps []Job
+				for j := 0; j < fanout; j++ {
+					deps = append(deps, mk(level+1, i*fanout+j))
+				}
+				return deps, false, nil
+			},
+			func() ([]Job, bool, error) { return nil, true, nil },
+		}}
+	}
+	root := &stepJob{key: "stress-root", steps: []func() ([]Job, bool, error){
+		func() ([]Job, bool, error) {
+			var deps []Job
+			for i := 0; i < fanout; i++ {
+				deps = append(deps, mk(1, i))
+			}
+			return deps, false, nil
+		},
+		func() ([]Job, bool, error) { return nil, true, nil },
+	}}
+	s := NewScheduler(16)
+	if err := s.Run(root); err != nil {
+		t.Fatal(err)
+	}
+	// Each of the `sharing` keys per level must run exactly once (the root
+	// itself is not counted; it never increments runs).
+	want := int32(levels * sharing)
+	if runs != want {
+		t.Errorf("distinct goals ran %d times, want %d (dedup broke under contention)", runs, want)
+	}
+}

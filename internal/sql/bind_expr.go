@@ -69,6 +69,8 @@ func (b *binder) bindExpr(e Expr, sc *scope, replaced map[*FuncCall]*md.ColRef) 
 				case ops.SubNotIn:
 					sq.Kind = ops.SubIn
 					return sq, nil
+				case ops.SubScalar:
+					// NOT of a scalar subquery stays a boolean NOT below.
 				}
 			}
 			return ops.Not(arg), nil

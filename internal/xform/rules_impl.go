@@ -154,6 +154,8 @@ func PrunePartitions(rel *md.Relation, cols []*md.ColRef, pred ops.ScalarExpr) (
 				constrained = true
 				eqVals = append(eqVals, vals...)
 			}
+		default:
+			// Other conjunct forms cannot constrain the partition column.
 		}
 	}
 	if !constrained {
