@@ -313,6 +313,50 @@ func BenchmarkMultiStageShortCircuit(b *testing.B) {
 	})
 }
 
+// BenchmarkStageResume measures the shared-Memo stage resume: because every
+// stage searches the same Memo under rule-set epochs, adding a second stage
+// (whether identical or widening a restricted first stage) costs close to
+// nothing compared with the work the first stage already did.
+func BenchmarkStageResume(b *testing.B) {
+	e := env(b)
+	sqlText := ""
+	for _, wq := range tpcds.Workload() {
+		if wq.Name == "q25" {
+			sqlText = wq.SQL
+		}
+	}
+	run := func(b *testing.B, cfg core.Config) {
+		for i := 0; i < b.N; i++ {
+			q, err := sql.Bind(sqlText, md.NewAccessor(e.Cache, e.Provider), md.NewColumnFactory())
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := core.Optimize(q, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.StageRuns) > 1 {
+				last := res.StageRuns[len(res.StageRuns)-1].Search
+				b.ReportMetric(float64(last.TotalSteps()), "resume-steps")
+			}
+		}
+	}
+	b.Run("one-stage", func(b *testing.B) { run(b, core.DefaultConfig(16)) })
+	b.Run("identical-second-stage", func(b *testing.B) {
+		cfg := core.DefaultConfig(16)
+		cfg.Stages = []core.Stage{{Name: "s1"}, {Name: "s2"}}
+		run(b, cfg)
+	})
+	b.Run("widening-second-stage", func(b *testing.B) {
+		cfg := core.DefaultConfig(16)
+		cfg.Stages = []core.Stage{
+			{Name: "greedy", DisabledRules: []string{"ExpandNAryJoinDP"}},
+			{Name: "full"},
+		}
+		run(b, cfg)
+	})
+}
+
 func benchName(prefix string, n int) string {
 	return prefix + "-" + string(rune('0'+n))
 }

@@ -8,7 +8,8 @@
 #            memoimmut, lockcheck, opexhaustive, errdrop
 #   test     go test ./...
 #   race     go test -race over the concurrency-heavy packages
-#            (search scheduler, memo, gpos worker pool)
+#            (search scheduler, memo, gpos worker pool, and core — the
+#            multi-stage driver shares one Memo across scheduler runs)
 #
 # Run from the repository root: ./check.sh
 set -eu
@@ -34,7 +35,7 @@ go run ./cmd/orcavet ./...
 echo "==> go test"
 go test ./...
 
-echo "==> go test -race (scheduler / memo / gpos)"
-go test -race ./internal/search/... ./internal/memo/... ./internal/gpos/...
+echo "==> go test -race (scheduler / memo / gpos / core)"
+go test -race ./internal/search/... ./internal/memo/... ./internal/gpos/... ./internal/core/...
 
 echo "All checks passed."

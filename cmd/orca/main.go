@@ -20,6 +20,7 @@ import (
 	"orca/internal/dxl"
 	"orca/internal/gpos"
 	"orca/internal/md"
+	"orca/internal/search"
 	"orca/internal/sql"
 )
 
@@ -31,6 +32,7 @@ func main() {
 	workers := flag.Int("workers", 1, "optimization job-scheduler workers")
 	emitDXL := flag.Bool("emit-dxl", false, "print the DXL plan message instead of the explain")
 	trace := flag.Bool("trace-memo", false, "dump the final Memo")
+	stats := flag.Bool("stats", false, "print job-scheduler telemetry (steps by kind, queue depth, utilization)")
 	demo := flag.Bool("demo", false, "run the paper's running example (§4.1)")
 	flag.Parse()
 
@@ -78,6 +80,38 @@ func main() {
 		fmt.Printf("plan (cost=%.0f, %d groups, %d group expressions, %d rules fired, %s):\n\n",
 			res.Cost, res.Groups, res.GroupExprs, res.RulesFired, res.Duration.Round(1000*1000))
 		fmt.Println(core.Explain(res.Plan, q.Factory))
+	}
+	if *stats {
+		printSearchStats(res)
+	}
+}
+
+// printSearchStats prints the scheduler telemetry gathered during search:
+// job steps by kind per stage and in total, the peak ready-queue depth, and
+// worker utilization.
+func printSearchStats(res *core.Result) {
+	fmt.Println("--- search stats ---")
+	line := func(name string, s search.Stats, fired int64, timedOut bool) {
+		fmt.Printf("%-12s steps:", name)
+		for k := 0; k < search.NumJobKinds; k++ {
+			fmt.Printf(" %s=%d", search.JobKind(k), s.Steps[k])
+		}
+		fmt.Printf("  total=%d  rules=%d  peak-queue=%d  workers=%d  util=%.0f%%",
+			s.TotalSteps(), fired, s.PeakQueue, s.Workers, 100*s.Utilization())
+		if timedOut {
+			fmt.Print("  (timed out)")
+		}
+		fmt.Println()
+	}
+	for _, run := range res.StageRuns {
+		name := run.Name
+		if name == "" {
+			name = "(stage)"
+		}
+		line("stage "+name, run.Search, run.RulesFired, run.TimedOut)
+	}
+	if len(res.StageRuns) != 1 {
+		line("total", res.Search, res.RulesFired, false)
 	}
 }
 

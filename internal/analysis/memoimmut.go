@@ -8,10 +8,11 @@ import (
 
 // Package paths whose invariants the analyzers enforce.
 const (
-	memoPkgPath = "orca/internal/memo"
-	opsPkgPath  = "orca/internal/ops"
-	gposPkgPath = "orca/internal/gpos"
-	dxlPkgPath  = "orca/internal/dxl"
+	memoPkgPath   = "orca/internal/memo"
+	opsPkgPath    = "orca/internal/ops"
+	gposPkgPath   = "orca/internal/gpos"
+	dxlPkgPath    = "orca/internal/dxl"
+	searchPkgPath = "orca/internal/search"
 )
 
 // MemoImmut enforces the Memo's append-only contract (paper §4.1): once a
@@ -20,9 +21,9 @@ const (
 // optimization contexts both key off them.
 var MemoImmut = &Analyzer{
 	Name: "memoimmut",
-	Doc: "flags writes to memo.Group/memo.GroupExpr fields from outside " +
-		"internal/memo, and mutation of a child-group slice after it was " +
-		"handed to Memo.InsertExpr (the Memo retains the slice)",
+	Doc: "flags writes to memo.Group/memo.GroupExpr/memo.OptContext fields " +
+		"from outside internal/memo, and mutation of a child-group slice " +
+		"after it was handed to Memo.InsertExpr (the Memo retains the slice)",
 	Run: runMemoImmut,
 }
 
@@ -48,7 +49,10 @@ func runMemoImmut(p *Pass) {
 }
 
 // checkMemoWrite flags `x.Field = v` and `x.Children[i] = v` where x is a
-// memo.Group or memo.GroupExpr.
+// memo.Group, memo.GroupExpr, memo.Memo or memo.OptContext. OptContext is
+// covered because the goal-driven search relies on its Group/Req binding and
+// per-epoch completion markers being written only through the memo package's
+// accessors (Offer/MarkDone).
 func checkMemoWrite(p *Pass, lhs ast.Expr) {
 	lhs = ast.Unparen(lhs)
 	if idx, ok := lhs.(*ast.IndexExpr); ok {
@@ -59,7 +63,7 @@ func checkMemoWrite(p *Pass, lhs ast.Expr) {
 		return
 	}
 	base := p.TypeOf(sel.X)
-	for _, name := range [...]string{"Group", "GroupExpr", "Memo"} {
+	for _, name := range [...]string{"Group", "GroupExpr", "Memo", "OptContext"} {
 		if isNamed(base, memoPkgPath, name) {
 			p.Reportf(sel.Pos(), "write to memo.%s.%s outside internal/memo: memo structures are append-only once inserted", name, sel.Sel.Name)
 			return

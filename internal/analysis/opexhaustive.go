@@ -13,21 +13,28 @@ import (
 // across the optimizer's layers. The operator vocabulary lives in
 // internal/ops in two forms: the concrete operator types behind the
 // Operator/Logical/Physical/Enforcer/ScalarExpr interfaces, and the
-// parameter enums (JoinType, AggMode, CmpOp, BoolOpKind, ...). A switch in
-// another package over either form must cover every kind or carry an
-// explicit default; otherwise a newly added operator silently falls through
-// in cost, stats, DXL or xform code.
+// parameter enums (JoinType, AggMode, CmpOp, BoolOpKind, ...); internal/
+// search adds the scheduler's job-kind enum (JobKind). A switch in another
+// package over any of these must cover every kind or carry an explicit
+// default; otherwise a newly added operator or job kind silently falls
+// through in cost, stats, DXL, xform or telemetry code.
 var OpExhaustive = &Analyzer{
 	Name: "opexhaustive",
-	Doc: "flags switches over internal/ops operator interfaces or enums " +
-		"that miss a kind and have no default clause",
+	Doc: "flags switches over internal/ops operator interfaces, or enums " +
+		"from internal/ops and internal/search, that miss a kind and have " +
+		"no default clause",
 	Run: runOpExhaustive,
 }
 
+// enumPkgPaths are the packages whose constant enums must be switched over
+// exhaustively. The declaring package itself is exempt: it may define
+// partial helpers over its own vocabulary.
+var enumPkgPaths = map[string]bool{
+	opsPkgPath:    true,
+	searchPkgPath: true,
+}
+
 func runOpExhaustive(p *Pass) {
-	if p.Pkg.Types.Path() == opsPkgPath {
-		return // the vocabulary package itself may define partial helpers
-	}
 	p.walkStack(func(n ast.Node, stack []ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.SwitchStmt:
@@ -40,14 +47,17 @@ func runOpExhaustive(p *Pass) {
 }
 
 // checkEnumSwitch handles `switch v { case ops.InnerJoin: ... }` where v has
-// a constant-enum type declared in internal/ops.
+// a constant-enum type declared in one of the enum vocabulary packages.
 func checkEnumSwitch(p *Pass, sw *ast.SwitchStmt) {
 	if sw.Tag == nil {
 		return
 	}
 	named := namedType(p.TypeOf(sw.Tag))
-	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != opsPkgPath {
+	if named == nil || named.Obj().Pkg() == nil || !enumPkgPaths[named.Obj().Pkg().Path()] {
 		return
+	}
+	if named.Obj().Pkg().Path() == p.Pkg.Types.Path() {
+		return // the vocabulary package itself may define partial helpers
 	}
 	if _, ok := named.Underlying().(*types.Basic); !ok {
 		return
@@ -87,7 +97,7 @@ func checkEnumSwitch(p *Pass, sw *ast.SwitchStmt) {
 			missing = append(missing, name)
 		}
 	}
-	reportMissing(p, sw.Pos(), fmt.Sprintf("ops.%s", named.Obj().Name()), missing)
+	reportMissing(p, sw.Pos(), fmt.Sprintf("%s.%s", named.Obj().Pkg().Name(), named.Obj().Name()), missing)
 }
 
 // checkTypeSwitch handles `switch op.(type)` where the scrutinee's static
@@ -95,6 +105,9 @@ func checkEnumSwitch(p *Pass, sw *ast.SwitchStmt) {
 // implementor must be covered by a concrete case or a broader interface
 // case, unless a default is present.
 func checkTypeSwitch(p *Pass, sw *ast.TypeSwitchStmt) {
+	if p.Pkg.Types.Path() == opsPkgPath {
+		return // the vocabulary package itself may define partial helpers
+	}
 	var x ast.Expr
 	switch a := sw.Assign.(type) {
 	case *ast.ExprStmt:

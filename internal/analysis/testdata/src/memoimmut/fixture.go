@@ -5,6 +5,7 @@ package memoimmutfix
 import (
 	"orca/internal/memo"
 	"orca/internal/ops"
+	"orca/internal/props"
 )
 
 func badFieldWrites(ge *memo.GroupExpr, g *memo.Group) {
@@ -12,6 +13,21 @@ func badFieldWrites(ge *memo.GroupExpr, g *memo.Group) {
 	ge.Children = nil  // want `write to memo\.GroupExpr\.Children outside internal/memo`
 	ge.Children[0] = 7 // want `write to memo\.GroupExpr\.Children outside internal/memo`
 	g.ID++             // want `write to memo\.Group\.ID outside internal/memo`
+}
+
+// OptContext carries the best-so-far plan and the per-epoch completion
+// markers; rebinding its request or group would detach the accumulated best
+// plan from its goal.
+func badCtxWrites(c *memo.OptContext) {
+	c.Group = nil            // want `write to memo\.OptContext\.Group outside internal/memo`
+	c.Req = props.Required{} // want `write to memo\.OptContext\.Req outside internal/memo`
+}
+
+func okCtxReads(c *memo.OptContext) (float64, bool) {
+	_ = c.Group // reading OptContext fields is fine
+	_ = c.Req
+	_, _, ok := c.Best()
+	return c.BestCost(), ok
 }
 
 // fakeExpr has the same field names as memo.GroupExpr; writes to it are legal.

@@ -2,7 +2,10 @@
 // opexhaustive analyzer.
 package opexhaustivefix
 
-import "orca/internal/ops"
+import (
+	"orca/internal/ops"
+	"orca/internal/search"
+)
 
 func badEnumSwitch(t ops.JoinType) string {
 	switch t { // want `switch over ops\.JoinType is not exhaustive and has no default: missing AntiJoin, LeftJoin, SemiJoin`
@@ -70,7 +73,36 @@ func okInterfaceCovers(e ops.Enforcer) int {
 	return 0
 }
 
-// Switches over non-ops enums are out of scope.
+// The scheduler's job-kind enum is part of the enforced vocabulary: a
+// telemetry printer that misses a kind would silently drop its counters.
+func badJobKindSwitch(k search.JobKind) int {
+	switch k { // want `switch over search\.JobKind is not exhaustive and has no default: missing JobImp, JobOpt, JobStats, JobXform`
+	case search.JobExp:
+		return 1
+	}
+	return 0
+}
+
+func okJobKindDefault(k search.JobKind) string {
+	switch k {
+	case search.JobExp:
+		return "exp"
+	default:
+		return "other"
+	}
+}
+
+func okJobKindFull(k search.JobKind) bool {
+	switch k {
+	case search.JobExp, search.JobImp, search.JobOpt, search.JobXform:
+		return false
+	case search.JobStats:
+		return true
+	}
+	return false
+}
+
+// Switches over non-vocabulary enums are out of scope.
 type localKind int
 
 const (

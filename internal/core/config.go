@@ -19,8 +19,13 @@ type Stage struct {
 	Name string
 	// DisabledRules names transformation rules switched off in this stage.
 	DisabledRules []string
-	// Timeout bounds the stage's wall-clock time (0 = none).
+	// Timeout bounds the stage's wall-clock time (0 = none). A stage cut
+	// short keeps the best plan found so far rather than discarding its work.
 	Timeout time.Duration
+	// StepLimit bounds the stage's scheduler job steps (0 = none). It is the
+	// deterministic analogue of Timeout: the same query and configuration
+	// always stop at the same point in the search.
+	StepLimit int64
 	// CostThreshold stops the multi-stage loop early once a stage produces
 	// a plan at or below this cost (0 = none).
 	CostThreshold float64

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -31,6 +32,21 @@ type Query struct {
 	Accessor *md.Accessor
 }
 
+// StageRun records one optimization stage's outcome.
+type StageRun struct {
+	// Name is the stage's configured name.
+	Name string
+	// Cost is the best root plan cost after the stage (InfCost if none).
+	Cost float64
+	// TimedOut reports the stage hit its Timeout or StepLimit; the Memo then
+	// keeps the best plan found so far instead of discarding the stage.
+	TimedOut bool
+	// RulesFired counts transformation-rule applications in this stage.
+	RulesFired int64
+	// Search is the stage's scheduler telemetry.
+	Search search.Stats
+}
+
 // Result is the outcome of one optimization session.
 type Result struct {
 	// Plan is the extracted physical plan.
@@ -50,8 +66,13 @@ type Result struct {
 	// PeakMemBytes is the accountant's high-water mark.
 	PeakMemBytes int64
 
+	// Search aggregates the scheduler telemetry of all stages.
+	Search search.Stats
+	// StageRuns lists each executed stage's outcome in run order.
+	StageRuns []StageRun
+
 	// Memo, RootGroup and RootReq expose the search state for tooling (TAQO
-	// plan sampling, tests); they refer to the winning stage's Memo.
+	// plan sampling, tests). All stages share this one Memo.
 	Memo      *memo.Memo
 	RootGroup memo.GroupID
 	RootReq   props.Required
@@ -60,11 +81,20 @@ type Result struct {
 	MemoTrace string
 }
 
-// Optimize runs the full optimization workflow over a bound query:
-// normalize, then for each configured stage: copy-in, explore, derive
-// statistics, implement, optimize, extract (paper §4.1). The best plan
-// across stages wins; a stage finishing under its cost threshold short-
-// circuits the remaining stages.
+// Optimize runs the full optimization workflow over a bound query
+// (paper §4.1): normalize, copy-in to the Memo, then one goal-driven search
+// pass per configured stage starting at the root optimization goal
+// {Singleton, <order>}. Exploration, implementation and statistics
+// derivation are scheduled on demand as dependencies of that goal rather
+// than as whole-Memo phases.
+//
+// All stages share the Memo: a later stage re-enables rules against the
+// accumulated groups and resumes search under its own rule-set epoch, so
+// work done by earlier stages (exploration, implementation, costing,
+// statistics) is never repeated. A stage cut short by its timeout or step
+// budget keeps the best plan found so far. The best plan across stages
+// wins; a stage finishing under its cost threshold short-circuits the
+// remaining stages.
 func Optimize(q *Query, cfg Config) (*Result, error) {
 	start := time.Now()
 	mem := &gpos.MemoryAccountant{}
@@ -74,36 +104,6 @@ func Optimize(q *Query, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	var best *Result
-	var lastErr error
-	for i, stage := range cfg.effectiveStages() {
-		st := stage
-		res, err := runStage(q, tree, cfg, &st, mem)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if best == nil || res.Cost < best.Cost {
-			best = res
-		}
-		if st.CostThreshold > 0 && best.Cost <= st.CostThreshold {
-			break
-		}
-		_ = i
-	}
-	if best == nil {
-		if lastErr != nil {
-			return nil, lastErr
-		}
-		return nil, gpos.Raise(gpos.CompOptimizer, "NoPlan", "no optimization stage produced a plan")
-	}
-	best.Duration = time.Since(start)
-	best.PeakMemBytes = mem.Peak()
-	return best, nil
-}
-
-// runStage executes one complete optimization workflow.
-func runStage(q *Query, tree *ops.Expr, cfg Config, stage *Stage, mem *gpos.MemoryAccountant) (*Result, error) {
 	m := memo.New(mem)
 	root, err := m.Insert(tree)
 	if err != nil {
@@ -120,79 +120,83 @@ func runStage(q *Query, tree *ops.Expr, cfg Config, stage *Stage, mem *gpos.Memo
 		Segments:         cfg.Segments,
 		JoinOrderDPLimit: cfg.JoinOrderDPLimit,
 	}
-
-	disabled := cfg.disabled(stage)
-	var explorations, implementations []xform.Rule
-	for _, r := range xform.DefaultRules() {
-		if disabled[r.Name()] {
-			continue
-		}
-		if r.Kind() == xform.Exploration {
-			explorations = append(explorations, r)
-		} else {
-			implementations = append(implementations, r)
-		}
-	}
-
 	segments := cfg.Segments
 	if segments < 1 {
 		segments = 1
 	}
 	opt := &search.Optimizer{
-		Memo:            m,
-		XCtx:            xctx,
-		Cost:            cost.NewModel(cost.DefaultParams(segments)),
-		Explorations:    explorations,
-		Implementations: implementations,
-	}
-
-	var deadline time.Time
-	if stage.Timeout > 0 {
-		deadline = time.Now().Add(stage.Timeout)
+		Memo: m,
+		XCtx: xctx,
+		Cost: cost.NewModel(cost.DefaultParams(segments)),
 	}
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
 	}
-
-	// (1) Exploration.
-	if err := opt.Explore(root, workers, deadline); err != nil {
-		return nil, err
-	}
-	// (2) Statistics derivation on the compact Memo. The root walk registers
-	// CTE producer statistics before consumers need them; the full sweep
-	// covers groups off the promising path.
-	if _, err := m.DeriveStats(root, sctx); err != nil {
-		return nil, err
-	}
-	for gid := 0; gid < m.NumGroups(); gid++ {
-		if _, err := m.DeriveStats(memo.GroupID(gid), sctx); err != nil {
-			return nil, err
-		}
-	}
-	// (3+4) Implementation and optimization, driven by the initial request
-	// {Singleton, <order>} (paper Figure 6, req #1).
+	rules := xform.DefaultRules()
 	req := props.Required{Dist: props.SingletonDist, Order: q.Order}
-	bestCost, err := opt.Optimize(root, req, workers, deadline)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := m.ExtractPlan(root, req)
-	if err != nil {
-		return nil, err
-	}
 
 	res := &Result{
-		Plan:       plan,
-		Cost:       bestCost,
-		Stage:      stage.Name,
-		Groups:     m.NumGroups(),
-		GroupExprs: m.NumExprs(),
-		RulesFired: opt.RulesFired.Load(),
-		Memo:       m,
-		RootGroup:  root,
-		RootReq:    req,
+		Cost:      memo.InfCost,
+		Memo:      m,
+		RootGroup: root,
+		RootReq:   req,
 	}
+	var errs []error
+	var prevFired int64
+	for _, stage := range cfg.effectiveStages() {
+		st := stage
+		xctx.SetRuleSet(rules, cfg.disabled(&st))
+		var deadline time.Time
+		if st.Timeout > 0 {
+			deadline = time.Now().Add(st.Timeout)
+		}
+		bestCost, sstats, err := opt.RunStage(root, req, workers, deadline, st.StepLimit)
+		fired := opt.RulesFired.Load()
+		run := StageRun{
+			Name:       st.Name,
+			Cost:       bestCost,
+			TimedOut:   errors.Is(err, search.ErrTimeout),
+			RulesFired: fired - prevFired,
+			Search:     sstats,
+		}
+		prevFired = fired
+		res.Search.Merge(sstats)
+		res.StageRuns = append(res.StageRuns, run)
+		if err != nil && !run.TimedOut {
+			errs = append(errs, fmt.Errorf("stage %s: %w", st.Name, err))
+			continue
+		}
+		// The root context only ever improves (Offer keeps the minimum), so a
+		// strictly better cost means this stage found a better plan — extract
+		// it. A timed-out stage extracts its best-so-far plan the same way.
+		if bestCost < res.Cost {
+			plan, err := m.ExtractPlan(root, req)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("stage %s: %w", st.Name, err))
+				continue
+			}
+			res.Plan = plan
+			res.Cost = bestCost
+			res.Stage = st.Name
+		} else if run.TimedOut && res.Plan == nil {
+			errs = append(errs, fmt.Errorf("stage %s: %w", st.Name, search.ErrTimeout))
+		}
+		if res.Plan != nil && st.CostThreshold > 0 && res.Cost <= st.CostThreshold {
+			break
+		}
+	}
+	if res.Plan == nil {
+		if len(errs) > 0 {
+			return nil, errors.Join(errs...)
+		}
+		return nil, gpos.Raise(gpos.CompOptimizer, "NoPlan", "no optimization stage produced a plan")
+	}
+	res.Groups = m.NumGroups()
+	res.GroupExprs = m.NumExprs()
+	res.RulesFired = opt.RulesFired.Load()
+	res.Duration = time.Since(start)
+	res.PeakMemBytes = mem.Peak()
 	if cfg.TraceMemo {
 		res.MemoTrace = m.String()
 	}

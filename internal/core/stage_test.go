@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"orca/internal/memo"
+	"orca/internal/search"
+)
+
+// TestStageTimeoutBestSoFar checks the best-so-far timeout semantics: a
+// stage cut short by its step budget keeps the best plan accumulated in the
+// root optimization context instead of discarding the stage, and the
+// abandoned Memo still satisfies all structural invariants.
+func TestStageTimeoutBestSoFar(t *testing.T) {
+	q, _ := paperExample(t)
+	cfg := DefaultConfig(16) // Workers=1: deterministic step counts
+	full, err := Optimize(q, cfg)
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	total := full.Search.TotalSteps()
+	if total < 10 {
+		t.Fatalf("suspiciously small search: %d steps", total)
+	}
+
+	// With one worker the root Opt goal completes last, so cutting exactly
+	// one step short loses only the root's final completion mark — the best
+	// plan is already in place and must match the full run's.
+	q2, _ := paperExample(t)
+	cfg2 := DefaultConfig(16)
+	cfg2.Stages = []Stage{{Name: "budget", StepLimit: total - 1}}
+	res, err := Optimize(q2, cfg2)
+	if err != nil {
+		t.Fatalf("budgeted run: %v", err)
+	}
+	if len(res.StageRuns) != 1 || !res.StageRuns[0].TimedOut {
+		t.Fatalf("stage should have timed out: %+v", res.StageRuns)
+	}
+	if res.Plan == nil {
+		t.Fatal("no best-so-far plan")
+	}
+	if res.Cost != full.Cost {
+		t.Errorf("best-so-far cost %v, want full cost %v", res.Cost, full.Cost)
+	}
+	if err := res.Memo.Validate(); err != nil {
+		t.Errorf("abandoned Memo invalid: %v", err)
+	}
+
+	// Mid-search budgets: whatever plan comes out must be valid and no better
+	// than the optimum; runs with no plan yet must report the timeout.
+	for _, budget := range []int64{total / 2, total / 3, total / 4, total / 8} {
+		if budget < 1 {
+			continue
+		}
+		q3, _ := paperExample(t)
+		cfg3 := DefaultConfig(16)
+		cfg3.Stages = []Stage{{Name: "budget", StepLimit: budget}}
+		res, err := Optimize(q3, cfg3)
+		if err != nil {
+			if !errors.Is(err, search.ErrTimeout) {
+				t.Errorf("budget %d: want ErrTimeout in %v", budget, err)
+			}
+			continue
+		}
+		if res.Plan == nil {
+			t.Errorf("budget %d: nil plan without error", budget)
+			continue
+		}
+		if res.Cost < full.Cost {
+			t.Errorf("budget %d: best-so-far cost %v beats full optimum %v", budget, res.Cost, full.Cost)
+		}
+		if err := res.Memo.Validate(); err != nil {
+			t.Errorf("budget %d: abandoned Memo invalid: %v", budget, err)
+		}
+	}
+}
+
+// TestStageTimeoutErrorAndRescue checks that a hopeless deadline surfaces
+// ErrTimeout, and that a later stage rescues the session by resuming the
+// same Memo.
+func TestStageTimeoutErrorAndRescue(t *testing.T) {
+	q, _ := paperExample(t)
+	cfg := DefaultConfig(16)
+	cfg.Stages = []Stage{{Name: "tiny", Timeout: time.Nanosecond}}
+	if _, err := Optimize(q, cfg); !errors.Is(err, search.ErrTimeout) {
+		t.Errorf("want ErrTimeout from hopeless single stage, got %v", err)
+	}
+
+	q2, _ := paperExample(t)
+	cfg2 := DefaultConfig(16)
+	cfg2.Stages = []Stage{
+		{Name: "tiny", Timeout: time.Nanosecond},
+		{Name: "full"},
+	}
+	res, err := Optimize(q2, cfg2)
+	if err != nil {
+		t.Fatalf("rescued run: %v", err)
+	}
+	if res.Plan == nil || res.Stage != "full" {
+		t.Fatalf("second stage should produce the plan, got stage %q", res.Stage)
+	}
+	if len(res.StageRuns) != 2 || !res.StageRuns[0].TimedOut || res.StageRuns[1].TimedOut {
+		t.Errorf("stage outcomes wrong: %+v", res.StageRuns)
+	}
+}
+
+// TestStageReuseSharedMemo checks that stages share one Memo: an identical
+// second stage is a no-op resume, and a widened second stage fires only the
+// newly enabled rules.
+func TestStageReuseSharedMemo(t *testing.T) {
+	// Identical rule sets share an epoch: stage 2 must collapse to the single
+	// root Opt step that observes the context already done — zero exploration,
+	// implementation, transformation or statistics work.
+	q, _ := paperExample(t)
+	cfg := DefaultConfig(16)
+	cfg.Stages = []Stage{{Name: "s1"}, {Name: "s2"}}
+	res, err := Optimize(q, cfg)
+	if err != nil {
+		t.Fatalf("identical stages: %v", err)
+	}
+	if len(res.StageRuns) != 2 {
+		t.Fatalf("want 2 stage runs, got %d", len(res.StageRuns))
+	}
+	s2 := res.StageRuns[1]
+	if s2.RulesFired != 0 {
+		t.Errorf("identical stage 2 fired %d rules, want 0", s2.RulesFired)
+	}
+	for _, k := range []search.JobKind{search.JobExp, search.JobImp, search.JobXform, search.JobStats} {
+		if n := s2.Search.Steps[k]; n != 0 {
+			t.Errorf("identical stage 2 ran %d %s steps, want 0", n, k)
+		}
+	}
+	if n := s2.Search.Steps[search.JobOpt]; n != 1 {
+		t.Errorf("identical stage 2 ran %d opt steps, want exactly 1 (the done check)", n)
+	}
+
+	// A widened second stage re-walks under its own epoch, but the applied
+	// ledger spans epochs: every transformation step fires a genuinely new
+	// rule (no duplicate rule applications), and stage 2 does strictly less
+	// transformation work than a fresh full run.
+	q2, _ := paperExample(t)
+	cfg2 := DefaultConfig(16)
+	cfg2.Stages = []Stage{
+		{Name: "crippled", DisabledRules: []string{"Join2HashJoin"}},
+		{Name: "full"},
+	}
+	res2, err := Optimize(q2, cfg2)
+	if err != nil {
+		t.Fatalf("widened stages: %v", err)
+	}
+	if res2.Stage != "full" {
+		t.Errorf("full stage should win, got %q", res2.Stage)
+	}
+	var totalFired int64
+	for _, run := range res2.StageRuns {
+		if run.Search.Steps[search.JobXform] != run.RulesFired {
+			t.Errorf("stage %s: %d xform steps but %d rules fired — duplicate transformation work",
+				run.Name, run.Search.Steps[search.JobXform], run.RulesFired)
+		}
+		totalFired += run.RulesFired
+	}
+	if totalFired != res2.RulesFired {
+		t.Errorf("per-stage fired %d != total %d", totalFired, res2.RulesFired)
+	}
+	qf, _ := paperExample(t)
+	fresh, err := Optimize(qf, DefaultConfig(16))
+	if err != nil {
+		t.Fatalf("fresh full run: %v", err)
+	}
+	if s2 := res2.StageRuns[1]; s2.RulesFired >= fresh.RulesFired {
+		t.Errorf("resumed full stage fired %d rules, want fewer than a fresh run's %d",
+			s2.RulesFired, fresh.RulesFired)
+	}
+
+	// On-demand statistics: every group search costed has statistics, and the
+	// eager whole-Memo sweep is gone — the Memo may hold groups that were
+	// never costed and so never derived statistics.
+	costed, withStats := 0, 0
+	for gid := 0; gid < res2.Memo.NumGroups(); gid++ {
+		g := res2.Memo.Group(memo.GroupID(gid))
+		if len(g.Contexts()) == 0 {
+			continue
+		}
+		costed++
+		if g.Stats() != nil {
+			withStats++
+		}
+	}
+	if costed == 0 {
+		t.Fatal("no groups were costed")
+	}
+	if withStats != costed {
+		t.Errorf("%d of %d costed groups have statistics", withStats, costed)
+	}
+}

@@ -25,13 +25,21 @@ import (
 type GroupID int32
 
 // Memo is the plan-space structure. All methods are safe for concurrent use
-// by optimization jobs.
+// by optimization jobs. One Memo serves a whole optimization session: when
+// the session runs multiple stages, later stages resume search over the same
+// Memo instead of rebuilding it (group state is tracked per rule-set epoch,
+// see Group).
 type Memo struct {
 	mu     sync.Mutex
 	groups []*Group
 	// fingerprints provides the duplicate detection "based on expression
 	// topology" (paper §4.1 step 1): operator parameters plus child groups.
 	fingerprints map[uint64][]*GroupExpr
+	// cteProducers maps a CTE id to the group holding its producer side,
+	// recorded when the CTE anchor is inserted. On-demand statistics
+	// derivation uses it to reach producer statistics from a consumer group
+	// without walking the whole Memo from the root.
+	cteProducers map[int]GroupID
 	mem          *gpos.MemoryAccountant
 
 	root GroupID
@@ -39,7 +47,11 @@ type Memo struct {
 
 // New returns an empty Memo charging the given accountant (may be nil).
 func New(mem *gpos.MemoryAccountant) *Memo {
-	return &Memo{fingerprints: make(map[uint64][]*GroupExpr), mem: mem}
+	return &Memo{
+		fingerprints: make(map[uint64][]*GroupExpr),
+		cteProducers: make(map[int]GroupID),
+		mem:          mem,
+	}
 }
 
 // Root returns the root group id.
@@ -108,6 +120,12 @@ func (m *Memo) InsertExpr(op ops.Operator, children []GroupID, target GroupID) (
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
+	if a, ok := op.(*ops.CTEAnchor); ok && len(children) > 0 {
+		if _, seen := m.cteProducers[a.ID]; !seen {
+			m.cteProducers[a.ID] = children[0]
+		}
+	}
+
 	var grp *Group
 	if target >= 0 {
 		grp = m.groups[int(target)]
@@ -144,6 +162,15 @@ func (m *Memo) InsertExpr(op ops.Operator, children []GroupID, target GroupID) (
 	grp.mu.Unlock()
 	m.mem.Charge(128)
 	return ge, nil
+}
+
+// CTEProducer returns the group holding the producer side of the CTE with
+// the given id, recorded when its anchor was inserted.
+func (m *Memo) CTEProducer(id int) (GroupID, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.cteProducers[id]
+	return g, ok
 }
 
 func (m *Memo) newGroupLocked() *Group {
@@ -193,6 +220,14 @@ func (m *Memo) String() string {
 
 // Group is a container of logically equivalent expressions capturing one
 // sub-goal of the query (paper §3).
+//
+// Exploration and implementation completion are tracked per rule-set epoch
+// rather than as one-shot booleans: each optimization stage activates a rule
+// set (xform.Context.SetRuleSet) and stages with identical rule sets share
+// an epoch. A later stage with a different rule set therefore resumes search
+// over the same Memo — groups re-enter exploration/implementation under the
+// new epoch, and the per-expression applied-rule ledger confines the work to
+// rules that have not fired yet.
 type Group struct {
 	ID   GroupID
 	memo *Memo
@@ -202,8 +237,8 @@ type Group struct {
 
 	logical  *props.Logical
 	stats    *stats.Stats
-	explored bool
-	impl     bool
+	explored map[int]bool    // rule-set epochs whose exploration completed
+	impl     map[int]bool    // rule-set epochs whose implementation completed
 	enforced map[uint64]bool // requests whose enforcers were added
 	ctxs     map[uint64][]*OptContext
 }
@@ -229,31 +264,39 @@ func (g *Group) Expr(i int) *GroupExpr {
 	return g.exprs[i]
 }
 
-// Explored reports whether exploration finished for this group.
-func (g *Group) Explored() bool {
+// Explored reports whether exploration finished for this group under the
+// given rule-set epoch.
+func (g *Group) Explored(epoch int) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.explored
+	return g.explored[epoch]
 }
 
-// SetExplored marks exploration complete.
-func (g *Group) SetExplored() {
+// SetExplored marks exploration complete for the given rule-set epoch.
+func (g *Group) SetExplored(epoch int) {
 	g.mu.Lock()
-	g.explored = true
+	if g.explored == nil {
+		g.explored = make(map[int]bool)
+	}
+	g.explored[epoch] = true
 	g.mu.Unlock()
 }
 
-// Implemented reports whether implementation finished for this group.
-func (g *Group) Implemented() bool {
+// Implemented reports whether implementation finished for this group under
+// the given rule-set epoch.
+func (g *Group) Implemented(epoch int) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.impl
+	return g.impl[epoch]
 }
 
-// SetImplemented marks implementation complete.
-func (g *Group) SetImplemented() {
+// SetImplemented marks implementation complete for the given rule-set epoch.
+func (g *Group) SetImplemented(epoch int) {
 	g.mu.Lock()
-	g.impl = true
+	if g.impl == nil {
+		g.impl = make(map[int]bool)
+	}
+	g.impl[epoch] = true
 	g.mu.Unlock()
 }
 
@@ -379,19 +422,48 @@ func (ge *GroupExpr) MarkApplied(rule string) bool {
 	return true
 }
 
+// Applied reports whether the named rule already ran on this expression.
+// The ledger spans rule-set epochs, so a stage resuming search over a shared
+// Memo skips transformations an earlier stage performed.
+func (ge *GroupExpr) Applied(rule string) bool {
+	ge.mu.Lock()
+	defer ge.mu.Unlock()
+	return ge.applied[rule]
+}
+
 // AddCandidate records a costed alternative for the request in the local
-// hash table.
+// hash table. Re-costing the same alternative (same child requests) in a
+// later optimization pass replaces the earlier entry rather than appending a
+// duplicate, so the candidate list stays one entry per distinct alternative.
 func (ge *GroupExpr) AddCandidate(req props.Required, c Candidate) {
 	h := req.Hash()
 	ge.mu.Lock()
 	defer ge.mu.Unlock()
 	for _, l := range ge.local[h] {
 		if l.req.Equal(req) {
+			for i := range l.candidates {
+				if sameChildReqs(l.candidates[i].ChildReqs, c.ChildReqs) {
+					l.candidates[i] = c
+					return
+				}
+			}
 			l.candidates = append(l.candidates, c)
 			return
 		}
 	}
 	ge.local[h] = append(ge.local[h], &localLink{req: req, candidates: []Candidate{c}})
+}
+
+func sameChildReqs(a, b []props.Required) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Candidates returns the costed alternatives recorded for a request.

@@ -15,12 +15,18 @@ var InfCost = math.Inf(1)
 // OptContext is one entry of a group's hash table (paper Figure 6): an
 // optimization request together with the best group expression found for it
 // and the linkage needed to extract the plan.
+//
+// The best candidate is updated as alternatives are costed, so at any point
+// during search it holds the best plan found so far — a stage cut off by its
+// deadline extracts this best-so-far plan instead of discarding its work.
+// Completion is tracked per rule-set epoch: a later stage with new rules
+// re-optimizes the context against the same Memo and can only improve it.
 type OptContext struct {
 	Group *Group
 	Req   props.Required
 
 	mu       sync.Mutex
-	done     bool
+	done     map[int]bool // rule-set epochs whose optimization completed
 	best     *GroupExpr
 	bestCand Candidate
 	haveBest bool
@@ -98,18 +104,22 @@ func (c *OptContext) BestCost() float64 {
 	return c.bestCand.Cost
 }
 
-// MarkDone marks the context fully optimized.
-func (c *OptContext) MarkDone() {
+// MarkDone marks the context fully optimized under the given rule-set epoch.
+func (c *OptContext) MarkDone(epoch int) {
 	c.mu.Lock()
-	c.done = true
+	if c.done == nil {
+		c.done = make(map[int]bool)
+	}
+	c.done[epoch] = true
 	c.mu.Unlock()
 }
 
-// Done reports whether optimization of this context completed.
-func (c *OptContext) Done() bool {
+// Done reports whether optimization of this context completed under the
+// given rule-set epoch.
+func (c *OptContext) Done(epoch int) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.done
+	return c.done[epoch]
 }
 
 // ---------------------------------------------------------------------------

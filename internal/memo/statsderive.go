@@ -10,7 +10,9 @@ import (
 // reliable statistics, recursively derives the child groups, and combines
 // the child statistics objects. The derived object is attached to the group
 // so later requests reuse it, keeping derivation cost manageable on the
-// compact Memo.
+// compact Memo. Derivation is on demand — the search scheduler triggers it
+// per group when the group is first costed, so only groups reached by search
+// carry statistics.
 func (m *Memo) DeriveStats(gid GroupID, ctx *stats.Context) (*stats.Stats, error) {
 	g := m.Group(gid)
 	if s := g.Stats(); s != nil {
@@ -33,6 +35,19 @@ func (m *Memo) DeriveStats(gid GroupID, ctx *stats.Context) (*stats.Stats, error
 		ctx.RegisterCTE(anchor.ID, prodStats)
 	}
 
+	// A consumer reached before its anchor: with on-demand derivation there
+	// is no root-first walk guaranteeing the producer was visited, so pull
+	// the producer group in through the Memo's anchor registry.
+	if cons, ok := ge.Op.(*ops.CTEConsumer); ok && !ctx.HasCTE(cons.ID) {
+		if prod, found := m.CTEProducer(cons.ID); found {
+			prodStats, err := m.DeriveStats(prod, ctx)
+			if err != nil {
+				return nil, err
+			}
+			ctx.RegisterCTE(cons.ID, prodStats)
+		}
+	}
+
 	childStats := make([]*stats.Stats, len(ge.Children))
 	for i, cid := range ge.Children {
 		cs, err := m.DeriveStats(cid, ctx)
@@ -47,6 +62,30 @@ func (m *Memo) DeriveStats(gid GroupID, ctx *stats.Context) (*stats.Stats, error
 	}
 	g.SetStats(s)
 	return s, nil
+}
+
+// StatsSources returns the groups whose statistics this group's derivation
+// will consult: the promising expression's children, plus the CTE producer
+// group when the promising expression is a consumer whose producer is not
+// registered yet. The search scheduler uses this to run statistics
+// derivation of the inputs as dependency jobs (deduplicated by goal) before
+// combining them. It returns nil once the group's statistics exist.
+func (m *Memo) StatsSources(gid GroupID, ctx *stats.Context) []GroupID {
+	g := m.Group(gid)
+	if g.Stats() != nil {
+		return nil
+	}
+	ge := g.promisingExpr()
+	if ge == nil {
+		return nil
+	}
+	srcs := append([]GroupID(nil), ge.Children...)
+	if cons, ok := ge.Op.(*ops.CTEConsumer); ok && !ctx.HasCTE(cons.ID) {
+		if prod, found := m.CTEProducer(cons.ID); found {
+			srcs = append(srcs, prod)
+		}
+	}
+	return srcs
 }
 
 // promisingExpr selects the expression used for statistics derivation. The

@@ -16,7 +16,9 @@ import (
 //   - group IDs are dense and match their slice positions;
 //   - every group belongs to this Memo and holds at least one expression;
 //   - every expression's back-pointer names its owning group;
-//   - child group IDs are in range and never self-referential;
+//   - child group IDs are in range and never self-referential — except for
+//     enforcers, which by construction wrap their own group (paper Figure 6:
+//     "6: Sort(T1.a) [0]");
 //   - stored fingerprints match a fresh recomputation (detects post-insert
 //     mutation of operators or child slices);
 //   - duplicate detection holds: no two expressions of a group match, and
@@ -56,7 +58,7 @@ func (m *Memo) Validate() error {
 				if c < 0 || int(c) >= len(m.groups) {
 					return fail("group %d expr %d references out-of-range child group %d", g.ID, j, c)
 				}
-				if c == g.ID {
+				if c == g.ID && !ge.IsEnforcer() {
 					return fail("group %d expr %d references its own group as a child", g.ID, j)
 				}
 			}

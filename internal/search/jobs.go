@@ -15,39 +15,45 @@ import (
 
 // Optimizer drives the Memo through the optimization workflow using the job
 // scheduler. It corresponds to the paper's "Search" component (Figure 3).
+//
+// Search is goal-driven: one scheduler run per stage starts at the root
+// optimization goal Opt(root, req) and pulls in exploration, implementation
+// and statistics derivation on demand as dependencies. The Memo is shared
+// across stages — a later stage re-enables rules against the same Memo
+// (under a new rule-set epoch, see xform.Context.SetRuleSet) and resumes
+// search instead of starting over.
 type Optimizer struct {
 	Memo *memo.Memo
 	XCtx *xform.Context
 	Cost *cost.Model
 
-	Explorations    []xform.Rule
-	Implementations []xform.Rule
-
-	// RulesFired counts rule applications across all workers.
+	// RulesFired counts rule applications across all workers and stages.
 	RulesFired atomic.Int64
 }
 
-// Explore runs the exploration phase from the root group (paper §4.1 step 1).
-func (o *Optimizer) Explore(root memo.GroupID, workers int, deadline time.Time) error {
+// RunStage performs one optimization stage: a single goal-driven scheduler
+// pass from Opt(root, req). It returns the best plan cost found, the run's
+// telemetry, and the scheduler error (ErrTimeout when the stage's deadline
+// or step budget cut it short — the Memo then still holds the best plan
+// found so far, extractable via Memo.ExtractPlan).
+func (o *Optimizer) RunStage(root memo.GroupID, req props.Required, workers int, deadline time.Time, stepLimit int64) (float64, Stats, error) {
 	s := NewScheduler(workers)
 	s.SetDeadline(deadline)
-	return s.Run(&expGroupJob{o: o, g: o.Memo.Group(root)})
-}
-
-// Optimize runs implementation and optimization for the root group under the
-// initial request, returning the best plan cost (paper §4.1 steps 3-4).
-func (o *Optimizer) Optimize(root memo.GroupID, req props.Required, workers int, deadline time.Time) (float64, error) {
-	s := NewScheduler(workers)
-	s.SetDeadline(deadline)
+	s.SetStepLimit(stepLimit)
 	g := o.Memo.Group(root)
-	if err := s.Run(&optGroupJob{o: o, g: g, req: req}); err != nil {
-		return memo.InfCost, err
+	err := s.Run(&optGroupJob{o: o, g: g, req: req})
+	st := s.Stats()
+	if err != nil && err != ErrTimeout {
+		return memo.InfCost, st, err
 	}
 	ctx := g.LookupContext(req)
 	if ctx == nil {
-		return memo.InfCost, fmt.Errorf("search: missing optimization context for root")
+		if err == nil {
+			err = fmt.Errorf("search: missing optimization context for root")
+		}
+		return memo.InfCost, st, err
 	}
-	return ctx.BestCost(), nil
+	return ctx.BestCost(), st, err
 }
 
 // ---------------------------------------------------------------------------
@@ -60,10 +66,11 @@ type expGroupJob struct {
 	processed int
 }
 
-func (j *expGroupJob) Key() string { return fmt.Sprintf("eg:%d", j.g.ID) }
+func (j *expGroupJob) Key() string   { return fmt.Sprintf("eg:%d", j.g.ID) }
+func (j *expGroupJob) Kind() JobKind { return JobExp }
 
 func (j *expGroupJob) Step(*Scheduler) ([]Job, bool, error) {
-	if j.g.Explored() {
+	if j.g.Explored(j.o.XCtx.Epoch()) {
 		return nil, true, nil
 	}
 	exprs := j.g.Exprs()
@@ -78,7 +85,7 @@ func (j *expGroupJob) Step(*Scheduler) ([]Job, bool, error) {
 		// Transformations may add new expressions; re-check on resume.
 		return children, false, nil
 	}
-	j.g.SetExplored()
+	j.g.SetExplored(j.o.XCtx.Epoch())
 	return nil, true, nil
 }
 
@@ -91,7 +98,8 @@ type expGexprJob struct {
 	phase int
 }
 
-func (j *expGexprJob) Key() string { return fmt.Sprintf("ex:%p", j.ge) }
+func (j *expGexprJob) Key() string   { return fmt.Sprintf("ex:%p", j.ge) }
+func (j *expGexprJob) Kind() JobKind { return JobExp }
 
 func (j *expGexprJob) Step(*Scheduler) ([]Job, bool, error) {
 	switch j.phase {
@@ -108,8 +116,8 @@ func (j *expGexprJob) Step(*Scheduler) ([]Job, bool, error) {
 	case 1:
 		j.phase = 2
 		var children []Job
-		for _, r := range j.o.Explorations {
-			if r.Matches(j.ge) {
+		for _, r := range j.o.XCtx.Explorations() {
+			if !j.ge.Applied(r.Name()) && r.Matches(j.ge) {
 				children = append(children, &xformJob{o: j.o, ge: j.ge, rule: r})
 			}
 		}
@@ -129,10 +137,11 @@ type impGroupJob struct {
 	phase int
 }
 
-func (j *impGroupJob) Key() string { return fmt.Sprintf("ig:%d", j.g.ID) }
+func (j *impGroupJob) Key() string   { return fmt.Sprintf("ig:%d", j.g.ID) }
+func (j *impGroupJob) Kind() JobKind { return JobImp }
 
 func (j *impGroupJob) Step(*Scheduler) ([]Job, bool, error) {
-	if j.g.Implemented() {
+	if j.g.Implemented(j.o.XCtx.Epoch()) {
 		return nil, true, nil
 	}
 	switch j.phase {
@@ -152,7 +161,7 @@ func (j *impGroupJob) Step(*Scheduler) ([]Job, bool, error) {
 		}
 		fallthrough
 	default:
-		j.g.SetImplemented()
+		j.g.SetImplemented(j.o.XCtx.Epoch())
 		return nil, true, nil
 	}
 }
@@ -163,14 +172,15 @@ type impGexprJob struct {
 	phase int
 }
 
-func (j *impGexprJob) Key() string { return fmt.Sprintf("ix:%p", j.ge) }
+func (j *impGexprJob) Key() string   { return fmt.Sprintf("ix:%p", j.ge) }
+func (j *impGexprJob) Kind() JobKind { return JobImp }
 
 func (j *impGexprJob) Step(*Scheduler) ([]Job, bool, error) {
 	if j.phase == 0 {
 		j.phase = 1
 		var children []Job
-		for _, r := range j.o.Implementations {
-			if r.Matches(j.ge) {
+		for _, r := range j.o.XCtx.Implementations() {
+			if !j.ge.Applied(r.Name()) && r.Matches(j.ge) {
 				children = append(children, &xformJob{o: j.o, ge: j.ge, rule: r})
 			}
 		}
@@ -190,7 +200,8 @@ type xformJob struct {
 	rule xform.Rule
 }
 
-func (j *xformJob) Key() string { return fmt.Sprintf("xf:%p:%s", j.ge, j.rule.Name()) }
+func (j *xformJob) Key() string   { return fmt.Sprintf("xf:%p:%s", j.ge, j.rule.Name()) }
+func (j *xformJob) Kind() JobKind { return JobXform }
 
 func (j *xformJob) Step(*Scheduler) ([]Job, bool, error) {
 	if j.ge.MarkApplied(j.rule.Name()) {
@@ -200,6 +211,39 @@ func (j *xformJob) Step(*Scheduler) ([]Job, bool, error) {
 		j.o.RulesFired.Add(1)
 	}
 	return nil, true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Stats(g): derive statistics for a group on demand (paper §4.1 step 2 made
+// lazy): triggered as a dependency of the first Opt goal touching the group,
+// after dependency jobs derived the statistics of the input groups — the
+// promising expression's children and, for CTE consumers, the producer group.
+
+type statsGroupJob struct {
+	o     *Optimizer
+	g     *memo.Group
+	phase int
+}
+
+func (j *statsGroupJob) Key() string   { return fmt.Sprintf("sg:%d", j.g.ID) }
+func (j *statsGroupJob) Kind() JobKind { return JobStats }
+
+func (j *statsGroupJob) Step(*Scheduler) ([]Job, bool, error) {
+	if j.g.Stats() != nil {
+		return nil, true, nil
+	}
+	if j.phase == 0 {
+		j.phase = 1
+		var children []Job
+		for _, src := range j.o.Memo.StatsSources(j.g.ID, j.o.XCtx.Stats) {
+			children = append(children, &statsGroupJob{o: j.o, g: j.o.Memo.Group(src)})
+		}
+		if len(children) > 0 {
+			return children, false, nil
+		}
+	}
+	_, err := j.o.Memo.DeriveStats(j.g.ID, j.o.XCtx.Stats)
+	return nil, err == nil, err
 }
 
 // ---------------------------------------------------------------------------
@@ -215,10 +259,11 @@ type optGroupJob struct {
 func (j *optGroupJob) Key() string {
 	return fmt.Sprintf("og:%d:%x:%s", j.g.ID, j.req.Hash(), j.req)
 }
+func (j *optGroupJob) Kind() JobKind { return JobOpt }
 
 func (j *optGroupJob) Step(*Scheduler) ([]Job, bool, error) {
 	ctx, _ := j.g.Context(j.req)
-	if ctx.Done() {
+	if ctx.Done(j.o.XCtx.Epoch()) {
 		return nil, true, nil
 	}
 	switch j.phase {
@@ -227,6 +272,12 @@ func (j *optGroupJob) Step(*Scheduler) ([]Job, bool, error) {
 		return []Job{&impGroupJob{o: j.o, g: j.g}}, false, nil
 	case 1:
 		j.phase = 2
+		// Statistics become necessary the moment this group's expressions are
+		// costed; deriving them as a dependency job (rather than an eager
+		// whole-Memo sweep) keeps derivation to groups search actually reaches.
+		return []Job{&statsGroupJob{o: j.o, g: j.g}}, false, nil
+	case 2:
+		j.phase = 3
 		if err := j.g.AddEnforcers(j.req); err != nil {
 			return nil, false, err
 		}
@@ -245,7 +296,7 @@ func (j *optGroupJob) Step(*Scheduler) ([]Job, bool, error) {
 		}
 		fallthrough
 	default:
-		ctx.MarkDone()
+		ctx.MarkDone(j.o.XCtx.Epoch())
 		return nil, true, nil
 	}
 }
@@ -267,6 +318,7 @@ type optGexprJob struct {
 func (j *optGexprJob) Key() string {
 	return fmt.Sprintf("ox:%p:%x:%s", j.ge, j.req.Hash(), j.req)
 }
+func (j *optGexprJob) Kind() JobKind { return JobOpt }
 
 func (j *optGexprJob) Step(*Scheduler) ([]Job, bool, error) {
 	phys := j.ge.Op.(ops.Physical)
@@ -334,6 +386,8 @@ func (j *optGexprJob) evaluate(alt []props.Required) error {
 		}
 		childDerived[i] = cand.Delivered
 		if cg.Stats() == nil {
+			// Fallback: enforcer insertion can create expressions whose child
+			// groups were never reached by a stats job on this path.
 			if _, err := o.Memo.DeriveStats(cg.ID, o.XCtx.Stats); err != nil {
 				return err
 			}

@@ -1,12 +1,12 @@
 // Package search implements Orca's search mechanism and job scheduler
 // (paper §4.2): optimization is broken into small, re-entrant jobs —
-// Exp(g), Exp(gexpr), Imp(g), Imp(gexpr), Opt(g, req), Opt(gexpr, req) and
-// Xform(gexpr, t) — linked by child-parent dependencies. A parent job
-// suspends while its children run (possibly in parallel on other workers)
-// and resumes when they all finish. Jobs are deduplicated by goal: when a
-// job with some goal is already active, later jobs with the same goal attach
-// as waiters instead of redoing the work, which is the paper's group job
-// queue.
+// Exp(g), Exp(gexpr), Imp(g), Imp(gexpr), Opt(g, req), Opt(gexpr, req),
+// Xform(gexpr, t) and Stats(g) — linked by child-parent dependencies. A
+// parent job suspends while its children run (possibly in parallel on other
+// workers) and resumes when they all finish. Jobs are deduplicated by goal:
+// when a job with some goal is already active, later jobs with the same goal
+// attach as waiters instead of redoing the work, which is the paper's group
+// job queue.
 package search
 
 import (
@@ -15,8 +15,97 @@ import (
 	"time"
 )
 
-// ErrTimeout reports that the optimization stage exceeded its deadline.
+// ErrTimeout reports that the optimization stage exceeded its deadline or
+// step limit. The scheduler drains rather than aborts: no new jobs start,
+// in-flight job steps complete before Run returns, so the Memo is left in a
+// consistent state and the best plan found so far remains extractable.
 var ErrTimeout = errors.New("search: optimization timed out")
+
+// JobKind classifies scheduler jobs for telemetry (one per job family of
+// paper §4.2, plus the statistics-derivation job).
+type JobKind uint8
+
+// Job kinds.
+const (
+	JobExp   JobKind = iota // Exp(g) / Exp(gexpr)
+	JobImp                  // Imp(g) / Imp(gexpr)
+	JobOpt                  // Opt(g, req) / Opt(gexpr, req)
+	JobXform                // Xform(gexpr, t)
+	JobStats                // Stats(g)
+)
+
+// NumJobKinds sizes per-kind arrays; keep in sync with the constants above.
+const NumJobKinds = 5
+
+// String names the kind for telemetry output.
+func (k JobKind) String() string {
+	switch k {
+	case JobExp:
+		return "exp"
+	case JobImp:
+		return "imp"
+	case JobOpt:
+		return "opt"
+	case JobXform:
+		return "xform"
+	case JobStats:
+		return "stats"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats is one scheduler run's telemetry. Multi-stage sessions merge the
+// per-stage runs into an aggregate (core.Result).
+type Stats struct {
+	// Steps counts executed job steps by kind.
+	Steps [NumJobKinds]int64
+	// PeakQueue is the maximum length the ready queue reached.
+	PeakQueue int
+	// Workers is the worker count (maximum across merged runs).
+	Workers int
+	// Busy is the total time workers spent inside job steps.
+	Busy time.Duration
+	// Wall is the run's wall-clock time (summed across merged runs).
+	Wall time.Duration
+}
+
+// TotalSteps returns the number of job steps across all kinds.
+func (s Stats) TotalSteps() int64 {
+	var n int64
+	for _, c := range s.Steps {
+		n += c
+	}
+	return n
+}
+
+// Utilization returns the fraction of worker capacity spent inside job
+// steps, in [0, 1].
+func (s Stats) Utilization() float64 {
+	if s.Wall <= 0 || s.Workers <= 0 {
+		return 0
+	}
+	u := float64(s.Busy) / (float64(s.Wall) * float64(s.Workers))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Merge folds another run's telemetry into s.
+func (s *Stats) Merge(o Stats) {
+	for k := range s.Steps {
+		s.Steps[k] += o.Steps[k]
+	}
+	if o.PeakQueue > s.PeakQueue {
+		s.PeakQueue = o.PeakQueue
+	}
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+	s.Busy += o.Busy
+	s.Wall += o.Wall
+}
 
 // Job is one re-entrant unit of optimization work. Step performs as much
 // work as possible without blocking; to wait for other jobs, it returns them
@@ -24,6 +113,8 @@ var ErrTimeout = errors.New("search: optimization timed out")
 type Job interface {
 	// Key identifies the job's goal for deduplication.
 	Key() string
+	// Kind classifies the job for telemetry.
+	Kind() JobKind
 	// Step advances the job. done reports completion; children are jobs the
 	// job must wait for before being re-entered.
 	Step(s *Scheduler) (children []Job, done bool, err error)
@@ -40,8 +131,9 @@ type jobState struct {
 
 // Scheduler runs jobs on a fixed number of workers.
 type Scheduler struct {
-	workers  int
-	deadline time.Time
+	workers   int
+	deadline  time.Time
+	stepLimit int64
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -50,6 +142,7 @@ type Scheduler struct {
 	active   int
 	err      error
 	stopped  bool
+	stats    Stats
 
 	// JobsRun counts job steps for diagnostics.
 	JobsRun int64
@@ -65,12 +158,29 @@ func NewScheduler(workers int) *Scheduler {
 	return s
 }
 
-// SetDeadline aborts the run once the deadline passes (zero = none).
+// SetDeadline ends the run with ErrTimeout once the deadline passes
+// (zero = none).
 func (s *Scheduler) SetDeadline(d time.Time) { s.deadline = d }
 
+// SetStepLimit ends the run with ErrTimeout once the given number of job
+// steps have started (0 = none). Unlike a wall-clock deadline it is
+// deterministic, which tests and reproducible stage budgets rely on.
+func (s *Scheduler) SetStepLimit(n int64) { s.stepLimit = n }
+
+// Stats returns the run's telemetry. Call it after Run has returned.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
 // Run executes the root job (and its transitively spawned children) to
-// completion. It returns the first error encountered, or ErrTimeout.
+// completion. It returns the first error encountered, or ErrTimeout when the
+// deadline or step limit cut the search short. On timeout the scheduler
+// drains: in-flight job steps finish (their results land in the Memo), only
+// queued work is abandoned.
 func (s *Scheduler) Run(root Job) error {
+	start := time.Now()
 	s.mu.Lock()
 	s.enqueueLocked(root, nil)
 	s.mu.Unlock()
@@ -86,6 +196,8 @@ func (s *Scheduler) Run(root Job) error {
 	wg.Wait()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.stats.Workers = s.workers
+	s.stats.Wall = time.Since(start)
 	return s.err
 }
 
@@ -96,8 +208,7 @@ func (s *Scheduler) enqueueLocked(j Job, parent *jobState) (wait bool) {
 	if !ok {
 		st = &jobState{job: j}
 		s.registry[j.Key()] = st
-		st.queued = true
-		s.queue = append(s.queue, st)
+		s.pushLocked(st)
 		s.cond.Broadcast()
 	}
 	if st.done {
@@ -107,6 +218,15 @@ func (s *Scheduler) enqueueLocked(j Job, parent *jobState) (wait bool) {
 		st.parents = append(st.parents, parent)
 	}
 	return true
+}
+
+// pushLocked appends a job to the ready queue, tracking the peak depth.
+func (s *Scheduler) pushLocked(st *jobState) {
+	st.queued = true
+	s.queue = append(s.queue, st)
+	if len(s.queue) > s.stats.PeakQueue {
+		s.stats.PeakQueue = len(s.queue)
+	}
 }
 
 func (s *Scheduler) worker() {
@@ -121,8 +241,11 @@ func (s *Scheduler) worker() {
 			s.mu.Unlock()
 			return
 		}
-		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
-			s.err = ErrTimeout
+		if s.stepLimit > 0 && s.JobsRun >= s.stepLimit ||
+			!s.deadline.IsZero() && time.Now().After(s.deadline) {
+			if s.err == nil {
+				s.err = ErrTimeout
+			}
 			s.stopped = true
 			s.cond.Broadcast()
 			s.mu.Unlock()
@@ -135,11 +258,14 @@ func (s *Scheduler) worker() {
 		st.running = true
 		s.active++
 		s.JobsRun++
+		s.stats.Steps[st.job.Kind()]++
 		s.mu.Unlock()
 
+		stepStart := time.Now()
 		children, done, err := st.job.Step(s)
 
 		s.mu.Lock()
+		s.stats.Busy += time.Since(stepStart)
 		st.running = false
 		s.active--
 		if err != nil {
@@ -163,8 +289,7 @@ func (s *Scheduler) worker() {
 			st.pending += waiting
 			if st.pending == 0 {
 				// Children all finished already (or none): rerun.
-				st.queued = true
-				s.queue = append(s.queue, st)
+				s.pushLocked(st)
 			}
 		}
 		s.cond.Broadcast()
@@ -180,8 +305,7 @@ func (s *Scheduler) completeLocked(st *jobState) {
 	for _, p := range st.parents {
 		p.pending--
 		if p.pending == 0 && !p.done && !p.queued && !p.running {
-			p.queued = true
-			s.queue = append(s.queue, p)
+			s.pushLocked(p)
 		}
 	}
 	st.parents = nil

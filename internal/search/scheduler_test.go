@@ -16,7 +16,8 @@ type stepJob struct {
 	calls int32
 }
 
-func (j *stepJob) Key() string { return j.key }
+func (j *stepJob) Key() string   { return j.key }
+func (j *stepJob) Kind() JobKind { return JobOpt }
 
 func (j *stepJob) Step(*Scheduler) ([]Job, bool, error) {
 	n := atomic.AddInt32(&j.calls, 1)
@@ -119,6 +120,81 @@ func TestSchedulerTimeout(t *testing.T) {
 	err := s.Run(mk(0))
 	if !errors.Is(err, ErrTimeout) {
 		t.Errorf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestSchedulerStepLimit(t *testing.T) {
+	// The step budget is the deterministic analogue of the deadline: an
+	// endless chain must be cut off with ErrTimeout after exactly the budget.
+	var counter int64
+	var mk func(i int64) Job
+	mk = func(i int64) Job {
+		return &stepJob{key: fmt.Sprintf("s%d", i), steps: []func() ([]Job, bool, error){
+			func() ([]Job, bool, error) {
+				atomic.AddInt64(&counter, 1)
+				return []Job{mk(i + 1)}, false, nil
+			},
+			func() ([]Job, bool, error) { return nil, true, nil },
+		}}
+	}
+	s := NewScheduler(1)
+	s.SetStepLimit(25)
+	err := s.Run(mk(0))
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("want ErrTimeout, got %v", err)
+	}
+	if got := s.Stats().TotalSteps(); got != 25 {
+		t.Errorf("executed %d steps, want exactly 25", got)
+	}
+}
+
+func TestSchedulerStats(t *testing.T) {
+	// A root fanning out to 3 leaves, all JobOpt: 3 leaf steps + 2 root steps.
+	var hits int32
+	root := &stepJob{key: "root", steps: []func() ([]Job, bool, error){
+		func() ([]Job, bool, error) {
+			return []Job{leaf("a", &hits), leaf("b", &hits), leaf("c", &hits)}, false, nil
+		},
+		func() ([]Job, bool, error) { return nil, true, nil },
+	}}
+	s := NewScheduler(2)
+	if err := s.Run(root); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Steps[JobOpt] != 5 || st.TotalSteps() != 5 {
+		t.Errorf("Steps[JobOpt]=%d total=%d, want 5", st.Steps[JobOpt], st.TotalSteps())
+	}
+	if st.PeakQueue < 2 {
+		t.Errorf("PeakQueue=%d, want >= 2 (three leaves queued while one runs)", st.PeakQueue)
+	}
+	if st.Workers != 2 {
+		t.Errorf("Workers=%d, want 2", st.Workers)
+	}
+	if st.Wall <= 0 {
+		t.Errorf("Wall=%v, want > 0", st.Wall)
+	}
+	if u := st.Utilization(); u < 0 || u > 1 {
+		t.Errorf("Utilization=%v out of [0,1]", u)
+	}
+
+	var merged Stats
+	merged.Merge(st)
+	merged.Merge(st)
+	if merged.TotalSteps() != 10 || merged.Workers != 2 || merged.PeakQueue != st.PeakQueue {
+		t.Errorf("Merge: total=%d workers=%d peak=%d", merged.TotalSteps(), merged.Workers, merged.PeakQueue)
+	}
+}
+
+func TestJobKindString(t *testing.T) {
+	want := []string{"exp", "imp", "opt", "xform", "stats"}
+	for k := 0; k < NumJobKinds; k++ {
+		if got := JobKind(k).String(); got != want[k] {
+			t.Errorf("JobKind(%d) = %q, want %q", k, got, want[k])
+		}
+	}
+	if got := JobKind(NumJobKinds).String(); got != "unknown" {
+		t.Errorf("out-of-range kind = %q, want unknown", got)
 	}
 }
 

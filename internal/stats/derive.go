@@ -186,6 +186,14 @@ func (ctx *Context) RegisterCTE(id int, s *Stats) {
 	ctx.mu.Unlock()
 }
 
+// HasCTE reports whether producer statistics were registered for the CTE.
+func (ctx *Context) HasCTE(id int) bool {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	_, ok := ctx.cte[id]
+	return ok
+}
+
 // ---------------------------------------------------------------------------
 // Filters
 

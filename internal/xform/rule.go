@@ -7,6 +7,9 @@
 package xform
 
 import (
+	"sort"
+	"strings"
+
 	"orca/internal/md"
 	"orca/internal/memo"
 	"orca/internal/ops"
@@ -26,6 +29,16 @@ const (
 // statistics context for cardinality-driven rules (join ordering), metadata
 // access for index and partition information, the column factory for fresh
 // columns (two-stage aggregates), and the segment count.
+//
+// The Context also holds the active rule set and its epoch, which is how
+// optimization stages select rule subsets (paper §4.1 "Multi-Stage
+// Optimization") against a shared Memo: each distinct enabled-rule signature
+// gets a dense epoch number, and the Memo's per-group explored/implemented
+// and per-context done markers are keyed by epoch. A later stage with the
+// same rule set reuses the earlier stage's markers outright; a stage with a
+// different rule set re-walks the Memo under its own epoch, while the
+// per-expression applied ledger (which spans epochs) keeps already-fired
+// rules from firing again.
 type Context struct {
 	Memo       *memo.Memo
 	Stats      *stats.Context
@@ -35,9 +48,55 @@ type Context struct {
 	// JoinOrderDPLimit is the largest n-ary join the DP rule enumerates
 	// exhaustively; larger joins use the greedy rule.
 	JoinOrderDPLimit int
-	// RulesFired counts rule applications for optimizer diagnostics.
-	RulesFired int
+
+	epoch           int
+	epochs          map[string]int
+	explorations    []Rule
+	implementations []Rule
 }
+
+// SetRuleSet installs the stage's enabled rules (all rules minus the
+// disabled set) and returns the rule-set epoch: stages with identical
+// enabled-rule signatures share an epoch, so an identical later stage is a
+// no-op resume rather than a re-walk.
+func (ctx *Context) SetRuleSet(rules []Rule, disabled map[string]bool) int {
+	ctx.explorations = ctx.explorations[:0]
+	ctx.implementations = ctx.implementations[:0]
+	var names []string
+	for _, r := range rules {
+		if disabled[r.Name()] {
+			continue
+		}
+		names = append(names, r.Name())
+		switch r.Kind() {
+		case Exploration:
+			ctx.explorations = append(ctx.explorations, r)
+		case Implementation:
+			ctx.implementations = append(ctx.implementations, r)
+		}
+	}
+	sort.Strings(names)
+	sig := strings.Join(names, ",")
+	if ctx.epochs == nil {
+		ctx.epochs = make(map[string]int)
+	}
+	e, ok := ctx.epochs[sig]
+	if !ok {
+		e = len(ctx.epochs) + 1
+		ctx.epochs[sig] = e
+	}
+	ctx.epoch = e
+	return e
+}
+
+// Epoch returns the active rule-set epoch (0 until SetRuleSet is called).
+func (ctx *Context) Epoch() int { return ctx.epoch }
+
+// Explorations returns the active exploration rules.
+func (ctx *Context) Explorations() []Rule { return ctx.explorations }
+
+// Implementations returns the active implementation rules.
+func (ctx *Context) Implementations() []Rule { return ctx.implementations }
 
 // Rule is one transformation. Rules fire at most once per group expression
 // (tracked on the expression); Apply inserts its results into the source
