@@ -5,11 +5,16 @@
 #   format   gofmt -l on all tracked Go files
 #   vet      go vet ./...
 #   orcavet  the project's own static analyzers (cmd/orcavet):
-#            memoimmut, lockcheck, opexhaustive, errdrop
+#            memoimmut, lockcheck, opexhaustive, errdrop, faultpoint
 #   test     go test ./...
 #   race     go test -race over the concurrency-heavy packages
 #            (search scheduler, memo, gpos worker pool, and core — the
 #            multi-stage driver shares one Memo across scheduler runs)
+#   chaos    a randomized fault-injection schedule (error/panic/delay at
+#            registered fault points) run under -race; the seed rotates
+#            daily and is printed on failure — replay with
+#            ORCA_CHAOS=1 ORCA_CHAOS_SEED=<n> go test -race -run
+#            TestChaosSchedule ./internal/core/
 #
 # Run from the repository root: ./check.sh
 set -eu
@@ -37,5 +42,10 @@ go test ./...
 
 echo "==> go test -race (scheduler / memo / gpos / core)"
 go test -race ./internal/search/... ./internal/memo/... ./internal/gpos/... ./internal/core/...
+
+chaos_seed="${ORCA_CHAOS_SEED:-$(date +%Y%j)}"
+echo "==> chaos (randomized fault schedule under -race, seed $chaos_seed)"
+ORCA_CHAOS=1 ORCA_CHAOS_SEED="$chaos_seed" \
+    go test -race -count=1 -run TestChaosSchedule ./internal/core/
 
 echo "All checks passed."

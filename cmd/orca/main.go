@@ -8,16 +8,26 @@
 //	orca -metadata=catalog.dxl -sql='SELECT ...' [-segments=16] [-workers=4]
 //	orca -metadata=catalog.dxl -query=query.dxl -emit-dxl
 //	orca -demo            # run the paper's §4.1 example end to end
+//
+// Robustness knobs (paper §6.1): -faults (or the ORCA_FAULTS environment
+// variable) arms a fault-injection schedule, -memory-budget/-max-groups cap
+// the search, -md-timeout bounds metadata lookups, -dump captures AMPERe
+// repros of failures, and -no-degrade turns the graceful-degradation ladder
+// off so injected failures surface as errors.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"time"
 
+	"orca/internal/ampere"
 	"orca/internal/base"
 	"orca/internal/core"
 	"orca/internal/dxl"
+	"orca/internal/fault"
 	"orca/internal/gpos"
 	"orca/internal/md"
 	"orca/internal/search"
@@ -34,10 +44,31 @@ func main() {
 	trace := flag.Bool("trace-memo", false, "dump the final Memo")
 	stats := flag.Bool("stats", false, "print job-scheduler telemetry (steps by kind, queue depth, utilization)")
 	demo := flag.Bool("demo", false, "run the paper's running example (§4.1)")
+	faults := flag.String("faults", os.Getenv("ORCA_FAULTS"),
+		"fault-injection schedule, e.g. 'memo/insert:error:every=3,md/provider/fetch:delay=50ms' (defaults to $ORCA_FAULTS)")
+	mdTimeout := flag.Duration("md-timeout", 0, "per-lookup metadata provider timeout (0 = none)")
+	memBudget := flag.Int64("memory-budget", 0, "optimization memory budget in bytes (0 = unlimited)")
+	maxGroups := flag.Int("max-groups", 0, "Memo group cap; the search keeps the best plan found when it trips (0 = unlimited)")
+	noDegrade := flag.Bool("no-degrade", false, "disable the graceful-degradation ladder: fail instead of falling back")
+	dumpDir := flag.String("dump", "", "directory for AMPERe failure dumps")
 	flag.Parse()
 
+	// tune applies the robustness knobs shared by the file-driven and demo
+	// paths.
+	tune := func(cfg *core.Config) {
+		if *faults != "" {
+			specs, err := fault.ParseSpecs(*faults)
+			fatal(err)
+			cfg.Faults = specs
+		}
+		cfg.MDLookupTimeout = *mdTimeout
+		cfg.MemoryBudget = *memBudget
+		cfg.MaxGroups = *maxGroups
+		cfg.DisableDegradation = *noDegrade
+	}
+
 	if *demo {
-		runDemo(*segments, *workers)
+		runDemo(*segments, *workers, tune)
 		return
 	}
 	if *metadata == "" || (*sqlText == "" && *queryFile == "") {
@@ -67,8 +98,29 @@ func main() {
 	cfg := core.DefaultConfig(*segments)
 	cfg.Workers = *workers
 	cfg.TraceMemo = *trace
+	tune(&cfg)
+	if *dumpDir != "" {
+		cfg.DumpCapture = dumpCapturer(*dumpDir, provider)
+	}
 	res, err := core.Optimize(q, cfg)
+	if err != nil && *dumpDir != "" {
+		// The ladder is off (or itself failed): capture the outright failure.
+		ex := gpos.AsException(err)
+		if ex == nil {
+			ex = gpos.Wrap(err, gpos.CompOptimizer, "OptimizationFailed", "optimization failed")
+		}
+		if path := cfg.DumpCapture(q, cfg, ex); path != "" {
+			fmt.Fprintln(os.Stderr, "orca: AMPERe dump:", path)
+		}
+	}
 	fatal(err)
+	if res.Degraded {
+		fmt.Fprintf(os.Stderr, "orca: optimization degraded to the %s rung after %s/%s: %s\n",
+			res.DegradedRung, res.Failure.Comp, res.Failure.Code, res.Failure.Msg)
+		if res.DumpPath != "" {
+			fmt.Fprintln(os.Stderr, "orca: AMPERe dump:", res.DumpPath)
+		}
+	}
 
 	if *trace {
 		fmt.Println("--- Memo ---")
@@ -117,7 +169,7 @@ func printSearchStats(res *core.Result) {
 
 // runDemo reproduces the paper's running example: SELECT T1.a FROM T1, T2
 // WHERE T1.a = T2.b ORDER BY T1.a with T1 Hashed(a), T2 Hashed(a).
-func runDemo(segments, workers int) {
+func runDemo(segments, workers int, tune func(*core.Config)) {
 	p := md.NewMemProvider()
 	md.Build(p, md.TableSpec{
 		Name: "t1", Rows: 100000, Policy: md.DistHash, DistCols: []int{0},
@@ -140,14 +192,35 @@ func runDemo(segments, workers int) {
 	fatal(err)
 	cfg := core.DefaultConfig(segments)
 	cfg.Workers = workers
+	tune(&cfg)
 	res, err := core.Optimize(q, cfg)
 	fatal(err)
+	if res.Degraded {
+		fmt.Fprintf(os.Stderr, "orca: optimization degraded to the %s rung after %s/%s: %s\n",
+			res.DegradedRung, res.Failure.Comp, res.Failure.Code, res.Failure.Msg)
+	}
 	fmt.Println("Paper §4.1 running example —")
 	fmt.Println("  SELECT T1.a FROM T1, T2 WHERE T1.a = T2.b ORDER BY T1.a;")
 	fmt.Printf("  T1: Hashed(T1.a), T2: Hashed(T2.a), %d segments\n\n", segments)
 	fmt.Println(core.Explain(res.Plan, f))
 	fmt.Printf("cost=%.0f  groups=%d  group expressions=%d  rules fired=%d\n",
 		res.Cost, res.Groups, res.GroupExprs, res.RulesFired)
+}
+
+// dumpCapturer returns a core.Config.DumpCapture hook that writes AMPERe
+// repro dumps of optimization failures into dir.
+func dumpCapturer(dir string, provider md.Provider) func(*core.Query, core.Config, *gpos.Exception) string {
+	return func(q *core.Query, cfg core.Config, failure *gpos.Exception) string {
+		d, err := ampere.Capture(q, cfg, provider, failure)
+		if err != nil {
+			return ""
+		}
+		path := filepath.Join(dir, fmt.Sprintf("ampere-%d.dxl", time.Now().UnixNano()))
+		if d.WriteFile(path) != nil {
+			return ""
+		}
+		return path
+	}
 }
 
 func fatal(err error) {

@@ -1,6 +1,7 @@
 package orca
 
 import (
+	"context"
 	"testing"
 
 	"orca/internal/base"
@@ -22,8 +23,8 @@ func evalSystem(t testing.TB) *System {
 			{Name: "s", Type: base.TString, NDV: 6, Lo: 0, Hi: 6},
 		},
 	})
-	rel, _ := sys.Provider.LookupRelation("v")
-	obj, _ := sys.Provider.GetObject(rel)
+	rel, _ := sys.Provider.LookupRelation(context.Background(), "v")
+	obj, _ := sys.Provider.GetObject(context.Background(), rel)
 	i := func(v int64) base.Datum { return base.NewInt(v) }
 	s := func(v string) base.Datum { return base.NewString(v) }
 	rows := [][]base.Datum{

@@ -16,6 +16,7 @@ import (
 
 	"orca/internal/core"
 	"orca/internal/dxl"
+	"orca/internal/fault"
 	"orca/internal/gpos"
 	"orca/internal/md"
 )
@@ -25,10 +26,18 @@ type Dump struct {
 	// Stack is the captured exception stack trace (empty for on-demand
 	// dumps).
 	Stack []string
+	// ExcComp and ExcCode identify the captured exception (empty for
+	// on-demand dumps). Replaying a failure dump must reproduce an exception
+	// with the same component and code.
+	ExcComp string
+	ExcCode string
 	// Config captures the optimizer configuration knobs that affect plans.
 	Segments      int
 	Workers       int
 	DisabledRules []string
+	// Faults is the armed fault-injection schedule in ORCA_FAULTS syntax
+	// (fault.FormatSpecs). Replay re-arms it so injected failures reproduce.
+	Faults string
 	// Metadata and Query are the serialized DXL payloads.
 	MetadataDoc *dxl.Node
 	QueryDoc    *dxl.Node
@@ -50,11 +59,14 @@ func Capture(q *core.Query, cfg core.Config, provider md.Provider, err error) (*
 		Segments:      cfg.Segments,
 		Workers:       cfg.Workers,
 		DisabledRules: cfg.DisabledRules,
+		Faults:        fault.FormatSpecs(cfg.Faults),
 		MetadataDoc:   meta,
 		QueryDoc:      dxl.SerializeQuery(q),
 	}
 	if ex := gpos.AsException(err); ex != nil {
 		d.Stack = ex.Stack
+		d.ExcComp = string(ex.Comp)
+		d.ExcCode = ex.Code
 	}
 	return d, nil
 }
@@ -62,8 +74,14 @@ func Capture(q *core.Query, cfg core.Config, provider md.Provider, err error) (*
 // Render serializes the dump as a DXL document.
 func (d *Dump) Render() string {
 	thread := dxl.El("Thread").Set("Id", "0")
-	if len(d.Stack) > 0 {
+	if len(d.Stack) > 0 || d.ExcCode != "" {
 		st := dxl.El("Stacktrace")
+		if d.ExcComp != "" {
+			st.Set("Component", d.ExcComp)
+		}
+		if d.ExcCode != "" {
+			st.Set("Code", d.ExcCode)
+		}
 		st.Text = strings.Join(d.Stack, "\n")
 		thread.Add(st)
 	}
@@ -72,6 +90,9 @@ func (d *Dump) Render() string {
 		Setf("Workers", "%d", d.Workers)
 	if len(d.DisabledRules) > 0 {
 		flags.Set("DisabledRules", strings.Join(d.DisabledRules, ","))
+	}
+	if d.Faults != "" {
+		flags.Set("Faults", d.Faults)
 	}
 	thread.Add(flags)
 	thread.Add(d.MetadataDoc)
@@ -105,8 +126,12 @@ func Parse(doc string) (*Dump, error) {
 		return nil, fmt.Errorf("ampere: dump has no Thread element")
 	}
 	d := &Dump{Segments: 1, Workers: 1}
-	if st := thread.Child("Stacktrace"); st != nil && st.Text != "" {
-		d.Stack = strings.Split(st.Text, "\n")
+	if st := thread.Child("Stacktrace"); st != nil {
+		if st.Text != "" {
+			d.Stack = strings.Split(st.Text, "\n")
+		}
+		d.ExcComp = st.Attr("Component")
+		d.ExcCode = st.Attr("Code")
 	}
 	if tf := thread.Child("TraceFlags"); tf != nil {
 		if v, err := strconv.Atoi(tf.Attr("Segments")); err == nil && v > 0 {
@@ -118,6 +143,7 @@ func Parse(doc string) (*Dump, error) {
 		if dr := tf.Attr("DisabledRules"); dr != "" {
 			d.DisabledRules = strings.Split(dr, ",")
 		}
+		d.Faults = tf.Attr("Faults")
 	}
 	d.MetadataDoc = thread.Child("Metadata")
 	d.QueryDoc = thread.Child("Query")
@@ -149,6 +175,16 @@ func Replay(d *Dump) (*core.Result, *core.Query, error) {
 	cfg := core.DefaultConfig(d.Segments)
 	cfg.Workers = d.Workers
 	cfg.DisabledRules = d.DisabledRules
+	if d.Faults != "" {
+		specs, err := fault.ParseSpecs(d.Faults)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ampere: bad fault schedule in dump: %w", err)
+		}
+		cfg.Faults = specs
+		// A failure dump exists to reproduce the failure: the degradation
+		// ladder must not paper over it during replay.
+		cfg.DisableDegradation = true
+	}
 	res, err := core.Optimize(q, cfg)
 	if err != nil {
 		return nil, nil, err

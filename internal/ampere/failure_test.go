@@ -1,0 +1,119 @@
+package ampere
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"orca/internal/core"
+	"orca/internal/fault"
+	"orca/internal/gpos"
+	"orca/internal/md"
+	"orca/internal/sql"
+)
+
+// failWith binds the test query and optimizes it with the given fault
+// schedule (ladder off), returning the bound query and the failure.
+func failWith(t *testing.T, p *md.MemProvider, specs []fault.Spec) (*core.Query, core.Config, *gpos.Exception) {
+	t.Helper()
+	acc := md.NewAccessor(md.NewCache(&gpos.MemoryAccountant{}), p)
+	q, err := sql.Bind(testQuery, acc, md.NewColumnFactory())
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	cfg := core.DefaultConfig(4)
+	cfg.Faults = specs
+	cfg.DisableDegradation = true
+	_, oerr := core.Optimize(q, cfg)
+	if oerr == nil {
+		t.Fatal("optimization should have failed under the armed faults")
+	}
+	ex := gpos.AsException(oerr)
+	if ex == nil {
+		t.Fatalf("want gpos.Exception, got %T: %v", oerr, oerr)
+	}
+	return q, cfg, ex
+}
+
+// roundTrip captures a failure dump, writes it, parses it back and replays
+// it, checking the reproduced exception matches the original.
+func roundTrip(t *testing.T, p *md.MemProvider, q *core.Query, cfg core.Config, ex *gpos.Exception) *Dump {
+	t.Helper()
+	d, err := Capture(q, cfg, p, ex)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	if d.ExcComp != string(ex.Comp) || d.ExcCode != ex.Code {
+		t.Fatalf("dump records %s/%s, want %s/%s", d.ExcComp, d.ExcCode, ex.Comp, ex.Code)
+	}
+	if len(d.Stack) == 0 {
+		t.Fatal("failure dump missing the exception stack")
+	}
+
+	path := filepath.Join(t.TempDir(), "failure.dxl")
+	if err := d.WriteFile(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(string(data))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if parsed.ExcComp != d.ExcComp || parsed.ExcCode != d.ExcCode || parsed.Faults != d.Faults {
+		t.Fatalf("round-trip lost failure metadata: %+v vs %+v", parsed, d)
+	}
+	if strings.Join(parsed.Stack, "\n") != strings.Join(d.Stack, "\n") {
+		t.Error("round-trip lost the stack trace")
+	}
+
+	_, _, rerr := Replay(parsed)
+	if rerr == nil {
+		t.Fatal("replaying a failure dump should reproduce the failure")
+	}
+	rex := gpos.AsException(rerr)
+	if rex == nil {
+		t.Fatalf("replayed error is not an exception: %v", rerr)
+	}
+	if rex.Comp != ex.Comp || rex.Code != ex.Code {
+		t.Errorf("replay reproduced %s/%s, want %s/%s", rex.Comp, rex.Code, ex.Comp, ex.Code)
+	}
+	return parsed
+}
+
+// TestFailureDumpRoundTrip: an injected error fault produces a dump whose
+// replay reproduces the same exception component and code.
+func TestFailureDumpRoundTrip(t *testing.T) {
+	p := testProvider(t)
+	specs := []fault.Spec{{Point: fault.PointMemoStatsDerive, Action: fault.ActError}}
+	q, cfg, ex := failWith(t, p, specs)
+	if ex.Code != fault.CodeInjected {
+		t.Fatalf("want injected fault failure, got %s/%s", ex.Comp, ex.Code)
+	}
+	d := roundTrip(t, p, q, cfg, ex)
+	if d.Faults != "memo/stats/derive:error" {
+		t.Errorf("dump fault schedule %q", d.Faults)
+	}
+}
+
+// TestPanicFailureDumpRoundTrip: a panic-originated dump keeps the original
+// panic site's stack through capture, serialization and parsing, and replay
+// reproduces the contained panic.
+func TestPanicFailureDumpRoundTrip(t *testing.T) {
+	p := testProvider(t)
+	specs := []fault.Spec{{Point: fault.PointSearchJobExec, Action: fault.ActPanic}}
+	q, cfg, ex := failWith(t, p, specs)
+	if ex.Code != gpos.CodePanic {
+		t.Fatalf("want contained panic, got %s/%s", ex.Comp, ex.Code)
+	}
+	if !strings.Contains(ex.Stack[0], "injectPanic") {
+		t.Fatalf("exception stack should start at the panic site: %v", ex.Stack)
+	}
+	d := roundTrip(t, p, q, cfg, ex)
+	if !strings.Contains(d.Stack[0], "injectPanic") {
+		t.Errorf("parsed dump lost the original panic stack: %v", d.Stack)
+	}
+}

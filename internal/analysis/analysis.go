@@ -96,7 +96,7 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 
 // All returns the orcavet analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{MemoImmut, LockCheck, OpExhaustive, ErrDrop}
+	return []*Analyzer{MemoImmut, LockCheck, OpExhaustive, ErrDrop, FaultPoint}
 }
 
 // ---------------------------------------------------------------------------

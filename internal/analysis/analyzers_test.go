@@ -6,6 +6,7 @@ func TestMemoImmut(t *testing.T)    { runFixture(t, MemoImmut, "memoimmut") }
 func TestLockCheck(t *testing.T)    { runFixture(t, LockCheck, "lockcheck") }
 func TestOpExhaustive(t *testing.T) { runFixture(t, OpExhaustive, "opexhaustive") }
 func TestErrDrop(t *testing.T)      { runFixture(t, ErrDrop, "errdrop") }
+func TestFaultPoint(t *testing.T)   { runFixture(t, FaultPoint, "faultpoint") }
 
 // TestSuiteCleanOnRepo is the self-hosting check: the analyzer suite must
 // report nothing on the module's own packages (after suppressions), which is

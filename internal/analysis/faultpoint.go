@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FaultPoint enforces the fault-injection framework's central-table contract
+// (paper §6.1): every fault point is declared once as a Point* constant with
+// a unique name, every constant appears in the fault package's Registered
+// table, and every Inject call site names its point through one of those
+// constants rather than an ad-hoc string literal. Without this, a typo at an
+// instrumentation site silently creates a point that no schedule can ever
+// arm — the fault path looks covered but never fires.
+var FaultPoint = &Analyzer{
+	Name: "faultpoint",
+	Doc: "flags fault.Inject calls whose point argument is not a Point* " +
+		"constant from the fault package's central table, Point constants " +
+		"missing from the Registered table or sharing a name with another, " +
+		"and Registered keys that do not reference a Point constant",
+	Run: runFaultPoint,
+}
+
+func runFaultPoint(p *Pass) {
+	checkPointTable(p)
+	if p.Pkg.Types.Path() == faultPkgPath {
+		// The framework's own plumbing (the Inject wrapper, Arm validation)
+		// passes point names through variables by design.
+		return
+	}
+	p.walkStack(func(n ast.Node, _ []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, _ := p.calleeObj(call).(*types.Func)
+		if fn == nil || fn.Name() != "Inject" || fn.Pkg() == nil ||
+			fn.Pkg().Path() != faultPkgPath || len(call.Args) == 0 {
+			return true
+		}
+		checkInjectArg(p, call.Args[0])
+		return true
+	})
+}
+
+// checkInjectArg requires the point argument of an Inject call to be a
+// reference to a Point* constant declared in the fault package.
+func checkInjectArg(p *Pass, arg ast.Expr) {
+	arg = ast.Unparen(arg)
+	if lit, ok := arg.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		p.Reportf(arg.Pos(), "fault point named by a raw string literal %s; use a fault.Point* constant from the central table", lit.Value)
+		return
+	}
+	if c := p.pointConst(arg); c != nil {
+		if c.Pkg() != nil && c.Pkg().Path() == faultPkgPath {
+			return
+		}
+		p.Reportf(arg.Pos(), "fault point constant %s is not declared in the fault package's central table", c.Name())
+		return
+	}
+	p.Reportf(arg.Pos(), "fault point must be a fault.Point* constant, not a dynamic expression")
+}
+
+// pointConst resolves e to a declared string constant named Point*, or nil.
+func (p *Pass) pointConst(e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	c, _ := p.ObjectOf(id).(*types.Const)
+	if c == nil || !strings.HasPrefix(c.Name(), "Point") {
+		return nil
+	}
+	if b, ok := c.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+		return nil
+	}
+	return c
+}
+
+// checkPointTable runs the declaration-side checks on any package that
+// declares a `Registered map[string]string` table (the fault package, and
+// fixtures mimicking it): Point* constant values must be unique, every
+// constant must be a key of the table, and every key must reference a
+// constant.
+func checkPointTable(p *Pass) {
+	table := findRegisteredTable(p)
+	if table == nil {
+		return
+	}
+	type pointDecl struct {
+		id  *ast.Ident
+		val string
+	}
+	var points []pointDecl
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, _ := p.Pkg.Info.Defs[name].(*types.Const)
+					if c == nil || !strings.HasPrefix(c.Name(), "Point") ||
+						c.Val().Kind() != constant.String {
+						continue
+					}
+					points = append(points, pointDecl{id: name, val: constant.StringVal(c.Val())})
+				}
+			}
+		}
+	}
+
+	seen := make(map[string]*ast.Ident)
+	for _, pt := range points {
+		if prev, ok := seen[pt.val]; ok {
+			p.Reportf(pt.id.Pos(), "fault point %s duplicates the name %q of %s; point names must be unique", pt.id.Name, pt.val, prev.Name)
+			continue
+		}
+		seen[pt.val] = pt.id
+	}
+
+	registered := make(map[string]bool)
+	for _, el := range table.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if tv, ok := p.Pkg.Info.Types[kv.Key]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			registered[constant.StringVal(tv.Value)] = true
+		}
+		if p.pointConst(kv.Key) == nil {
+			p.Reportf(kv.Key.Pos(), "Registered key does not reference a Point constant; declare the point in the central const block")
+		}
+	}
+
+	for _, pt := range points {
+		if !registered[pt.val] {
+			p.Reportf(pt.id.Pos(), "fault point %s (%q) is missing from the Registered table", pt.id.Name, pt.val)
+		}
+	}
+}
+
+// findRegisteredTable returns the composite literal initializing a
+// package-level `Registered map[string]string` variable, or nil.
+func findRegisteredTable(p *Pass) *ast.CompositeLit {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "Registered" || i >= len(vs.Values) {
+						continue
+					}
+					v, _ := p.Pkg.Info.Defs[name].(*types.Var)
+					if v == nil || !isStringMap(v.Type()) {
+						continue
+					}
+					if cl, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit); ok {
+						return cl
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isStringMap reports whether t is (an alias of) map[string]string.
+func isStringMap(t types.Type) bool {
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	return isStr(m.Key()) && isStr(m.Elem())
+}

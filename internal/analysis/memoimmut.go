@@ -13,6 +13,7 @@ const (
 	gposPkgPath   = "orca/internal/gpos"
 	dxlPkgPath    = "orca/internal/dxl"
 	searchPkgPath = "orca/internal/search"
+	faultPkgPath  = "orca/internal/fault"
 )
 
 // MemoImmut enforces the Memo's append-only contract (paper §4.1): once a

@@ -8,6 +8,9 @@ package core
 
 import (
 	"time"
+
+	"orca/internal/fault"
+	"orca/internal/gpos"
 )
 
 // Stage configures one optimization stage (paper §4.1 "Multi-Stage
@@ -49,6 +52,31 @@ type Config struct {
 	Stages []Stage
 	// TraceMemo retains a printable dump of the final Memo in the result.
 	TraceMemo bool
+
+	// Faults arms the named fault points of internal/fault for the duration
+	// of the session (disarmed when Optimize returns). Specs are parsed from
+	// the ORCA_FAULTS grammar by fault.ParseSpecs.
+	Faults []fault.Spec
+	// MemoryBudget caps the memory charged to the session's accountant, in
+	// bytes (0 = unlimited). When exceeded, the running stage is cut short
+	// through the scheduler's drain path: the best plan found so far is kept
+	// and the stage is marked Aborted.
+	MemoryBudget int64
+	// MaxGroups caps the number of Memo groups (0 = unlimited), aborting the
+	// stage through the same drain path as MemoryBudget.
+	MaxGroups int
+	// MDLookupTimeout bounds each metadata provider lookup (0 = none); a
+	// lookup that exceeds it fails with a CompMD LookupTimeout exception.
+	MDLookupTimeout time.Duration
+	// DisableDegradation turns off the degradation ladder: a failed
+	// optimization returns its error instead of retrying on lower rungs.
+	// The ladder's rungs use it internally to avoid recursing.
+	DisableDegradation bool
+	// DumpCapture, when set, is called once when the normal optimization pass
+	// fails and the degradation ladder engages; it writes a diagnostic dump
+	// (AMPERe) and returns its path, reported in Result.DumpPath. It is a
+	// callback so core does not depend on the ampere package.
+	DumpCapture func(q *Query, cfg Config, failure *gpos.Exception) string
 }
 
 // DefaultConfig returns a single-stage configuration for a cluster with the

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"orca/internal/base"
+	"orca/internal/gpos"
+	"orca/internal/ops"
+	"orca/internal/props"
+)
+
+// minimalPlan translates the logical tree directly into a valid physical
+// plan with no search, statistics or costing — the last rung of the
+// degradation ladder (paper §6.1: degrade gracefully, always hand the
+// executor *a* plan). Every choice is the simplest one: scans gathered to
+// the master, nested-loops joins, single-phase aggregates, Sort enforcers
+// wherever an operator needs order. The plan is all-singleton, so it is
+// valid on any cluster, just not parallel.
+func minimalPlan(q *Query) (*ops.Expr, error) {
+	// Normalization (including subquery decorrelation) must still succeed: a
+	// tree it rejects is semantically unsupported, and "rescuing" it would
+	// hand the executor a plan for a query the system cannot answer. The
+	// ladder only retries normalization here because the *normal pass's*
+	// failure may have been transient (e.g. an injected fault).
+	tree, err := Normalize(q.Tree, q.Factory)
+	if err != nil {
+		return nil, err
+	}
+	root, err := buildMinimal(tree)
+	if err != nil {
+		return nil, err
+	}
+	root = ensureSingleton(root)
+	root = ensureOrder(root, q.Order)
+	return root, nil
+}
+
+// buildMinimal recursively translates one logical operator. Each returned
+// node carries honestly derived physical properties (via the operator's own
+// Derive), so enforcer placement below composite operators is decided from
+// what the children actually deliver.
+func buildMinimal(e *ops.Expr) (*ops.Expr, error) {
+	kids := make([]*ops.Expr, len(e.Children))
+	for i, c := range e.Children {
+		k, err := buildMinimal(c)
+		if err != nil {
+			return nil, err
+		}
+		kids[i] = k
+	}
+	switch o := e.Op.(type) {
+	case *ops.Get:
+		return ensureSingleton(physNode(&ops.Scan{Alias: o.Alias, Rel: o.Rel, Cols: o.Cols})), nil
+	case *ops.Select:
+		return physNode(&ops.Filter{Pred: o.Pred}, kids[0]), nil
+	case *ops.Project:
+		return physNode(ops.NewComputeScalar(o.Elems), kids[0]), nil
+	case *ops.Join:
+		return minimalJoin(o.Type, o.Pred, kids[0], kids[1]), nil
+	case *ops.NAryJoin:
+		// Left-deep chain of cross nested-loops joins; all predicates are
+		// applied at the topmost join, where every input column is in scope.
+		out := kids[0]
+		for i := 1; i < len(kids); i++ {
+			var pred ops.ScalarExpr
+			if i == len(kids)-1 && len(o.Preds) > 0 {
+				pred = ops.And(o.Preds...)
+			}
+			out = minimalJoin(ops.InnerJoin, pred, out, kids[i])
+		}
+		return out, nil
+	case *ops.GbAgg:
+		if len(o.GroupCols) == 0 {
+			return physNode(&ops.ScalarAgg{Mode: ops.AggSingle, Aggs: o.Aggs}, kids[0]), nil
+		}
+		return physNode(&ops.HashAgg{Mode: ops.AggSingle, GroupCols: o.GroupCols, Aggs: o.Aggs}, kids[0]), nil
+	case *ops.Limit:
+		child := ensureOrder(kids[0], o.Order)
+		return physNode(&ops.PhysicalLimit{Order: o.Order, Count: o.Count, Offset: o.Offset, HasCount: o.HasCount}, child), nil
+	case *ops.UnionAll:
+		for i := range kids {
+			kids[i] = ensureSingleton(kids[i])
+		}
+		return physNode(&ops.PhysicalUnionAll{InCols: o.InCols, OutCols: o.OutCols}, kids...), nil
+	case *ops.CTEAnchor:
+		prodCols := make([]base.ColID, len(o.Cols))
+		for i, c := range o.Cols {
+			prodCols[i] = c.ID
+		}
+		producer := physNode(&ops.PhysicalCTEProducer{ID: o.ID, Cols: prodCols}, ensureSingleton(kids[0]))
+		return physNode(&ops.Sequence{}, producer, ensureSingleton(kids[1])), nil
+	case *ops.CTEConsumer:
+		// CTEConsumer always derives a Random distribution; gather it back.
+		return ensureSingleton(physNode(&ops.PhysicalCTEConsumer{ID: o.ID, Cols: o.Cols, ProducerCols: o.ProducerCols})), nil
+	case *ops.Window:
+		w := &ops.PhysicalWindow{PartitionCols: o.PartitionCols, Order: o.Order, Wins: o.Wins}
+		child := ensureOrder(kids[0], windowOrder(w))
+		return physNode(w, child), nil
+	default:
+		return nil, gpos.Raise(gpos.CompOptimizer, "NoMinimalPlan",
+			"minimal plan builder cannot translate operator %s", e.Op.Name())
+	}
+}
+
+// minimalJoin builds a nested-loops join, gathering both sides to the master
+// and spooling the inner side (it is re-scanned per outer tuple).
+func minimalJoin(t ops.JoinType, pred ops.ScalarExpr, outer, inner *ops.Expr) *ops.Expr {
+	return physNode(&ops.NLJoin{Type: t, Pred: pred},
+		ensureSingleton(outer), ensureRewindable(ensureSingleton(inner)))
+}
+
+// physNode assembles an expression node, deriving its delivered properties
+// from what the children deliver.
+func physNode(op ops.Physical, children ...*ops.Expr) *ops.Expr {
+	cd := make([]props.Derived, len(children))
+	for i, c := range children {
+		cd[i] = *c.Phys
+	}
+	d := op.Derive(cd)
+	return &ops.Expr{Op: op, Children: children, Phys: &d}
+}
+
+// ensureSingleton gathers a non-singleton subtree to the master.
+func ensureSingleton(e *ops.Expr) *ops.Expr {
+	if e.Phys.Dist.Satisfies(props.SingletonDist) {
+		return e
+	}
+	return physNode(&ops.Gather{}, e)
+}
+
+// ensureOrder sorts a subtree that does not already deliver the order.
+func ensureOrder(e *ops.Expr, order props.OrderSpec) *ops.Expr {
+	if len(order.Items) == 0 || e.Phys.Order.Satisfies(order) {
+		return e
+	}
+	return physNode(&ops.Sort{Order: order}, e)
+}
+
+// ensureRewindable spools a subtree that cannot be cheaply re-scanned.
+func ensureRewindable(e *ops.Expr) *ops.Expr {
+	if e.Phys.Rewindable {
+		return e
+	}
+	return physNode(&ops.Spool{}, e)
+}
+
+// windowOrder is the child order a window operator needs: partition columns
+// followed by the window order.
+func windowOrder(w *ops.PhysicalWindow) props.OrderSpec {
+	items := make([]props.OrderItem, 0, len(w.PartitionCols)+len(w.Order.Items))
+	for _, c := range w.PartitionCols {
+		items = append(items, props.OrderItem{Col: c})
+	}
+	items = append(items, w.Order.Items...)
+	return props.OrderSpec{Items: items}
+}

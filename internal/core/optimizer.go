@@ -8,6 +8,7 @@ import (
 
 	"orca/internal/base"
 	"orca/internal/cost"
+	"orca/internal/fault"
 	"orca/internal/gpos"
 	"orca/internal/md"
 	"orca/internal/memo"
@@ -41,6 +42,9 @@ type StageRun struct {
 	// TimedOut reports the stage hit its Timeout or StepLimit; the Memo then
 	// keeps the best plan found so far instead of discarding the stage.
 	TimedOut bool
+	// Aborted reports a resource guard (Config.MemoryBudget or MaxGroups)
+	// cut the stage short. Like TimedOut, the best plan found so far is kept.
+	Aborted bool
 	// RulesFired counts transformation-rule applications in this stage.
 	RulesFired int64
 	// Search is the stage's scheduler telemetry.
@@ -79,7 +83,27 @@ type Result struct {
 
 	// MemoTrace is a printable Memo dump when Config.TraceMemo is set.
 	MemoTrace string
+
+	// Degraded reports the plan came from the degradation ladder rather than
+	// the normal optimization pass (paper §6.1: fail the query gracefully,
+	// never the process).
+	Degraded bool
+	// DegradedRung names the ladder rung that produced the plan:
+	// RungHeuristic (reduced rule set) or RungMinimal (direct translation).
+	DegradedRung string
+	// Failure is the exception that made the normal pass fail and engaged
+	// the ladder (nil when the normal pass succeeded).
+	Failure *gpos.Exception
+	// DumpPath is where the diagnostic (AMPERe) dump for Failure was
+	// written; empty when no Config.DumpCapture hook is installed.
+	DumpPath string
 }
+
+// Degradation-ladder rung names reported in Result.DegradedRung.
+const (
+	RungHeuristic = "heuristic"
+	RungMinimal   = "minimal"
+)
 
 // Optimize runs the full optimization workflow over a bound query
 // (paper §4.1): normalize, copy-in to the Memo, then one goal-driven search
@@ -91,14 +115,128 @@ type Result struct {
 // All stages share the Memo: a later stage re-enables rules against the
 // accumulated groups and resumes search under its own rule-set epoch, so
 // work done by earlier stages (exploration, implementation, costing,
-// statistics) is never repeated. A stage cut short by its timeout or step
-// budget keeps the best plan found so far. The best plan across stages
-// wins; a stage finishing under its cost threshold short-circuits the
-// remaining stages.
+// statistics) is never repeated. A stage cut short by its timeout, step
+// budget or resource guard keeps the best plan found so far. The best plan
+// across stages wins; a stage finishing under its cost threshold
+// short-circuits the remaining stages.
+//
+// When the normal pass fails outright — an exception, a contained panic, or
+// every stage aborted without a plan — and Config.DisableDegradation is
+// false, Optimize walks a degradation ladder (paper §6.1) instead of
+// returning the error: first a heuristic pass with a reduced rule set, then
+// a minimal direct translation of the logical tree. The returned Result
+// reports Degraded, the rung taken, the triggering Failure, and the path of
+// the diagnostic dump captured through Config.DumpCapture.
 func Optimize(q *Query, cfg Config) (*Result, error) {
+	if len(cfg.Faults) > 0 {
+		disarm, err := fault.Arm(cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		defer disarm()
+	}
+	if q.Accessor != nil {
+		q.Accessor.SetLookupTimeout(cfg.MDLookupTimeout)
+	}
+
+	res, err := containedPass(q, cfg)
+	if err == nil || cfg.DisableDegradation {
+		return res, err
+	}
+
+	failure := gpos.AsException(err)
+	if failure == nil {
+		failure = gpos.Wrap(err, gpos.CompOptimizer, "OptimizationFailed", "optimization failed")
+	}
+	var dumpPath string
+	if cfg.DumpCapture != nil {
+		dumpPath = capturedDump(q, cfg, failure)
+	}
+
+	// Rung 1: heuristic. Retry with the exploration rules (except the greedy
+	// n-ary join expansion) switched off and a sequential scheduler — a much
+	// smaller, more predictable search that avoids most failure surface while
+	// still producing a costed plan.
+	hcfg := cfg
+	hcfg.DisableDegradation = true
+	hcfg.Workers = 1
+	hcfg.Stages = []Stage{{Name: "degraded-heuristic"}}
+	hcfg.DisabledRules = append(append([]string(nil), cfg.DisabledRules...),
+		"JoinCommutativity", "JoinAssociativity", "ExpandNAryJoinDP", "ExpandNAryJoinLeftDeep")
+	if hres, herr := containedPass(q, hcfg); herr == nil {
+		hres.Degraded = true
+		hres.DegradedRung = RungHeuristic
+		hres.Failure = failure
+		hres.DumpPath = dumpPath
+		return hres, nil
+	}
+
+	// Rung 2: minimal. Translate the logical tree directly into an
+	// all-singleton physical plan — no search, statistics or costing; this
+	// rung only fails if the tree contains an untranslatable operator.
+	start := time.Now()
+	plan, merr := containedMinimal(q)
+	if merr != nil {
+		return nil, errors.Join(err, merr)
+	}
+	return &Result{
+		Plan:         plan,
+		Cost:         memo.InfCost,
+		Stage:        RungMinimal,
+		Duration:     time.Since(start),
+		Degraded:     true,
+		DegradedRung: RungMinimal,
+		Failure:      failure,
+		DumpPath:     dumpPath,
+	}, nil
+}
+
+// containedPass runs optimizePass behind a panic-containment boundary: the
+// scheduler already contains panics raised inside job steps, but the pass
+// also runs code on the calling goroutine (normalization, Memo copy-in, plan
+// extraction), and a panic there must likewise fail the query, not the
+// process. The recovered exception keeps the original panic site's stack.
+func containedPass(q *Query, cfg Config) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, gpos.PanicException(gpos.CompOptimizer, r)
+		}
+	}()
+	return optimizePass(q, cfg)
+}
+
+// containedMinimal is minimalPlan behind the same containment boundary, so
+// the ladder's bottom rung cannot crash the process either.
+func containedMinimal(q *Query) (plan *ops.Expr, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			plan, err = nil, gpos.PanicException(gpos.CompOptimizer, r)
+		}
+	}()
+	return minimalPlan(q)
+}
+
+// capturedDump invokes the Config.DumpCapture hook behind a containment
+// boundary: diagnostic capture is best-effort and must never turn a rescued
+// failure into a crash (the harvest path has its own fault points).
+func capturedDump(q *Query, cfg Config, failure *gpos.Exception) (path string) {
+	defer func() {
+		if r := recover(); r != nil {
+			path = ""
+		}
+	}()
+	return cfg.DumpCapture(q, cfg, failure)
+}
+
+// optimizePass is one complete optimization workflow (normalize, copy-in,
+// staged search, extraction) with no degradation handling.
+func optimizePass(q *Query, cfg Config) (*Result, error) {
 	start := time.Now()
 	mem := &gpos.MemoryAccountant{}
 
+	if err := fault.Inject(fault.PointCoreNormalize); err != nil {
+		return nil, err
+	}
 	tree, err := Normalize(q.Tree, q.Factory)
 	if err != nil {
 		return nil, err
@@ -136,6 +274,24 @@ func Optimize(q *Query, cfg Config) (*Result, error) {
 	rules := xform.DefaultRules()
 	req := props.Required{Dist: props.SingletonDist, Order: q.Order}
 
+	// Resource guards: a poll evaluated by the scheduler before every job
+	// step. Tripping one drains the stage like a timeout — best-so-far state
+	// survives — but is reported distinctly via StageRun.Aborted.
+	var quota func() error
+	if cfg.MemoryBudget > 0 || cfg.MaxGroups > 0 {
+		quota = func() error {
+			if mem.Exhausted(cfg.MemoryBudget) {
+				return fmt.Errorf("memory budget %d bytes exhausted (current %d): %w",
+					cfg.MemoryBudget, mem.Current(), search.ErrBudget)
+			}
+			if cfg.MaxGroups > 0 && m.NumGroups() >= cfg.MaxGroups {
+				return fmt.Errorf("memo group limit %d reached (groups %d): %w",
+					cfg.MaxGroups, m.NumGroups(), search.ErrBudget)
+			}
+			return nil
+		}
+	}
+
 	res := &Result{
 		Cost:      memo.InfCost,
 		Memo:      m,
@@ -151,26 +307,37 @@ func Optimize(q *Query, cfg Config) (*Result, error) {
 		if st.Timeout > 0 {
 			deadline = time.Now().Add(st.Timeout)
 		}
-		bestCost, sstats, err := opt.RunStage(root, req, workers, deadline, st.StepLimit)
+		bestCost, sstats, err := opt.RunStage(root, req, search.StageParams{
+			Workers:   workers,
+			Deadline:  deadline,
+			StepLimit: st.StepLimit,
+			Quota:     quota,
+		})
 		fired := opt.RulesFired.Load()
 		run := StageRun{
 			Name:       st.Name,
 			Cost:       bestCost,
 			TimedOut:   errors.Is(err, search.ErrTimeout),
+			Aborted:    errors.Is(err, search.ErrBudget),
 			RulesFired: fired - prevFired,
 			Search:     sstats,
 		}
 		prevFired = fired
 		res.Search.Merge(sstats)
 		res.StageRuns = append(res.StageRuns, run)
-		if err != nil && !run.TimedOut {
+		drained := run.TimedOut || run.Aborted
+		if err != nil && !drained {
 			errs = append(errs, fmt.Errorf("stage %s: %w", st.Name, err))
 			continue
 		}
 		// The root context only ever improves (Offer keeps the minimum), so a
 		// strictly better cost means this stage found a better plan — extract
-		// it. A timed-out stage extracts its best-so-far plan the same way.
+		// it. A drained stage extracts its best-so-far plan the same way.
 		if bestCost < res.Cost {
+			if xerr := fault.Inject(fault.PointCoreExtract); xerr != nil {
+				errs = append(errs, fmt.Errorf("stage %s: %w", st.Name, xerr))
+				continue
+			}
 			plan, err := m.ExtractPlan(root, req)
 			if err != nil {
 				errs = append(errs, fmt.Errorf("stage %s: %w", st.Name, err))
@@ -179,10 +346,15 @@ func Optimize(q *Query, cfg Config) (*Result, error) {
 			res.Plan = plan
 			res.Cost = bestCost
 			res.Stage = st.Name
-		} else if run.TimedOut && res.Plan == nil {
-			errs = append(errs, fmt.Errorf("stage %s: %w", st.Name, search.ErrTimeout))
+		} else if drained && res.Plan == nil {
+			errs = append(errs, fmt.Errorf("stage %s: %w", st.Name, err))
 		}
 		if res.Plan != nil && st.CostThreshold > 0 && res.Cost <= st.CostThreshold {
+			break
+		}
+		if run.Aborted {
+			// Resource guards are persistent (memory stays charged, groups stay
+			// inserted), so later stages would abort immediately — stop here.
 			break
 		}
 	}

@@ -78,14 +78,31 @@ func TestStageTimeoutBestSoFar(t *testing.T) {
 }
 
 // TestStageTimeoutErrorAndRescue checks that a hopeless deadline surfaces
-// ErrTimeout, and that a later stage rescues the session by resuming the
-// same Memo.
+// ErrTimeout (with the degradation ladder off), that the ladder rescues the
+// same configuration when left on, and that a later stage rescues the
+// session by resuming the same Memo.
 func TestStageTimeoutErrorAndRescue(t *testing.T) {
 	q, _ := paperExample(t)
 	cfg := DefaultConfig(16)
 	cfg.Stages = []Stage{{Name: "tiny", Timeout: time.Nanosecond}}
+	cfg.DisableDegradation = true
 	if _, err := Optimize(q, cfg); !errors.Is(err, search.ErrTimeout) {
 		t.Errorf("want ErrTimeout from hopeless single stage, got %v", err)
+	}
+
+	qd, _ := paperExample(t)
+	dcfg := DefaultConfig(16)
+	dcfg.Stages = []Stage{{Name: "tiny", Timeout: time.Nanosecond}}
+	dres, err := Optimize(qd, dcfg)
+	if err != nil {
+		t.Fatalf("degradation ladder should rescue hopeless stage: %v", err)
+	}
+	if !dres.Degraded || dres.DegradedRung != RungHeuristic || dres.Plan == nil {
+		t.Errorf("want heuristic-rung degraded plan, got degraded=%v rung=%q plan=%v",
+			dres.Degraded, dres.DegradedRung, dres.Plan != nil)
+	}
+	if dres.Failure == nil || !errors.Is(dres.Failure, search.ErrTimeout) {
+		t.Errorf("degraded result should keep the triggering failure, got %v", dres.Failure)
 	}
 
 	q2, _ := paperExample(t)

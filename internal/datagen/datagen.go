@@ -11,6 +11,7 @@
 package datagen
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -180,17 +181,18 @@ func Load(c *engine.Cluster, rel *md.Relation, rs *md.RelStats, seed uint64) err
 
 // LoadAll generates and loads every relation registered with the provider.
 func LoadAll(c *engine.Cluster, p *md.MemProvider, seed uint64) error {
+	ctx := context.Background()
 	for i, name := range p.RelationNames() {
-		id, err := p.LookupRelation(name)
+		id, err := p.LookupRelation(ctx, name)
 		if err != nil {
 			return err
 		}
-		obj, err := p.GetObject(id)
+		obj, err := p.GetObject(ctx, id)
 		if err != nil {
 			return err
 		}
 		rel := obj.(*md.Relation)
-		sobj, err := p.GetObject(rel.StatsMdid)
+		sobj, err := p.GetObject(ctx, rel.StatsMdid)
 		if err != nil {
 			return err
 		}

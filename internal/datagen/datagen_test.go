@@ -1,6 +1,7 @@
 package datagen
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -26,7 +27,7 @@ func generate(t *testing.T, seed uint64) (*md.Relation, *md.RelStats, []engine.R
 	t.Helper()
 	p := md.NewMemProvider()
 	rel := md.Build(p, spec())
-	sobj, err := p.GetObject(rel.StatsMdid)
+	sobj, err := p.GetObject(context.Background(), rel.StatsMdid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,8 +116,8 @@ func TestKeysAlignAcrossTables(t *testing.T) {
 		Name: "fact", Rows: 2000, Policy: md.DistHash, DistCols: []int{0},
 		Cols: []md.ColSpec{{Name: "fk", Type: base.TInt, NDV: 100, Lo: 0, Hi: 100}},
 	})
-	dimStats, _ := p.GetObject(dim.StatsMdid)
-	factStats, _ := p.GetObject(fact.StatsMdid)
+	dimStats, _ := p.GetObject(context.Background(), dim.StatsMdid)
+	factStats, _ := p.GetObject(context.Background(), fact.StatsMdid)
 	dimRows, _ := Generate(dim, dimStats.(*md.RelStats), 1)
 	factRows, _ := Generate(fact, factStats.(*md.RelStats), 2)
 	pks := map[int64]bool{}

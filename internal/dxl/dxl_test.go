@@ -1,6 +1,7 @@
 package dxl
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -69,24 +70,24 @@ func TestMetadataRoundTrip(t *testing.T) {
 		t.Fatalf("parse metadata: %v", err)
 	}
 	for _, name := range p.RelationNames() {
-		id1, _ := p.LookupRelation(name)
-		id2, err := p2.LookupRelation(name)
+		id1, _ := p.LookupRelation(context.Background(), name)
+		id2, err := p2.LookupRelation(context.Background(), name)
 		if err != nil {
 			t.Fatalf("relation %q lost in round trip", name)
 		}
 		if id1 != id2 {
 			t.Errorf("relation %q mdid changed: %s vs %s", name, id1, id2)
 		}
-		o1, _ := p.GetObject(id1)
-		o2, _ := p2.GetObject(id2)
+		o1, _ := p.GetObject(context.Background(), id1)
+		o2, _ := p2.GetObject(context.Background(), id2)
 		r1, r2 := o1.(*md.Relation), o2.(*md.Relation)
 		if len(r1.Columns) != len(r2.Columns) || r1.Policy != r2.Policy ||
 			len(r1.Parts) != len(r2.Parts) || r1.PartCol != r2.PartCol ||
 			len(r1.IndexIDs) != len(r2.IndexIDs) {
 			t.Errorf("relation %q shape changed in round trip", name)
 		}
-		s1, _ := p.GetObject(r1.StatsMdid)
-		s2, err := p2.GetObject(r2.StatsMdid)
+		s1, _ := p.GetObject(context.Background(), r1.StatsMdid)
+		s2, err := p2.GetObject(context.Background(), r2.StatsMdid)
 		if err != nil {
 			t.Fatalf("stats of %q lost", name)
 		}

@@ -1,9 +1,11 @@
 package dxl
 
 import (
+	"context"
 	"fmt"
 	"os"
 
+	"orca/internal/fault"
 	"orca/internal/md"
 )
 
@@ -59,6 +61,10 @@ func findMetadata(n *Node) *Node {
 // statistics and indexes so the dump replays even when the failing session
 // aborted before loading them.
 func Harvest(acc *md.Accessor, provider md.Provider) (*Node, error) {
+	if err := fault.Inject(fault.PointDXLHarvest); err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
 	seen := map[md.MDId]bool{}
 	var objects []md.Object
 	add := func(id md.MDId) error {
@@ -66,7 +72,7 @@ func Harvest(acc *md.Accessor, provider md.Provider) (*Node, error) {
 			return nil
 		}
 		seen[id] = true
-		obj, err := provider.GetObject(id)
+		obj, err := provider.GetObject(ctx, id)
 		if err != nil {
 			return err
 		}
@@ -75,7 +81,7 @@ func Harvest(acc *md.Accessor, provider md.Provider) (*Node, error) {
 			for _, dep := range append([]md.MDId{rel.StatsMdid}, rel.IndexIDs...) {
 				if dep.IsValid() && !seen[dep] {
 					seen[dep] = true
-					dobj, err := provider.GetObject(dep)
+					dobj, err := provider.GetObject(ctx, dep)
 					if err != nil {
 						return err
 					}

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"orca/internal/fault"
 )
 
 // Node is a generic XML element; the serializers build Node trees and the
@@ -125,6 +127,9 @@ func escapeAttr(s string) string {
 
 // ParseXML reads a DXL document into a Node tree.
 func ParseXML(doc string) (*Node, error) {
+	if err := fault.Inject(fault.PointDXLParse); err != nil {
+		return nil, err
+	}
 	dec := xml.NewDecoder(strings.NewReader(doc))
 	var stack []*Node
 	var root *Node

@@ -1,0 +1,75 @@
+package fault
+
+import "sort"
+
+// The central fault-point table. Every location instrumented with Inject is
+// named here, once; instrumentation sites must reference these constants
+// rather than ad-hoc string literals. orcavet's faultpoint analyzer enforces
+// both properties: an Inject call whose argument is not one of these
+// constants is a finding, and so is a Point* constant missing from the
+// Registered table or sharing its value with another.
+//
+// Naming convention: <component>/<site>[/<detail>], where the component
+// prefix selects the gpos.Component of injected exceptions (see
+// componentFor).
+const (
+	// PointMDCacheLookup fires in md.Accessor.Get before the metadata-cache
+	// lookup — the first step of every metadata access.
+	PointMDCacheLookup = "md/cache/lookup"
+	// PointMDProviderFetch fires in md.Accessor.Get before the backend
+	// provider fetch on a cache miss.
+	PointMDProviderFetch = "md/provider/fetch"
+	// PointDXLParse fires in dxl.ParseXML before parsing a DXL document.
+	PointDXLParse = "dxl/parse"
+	// PointDXLHarvest fires in dxl.Harvest before serializing a session's
+	// touched metadata into a dump document.
+	PointDXLHarvest = "dxl/harvest"
+	// PointMemoInsert fires in memo.Memo.InsertExpr before a group
+	// expression is copied into the Memo.
+	PointMemoInsert = "memo/insert"
+	// PointMemoStatsDerive fires in memo.Memo.DeriveStats before a group's
+	// statistics are derived.
+	PointMemoStatsDerive = "memo/stats/derive"
+	// PointCostCompute fires in the search layer's Opt(gexpr, req) job right
+	// before a plan alternative is costed.
+	PointCostCompute = "cost/compute"
+	// PointSearchJobExec fires in the scheduler worker loop before every job
+	// step — the paper's CJob execution boundary.
+	PointSearchJobExec = "search/job/exec"
+	// PointSearchXformApply fires in the Xform(gexpr, t) job before a
+	// transformation rule is applied.
+	PointSearchXformApply = "search/xform/apply"
+	// PointCoreNormalize fires in core.Optimize before query normalization.
+	PointCoreNormalize = "core/normalize"
+	// PointCoreExtract fires in core.Optimize before plan extraction from
+	// the Memo.
+	PointCoreExtract = "core/extract"
+)
+
+// Registered maps every declared fault point to a one-line description of
+// the instrumented site. It is the single source of truth consulted by
+// Arm/ParseSpecs validation, by RandomSchedule, and by the faultpoint
+// analyzer.
+var Registered = map[string]string{
+	PointMDCacheLookup:    "metadata accessor cache lookup (md.Accessor.Get)",
+	PointMDProviderFetch:  "metadata provider fetch on cache miss (md.Accessor.Get)",
+	PointDXLParse:         "DXL document parse (dxl.ParseXML)",
+	PointDXLHarvest:       "DXL metadata harvest (dxl.Harvest)",
+	PointMemoInsert:       "Memo group-expression insertion (memo.Memo.InsertExpr)",
+	PointMemoStatsDerive:  "group statistics derivation (memo.Memo.DeriveStats)",
+	PointCostCompute:      "plan-alternative costing (search Opt(gexpr, req) job)",
+	PointSearchJobExec:    "scheduler job step (search.Scheduler worker)",
+	PointSearchXformApply: "transformation-rule application (search Xform job)",
+	PointCoreNormalize:    "query normalization (core.Optimize)",
+	PointCoreExtract:      "plan extraction (core.Optimize)",
+}
+
+// Points returns all registered fault-point names, sorted.
+func Points() []string {
+	out := make([]string, 0, len(Registered))
+	for p := range Registered {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

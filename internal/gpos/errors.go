@@ -85,6 +85,67 @@ func AsException(err error) *Exception {
 	return nil
 }
 
+// CodePanic is the exception code of recovered panics converted by
+// PanicException. Consumers (the degradation ladder, AMPERe) use it to tell
+// a contained crash from an ordinary raised error.
+const CodePanic = "Panic"
+
+// PanicException converts a recovered panic value into an Exception. It must
+// be called from inside the deferred recover handler: at that point the
+// goroutine's stack still holds the frames of the original panic site below
+// the runtime's panic machinery, and PanicException captures those — the
+// exception's stack names where the panic happened, not where it was
+// recovered. If the panic value is itself an error it becomes the cause.
+func PanicException(comp Component, v any) *Exception {
+	ex := &Exception{
+		Comp:  comp,
+		Code:  CodePanic,
+		Msg:   fmt.Sprintf("panic: %v", v),
+		Stack: capturePanicStack(),
+	}
+	if e, ok := v.(error); ok {
+		ex.Cause = e
+	}
+	return ex
+}
+
+// capturePanicStack captures the current stack trimmed to start at the
+// original panic site: every frame at or above the innermost
+// runtime.gopanic belongs to the recovery machinery (the deferred handler,
+// PanicException itself) and is dropped. Outside a panic handler there is no
+// gopanic frame and the untrimmed stack is returned.
+func capturePanicStack() []string {
+	pcs := make([]uintptr, 64)
+	n := runtime.Callers(2, pcs)
+	frames := runtime.CallersFrames(pcs[:n])
+	var all []runtime.Frame
+	for {
+		f, more := frames.Next()
+		all = append(all, f)
+		if !more {
+			break
+		}
+	}
+	start := 0
+	for i, f := range all {
+		if f.Function == "runtime.gopanic" {
+			start = i + 1
+			break
+		}
+	}
+	if start >= len(all) {
+		start = 0
+	}
+	out := make([]string, 0, 16)
+	for i, f := range all[start:] {
+		out = append(out, fmt.Sprintf("%d %s (%s:%d)", i+1, f.Function, trimPath(f.File), f.Line))
+		if len(out) >= 16 {
+			break
+		}
+	}
+	return out
+}
+
 func captureStack(skip int) []string {
 	pcs := make([]uintptr, 32)
 	n := runtime.Callers(skip+1, pcs)

@@ -33,13 +33,35 @@ func (m *MemoryAccountant) Charge(n int64) {
 	}
 }
 
-// Release returns n bytes to the accountant.
+// Release returns n bytes to the accountant. Over-release — n exceeding the
+// currently charged total, as on a double-release bug — clamps current at
+// zero instead of going negative, so budget checks (Exhausted) and footprint
+// reports stay meaningful.
 func (m *MemoryAccountant) Release(n int64) {
 	if m == nil || n <= 0 {
 		return
 	}
 	m.released.Add(1)
-	m.current.Add(-n)
+	for {
+		cur := m.current.Load()
+		next := cur - n
+		if next < 0 {
+			next = 0
+		}
+		if m.current.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// Exhausted reports whether the charged bytes meet or exceed the budget.
+// A budget of 0 (or negative) means unlimited and never exhausts; a nil
+// accountant never exhausts.
+func (m *MemoryAccountant) Exhausted(budget int64) bool {
+	if m == nil || budget <= 0 {
+		return false
+	}
+	return m.current.Load() >= budget
 }
 
 // Current returns the currently charged bytes.

@@ -1,6 +1,7 @@
 package gpos
 
 import (
+	"fmt"
 	"sync"
 )
 
@@ -63,21 +64,39 @@ func NewWorkerPool(n int) *WorkerPool {
 func (p *WorkerPool) worker() {
 	defer p.wg.Done()
 	for t := range p.tasks {
-		t.finish(p.safeRun(t))
+		p.runTask(t)
 	}
 }
 
-func (p *WorkerPool) safeRun(t *Task) (err error) {
+// runTask executes one task with crash containment. A panic is converted
+// into an Exception that preserves the original panic site's stack (see
+// PanicException) and the worker survives. runtime.Goexit cannot be caught
+// by recover — recover returns nil while the goroutine keeps unwinding — so
+// it is detected with a completion flag: the task is still finished (its
+// waiters are not stranded) and a replacement worker is started before the
+// dying goroutine releases its slot, keeping the pool at full capacity.
+func (p *WorkerPool) runTask(t *Task) {
+	finished := false
 	defer func() {
 		if r := recover(); r != nil {
-			if e, ok := r.(error); ok {
-				err = Wrap(e, CompSearch, "PanicInTask", "task %q panicked", t.Name)
-			} else {
-				err = Raise(CompSearch, "PanicInTask", "task %q panicked: %v", t.Name, r)
-			}
+			ex := PanicException(CompSearch, r)
+			ex.Msg = fmt.Sprintf("task %q panicked: %v", t.Name, r)
+			t.finish(ex)
+			return
+		}
+		if !finished {
+			// Goexit in flight: this deferred call is running during the
+			// goroutine's final unwind. The wg.Add must precede the worker
+			// defer's wg.Done, which holds because that defer runs after
+			// this one.
+			t.finish(Raise(CompSearch, "GoexitInTask", "task %q called runtime.Goexit", t.Name))
+			p.wg.Add(1)
+			go p.worker()
 		}
 	}()
-	return t.Run()
+	err := t.Run()
+	finished = true
+	t.finish(err)
 }
 
 // Submit enqueues a task; it returns false if the pool is closed.

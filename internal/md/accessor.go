@@ -1,9 +1,18 @@
 package md
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
+
+	"orca/internal/fault"
+	"orca/internal/gpos"
 )
+
+// CodeLookupTimeout is the gpos.Exception code raised when a provider lookup
+// exceeds the session's per-lookup timeout.
+const CodeLookupTimeout = "LookupTimeout"
 
 // Accessor mediates all metadata access for one optimization session (paper
 // §5, Figure 9). It keeps track of every object pinned during the session
@@ -19,6 +28,7 @@ import (
 type Accessor struct {
 	cache    *Cache
 	provider Provider
+	timeout  time.Duration
 
 	mu      sync.Mutex
 	pinned  map[MDId]int
@@ -35,15 +45,25 @@ func NewAccessor(cache *Cache, provider Provider) *Accessor {
 	}
 }
 
+// SetLookupTimeout bounds each provider lookup (cache misses and name
+// resolution). Zero means unlimited. A lookup exceeding the bound fails with
+// a CompMD gpos.Exception (CodeLookupTimeout) so a hung or slow provider
+// fails one metadata access — and through it, at worst, one optimization
+// stage — instead of hanging the session.
+func (a *Accessor) SetLookupTimeout(d time.Duration) { a.timeout = d }
+
 // Get returns the metadata object with the given id, fetching it through the
 // provider on a cache miss and pinning it for the session.
 func (a *Accessor) Get(id MDId) (Object, error) {
 	if !id.IsValid() {
 		return nil, NotFound("invalid mdid %s", id)
 	}
+	if err := fault.Inject(fault.PointMDCacheLookup); err != nil {
+		return nil, err
+	}
 	obj, ok := a.cache.Lookup(id)
 	if !ok {
-		fetched, err := a.provider.GetObject(id)
+		fetched, err := a.fetchObject(id)
 		if err != nil {
 			return nil, err
 		}
@@ -56,6 +76,48 @@ func (a *Accessor) Get(id MDId) (Object, error) {
 	}
 	a.mu.Unlock()
 	return obj, nil
+}
+
+// fetchObject retrieves an object from the provider under the session's
+// lookup timeout.
+func (a *Accessor) fetchObject(id MDId) (Object, error) {
+	return timedLookup(a.timeout, fmt.Sprintf("object %s", id), func(ctx context.Context) (Object, error) {
+		if err := fault.Inject(fault.PointMDProviderFetch); err != nil {
+			return nil, err
+		}
+		return a.provider.GetObject(ctx, id)
+	})
+}
+
+// timedLookup runs a provider call, bounding it by the timeout (0 =
+// unbounded, called inline). With a timeout the call runs on its own
+// goroutine and the caller abandons it once the deadline passes — the
+// context is cancelled so a cooperative provider stops promptly, but a
+// provider that ignores cancellation leaks its goroutine until it returns,
+// which is the price of not hanging the optimization.
+func timedLookup[T any](timeout time.Duration, what string, call func(context.Context) (T, error)) (T, error) {
+	if timeout <= 0 {
+		return call(context.Background())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	type result struct {
+		val T
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, err := call(ctx)
+		ch <- result{v, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.val, r.err
+	case <-ctx.Done():
+		var zero T
+		return zero, gpos.Raise(gpos.CompMD, CodeLookupTimeout,
+			"metadata lookup of %s exceeded %v", what, timeout)
+	}
 }
 
 // Relation returns the relation with the given id.
@@ -73,7 +135,9 @@ func (a *Accessor) Relation(id MDId) (*Relation, error) {
 
 // RelationByName resolves and returns a relation by name.
 func (a *Accessor) RelationByName(name string) (*Relation, error) {
-	id, err := a.provider.LookupRelation(name)
+	id, err := timedLookup(a.timeout, fmt.Sprintf("relation %q", name), func(ctx context.Context) (MDId, error) {
+		return a.provider.LookupRelation(ctx, name)
+	})
 	if err != nil {
 		return nil, err
 	}

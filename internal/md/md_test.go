@@ -1,6 +1,7 @@
 package md
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -69,13 +70,13 @@ func TestBuildRegistersEverything(t *testing.T) {
 	if rel.ColumnOrdinal("b") != 1 || rel.ColumnOrdinal("zzz") != -1 {
 		t.Error("ColumnOrdinal broken")
 	}
-	if _, err := p.GetObject(rel.StatsMdid); err != nil {
+	if _, err := p.GetObject(context.Background(), rel.StatsMdid); err != nil {
 		t.Errorf("stats not registered: %v", err)
 	}
 	if len(rel.IndexIDs) != 1 {
 		t.Fatalf("index not registered")
 	}
-	obj, err := p.GetObject(rel.IndexIDs[0])
+	obj, err := p.GetObject(context.Background(), rel.IndexIDs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestBuildRegistersEverything(t *testing.T) {
 	if ix.RelMdid != rel.Mdid || len(ix.KeyCols) != 1 || ix.KeyCols[0] != 0 {
 		t.Errorf("index shape: %+v", ix)
 	}
-	sobj, _ := p.GetObject(rel.StatsMdid)
+	sobj, _ := p.GetObject(context.Background(), rel.StatsMdid)
 	rs := sobj.(*RelStats)
 	if rs.Rows != 1000 || len(rs.Cols) != 2 {
 		t.Errorf("stats shape: rows=%g cols=%d", rs.Rows, len(rs.Cols))
@@ -161,7 +162,7 @@ func TestCacheVersionInvalidation(t *testing.T) {
 		t.Errorf("resolved %s, want %s", got.Mdid, newID)
 	}
 	// The stale version can no longer be fetched from the provider.
-	if _, err := p.GetObject(rel.Mdid); err == nil {
+	if _, err := p.GetObject(context.Background(), rel.Mdid); err == nil {
 		t.Error("stale version still served by provider")
 	}
 	acc2.Close()

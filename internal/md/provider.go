@@ -1,6 +1,7 @@
 package md
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -14,14 +15,21 @@ import (
 //
 // Providers must be safe for concurrent use: parallel statistics-derivation
 // jobs fetch metadata from multiple workers.
+//
+// Lookups take a context: a real backend provider talks to a catalog server
+// and must honor cancellation, and the Accessor enforces the session's
+// per-lookup timeout (core.Config.MDLookupTimeout) through it so a hung
+// provider fails the lookup instead of hanging the whole optimization.
+// In-memory providers may ignore the context beyond an initial ctx.Err()
+// check.
 type Provider interface {
 	// GetObject returns the metadata object with the given id. The provider
 	// must return the object whose version matches id exactly; a lookup of a
 	// stale version fails with ErrNotFound.
-	GetObject(id MDId) (Object, error)
+	GetObject(ctx context.Context, id MDId) (Object, error)
 
 	// LookupRelation resolves a relation name to its current Mdid.
-	LookupRelation(name string) (MDId, error)
+	LookupRelation(ctx context.Context, name string) (MDId, error)
 
 	// RelationNames lists all relation names, for harvesting and tooling.
 	RelationNames() []string
@@ -78,8 +86,12 @@ func (p *MemProvider) Put(obj Object) {
 	}
 }
 
-// GetObject implements Provider.
-func (p *MemProvider) GetObject(id MDId) (Object, error) {
+// GetObject implements Provider. The in-memory catalog never blocks, so the
+// context is only checked for prior cancellation.
+func (p *MemProvider) GetObject(ctx context.Context, id MDId) (Object, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	obj, ok := p.objects[id]
@@ -90,7 +102,10 @@ func (p *MemProvider) GetObject(id MDId) (Object, error) {
 }
 
 // LookupRelation implements Provider.
-func (p *MemProvider) LookupRelation(name string) (MDId, error) {
+func (p *MemProvider) LookupRelation(ctx context.Context, name string) (MDId, error) {
+	if err := ctx.Err(); err != nil {
+		return MDId{}, err
+	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	id, ok := p.byName[name]

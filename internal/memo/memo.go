@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"orca/internal/base"
+	"orca/internal/fault"
 	"orca/internal/gpos"
 	"orca/internal/ops"
 	"orca/internal/props"
@@ -116,6 +117,9 @@ func (m *Memo) Insert(e *ops.Expr) (GroupID, error) {
 // results always land in their target group, and subtree groups are keyed by
 // content alone. Full cross-group merging is out of scope (DESIGN.md §5).
 func (m *Memo) InsertExpr(op ops.Operator, children []GroupID, target GroupID) (*GroupExpr, error) {
+	if err := fault.Inject(fault.PointMemoInsert); err != nil {
+		return nil, err
+	}
 	fp := fingerprint(op, children)
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -1,6 +1,7 @@
 package memo
 
 import (
+	"orca/internal/fault"
 	"orca/internal/ops"
 	"orca/internal/stats"
 )
@@ -17,6 +18,9 @@ func (m *Memo) DeriveStats(gid GroupID, ctx *stats.Context) (*stats.Stats, error
 	g := m.Group(gid)
 	if s := g.Stats(); s != nil {
 		return s, nil
+	}
+	if err := fault.Inject(fault.PointMemoStatsDerive); err != nil {
+		return nil, err
 	}
 	ge := g.promisingExpr()
 	if ge == nil {

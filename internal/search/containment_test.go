@@ -1,0 +1,149 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"orca/internal/fault"
+	"orca/internal/gpos"
+)
+
+// panicInsideJob is a named frame so tests can assert the contained
+// exception's stack points at the panic site, not the recovery site.
+func panicInsideJob() {
+	panic("boom inside job")
+}
+
+func TestSchedulerContainsJobPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		bomb := &stepJob{key: "bomb", steps: []func() ([]Job, bool, error){
+			func() ([]Job, bool, error) {
+				panicInsideJob()
+				return nil, true, nil
+			},
+		}}
+		s := NewScheduler(workers)
+		err := s.Run(bomb)
+		if err == nil {
+			t.Fatalf("workers=%d: want error from panicking job", workers)
+		}
+		ex := gpos.AsException(err)
+		if ex == nil {
+			t.Fatalf("workers=%d: want gpos.Exception, got %T: %v", workers, err, err)
+		}
+		if ex.Comp != gpos.CompSearch || ex.Code != gpos.CodePanic {
+			t.Errorf("workers=%d: want %s/%s, got %s/%s",
+				workers, gpos.CompSearch, gpos.CodePanic, ex.Comp, ex.Code)
+		}
+		if !strings.Contains(ex.Msg, "opt job") || !strings.Contains(ex.Msg, "bomb") {
+			t.Errorf("workers=%d: message should name kind and key: %q", workers, ex.Msg)
+		}
+		if len(ex.Stack) == 0 || !strings.Contains(ex.Stack[0], "panicInsideJob") {
+			t.Errorf("workers=%d: stack should start at the panic site, got %v", workers, ex.Stack)
+		}
+	}
+}
+
+func TestSchedulerPanicFailsOnlyThisRun(t *testing.T) {
+	// After a contained panic the same process can run a fresh scheduler —
+	// §6.1's "fail the query, not the process".
+	bomb := &stepJob{key: "bomb", steps: []func() ([]Job, bool, error){
+		func() ([]Job, bool, error) { panic("first run dies") },
+	}}
+	if err := NewScheduler(2).Run(bomb); err == nil {
+		t.Fatal("want error from panicking run")
+	}
+	var hits int32
+	if err := NewScheduler(2).Run(leaf("ok", &hits)); err != nil || hits != 1 {
+		t.Fatalf("follow-up run broken: err=%v hits=%d", err, hits)
+	}
+}
+
+func TestSchedulerJobExecFaultPoint(t *testing.T) {
+	disarm, err := fault.Arm([]fault.Spec{{Point: fault.PointSearchJobExec, Action: fault.ActError}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+	var hits int32
+	runErr := NewScheduler(1).Run(leaf("victim", &hits))
+	ex := gpos.AsException(runErr)
+	if ex == nil || ex.Comp != gpos.CompSearch || ex.Code != fault.CodeInjected {
+		t.Fatalf("want injected search fault, got %v", runErr)
+	}
+	if hits != 0 {
+		t.Error("job body ran despite injected fault before the step")
+	}
+}
+
+func TestSchedulerJobExecPanicFaultContained(t *testing.T) {
+	disarm, err := fault.Arm([]fault.Spec{{Point: fault.PointSearchJobExec, Action: fault.ActPanic}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disarm()
+	var hits int32
+	runErr := NewScheduler(4).Run(leaf("victim", &hits))
+	ex := gpos.AsException(runErr)
+	if ex == nil || ex.Code != gpos.CodePanic {
+		t.Fatalf("want contained panic exception, got %v", runErr)
+	}
+	if len(ex.Stack) == 0 || !strings.Contains(ex.Stack[0], "injectPanic") {
+		t.Errorf("stack should start at the fault's panic site, got %v", ex.Stack)
+	}
+}
+
+func TestSchedulerQuotaAbortDrains(t *testing.T) {
+	// The quota trips after a few steps; the run must end with the quota's
+	// error through the drain path, recognizable via Drained.
+	var steps int32
+	quotaErr := fmt.Errorf("87 groups over limit: %w", ErrBudget)
+	s := NewScheduler(2)
+	s.SetQuotaCheck(func() error {
+		if atomic.LoadInt32(&steps) >= 5 {
+			return quotaErr
+		}
+		return nil
+	})
+	err := s.Run(spawnForeverJob(&steps))
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget through quota, got %v", err)
+	}
+	if !Drained(err) {
+		t.Error("quota abort must count as drained")
+	}
+}
+
+// spawnForeverJob endlessly spawns fresh children, simulating an unbounded
+// search.
+func spawnForeverJob(counter *int32) *stepJob {
+	n := atomic.AddInt32(counter, 1)
+	return &stepJob{key: fmt.Sprintf("spawn%d", n), steps: []func() ([]Job, bool, error){
+		func() ([]Job, bool, error) {
+			return []Job{spawnForeverJob(counter)}, false, nil
+		},
+		func() ([]Job, bool, error) { return nil, true, nil },
+	}}
+}
+
+func TestDrained(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{ErrTimeout, true},
+		{ErrBudget, true},
+		{fmt.Errorf("stage x: %w", ErrTimeout), true},
+		{fmt.Errorf("memory: %w", ErrBudget), true},
+		{errors.New("genuine failure"), false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := Drained(c.err); got != c.want {
+			t.Errorf("Drained(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

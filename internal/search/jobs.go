@@ -7,6 +7,7 @@ import (
 
 	"orca/internal/base"
 	"orca/internal/cost"
+	"orca/internal/fault"
 	"orca/internal/memo"
 	"orca/internal/ops"
 	"orca/internal/props"
@@ -31,19 +32,38 @@ type Optimizer struct {
 	RulesFired atomic.Int64
 }
 
+// StageParams bounds one optimization stage. The zero value means
+// "unbounded": no deadline, no step limit, no resource quota.
+type StageParams struct {
+	// Workers is the scheduler parallelism (minimum 1).
+	Workers int
+	// Deadline ends the stage with ErrTimeout once passed (zero = none).
+	Deadline time.Time
+	// StepLimit ends the stage with ErrTimeout after this many job steps
+	// (0 = none).
+	StepLimit int64
+	// Quota, when set, is polled before each job step; a non-nil return
+	// (conventionally wrapping ErrBudget) aborts the stage through the same
+	// best-so-far drain as a timeout. core wires the memory budget and the
+	// Memo group limit through it.
+	Quota func() error
+}
+
 // RunStage performs one optimization stage: a single goal-driven scheduler
 // pass from Opt(root, req). It returns the best plan cost found, the run's
 // telemetry, and the scheduler error (ErrTimeout when the stage's deadline
-// or step budget cut it short — the Memo then still holds the best plan
-// found so far, extractable via Memo.ExtractPlan).
-func (o *Optimizer) RunStage(root memo.GroupID, req props.Required, workers int, deadline time.Time, stepLimit int64) (float64, Stats, error) {
-	s := NewScheduler(workers)
-	s.SetDeadline(deadline)
-	s.SetStepLimit(stepLimit)
+// or step budget cut it short, ErrBudget when a resource quota did — the
+// Memo then still holds the best plan found so far, extractable via
+// Memo.ExtractPlan).
+func (o *Optimizer) RunStage(root memo.GroupID, req props.Required, p StageParams) (float64, Stats, error) {
+	s := NewScheduler(p.Workers)
+	s.SetDeadline(p.Deadline)
+	s.SetStepLimit(p.StepLimit)
+	s.SetQuotaCheck(p.Quota)
 	g := o.Memo.Group(root)
 	err := s.Run(&optGroupJob{o: o, g: g, req: req})
 	st := s.Stats()
-	if err != nil && err != ErrTimeout {
+	if err != nil && !Drained(err) {
 		return memo.InfCost, st, err
 	}
 	ctx := g.LookupContext(req)
@@ -205,6 +225,9 @@ func (j *xformJob) Kind() JobKind { return JobXform }
 
 func (j *xformJob) Step(*Scheduler) ([]Job, bool, error) {
 	if j.ge.MarkApplied(j.rule.Name()) {
+		if err := fault.Inject(fault.PointSearchXformApply); err != nil {
+			return nil, false, err
+		}
 		if err := j.rule.Apply(j.o.XCtx, j.ge); err != nil {
 			return nil, false, err
 		}
@@ -399,6 +422,9 @@ func (j *optGexprJob) evaluate(alt []props.Required) error {
 	delivered := phys.Derive(childDerived)
 	if !delivered.Satisfies(j.req) {
 		return nil
+	}
+	if err := fault.Inject(fault.PointCostCompute); err != nil {
+		return err
 	}
 	g := j.ge.Group()
 	if g.Stats() == nil {

@@ -11,8 +11,12 @@ package search
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
+
+	"orca/internal/fault"
+	"orca/internal/gpos"
 )
 
 // ErrTimeout reports that the optimization stage exceeded its deadline or
@@ -20,6 +24,19 @@ import (
 // in-flight job steps complete before Run returns, so the Memo is left in a
 // consistent state and the best plan found so far remains extractable.
 var ErrTimeout = errors.New("search: optimization timed out")
+
+// ErrBudget reports that a resource guard — the session memory budget or the
+// Memo group limit, polled through the stage's quota check — cut the stage
+// short. It drains exactly like ErrTimeout: the best plan found so far stays
+// extractable.
+var ErrBudget = errors.New("search: resource budget exhausted")
+
+// Drained reports whether err is one of the graceful-abort sentinels
+// (timeout or resource budget) after which the Memo still holds consistent
+// best-so-far state, as opposed to a genuine failure.
+func Drained(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrBudget)
+}
 
 // JobKind classifies scheduler jobs for telemetry (one per job family of
 // paper §4.2, plus the statistics-derivation job).
@@ -134,6 +151,7 @@ type Scheduler struct {
 	workers   int
 	deadline  time.Time
 	stepLimit int64
+	quota     func() error
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -166,6 +184,12 @@ func (s *Scheduler) SetDeadline(d time.Time) { s.deadline = d }
 // steps have started (0 = none). Unlike a wall-clock deadline it is
 // deterministic, which tests and reproducible stage budgets rely on.
 func (s *Scheduler) SetStepLimit(n int64) { s.stepLimit = n }
+
+// SetQuotaCheck installs a resource-guard poll evaluated before each job
+// step (nil = none). A non-nil return ends the run with that error through
+// the drain path, so best-so-far results survive. Conventionally the error
+// wraps ErrBudget.
+func (s *Scheduler) SetQuotaCheck(check func() error) { s.quota = check }
 
 // Stats returns the run's telemetry. Call it after Run has returned.
 func (s *Scheduler) Stats() Stats {
@@ -251,6 +275,17 @@ func (s *Scheduler) worker() {
 			s.mu.Unlock()
 			return
 		}
+		if s.quota != nil {
+			if qerr := s.quota(); qerr != nil {
+				if s.err == nil {
+					s.err = qerr
+				}
+				s.stopped = true
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				return
+			}
+		}
 		// LIFO pop keeps the search depth-first, bounding live jobs.
 		st := s.queue[len(s.queue)-1]
 		s.queue = s.queue[:len(s.queue)-1]
@@ -262,7 +297,7 @@ func (s *Scheduler) worker() {
 		s.mu.Unlock()
 
 		stepStart := time.Now()
-		children, done, err := st.job.Step(s)
+		children, done, err := s.step(st)
 
 		s.mu.Lock()
 		s.stats.Busy += time.Since(stepStart)
@@ -295,6 +330,27 @@ func (s *Scheduler) worker() {
 		s.cond.Broadcast()
 		s.mu.Unlock()
 	}
+}
+
+// step executes one job step with panic containment (paper §6.1's "fail the
+// query, not the process"): a panic inside a job — in a transformation rule,
+// statistics derivation, costing, or an injected fault — is converted into a
+// gpos.Exception that preserves the original panic site's stack and is
+// surfaced through the scheduler's normal error path, failing only this
+// stage. The worker goroutine survives; the degradation ladder in core and
+// the AMPERe capture hook take it from there.
+func (s *Scheduler) step(st *jobState) (children []Job, done bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ex := gpos.PanicException(gpos.CompSearch, r)
+			ex.Msg = fmt.Sprintf("panic in %s job %q: %v", st.job.Kind(), st.job.Key(), r)
+			children, done, err = nil, false, ex
+		}
+	}()
+	if err := fault.Inject(fault.PointSearchJobExec); err != nil {
+		return nil, false, err
+	}
+	return st.job.Step(s)
 }
 
 func (s *Scheduler) completeLocked(st *jobState) {

@@ -102,21 +102,60 @@ func (s *System) Bind(query string) (*core.Query, error) {
 
 // Optimize binds and optimizes a SQL query, returning the optimization
 // result (plan, cost, Memo statistics). When DumpDir is set, a failure
-// automatically captures an AMPERe repro dump.
+// automatically captures an AMPERe repro dump — both when the degradation
+// ladder rescues the session (the dump path lands in Result.DumpPath) and
+// when optimization fails outright.
 func (s *System) Optimize(query string) (*core.Result, *core.Query, error) {
 	q, err := s.Bind(query)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer q.Accessor.Close()
-	res, err := core.Optimize(q, s.Config)
+	cfg := s.Config
+	var dumped string
+	if s.DumpDir != "" && cfg.DumpCapture == nil {
+		cfg.DumpCapture = func(fq *core.Query, fcfg core.Config, failure *gpos.Exception) string {
+			path, derr := s.writeDump(fq, fcfg, failure)
+			if derr != nil {
+				return ""
+			}
+			dumped = path
+			return path
+		}
+	}
+	res, err := core.Optimize(q, cfg)
 	if err != nil {
-		if path, derr := s.captureDump(query, err); derr == nil && path != "" {
-			return nil, nil, fmt.Errorf("%w (AMPERe dump: %s)", err, path)
+		// The ladder already captured a dump through the hook when it
+		// engaged; capture here only for failures that bypassed it (e.g.
+		// DisableDegradation).
+		if dumped == "" {
+			if path, derr := s.captureDump(query, err); derr == nil {
+				dumped = path
+			}
+		}
+		if dumped != "" {
+			return nil, nil, fmt.Errorf("%w (AMPERe dump: %s)", err, dumped)
 		}
 		return nil, nil, err
 	}
 	return res, q, nil
+}
+
+// writeDump renders an AMPERe dump for a failed optimization of an
+// already-bound query into DumpDir.
+func (s *System) writeDump(q *core.Query, cfg core.Config, cause error) (string, error) {
+	if s.DumpDir == "" {
+		return "", nil
+	}
+	d, err := ampere.Capture(q, cfg, s.Provider, cause)
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(s.DumpDir, fmt.Sprintf("ampere-%d.dxl", time.Now().UnixNano()))
+	if err := d.WriteFile(path); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // captureDump writes an AMPERe dump for a failed optimization of the given
@@ -130,15 +169,7 @@ func (s *System) captureDump(query string, cause error) (string, error) {
 		return "", err
 	}
 	defer q.Accessor.Close()
-	d, err := ampere.Capture(q, s.Config, s.Provider, cause)
-	if err != nil {
-		return "", err
-	}
-	path := filepath.Join(s.DumpDir, fmt.Sprintf("ampere-%d.dxl", time.Now().UnixNano()))
-	if err := d.WriteFile(path); err != nil {
-		return "", err
-	}
-	return path, nil
+	return s.writeDump(q, s.Config, cause)
 }
 
 // Explain returns the optimized plan rendered as text.
