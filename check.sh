@@ -15,6 +15,10 @@
 #            daily and is printed on failure — replay with
 #            ORCA_CHAOS=1 ORCA_CHAOS_SEED=<n> go test -race -run
 #            TestChaosSchedule ./internal/core/
+#   membench one short pass over the Memo hot-path microbenchmarks
+#            (internal/memo BenchmarkMemo*) — catches compile rot and
+#            gross regressions; the full -cpu=1,2,4,8 curve is
+#            `cmd/benchmarks -experiment=memo -json` → BENCH_memo.json
 #
 # Run from the repository root: ./check.sh
 set -eu
@@ -47,5 +51,8 @@ chaos_seed="${ORCA_CHAOS_SEED:-$(date +%Y%j)}"
 echo "==> chaos (randomized fault schedule under -race, seed $chaos_seed)"
 ORCA_CHAOS=1 ORCA_CHAOS_SEED="$chaos_seed" \
     go test -race -count=1 -run TestChaosSchedule ./internal/core/
+
+echo "==> memo microbenchmarks (smoke pass)"
+go test -run '^$' -bench 'BenchmarkMemo' -benchtime=1000x ./internal/memo/
 
 echo "All checks passed."

@@ -3,8 +3,11 @@
 //
 // Usage:
 //
-//	benchmarks -experiment=fig12|opttime|fig13|fig14|fig15|taqo|all \
-//	           [-segments=16] [-scale=2] [-budget=8000000] [-seed=N]
+//	benchmarks -experiment=fig12|opttime|fig13|fig14|fig15|taqo|memo|all \
+//	           [-segments=16] [-scale=2] [-budget=8000000] [-seed=N] [-json]
+//
+// With -json, experiments that define a machine-readable artifact write it to
+// the working directory (memo → BENCH_memo.json).
 package main
 
 import (
@@ -18,12 +21,13 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig12, opttime, fig13, fig14, fig15, taqo or all")
+	experiment := flag.String("experiment", "all", "fig12, opttime, fig13, fig14, fig15, taqo, memo or all")
 	segments := flag.Int("segments", 16, "number of cluster segments")
 	scale := flag.Int("scale", 2, "data scale factor")
 	budget := flag.Int64("budget", 8_000_000, "execution budget (work units) standing in for the paper's 10000s timeout")
 	seed := flag.Uint64("seed", 20140622, "data generation seed")
 	samples := flag.Int("taqo-samples", 12, "plans sampled per query for TAQO")
+	jsonOut := flag.Bool("json", false, "also write machine-readable artifacts (memo → BENCH_memo.json)")
 	flag.Parse()
 
 	cfg := experiments.Config{Segments: *segments, Scale: *scale, Seed: *seed, Budget: *budget}
@@ -46,6 +50,7 @@ func main() {
 	run("fig14", func(e *experiments.Env) error { return figRival(e, rival.Stinger(), "Figure 14: HAWQ vs Stinger") })
 	run("fig15", fig15)
 	run("taqo", func(e *experiments.Env) error { return taqoExp(e, *samples) })
+	run("memo", func(e *experiments.Env) error { return memoExp(e, *jsonOut) })
 }
 
 func fatal(err error) {

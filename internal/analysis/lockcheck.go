@@ -10,11 +10,22 @@ import (
 // §4.2): condition variables must be re-checked in a loop after waking,
 // every Lock needs a matching Unlock reachable on all return paths, and
 // structs embedding a mutex must never be copied.
+//
+// It also guards the Memo's contention-free hot paths (DESIGN.md §11):
+//   - memoindex: the Memo's lock-free group index (groupN/chunkDir) and its
+//     sharded registries (stripes/reqStripes) may be touched only by the
+//     accessor functions that uphold their publication protocol — everything
+//     else must go through Group/NumGroups/InsertExpr/InternReq/LookupReq;
+//   - ruleledger: the per-expression applied-rule ledger must stay a dense
+//     bitset; reintroducing a string-keyed map would put string hashing back
+//     on the rule-firing check path.
 var LockCheck = &Analyzer{
 	Name: "lockcheck",
 	Doc: "flags sync.Cond.Wait calls not wrapped in a for loop, Lock calls " +
-		"without a deferred/paired Unlock on every return path, and copies " +
-		"of structs containing sync primitives",
+		"without a deferred/paired Unlock on every return path, copies " +
+		"of structs containing sync primitives, direct access to the Memo's " +
+		"lock-free index and sharded registries outside their accessors, and " +
+		"string-keyed applied-rule ledgers",
 	Run: runLockCheck,
 }
 
@@ -33,6 +44,10 @@ func runLockCheck(p *Pass) {
 		case *ast.CallExpr:
 			checkLockCall(p, n, stack, unitFor)
 			checkLockArgs(p, n)
+		case *ast.SelectorExpr:
+			checkMemoIndexAccess(p, n, stack)
+		case *ast.StructType:
+			checkStringRuleLedger(p, n)
 		case *ast.ReturnStmt:
 			if fn := enclosingFunc(stack); fn != nil {
 				unitFor(fn).returns = append(unitFor(fn).returns, n.Pos())
@@ -225,6 +240,71 @@ func unlockName(key string) string {
 		return key[:len(key)-2] + ".RUnlock"
 	}
 	return key[:len(key)-2] + ".Unlock"
+}
+
+// ---------------------------------------------------------------------------
+// memoindex: the Memo's lock-free index and sharded registries
+
+// memoIndexAccessors lists, per guarded Memo field, the only functions
+// allowed to touch it directly. Everything else must use the accessors, which
+// uphold the publication protocol (slot write → directory → count) and the
+// stripe lock ordering (DESIGN.md §11). The rule keys on the struct name so
+// the fixture package can exercise it without importing internal/memo.
+var memoIndexAccessors = map[string]map[string]bool{
+	"groupN":     {"New": true, "groupSnapshot": true, "Group": true, "NumGroups": true, "publishGroup": true},
+	"chunkDir":   {"New": true, "groupSnapshot": true, "Group": true, "NumGroups": true, "publishGroup": true},
+	"stripes":    {"New": true, "InsertExpr": true, "Validate": true},
+	"reqStripes": {"New": true, "InternReq": true, "LookupReq": true},
+}
+
+// checkMemoIndexAccess flags selector expressions reaching into the Memo's
+// lock-free group index or its sharded registries from outside the accessor
+// functions that own their concurrency protocol.
+func checkMemoIndexAccess(p *Pass, sel *ast.SelectorExpr, stack []ast.Node) {
+	allowed, guarded := memoIndexAccessors[sel.Sel.Name]
+	if !guarded {
+		return
+	}
+	t := p.TypeOf(sel.X)
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Name() != "Memo" {
+		return
+	}
+	// The selection must be a struct field, not a method value.
+	if s, ok := p.Pkg.Info.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fn, ok := stack[i].(*ast.FuncDecl); ok {
+			if allowed[fn.Name.Name] {
+				return
+			}
+			break
+		}
+	}
+	p.Reportf(sel.Pos(), "direct access to Memo.%s outside its accessors: the lock-free index and sharded registries must be reached through their accessor functions", sel.Sel.Name)
+}
+
+// checkStringRuleLedger flags struct fields named `applied` with a
+// string-keyed map type: the applied-rule ledger is a bitset over dense rule
+// IDs, and a string-keyed map would put hashing back on the rule-firing path.
+func checkStringRuleLedger(p *Pass, st *ast.StructType) {
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			if name.Name != "applied" {
+				continue
+			}
+			t := p.TypeOf(f.Type)
+			if m, ok := types.Unalias(t).(*types.Map); ok {
+				if b, ok := m.Key().Underlying().(*types.Basic); ok && b.Kind() == types.String {
+					p.Reportf(f.Pos(), "field applied is a string-keyed map: the applied-rule ledger must be a bitset over dense rule IDs (string hashing on the rule-firing path)")
+				}
+			}
+		}
+	}
 }
 
 // checkLockCopy flags reads that copy a value whose type contains a sync

@@ -7,12 +7,29 @@
 // incoming requests to child requests (the linkage structure), enforcer
 // insertion, statistics derivation over the compact structure, and final
 // plan extraction.
+//
+// The Memo is the structure every optimization job searches, so its hot
+// paths are built to be contention-free (paper §6.2, Figure 7 — near-linear
+// speedup with more cores requires the shared search structure not to
+// serialize the workers; DESIGN.md §11):
+//
+//   - the group index is an append-only chunked array published through an
+//     atomic pointer — Group(id) and NumGroups take no lock at all;
+//   - duplicate detection is striped: the content-addressed subtree registry
+//     is split across hash-sharded stripes with per-stripe locks, and
+//     target-group dedup uses only the group's own lock;
+//   - the applied-rule ledger is a bitset indexed by dense rule IDs
+//     (xform's registry), so rule-firing checks hash no strings;
+//   - optimization requests are interned per session to dense ReqIDs, so
+//     the Figure-6 hash tables are direct int-keyed maps with no
+//     Hash()/Equal() re-runs on every probe.
 package memo
 
 import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"orca/internal/base"
 	"orca/internal/fault"
@@ -25,34 +42,125 @@ import (
 // GroupID identifies a Memo group.
 type GroupID int32
 
+// ---------------------------------------------------------------------------
+// Lock-free group index
+
+const (
+	groupChunkBits = 6
+	groupChunkSize = 1 << groupChunkBits // groups per chunk
+	groupChunkMask = groupChunkSize - 1
+)
+
+type groupChunk [groupChunkSize]*Group
+
+// groupIndex is a consistent view of the append-only group index: a directory
+// of fixed-size chunks plus the count of groups visible through this view.
+// Views are immutable up to n — writers fill the new group's slot (and, on a
+// chunk boundary, install a new chunk) before publishing the count that
+// reveals it, so a reader holding any view can index every group below its n
+// without synchronization. Only groupSnapshot/publishGroup may touch the raw
+// structure (enforced by the lockcheck analyzer's memoindex rule).
+type groupIndex struct {
+	chunks []*groupChunk
+	n      int
+}
+
+func (idx *groupIndex) group(id GroupID) *Group {
+	return idx.chunks[id>>groupChunkBits][id&groupChunkMask]
+}
+
+// ---------------------------------------------------------------------------
+// Sharded duplicate-detection registry
+
+// numFpStripes is the stripe count of the content-addressed subtree
+// registry. Power of two so the stripe pick is a mask; 64 stripes keep the
+// collision probability of concurrent inserts on distinct fingerprints low
+// at any realistic worker count.
+const numFpStripes = 64
+
+// fpStripe is one stripe of the registry: the fingerprint buckets whose hash
+// falls on this stripe, guarded by the stripe's own lock.
+type fpStripe struct {
+	mu    sync.Mutex
+	table map[uint64][]*GroupExpr
+}
+
+// ---------------------------------------------------------------------------
+// Interned optimization requests
+
+// ReqID is a session-dense handle for an interned props.Required. Two
+// requests are Equal exactly when their ReqIDs match, so the per-group and
+// per-expression hash tables (paper Figure 6) key directly off the int
+// instead of re-running Hash()/Equal() per probe.
+type ReqID int32
+
+const numReqStripes = 16
+
+type reqStripe struct {
+	mu    sync.Mutex
+	table map[uint64][]reqEntry
+}
+
+type reqEntry struct {
+	req props.Required
+	id  ReqID
+}
+
 // Memo is the plan-space structure. All methods are safe for concurrent use
 // by optimization jobs. One Memo serves a whole optimization session: when
 // the session runs multiple stages, later stages resume search over the same
 // Memo instead of rebuilding it (group state is tracked per rule-set epoch,
 // see Group).
 type Memo struct {
-	mu     sync.Mutex
-	groups []*Group
-	// fingerprints provides the duplicate detection "based on expression
-	// topology" (paper §4.1 step 1): operator parameters plus child groups.
-	fingerprints map[uint64][]*GroupExpr
+	// groupN and chunkDir together form the lock-free group index; see
+	// groupIndex. groupN is the published group count; chunkDir points at the
+	// chunk directory, replaced only when it must grow (geometric doubling).
+	// Publication order is slot write → chunkDir (on chunk boundaries) →
+	// groupN, so a reader that observes count n through groupN finds every
+	// group below n through whatever directory it loads afterwards. Accessed
+	// only through groupSnapshot/Group/publishGroup.
+	groupN   atomic.Int64
+	chunkDir atomic.Pointer[[]*groupChunk]
+	// groupPubMu serializes group creation (writers only; readers never
+	// take it).
+	groupPubMu sync.Mutex
+
+	// stripes is the sharded duplicate-detection registry ("based on
+	// expression topology", paper §4.1 step 1): operator parameters plus
+	// child groups, keyed by fingerprint, striped by fingerprint hash.
+	stripes [numFpStripes]fpStripe
+
+	// reqStripes interns optimization requests to dense ReqIDs; nextReq
+	// allocates the IDs.
+	reqStripes [numReqStripes]reqStripe
+	nextReq    atomic.Int32
+
 	// cteProducers maps a CTE id to the group holding its producer side,
 	// recorded when the CTE anchor is inserted. On-demand statistics
 	// derivation uses it to reach producer statistics from a consumer group
 	// without walking the whole Memo from the root.
+	cteMu        sync.Mutex
 	cteProducers map[int]GroupID
-	mem          *gpos.MemoryAccountant
+
+	mem *gpos.MemoryAccountant
 
 	root GroupID
 }
 
 // New returns an empty Memo charging the given accountant (may be nil).
 func New(mem *gpos.MemoryAccountant) *Memo {
-	return &Memo{
-		fingerprints: make(map[uint64][]*GroupExpr),
+	m := &Memo{
 		cteProducers: make(map[int]GroupID),
 		mem:          mem,
 	}
+	m.chunkDir.Store(&[]*groupChunk{})
+	for i := range m.stripes {
+		m.stripes[i].table = make(map[uint64][]*GroupExpr)
+	}
+	for i := range m.reqStripes {
+		m.reqStripes[i].table = make(map[uint64][]reqEntry)
+	}
+	return m
 }
 
 // Root returns the root group id.
@@ -61,47 +169,122 @@ func (m *Memo) Root() GroupID { return m.root }
 // SetRoot marks the root group.
 func (m *Memo) SetRoot(g GroupID) { m.root = g }
 
-// Group returns the group with the given id.
-func (m *Memo) Group(id GroupID) *Group {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.groups[id]
+// groupSnapshot assembles a consistent index view: the count is loaded first,
+// so the directory loaded after it covers at least that many groups. The view
+// is immutable up to its n, so callers may index it freely without locks.
+func (m *Memo) groupSnapshot() groupIndex {
+	n := int(m.groupN.Load())
+	return groupIndex{chunks: *m.chunkDir.Load(), n: n}
 }
 
-// NumGroups returns the current number of groups.
+// Group returns the group with the given id. It performs no mutex
+// acquisition: one atomic pointer load plus two array indexings. The id must
+// have been observed through NumGroups or returned from an insert (the
+// directory loaded here then covers it).
+func (m *Memo) Group(id GroupID) *Group {
+	return (*m.chunkDir.Load())[id>>groupChunkBits][id&groupChunkMask]
+}
+
+// NumGroups returns the current number of groups, lock-free.
 func (m *Memo) NumGroups() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.groups)
+	return int(m.groupN.Load())
 }
 
 // NumExprs returns the total number of group expressions.
 func (m *Memo) NumExprs() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	idx := m.groupSnapshot()
 	n := 0
-	for _, g := range m.groups {
-		n += len(g.exprs)
+	for i := 0; i < idx.n; i++ {
+		n += idx.group(GroupID(i)).NumExprs()
 	}
 	return n
 }
 
+// publishGroup creates a new group seeded with the given expression and
+// publishes it through the lock-free index. The seed is wired in (back
+// pointer and expression list) before the count store that reveals the group,
+// so no reader ever observes an empty group and the fresh-insert path takes
+// no group lock. Callers must hold the stripe lock that owns the seed's
+// fingerprint (or otherwise guarantee no duplicate creation race);
+// publishGroup itself takes only the writer-side publication lock.
+func (m *Memo) publishGroup(seed *GroupExpr) *Group {
+	// Allocate before taking the publication lock: an allocation can stall on
+	// GC assist, and a stall inside the only writer-global lock would
+	// serialize every concurrent group creation behind the collector.
+	g := &Group{memo: m, exprs: []*GroupExpr{seed}}
+	seed.group = g
+	m.groupPubMu.Lock()
+	defer m.groupPubMu.Unlock()
+	n := int(m.groupN.Load())
+	g.ID = GroupID(n)
+	chunks := *m.chunkDir.Load()
+	if n&groupChunkMask == 0 {
+		// Last chunk full (or index empty): add a fresh chunk. When the
+		// directory has spare capacity the new chunk pointer goes into the
+		// shared backing array in place — prior views hold shorter slices of
+		// it and never index past their own n, so the slot is invisible to
+		// them until the count store below publishes it. Only when capacity
+		// runs out is the directory reallocated (geometric doubling), keeping
+		// publication O(1) amortized rather than O(n) per chunk fill.
+		if len(chunks) == cap(chunks) {
+			grown := make([]*groupChunk, len(chunks), 2*len(chunks)+1)
+			copy(grown, chunks)
+			chunks = grown
+		}
+		chunks = append(chunks, new(groupChunk))
+		m.chunkDir.Store(&chunks)
+	}
+	// Fill the slot before the count that reveals it is published; the atomic
+	// stores order the writes for readers, and readers of older counts never
+	// index past their own n.
+	chunks[n>>groupChunkBits][n&groupChunkMask] = g
+	m.groupN.Store(int64(n + 1))
+	m.mem.Charge(groupSizeBytes())
+	return g
+}
+
 // Insert copies a logical expression tree into the Memo (paper Figure 4),
-// creating groups bottom-up, and returns the root group id.
+// creating groups bottom-up, and returns the root group id. The walk is
+// iterative — an explicit frame stack instead of recursion — so deep
+// left-linear join chains pay neither a Go call frame nor repeated child
+// slice growth per node: each frame's child-group slice is allocated exactly
+// once, when the frame is pushed.
 func (m *Memo) Insert(e *ops.Expr) (GroupID, error) {
-	children := make([]GroupID, len(e.Children))
-	for i, c := range e.Children {
-		id, err := m.Insert(c)
+	type frame struct {
+		e        *ops.Expr
+		children []GroupID // one slot per child, filled as frames complete
+		next     int       // next child to descend into
+	}
+	newFrame := func(e *ops.Expr) frame {
+		f := frame{e: e}
+		if n := len(e.Children); n > 0 {
+			f.children = make([]GroupID, n)
+		}
+		return f
+	}
+	stack := make([]frame, 1, 32)
+	stack[0] = newFrame(e)
+	var result GroupID
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.e.Children) {
+			f.next++
+			stack = append(stack, newFrame(f.e.Children[f.next-1]))
+			continue
+		}
+		ge, err := m.InsertExpr(f.e.Op, f.children, -1)
 		if err != nil {
 			return 0, err
 		}
-		children[i] = id
+		stack = stack[:len(stack)-1]
+		if len(stack) == 0 {
+			result = ge.group.ID
+		} else {
+			parent := &stack[len(stack)-1]
+			parent.children[parent.next-1] = ge.group.ID
+		}
 	}
-	ge, err := m.InsertExpr(e.Op, children, -1)
-	if err != nil {
-		return 0, err
-	}
-	return ge.group.ID, nil
+	return result, nil
 }
 
 // InsertExpr adds one group expression with the given children. If target is
@@ -116,23 +299,27 @@ func (m *Memo) Insert(e *ops.Expr) (GroupID, error) {
 // function of the rule set (independent of job scheduling order): rule
 // results always land in their target group, and subtree groups are keyed by
 // content alone. Full cross-group merging is out of scope (DESIGN.md §5).
+//
+// Neither namespace touches a Memo-global lock: target-group inserts hold
+// only the group's lock for the probe-and-append, and registry inserts hold
+// only the fingerprint's stripe lock (plus, on group creation, the
+// publication lock).
 func (m *Memo) InsertExpr(op ops.Operator, children []GroupID, target GroupID) (*GroupExpr, error) {
 	if err := fault.Inject(fault.PointMemoInsert); err != nil {
 		return nil, err
 	}
 	fp := fingerprint(op, children)
-	m.mu.Lock()
-	defer m.mu.Unlock()
 
 	if a, ok := op.(*ops.CTEAnchor); ok && len(children) > 0 {
+		m.cteMu.Lock()
 		if _, seen := m.cteProducers[a.ID]; !seen {
 			m.cteProducers[a.ID] = children[0]
 		}
+		m.cteMu.Unlock()
 	}
 
-	var grp *Group
 	if target >= 0 {
-		grp = m.groups[int(target)]
+		grp := m.Group(target)
 		grp.mu.Lock()
 		for _, ge := range grp.exprs {
 			if ge.fp == fp && ge.matches(op, children) {
@@ -140,52 +327,75 @@ func (m *Memo) InsertExpr(op ops.Operator, children []GroupID, target GroupID) (
 				return ge, nil
 			}
 		}
+		ge := &GroupExpr{Op: op, Children: children, group: grp, fp: fp}
+		grp.exprs = append(grp.exprs, ge)
 		grp.mu.Unlock()
-	} else {
-		for _, ge := range m.fingerprints[fp] {
-			if ge.matches(op, children) {
-				return ge, nil
-			}
-		}
-		grp = m.newGroupLocked()
+		m.mem.Charge(exprSizeBytes(len(children)))
+		return ge, nil
 	}
 
-	ge := &GroupExpr{
-		Op:       op,
-		Children: children,
-		group:    grp,
-		fp:       fp,
-		local:    make(map[uint64][]*localLink),
-		applied:  make(map[string]bool),
+	s := &m.stripes[fp&(numFpStripes-1)]
+	s.mu.Lock()
+	for _, ge := range s.table[fp] {
+		if ge.matches(op, children) {
+			s.mu.Unlock()
+			return ge, nil
+		}
 	}
-	if target < 0 {
-		m.fingerprints[fp] = append(m.fingerprints[fp], ge)
-	}
-	grp.mu.Lock()
-	grp.exprs = append(grp.exprs, ge)
-	grp.mu.Unlock()
-	m.mem.Charge(128)
+	// Holding the stripe lock across group creation keeps probe+create
+	// atomic per fingerprint: a concurrent insert of the same subtree blocks
+	// on this stripe and then finds the registered expression. publishGroup
+	// wires the seed expression in before revealing the group, so no group
+	// lock is taken and no reader sees an empty group.
+	ge := &GroupExpr{Op: op, Children: children, fp: fp}
+	m.publishGroup(ge)
+	s.table[fp] = append(s.table[fp], ge)
+	s.mu.Unlock()
+	m.mem.Charge(exprSizeBytes(len(children)))
 	return ge, nil
 }
 
 // CTEProducer returns the group holding the producer side of the CTE with
 // the given id, recorded when its anchor was inserted.
 func (m *Memo) CTEProducer(id int) (GroupID, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.cteMu.Lock()
+	defer m.cteMu.Unlock()
 	g, ok := m.cteProducers[id]
 	return g, ok
 }
 
-func (m *Memo) newGroupLocked() *Group {
-	g := &Group{
-		ID:   GroupID(len(m.groups)),
-		memo: m,
-		ctxs: make(map[uint64][]*OptContext),
+// InternReq returns the session-dense id of an optimization request,
+// interning it on first use. Interned handles make every later probe of the
+// Figure-6 hash tables a direct int-keyed map access.
+func (m *Memo) InternReq(req props.Required) ReqID {
+	h := req.Hash()
+	s := &m.reqStripes[h&(numReqStripes-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.table[h] {
+		if e.req.Equal(req) {
+			return e.id
+		}
 	}
-	m.groups = append(m.groups, g)
-	m.mem.Charge(256)
-	return g
+	id := ReqID(m.nextReq.Add(1) - 1)
+	s.table[h] = append(s.table[h], reqEntry{req: req, id: id})
+	return id
+}
+
+// LookupReq returns the interned id of a request without interning it;
+// ok is false when the request was never seen by this session (and therefore
+// cannot appear in any table).
+func (m *Memo) LookupReq(req props.Required) (ReqID, bool) {
+	h := req.Hash()
+	s := &m.reqStripes[h&(numReqStripes-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.table[h] {
+		if e.req.Equal(req) {
+			return e.id, true
+		}
+	}
+	return 0, false
 }
 
 func fingerprint(op ops.Operator, children []GroupID) uint64 {
@@ -200,11 +410,10 @@ func fingerprint(op ops.Operator, children []GroupID) uint64 {
 // String renders the Memo's groups and expressions for debugging and for
 // the optimizer's trace facility.
 func (m *Memo) String() string {
-	m.mu.Lock()
-	groups := append([]*Group(nil), m.groups...)
-	m.mu.Unlock()
+	idx := m.groupSnapshot()
 	var b strings.Builder
-	for _, g := range groups {
+	for i := 0; i < idx.n; i++ {
+		g := idx.group(GroupID(i))
 		g.mu.Lock()
 		fmt.Fprintf(&b, "GROUP %d", g.ID)
 		if g.stats != nil {
@@ -241,10 +450,10 @@ type Group struct {
 
 	logical  *props.Logical
 	stats    *stats.Stats
-	explored map[int]bool    // rule-set epochs whose exploration completed
-	impl     map[int]bool    // rule-set epochs whose implementation completed
-	enforced map[uint64]bool // requests whose enforcers were added
-	ctxs     map[uint64][]*OptContext
+	explored map[int]bool // rule-set epochs whose exploration completed
+	impl     map[int]bool // rule-set epochs whose implementation completed
+	enforced map[ReqID]bool
+	ctxs     map[ReqID]*OptContext
 }
 
 // Exprs returns a snapshot of the group's expressions.
@@ -380,13 +589,17 @@ type GroupExpr struct {
 	group *Group
 	fp    uint64
 
-	mu      sync.Mutex
-	local   map[uint64][]*localLink
-	applied map[string]bool
+	mu sync.Mutex
+	// local is the Figure-6 local hash table, keyed by interned request id;
+	// allocated on first candidate (most expressions are never costed).
+	local map[ReqID]*localLink
+	// applied is the rule ledger: a bitset indexed by dense rule ID
+	// (xform.RuleIDFor), grown on demand. No strings are hashed on the
+	// rule-firing check path.
+	applied []uint64
 }
 
 type localLink struct {
-	req props.Required
 	// alternatives costed for this request (used by TAQO sampling).
 	candidates []Candidate
 }
@@ -414,25 +627,32 @@ func (ge *GroupExpr) matches(op ops.Operator, children []GroupID) bool {
 	return true
 }
 
-// MarkApplied records that a rule ran on this expression; it returns false
-// if the rule had already been applied (rules fire once per expression).
-func (ge *GroupExpr) MarkApplied(rule string) bool {
+// MarkApplied records that the rule with the given dense id (assigned by
+// xform's registry) ran on this expression; it returns false if the rule had
+// already been applied (rules fire once per expression).
+func (ge *GroupExpr) MarkApplied(rule int) bool {
+	w, bit := rule>>6, uint64(1)<<(rule&63)
 	ge.mu.Lock()
 	defer ge.mu.Unlock()
-	if ge.applied[rule] {
+	for len(ge.applied) <= w {
+		ge.applied = append(ge.applied, 0)
+	}
+	if ge.applied[w]&bit != 0 {
 		return false
 	}
-	ge.applied[rule] = true
+	ge.applied[w] |= bit
 	return true
 }
 
-// Applied reports whether the named rule already ran on this expression.
-// The ledger spans rule-set epochs, so a stage resuming search over a shared
-// Memo skips transformations an earlier stage performed.
-func (ge *GroupExpr) Applied(rule string) bool {
+// Applied reports whether the rule with the given dense id already ran on
+// this expression. The ledger spans rule-set epochs, so a stage resuming
+// search over a shared Memo skips transformations an earlier stage
+// performed.
+func (ge *GroupExpr) Applied(rule int) bool {
+	w, bit := rule>>6, uint64(1)<<(rule&63)
 	ge.mu.Lock()
 	defer ge.mu.Unlock()
-	return ge.applied[rule]
+	return w < len(ge.applied) && ge.applied[w]&bit != 0
 }
 
 // AddCandidate records a costed alternative for the request in the local
@@ -440,22 +660,26 @@ func (ge *GroupExpr) Applied(rule string) bool {
 // later optimization pass replaces the earlier entry rather than appending a
 // duplicate, so the candidate list stays one entry per distinct alternative.
 func (ge *GroupExpr) AddCandidate(req props.Required, c Candidate) {
-	h := req.Hash()
+	id := ge.group.memo.InternReq(req)
 	ge.mu.Lock()
 	defer ge.mu.Unlock()
-	for _, l := range ge.local[h] {
-		if l.req.Equal(req) {
-			for i := range l.candidates {
-				if sameChildReqs(l.candidates[i].ChildReqs, c.ChildReqs) {
-					l.candidates[i] = c
-					return
-				}
-			}
-			l.candidates = append(l.candidates, c)
+	if ge.local == nil {
+		ge.local = make(map[ReqID]*localLink)
+	}
+	l := ge.local[id]
+	if l == nil {
+		ge.local[id] = &localLink{candidates: []Candidate{c}}
+		ge.group.memo.mem.Charge(candidateSizeBytes(len(c.ChildReqs)))
+		return
+	}
+	for i := range l.candidates {
+		if sameChildReqs(l.candidates[i].ChildReqs, c.ChildReqs) {
+			l.candidates[i] = c
 			return
 		}
 	}
-	ge.local[h] = append(ge.local[h], &localLink{req: req, candidates: []Candidate{c}})
+	l.candidates = append(l.candidates, c)
+	ge.group.memo.mem.Charge(candidateSizeBytes(len(c.ChildReqs)))
 }
 
 func sameChildReqs(a, b []props.Required) bool {
@@ -472,13 +696,14 @@ func sameChildReqs(a, b []props.Required) bool {
 
 // Candidates returns the costed alternatives recorded for a request.
 func (ge *GroupExpr) Candidates(req props.Required) []Candidate {
-	h := req.Hash()
+	id, ok := ge.group.memo.LookupReq(req)
+	if !ok {
+		return nil
+	}
 	ge.mu.Lock()
 	defer ge.mu.Unlock()
-	for _, l := range ge.local[h] {
-		if l.req.Equal(req) {
-			return append([]Candidate(nil), l.candidates...)
-		}
+	if l := ge.local[id]; l != nil {
+		return append([]Candidate(nil), l.candidates...)
 	}
 	return nil
 }

@@ -220,14 +220,21 @@ func TestMarkApplied(t *testing.T) {
 	f := md.NewColumnFactory()
 	root, _ := m.Insert(paperTree(f))
 	ge := m.Group(root).Exprs()[0]
-	if !ge.MarkApplied("RuleX") {
+	const ruleX, ruleY = 3, 67 // two dense rule ids spanning bitset words
+	if ge.Applied(ruleX) {
+		t.Error("fresh expression must report no applied rules")
+	}
+	if !ge.MarkApplied(ruleX) {
 		t.Error("first application must succeed")
 	}
-	if ge.MarkApplied("RuleX") {
+	if ge.MarkApplied(ruleX) {
 		t.Error("rules must fire once per expression")
 	}
-	if !ge.MarkApplied("RuleY") {
+	if !ge.MarkApplied(ruleY) {
 		t.Error("different rule must still fire")
+	}
+	if !ge.Applied(ruleX) || !ge.Applied(ruleY) {
+		t.Error("applied ledger lost a recorded rule")
 	}
 }
 

@@ -34,33 +34,36 @@ type OptContext struct {
 
 // Context returns the group's context for a request, creating it if needed;
 // created reports whether this call created it (the caller then owns driving
-// its optimization — this is the job-queue dedup of paper §4.2).
+// its optimization — this is the job-queue dedup of paper §4.2). The request
+// is interned once; the group table itself is keyed by the interned id, so
+// the probe is a single int-keyed map access with no Equal() scan.
 func (g *Group) Context(req props.Required) (ctx *OptContext, created bool) {
-	h := req.Hash()
+	id := g.memo.InternReq(req)
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	for _, c := range g.ctxs[h] {
-		if c.Req.Equal(req) {
-			return c, false
-		}
+	if c, ok := g.ctxs[id]; ok {
+		return c, false
 	}
 	c := &OptContext{Group: g, Req: req}
-	g.ctxs[h] = append(g.ctxs[h], c)
-	g.memo.mem.Charge(96)
+	if g.ctxs == nil {
+		g.ctxs = make(map[ReqID]*OptContext)
+	}
+	g.ctxs[id] = c
+	g.memo.mem.Charge(optCtxSizeBytes())
 	return c, true
 }
 
-// LookupContext returns the existing context for a request, or nil.
+// LookupContext returns the existing context for a request, or nil. A
+// request that was never interned by this session cannot have a context, so
+// the miss path takes no group lock at all.
 func (g *Group) LookupContext(req props.Required) *OptContext {
-	h := req.Hash()
+	id, ok := g.memo.LookupReq(req)
+	if !ok {
+		return nil
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	for _, c := range g.ctxs[h] {
-		if c.Req.Equal(req) {
-			return c
-		}
-	}
-	return nil
+	return g.ctxs[id]
 }
 
 // Contexts returns a snapshot of all contexts of the group.
@@ -68,8 +71,8 @@ func (g *Group) Contexts() []*OptContext {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	var out []*OptContext
-	for _, list := range g.ctxs {
-		out = append(out, list...)
+	for _, c := range g.ctxs {
+		out = append(out, c)
 	}
 	return out
 }
@@ -131,16 +134,16 @@ func (c *OptContext) Done(epoch int) bool {
 // whose single child is the group itself (cf. "6: Sort(T1.a) [0]" in
 // Figure 6).
 func (g *Group) AddEnforcers(req props.Required) error {
-	h := req.Hash()
+	id := g.memo.InternReq(req)
 	g.mu.Lock()
 	if g.enforced == nil {
-		g.enforced = make(map[uint64]bool)
+		g.enforced = make(map[ReqID]bool)
 	}
-	if g.enforced[h] {
+	if g.enforced[id] {
 		g.mu.Unlock()
 		return nil
 	}
-	g.enforced[h] = true
+	g.enforced[id] = true
 	g.mu.Unlock()
 
 	self := []GroupID{g.ID}

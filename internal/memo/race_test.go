@@ -1,0 +1,265 @@
+package memo
+
+// Race-stress coverage for the contention-free Memo hot paths: concurrent
+// InsertExpr storms over the same and distinct fingerprints, into both the
+// fresh-group and target-group namespaces, interleaved with lock-free readers
+// (Group, NumGroups, Exprs, Logical). Run under -race these tests check the
+// publication safety of the atomic group-index snapshots and the sharded
+// fingerprint registry; after the storm they assert the dedup invariant
+// directly: no group holds two content-identical expressions.
+
+import (
+	"sync"
+	"testing"
+
+	"orca/internal/gpos"
+	"orca/internal/ops"
+	"orca/internal/props"
+)
+
+// assertNoDuplicates validates the Memo and re-checks dedup across every
+// group pairwise (Validate already does; the explicit loop keeps the test
+// meaningful if Validate's checks ever change).
+func assertNoDuplicates(t *testing.T, m *Memo) {
+	t.Helper()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate after concurrent storm: %v", err)
+	}
+	n := m.NumGroups()
+	for i := 0; i < n; i++ {
+		exprs := m.Group(GroupID(i)).Exprs()
+		for j, ge := range exprs {
+			for k := j + 1; k < len(exprs); k++ {
+				if exprs[k].matches(ge.Op, ge.Children) {
+					t.Fatalf("group %d holds duplicate expressions %d and %d", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentInsertSameFingerprint has every worker insert the same small
+// set of expressions: all but the first insert of each fingerprint must dedup
+// to the same group expression.
+func TestConcurrentInsertSameFingerprint(t *testing.T) {
+	m := New(&gpos.MemoryAccountant{})
+	leafGE, err := m.InsertExpr(&ops.CTEConsumer{ID: 0}, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := leafGE.Group().ID
+
+	const workers = 8
+	const distinct = 16
+	const rounds = 200
+	var wg sync.WaitGroup
+	results := make([][distinct]*GroupExpr, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := int64(r % distinct)
+				ge, err := m.InsertExpr(&ops.Limit{Count: k}, []GroupID{leaf}, -1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if prev := results[w][k]; prev != nil && prev != ge {
+					t.Errorf("worker %d: fingerprint %d deduped to two expressions", w, k)
+					return
+				}
+				results[w][k] = ge
+			}
+		}(w)
+	}
+	wg.Wait()
+	// All workers must agree on the canonical expression per fingerprint.
+	for k := 0; k < distinct; k++ {
+		for w := 1; w < workers; w++ {
+			if results[w][k] != results[0][k] {
+				t.Fatalf("fingerprint %d resolved to different expressions across workers", k)
+			}
+		}
+	}
+	if got := m.NumGroups(); got != 1+distinct {
+		t.Fatalf("NumGroups = %d, want %d", got, 1+distinct)
+	}
+	assertNoDuplicates(t, m)
+}
+
+// TestConcurrentInsertDistinctFingerprints has every worker insert its own
+// disjoint set of fingerprints while readers hammer the group index.
+func TestConcurrentInsertDistinctFingerprints(t *testing.T) {
+	m := New(&gpos.MemoryAccountant{})
+	leafGE, err := m.InsertExpr(&ops.CTEConsumer{ID: 0}, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := leafGE.Group().ID
+
+	const workers = 8
+	const perWorker = 200
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers: walk whatever prefix of the index is published.
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := m.NumGroups()
+				for i := 0; i < n; i++ {
+					g := m.Group(GroupID(i))
+					if g == nil {
+						t.Errorf("published group %d of %d is nil", i, n)
+						return
+					}
+					for _, ge := range g.Exprs() {
+						_ = ge.Op
+					}
+					_ = g.Logical()
+				}
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				k := int64(w*perWorker + i)
+				if _, err := m.InsertExpr(&ops.Limit{Count: k}, []GroupID{leaf}, -1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	target := 1 + workers*perWorker
+	if got := m.NumGroups(); got != target {
+		t.Fatalf("NumGroups = %d, want %d", got, target)
+	}
+	assertNoDuplicates(t, m)
+}
+
+// TestConcurrentInsertTargetGroup aims the storm at a single target group —
+// the rule-output path, whose dedup scans the group's own expression list —
+// while other workers populate the fresh-group namespace and readers probe
+// the Figure-6 request tables.
+func TestConcurrentInsertTargetGroup(t *testing.T) {
+	m := New(&gpos.MemoryAccountant{})
+	leafGE, err := m.InsertExpr(&ops.CTEConsumer{ID: 0}, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := leafGE.Group().ID
+	rootGE, err := m.InsertExpr(&ops.Limit{Count: -1}, []GroupID{leaf}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := rootGE.Group().ID
+	req := props.Required{Dist: props.SingletonDist}
+
+	const workers = 4
+	const distinct = 32
+	const rounds = 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Interleave target-namespace inserts, fresh-namespace
+				// inserts, and request-table traffic.
+				switch r % 3 {
+				case 0:
+					k := int64(r % distinct)
+					if _, err := m.InsertExpr(&ops.Limit{Count: k}, []GroupID{leaf}, target); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					k := int64(1000 + w*rounds + r)
+					if _, err := m.InsertExpr(&ops.Limit{Count: k}, []GroupID{leaf}, -1); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					g := m.Group(target)
+					if ctx, created := g.Context(req); created {
+						ctx.MarkDone(1)
+					} else if g.LookupContext(req) == nil {
+						t.Error("existing context not found")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// The target group holds the seed expression plus one per distinct
+	// fingerprint, regardless of how many workers raced to insert them.
+	if got := m.Group(target).NumExprs(); got != 1+distinct {
+		t.Fatalf("target group has %d expressions, want %d", got, 1+distinct)
+	}
+	assertNoDuplicates(t, m)
+}
+
+// TestConcurrentRuleLedgerAndIntern exercises the per-expression applied
+// bitset and the request-interning table from many goroutines: exactly one
+// MarkApplied per rule id wins, and interning the same request from every
+// worker yields one id.
+func TestConcurrentRuleLedgerAndIntern(t *testing.T) {
+	m := New(&gpos.MemoryAccountant{})
+	leafGE, err := m.InsertExpr(&ops.CTEConsumer{ID: 0}, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const rules = 100
+	wins := make([][rules]bool, workers)
+	reqIDs := make([]ReqID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rules; r++ {
+				if leafGE.MarkApplied(r) {
+					wins[w][r] = true
+				}
+				_ = leafGE.Applied(r)
+			}
+			reqIDs[w] = m.InternReq(props.Required{Dist: props.SingletonDist})
+		}(w)
+	}
+	wg.Wait()
+	for r := 0; r < rules; r++ {
+		n := 0
+		for w := 0; w < workers; w++ {
+			if wins[w][r] {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("rule %d: %d workers won MarkApplied, want exactly 1", r, n)
+		}
+		if !leafGE.Applied(r) {
+			t.Errorf("rule %d not recorded as applied", r)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		if reqIDs[w] != reqIDs[0] {
+			t.Fatalf("equal requests interned to different ids: %d vs %d", reqIDs[w], reqIDs[0])
+		}
+	}
+}

@@ -13,7 +13,8 @@ import (
 // group size, so it is not run on production paths.
 //
 // Invariants checked:
-//   - group IDs are dense and match their slice positions;
+//   - group IDs are dense and match their index positions (over the current
+//     lock-free index snapshot);
 //   - every group belongs to this Memo and holds at least one expression;
 //   - every expression's back-pointer names its owning group;
 //   - child group IDs are in range and never self-referential — except for
@@ -22,16 +23,17 @@ import (
 //   - stored fingerprints match a fresh recomputation (detects post-insert
 //     mutation of operators or child slices);
 //   - duplicate detection holds: no two expressions of a group match, and
-//     the content-addressed registry is consistent with its buckets.
+//     the sharded content-addressed registry is consistent — every entry
+//     sits on the stripe its fingerprint selects and is reachable from its
+//     group.
 func (m *Memo) Validate() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
 	fail := func(format string, args ...any) error {
 		return gpos.Raise(gpos.CompMemo, "InvalidMemo", format, args...)
 	}
 
-	for i, g := range m.groups {
+	idx := m.groupSnapshot()
+	for i := 0; i < idx.n; i++ {
+		g := idx.group(GroupID(i))
 		if g == nil {
 			return fail("group slot %d is nil", i)
 		}
@@ -41,9 +43,7 @@ func (m *Memo) Validate() error {
 		if g.memo != m {
 			return fail("group %d belongs to a different Memo", g.ID)
 		}
-		g.mu.Lock()
-		exprs := append([]*GroupExpr(nil), g.exprs...)
-		g.mu.Unlock()
+		exprs := g.Exprs()
 		if len(exprs) == 0 {
 			return fail("group %d has no expressions", g.ID)
 		}
@@ -55,7 +55,7 @@ func (m *Memo) Validate() error {
 				return fail("group %d expr %d has nil operator", g.ID, j)
 			}
 			for _, c := range ge.Children {
-				if c < 0 || int(c) >= len(m.groups) {
+				if c < 0 || int(c) >= idx.n {
 					return fail("group %d expr %d references out-of-range child group %d", g.ID, j, c)
 				}
 				if c == g.ID && !ge.IsEnforcer() {
@@ -73,27 +73,37 @@ func (m *Memo) Validate() error {
 		}
 	}
 
-	for fp, bucket := range m.fingerprints {
-		for i, ge := range bucket {
-			if ge.fp != fp {
-				return fail("registry bucket %#x entry %d carries fingerprint %#x", fp, i, ge.fp)
-			}
-			if ge.group == nil || ge.group.memo != m {
-				return fail("registry bucket %#x entry %d is detached from this Memo", fp, i)
-			}
-			ge.group.mu.Lock()
-			present := false
-			for _, e := range ge.group.exprs {
-				if e == ge {
-					present = true
-					break
+	for si := range m.stripes {
+		s := &m.stripes[si]
+		s.mu.Lock()
+		for fp, bucket := range s.table {
+			for i, ge := range bucket {
+				if ge.fp != fp {
+					s.mu.Unlock()
+					return fail("registry bucket %#x entry %d carries fingerprint %#x", fp, i, ge.fp)
+				}
+				if fp&(numFpStripes-1) != uint64(si) {
+					s.mu.Unlock()
+					return fail("registry bucket %#x landed on stripe %d, want %d", fp, si, fp&(numFpStripes-1))
+				}
+				if ge.group == nil || ge.group.memo != m {
+					s.mu.Unlock()
+					return fail("registry bucket %#x entry %d is detached from this Memo", fp, i)
+				}
+				present := false
+				for _, e := range ge.group.Exprs() {
+					if e == ge {
+						present = true
+						break
+					}
+				}
+				if !present {
+					s.mu.Unlock()
+					return fail("registry bucket %#x entry %d is missing from group %d", fp, i, ge.group.ID)
 				}
 			}
-			ge.group.mu.Unlock()
-			if !present {
-				return fail("registry bucket %#x entry %d is missing from group %d", fp, i, ge.group.ID)
-			}
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }

@@ -82,13 +82,19 @@ func TestValidateDetectsRegistryDrift(t *testing.T) {
 	// Swap a group's expression for a content-identical clone: the group
 	// stays structurally sound, but the content-addressed registry now
 	// points at an expression no group holds.
-	m.mu.Lock()
 	var ge *GroupExpr
-	for _, bucket := range m.fingerprints {
-		ge = bucket[0]
-		break
+	for si := range m.stripes {
+		s := &m.stripes[si]
+		s.mu.Lock()
+		for _, bucket := range s.table {
+			ge = bucket[0]
+			break
+		}
+		s.mu.Unlock()
+		if ge != nil {
+			break
+		}
 	}
-	m.mu.Unlock()
 	g := ge.group
 	clone := &GroupExpr{Op: ge.Op, Children: ge.Children, group: g, fp: ge.fp}
 	g.mu.Lock()

@@ -137,7 +137,7 @@ func (j *expGexprJob) Step(*Scheduler) ([]Job, bool, error) {
 		j.phase = 2
 		var children []Job
 		for _, r := range j.o.XCtx.Explorations() {
-			if !j.ge.Applied(r.Name()) && r.Matches(j.ge) {
+			if !j.ge.Applied(r.ID) && r.Matches(j.ge) {
 				children = append(children, &xformJob{o: j.o, ge: j.ge, rule: r})
 			}
 		}
@@ -200,7 +200,7 @@ func (j *impGexprJob) Step(*Scheduler) ([]Job, bool, error) {
 		j.phase = 1
 		var children []Job
 		for _, r := range j.o.XCtx.Implementations() {
-			if !j.ge.Applied(r.Name()) && r.Matches(j.ge) {
+			if !j.ge.Applied(r.ID) && r.Matches(j.ge) {
 				children = append(children, &xformJob{o: j.o, ge: j.ge, rule: r})
 			}
 		}
@@ -217,14 +217,14 @@ func (j *impGexprJob) Step(*Scheduler) ([]Job, bool, error) {
 type xformJob struct {
 	o    *Optimizer
 	ge   *memo.GroupExpr
-	rule xform.Rule
+	rule xform.ActiveRule
 }
 
 func (j *xformJob) Key() string   { return fmt.Sprintf("xf:%p:%s", j.ge, j.rule.Name()) }
 func (j *xformJob) Kind() JobKind { return JobXform }
 
 func (j *xformJob) Step(*Scheduler) ([]Job, bool, error) {
-	if j.ge.MarkApplied(j.rule.Name()) {
+	if j.ge.MarkApplied(j.rule.ID) {
 		if err := fault.Inject(fault.PointSearchXformApply); err != nil {
 			return nil, false, err
 		}

@@ -7,8 +7,9 @@
 package xform
 
 import (
-	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"orca/internal/md"
 	"orca/internal/memo"
@@ -24,6 +25,68 @@ const (
 	Exploration Kind = iota
 	Implementation
 )
+
+// ---------------------------------------------------------------------------
+// Rule registry: stable dense IDs
+
+// ruleRegistry assigns every rule name a stable small-int ID at registry
+// build time. The IDs index the Memo's per-expression applied-rule bitsets
+// (memo.GroupExpr.MarkApplied/Applied), so the rule-firing check path hashes
+// no strings; they also form the rule-set signature that keys optimization
+// epochs. DefaultRules are registered at package init in registration order,
+// which makes their IDs stable across sessions; rules registered later
+// (tests, extensions) get the next free ID.
+var ruleRegistry = struct {
+	mu    sync.Mutex
+	ids   map[string]int
+	names []string
+}{ids: make(map[string]int)}
+
+func init() {
+	for _, r := range DefaultRules() {
+		RuleIDFor(r.Name())
+	}
+}
+
+// RuleIDFor returns the dense id of a rule name, assigning the next free id
+// on first use. IDs are process-stable: a name always maps to the same id.
+func RuleIDFor(name string) int {
+	ruleRegistry.mu.Lock()
+	defer ruleRegistry.mu.Unlock()
+	if id, ok := ruleRegistry.ids[name]; ok {
+		return id
+	}
+	id := len(ruleRegistry.names)
+	ruleRegistry.ids[name] = id
+	ruleRegistry.names = append(ruleRegistry.names, name)
+	return id
+}
+
+// RuleNameFor returns the name registered for a dense rule id, or "" when
+// the id was never assigned.
+func RuleNameFor(id int) string {
+	ruleRegistry.mu.Lock()
+	defer ruleRegistry.mu.Unlock()
+	if id < 0 || id >= len(ruleRegistry.names) {
+		return ""
+	}
+	return ruleRegistry.names[id]
+}
+
+// NumRuleIDs returns the number of assigned rule ids.
+func NumRuleIDs() int {
+	ruleRegistry.mu.Lock()
+	defer ruleRegistry.mu.Unlock()
+	return len(ruleRegistry.names)
+}
+
+// ActiveRule is a rule activated for the current stage together with its
+// dense registry id, so the search jobs check the applied ledger without
+// touching the rule's name.
+type ActiveRule struct {
+	Rule
+	ID int
+}
 
 // Context carries everything rules need: the Memo for copy-in, the
 // statistics context for cardinality-driven rules (join ordering), metadata
@@ -51,39 +114,49 @@ type Context struct {
 
 	epoch           int
 	epochs          map[string]int
-	explorations    []Rule
-	implementations []Rule
+	explorations    []ActiveRule
+	implementations []ActiveRule
 }
 
 // SetRuleSet installs the stage's enabled rules (all rules minus the
 // disabled set) and returns the rule-set epoch: stages with identical
 // enabled-rule signatures share an epoch, so an identical later stage is a
-// no-op resume rather than a re-walk.
+// no-op resume rather than a re-walk. The signature is the bitset of dense
+// rule IDs (not a joined name list): the same set of rules always produces
+// the same epoch key regardless of registration or iteration order.
 func (ctx *Context) SetRuleSet(rules []Rule, disabled map[string]bool) int {
 	ctx.explorations = ctx.explorations[:0]
 	ctx.implementations = ctx.implementations[:0]
-	var names []string
+	var sig []uint64
 	for _, r := range rules {
 		if disabled[r.Name()] {
 			continue
 		}
-		names = append(names, r.Name())
+		id := RuleIDFor(r.Name())
+		for len(sig) <= id>>6 {
+			sig = append(sig, 0)
+		}
+		sig[id>>6] |= uint64(1) << (id & 63)
+		ar := ActiveRule{Rule: r, ID: id}
 		switch r.Kind() {
 		case Exploration:
-			ctx.explorations = append(ctx.explorations, r)
+			ctx.explorations = append(ctx.explorations, ar)
 		case Implementation:
-			ctx.implementations = append(ctx.implementations, r)
+			ctx.implementations = append(ctx.implementations, ar)
 		}
 	}
-	sort.Strings(names)
-	sig := strings.Join(names, ",")
+	var key strings.Builder
+	for _, w := range sig {
+		key.WriteString(strconv.FormatUint(w, 16))
+		key.WriteByte('.')
+	}
 	if ctx.epochs == nil {
 		ctx.epochs = make(map[string]int)
 	}
-	e, ok := ctx.epochs[sig]
+	e, ok := ctx.epochs[key.String()]
 	if !ok {
 		e = len(ctx.epochs) + 1
-		ctx.epochs[sig] = e
+		ctx.epochs[key.String()] = e
 	}
 	ctx.epoch = e
 	return e
@@ -92,11 +165,12 @@ func (ctx *Context) SetRuleSet(rules []Rule, disabled map[string]bool) int {
 // Epoch returns the active rule-set epoch (0 until SetRuleSet is called).
 func (ctx *Context) Epoch() int { return ctx.epoch }
 
-// Explorations returns the active exploration rules.
-func (ctx *Context) Explorations() []Rule { return ctx.explorations }
+// Explorations returns the active exploration rules with their dense ids.
+func (ctx *Context) Explorations() []ActiveRule { return ctx.explorations }
 
-// Implementations returns the active implementation rules.
-func (ctx *Context) Implementations() []Rule { return ctx.implementations }
+// Implementations returns the active implementation rules with their dense
+// ids.
+func (ctx *Context) Implementations() []ActiveRule { return ctx.implementations }
 
 // Rule is one transformation. Rules fire at most once per group expression
 // (tracked on the expression); Apply inserts its results into the source
