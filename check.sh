@@ -4,8 +4,14 @@
 #   build    go build ./...
 #   format   gofmt -l on all tracked Go files
 #   vet      go vet ./...
-#   orcavet  the project's own static analyzers (cmd/orcavet):
-#            memoimmut, lockcheck, opexhaustive, errdrop, faultpoint
+#   orcavet  the project's own static analyzers (cmd/orcavet): the
+#            per-package suite (memoimmut, lockcheck, opexhaustive,
+#            errdrop, faultpoint) plus the interprocedural passes
+#            (atomicpub, ctxflow, opclosure). One module-wide pass
+#            emitting SARIF, gated against orcavet.baseline.json: any
+#            non-baselined finding (or stale //orcavet:ignore) fails
+#            the build. internal/analysis is part of ./..., so the
+#            suite also analyzes its own implementation. Budget: 60s.
 #   test     go test ./...
 #   race     go test -race over the concurrency-heavy packages
 #            (search scheduler, memo, gpos worker pool, and core — the
@@ -38,8 +44,15 @@ fi
 echo "==> go vet"
 go vet ./...
 
-echo "==> orcavet"
-go run ./cmd/orcavet ./...
+echo "==> orcavet (SARIF, gated on orcavet.baseline.json)"
+orcavet_start=$(date +%s)
+go run ./cmd/orcavet -sarif -baseline orcavet.baseline.json ./... > /dev/null
+orcavet_elapsed=$(($(date +%s) - orcavet_start))
+echo "    orcavet finished in ${orcavet_elapsed}s"
+if [ "$orcavet_elapsed" -ge 60 ]; then
+    echo "orcavet: exceeded the 60s budget (${orcavet_elapsed}s)" >&2
+    exit 1
+fi
 
 echo "==> go test"
 go test ./...

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -79,7 +80,7 @@ func main() {
 		fatal(err)
 		res, err := core.Optimize(q2, cfg)
 		fatal(err)
-		d, err := ampere.Capture(q, cfg, memProvider, nil)
+		d, err := ampere.Capture(context.Background(), q, cfg, memProvider, nil)
 		fatal(err)
 		d.ExpectedPlan = dxl.PlanFingerprint(res.Plan)
 		fatal(d.WriteFile(*out))

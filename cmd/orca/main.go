@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -211,7 +212,7 @@ func runDemo(segments, workers int, tune func(*core.Config)) {
 // repro dumps of optimization failures into dir.
 func dumpCapturer(dir string, provider md.Provider) func(*core.Query, core.Config, *gpos.Exception) string {
 	return func(q *core.Query, cfg core.Config, failure *gpos.Exception) string {
-		d, err := ampere.Capture(q, cfg, provider, failure)
+		d, err := ampere.Capture(context.Background(), q, cfg, provider, failure)
 		if err != nil {
 			return ""
 		}

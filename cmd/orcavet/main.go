@@ -3,8 +3,18 @@
 //	go run ./cmd/orcavet ./...
 //
 // It prints one line per finding and exits non-zero if any finding remains
-// after //orcavet:ignore suppression. See internal/analysis for the
-// analyzer suite and the ignore mechanism.
+// after //orcavet:ignore:<analyzer> suppression and baseline filtering. See
+// internal/analysis for the analyzer suite, the interprocedural facts store,
+// and the ignore mechanism.
+//
+// CI integration:
+//
+//	-json             machine-readable findings on stdout
+//	-sarif            SARIF 2.1.0 log on stdout (for code-scanning upload)
+//	-baseline FILE    filter out reviewed findings; gate only on new ones
+//	-write-baseline FILE   accept the current findings as the new baseline
+//	-opmatrix FILE    write the opclosure operator-coverage matrix (JSON)
+//	-facts FILE       export the interprocedural facts store (JSON)
 package main
 
 import (
@@ -18,14 +28,21 @@ import (
 
 func main() {
 	var (
-		list = flag.Bool("analyzers", false, "print the analyzer suite and exit")
-		only = flag.String("run", "", "comma-separated analyzer names to run (default all)")
+		list          = flag.Bool("analyzers", false, "print the analyzer suite and exit")
+		only          = flag.String("run", "", "comma-separated analyzer names to run (default all)")
+		jsonOut       = flag.Bool("json", false, "print findings as JSON")
+		sarifOut      = flag.Bool("sarif", false, "print findings as SARIF 2.1.0")
+		baselinePath  = flag.String("baseline", "", "baseline file; findings listed there do not fail the run")
+		writeBaseline = flag.String("write-baseline", "", "write the current findings to this baseline file and exit 0")
+		opmatrixPath  = flag.String("opmatrix", "", "write the operator coverage matrix (JSON) to this file")
+		factsPath     = flag.String("facts", "", "export the interprocedural facts store (JSON) to this file")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: orcavet [-run name,...] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: orcavet [flags] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the Orca invariant analyzers over the given go list patterns\n")
-		fmt.Fprintf(os.Stderr, "(default ./...). Suppress a finding with a //orcavet:ignore <reason>\n")
-		fmt.Fprintf(os.Stderr, "comment on the offending line, or alone on the line above it.\n\n")
+		fmt.Fprintf(os.Stderr, "(default ./...). Suppress a finding with a //orcavet:ignore:<analyzer>\n")
+		fmt.Fprintf(os.Stderr, "<reason> comment on the offending line, or alone on the line above it;\n")
+		fmt.Fprintf(os.Stderr, "directives that suppress nothing are themselves reported.\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -37,6 +54,7 @@ func main() {
 		}
 		return
 	}
+	fullSuite := true
 	if *only != "" {
 		byName := make(map[string]*analysis.Analyzer)
 		for _, a := range suite {
@@ -51,6 +69,7 @@ func main() {
 			}
 			suite = append(suite, a)
 		}
+		fullSuite = len(suite) == len(byName)
 	}
 
 	patterns := flag.Args()
@@ -59,23 +78,79 @@ func main() {
 	}
 	loader, err := analysis.NewLoader("")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "orcavet:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "orcavet:", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	found := 0
-	for _, pkg := range pkgs {
-		for _, d := range analysis.Run(pkg, suite) {
-			fmt.Println(d)
-			found++
+	cfg := analysis.DefaultConfig()
+	// Unused-ignore reporting needs the full suite: a directive scoped to an
+	// analyzer excluded by -run is legitimately idle.
+	cfg.ReportUnusedIgnores = fullSuite
+	diags := analysis.RunModule(pkgs, suite, cfg)
+
+	if *factsPath != "" {
+		data, err := analysis.ComputeFacts(pkgs, cfg).Export()
+		if err == nil {
+			err = os.WriteFile(*factsPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fatal(err)
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "orcavet: %d finding(s)\n", found)
+	if *opmatrixPath != "" {
+		matrix := analysis.BuildOpMatrix(pkgs, cfg)
+		data, err := analysis.MarshalOpMatrix(matrix)
+		if err == nil {
+			err = os.WriteFile(*opmatrixPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	root := loader.ModuleDir
+	if *writeBaseline != "" {
+		if err := analysis.WriteBaseline(*writeBaseline, diags, root); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "orcavet: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return
+	}
+	if *baselinePath != "" {
+		b, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		diags = b.Filter(diags, root)
+	}
+
+	switch {
+	case *sarifOut:
+		data, err := analysis.MarshalSARIF(diags, suite, root)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	case *jsonOut:
+		data, err := analysis.MarshalJSONDiagnostics(diags, root)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "orcavet: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "orcavet:", err)
+	os.Exit(2)
 }

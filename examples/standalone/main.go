@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -71,7 +72,7 @@ func main() {
 		log.Fatal(err)
 	}
 	memProvider := provider.(*md.MemProvider)
-	dump, err := ampere.Capture(q2, core.DefaultConfig(16), memProvider, nil)
+	dump, err := ampere.Capture(context.Background(), q2, core.DefaultConfig(16), memProvider, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

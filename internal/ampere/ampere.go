@@ -9,6 +9,7 @@
 package ampere
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -49,9 +50,10 @@ type Dump struct {
 // Capture builds a dump for a bound query. The metadata section is minimal:
 // only the objects the session's accessor touched are harvested (plus, for
 // an unoptimized query, the objects reachable from binding). If err is a
-// gpos exception its stack trace is embedded, as in paper Listing 2.
-func Capture(q *core.Query, cfg core.Config, provider md.Provider, err error) (*Dump, error) {
-	meta, herr := dxl.Harvest(q.Accessor, provider)
+// gpos exception its stack trace is embedded, as in paper Listing 2. The
+// metadata harvest runs under ctx so a cancelled capture stops promptly.
+func Capture(ctx context.Context, q *core.Query, cfg core.Config, provider md.Provider, err error) (*Dump, error) {
+	meta, herr := dxl.Harvest(ctx, q.Accessor, provider)
 	if herr != nil {
 		return nil, herr
 	}

@@ -1,6 +1,7 @@
 package ampere
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -63,7 +64,7 @@ func TestDumpRoundTripAndReplay(t *testing.T) {
 	if _, err := q2.Accessor.RelationByName("r"); err != nil {
 		t.Fatal(err)
 	}
-	d, err := Capture(q2, cfg, p, nil)
+	d, err := Capture(context.Background(), q2, cfg, p, nil)
 	if err != nil {
 		t.Fatalf("capture: %v", err)
 	}
@@ -103,7 +104,7 @@ func TestDumpCapturesStackTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	ex := gpos.Raise(gpos.CompOptimizer, "TestError", "synthetic failure")
-	d, err := Capture(q, core.DefaultConfig(4), p, ex)
+	d, err := Capture(context.Background(), q, core.DefaultConfig(4), p, ex)
 	if err != nil {
 		t.Fatalf("capture: %v", err)
 	}
@@ -139,7 +140,7 @@ func TestCheckDetectsPlanChange(t *testing.T) {
 	// replayed plan changes and the test case must fail, triggering the
 	// investigation workflow.
 	cfg.DisabledRules = append(cfg.DisabledRules, "Select2Scan", "Select2IndexScan")
-	d, err := Capture(q2, cfg, p, nil)
+	d, err := Capture(context.Background(), q2, cfg, p, nil)
 	if err != nil {
 		t.Fatalf("capture: %v", err)
 	}

@@ -1,6 +1,7 @@
 package ampere
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -40,7 +41,7 @@ func failWith(t *testing.T, p *md.MemProvider, specs []fault.Spec) (*core.Query,
 // it, checking the reproduced exception matches the original.
 func roundTrip(t *testing.T, p *md.MemProvider, q *core.Query, cfg core.Config, ex *gpos.Exception) *Dump {
 	t.Helper()
-	d, err := Capture(q, cfg, p, ex)
+	d, err := Capture(context.Background(), q, cfg, p, ex)
 	if err != nil {
 		t.Fatalf("capture: %v", err)
 	}

@@ -1,15 +1,24 @@
 // Package analysis implements orcavet, a static-analysis suite enforcing
 // optimizer invariants the Go compiler cannot check: Memo immutability,
-// scheduler lock/condvar discipline, exhaustive operator-kind handling, and
-// non-discarded errors from the GPOS/DXL layers. The suite is built directly
-// on the stdlib go/ast + go/types packages (no external dependencies); the
-// loader shells out to `go list -export` for package metadata and export
-// data, mirroring how the go vet driver loads packages.
+// scheduler lock/condvar discipline, exhaustive operator-kind handling,
+// non-discarded errors from the GPOS/DXL layers, sync/atomic publication
+// discipline, context propagation through request paths, and cross-package
+// closure of the operator registries. The suite is built directly on the
+// stdlib go/ast + go/types packages (no external dependencies); the loader
+// shells out to `go list -export` for package metadata and export data,
+// mirroring how the go vet driver loads packages.
 //
-// Analyzers report Diagnostics through a Pass, the per-package unit of work.
-// A diagnostic can be suppressed with a `//orcavet:ignore <reason>` comment
-// on the same line (or on the line above, when the comment stands alone);
-// see Suppressed.
+// Analyzers come in two shapes. Per-package analyzers (Run) see one
+// type-checked package at a time. Module analyzers (RunModule) see every
+// loaded package at once plus the shared Facts store — per-function
+// interprocedural summaries ("drops its ctx", "carries a gpos/dxl error",
+// "locks its receiver's mutex") computed once per run and also consulted by
+// the per-package analyzers to reason across function boundaries.
+//
+// A diagnostic can be suppressed with a scoped
+// `//orcavet:ignore:<analyzer> <reason>` comment on the same line (or on the
+// line above, when the comment stands alone); unused directives are
+// themselves reported so waivers cannot outlive their findings.
 package analysis
 
 import (
@@ -18,9 +27,11 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
-// Analyzer is one named invariant check run over a package.
+// Analyzer is one named invariant check. Exactly one of Run (per-package)
+// and RunModule (whole-module) is set.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics ("memoimmut", ...).
 	Name string
@@ -28,14 +39,98 @@ type Analyzer struct {
 	Doc string
 	// Run reports the analyzer's findings on one package.
 	Run func(*Pass)
+	// RunModule reports findings over all loaded packages at once, for
+	// checks that are inherently cross-package (operator-registry closure,
+	// call-graph reachability).
+	RunModule func(*ModulePass)
 }
 
-// Pass carries one type-checked package through an analyzer.
+// Config points the interprocedural analyzers at the packages playing each
+// architectural role. The zero value is unusable; use DefaultConfig. Tests
+// substitute fixture package paths.
+type Config struct {
+	// OpsPkgPath hosts the operator inventory (the Logical / Physical /
+	// Enforcer / ScalarExpr interfaces and their implementations).
+	OpsPkgPath string
+	// Consumer packages whose references establish opclosure legs.
+	XformPkgPath  string
+	StatsPkgPath  string
+	CostPkgPath   string
+	EnginePkgPath string
+	DXLPkgPath    string
+	// MDPkgPath hosts the Provider interface and the Accessor timeout layer.
+	MDPkgPath string
+	// RootPkgPaths are the packages whose exported functions are optimizer
+	// entry points; ctxflow reachability starts there. Fixture packages
+	// (orcavet.test/...) are always treated as roots.
+	RootPkgPaths []string
+	// ReportUnusedIgnores adds "ignore" diagnostics for //orcavet:ignore
+	// directives that suppressed nothing. Enabled for full-suite runs; off
+	// for single-analyzer fixture runs, where directives scoped to other
+	// analyzers are legitimately idle.
+	ReportUnusedIgnores bool
+}
+
+// DefaultConfig returns the configuration matching the repo's layout.
+func DefaultConfig() *Config {
+	return &Config{
+		OpsPkgPath:    opsPkgPath,
+		XformPkgPath:  "orca/internal/xform",
+		StatsPkgPath:  "orca/internal/stats",
+		CostPkgPath:   "orca/internal/cost",
+		EnginePkgPath: "orca/internal/engine",
+		DXLPkgPath:    dxlPkgPath,
+		MDPkgPath:     mdPkgPath,
+		RootPkgPaths:  []string{mdPkgPath, "orca/internal/core", searchPkgPath},
+	}
+}
+
+// fixturePkgPrefix marks testdata fixture packages, which are self-rooted:
+// their exported functions count as entry points without configuration.
+const fixturePkgPrefix = "orcavet.test/"
+
+// isRootPkg reports whether pkgPath's exported functions are entry points.
+func (c *Config) isRootPkg(pkgPath string) bool {
+	if strings.HasPrefix(pkgPath, fixturePkgPrefix) {
+		return true
+	}
+	for _, p := range c.RootPkgPaths {
+		if p == pkgPath {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one type-checked package through a per-package analyzer,
+// together with the module-wide facts when the driver computed them.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Facts    *Facts
+	Config   *Config
 
 	diags *[]Diagnostic
+}
+
+// ModulePass carries every loaded package through a module analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Facts    *Facts
+	Config   *Config
+	Fset     *token.FileSet
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a module-analyzer finding at pos.
+func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*mp.diags = append(*mp.diags, Diagnostic{
+		Pos:      mp.Fset.Position(pos),
+		Analyzer: mp.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // Diagnostic is one finding at a source position.
@@ -64,19 +159,53 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
 // ObjectOf returns the object denoted by the identifier, or nil.
 func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf(id) }
 
-// Run applies the analyzers to pkg and returns their findings, with
-// suppressed diagnostics filtered out, sorted by position.
+// Run applies the analyzers to one package with a default configuration.
+// Fixture tests and single-package callers use it; whole-module runs go
+// through RunModule so cross-package facts see every function.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunModule([]*Package{pkg}, analyzers, nil)
+}
+
+// RunModule applies the analyzers to the loaded packages and returns their
+// findings: facts are computed once over all packages, per-package analyzers
+// run on each package, module analyzers run once, suppressed diagnostics are
+// filtered out (marking their directives used), and — when the config asks —
+// unused directives are reported. The result is sorted by position.
+func RunModule(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	facts := ComputeFacts(pkgs, cfg)
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
-		a.Run(pass)
+		if a.RunModule != nil {
+			mp := &ModulePass{Analyzer: a, Pkgs: pkgs, Facts: facts, Config: cfg, diags: &diags}
+			if len(pkgs) > 0 {
+				mp.Fset = pkgs[0].Fset
+			}
+			a.RunModule(mp)
+			continue
+		}
+		for _, pkg := range pkgs {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Facts: facts, Config: cfg, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	byFile := make(map[string]*Package)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			byFile[pkg.Fset.Position(f.Pos()).Filename] = pkg
+		}
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if !pkg.Suppressed(d.Pos) {
+		owner := byFile[d.Pos.Filename]
+		if owner == nil || !owner.suppress(d) {
 			kept = append(kept, d)
 		}
+	}
+	if cfg.ReportUnusedIgnores {
+		kept = append(kept, unusedIgnores(pkgs)...)
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
@@ -96,7 +225,10 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 
 // All returns the orcavet analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{MemoImmut, LockCheck, OpExhaustive, ErrDrop, FaultPoint}
+	return []*Analyzer{
+		MemoImmut, LockCheck, OpExhaustive, ErrDrop, FaultPoint,
+		AtomicPub, CtxFlow, OpClosure,
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -39,12 +39,38 @@ var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
 // diagnostics against the // want expectations.
 func runFixture(t *testing.T, a *Analyzer, fixture string) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", fixture)
-	pkg, err := sharedLoader(t).LoadDir(dir, "orcavet.test/"+fixture)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", fixture, err)
+	runFixtureCfg(t, a, fixture, nil)
+}
+
+// runFixtureCfg is runFixture with an analysis config, for analyzers whose
+// anchor packages (ops, md, ...) must point into the fixture itself.
+func runFixtureCfg(t *testing.T, a *Analyzer, fixture string, cfg *Config) {
+	t.Helper()
+	runFixtureDirs(t, a, cfg, fixture, "")
+}
+
+// runFixtureDirs loads one fixture package per subdir (in order, so earlier
+// packages are importable by later ones), runs the analyzer over the whole
+// set, and checks // want expectations across every fixture file. An empty
+// subdir names the fixture directory itself.
+func runFixtureDirs(t *testing.T, a *Analyzer, cfg *Config, fixture string, subdirs ...string) {
+	t.Helper()
+	l := sharedLoader(t)
+	var pkgs []*Package
+	for _, sub := range subdirs {
+		dir := filepath.Join("testdata", "src", fixture)
+		pkgPath := "orcavet.test/" + fixture
+		if sub != "" {
+			dir = filepath.Join(dir, sub)
+			pkgPath += "/" + sub
+		}
+		pkg, err := l.LoadDir(dir, pkgPath)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		}
+		pkgs = append(pkgs, pkg)
 	}
-	diags := Run(pkg, []*Analyzer{a})
+	diags := RunModule(pkgs, []*Analyzer{a}, cfg)
 
 	// Collect expectations: file:line -> regexps.
 	type key struct {
@@ -52,26 +78,27 @@ func runFixture(t *testing.T, a *Analyzer, fixture string) {
 		line int
 	}
 	wants := make(map[key][]*regexp.Regexp)
-	for _, f := range pkg.Files {
-		name := pkg.Fset.Position(f.Pos()).Filename
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				line := pkg.Fset.Position(c.Pos()).Line
-				for _, pat := range splitQuoted(t, c, m[1]) {
-					rx, err := regexp.Compile(pat)
-					if err != nil {
-						t.Fatalf("%s:%d: bad want regexp %q: %v", name, line, pat, err)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
 					}
-					wants[key{name, line}] = append(wants[key{name, line}], rx)
+					line := pkg.Fset.Position(c.Pos()).Line
+					for _, pat := range splitQuoted(t, c, m[1]) {
+						rx, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", name, line, pat, err)
+						}
+						wants[key{name, line}] = append(wants[key{name, line}], rx)
+					}
 				}
 			}
 		}
 	}
-
 	for _, d := range diags {
 		k := key{d.Pos.Filename, d.Pos.Line}
 		matched := -1

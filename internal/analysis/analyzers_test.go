@@ -1,16 +1,49 @@
 package analysis
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
 
 func TestMemoImmut(t *testing.T)    { runFixture(t, MemoImmut, "memoimmut") }
 func TestLockCheck(t *testing.T)    { runFixture(t, LockCheck, "lockcheck") }
 func TestOpExhaustive(t *testing.T) { runFixture(t, OpExhaustive, "opexhaustive") }
 func TestErrDrop(t *testing.T)      { runFixture(t, ErrDrop, "errdrop") }
 func TestFaultPoint(t *testing.T)   { runFixture(t, FaultPoint, "faultpoint") }
+func TestAtomicPub(t *testing.T)    { runFixture(t, AtomicPub, "atomicpub") }
+
+func TestCtxFlow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MDPkgPath = "orcavet.test/ctxflow/mdx"
+	runFixtureDirs(t, CtxFlow, cfg, "ctxflow", "mdx", "client")
+}
+
+func TestOpClosure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OpsPkgPath = "orcavet.test/opclosure/ops"
+	cfg.XformPkgPath = "orcavet.test/opclosure/legs"
+	cfg.StatsPkgPath = "orcavet.test/opclosure/legs"
+	cfg.CostPkgPath = "orcavet.test/opclosure/legs"
+	cfg.EnginePkgPath = "orcavet.test/opclosure/legs"
+	cfg.DXLPkgPath = "orcavet.test/opclosure/legs"
+	runFixtureDirs(t, OpClosure, cfg, "opclosure", "ops", "legs")
+}
+
+// TestIgnoreDirectives exercises the scoped suppression machinery: a scoped
+// directive consumes a matching finding, and (with ReportUnusedIgnores on)
+// malformed or matching-nothing directives are themselves findings.
+func TestIgnoreDirectives(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReportUnusedIgnores = true
+	runFixtureDirs(t, AtomicPub, cfg, "ignores", "")
+}
 
 // TestSuiteCleanOnRepo is the self-hosting check: the analyzer suite must
 // report nothing on the module's own packages (after suppressions), which is
-// also enforced by check.sh via `go run ./cmd/orcavet ./...`.
+// also enforced by check.sh via `go run ./cmd/orcavet ./...`. The suite runs
+// as one module-wide pass — opclosure and ctxflow are interprocedural and see
+// nothing useful package-by-package — with unused-ignore reporting on, so a
+// stale waiver fails this test too.
 func TestSuiteCleanOnRepo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
@@ -23,9 +56,61 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("expected to load the whole module, got %d packages", len(pkgs))
 	}
-	for _, pkg := range pkgs {
-		for _, d := range Run(pkg, All()) {
-			t.Errorf("unexpected finding: %s", d)
+	cfg := DefaultConfig()
+	cfg.ReportUnusedIgnores = true
+	for _, d := range RunModule(pkgs, All(), cfg) {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestFactsDeterministic computes module facts twice with the package list
+// reversed and demands byte-identical exports: analyzer output (and hence the
+// SARIF baseline) must not depend on load order.
+func TestFactsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	l := sharedLoader(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	cfg := DefaultConfig()
+	fwd, err := ComputeFacts(pkgs, cfg).Export()
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	rev := make([]*Package, len(pkgs))
+	for i, p := range pkgs {
+		rev[len(pkgs)-1-i] = p
+	}
+	bwd, err := ComputeFacts(rev, cfg).Export()
+	if err != nil {
+		t.Fatalf("export (reversed): %v", err)
+	}
+	if !bytes.Equal(fwd, bwd) {
+		t.Fatalf("facts export depends on package order:\nforward  %d bytes\nreversed %d bytes", len(fwd), len(bwd))
+	}
+}
+
+// BenchmarkOrcavet measures a full-suite module pass (excluding the one-time
+// load and type-check, which the loader caches) — the number check.sh's
+// sixty-second budget rides on.
+func BenchmarkOrcavet(b *testing.B) {
+	l, err := NewLoader("")
+	if err != nil {
+		b.Fatalf("loader: %v", err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		b.Fatalf("loading module: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.ReportUnusedIgnores = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := RunModule(pkgs, All(), cfg); len(diags) != 0 {
+			b.Fatalf("suite not clean: %d findings", len(diags))
 		}
 	}
 }

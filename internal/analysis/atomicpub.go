@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicPub enforces the module's sync/atomic discipline, the invariant the
+// lock-free Memo hot paths (DESIGN.md §11) rely on:
+//
+//  1. A struct field accessed through an old-style sync/atomic function
+//     (atomic.LoadInt64(&x.f), ...) anywhere in the module must be accessed
+//     that way everywhere: a plain read or write of the same field races
+//     with the atomic accessors.
+//  2. A field of a declared atomic type (atomic.Int64, atomic.Pointer[T],
+//     ...) may only be used as a method receiver or have its address taken;
+//     copying or reassigning the value bypasses the atomic state.
+//  3. Safe publication: after a function performs an atomic Store / Swap /
+//     CompareAndSwap, it must not write plain fields of any object other
+//     goroutines can already reach (parameters, receivers, captured or
+//     escaped values). All wiring must dominate the store — publishing a
+//     group pointer before its seed expression is set ("publish-then-wire")
+//     is exactly the bug class this catches.
+//
+// The rules are deliberately shaped around the Memo's verified patterns:
+// index writes (chunks[i][j] = g, stripe.table[fp] = ge) are exempt because
+// the published directory makes slots visible only through a later atomic
+// counter store, and a fresh local that has not escaped may be wired freely
+// after unrelated stores.
+var AtomicPub = &Analyzer{
+	Name: "atomicpub",
+	Doc: "flags plain access to fields used via sync/atomic, copies of " +
+		"atomic-typed fields, and plain writes to escaped objects after an " +
+		"atomic publication (publish-then-wire ordering bugs)",
+	RunModule: runAtomicPub,
+}
+
+func runAtomicPub(mp *ModulePass) {
+	for _, pkg := range mp.Pkgs {
+		checkAtomicAccess(mp, pkg)
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					checkPublication(mp, pkg, fd)
+				}
+			}
+		}
+	}
+}
+
+// checkAtomicAccess enforces rules 1 and 2 over one package's selector uses.
+func checkAtomicAccess(mp *ModulePass, pkg *Package) {
+	var stack []ast.Node
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok && len(stack) > 0 {
+				checkSelectorUse(mp, pkg, sel, stack)
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+func checkSelectorUse(mp *ModulePass, pkg *Package, sel *ast.SelectorExpr, stack []ast.Node) {
+	key := fieldKey(pkg, sel)
+	if key == "" {
+		return
+	}
+	kind, ok := mp.Facts.AtomicFields[key]
+	if !ok {
+		return
+	}
+	parent := stack[len(stack)-1]
+	switch kind {
+	case "oldstyle":
+		// The only sanctioned use is &x.f fed to a sync/atomic function.
+		if u, ok := parent.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if len(stack) >= 2 {
+				if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && isOldStyleAtomicCall(pkg, call) {
+					return
+				}
+			}
+		}
+		mp.Reportf(sel.Pos(), "plain access to %s, which is accessed via sync/atomic elsewhere; use the atomic accessors", key)
+	case "declared":
+		switch p := parent.(type) {
+		case *ast.SelectorExpr:
+			return // x.f.Load(): method access through the field
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return // &x.f: passing a pointer to the atomic is fine
+			}
+		}
+		mp.Reportf(sel.Pos(), "atomic-typed field %s copied or reassigned without sync/atomic; use its Load/Store methods", key)
+	}
+}
+
+// checkPublication enforces rule 3 on one function body. Escape analysis is
+// a straight-line approximation over source order: parameters, receivers and
+// non-local variables are escaped at entry; a local born from &T{…}, new(T)
+// or a composite literal stays private until it leaves the function's hands
+// (used outside a field selection on itself), which includes appearing in
+// the arguments of the atomic store itself.
+func checkPublication(mp *ModulePass, pkg *Package, fd *ast.FuncDecl) {
+	type event struct {
+		pos token.Pos
+	}
+	var firstStore event
+	fresh := make(map[types.Object]bool)        // locals still private
+	escaped := make(map[types.Object]token.Pos) // local -> escape position
+
+	// Seed fresh locals: v := &T{...} | new(T) | T{...}.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if isFreshAlloc(pkg, as.Rhs[i]) {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Walk in source order tracking escapes and the first atomic store.
+	var stack []ast.Node
+	var writes []*ast.AssignStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isAtomicStoreCall(pkg, n) && (firstStore.pos == token.NoPos || n.Pos() < firstStore.pos) {
+				firstStore = event{n.Pos()}
+			}
+		case *ast.Ident:
+			obj := pkg.Info.Uses[n]
+			if obj != nil && fresh[obj] {
+				if _, done := escaped[obj]; !done && escapesHere(stack, n) {
+					escaped[obj] = n.Pos()
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				writes = append(writes, n)
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	if firstStore.pos == token.NoPos {
+		return
+	}
+
+	for _, as := range writes {
+		for _, lhs := range as.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok || sel.Pos() <= firstStore.pos {
+				continue
+			}
+			base, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				continue // index writes and deep chains are directory-slot patterns
+			}
+			if isAtomicType(pkg.Info.TypeOf(sel)) {
+				continue // rule 2 reports atomic-typed reassignment
+			}
+			obj := pkg.Info.Uses[base]
+			if obj == nil {
+				continue
+			}
+			if fresh[obj] {
+				esc, did := escaped[obj]
+				if !did || esc > sel.Pos() {
+					continue // still private: wiring a local is safe
+				}
+			}
+			mp.Reportf(sel.Pos(),
+				"plain write to %s.%s after atomic publication at line %d; writes to shared state must precede the store that publishes them",
+				base.Name, sel.Sel.Name, pkg.Fset.Position(firstStore.pos).Line)
+		}
+	}
+}
+
+// isFreshAlloc reports an allocation whose result no other goroutine can see
+// yet: &T{...}, new(T), or a composite literal value.
+func isFreshAlloc(pkg *Package, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		return ok && id.Name == "new" && pkg.Info.Uses[id] == types.Universe.Lookup("new")
+	}
+	return false
+}
+
+// isAtomicStoreCall reports a publication point: a Store/Swap/CompareAndSwap
+// method on a sync/atomic value, or the old-style function equivalents.
+func isAtomicStoreCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Store", "Swap", "CompareAndSwap":
+		return isAtomicType(pkg.Info.TypeOf(sel.X))
+	}
+	if fn, _ := calleeObjPkg(pkg, call).(*types.Func); fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "sync/atomic" {
+		name := fn.Name()
+		return hasPrefixAny(name, "Store", "Swap", "CompareAndSwap")
+	}
+	return false
+}
+
+func hasPrefixAny(s string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if len(s) >= len(p) && s[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// escapesHere reports whether this use of a fresh local hands it to code
+// that may retain it: anything except selecting a field on it (v.f, whether
+// read, written, or used as an atomic method receiver) or being the LHS of
+// its own definition.
+func escapesHere(stack []ast.Node, id *ast.Ident) bool {
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		return ast.Unparen(p.X) != ast.Expr(id) && p.X != ast.Expr(id)
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == ast.Expr(id) && p.Tok == token.DEFINE {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}

@@ -9,10 +9,16 @@ import (
 // packages report failures through structured gpos.Exception values that
 // AMPERe dumps depend on (paper §6); swallowing them hides optimizer
 // failures from the fallback and replay machinery.
+//
+// The check is interprocedural: beyond direct gpos/dxl calls, it flags
+// dropped errors of any module function whose facts say it carries a
+// gpos/dxl failure in its error result (FuncFacts.CarriesError), so wrapping
+// a DXL serializer in a helper does not launder the obligation away.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
-	Doc: "flags internal/gpos and internal/dxl calls whose error result is " +
-		"discarded (statement calls, go/defer calls, or assignment to _)",
+	Doc: "flags calls whose discarded error result originates in internal/gpos " +
+		"or internal/dxl, directly or through intermediate functions " +
+		"(statement calls, go/defer calls, or assignment to _)",
 	Run: runErrDrop,
 }
 
@@ -39,14 +45,20 @@ func runErrDrop(p *Pass) {
 }
 
 // errResultIndices returns the positions of error-typed results of the
-// called gpos/dxl function, or nil when the call is out of scope.
+// called function when dropping them hides a gpos/dxl failure: the callee is
+// in gpos/dxl itself, or the facts store marks it an error carrier.
 func (p *Pass) errResultIndices(call *ast.CallExpr) []int {
 	fn, _ := p.calleeObj(call).(*types.Func)
 	if fn == nil || fn.Pkg() == nil {
 		return nil
 	}
 	if path := fn.Pkg().Path(); path != gposPkgPath && path != dxlPkgPath {
-		return nil
+		if p.Facts == nil {
+			return nil
+		}
+		if ff := p.Facts.Lookup(fn); ff == nil || !ff.CarriesError {
+			return nil
+		}
 	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok {

@@ -2,42 +2,148 @@ package analysis
 
 import (
 	"go/token"
+	"sort"
 	"strings"
 )
 
 // ignoreDirective is the comment prefix that suppresses orcavet findings.
-// `stmt() //orcavet:ignore reason` suppresses findings on its own line;
-// a standalone `//orcavet:ignore reason` comment suppresses the next line.
-// A reason is conventionally required so suppressions stay auditable.
+//
+//	stmt() //orcavet:ignore:<analyzer>[,<analyzer>] reason
+//
+// suppresses findings of the named analyzers on its own line; a standalone
+// directive comment suppresses the next line. The bare form
+// `//orcavet:ignore reason` suppresses every analyzer and exists for
+// whole-line waivers; scoped directives are preferred because they keep the
+// waiver from hiding findings of unrelated analyzers. A reason is required so
+// suppressions stay auditable, and a directive that never suppresses anything
+// is itself reported (see unusedIgnores) so stale waivers cannot rot in the
+// tree.
 const ignoreDirective = "orcavet:ignore"
 
-// Suppressed reports whether a diagnostic at pos is silenced by an
-// `//orcavet:ignore` directive.
-func (p *Package) Suppressed(pos token.Position) bool {
-	if p.suppressed == nil {
-		p.suppressed = make(map[string]map[int]bool)
-		for _, f := range p.Files {
-			name := p.Fset.Position(f.Pos()).Filename
-			lines := make(map[int]bool)
-			src := p.Sources[name]
-			for _, cg := range f.Comments {
-				for _, c := range cg.List {
-					text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
-					if !strings.HasPrefix(text, ignoreDirective) {
-						continue
-					}
-					cp := p.Fset.Position(c.Pos())
-					if standaloneComment(src, cp.Offset) {
-						lines[cp.Line+1] = true
-					} else {
-						lines[cp.Line] = true
-					}
+// ignoreEntry is one parsed //orcavet:ignore directive.
+type ignoreEntry struct {
+	pos       token.Position  // directive position (for unused-ignore reports)
+	line      int             // source line the directive suppresses
+	analyzers map[string]bool // nil = all analyzers (bare form)
+	reason    string
+	malformed string // non-empty: the directive itself is invalid
+	used      bool
+}
+
+// ignoreEntries parses the package's directives, keyed by filename, building
+// the index on first use.
+func (p *Package) ignoreEntries() map[string][]*ignoreEntry {
+	if p.ignores != nil {
+		return p.ignores
+	}
+	p.ignores = make(map[string][]*ignoreEntry)
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		src := p.Sources[name]
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"), "*/"))
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
 				}
+				e := parseIgnore(text[len(ignoreDirective):])
+				e.pos = p.Fset.Position(c.Pos())
+				if standaloneComment(src, e.pos.Offset) {
+					e.line = e.pos.Line + 1
+				} else {
+					e.line = e.pos.Line
+				}
+				p.ignores[name] = append(p.ignores[name], e)
 			}
-			p.suppressed[name] = lines
 		}
 	}
-	return p.suppressed[pos.Filename][pos.Line]
+	return p.ignores
+}
+
+// parseIgnore parses the directive tail after "orcavet:ignore": an optional
+// ":a1,a2" analyzer scope followed by the mandatory free-text reason.
+func parseIgnore(tail string) *ignoreEntry {
+	e := &ignoreEntry{}
+	if strings.HasPrefix(tail, ":") {
+		rest := tail[1:]
+		scope := rest
+		if i := strings.IndexAny(rest, " \t"); i >= 0 {
+			scope, rest = rest[:i], rest[i:]
+		} else {
+			rest = ""
+		}
+		e.analyzers = make(map[string]bool)
+		for _, name := range strings.Split(scope, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				e.malformed = "empty analyzer name in scope"
+				continue
+			}
+			e.analyzers[name] = true
+		}
+		tail = rest
+	}
+	e.reason = strings.TrimSpace(tail)
+	if e.reason == "" && e.malformed == "" {
+		e.malformed = "missing reason"
+	}
+	return e
+}
+
+// suppress reports whether the diagnostic is silenced by a directive whose
+// line and analyzer scope match, marking the directive used.
+func (p *Package) suppress(d Diagnostic) bool {
+	hit := false
+	for _, e := range p.ignoreEntries()[d.Pos.Filename] {
+		if e.malformed != "" || e.line != d.Pos.Line {
+			continue
+		}
+		if e.analyzers != nil && !e.analyzers[d.Analyzer] {
+			continue
+		}
+		e.used = true
+		hit = true
+	}
+	return hit
+}
+
+// Suppressed reports whether a diagnostic of any analyzer at pos would be
+// silenced. It exists for callers that only have a position; Run uses the
+// analyzer-scoped suppress path.
+func (p *Package) Suppressed(pos token.Position) bool {
+	for _, e := range p.ignoreEntries()[pos.Filename] {
+		if e.malformed == "" && e.line == pos.Line && e.analyzers == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// unusedIgnores reports malformed directives and directives that suppressed
+// nothing in this run, as "ignore" diagnostics: an ignore that stops matching
+// (the finding was fixed, the analyzer renamed) must be deleted, not carried.
+func unusedIgnores(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		files := make([]string, 0, len(pkg.ignoreEntries()))
+		for name := range pkg.ignoreEntries() {
+			files = append(files, name)
+		}
+		sort.Strings(files)
+		for _, name := range files {
+			for _, e := range pkg.ignoreEntries()[name] {
+				switch {
+				case e.malformed != "":
+					out = append(out, Diagnostic{Pos: e.pos, Analyzer: "ignore",
+						Message: "malformed //orcavet:ignore directive: " + e.malformed})
+				case !e.used:
+					out = append(out, Diagnostic{Pos: e.pos, Analyzer: "ignore",
+						Message: "unused //orcavet:ignore directive (suppresses no finding); delete it"})
+				}
+			}
+		}
+	}
+	return out
 }
 
 // standaloneComment reports whether only whitespace precedes the comment

@@ -28,7 +28,7 @@ type Package struct {
 	Types   *types.Package
 	Info    *types.Info
 
-	suppressed map[string]map[int]bool // filename -> suppressed lines
+	ignores map[string][]*ignoreEntry // filename -> parsed ignore directives
 }
 
 // Loader type-checks packages of the enclosing module. Package metadata and
@@ -43,6 +43,18 @@ type Loader struct {
 	imp     types.Importer
 	exports map[string]string // import path -> export data file
 	meta    map[string]*listPkg
+	extra   map[string]*types.Package // packages checked from source (fixtures)
+}
+
+// Import implements types.Importer: packages previously checked from source
+// (fixture packages registered by LoadDir) shadow the gc export-data importer,
+// which lets one fixture package import another even though `go list` cannot
+// resolve their orcavet.test/... paths.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.extra[path]; ok {
+		return p, nil
+	}
+	return l.imp.Import(path)
 }
 
 type listPkg struct {
@@ -68,6 +80,7 @@ func NewLoader(dir string) (*Loader, error) {
 		fset:      token.NewFileSet(),
 		exports:   make(map[string]string),
 		meta:      make(map[string]*listPkg),
+		extra:     make(map[string]*types.Package),
 	}
 	out, err := l.goList("list", "-m")
 	if err != nil {
@@ -178,6 +191,11 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Register the source-checked package so later packages in the
+		// dependency-ordered listing import *this* types.Package rather than
+		// its export-data twin. Object identity must hold across packages:
+		// opclosure matches ops.TypeName objects seen from consumer packages.
+		l.extra[r.ImportPath] = pkg.Types
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
@@ -202,7 +220,12 @@ func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
 	}
-	return l.check(pkgPath, dir, files)
+	pkg, err := l.check(pkgPath, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.extra[pkgPath] = pkg.Types
+	return pkg, nil
 }
 
 func (l *Loader) check(pkgPath, dir string, filenames []string) (*Package, error) {
@@ -232,7 +255,7 @@ func (l *Loader) check(pkgPath, dir string, filenames []string) (*Package, error
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Implicits:  make(map[ast.Node]types.Object),
 	}
-	conf := types.Config{Importer: l.imp}
+	conf := types.Config{Importer: l}
 	tpkg, err := conf.Check(pkgPath, l.fset, pkg.Files, pkg.Info)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", pkgPath, err)

@@ -44,6 +44,7 @@ func runLockCheck(p *Pass) {
 		case *ast.CallExpr:
 			checkLockCall(p, n, stack, unitFor)
 			checkLockArgs(p, n)
+			recordMethodCall(p, n, stack, unitFor)
 		case *ast.SelectorExpr:
 			checkMemoIndexAccess(p, n, stack)
 		case *ast.StructType:
@@ -81,7 +82,78 @@ func runLockCheck(p *Pass) {
 	})
 	for _, u := range units {
 		u.report(p)
+		u.reportSelfDeadlocks(p)
 	}
+}
+
+// recordMethodCall notes calls whose receiver is a plain expression, so the
+// interprocedural self-deadlock check can relate them to held locks.
+func recordMethodCall(p *Pass, call *ast.CallExpr, stack []ast.Node, unitFor func(ast.Node) *lockUnit) {
+	if p.Facts == nil {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, _ := p.calleeObj(call).(*types.Func)
+	if fn == nil || fn.Type().(*types.Signature).Recv() == nil {
+		return
+	}
+	owner := enclosingFunc(stack)
+	if owner == nil {
+		return
+	}
+	unitFor(owner).calls = append(unitFor(owner).calls, callEvent{
+		pos:  call.Pos(),
+		base: types.ExprString(sel.X),
+		fn:   fn,
+	})
+}
+
+// reportSelfDeadlocks uses the facts store to flag calls into a method that
+// write-locks its receiver's mutex while the caller already holds that same
+// mutex on the same receiver expression (Go mutexes do not reenter: x.mu is
+// held, the callee's x.mu.Lock() blocks forever). Like the pairing check,
+// held-ness is a straight-line source-order approximation.
+func (u *lockUnit) reportSelfDeadlocks(p *Pass) {
+	for _, c := range u.calls {
+		ff := p.Facts.Lookup(c.fn)
+		if ff == nil {
+			continue
+		}
+		for _, field := range ff.RecvLocks {
+			for _, mode := range []string{"W", "R"} {
+				key := c.base + "." + field + "/" + mode
+				if u.heldAt(key, c.pos) {
+					p.Reportf(c.pos,
+						"call to %s while %s.%s is held: the method locks its receiver's %s, which self-deadlocks",
+						c.fn.Name(), c.base, field, field)
+				}
+			}
+		}
+	}
+}
+
+// heldAt reports whether a lock with the given key is held at pos: some lock
+// event precedes pos with no intervening non-deferred unlock of the same key.
+func (u *lockUnit) heldAt(key string, pos token.Pos) bool {
+	for _, l := range u.locks {
+		if l.key != key || l.pos >= pos {
+			continue
+		}
+		released := false
+		for _, ul := range u.unlocks {
+			if ul.key == key && !ul.deferred && ul.pos > l.pos && ul.pos < pos {
+				released = true
+				break
+			}
+		}
+		if !released {
+			return true
+		}
+	}
+	return false
 }
 
 // lockUnit accumulates the lock-relevant events of one function body.
@@ -89,6 +161,14 @@ type lockUnit struct {
 	locks   []lockEvent
 	unlocks []lockEvent
 	returns []token.Pos
+	calls   []callEvent
+}
+
+// callEvent is one method call that may interact with held locks.
+type callEvent struct {
+	pos  token.Pos
+	base string // receiver expression, e.g. "s" in s.Flush()
+	fn   *types.Func
 }
 
 type lockEvent struct {

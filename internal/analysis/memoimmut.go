@@ -14,6 +14,7 @@ const (
 	dxlPkgPath    = "orca/internal/dxl"
 	searchPkgPath = "orca/internal/search"
 	faultPkgPath  = "orca/internal/fault"
+	mdPkgPath     = "orca/internal/md"
 )
 
 // MemoImmut enforces the Memo's append-only contract (paper §4.1): once a

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// OpClosure verifies cross-package closure over the operator registries: an
+// operator type added to internal/ops is useless — or worse, a runtime panic
+// — until every subsystem that switches over operators learns about it. The
+// required "legs" per operator kind:
+//
+//	logical:   xform (≥1 rule mentions it), stats derivation,
+//	           DXL serializer, DXL parser
+//	physical:  cost model, execution engine, DXL serializer
+//	enforcer:  cost model, execution engine, DXL serializer
+//	scalar:    execution engine, DXL serializer, DXL parser
+//
+// Physical operators need no DXL parse leg by design: AMPERe replay
+// re-optimizes the dumped query and compares plan fingerprints instead of
+// deserializing plans (DESIGN.md §10).
+//
+// A leg is established by any reference to the operator's type in the
+// consumer package; the DXL legs additionally require the reference to sit
+// inside a function whose name marks the direction (serialize* / parse*).
+// BuildOpMatrix exposes the full matrix as an artifact for cmd/orcavet.
+var OpClosure = &Analyzer{
+	Name: "opclosure",
+	Doc: "verifies every operator type is covered by the rule, stats, cost, " +
+		"engine and DXL registries it must participate in (coverage matrix)",
+	RunModule: runOpClosure,
+}
+
+// Operator kinds in the matrix.
+const (
+	KindLogical  = "logical"
+	KindPhysical = "physical"
+	KindEnforcer = "enforcer"
+	KindScalar   = "scalar"
+)
+
+// OpCoverage is one operator's row in the matrix.
+type OpCoverage struct {
+	Name    string          `json:"name"`
+	Kind    string          `json:"kind"`
+	Legs    map[string]bool `json:"legs"`    // required leg -> satisfied
+	Missing []string        `json:"missing"` // unsatisfied legs, sorted
+	pos     int             // index for stable reporting; declaration pos below
+	declPos ast.Node
+}
+
+// OpMatrix is the coverage artifact.
+type OpMatrix struct {
+	Ops []*OpCoverage `json:"ops"`
+}
+
+func runOpClosure(mp *ModulePass) {
+	matrix := BuildOpMatrix(mp.Pkgs, mp.Config)
+	for _, oc := range matrix.Ops {
+		for _, leg := range oc.Missing {
+			mp.Reportf(oc.declPos.Pos(), "%s operator %s has no %s leg (%s)",
+				oc.Kind, oc.Name, leg, legHint(leg))
+		}
+	}
+}
+
+func legHint(leg string) string {
+	switch leg {
+	case "xform":
+		return "no transformation rule references it"
+	case "stats":
+		return "statistics derivation does not handle it"
+	case "cost":
+		return "the cost model does not handle it"
+	case "engine":
+		return "the execution engine does not handle it"
+	case "dxl-serialize":
+		return "no DXL serialize function references it"
+	case "dxl-parse":
+		return "no DXL parse function references it"
+	}
+	return "unknown leg"
+}
+
+// requiredLegs per operator kind.
+func requiredLegs(kind string) []string {
+	switch kind {
+	case KindLogical:
+		return []string{"xform", "stats", "dxl-serialize", "dxl-parse"}
+	case KindPhysical, KindEnforcer:
+		return []string{"cost", "engine", "dxl-serialize"}
+	case KindScalar:
+		return []string{"engine", "dxl-serialize", "dxl-parse"}
+	}
+	return nil
+}
+
+// BuildOpMatrix classifies every exported struct type of the ops package by
+// the operator interface it implements and scans the consumer packages for
+// references establishing each leg.
+func BuildOpMatrix(pkgs []*Package, cfg *Config) *OpMatrix {
+	var opsPkg *Package
+	byPath := make(map[string]*Package)
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+		if p.PkgPath == cfg.OpsPkgPath {
+			opsPkg = p
+		}
+	}
+	m := &OpMatrix{}
+	if opsPkg == nil {
+		return m
+	}
+	ifaceOf := func(name string) *types.Interface {
+		tn, _ := opsPkg.Types.Scope().Lookup(name).(*types.TypeName)
+		if tn == nil {
+			return nil
+		}
+		it, _ := tn.Type().Underlying().(*types.Interface)
+		return it
+	}
+	logical, physical := ifaceOf("Logical"), ifaceOf("Physical")
+	enforcer, scalar := ifaceOf("Enforcer"), ifaceOf("ScalarExpr")
+
+	// Inventory: exported struct types of the ops package, classified by the
+	// most specific interface their pointer (or value) type implements.
+	decls := make(map[types.Object]ast.Node)
+	for _, file := range opsPkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if ts, ok := n.(*ast.TypeSpec); ok {
+				if obj := opsPkg.Info.Defs[ts.Name]; obj != nil {
+					decls[obj] = ts
+				}
+			}
+			return true
+		})
+	}
+	names := opsPkg.Types.Scope().Names()
+	sort.Strings(names)
+	byType := make(map[types.Object]*OpCoverage)
+	for i, name := range names {
+		tn, ok := opsPkg.Types.Scope().Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+			continue
+		}
+		kind := classifyOp(named, logical, physical, enforcer, scalar)
+		if kind == "" {
+			continue
+		}
+		decl := decls[tn]
+		if decl == nil {
+			continue
+		}
+		oc := &OpCoverage{Name: name, Kind: kind, Legs: make(map[string]bool), pos: i, declPos: decl}
+		for _, leg := range requiredLegs(kind) {
+			oc.Legs[leg] = false
+		}
+		m.Ops = append(m.Ops, oc)
+		byType[tn] = oc
+	}
+
+	// Constructor functions count as references to the type they build: a
+	// parser calling ops.NewIdent covers Ident even though the type name
+	// never appears at the call site.
+	for _, name := range names {
+		fn, ok := opsPkg.Types.Scope().Lookup(name).(*types.Func)
+		if !ok || !fn.Exported() {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Results().Len() == 0 {
+			continue
+		}
+		res := sig.Results().At(0).Type()
+		if ptr, isPtr := res.(*types.Pointer); isPtr {
+			res = ptr.Elem()
+		}
+		if named, isNamed := res.(*types.Named); isNamed {
+			if oc := byType[named.Obj()]; oc != nil {
+				byType[fn] = oc
+			}
+		}
+	}
+
+	// Leg scan: references to inventory types in the consumer packages.
+	markRefs := func(pkg *Package, mark func(oc *OpCoverage, funcName string)) {
+		if pkg == nil {
+			return
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				ast.Inspect(fd, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if oc := byType[pkg.Info.Uses[id]]; oc != nil {
+						mark(oc, fd.Name.Name)
+					}
+					return true
+				})
+			}
+		}
+	}
+	setLeg := func(oc *OpCoverage, leg string) {
+		if _, required := oc.Legs[leg]; required {
+			oc.Legs[leg] = true
+		}
+	}
+	markRefs(byPath[cfg.XformPkgPath], func(oc *OpCoverage, _ string) { setLeg(oc, "xform") })
+	markRefs(byPath[cfg.StatsPkgPath], func(oc *OpCoverage, _ string) { setLeg(oc, "stats") })
+	markRefs(byPath[cfg.CostPkgPath], func(oc *OpCoverage, _ string) { setLeg(oc, "cost") })
+	markRefs(byPath[cfg.EnginePkgPath], func(oc *OpCoverage, _ string) { setLeg(oc, "engine") })
+	markRefs(byPath[cfg.DXLPkgPath], func(oc *OpCoverage, fn string) {
+		lower := strings.ToLower(fn)
+		if strings.Contains(lower, "serial") {
+			setLeg(oc, "dxl-serialize")
+		}
+		if strings.Contains(lower, "parse") {
+			setLeg(oc, "dxl-parse")
+		}
+	})
+
+	for _, oc := range m.Ops {
+		for _, leg := range requiredLegs(oc.Kind) {
+			if !oc.Legs[leg] {
+				oc.Missing = append(oc.Missing, leg)
+			}
+		}
+		sort.Strings(oc.Missing)
+	}
+	return m
+}
+
+// classifyOp picks the operator kind, preferring the most specific
+// interface. Non-operator structs (Expr, helpers) implement none and return
+// "".
+func classifyOp(named *types.Named, logical, physical, enforcer, scalar *types.Interface) string {
+	impl := func(it *types.Interface) bool {
+		if it == nil {
+			return false
+		}
+		return types.Implements(named, it) || types.Implements(types.NewPointer(named), it)
+	}
+	switch {
+	case impl(enforcer):
+		return KindEnforcer
+	case impl(physical):
+		return KindPhysical
+	case impl(logical):
+		return KindLogical
+	case impl(scalar):
+		return KindScalar
+	}
+	return ""
+}
+
+// MarshalOpMatrix renders the matrix as JSON for the -opmatrix artifact.
+func MarshalOpMatrix(m *OpMatrix) ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}
+
+// Render prints the matrix as an aligned text table.
+func (m *OpMatrix) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-9s %s\n", "OPERATOR", "KIND", "LEGS")
+	for _, oc := range m.Ops {
+		legs := make([]string, 0, len(oc.Legs))
+		for _, leg := range requiredLegs(oc.Kind) {
+			mark := "+"
+			if !oc.Legs[leg] {
+				mark = "MISSING "
+			}
+			legs = append(legs, mark+leg)
+		}
+		fmt.Fprintf(&b, "%-22s %-9s %s\n", oc.Name, oc.Kind, strings.Join(legs, " "))
+	}
+	return b.String()
+}

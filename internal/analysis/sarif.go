@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file renders findings for CI consumption (JSON and SARIF 2.1.0) and
+// implements the reviewed-baseline workflow: a committed baseline file lists
+// accepted findings so the gate fails only on *new* ones. Baseline entries
+// are line-independent — keyed by (analyzer, file, message) as a multiset —
+// so unrelated edits that shift line numbers do not invalidate the review.
+
+// JSONDiagnostic is the stable JSON shape of one finding.
+type JSONDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// MarshalJSONDiagnostics renders findings as a JSON array, file paths
+// relative to root when possible.
+func MarshalJSONDiagnostics(diags []Diagnostic, root string) ([]byte, error) {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, JSONDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     relPath(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// sarifLog is the minimal SARIF 2.1.0 document CI systems ingest.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	ShortDescription map[string]string `json:"shortDescription,omitempty"`
+}
+
+type sarifResult struct {
+	RuleID    string            `json:"ruleId"`
+	Level     string            `json:"level"`
+	Message   map[string]string `json:"message"`
+	Locations []sarifLocation   `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// MarshalSARIF renders findings as a SARIF 2.1.0 log. The rule list covers
+// the analyzers in the suite plus any analyzer that actually reported, so
+// every result has a declared rule.
+func MarshalSARIF(diags []Diagnostic, analyzers []*Analyzer, root string) ([]byte, error) {
+	ruleSet := make(map[string]string)
+	for _, a := range analyzers {
+		ruleSet[a.Name] = a.Doc
+	}
+	for _, d := range diags {
+		if _, ok := ruleSet[d.Analyzer]; !ok {
+			ruleSet[d.Analyzer] = ""
+		}
+	}
+	ids := make([]string, 0, len(ruleSet))
+	for id := range ruleSet {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	run := sarifRun{
+		Tool:    sarifTool{Driver: sarifDriver{Name: "orcavet"}},
+		Results: []sarifResult{},
+	}
+	for _, id := range ids {
+		r := sarifRule{ID: id}
+		if doc := ruleSet[id]; doc != "" {
+			r.ShortDescription = map[string]string{"text": doc}
+		}
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, r)
+	}
+	for _, d := range diags {
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: map[string]string{"text": d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(relPath(root, d.Pos.Filename))},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// BaselineEntry identifies one accepted finding, line-independent.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// Baseline is the reviewed set of accepted findings, a multiset of entries.
+type Baseline struct {
+	// Comment documents the review provenance of the accepted findings.
+	Comment string          `json:"comment,omitempty"`
+	Entries []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	b := &Baseline{}
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// WriteBaseline renders the current findings as a baseline file.
+func WriteBaseline(path string, diags []Diagnostic, root string) error {
+	b := &Baseline{
+		Comment: "reviewed orcavet findings accepted as-is; regenerate with: go run ./cmd/orcavet -write-baseline " + filepath.Base(path) + " ./...",
+		Entries: []BaselineEntry{},
+	}
+	for _, d := range diags {
+		b.Entries = append(b.Entries, BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     filepath.ToSlash(relPath(root, d.Pos.Filename)),
+			Message:  d.Message,
+		})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter returns the findings not covered by the baseline. Matching is a
+// multiset subtraction: two identical findings need two baseline entries.
+func (b *Baseline) Filter(diags []Diagnostic, root string) []Diagnostic {
+	budget := make(map[BaselineEntry]int)
+	for _, e := range b.Entries {
+		e.File = filepath.ToSlash(e.File)
+		budget[e]++
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		key := BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     filepath.ToSlash(relPath(root, d.Pos.Filename)),
+			Message:  d.Message,
+		}
+		if budget[key] > 0 {
+			budget[key]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// relPath renders name relative to root when it is inside it.
+func relPath(root, name string) string {
+	if root == "" {
+		return name
+	}
+	rel, err := filepath.Rel(root, name)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return name
+	}
+	return rel
+}

@@ -1,0 +1,81 @@
+// Package atomicpub exercises the atomicpub analyzer: mixed plain/atomic
+// field access, copies of declared-atomic fields, and publish-then-wire
+// ordering around atomic stores.
+package atomicpub
+
+import "sync/atomic"
+
+// Counter uses old-style atomics for its field; every other access must too.
+type Counter struct {
+	n int64
+}
+
+func (c *Counter) Incr() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *Counter) Snapshot() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *Counter) Racy() int64 {
+	return c.n // want `plain access to orcavet.test/atomicpub\.Counter\.n, which is accessed via sync/atomic elsewhere`
+}
+
+// Gauge declares its field atomic; only method access and address-taking are
+// sanctioned.
+type Gauge struct {
+	v atomic.Int64
+}
+
+func (g *Gauge) Set(x int64) { g.v.Store(x) }
+
+func (g *Gauge) Addr() *atomic.Int64 { return &g.v }
+
+func (g *Gauge) Leak() atomic.Int64 {
+	return g.v // want `atomic-typed field orcavet.test/atomicpub\.Gauge\.v copied or reassigned without sync/atomic`
+}
+
+// node is shared state published through an atomic pointer.
+type node struct {
+	val  int
+	next *node
+}
+
+type list struct {
+	head atomic.Pointer[node]
+}
+
+// PublishThenWire stores the node first and wires it afterwards — the
+// ordering bug class this analyzer exists for. n is a parameter, so another
+// goroutine can already reach it when the write lands.
+func (l *list) PublishThenWire(n *node, v int) {
+	l.head.Store(n)
+	n.val = v // want `plain write to n\.val after atomic publication`
+}
+
+// WireThenPublish is the verified pattern: all writes dominate the store.
+func (l *list) WireThenPublish(v int) {
+	n := &node{}
+	n.val = v
+	n.next = nil
+	l.head.Store(n)
+}
+
+// FreshAfterStore wires a still-private local after an unrelated store; no
+// other goroutine can observe m yet, so the write is safe.
+func (l *list) FreshAfterStore(v int) *node {
+	m := &node{}
+	l.head.Store(nil)
+	m.val = v
+	return m
+}
+
+// IndexAfterStore matches the Memo's directory-slot pattern: index writes
+// after a store stay exempt because slot visibility is gated by a later
+// atomic counter store, not by the write itself.
+func (l *list) IndexAfterStore(chunks [][]*node, g *node) {
+	l.head.Store(g)
+	chunks[0] = append(chunks[0], g)
+	chunks[0][0] = g
+}

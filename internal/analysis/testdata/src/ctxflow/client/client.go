@@ -1,0 +1,46 @@
+// Package client consumes the metadata layer from outside it: provider calls
+// here must go through the Accessor, and interior functions must thread the
+// context their caller handed them.
+package client
+
+import (
+	"context"
+
+	"orcavet.test/ctxflow/mdx"
+)
+
+// Run is an entry point: minting the root context here is allowed.
+func Run(a *mdx.Accessor, p mdx.Provider) error {
+	ctx := context.Background()
+	a.BindContext(ctx)
+	return step(ctx, p)
+}
+
+// step is interior and reachable from Run; its direct provider call skips
+// the Accessor's timeout layer.
+func step(ctx context.Context, p mdx.Provider) error {
+	_, err := p.GetObject(ctx, 1) // want `bypasses the Accessor timeout layer`
+	return err
+}
+
+// Dropped takes a context and never lets it reach the body.
+func Dropped(ctx context.Context, n int) int { // want `ctx parameter "ctx" is dropped`
+	return n + 1
+}
+
+// Detach is the root that makes detached reachable.
+func Detach(a *mdx.Accessor) (int, error) {
+	return detached(a)
+}
+
+// detached re-roots the request path on a fresh context instead of threading
+// the one its caller was given.
+func detached(a *mdx.Accessor) (int, error) {
+	a.BindContext(context.Background()) // want `context.Background/TODO inside a request path`
+	return a.Fetch(1)
+}
+
+// orphan is unreachable from any entry point: its Background stays silent.
+func orphan() context.Context {
+	return context.Background()
+}

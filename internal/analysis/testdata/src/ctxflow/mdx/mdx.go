@@ -1,0 +1,52 @@
+// Package mdx mirrors the metadata access layer: a Provider interface whose
+// lookups must run under the timedLookup deadline wrapper. The ctxflow test
+// points Config.MDPkgPath at this package.
+package mdx
+
+import (
+	"context"
+	"time"
+)
+
+// Provider is the backend lookup interface; the analyzer keys on its name.
+type Provider interface {
+	GetObject(ctx context.Context, id int) (int, error)
+}
+
+// Accessor caches provider lookups and carries the session context.
+type Accessor struct {
+	ctx     context.Context
+	timeout time.Duration
+	p       Provider
+}
+
+// NewAccessor mints the base context: entry points may call Background.
+func NewAccessor(p Provider) *Accessor {
+	return &Accessor{ctx: context.Background(), p: p}
+}
+
+// BindContext rebinds the accessor to a request context.
+func (a *Accessor) BindContext(ctx context.Context) { a.ctx = ctx }
+
+// timedLookup is the deadline wrapper; provider calls made by functions that
+// go through it are sanctioned.
+func timedLookup(ctx context.Context, d time.Duration, call func(context.Context) (int, error)) (int, error) {
+	if d <= 0 {
+		return call(ctx)
+	}
+	tctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	return call(tctx)
+}
+
+// Fetch routes its provider call through timedLookup, so it stays silent.
+func (a *Accessor) Fetch(id int) (int, error) {
+	return timedLookup(a.ctx, a.timeout, func(ctx context.Context) (int, error) {
+		return a.p.GetObject(ctx, id)
+	})
+}
+
+// Sidestep calls the provider directly, dodging the deadline wrapper.
+func (a *Accessor) Sidestep(id int) (int, error) {
+	return a.p.GetObject(a.ctx, id) // want `md.Provider call outside timedLookup`
+}

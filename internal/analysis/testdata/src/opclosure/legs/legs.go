@@ -1,0 +1,42 @@
+// Package legs is the opclosure fixture's consumer side: the test points
+// every consumer package path (xform, stats, cost, engine, dxl) at this one
+// package, so any reference establishes the non-DXL legs while function
+// names gate the DXL serialize/parse legs.
+package legs
+
+import "orcavet.test/opclosure/ops"
+
+// RuleJoin gives Join its xform, stats, cost and engine legs.
+func RuleJoin(op ops.Logical) bool {
+	_, ok := op.(*ops.Join)
+	return ok
+}
+
+// SerializeJoin gives Join its DXL serialize leg.
+func SerializeJoin(op ops.Logical) bool {
+	_, ok := op.(*ops.Join)
+	return ok
+}
+
+// ParseJoin gives Join its DXL parse leg.
+func ParseJoin() *ops.Join { return &ops.Join{} }
+
+// CostHashJoin covers HashJoin's cost and engine legs; no serialize-named
+// function references it, so its dxl-serialize leg stays missing.
+func CostHashJoin(op ops.Physical) float64 {
+	if _, ok := op.(*ops.HashJoin); ok {
+		return 2
+	}
+	return 1
+}
+
+// SerializeSort covers Sort completely: any reference satisfies the cost and
+// engine legs, and the function name supplies dxl-serialize.
+func SerializeSort(op ops.Physical) bool {
+	_, ok := op.(*ops.Sort)
+	return ok
+}
+
+// ParseConst references Const only through its constructor, covering the
+// engine and dxl-parse legs but not dxl-serialize.
+func ParseConst() ops.ScalarExpr { return ops.NewConst() }

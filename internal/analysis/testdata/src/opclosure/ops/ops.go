@@ -1,0 +1,49 @@
+// Package ops is the opclosure fixture's operator inventory: exported struct
+// types classified by the most specific operator interface they implement.
+package ops
+
+// Logical operators produce alternatives during exploration.
+type Logical interface{ isLogical() }
+
+// Physical operators carry costs and run on the engine.
+type Physical interface{ isPhysical() }
+
+// Enforcer operators are physical operators inserted to satisfy properties.
+type Enforcer interface {
+	Physical
+	isEnforcer()
+}
+
+// ScalarExpr is the scalar expression kind.
+type ScalarExpr interface{ isScalar() }
+
+// Join is logical and fully covered by the legs package.
+type Join struct{}
+
+func (*Join) isLogical() {}
+
+// Orphan is logical and referenced nowhere: every required leg is missing.
+type Orphan struct{} // want `logical operator Orphan has no dxl-parse leg` `logical operator Orphan has no dxl-serialize leg` `logical operator Orphan has no stats leg` `logical operator Orphan has no xform leg`
+
+func (*Orphan) isLogical() {}
+
+// HashJoin is physical; the legs package references it everywhere except in
+// a serialize-named function.
+type HashJoin struct{} // want `physical operator HashJoin has no dxl-serialize leg`
+
+func (*HashJoin) isPhysical() {}
+
+// Sort is an enforcer, fully covered through its serialize function alone.
+type Sort struct{}
+
+func (*Sort) isPhysical() {}
+func (*Sort) isEnforcer() {}
+
+// Const is scalar and referenced only through its constructor: the coverage
+// scan must credit constructor calls to the type they build.
+type Const struct{} // want `scalar operator Const has no dxl-serialize leg`
+
+func (*Const) isScalar() {}
+
+// NewConst is Const's constructor.
+func NewConst() *Const { return &Const{} }

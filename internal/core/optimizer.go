@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -128,6 +129,17 @@ const (
 // reports Degraded, the rung taken, the triggering Failure, and the path of
 // the diagnostic dump captured through Config.DumpCapture.
 func Optimize(q *Query, cfg Config) (*Result, error) {
+	return OptimizeContext(context.Background(), q, cfg)
+}
+
+// OptimizeContext is Optimize bound to a request context: the context is
+// attached to the query's metadata accessor (so cancelling it cancels
+// in-flight provider lookups) and checked between optimization stages, so a
+// cancelled request stops after the running stage instead of walking the
+// remaining stage ladder. Cancellation surfaces as an ordinary optimization
+// failure; with degradation enabled the ladder still runs, which is
+// intentional — a degraded plan beats no plan even for an impatient caller.
+func OptimizeContext(ctx context.Context, q *Query, cfg Config) (*Result, error) {
 	if len(cfg.Faults) > 0 {
 		disarm, err := fault.Arm(cfg.Faults)
 		if err != nil {
@@ -137,9 +149,10 @@ func Optimize(q *Query, cfg Config) (*Result, error) {
 	}
 	if q.Accessor != nil {
 		q.Accessor.SetLookupTimeout(cfg.MDLookupTimeout)
+		q.Accessor.BindContext(ctx)
 	}
 
-	res, err := containedPass(q, cfg)
+	res, err := containedPass(ctx, q, cfg)
 	if err == nil || cfg.DisableDegradation {
 		return res, err
 	}
@@ -163,7 +176,7 @@ func Optimize(q *Query, cfg Config) (*Result, error) {
 	hcfg.Stages = []Stage{{Name: "degraded-heuristic"}}
 	hcfg.DisabledRules = append(append([]string(nil), cfg.DisabledRules...),
 		"JoinCommutativity", "JoinAssociativity", "ExpandNAryJoinDP", "ExpandNAryJoinLeftDeep")
-	if hres, herr := containedPass(q, hcfg); herr == nil {
+	if hres, herr := containedPass(ctx, q, hcfg); herr == nil {
 		hres.Degraded = true
 		hres.DegradedRung = RungHeuristic
 		hres.Failure = failure
@@ -196,13 +209,13 @@ func Optimize(q *Query, cfg Config) (*Result, error) {
 // also runs code on the calling goroutine (normalization, Memo copy-in, plan
 // extraction), and a panic there must likewise fail the query, not the
 // process. The recovered exception keeps the original panic site's stack.
-func containedPass(q *Query, cfg Config) (res *Result, err error) {
+func containedPass(ctx context.Context, q *Query, cfg Config) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, gpos.PanicException(gpos.CompOptimizer, r)
 		}
 	}()
-	return optimizePass(q, cfg)
+	return optimizePass(ctx, q, cfg)
 }
 
 // containedMinimal is minimalPlan behind the same containment boundary, so
@@ -230,7 +243,7 @@ func capturedDump(q *Query, cfg Config, failure *gpos.Exception) (path string) {
 
 // optimizePass is one complete optimization workflow (normalize, copy-in,
 // staged search, extraction) with no degradation handling.
-func optimizePass(q *Query, cfg Config) (*Result, error) {
+func optimizePass(ctx context.Context, q *Query, cfg Config) (*Result, error) {
 	start := time.Now()
 	mem := &gpos.MemoryAccountant{}
 
@@ -302,6 +315,10 @@ func optimizePass(q *Query, cfg Config) (*Result, error) {
 	var prevFired int64
 	for _, stage := range cfg.effectiveStages() {
 		st := stage
+		if cerr := ctx.Err(); cerr != nil {
+			errs = append(errs, fmt.Errorf("stage %s: %w", st.Name, cerr))
+			break
+		}
 		xctx.SetRuleSet(rules, cfg.disabled(&st))
 		var deadline time.Time
 		if st.Timeout > 0 {

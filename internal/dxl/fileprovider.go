@@ -59,12 +59,12 @@ func findMetadata(n *Node) *Node {
 // harvesting "metadata that optimizer needs into a minimal DXL file" (§5).
 // The harvest is closed under dependencies: a touched relation brings its
 // statistics and indexes so the dump replays even when the failing session
-// aborted before loading them.
-func Harvest(acc *md.Accessor, provider md.Provider) (*Node, error) {
+// aborted before loading them. The harvest's provider fetches run under the
+// caller's ctx, so a cancelled diagnostic capture stops promptly.
+func Harvest(ctx context.Context, acc *md.Accessor, provider md.Provider) (*Node, error) {
 	if err := fault.Inject(fault.PointDXLHarvest); err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
 	seen := map[md.MDId]bool{}
 	var objects []md.Object
 	add := func(id md.MDId) error {

@@ -14,6 +14,11 @@ import (
 // exceeds the session's per-lookup timeout.
 const CodeLookupTimeout = "LookupTimeout"
 
+// CodeLookupCancelled is the gpos.Exception code raised when the session's
+// base context (bound with Accessor.BindContext) is cancelled while a
+// provider lookup is in flight.
+const CodeLookupCancelled = "LookupCancelled"
+
 // Accessor mediates all metadata access for one optimization session (paper
 // §5, Figure 9). It keeps track of every object pinned during the session
 // and releases them all when the session completes or aborts; it fetches
@@ -29,6 +34,7 @@ type Accessor struct {
 	cache    *Cache
 	provider Provider
 	timeout  time.Duration
+	ctx      context.Context
 
 	mu      sync.Mutex
 	pinned  map[MDId]int
@@ -36,12 +42,25 @@ type Accessor struct {
 }
 
 // NewAccessor opens a session-scoped accessor over the shared cache and the
-// session's provider.
+// session's provider. The session context defaults to context.Background();
+// hosts that carry a request context bind it with BindContext so provider
+// lookups inherit the request's cancellation.
 func NewAccessor(cache *Cache, provider Provider) *Accessor {
 	return &Accessor{
 		cache:    cache,
 		provider: provider,
+		ctx:      context.Background(),
 		pinned:   make(map[MDId]int),
+	}
+}
+
+// BindContext attaches the session's base context: every provider lookup
+// derives its per-lookup deadline from ctx, so cancelling the request
+// cancels in-flight metadata fetches. Must be called before optimization
+// starts; a nil ctx keeps the current binding.
+func (a *Accessor) BindContext(ctx context.Context) {
+	if ctx != nil {
+		a.ctx = ctx
 	}
 }
 
@@ -81,7 +100,7 @@ func (a *Accessor) Get(id MDId) (Object, error) {
 // fetchObject retrieves an object from the provider under the session's
 // lookup timeout.
 func (a *Accessor) fetchObject(id MDId) (Object, error) {
-	return timedLookup(a.timeout, fmt.Sprintf("object %s", id), func(ctx context.Context) (Object, error) {
+	return timedLookup(a.ctx, a.timeout, fmt.Sprintf("object %s", id), func(ctx context.Context) (Object, error) {
 		if err := fault.Inject(fault.PointMDProviderFetch); err != nil {
 			return nil, err
 		}
@@ -89,17 +108,18 @@ func (a *Accessor) fetchObject(id MDId) (Object, error) {
 	})
 }
 
-// timedLookup runs a provider call, bounding it by the timeout (0 =
-// unbounded, called inline). With a timeout the call runs on its own
-// goroutine and the caller abandons it once the deadline passes — the
-// context is cancelled so a cooperative provider stops promptly, but a
-// provider that ignores cancellation leaks its goroutine until it returns,
-// which is the price of not hanging the optimization.
-func timedLookup[T any](timeout time.Duration, what string, call func(context.Context) (T, error)) (T, error) {
+// timedLookup runs a provider call under the session's base context,
+// bounding it by the timeout (0 = unbounded, called inline). With a timeout
+// the call runs on its own goroutine and the caller abandons it once the
+// deadline passes — the derived context is cancelled so a cooperative
+// provider stops promptly, but a provider that ignores cancellation leaks
+// its goroutine until it returns, which is the price of not hanging the
+// optimization. Cancelling the base context cancels the lookup either way.
+func timedLookup[T any](base context.Context, timeout time.Duration, what string, call func(context.Context) (T, error)) (T, error) {
 	if timeout <= 0 {
-		return call(context.Background())
+		return call(base)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(base, timeout)
 	defer cancel()
 	type result struct {
 		val T
@@ -115,6 +135,10 @@ func timedLookup[T any](timeout time.Duration, what string, call func(context.Co
 		return r.val, r.err
 	case <-ctx.Done():
 		var zero T
+		if base.Err() != nil {
+			return zero, gpos.Raise(gpos.CompMD, CodeLookupCancelled,
+				"metadata lookup of %s cancelled: %v", what, base.Err())
+		}
 		return zero, gpos.Raise(gpos.CompMD, CodeLookupTimeout,
 			"metadata lookup of %s exceeded %v", what, timeout)
 	}
@@ -135,7 +159,7 @@ func (a *Accessor) Relation(id MDId) (*Relation, error) {
 
 // RelationByName resolves and returns a relation by name.
 func (a *Accessor) RelationByName(name string) (*Relation, error) {
-	id, err := timedLookup(a.timeout, fmt.Sprintf("relation %q", name), func(ctx context.Context) (MDId, error) {
+	id, err := timedLookup(a.ctx, a.timeout, fmt.Sprintf("relation %q", name), func(ctx context.Context) (MDId, error) {
 		return a.provider.LookupRelation(ctx, name)
 	})
 	if err != nil {

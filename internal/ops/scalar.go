@@ -627,6 +627,8 @@ const (
 // into (semi/anti/scalar) joins — the normalizer in internal/core does the
 // same here; a Subquery that survives to plan time becomes a SubPlan only in
 // the legacy Planner baseline.
+//
+//orcavet:ignore:opclosure the engine never sees a Subquery: normalization rewrites every kind into joins or SubPlan operators before plan time
 type Subquery struct {
 	Kind   SubqueryKind
 	Input  *Expr // logical tree

@@ -21,6 +21,7 @@
 package orca
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"time"
@@ -147,7 +148,7 @@ func (s *System) writeDump(q *core.Query, cfg core.Config, cause error) (string,
 	if s.DumpDir == "" {
 		return "", nil
 	}
-	d, err := ampere.Capture(q, cfg, s.Provider, cause)
+	d, err := ampere.Capture(context.Background(), q, cfg, s.Provider, cause)
 	if err != nil {
 		return "", err
 	}
