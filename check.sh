@@ -7,11 +7,19 @@
 #   orcavet  the project's own static analyzers (cmd/orcavet): the
 #            per-package suite (memoimmut, lockcheck, opexhaustive,
 #            errdrop, faultpoint) plus the interprocedural passes
-#            (atomicpub, ctxflow, opclosure). One module-wide pass
-#            emitting SARIF, gated against orcavet.baseline.json: any
-#            non-baselined finding (or stale //orcavet:ignore) fails
-#            the build. internal/analysis is part of ./..., so the
-#            suite also analyzes its own implementation. Budget: 60s.
+#            (atomicpub, ctxflow, opclosure, hotpath, golifetime).
+#            The binary is compiled once to a temp path so the 60s
+#            budget times only the analysis, not the toolchain. One
+#            module-wide pass emitting SARIF, gated against
+#            orcavet.baseline.json: any non-baselined finding (or
+#            stale //orcavet:ignore) fails the build with exit 1;
+#            exit 2 means the analysis itself broke (loader error),
+#            which is reported as such rather than as findings.
+#            internal/analysis is part of ./..., so the suite also
+#            analyzes its own implementation. Per-analyzer wall time
+#            and finding counts are appended to BENCH_orcavet.json.
+#   opmatrix regenerates the operator coverage matrix and diffs it
+#            against the checked-in docs/opmatrix.md (drift gate).
 #   test     go test ./...
 #   race     go test -race over the concurrency-heavy packages
 #            (search scheduler, memo, gpos worker pool, and core — the
@@ -44,13 +52,40 @@ fi
 echo "==> go vet"
 go vet ./...
 
-echo "==> orcavet (SARIF, gated on orcavet.baseline.json)"
+echo "==> orcavet (compiled once; SARIF, gated on orcavet.baseline.json)"
+orcavet_tmp=$(mktemp -d)
+trap 'rm -rf "$orcavet_tmp"' EXIT
+go build -o "$orcavet_tmp/orcavet" ./cmd/orcavet
 orcavet_start=$(date +%s)
-go run ./cmd/orcavet -sarif -baseline orcavet.baseline.json ./... > /dev/null
+orcavet_rc=0
+"$orcavet_tmp/orcavet" -sarif -timings \
+    -baseline orcavet.baseline.json \
+    -stats "$orcavet_tmp/stats.json" \
+    -opmatrix "$orcavet_tmp/opmatrix.md" \
+    ./... > /dev/null || orcavet_rc=$?
 orcavet_elapsed=$(($(date +%s) - orcavet_start))
-echo "    orcavet finished in ${orcavet_elapsed}s"
+echo "    orcavet analysis finished in ${orcavet_elapsed}s (compile excluded)"
+case "$orcavet_rc" in
+0) ;;
+1)
+    echo "orcavet: non-baselined finding(s) — fix them or add them to orcavet.baseline.json" >&2
+    exit 1
+    ;;
+*)
+    echo "orcavet: internal error (exit $orcavet_rc); the findings gate did not run" >&2
+    exit "$orcavet_rc"
+    ;;
+esac
 if [ "$orcavet_elapsed" -ge 60 ]; then
     echo "orcavet: exceeded the 60s budget (${orcavet_elapsed}s)" >&2
+    exit 1
+fi
+cat "$orcavet_tmp/stats.json" >> BENCH_orcavet.json
+
+echo "==> opmatrix drift gate (docs/opmatrix.md)"
+if ! diff -u docs/opmatrix.md "$orcavet_tmp/opmatrix.md"; then
+    echo "opmatrix: docs/opmatrix.md is stale; regenerate with:" >&2
+    echo "    go run ./cmd/orcavet -opmatrix docs/opmatrix.md ./..." >&2
     exit 1
 fi
 

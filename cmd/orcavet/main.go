@@ -2,10 +2,17 @@
 //
 //	go run ./cmd/orcavet ./...
 //
-// It prints one line per finding and exits non-zero if any finding remains
-// after //orcavet:ignore:<analyzer> suppression and baseline filtering. See
-// internal/analysis for the analyzer suite, the interprocedural facts store,
-// and the ignore mechanism.
+// It prints one line per finding. Exit codes are distinct so CI can tell a
+// failed gate from a broken run:
+//
+//	0  clean — no finding remains after //orcavet:ignore:<analyzer>
+//	   suppression and baseline filtering
+//	1  findings — the gate fired
+//	2  internal error — loader/type-check failure, unknown analyzer,
+//	   unwritable artifact; the findings gate did not run
+//
+// See internal/analysis for the analyzer suite, the interprocedural facts
+// store, and the ignore mechanism.
 //
 // CI integration:
 //
@@ -13,11 +20,15 @@
 //	-sarif            SARIF 2.1.0 log on stdout (for code-scanning upload)
 //	-baseline FILE    filter out reviewed findings; gate only on new ones
 //	-write-baseline FILE   accept the current findings as the new baseline
-//	-opmatrix FILE    write the opclosure operator-coverage matrix (JSON)
+//	-opmatrix FILE    write the opclosure operator-coverage matrix
+//	                  (markdown when FILE ends in .md, JSON otherwise)
 //	-facts FILE       export the interprocedural facts store (JSON)
+//	-stats FILE       write per-analyzer finding counts and wall time (JSON)
+//	-timings          print per-analyzer wall time to stderr
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,8 +45,10 @@ func main() {
 		sarifOut      = flag.Bool("sarif", false, "print findings as SARIF 2.1.0")
 		baselinePath  = flag.String("baseline", "", "baseline file; findings listed there do not fail the run")
 		writeBaseline = flag.String("write-baseline", "", "write the current findings to this baseline file and exit 0")
-		opmatrixPath  = flag.String("opmatrix", "", "write the operator coverage matrix (JSON) to this file")
+		opmatrixPath  = flag.String("opmatrix", "", "write the operator coverage matrix to this file (.md for markdown, JSON otherwise)")
 		factsPath     = flag.String("facts", "", "export the interprocedural facts store (JSON) to this file")
+		statsPath     = flag.String("stats", "", "write per-analyzer finding counts and wall time (JSON) to this file")
+		timings       = flag.Bool("timings", false, "print per-analyzer wall time to stderr")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: orcavet [flags] [packages]\n\n")
@@ -88,7 +101,17 @@ func main() {
 	// Unused-ignore reporting needs the full suite: a directive scoped to an
 	// analyzer excluded by -run is legitimately idle.
 	cfg.ReportUnusedIgnores = fullSuite
-	diags := analysis.RunModule(pkgs, suite, cfg)
+	diags, stats := analysis.RunModuleTimed(pkgs, suite, cfg)
+	if *timings {
+		for _, s := range stats {
+			fmt.Fprintf(os.Stderr, "orcavet: %-14s %8.1fms %5d finding(s)\n", s.Name, s.WallMS, s.Findings)
+		}
+	}
+	if *statsPath != "" {
+		if err := writeStats(*statsPath, diags, stats); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *factsPath != "" {
 		data, err := analysis.ComputeFacts(pkgs, cfg).Export()
@@ -101,9 +124,16 @@ func main() {
 	}
 	if *opmatrixPath != "" {
 		matrix := analysis.BuildOpMatrix(pkgs, cfg)
-		data, err := analysis.MarshalOpMatrix(matrix)
+		marshal := analysis.MarshalOpMatrix
+		if strings.HasSuffix(*opmatrixPath, ".md") {
+			marshal = analysis.MarshalOpMatrixMarkdown
+		}
+		data, err := marshal(matrix)
 		if err == nil {
-			err = os.WriteFile(*opmatrixPath, append(data, '\n'), 0o644)
+			if data[len(data)-1] != '\n' {
+				data = append(data, '\n')
+			}
+			err = os.WriteFile(*opmatrixPath, data, 0o644)
 		}
 		if err != nil {
 			fatal(err)
@@ -153,4 +183,23 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "orcavet:", err)
 	os.Exit(2)
+}
+
+// writeStats records one run's per-analyzer finding counts and wall times as
+// a single JSON object (one line, so CI can append it to a benchmark log).
+func writeStats(path string, diags []analysis.Diagnostic, stats []analysis.AnalyzerStats) error {
+	var total float64
+	for _, s := range stats {
+		total += s.WallMS
+	}
+	out := struct {
+		Findings  int                      `json:"findings"`
+		WallMS    float64                  `json:"wall_ms"`
+		Analyzers []analysis.AnalyzerStats `json:"analyzers"`
+	}{len(diags), total, stats}
+	data, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

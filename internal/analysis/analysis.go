@@ -28,6 +28,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named invariant check. Exactly one of Run (per-package)
@@ -81,7 +82,7 @@ func DefaultConfig() *Config {
 		EnginePkgPath: "orca/internal/engine",
 		DXLPkgPath:    dxlPkgPath,
 		MDPkgPath:     mdPkgPath,
-		RootPkgPaths:  []string{mdPkgPath, "orca/internal/core", searchPkgPath},
+		RootPkgPaths:  []string{mdPkgPath, "orca/internal/core", searchPkgPath, gposPkgPath},
 	}
 }
 
@@ -166,30 +167,53 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	return RunModule([]*Package{pkg}, analyzers, nil)
 }
 
+// AnalyzerStats records one analyzer's contribution to a module pass: its
+// post-suppression finding count and the wall-clock time of its run. The
+// pseudo-entry "facts" carries the one-time interprocedural facts
+// computation shared by the whole suite.
+type AnalyzerStats struct {
+	Name     string  `json:"name"`
+	Findings int     `json:"findings"`
+	WallMS   float64 `json:"wall_ms"`
+}
+
 // RunModule applies the analyzers to the loaded packages and returns their
 // findings: facts are computed once over all packages, per-package analyzers
 // run on each package, module analyzers run once, suppressed diagnostics are
 // filtered out (marking their directives used), and — when the config asks —
 // unused directives are reported. The result is sorted by position.
 func RunModule(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
+	diags, _ := RunModuleTimed(pkgs, analyzers, cfg)
+	return diags
+}
+
+// RunModuleTimed is RunModule plus per-analyzer statistics, in run order
+// with the shared facts computation first. Finding counts are taken after
+// suppression and sorting, so they match what the caller reports.
+func RunModuleTimed(pkgs []*Package, analyzers []*Analyzer, cfg *Config) ([]Diagnostic, []AnalyzerStats) {
 	if cfg == nil {
 		cfg = DefaultConfig()
 	}
+	stats := make([]AnalyzerStats, 0, len(analyzers)+1)
+	factsStart := time.Now()
 	facts := ComputeFacts(pkgs, cfg)
+	stats = append(stats, AnalyzerStats{Name: "facts", WallMS: wallMS(factsStart)})
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		start := time.Now()
 		if a.RunModule != nil {
 			mp := &ModulePass{Analyzer: a, Pkgs: pkgs, Facts: facts, Config: cfg, diags: &diags}
 			if len(pkgs) > 0 {
 				mp.Fset = pkgs[0].Fset
 			}
 			a.RunModule(mp)
-			continue
+		} else {
+			for _, pkg := range pkgs {
+				pass := &Pass{Analyzer: a, Pkg: pkg, Facts: facts, Config: cfg, diags: &diags}
+				a.Run(pass)
+			}
 		}
-		for _, pkg := range pkgs {
-			pass := &Pass{Analyzer: a, Pkg: pkg, Facts: facts, Config: cfg, diags: &diags}
-			a.Run(pass)
-		}
+		stats = append(stats, AnalyzerStats{Name: a.Name, WallMS: wallMS(start)})
 	}
 	byFile := make(map[string]*Package)
 	for _, pkg := range pkgs {
@@ -220,14 +244,26 @@ func RunModule(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return kept
+	counts := make(map[string]int, len(kept))
+	for _, d := range kept {
+		counts[d.Analyzer]++
+	}
+	for i := range stats {
+		stats[i].Findings = counts[stats[i].Name]
+	}
+	return kept, stats
+}
+
+// wallMS returns the elapsed time since start in milliseconds.
+func wallMS(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
 }
 
 // All returns the orcavet analyzer suite.
 func All() []*Analyzer {
 	return []*Analyzer{
 		MemoImmut, LockCheck, OpExhaustive, ErrDrop, FaultPoint,
-		AtomicPub, CtxFlow, OpClosure,
+		AtomicPub, CtxFlow, OpClosure, HotPath, GoLifetime,
 	}
 }
 

@@ -11,6 +11,26 @@ func TestOpExhaustive(t *testing.T) { runFixture(t, OpExhaustive, "opexhaustive"
 func TestErrDrop(t *testing.T)      { runFixture(t, ErrDrop, "errdrop") }
 func TestFaultPoint(t *testing.T)   { runFixture(t, FaultPoint, "faultpoint") }
 func TestAtomicPub(t *testing.T)    { runFixture(t, AtomicPub, "atomicpub") }
+func TestHotPath(t *testing.T)      { runFixture(t, HotPath, "hotpath") }
+func TestGoLifetime(t *testing.T)   { runFixture(t, GoLifetime, "golifetime") }
+
+// TestParseHotpath pins the directive grammar corners that cannot carry an
+// inline `// want` expectation (the expectation text would become the reason).
+func TestParseHotpath(t *testing.T) {
+	if _, malformed := parseHotpath(""); malformed == "" {
+		t.Errorf("reason-less directive not reported as malformed")
+	}
+	allow, malformed := parseHotpath(":alloc,lock amortized and pinned")
+	if malformed != "" || len(allow) != 2 || !allow[HotAlloc] || !allow[HotLock] {
+		t.Errorf("allowance list mis-parsed: allow=%v malformed=%q", allow, malformed)
+	}
+	if _, malformed := parseHotpath(":concat because"); malformed == "" {
+		t.Errorf("concat allowance accepted; fmt/concat must never be waivable")
+	}
+	if _, malformed := parseHotpath(":bogus because"); malformed == "" {
+		t.Errorf("unknown allowance accepted")
+	}
+}
 
 func TestCtxFlow(t *testing.T) {
 	cfg := DefaultConfig()

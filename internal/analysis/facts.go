@@ -47,12 +47,41 @@ type FuncFacts struct {
 	// the caller already holds the same field (Go mutexes do not reenter).
 	RecvLocks []string `json:"recvLocks,omitempty"`
 
+	// Hotpath marks a //orcavet:hotpath annotation; HotpathAllow lists the
+	// hot-site classes the annotation waives for this function only.
+	Hotpath      bool     `json:"hotpath,omitempty"`
+	HotpathAllow []string `json:"hotpathAllow,omitempty"`
+	// HotSites counts the body's latency hazards by class — the per-function
+	// allocation summary the hotpath analyzer propagates along warm call
+	// edges (see hotfacts.go).
+	HotSites map[string]int `json:"hotSites,omitempty"`
+
+	// Stop-path facts for golifetime: the body signals a sync.WaitGroup,
+	// blocks in a select with a receive arm, or contains a loop with no
+	// provable bound.
+	WGDone       bool `json:"wgDone,omitempty"`
+	CancelSelect bool `json:"cancelSelect,omitempty"`
+	Unbounded    bool `json:"unbounded,omitempty"`
+	// Spawns is golifetime's spawn-site table: one entry per `go` statement
+	// in the body (function literals included).
+	Spawns []*SpawnFact `json:"spawns,omitempty"`
+
 	// Positions are not exported (they are fset-relative); kept for
 	// reporting.
 	pos         token.Pos
 	ctxParamPos token.Pos
 	backgrounds []token.Pos // context.Background()/TODO() call sites
 	provCalls   []token.Pos // md.Provider interface-method call sites
+
+	// Hot/lifetime internals (computed in hotfacts.go, not serialized).
+	hotAllow     map[string]bool
+	hotpathPos   token.Pos
+	hotSites     []hotSite
+	warmCalls    []string
+	warmIface    []string
+	chanRanges   []chanRange
+	sleepPolls   []token.Pos
+	loopsForever bool
 }
 
 // Facts is the module-wide interprocedural store shared by all analyzers in
@@ -75,6 +104,13 @@ type Facts struct {
 	// devirtualized IfaceCalls.
 	Roots     map[string]bool
 	Reachable map[string]bool
+
+	// Hot/lifetime stores (see hotfacts.go). pins caches the accessor-pin
+	// function names; closedChans records channel fields closed anywhere in
+	// the module; hotIssues holds malformed or floating hotpath directives.
+	pins        map[string]bool
+	closedChans map[string]bool
+	hotIssues   []hotIssue
 }
 
 // ComputeFacts builds the facts store over the loaded packages. The result
@@ -88,6 +124,8 @@ func ComputeFacts(pkgs []*Package, cfg *Config) *Facts {
 		IfaceImpls:   make(map[string][]string),
 		Roots:        make(map[string]bool),
 		Reachable:    make(map[string]bool),
+		pins:         accessorPinNames(),
+		closedChans:  make(map[string]bool),
 	}
 	for _, pkg := range pkgs {
 		f.collectPkg(pkg)
@@ -95,6 +133,7 @@ func ComputeFacts(pkgs []*Package, cfg *Config) *Facts {
 	f.collectIfaceImpls(pkgs)
 	f.computeCarriers()
 	f.computeReachability()
+	f.finalizeHotLife()
 	return f
 }
 
@@ -118,6 +157,7 @@ func (f *Facts) collectPkg(pkg *Package) {
 			}
 			f.Funcs[ff.Key] = ff
 			f.summarizeBody(pkg, fd, fn, ff)
+			f.summarizeHotLife(pkg, fd, fn, ff)
 			if f.cfg.isRootPkg(pkg.PkgPath) && ff.Exported {
 				f.Roots[ff.Key] = true
 			}
@@ -125,6 +165,7 @@ func (f *Facts) collectPkg(pkg *Package) {
 		// Old-style atomic calls and declared atomic fields can appear
 		// outside function bodies too (var blocks, type decls).
 		f.collectAtomicFields(pkg, file)
+		f.collectHotDirectives(pkg, file)
 	}
 }
 

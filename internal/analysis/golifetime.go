@@ -1,0 +1,65 @@
+package analysis
+
+// GoLifetime enforces bounded goroutine lifetimes ahead of the long-running
+// serving tier (cmd/orcad): every goroutine spawned on a path reachable from
+// the module's entry points must have a provable stop path — a WaitGroup
+// pairing the spawner waits on, a select with a receive arm (the
+// ctx.Done / done-channel shape), or bounded iteration (no unbounded loop in
+// the body or its static callees; ranging a channel counts as bounded only
+// when some function in the module closes that channel). On top of the
+// stop-path requirement it flags naked time.Sleep polling loops, sends on
+// unbuffered channels with no cancellation arm (an abandoned receiver leaks
+// the sender forever), and spawned literals capturing loop variables
+// (pre-Go-1.22 iteration-sharing style; copy the variable or pass it as an
+// argument so the intent survives backports and review).
+//
+// The spawn-site table — every `go` statement, its enclosing function, its
+// capture set, and its stop classification — lives in the facts layer
+// (FuncFacts.Spawns) where other analyzers and the facts export can see it.
+var GoLifetime = &Analyzer{
+	Name: "golifetime",
+	Doc: "require a provable stop path for every goroutine reachable from " +
+		"the module's entry points; flag sleep-polling, cancellation-free " +
+		"sends, and loop-variable capture",
+	RunModule: runGoLifetime,
+}
+
+func runGoLifetime(mp *ModulePass) {
+	f := mp.Facts
+	for _, k := range factKeys(f) {
+		ff := f.Funcs[k]
+		if !f.Reachable[k] && !f.Roots[k] {
+			continue
+		}
+		for _, pos := range ff.sleepPolls {
+			mp.Reportf(pos, "time.Sleep polling loop in %s; use a ticker or timer inside a select with a cancellation arm",
+				shortKey(k))
+		}
+		for _, sp := range ff.Spawns {
+			if sp.Stop == "none" {
+				mp.Reportf(sp.pos, "goroutine spawned in %s has no provable stop path (no WaitGroup pairing, cancellation select, or bounded iteration): %s",
+					shortKey(k), spawnDesc(sp))
+			}
+			for _, lv := range sp.loopVars {
+				mp.Reportf(lv.pos, "goroutine spawned in %s captures loop variable %q; copy it or pass it as an argument",
+					shortKey(k), lv.msg)
+			}
+			for _, pos := range sp.sends {
+				mp.Reportf(pos, "goroutine spawned in %s sends on an unbuffered channel with no cancellation arm; an abandoned receiver leaks this goroutine",
+					shortKey(k))
+			}
+			for _, pos := range sp.sleeps {
+				mp.Reportf(pos, "time.Sleep polling loop in goroutine spawned by %s; use a ticker or timer inside a select with a cancellation arm",
+					shortKey(k))
+			}
+		}
+	}
+}
+
+// spawnDesc names the spawn target for diagnostics.
+func spawnDesc(sp *SpawnFact) string {
+	if sp.Target == "func literal" || sp.Target == "unknown" {
+		return sp.Target
+	}
+	return shortKey(sp.Target)
+}

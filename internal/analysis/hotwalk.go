@@ -1,0 +1,324 @@
+package analysis
+
+// The hot/lifetime walk: one ancestor-stack traversal per function
+// declaration classifying hot sites (with cold-path pruning), recording warm
+// call edges, stop-path facts, and the spawn-site table. See hotfacts.go for
+// the data model.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// walk traverses the declaration's body with an ancestor stack.
+func (w *hotWalk) walk() {
+	var stack []ast.Node
+	ast.Inspect(w.fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		w.visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+	// Resolve ranges over function-local channels: a local channel never
+	// closed in this function has no visible producer-side stop.
+	for _, sp := range w.ff.Spawns {
+		for _, obj := range sp.localRanges {
+			if obj.Pos() >= w.fd.Body.Pos() && !w.closedLocals[obj] {
+				sp.unbound = true
+			}
+		}
+	}
+	for _, obj := range w.localRanges {
+		if obj.Pos() >= w.fd.Body.Pos() && !w.closedLocals[obj] {
+			w.ff.Unbounded = true
+		}
+	}
+}
+
+// inSpawnedLit reports whether the current node lies inside a `go func(){}`
+// literal: such code runs on another goroutine, so it belongs to the spawn's
+// facts, not the enclosing function's hot path or stop facts.
+func inSpawnedLit(stack []ast.Node) bool {
+	for i := 2; i < len(stack); i++ {
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		call, ok := stack[i-1].(*ast.CallExpr)
+		if !ok || call.Fun != lit {
+			continue
+		}
+		if _, ok := stack[i-2].(*ast.GoStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// coldAt reports whether the current position is failure-path plumbing: an
+// enclosing block whose final statement returns a definite failure value or
+// panics, or an enclosing recover guard. Hot sites and warm call edges in
+// cold positions are pruned — error construction is allowed to allocate.
+func (w *hotWalk) coldAt(stack []ast.Node) bool {
+	for _, anc := range stack {
+		switch anc := anc.(type) {
+		case *ast.BlockStmt:
+			if w.coldTail(anc.List) {
+				return true
+			}
+		case *ast.CaseClause:
+			if w.coldTail(anc.Body) {
+				return true
+			}
+		case *ast.CommClause:
+			if w.coldTail(anc.Body) {
+				return true
+			}
+		case *ast.IfStmt:
+			if w.recoverGuard(anc) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// coldTail reports whether the block's last statement is a cold return or a
+// panic.
+func (w *hotWalk) coldTail(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	switch last := body[len(body)-1].(type) {
+	case *ast.ReturnStmt:
+		for _, res := range last.Results {
+			if w.definiteFailure(res) {
+				return true
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// definiteFailure reports an expression that is a failure value whenever it
+// is returned: a concrete error-typed call result (gpos.Raise and friends
+// return *Exception, never nil), a call into the gpos/dxl error layers, or a
+// freshly constructed error value.
+func (w *hotWalk) definiteFailure(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if implementsErrorConcrete(w.pkg.Info.TypeOf(e)) {
+			return true
+		}
+		if fn, _ := calleeObjPkg(w.pkg, e).(*types.Func); fn != nil && fn.Pkg() != nil {
+			if p := fn.Pkg().Path(); p == gposPkgPath || p == dxlPkgPath {
+				return isErrorType(w.pkg.Info.TypeOf(e)) || implementsErrorConcrete(w.pkg.Info.TypeOf(e))
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return implementsErrorConcrete(w.pkg.Info.TypeOf(e))
+		}
+	case *ast.CompositeLit:
+		return implementsErrorConcrete(w.pkg.Info.TypeOf(e))
+	}
+	return false
+}
+
+// recoverGuard reports `if r := recover(); r != nil`-shaped guards.
+func (w *hotWalk) recoverGuard(ifs *ast.IfStmt) bool {
+	found := false
+	check := func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+			}
+		}
+		return !found
+	}
+	if ifs.Init != nil {
+		ast.Inspect(ifs.Init, check)
+	}
+	ast.Inspect(ifs.Cond, check)
+	return found
+}
+
+// visit dispatches one node of the walk.
+func (w *hotWalk) visit(n ast.Node, stack []ast.Node) {
+	spawned := inSpawnedLit(stack)
+	// Escape tracking and module-wide channel closes run everywhere — an
+	// escape on a cold branch still forces the heap allocation, and a close
+	// inside any branch still stops a ranging consumer.
+	if id, ok := n.(*ast.Ident); ok {
+		w.checkEscape(id, stack)
+	}
+	if call, ok := n.(*ast.CallExpr); ok {
+		w.checkClose(call)
+	}
+	if gs, ok := n.(*ast.GoStmt); ok {
+		w.recordSpawn(gs, stack)
+	}
+	if !spawned {
+		w.stopFacts(n, stack)
+	}
+	if w.factory || spawned || w.coldAt(stack) {
+		return
+	}
+	w.hotSite(n, stack)
+}
+
+// checkClose registers close(x) calls: field channels module-wide, local
+// channels for this function's range resolution.
+func (w *hotWalk) checkClose(call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	if key := fieldKey(w.pkg, arg); key != "" {
+		w.f.closedChans[key] = true
+		return
+	}
+	if aid, ok := arg.(*ast.Ident); ok {
+		if obj := w.pkg.Info.Uses[aid]; obj != nil {
+			if w.closedLocals == nil {
+				w.closedLocals = make(map[types.Object]bool)
+			}
+			w.closedLocals[obj] = true
+		}
+	}
+}
+
+// stopFacts records the enclosing function's golifetime facts.
+func (w *hotWalk) stopFacts(n ast.Node, stack []ast.Node) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if w.isWGDone(n) {
+			w.ff.WGDone = true
+		}
+		if w.isTimeSleep(n) && loopWithoutSelect(stack) {
+			w.ff.sleepPolls = append(w.ff.sleepPolls, n.Pos())
+		}
+	case *ast.SelectStmt:
+		if selectHasReceive(n) {
+			w.ff.CancelSelect = true
+		}
+	case *ast.ForStmt:
+		if n.Cond == nil && !containsSelect(n.Body) {
+			w.ff.Unbounded = true
+		}
+	case *ast.RangeStmt:
+		w.rangeStop(n, func(fieldKey string) {
+			w.ff.chanRanges = append(w.ff.chanRanges, chanRange{fieldKey: fieldKey})
+		}, func(obj types.Object) {
+			w.localRanges = append(w.localRanges, obj)
+		})
+	}
+}
+
+// rangeStop classifies a range over a channel: field channels resolve against
+// the module-wide close set, locals against this function's closes;
+// parameters are conservatively assumed producer-closed.
+func (w *hotWalk) rangeStop(n *ast.RangeStmt, onField func(string), onLocal func(types.Object)) {
+	t := w.pkg.Info.TypeOf(n.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Chan); !ok {
+		return
+	}
+	x := ast.Unparen(n.X)
+	if key := fieldKey(w.pkg, x); key != "" {
+		onField(key)
+		return
+	}
+	if id, ok := x.(*ast.Ident); ok {
+		if obj := w.pkg.Info.Uses[id]; obj != nil {
+			onLocal(obj)
+		}
+	}
+}
+
+// isWGDone reports a call to (*sync.WaitGroup).Done.
+func (w *hotWalk) isWGDone(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	return isNamed(w.pkg.Info.TypeOf(sel.X), "sync", "WaitGroup")
+}
+
+// isTimeSleep reports a call to time.Sleep.
+func (w *hotWalk) isTimeSleep(call *ast.CallExpr) bool {
+	fn, _ := calleeObjPkg(w.pkg, call).(*types.Func)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep"
+}
+
+// loopWithoutSelect reports a loop ancestor with no select between the loop
+// and the current node: the naked-polling shape.
+func loopWithoutSelect(stack []ast.Node) bool {
+	loop := -1
+	for i, anc := range stack {
+		switch anc.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loop = i
+		}
+	}
+	if loop < 0 {
+		return false
+	}
+	for _, anc := range stack[loop:] {
+		if _, ok := anc.(*ast.SelectStmt); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// selectHasReceive reports a select statement with at least one receive arm.
+func selectHasReceive(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return true
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if u, ok := ast.Unparen(comm.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// containsSelect reports whether the subtree contains a select statement
+// (a `for { select {...} }` service loop has a stop arm, not an unbounded
+// spin).
+func containsSelect(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.SelectStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -275,6 +275,47 @@ func MarshalOpMatrix(m *OpMatrix) ([]byte, error) {
 	return json.MarshalIndent(m, "", "  ")
 }
 
+// MarshalOpMatrixMarkdown renders the matrix as a markdown table — the
+// checked-in docs/opmatrix.md artifact check.sh regenerates and diffs, so
+// operator-coverage drift shows up in review rather than only in CI logs.
+// A `+` leg is satisfied, `MISSING` is an opclosure finding, and `·` marks a
+// leg the operator's kind does not require.
+func MarshalOpMatrixMarkdown(m *OpMatrix) ([]byte, error) {
+	columns := []string{"xform", "stats", "cost", "engine", "dxl-serialize", "dxl-parse"}
+	var b strings.Builder
+	b.WriteString("# Operator coverage matrix\n\n")
+	b.WriteString("Generated by `go run ./cmd/orcavet -opmatrix docs/opmatrix.md ./...`.\n")
+	b.WriteString("Do not edit by hand: check.sh regenerates this file and fails on drift.\n\n")
+	b.WriteString("| operator | kind |")
+	for _, leg := range columns {
+		b.WriteString(" " + leg + " |")
+	}
+	b.WriteString("\n|---|---|")
+	for range columns {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, oc := range m.Ops {
+		required := make(map[string]bool, 4)
+		for _, leg := range requiredLegs(oc.Kind) {
+			required[leg] = true
+		}
+		b.WriteString("| " + oc.Name + " | " + oc.Kind + " |")
+		for _, leg := range columns {
+			switch {
+			case !required[leg]:
+				b.WriteString(" · |")
+			case oc.Legs[leg]:
+				b.WriteString(" + |")
+			default:
+				b.WriteString(" MISSING |")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return []byte(b.String()), nil
+}
+
 // Render prints the matrix as an aligned text table.
 func (m *OpMatrix) Render() string {
 	var b strings.Builder

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+)
+
+// The SARIF log is a CI artifact: code-scanning ingestion needs the required
+// 2.1.0 fields, diffs and baselines need stable rule IDs, and caching needs
+// byte-identical output for identical input.
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/mod/internal/memo/memo.go", Line: 10, Column: 2},
+			Analyzer: "hotpath",
+			Message:  "hot path: call to fmt.Sprintf in //orcavet:hotpath function memo.Insert",
+		},
+		{
+			Pos:      token.Position{Filename: "/mod/internal/gpos/tasks.go", Line: 60, Column: 3},
+			Analyzer: "golifetime",
+			Message:  "goroutine spawned in gpos.NewWorkerPool has no provable stop path",
+		},
+	}
+}
+
+// TestSARIFRequiredFields decodes the log generically and checks every field
+// SARIF 2.1.0 requires of a minimal code-scanning upload: version, $schema,
+// one run with a named tool driver, declared rules, and for each result a
+// ruleId, level, message text, and a physical location with artifact URI and
+// region start line.
+func TestSARIFRequiredFields(t *testing.T) {
+	data, err := MarshalSARIF(sampleDiags(), All(), "/mod")
+	if err != nil {
+		t.Fatalf("MarshalSARIF: %v", err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if v := log["version"]; v != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", v)
+	}
+	if s, _ := log["$schema"].(string); s == "" {
+		t.Errorf("$schema missing")
+	}
+	runs, _ := log["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(runs))
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "orcavet" {
+		t.Errorf("driver name = %v, want orcavet", driver["name"])
+	}
+	rules, _ := driver["rules"].([]any)
+	if len(rules) < len(All()) {
+		t.Fatalf("driver declares %d rules, want at least %d", len(rules), len(All()))
+	}
+	results, _ := run["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	declared := make(map[string]bool)
+	for _, r := range rules {
+		declared[r.(map[string]any)["id"].(string)] = true
+	}
+	for i, ra := range results {
+		r := ra.(map[string]any)
+		id, _ := r["ruleId"].(string)
+		if !declared[id] {
+			t.Errorf("result %d ruleId %q not declared in driver rules", i, id)
+		}
+		if r["level"] != "error" {
+			t.Errorf("result %d level = %v, want error", i, r["level"])
+		}
+		msg, _ := r["message"].(map[string]any)
+		if txt, _ := msg["text"].(string); txt == "" {
+			t.Errorf("result %d has no message.text", i)
+		}
+		locs, _ := r["locations"].([]any)
+		if len(locs) != 1 {
+			t.Fatalf("result %d has %d locations, want 1", i, len(locs))
+		}
+		phys := locs[0].(map[string]any)["physicalLocation"].(map[string]any)
+		uri, _ := phys["artifactLocation"].(map[string]any)["uri"].(string)
+		if uri == "" || uri[0] == '/' {
+			t.Errorf("result %d artifact URI %q, want root-relative", i, uri)
+		}
+		region := phys["region"].(map[string]any)
+		if line, _ := region["startLine"].(float64); line <= 0 {
+			t.Errorf("result %d startLine = %v, want positive", i, region["startLine"])
+		}
+	}
+}
+
+// TestSARIFStableRuleIDs pins the rule IDs of all ten analyzers: baselines,
+// suppress lists, and dashboards key on them, so renaming one is a breaking
+// change that must show up in review as a test edit.
+func TestSARIFStableRuleIDs(t *testing.T) {
+	want := []string{
+		"memoimmut", "lockcheck", "opexhaustive", "errdrop", "faultpoint",
+		"atomicpub", "ctxflow", "opclosure", "hotpath", "golifetime",
+	}
+	suite := All()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+	}
+	data, err := MarshalSARIF(nil, suite, "")
+	if err != nil {
+		t.Fatalf("MarshalSARIF: %v", err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	got := make(map[string]bool)
+	for _, r := range log.Runs[0].Tool.Driver.Rules {
+		got[r.ID] = true
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("rule %q missing from driver rules", id)
+		}
+	}
+}
+
+// TestSARIFDeterministic runs the full suite over the whole module twice,
+// through independently loaded package sets, and demands byte-identical
+// SARIF: analyzer order, map iteration, and facts layout must not leak into
+// the artifact.
+func TestSARIFDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module twice")
+	}
+	render := func() []byte {
+		t.Helper()
+		l, err := NewLoader("")
+		if err != nil {
+			t.Fatalf("loader: %v", err)
+		}
+		pkgs, err := l.Load("./...")
+		if err != nil {
+			t.Fatalf("loading module: %v", err)
+		}
+		cfg := DefaultConfig()
+		cfg.ReportUnusedIgnores = true
+		data, err := MarshalSARIF(RunModule(pkgs, All(), cfg), All(), l.ModuleDir)
+		if err != nil {
+			t.Fatalf("MarshalSARIF: %v", err)
+		}
+		return data
+	}
+	first, second := render(), render()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("consecutive module-wide SARIF renders differ:\n--- first ---\n%.2000s\n--- second ---\n%.2000s", first, second)
+	}
+}

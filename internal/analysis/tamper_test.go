@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The tamper tests prove the new analyzers guard real repo invariants, not
+// just fixture shapes: each copies a production package into a temp dir,
+// verifies the untampered copy is clean (control), applies a minimal
+// regression a reviewer could plausibly let through, and demands the
+// analyzer fail the build.
+
+// copyPkgDir copies the non-test .go files of a real package directory into
+// a fresh temp dir the test may mutate.
+func copyPkgDir(t *testing.T, srcDir string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", srcDir, err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(srcDir, name))
+		if err != nil {
+			t.Fatalf("reading %s: %v", name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, name), src, 0o644); err != nil {
+			t.Fatalf("writing %s: %v", name, err)
+		}
+	}
+	return dst
+}
+
+// mutate rewrites one occurrence of old to new in dir/file, failing the test
+// if the anchor text has drifted out of the production source.
+func mutate(t *testing.T, dir, file, old, new string) {
+	t.Helper()
+	path := filepath.Join(dir, file)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	if !strings.Contains(string(src), old) {
+		t.Fatalf("tamper anchor %q not found in %s; update the tamper test alongside the source", old, file)
+	}
+	out := strings.Replace(string(src), old, new, 1)
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatalf("writing %s: %v", path, err)
+	}
+}
+
+// runTamper loads dir as the fixture package orcavet.test/tamper/<name> and
+// returns the analyzer's filtered findings.
+func runTamper(t *testing.T, dir, name string, a *Analyzer) []Diagnostic {
+	t.Helper()
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir(dir, "orcavet.test/tamper/"+name)
+	if err != nil {
+		t.Fatalf("loading tampered package: %v", err)
+	}
+	return RunModule([]*Package{pkg}, []*Analyzer{a}, nil)
+}
+
+func wantClean(t *testing.T, diags []Diagnostic, what string) {
+	t.Helper()
+	for _, d := range diags {
+		t.Errorf("%s: unexpected finding: %s", what, d)
+	}
+}
+
+func wantFinding(t *testing.T, diags []Diagnostic, what, substr string) {
+	t.Helper()
+	for _, d := range diags {
+		if strings.Contains(d.Message, substr) {
+			return
+		}
+	}
+	t.Errorf("%s: no finding containing %q; got %d findings: %v", what, substr, len(diags), diags)
+}
+
+// TestTamperMemoInsertSprintf re-adds a fmt.Sprintf to Memo.Insert — the
+// exact regression the //orcavet:hotpath annotation exists to catch. The
+// :alloc allowance on Insert must not waive it: fmt is never waivable.
+func TestTamperMemoInsertSprintf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a production package copy")
+	}
+	ctl := copyPkgDir(t, filepath.Join("..", "memo"))
+	wantClean(t, runTamper(t, ctl, "memoctl", HotPath), "untampered memo")
+
+	dir := copyPkgDir(t, filepath.Join("..", "memo"))
+	mutate(t, dir, "memo.go",
+		"stack := make([]frame, 1, 32)",
+		"stack := make([]frame, 1, 32)\n\t_ = fmt.Sprintf(\"insert of %d\", len(stack))")
+	wantFinding(t, runTamper(t, dir, "memotamper", HotPath),
+		"memo with Sprintf in Insert", "call to fmt.Sprintf")
+}
+
+// TestTamperSchedulerWorkerDone deletes the worker goroutine's WaitGroup
+// pairing in Scheduler.Run: the spawned literal then runs an unbounded drain
+// loop with no provable stop path.
+func TestTamperSchedulerWorkerDone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a production package copy")
+	}
+	ctl := copyPkgDir(t, filepath.Join("..", "search"))
+	wantClean(t, runTamper(t, ctl, "searchctl", GoLifetime), "untampered search")
+
+	dir := copyPkgDir(t, filepath.Join("..", "search"))
+	mutate(t, dir, "scheduler.go",
+		"go func() {\n\t\t\tdefer wg.Done()\n\t\t\ts.worker()\n\t\t}()",
+		"go func() {\n\t\t\ts.worker()\n\t\t}()")
+	wantFinding(t, runTamper(t, dir, "searchtamper", GoLifetime),
+		"scheduler without worker Done pairing", "no provable stop path")
+}
+
+// TestTamperWorkerPoolLoop strips the gpos worker pool's two stop guarantees
+// at once — the wg.Done pairing and the close-terminated range — leaving a
+// bare receive loop no caller can ever stop.
+func TestTamperWorkerPoolLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a production package copy")
+	}
+	ctl := copyPkgDir(t, filepath.Join("..", "gpos"))
+	wantClean(t, runTamper(t, ctl, "gposctl", GoLifetime), "untampered gpos")
+
+	dir := copyPkgDir(t, filepath.Join("..", "gpos"))
+	mutate(t, dir, "tasks.go",
+		"\tdefer p.wg.Done()\n\tfor t := range p.tasks {\n\t\tp.runTask(t)\n\t}",
+		"\tfor {\n\t\tp.runTask(<-p.tasks)\n\t}")
+	wantFinding(t, runTamper(t, dir, "gpostamper", GoLifetime),
+		"worker pool with unstoppable receive loop", "no provable stop path")
+}

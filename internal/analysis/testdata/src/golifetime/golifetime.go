@@ -1,0 +1,135 @@
+// Package golifetime exercises the spawn-site table and stop-path
+// classification: WaitGroup pairing, cancellation selects, bounded bodies,
+// channel-range termination via a module-visible close, and the leak shapes
+// (no stop path, sleep polling, cancellation-free sends, loop-variable
+// capture).
+package golifetime
+
+import (
+	"sync"
+	"time"
+)
+
+type pool struct {
+	tasks chan int
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+func process(int)  {}
+func compute() int { return 0 }
+func drain(*pool)  {}
+
+// Leak spawns a goroutine that can never be stopped.
+func Leak(p *pool) {
+	go func() { // want `goroutine spawned in golifetime\.Leak has no provable stop path \(no WaitGroup pairing, cancellation select, or bounded iteration\): func literal`
+		for {
+			process(<-p.tasks)
+		}
+	}()
+}
+
+// Paired is the same loop rescued by a WaitGroup pairing.
+func Paired(p *pool) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			process(<-p.tasks)
+		}
+	}()
+	p.wg.Wait()
+}
+
+// Selectable is the same loop rescued by a cancellation arm.
+func Selectable(p *pool) {
+	go func() {
+		for {
+			select {
+			case t := <-p.tasks:
+				process(t)
+			case <-p.done:
+				return
+			}
+		}
+	}()
+}
+
+// Bounded spawns a straight-line goroutine: it terminates by construction.
+func Bounded() {
+	ch := make(chan int, 1)
+	go func() { ch <- compute() }()
+	<-ch
+}
+
+// NakedSend parks the goroutine forever if the receiver gives up.
+func NakedSend() int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute() // want `goroutine spawned in golifetime\.NakedSend sends on an unbuffered channel with no cancellation arm`
+	}()
+	return <-ch
+}
+
+// Poller spins on time.Sleep with no cancellation arm — and has no stop path
+// either.
+func Poller(p *pool) {
+	go func() { // want `goroutine spawned in golifetime\.Poller has no provable stop path`
+		for {
+			time.Sleep(time.Millisecond) // want `time\.Sleep polling loop in goroutine spawned by golifetime\.Poller`
+			drain(p)
+		}
+	}()
+}
+
+// PollStatus sleeps in a loop on a reachable non-goroutine path.
+func PollStatus(s *srv) {
+	for {
+		time.Sleep(time.Millisecond) // want `time\.Sleep polling loop in golifetime\.PollStatus`
+		if len(s.requests) == 0 {
+			return
+		}
+	}
+}
+
+// LoopCapture spawns literals that share the loop variable
+// (pre-Go-1.22-style); copy it or pass it as an argument.
+func LoopCapture(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			process(it) // want `goroutine spawned in golifetime\.LoopCapture captures loop variable "it"`
+		}()
+	}
+	wg.Wait()
+}
+
+func (p *pool) worker() {
+	for t := range p.tasks {
+		process(t)
+	}
+}
+
+// RangeClosed ranges over a channel some function in the module closes, so
+// the worker is provably stoppable.
+func RangeClosed(p *pool) {
+	go p.worker()
+	close(p.tasks)
+}
+
+type srv struct {
+	requests chan int
+}
+
+func (s *srv) loop() {
+	for r := range s.requests {
+		process(r)
+	}
+}
+
+// RangeUnclosed spawns a worker ranging a channel nobody ever closes.
+func RangeUnclosed(s *srv) {
+	go s.loop() // want `goroutine spawned in golifetime\.RangeUnclosed has no provable stop path \(no WaitGroup pairing, cancellation select, or bounded iteration\): golifetime\.srv\)\.loop`
+}

@@ -88,7 +88,19 @@ func (m *Model) parallelism(d props.Distribution) float64 {
 	return float64(m.P.Segments)
 }
 
+// childRowsAt returns the cardinality of the i'th child, or 0 when the
+// estimate vector is short. A package function rather than a per-call
+// closure: LocalCost runs once per candidate and must not allocate.
+func childRowsAt(rows []float64, i int) float64 {
+	if i < len(rows) {
+		return rows[i]
+	}
+	return 0
+}
+
 // LocalCost returns the cost of the operator itself, excluding children.
+//
+//orcavet:hotpath runs once per candidate plan during Figure-6 optimization
 func (m *Model) LocalCost(op ops.Operator, in Inputs) float64 {
 	p := m.P
 	skew := in.Skew
@@ -99,12 +111,6 @@ func (m *Model) LocalCost(op ops.Operator, in Inputs) float64 {
 		skew = p.MaxSkew
 	}
 	par := m.parallelism(in.Delivered.Dist)
-	childRows := func(i int) float64 {
-		if i < len(in.ChildRows) {
-			return in.ChildRows[i]
-		}
-		return 0
-	}
 
 	switch o := op.(type) {
 	case *ops.Scan:
@@ -127,34 +133,34 @@ func (m *Model) LocalCost(op ops.Operator, in Inputs) float64 {
 		return work / par
 
 	case *ops.Filter:
-		return childRows(0) * p.CPUPred / par
+		return childRowsAt(in.ChildRows, 0) * p.CPUPred / par
 
 	case *ops.ComputeScalar:
-		return childRows(0) * p.CPUProj * float64(max(1, len(o.Elems))) / par
+		return childRowsAt(in.ChildRows, 0) * p.CPUProj * float64(max(1, len(o.Elems))) / par
 
 	case *ops.HashJoin:
-		build := childRows(1) * p.HashBuild
-		probe := childRows(0)*p.HashProbe + in.OutRows*p.CPUTuple
+		build := childRowsAt(in.ChildRows, 1) * p.HashBuild
+		probe := childRowsAt(in.ChildRows, 0)*p.HashProbe + in.OutRows*p.CPUTuple
 		if o.Residual != nil {
 			probe += in.OutRows * p.CPUPred
 		}
 		return (build + probe) / par * skew
 
 	case *ops.NLJoin:
-		pairs := childRows(0) * childRows(1)
+		pairs := childRowsAt(in.ChildRows, 0) * childRowsAt(in.ChildRows, 1)
 		return (pairs*p.NLJoinTuple + in.OutRows*p.CPUTuple) / par
 
 	case *ops.HashAgg:
-		return (childRows(0)*p.HashBuild + in.OutRows*p.CPUTuple) / par
+		return (childRowsAt(in.ChildRows, 0)*p.HashBuild + in.OutRows*p.CPUTuple) / par
 
 	case *ops.StreamAgg:
-		return (childRows(0)*p.CPUTuple + in.OutRows*p.CPUTuple) / par
+		return (childRowsAt(in.ChildRows, 0)*p.CPUTuple + in.OutRows*p.CPUTuple) / par
 
 	case *ops.ScalarAgg:
-		return childRows(0) * p.CPUTuple / par
+		return childRowsAt(in.ChildRows, 0) * p.CPUTuple / par
 
 	case *ops.Sort:
-		n := childRows(0) / par
+		n := childRowsAt(in.ChildRows, 0) / par
 		if n < 2 {
 			n = 2
 		}
@@ -164,25 +170,25 @@ func (m *Model) LocalCost(op ops.Operator, in Inputs) float64 {
 		return in.OutRows * p.CPUTuple
 
 	case *ops.Gather:
-		return childRows(0) * p.NetTuple
+		return childRowsAt(in.ChildRows, 0) * p.NetTuple
 
 	case *ops.GatherMerge:
-		return childRows(0) * (p.NetTuple + 0.2*p.CPUTuple)
+		return childRowsAt(in.ChildRows, 0) * (p.NetTuple + 0.2*p.CPUTuple)
 
 	case *ops.Redistribute:
-		return childRows(0) * p.NetTuple / par * skew
+		return childRowsAt(in.ChildRows, 0) * p.NetTuple / par * skew
 
 	case *ops.Broadcast:
 		// Every segment receives the full input.
-		return childRows(0) * p.NetTuple
+		return childRowsAt(in.ChildRows, 0) * p.NetTuple
 
 	case *ops.Spool:
-		return childRows(0) * p.Materialize / par
+		return childRowsAt(in.ChildRows, 0) * p.Materialize / par
 
 	case *ops.PhysicalUnionAll:
 		var total float64
 		for i := range in.ChildRows {
-			total += childRows(i)
+			total += childRowsAt(in.ChildRows, i)
 		}
 		return total * p.CPUTuple * 0.2 / par
 
@@ -190,19 +196,19 @@ func (m *Model) LocalCost(op ops.Operator, in Inputs) float64 {
 		return 0
 
 	case *ops.PhysicalCTEProducer:
-		return childRows(0) * p.Materialize / par
+		return childRowsAt(in.ChildRows, 0) * p.Materialize / par
 
 	case *ops.PhysicalCTEConsumer:
 		return in.OutRows * p.CPUTuple * 0.4 / par
 
 	case *ops.PhysicalWindow:
-		return childRows(0) * p.CPUTuple * float64(max(1, len(o.Wins))) / par
+		return childRowsAt(in.ChildRows, 0) * p.CPUTuple * float64(max(1, len(o.Wins))) / par
 
 	case *ops.SubPlanFilter:
-		return m.subPlanCost(childRows(0), o.Plan)
+		return m.subPlanCost(childRowsAt(in.ChildRows, 0), o.Plan)
 
 	case *ops.SubPlanProject:
-		return m.subPlanCost(childRows(0), o.Plan)
+		return m.subPlanCost(childRowsAt(in.ChildRows, 0), o.Plan)
 
 	default:
 		return in.OutRows * p.CPUTuple / par

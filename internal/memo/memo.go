@@ -172,6 +172,8 @@ func (m *Memo) SetRoot(g GroupID) { m.root = g }
 // groupSnapshot assembles a consistent index view: the count is loaded first,
 // so the directory loaded after it covers at least that many groups. The view
 // is immutable up to its n, so callers may index it freely without locks.
+//
+//orcavet:hotpath lock-free index view on every group probe
 func (m *Memo) groupSnapshot() groupIndex {
 	n := int(m.groupN.Load())
 	return groupIndex{chunks: *m.chunkDir.Load(), n: n}
@@ -181,11 +183,15 @@ func (m *Memo) groupSnapshot() groupIndex {
 // acquisition: one atomic pointer load plus two array indexings. The id must
 // have been observed through NumGroups or returned from an insert (the
 // directory loaded here then covers it).
+//
+//orcavet:hotpath one atomic load and two indexings; every optimization job goes through here
 func (m *Memo) Group(id GroupID) *Group {
 	return (*m.chunkDir.Load())[id>>groupChunkBits][id&groupChunkMask]
 }
 
 // NumGroups returns the current number of groups, lock-free.
+//
+//orcavet:hotpath scheduler drain polls this count
 func (m *Memo) NumGroups() int {
 	return int(m.groupN.Load())
 }
@@ -207,6 +213,8 @@ func (m *Memo) NumExprs() int {
 // no group lock. Callers must hold the stripe lock that owns the seed's
 // fingerprint (or otherwise guarantee no duplicate creation race);
 // publishGroup itself takes only the writer-side publication lock.
+//
+//orcavet:hotpath:alloc group and chunk allocation is the point; it happens before the publication lock
 func (m *Memo) publishGroup(seed *GroupExpr) *Group {
 	// Allocate before taking the publication lock: an allocation can stall on
 	// GC assist, and a stall inside the only writer-global lock would
@@ -249,6 +257,8 @@ func (m *Memo) publishGroup(seed *GroupExpr) *Group {
 // left-linear join chains pay neither a Go call frame nor repeated child
 // slice growth per node: each frame's child-group slice is allocated exactly
 // once, when the frame is pushed.
+//
+//orcavet:hotpath:alloc frame stack and per-frame child slices are allocated once per node by design
 func (m *Memo) Insert(e *ops.Expr) (GroupID, error) {
 	type frame struct {
 		e        *ops.Expr
@@ -304,6 +314,8 @@ func (m *Memo) Insert(e *ops.Expr) (GroupID, error) {
 // only the group's lock for the probe-and-append, and registry inserts hold
 // only the fingerprint's stripe lock (plus, on group creation, the
 // publication lock).
+//
+//orcavet:hotpath:alloc the GroupExpr node itself is the one intentional allocation per insert
 func (m *Memo) InsertExpr(op ops.Operator, children []GroupID, target GroupID) (*GroupExpr, error) {
 	if err := fault.Inject(fault.PointMemoInsert); err != nil {
 		return nil, err
@@ -367,6 +379,8 @@ func (m *Memo) CTEProducer(id int) (GroupID, bool) {
 // InternReq returns the session-dense id of an optimization request,
 // interning it on first use. Interned handles make every later probe of the
 // Figure-6 hash tables a direct int-keyed map access.
+//
+//orcavet:hotpath request-stripe probe on every candidate record
 func (m *Memo) InternReq(req props.Required) ReqID {
 	h := req.Hash()
 	s := &m.reqStripes[h&(numReqStripes-1)]
@@ -385,6 +399,8 @@ func (m *Memo) InternReq(req props.Required) ReqID {
 // LookupReq returns the interned id of a request without interning it;
 // ok is false when the request was never seen by this session (and therefore
 // cannot appear in any table).
+//
+//orcavet:hotpath request-stripe probe on every property-table access
 func (m *Memo) LookupReq(req props.Required) (ReqID, bool) {
 	h := req.Hash()
 	s := &m.reqStripes[h&(numReqStripes-1)]
@@ -630,6 +646,8 @@ func (ge *GroupExpr) matches(op ops.Operator, children []GroupID) bool {
 // MarkApplied records that the rule with the given dense id (assigned by
 // xform's registry) ran on this expression; it returns false if the rule had
 // already been applied (rules fire once per expression).
+//
+//orcavet:hotpath:lock ledger check on every rule application; the per-expression mutex is the design
 func (ge *GroupExpr) MarkApplied(rule int) bool {
 	w, bit := rule>>6, uint64(1)<<(rule&63)
 	ge.mu.Lock()
@@ -648,6 +666,8 @@ func (ge *GroupExpr) MarkApplied(rule int) bool {
 // this expression. The ledger spans rule-set epochs, so a stage resuming
 // search over a shared Memo skips transformations an earlier stage
 // performed.
+//
+//orcavet:hotpath:lock ledger probe on every rule-scheduling decision
 func (ge *GroupExpr) Applied(rule int) bool {
 	w, bit := rule>>6, uint64(1)<<(rule&63)
 	ge.mu.Lock()

@@ -227,6 +227,8 @@ func (s *Scheduler) Run(root Job) error {
 
 // enqueueLocked registers a job (deduplicating by key) and attaches the
 // parent as a waiter. It returns whether the parent must wait.
+//
+//orcavet:hotpath:alloc the jobState node is allocated once per distinct job key
 func (s *Scheduler) enqueueLocked(j Job, parent *jobState) (wait bool) {
 	st, ok := s.registry[j.Key()]
 	if !ok {
@@ -253,6 +255,10 @@ func (s *Scheduler) pushLocked(st *jobState) {
 	}
 }
 
+// worker is the scheduler step loop: LIFO pop under the scheduler mutex,
+// one job step outside it, bookkeeping back under it.
+//
+//orcavet:hotpath:lock the scheduler mutex and condvar are the drain protocol
 func (s *Scheduler) worker() {
 	for {
 		s.mu.Lock()
@@ -339,6 +345,8 @@ func (s *Scheduler) worker() {
 // surfaced through the scheduler's normal error path, failing only this
 // stage. The worker goroutine survives; the degradation ladder in core and
 // the AMPERe capture hook take it from there.
+//
+//orcavet:hotpath:closure the deferred recover closure is the §6.1 panic containment itself
 func (s *Scheduler) step(st *jobState) (children []Job, done bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
