@@ -8,6 +8,9 @@
 #            per-package suite (memoimmut, lockcheck, opexhaustive,
 #            errdrop, faultpoint) plus the interprocedural passes
 #            (atomicpub, ctxflow, opclosure, hotpath, golifetime).
+#            opclosure also cross-checks the defs/*.opt declarations
+#            against the Go operator inventory and the hand-written
+#            rule legs (apply<Rule> / match<Rule>) in internal/xform.
 #            The binary is compiled once to a temp path so the 60s
 #            budget times only the analysis, not the toolchain. One
 #            module-wide pass emitting SARIF, gated against
@@ -18,8 +21,10 @@
 #            internal/analysis is part of ./..., so the suite also
 #            analyzes its own implementation. Per-analyzer wall time
 #            and finding counts are appended to BENCH_orcavet.json.
-#   opmatrix regenerates the operator coverage matrix and diffs it
-#            against the checked-in docs/opmatrix.md (drift gate).
+#   generate re-runs cmd/optgen via go generate and fails on any diff
+#            in defs/, the *.gen.go outputs, or docs/opmatrix.md —
+#            hand-edited generated code and stale regeneration both
+#            show up here.
 #   test     go test ./...
 #   race     go test -race over the concurrency-heavy packages
 #            (search scheduler, memo, gpos worker pool, and core — the
@@ -61,7 +66,6 @@ orcavet_rc=0
 "$orcavet_tmp/orcavet" -sarif -timings \
     -baseline orcavet.baseline.json \
     -stats "$orcavet_tmp/stats.json" \
-    -opmatrix "$orcavet_tmp/opmatrix.md" \
     ./... > /dev/null || orcavet_rc=$?
 orcavet_elapsed=$(($(date +%s) - orcavet_start))
 echo "    orcavet analysis finished in ${orcavet_elapsed}s (compile excluded)"
@@ -82,10 +86,11 @@ if [ "$orcavet_elapsed" -ge 60 ]; then
 fi
 cat "$orcavet_tmp/stats.json" >> BENCH_orcavet.json
 
-echo "==> opmatrix drift gate (docs/opmatrix.md)"
-if ! diff -u docs/opmatrix.md "$orcavet_tmp/opmatrix.md"; then
-    echo "opmatrix: docs/opmatrix.md is stale; regenerate with:" >&2
-    echo "    go run ./cmd/orcavet -opmatrix docs/opmatrix.md ./..." >&2
+echo "==> go generate drift gate (defs/*.opt -> *.gen.go, docs/opmatrix.md)"
+go generate ./...
+if ! git diff --exit-code -- defs '*.gen.go' docs/opmatrix.md; then
+    echo "generate: generated outputs are stale or hand-edited; commit the" >&2
+    echo "result of 'go generate ./...' (cmd/optgen) instead" >&2
     exit 1
 fi
 

@@ -1,0 +1,76 @@
+// Command optgen generates the operator/rule boilerplate from the defs/
+// directory of .opt definitions: operator structs and fingerprint methods
+// (internal/ops), rule skeletons with dense compile-time IDs
+// (internal/xform), the DXL physical-parameter serializer (internal/dxl),
+// the cost/stats/engine dispatch switches, and docs/opmatrix.md.
+//
+// Usage:
+//
+//	go run orca/cmd/optgen [-defs DIR] [-root DIR] [-check]
+//
+// Output is deterministic (byte-identical for an unchanged defs/), which is
+// what check.sh's `go generate ./...` + `git diff --exit-code` drift gate
+// relies on. -check writes nothing and exits 1 if any output would change.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"orca/internal/optgen"
+)
+
+func main() {
+	defs := flag.String("defs", "defs", "directory of .opt definition files")
+	root := flag.String("root", ".", "repository root the generated files are written under")
+	check := flag.Bool("check", false, "verify outputs are up to date without writing; exit 1 on drift")
+	flag.Parse()
+
+	cat, err := optgen.ParseDir(*defs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *check {
+		stale, err := staleOutputs(cat, *root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if len(stale) > 0 {
+			for _, p := range stale {
+				fmt.Fprintf(os.Stderr, "optgen: %s is stale\n", p)
+			}
+			fmt.Fprintln(os.Stderr, "optgen: run `go generate ./...`")
+			os.Exit(1)
+		}
+		return
+	}
+	changed, err := optgen.Generate(cat, *root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, p := range changed {
+		fmt.Println("optgen: wrote", p)
+	}
+}
+
+func staleOutputs(cat *optgen.Catalog, root string) ([]string, error) {
+	outs, err := optgen.Outputs(cat)
+	if err != nil {
+		return nil, err
+	}
+	var stale []string
+	for rel, want := range outs {
+		got, err := os.ReadFile(filepath.Join(root, rel))
+		if err != nil || string(got) != string(want) {
+			stale = append(stale, rel)
+		}
+	}
+	sort.Strings(stale)
+	return stale, nil
+}

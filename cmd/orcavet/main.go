@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"orca/internal/analysis"
@@ -49,6 +50,7 @@ func main() {
 		factsPath     = flag.String("facts", "", "export the interprocedural facts store (JSON) to this file")
 		statsPath     = flag.String("stats", "", "write per-analyzer finding counts and wall time (JSON) to this file")
 		timings       = flag.Bool("timings", false, "print per-analyzer wall time to stderr")
+		defsDir       = flag.String("defs", "defs", "operator/rule definition directory for the opclosure .opt cross-check, relative to the module root (empty disables)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: orcavet [flags] [packages]\n\n")
@@ -101,6 +103,10 @@ func main() {
 	// Unused-ignore reporting needs the full suite: a directive scoped to an
 	// analyzer excluded by -run is legitimately idle.
 	cfg.ReportUnusedIgnores = fullSuite
+	cfg.DefsDir = *defsDir
+	if cfg.DefsDir != "" && !filepath.IsAbs(cfg.DefsDir) {
+		cfg.DefsDir = filepath.Join(loader.ModuleDir, cfg.DefsDir)
+	}
 	diags, stats := analysis.RunModuleTimed(pkgs, suite, cfg)
 	if *timings {
 		for _, s := range stats {

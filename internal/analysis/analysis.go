@@ -70,6 +70,11 @@ type Config struct {
 	// for single-analyzer fixture runs, where directives scoped to other
 	// analyzers are legitimately idle.
 	ReportUnusedIgnores bool
+	// DefsDir points at the defs/*.opt operator/rule declarations; when set
+	// (and the directory exists), opclosure cross-checks the declarations
+	// against the Go inventory and the hand-written rule legs, reporting at
+	// .opt positions. Empty disables the cross-check (fixture runs).
+	DefsDir string
 }
 
 // DefaultConfig returns the configuration matching the repo's layout.
@@ -83,6 +88,7 @@ func DefaultConfig() *Config {
 		DXLPkgPath:    dxlPkgPath,
 		MDPkgPath:     mdPkgPath,
 		RootPkgPaths:  []string{mdPkgPath, "orca/internal/core", searchPkgPath, gposPkgPath},
+		DefsDir:       "defs",
 	}
 }
 
@@ -129,6 +135,16 @@ type ModulePass struct {
 func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 	*mp.diags = append(*mp.diags, Diagnostic{
 		Pos:      mp.Fset.Position(pos),
+		Analyzer: mp.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportPosf records a module-analyzer finding at an explicit file position —
+// used for findings anchored outside Go sources (the defs/*.opt files).
+func (mp *ModulePass) ReportPosf(pos token.Position, format string, args ...any) {
+	*mp.diags = append(*mp.diags, Diagnostic{
+		Pos:      pos,
 		Analyzer: mp.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})

@@ -4,9 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
+	"os"
 	"sort"
 	"strings"
+
+	"orca/internal/optgen"
 )
 
 // OpClosure verifies cross-package closure over the operator registries: an
@@ -66,6 +70,79 @@ func runOpClosure(mp *ModulePass) {
 				oc.Kind, oc.Name, leg, legHint(leg))
 		}
 	}
+	crossCheckDefs(mp, matrix)
+}
+
+// crossCheckDefs verifies the defs/*.opt declarations against the Go
+// inventory: every declared operator has a Go struct of the declared kind,
+// every Go operator is declared, and every declared rule has its hand-written
+// leg (apply<Name>, plus match<Name> when the rule sets check) in the xform
+// package. Failures are reported at the .opt declaration, so a missing
+// hand-written body points at the definition that promised it.
+func crossCheckDefs(mp *ModulePass, matrix *OpMatrix) {
+	dir := mp.Config.DefsDir
+	if dir == "" {
+		return
+	}
+	if _, err := os.Stat(dir); err != nil {
+		return // no defs directory in this run (fixture tests)
+	}
+	cat, err := optgen.ParseDir(dir)
+	if err != nil {
+		mp.ReportPosf(token.Position{Filename: dir}, "defs parse error: %v", err)
+		return
+	}
+
+	byName := make(map[string]*OpCoverage, len(matrix.Ops))
+	for _, oc := range matrix.Ops {
+		byName[oc.Name] = oc
+	}
+	declared := make(map[string]bool, len(cat.Ops))
+	for _, od := range cat.Ops {
+		declared[od.Name] = true
+		pos := token.Position{Filename: od.File, Line: od.Line}
+		oc := byName[od.Name]
+		if oc == nil {
+			mp.ReportPosf(pos, "operator %s is declared in defs but has no Go type in the ops package (run go generate ./...)", od.Name)
+			continue
+		}
+		if oc.Kind != od.Kind {
+			mp.ReportPosf(pos, "operator %s is declared %s but its Go type implements the %s interface", od.Name, od.Kind, oc.Kind)
+		}
+	}
+	for _, oc := range matrix.Ops {
+		if !declared[oc.Name] {
+			mp.Reportf(oc.declPos.Pos(), "%s operator %s is not declared in %s/*.opt", oc.Kind, oc.Name, dir)
+		}
+	}
+
+	xformPkg := pkgByPath(mp.Pkgs, mp.Config.XformPkgPath)
+	if xformPkg == nil {
+		return
+	}
+	scope := xformPkg.Types.Scope()
+	hasFunc := func(name string) bool {
+		_, ok := scope.Lookup(name).(*types.Func)
+		return ok
+	}
+	for _, rd := range cat.Rules {
+		pos := token.Position{Filename: rd.File, Line: rd.Line}
+		if !hasFunc("apply" + rd.Name) {
+			mp.ReportPosf(pos, "rule %s has no hand-written apply body (func apply%s) in the xform package", rd.Name, rd.Name)
+		}
+		if rd.Check && !hasFunc("match"+rd.Name) {
+			mp.ReportPosf(pos, "rule %s sets check but has no hand-written predicate (func match%s) in the xform package", rd.Name, rd.Name)
+		}
+	}
+}
+
+func pkgByPath(pkgs []*Package, path string) *Package {
+	for _, p := range pkgs {
+		if p.PkgPath == path {
+			return p
+		}
+	}
+	return nil
 }
 
 func legHint(leg string) string {
@@ -276,16 +353,18 @@ func MarshalOpMatrix(m *OpMatrix) ([]byte, error) {
 }
 
 // MarshalOpMatrixMarkdown renders the matrix as a markdown table — the
-// checked-in docs/opmatrix.md artifact check.sh regenerates and diffs, so
-// operator-coverage drift shows up in review rather than only in CI logs.
+// leg-coverage view of the -opmatrix artifact. (The checked-in
+// docs/opmatrix.md is generated from defs/*.opt by cmd/optgen; this table is
+// the analyzer's independent verification of the same inventory.)
 // A `+` leg is satisfied, `MISSING` is an opclosure finding, and `·` marks a
 // leg the operator's kind does not require.
 func MarshalOpMatrixMarkdown(m *OpMatrix) ([]byte, error) {
 	columns := []string{"xform", "stats", "cost", "engine", "dxl-serialize", "dxl-parse"}
 	var b strings.Builder
 	b.WriteString("# Operator coverage matrix\n\n")
-	b.WriteString("Generated by `go run ./cmd/orcavet -opmatrix docs/opmatrix.md ./...`.\n")
-	b.WriteString("Do not edit by hand: check.sh regenerates this file and fails on drift.\n\n")
+	b.WriteString("Generated by `go run ./cmd/orcavet -opmatrix <file>.md ./...`.\n")
+	b.WriteString("Leg coverage as verified by the opclosure analyzer against the\n")
+	b.WriteString("defs/*.opt declarations.\n\n")
 	b.WriteString("| operator | kind |")
 	for _, leg := range columns {
 		b.WriteString(" " + leg + " |")

@@ -175,7 +175,9 @@ func OptimizeContext(ctx context.Context, q *Query, cfg Config) (*Result, error)
 	hcfg.Workers = 1
 	hcfg.Stages = []Stage{{Name: "degraded-heuristic"}}
 	hcfg.DisabledRules = append(append([]string(nil), cfg.DisabledRules...),
-		"JoinCommutativity", "JoinAssociativity", "ExpandNAryJoinDP", "ExpandNAryJoinLeftDeep")
+		"JoinCommutativity", "JoinAssociativity", "JoinAssociativityRight",
+		"JoinAssociativityExchange", "PushSelectThroughJoin",
+		"PushSelectThroughGbAgg", "ExpandNAryJoinDP", "ExpandNAryJoinLeftDeep")
 	if hres, herr := containedPass(ctx, q, hcfg); herr == nil {
 		hres.Degraded = true
 		hres.DegradedRung = RungHeuristic

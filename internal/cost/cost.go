@@ -98,121 +98,162 @@ func childRowsAt(rows []float64, i int) float64 {
 	return 0
 }
 
-// LocalCost returns the cost of the operator itself, excluding children.
-//
-//orcavet:hotpath runs once per candidate plan during Figure-6 optimization
-func (m *Model) LocalCost(op ops.Operator, in Inputs) float64 {
-	p := m.P
-	skew := in.Skew
+// The LocalCost dispatch switch is generated into dispatch.gen.go from the
+// physical operator definitions in defs/; the cost<Op> methods below are
+// the hand-written per-operator formulas it calls. Each formula applies the
+// skew clamp and parallelism divisor via workScale.
+
+// workScale returns the parallelism divisor and clamped skew multiplier for
+// the operator's delivered distribution.
+func (m *Model) workScale(in Inputs) (par, skew float64) {
+	skew = in.Skew
 	if skew < 1 {
 		skew = 1
 	}
-	if skew > p.MaxSkew {
-		skew = p.MaxSkew
+	if skew > m.P.MaxSkew {
+		skew = m.P.MaxSkew
 	}
-	par := m.parallelism(in.Delivered.Dist)
+	return m.parallelism(in.Delivered.Dist), skew
+}
 
-	switch o := op.(type) {
-	case *ops.Scan:
-		rows := o.BaseRows
-		if rows <= 0 {
-			rows = in.OutRows
-		}
-		work := rows * p.CPUTuple
-		if o.Filter != nil {
-			work += rows * p.CPUPred
-		}
-		return work / par * skew
-
-	case *ops.IndexScan:
-		base := o.BaseRows
-		if base < 2 {
-			base = 2
-		}
-		work := in.OutRows*p.IndexLookup + math.Log2(base)*p.CPUTuple
-		return work / par
-
-	case *ops.Filter:
-		return childRowsAt(in.ChildRows, 0) * p.CPUPred / par
-
-	case *ops.ComputeScalar:
-		return childRowsAt(in.ChildRows, 0) * p.CPUProj * float64(max(1, len(o.Elems))) / par
-
-	case *ops.HashJoin:
-		build := childRowsAt(in.ChildRows, 1) * p.HashBuild
-		probe := childRowsAt(in.ChildRows, 0)*p.HashProbe + in.OutRows*p.CPUTuple
-		if o.Residual != nil {
-			probe += in.OutRows * p.CPUPred
-		}
-		return (build + probe) / par * skew
-
-	case *ops.NLJoin:
-		pairs := childRowsAt(in.ChildRows, 0) * childRowsAt(in.ChildRows, 1)
-		return (pairs*p.NLJoinTuple + in.OutRows*p.CPUTuple) / par
-
-	case *ops.HashAgg:
-		return (childRowsAt(in.ChildRows, 0)*p.HashBuild + in.OutRows*p.CPUTuple) / par
-
-	case *ops.StreamAgg:
-		return (childRowsAt(in.ChildRows, 0)*p.CPUTuple + in.OutRows*p.CPUTuple) / par
-
-	case *ops.ScalarAgg:
-		return childRowsAt(in.ChildRows, 0) * p.CPUTuple / par
-
-	case *ops.Sort:
-		n := childRowsAt(in.ChildRows, 0) / par
-		if n < 2 {
-			n = 2
-		}
-		return n * math.Log2(n) * p.SortFactor
-
-	case *ops.PhysicalLimit:
-		return in.OutRows * p.CPUTuple
-
-	case *ops.Gather:
-		return childRowsAt(in.ChildRows, 0) * p.NetTuple
-
-	case *ops.GatherMerge:
-		return childRowsAt(in.ChildRows, 0) * (p.NetTuple + 0.2*p.CPUTuple)
-
-	case *ops.Redistribute:
-		return childRowsAt(in.ChildRows, 0) * p.NetTuple / par * skew
-
-	case *ops.Broadcast:
-		// Every segment receives the full input.
-		return childRowsAt(in.ChildRows, 0) * p.NetTuple
-
-	case *ops.Spool:
-		return childRowsAt(in.ChildRows, 0) * p.Materialize / par
-
-	case *ops.PhysicalUnionAll:
-		var total float64
-		for i := range in.ChildRows {
-			total += childRowsAt(in.ChildRows, i)
-		}
-		return total * p.CPUTuple * 0.2 / par
-
-	case *ops.Sequence:
-		return 0
-
-	case *ops.PhysicalCTEProducer:
-		return childRowsAt(in.ChildRows, 0) * p.Materialize / par
-
-	case *ops.PhysicalCTEConsumer:
-		return in.OutRows * p.CPUTuple * 0.4 / par
-
-	case *ops.PhysicalWindow:
-		return childRowsAt(in.ChildRows, 0) * p.CPUTuple * float64(max(1, len(o.Wins))) / par
-
-	case *ops.SubPlanFilter:
-		return m.subPlanCost(childRowsAt(in.ChildRows, 0), o.Plan)
-
-	case *ops.SubPlanProject:
-		return m.subPlanCost(childRowsAt(in.ChildRows, 0), o.Plan)
-
-	default:
-		return in.OutRows * p.CPUTuple / par
+func (m *Model) costScan(o *ops.Scan, in Inputs) float64 {
+	par, skew := m.workScale(in)
+	rows := o.BaseRows
+	if rows <= 0 {
+		rows = in.OutRows
 	}
+	work := rows * m.P.CPUTuple
+	if o.Filter != nil {
+		work += rows * m.P.CPUPred
+	}
+	return work / par * skew
+}
+
+func (m *Model) costIndexScan(o *ops.IndexScan, in Inputs) float64 {
+	par, _ := m.workScale(in)
+	base := o.BaseRows
+	if base < 2 {
+		base = 2
+	}
+	work := in.OutRows*m.P.IndexLookup + math.Log2(base)*m.P.CPUTuple
+	return work / par
+}
+
+func (m *Model) costFilter(_ *ops.Filter, in Inputs) float64 {
+	par, _ := m.workScale(in)
+	return childRowsAt(in.ChildRows, 0) * m.P.CPUPred / par
+}
+
+func (m *Model) costComputeScalar(o *ops.ComputeScalar, in Inputs) float64 {
+	par, _ := m.workScale(in)
+	return childRowsAt(in.ChildRows, 0) * m.P.CPUProj * float64(max(1, len(o.Elems))) / par
+}
+
+func (m *Model) costHashJoin(o *ops.HashJoin, in Inputs) float64 {
+	par, skew := m.workScale(in)
+	build := childRowsAt(in.ChildRows, 1) * m.P.HashBuild
+	probe := childRowsAt(in.ChildRows, 0)*m.P.HashProbe + in.OutRows*m.P.CPUTuple
+	if o.Residual != nil {
+		probe += in.OutRows * m.P.CPUPred
+	}
+	return (build + probe) / par * skew
+}
+
+func (m *Model) costNLJoin(_ *ops.NLJoin, in Inputs) float64 {
+	par, _ := m.workScale(in)
+	pairs := childRowsAt(in.ChildRows, 0) * childRowsAt(in.ChildRows, 1)
+	return (pairs*m.P.NLJoinTuple + in.OutRows*m.P.CPUTuple) / par
+}
+
+func (m *Model) costHashAgg(_ *ops.HashAgg, in Inputs) float64 {
+	par, _ := m.workScale(in)
+	return (childRowsAt(in.ChildRows, 0)*m.P.HashBuild + in.OutRows*m.P.CPUTuple) / par
+}
+
+func (m *Model) costStreamAgg(_ *ops.StreamAgg, in Inputs) float64 {
+	par, _ := m.workScale(in)
+	return (childRowsAt(in.ChildRows, 0)*m.P.CPUTuple + in.OutRows*m.P.CPUTuple) / par
+}
+
+func (m *Model) costScalarAgg(_ *ops.ScalarAgg, in Inputs) float64 {
+	par, _ := m.workScale(in)
+	return childRowsAt(in.ChildRows, 0) * m.P.CPUTuple / par
+}
+
+func (m *Model) costSort(_ *ops.Sort, in Inputs) float64 {
+	par, _ := m.workScale(in)
+	n := childRowsAt(in.ChildRows, 0) / par
+	if n < 2 {
+		n = 2
+	}
+	return n * math.Log2(n) * m.P.SortFactor
+}
+
+func (m *Model) costPhysicalLimit(_ *ops.PhysicalLimit, in Inputs) float64 {
+	return in.OutRows * m.P.CPUTuple
+}
+
+func (m *Model) costGather(_ *ops.Gather, in Inputs) float64 {
+	return childRowsAt(in.ChildRows, 0) * m.P.NetTuple
+}
+
+func (m *Model) costGatherMerge(_ *ops.GatherMerge, in Inputs) float64 {
+	return childRowsAt(in.ChildRows, 0) * (m.P.NetTuple + 0.2*m.P.CPUTuple)
+}
+
+func (m *Model) costRedistribute(_ *ops.Redistribute, in Inputs) float64 {
+	par, skew := m.workScale(in)
+	return childRowsAt(in.ChildRows, 0) * m.P.NetTuple / par * skew
+}
+
+func (m *Model) costBroadcast(_ *ops.Broadcast, in Inputs) float64 {
+	// Every segment receives the full input.
+	return childRowsAt(in.ChildRows, 0) * m.P.NetTuple
+}
+
+func (m *Model) costSpool(_ *ops.Spool, in Inputs) float64 {
+	par, _ := m.workScale(in)
+	return childRowsAt(in.ChildRows, 0) * m.P.Materialize / par
+}
+
+func (m *Model) costPhysicalUnionAll(_ *ops.PhysicalUnionAll, in Inputs) float64 {
+	par, _ := m.workScale(in)
+	var total float64
+	for i := range in.ChildRows {
+		total += childRowsAt(in.ChildRows, i)
+	}
+	return total * m.P.CPUTuple * 0.2 / par
+}
+
+func (m *Model) costSequence(_ *ops.Sequence, _ Inputs) float64 { return 0 }
+
+func (m *Model) costPhysicalCTEProducer(_ *ops.PhysicalCTEProducer, in Inputs) float64 {
+	par, _ := m.workScale(in)
+	return childRowsAt(in.ChildRows, 0) * m.P.Materialize / par
+}
+
+func (m *Model) costPhysicalCTEConsumer(_ *ops.PhysicalCTEConsumer, in Inputs) float64 {
+	par, _ := m.workScale(in)
+	return in.OutRows * m.P.CPUTuple * 0.4 / par
+}
+
+func (m *Model) costPhysicalWindow(o *ops.PhysicalWindow, in Inputs) float64 {
+	par, _ := m.workScale(in)
+	return childRowsAt(in.ChildRows, 0) * m.P.CPUTuple * float64(max(1, len(o.Wins))) / par
+}
+
+func (m *Model) costSubPlanFilter(o *ops.SubPlanFilter, in Inputs) float64 {
+	return m.subPlanCost(childRowsAt(in.ChildRows, 0), o.Plan)
+}
+
+func (m *Model) costSubPlanProject(o *ops.SubPlanProject, in Inputs) float64 {
+	return m.subPlanCost(childRowsAt(in.ChildRows, 0), o.Plan)
+}
+
+// costDefault covers operators without a dedicated formula.
+func (m *Model) costDefault(in Inputs) float64 {
+	par, _ := m.workScale(in)
+	return in.OutRows * m.P.CPUTuple / par
 }
 
 // subPlanCost charges one full subplan execution per outer row — the

@@ -11,7 +11,9 @@ import (
 // turns it into an executable plan (paper Figure 2). The encoding is
 // canonical (sorted attributes, stable parameter rendering) so two plans are
 // equal exactly when their serializations are equal, which is what the
-// AMPERe test framework compares.
+// AMPERe test framework compares. The per-operator physical-parameter
+// serializer (serializePhysParams) is generated from defs/*.opt into
+// physparams.gen.go, mirroring each operator's identity fields.
 func SerializePlan(plan *ops.Expr) *Node {
 	msg := El("Plan")
 	msg.Add(serializePlanNode(plan))
@@ -44,113 +46,24 @@ func serializePlanNode(e *ops.Expr) *Node {
 	return n
 }
 
-// serializePhysParams renders each operator's identity parameters as
-// structured attributes and children, one case per physical and enforcer
-// operator. The fields serialized here mirror each operator's ParamHash:
-// derived state (Scan.BaseRows, ComputeScalar.PassMap) and display-only
-// fields (Alias) are excluded so that param-equal plans render identically —
-// PlanFingerprint is the plan-equality oracle for AMPERe replay.
-func serializePhysParams(n *Node, op ops.Operator) {
-	switch x := op.(type) {
-	case *ops.Scan:
-		n.Setf("RelOid", "%d", x.Rel.Mdid.OID)
-		n.Add(serializeColRefs("ScanCols", x.Cols))
-		if x.Filter != nil {
-			n.Add(El("ScanFilter").Add(SerializeScalar(x.Filter)))
-		}
-		if x.Pruned {
-			n.Set("Parts", intList(x.Parts))
-		}
-	case *ops.IndexScan:
-		n.Setf("RelOid", "%d", x.Rel.Mdid.OID)
-		n.Setf("IndexOid", "%d", x.Index.Mdid.OID).Set("Index", x.Index.Name)
-		n.Add(serializeColRefs("ScanCols", x.Cols))
-		if x.EqFilter != nil {
-			n.Add(El("IndexCond").Add(SerializeScalar(x.EqFilter)))
-		}
-		if x.Residual != nil {
-			n.Add(El("Residual").Add(SerializeScalar(x.Residual)))
-		}
-	case *ops.Filter:
-		n.Add(El("Pred").Add(SerializeScalar(x.Pred)))
-	case *ops.ComputeScalar:
-		for _, e := range x.Elems {
-			n.Add(El("ProjElem").
-				Setf("ColId", "%d", e.Col.ID).
-				Set("Name", e.Col.Name).
-				Add(SerializeScalar(e.Expr)))
-		}
-	case *ops.HashAgg:
-		n.Set("Mode", x.Mode.String()).Set("GroupCols", colIDList(x.GroupCols))
-		for _, a := range x.Aggs {
-			n.Add(serializeAggElem(a))
-		}
-	case *ops.StreamAgg:
-		n.Set("GroupCols", colIDList(x.GroupCols))
-		for _, a := range x.Aggs {
-			n.Add(serializeAggElem(a))
-		}
-	case *ops.ScalarAgg:
-		n.Set("Mode", x.Mode.String())
-		for _, a := range x.Aggs {
-			n.Add(serializeAggElem(a))
-		}
-	case *ops.HashJoin:
-		n.Set("JoinType", x.Type.String())
-		n.Set("LeftKeys", colIDList(x.LeftKeys)).Set("RightKeys", colIDList(x.RightKeys))
-		if x.Residual != nil {
-			n.Add(El("Residual").Add(SerializeScalar(x.Residual)))
-		}
-	case *ops.NLJoin:
-		n.Set("JoinType", x.Type.String())
-		if x.Pred != nil {
-			n.Add(El("JoinPred").Add(SerializeScalar(x.Pred)))
-		}
-	case *ops.PhysicalLimit:
-		if x.HasCount {
-			n.Setf("Count", "%d", x.Count)
-		}
-		if x.Offset != 0 {
-			n.Setf("Offset", "%d", x.Offset)
-		}
-		n.Add(serializeOrder("LimitOrder", x.Order))
-	case *ops.PhysicalUnionAll:
-		for _, in := range x.InCols {
-			n.Add(El("InputCols").Set("Cols", colIDList(in)))
-		}
-		n.Add(serializeColRefs("OutputCols", x.OutCols))
-	case *ops.PhysicalCTEProducer:
-		n.Setf("CteId", "%d", x.ID).Set("Cols", colIDList(x.Cols))
-	case *ops.PhysicalCTEConsumer:
-		n.Setf("CteId", "%d", x.ID).Set("ProducerCols", colIDList(x.ProducerCols))
-		n.Add(serializeColRefs("ConsumerCols", x.Cols))
-	case *ops.PhysicalWindow:
-		n.Set("PartitionCols", colIDList(x.PartitionCols))
-		n.Add(serializeOrder("WindowOrder", x.Order))
-		for _, w := range x.Wins {
-			wn := El("WinElem").
-				Setf("ColId", "%d", w.Col.ID).
-				Set("Name", w.Col.Name).
-				Set("Fn", w.Fn.Name)
-			if w.Fn.Arg != nil {
-				wn.Add(SerializeScalar(w.Fn.Arg))
-			}
-			n.Add(wn)
-		}
-	case *ops.Sort:
-		n.Add(serializeOrder("SortOrder", x.Order))
-	case *ops.GatherMerge:
-		n.Add(serializeOrder("MergeOrder", x.Order))
-	case *ops.Redistribute:
-		n.Set("HashCols", colIDList(x.Cols))
-	case *ops.Gather, *ops.Broadcast, *ops.Spool, *ops.Sequence:
-		// Motion/spool/sequence operators carry no parameters beyond their
-		// delivered properties, already on the node.
-	default:
-		// Logical and scalar operators never appear in a finished physical
-		// plan; the Params hash attribute still covers any future operator
-		// until it grows a case here (opclosure enforces that it does).
+// serializeProjElem renders one projection element.
+func serializeProjElem(e ops.ProjElem) *Node {
+	return El("ProjElem").
+		Setf("ColId", "%d", e.Col.ID).
+		Set("Name", e.Col.Name).
+		Add(SerializeScalar(e.Expr))
+}
+
+// serializeWinElem renders one window-function element.
+func serializeWinElem(w ops.WinElem) *Node {
+	wn := El("WinElem").
+		Setf("ColId", "%d", w.Col.ID).
+		Set("Name", w.Col.Name).
+		Set("Fn", w.Fn.Name)
+	if w.Fn.Arg != nil {
+		wn.Add(SerializeScalar(w.Fn.Arg))
 	}
+	return wn
 }
 
 // paramString renders operator parameters canonically.

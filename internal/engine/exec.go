@@ -150,73 +150,36 @@ func (ex *executor) exec(e *ops.Expr) (*result, error) {
 	return res, nil
 }
 
-func (ex *executor) execOp(e *ops.Expr) (*result, error) {
-	switch op := e.Op.(type) {
-	case *ops.Scan:
-		return ex.execScan(op)
-	case *ops.IndexScan:
-		return ex.execIndexScan(op)
-	case *ops.Filter:
-		return ex.execFilter(op, e.Children[0])
-	case *ops.ComputeScalar:
-		return ex.execCompute(op, e.Children[0])
-	case *ops.HashJoin:
-		return ex.execHashJoin(op, e.Children[0], e.Children[1])
-	case *ops.NLJoin:
-		return ex.execNLJoin(op, e.Children[0], e.Children[1])
-	case *ops.HashAgg:
-		return ex.execGroupAgg(op.GroupCols, op.Aggs, e.Children[0])
-	case *ops.StreamAgg:
-		return ex.execGroupAgg(op.GroupCols, op.Aggs, e.Children[0])
-	case *ops.ScalarAgg:
-		return ex.execScalarAgg(op, e.Children[0])
-	case *ops.Sort:
-		return ex.execSort(op.Order, e.Children[0])
-	case *ops.PhysicalLimit:
-		return ex.execLimit(op, e.Children[0])
-	case *ops.Gather:
-		return ex.execGather(e.Children[0], props.OrderSpec{})
-	case *ops.GatherMerge:
-		return ex.execGather(e.Children[0], op.Order)
-	case *ops.Redistribute:
-		return ex.execRedistribute(op.Cols, e.Children[0])
-	case *ops.Broadcast:
-		return ex.execBroadcast(e.Children[0])
-	case *ops.Spool:
-		in, err := ex.exec(e.Children[0])
-		if err != nil {
-			return nil, err
-		}
-		if err := ex.charge(in.totalRows()); err != nil {
-			return nil, err
-		}
-		return in, nil
-	case *ops.PhysicalUnionAll:
-		return ex.execUnion(op, e.Children)
-	case *ops.Sequence:
-		if _, err := ex.exec(e.Children[0]); err != nil {
-			return nil, err
-		}
-		return ex.exec(e.Children[1])
-	case *ops.PhysicalCTEProducer:
-		return ex.execCTEProducer(op, e.Children[0])
-	case *ops.PhysicalCTEConsumer:
-		return ex.execCTEConsumer(op)
-	case *ops.PhysicalWindow:
-		return ex.execWindow(op, e.Children[0])
-	case *ops.SubPlanFilter:
-		return ex.execSubPlanFilter(op, e.Children[0])
-	case *ops.SubPlanProject:
-		return ex.execSubPlanProject(op, e.Children[0])
-	default:
-		return nil, fmt.Errorf("engine: cannot execute operator %s", e.Op.Name())
+// The execOp dispatch switch is generated into dispatch.gen.go from the
+// physical operator definitions in defs/; the exec<Op> methods in this
+// package are the hand-written executors it calls, each taking the typed
+// operator plus the plan node carrying its children.
+
+// execSpool materializes its input (charged as one pass over the rows).
+func (ex *executor) execSpool(_ *ops.Spool, e *ops.Expr) (*result, error) {
+	in, err := ex.exec(e.Children[0])
+	if err != nil {
+		return nil, err
 	}
+	if err := ex.charge(in.totalRows()); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// execSequence runs the producer side for effect, then returns the second
+// child's result.
+func (ex *executor) execSequence(_ *ops.Sequence, e *ops.Expr) (*result, error) {
+	if _, err := ex.exec(e.Children[0]); err != nil {
+		return nil, err
+	}
+	return ex.exec(e.Children[1])
 }
 
 // ---------------------------------------------------------------------------
 // Scans
 
-func (ex *executor) execScan(op *ops.Scan) (*result, error) {
+func (ex *executor) execScan(op *ops.Scan, _ *ops.Expr) (*result, error) {
 	t, ok := ex.c.tables[op.Rel.Name]
 	if !ok {
 		return nil, fmt.Errorf("engine: table %q not loaded", op.Rel.Name)
@@ -250,7 +213,7 @@ func (ex *executor) execScan(op *ops.Scan) (*result, error) {
 	return out, nil
 }
 
-func (ex *executor) execIndexScan(op *ops.IndexScan) (*result, error) {
+func (ex *executor) execIndexScan(op *ops.IndexScan, _ *ops.Expr) (*result, error) {
 	t, ok := ex.c.tables[op.Rel.Name]
 	if !ok {
 		return nil, fmt.Errorf("engine: table %q not loaded", op.Rel.Name)

@@ -80,8 +80,16 @@ func (s *aggState) value() base.Datum {
 	}
 }
 
-// execGroupAgg implements HashAgg and StreamAgg uniformly (the stream
-// variant's ordering requirement only affects planning and cost).
+// execHashAgg and execStreamAgg share execGroupAgg (the stream variant's
+// ordering requirement only affects planning and cost).
+func (ex *executor) execHashAgg(op *ops.HashAgg, e *ops.Expr) (*result, error) {
+	return ex.execGroupAgg(op.GroupCols, op.Aggs, e.Children[0])
+}
+
+func (ex *executor) execStreamAgg(op *ops.StreamAgg, e *ops.Expr) (*result, error) {
+	return ex.execGroupAgg(op.GroupCols, op.Aggs, e.Children[0])
+}
+
 func (ex *executor) execGroupAgg(groupCols []base.ColID, aggs []ops.AggElem, child *ops.Expr) (*result, error) {
 	in, err := ex.exec(child)
 	if err != nil {
@@ -155,8 +163,8 @@ func (ex *executor) execGroupAgg(groupCols []base.ColID, aggs []ops.AggElem, chi
 // execScalarAgg aggregates without grouping, producing exactly one row per
 // logical copy (Local mode produces one row per segment, feeding a Global
 // combine above a motion).
-func (ex *executor) execScalarAgg(op *ops.ScalarAgg, child *ops.Expr) (*result, error) {
-	in, err := ex.exec(child)
+func (ex *executor) execScalarAgg(op *ops.ScalarAgg, e *ops.Expr) (*result, error) {
+	in, err := ex.exec(e.Children[0])
 	if err != nil {
 		return nil, err
 	}
@@ -236,8 +244,8 @@ func (ex *executor) execScalarAgg(op *ops.ScalarAgg, child *ops.Expr) (*result, 
 // ---------------------------------------------------------------------------
 // Window functions
 
-func (ex *executor) execWindow(op *ops.PhysicalWindow, child *ops.Expr) (*result, error) {
-	in, err := ex.exec(child)
+func (ex *executor) execPhysicalWindow(op *ops.PhysicalWindow, e *ops.Expr) (*result, error) {
+	in, err := ex.exec(e.Children[0])
 	if err != nil {
 		return nil, err
 	}
@@ -333,8 +341,8 @@ func orderValsDiffer(ectx *evalCtx, op *ops.PhysicalWindow, a, b Row) bool {
 // ---------------------------------------------------------------------------
 // CTEs
 
-func (ex *executor) execCTEProducer(op *ops.PhysicalCTEProducer, child *ops.Expr) (*result, error) {
-	in, err := ex.exec(child)
+func (ex *executor) execPhysicalCTEProducer(op *ops.PhysicalCTEProducer, e *ops.Expr) (*result, error) {
+	in, err := ex.exec(e.Children[0])
 	if err != nil {
 		return nil, err
 	}
@@ -345,7 +353,7 @@ func (ex *executor) execCTEProducer(op *ops.PhysicalCTEProducer, child *ops.Expr
 	return in, nil
 }
 
-func (ex *executor) execCTEConsumer(op *ops.PhysicalCTEConsumer) (*result, error) {
+func (ex *executor) execPhysicalCTEConsumer(op *ops.PhysicalCTEConsumer, _ *ops.Expr) (*result, error) {
 	prod, ok := ex.cte[op.ID]
 	if !ok {
 		return nil, fmt.Errorf("engine: CTE %d consumed before production", op.ID)
@@ -425,8 +433,8 @@ func bindingsFor(sch []base.ColID, r Row) map[base.ColID]base.Datum {
 	return out
 }
 
-func (ex *executor) execSubPlanFilter(op *ops.SubPlanFilter, child *ops.Expr) (*result, error) {
-	in, err := ex.exec(child)
+func (ex *executor) execSubPlanFilter(op *ops.SubPlanFilter, e *ops.Expr) (*result, error) {
+	in, err := ex.exec(e.Children[0])
 	if err != nil {
 		return nil, err
 	}
@@ -482,8 +490,8 @@ func (ex *executor) execSubPlanFilter(op *ops.SubPlanFilter, child *ops.Expr) (*
 	return out, nil
 }
 
-func (ex *executor) execSubPlanProject(op *ops.SubPlanProject, child *ops.Expr) (*result, error) {
-	in, err := ex.exec(child)
+func (ex *executor) execSubPlanProject(op *ops.SubPlanProject, e *ops.Expr) (*result, error) {
+	in, err := ex.exec(e.Children[0])
 	if err != nil {
 		return nil, err
 	}

@@ -13,8 +13,8 @@ import (
 // ---------------------------------------------------------------------------
 // Filter / ComputeScalar
 
-func (ex *executor) execFilter(op *ops.Filter, child *ops.Expr) (*result, error) {
-	in, err := ex.exec(child)
+func (ex *executor) execFilter(op *ops.Filter, e *ops.Expr) (*result, error) {
+	in, err := ex.exec(e.Children[0])
 	if err != nil {
 		return nil, err
 	}
@@ -37,8 +37,8 @@ func (ex *executor) execFilter(op *ops.Filter, child *ops.Expr) (*result, error)
 	return out, nil
 }
 
-func (ex *executor) execCompute(op *ops.ComputeScalar, child *ops.Expr) (*result, error) {
-	in, err := ex.exec(child)
+func (ex *executor) execComputeScalar(op *ops.ComputeScalar, e *ops.Expr) (*result, error) {
+	in, err := ex.exec(e.Children[0])
 	if err != nil {
 		return nil, err
 	}
@@ -91,12 +91,12 @@ func colPositions(sch schema, cols []base.ColID) ([]int, error) {
 	return out, nil
 }
 
-func (ex *executor) execHashJoin(op *ops.HashJoin, outerE, innerE *ops.Expr) (*result, error) {
-	outer, err := ex.exec(outerE)
+func (ex *executor) execHashJoin(op *ops.HashJoin, e *ops.Expr) (*result, error) {
+	outer, err := ex.exec(e.Children[0])
 	if err != nil {
 		return nil, err
 	}
-	inner, err := ex.exec(innerE)
+	inner, err := ex.exec(e.Children[1])
 	if err != nil {
 		return nil, err
 	}
@@ -227,12 +227,12 @@ func padRight(r Row, n int) Row {
 	return out
 }
 
-func (ex *executor) execNLJoin(op *ops.NLJoin, outerE, innerE *ops.Expr) (*result, error) {
-	outer, err := ex.exec(outerE)
+func (ex *executor) execNLJoin(op *ops.NLJoin, e *ops.Expr) (*result, error) {
+	outer, err := ex.exec(e.Children[0])
 	if err != nil {
 		return nil, err
 	}
-	inner, err := ex.exec(innerE)
+	inner, err := ex.exec(e.Children[1])
 	if err != nil {
 		return nil, err
 	}
@@ -309,7 +309,17 @@ func maxi(a, b int) int {
 // ---------------------------------------------------------------------------
 // Motions (the interconnect)
 
-func (ex *executor) execGather(child *ops.Expr, order props.OrderSpec) (*result, error) {
+// execGather and execGatherMerge share gatherRows; the merge variant keeps
+// the segment streams' order.
+func (ex *executor) execGather(_ *ops.Gather, e *ops.Expr) (*result, error) {
+	return ex.gatherRows(e.Children[0], props.OrderSpec{})
+}
+
+func (ex *executor) execGatherMerge(op *ops.GatherMerge, e *ops.Expr) (*result, error) {
+	return ex.gatherRows(e.Children[0], op.Order)
+}
+
+func (ex *executor) gatherRows(child *ops.Expr, order props.OrderSpec) (*result, error) {
 	in, err := ex.exec(child)
 	if err != nil {
 		return nil, err
@@ -336,12 +346,12 @@ func (ex *executor) execGather(child *ops.Expr, order props.OrderSpec) (*result,
 	return out, nil
 }
 
-func (ex *executor) execRedistribute(cols []base.ColID, child *ops.Expr) (*result, error) {
-	in, err := ex.exec(child)
+func (ex *executor) execRedistribute(op *ops.Redistribute, e *ops.Expr) (*result, error) {
+	in, err := ex.exec(e.Children[0])
 	if err != nil {
 		return nil, err
 	}
-	pos, err := colPositions(in.sch(), cols)
+	pos, err := colPositions(in.sch(), op.Cols)
 	if err != nil {
 		return nil, err
 	}
@@ -362,8 +372,8 @@ func (ex *executor) execRedistribute(cols []base.ColID, child *ops.Expr) (*resul
 	return out, nil
 }
 
-func (ex *executor) execBroadcast(child *ops.Expr) (*result, error) {
-	in, err := ex.exec(child)
+func (ex *executor) execBroadcast(_ *ops.Broadcast, e *ops.Expr) (*result, error) {
+	in, err := ex.exec(e.Children[0])
 	if err != nil {
 		return nil, err
 	}
@@ -407,15 +417,15 @@ func sortParts(r *result, order props.OrderSpec) {
 	}
 }
 
-func (ex *executor) execSort(order props.OrderSpec, child *ops.Expr) (*result, error) {
-	in, err := ex.exec(child)
+func (ex *executor) execSort(op *ops.Sort, e *ops.Expr) (*result, error) {
+	in, err := ex.exec(e.Children[0])
 	if err != nil {
 		return nil, err
 	}
 	out := &result{schema: in.schema, parts: make([][]Row, len(in.parts)), rep: in.rep}
 	for s, rows := range in.parts {
 		cp := append([]Row(nil), rows...)
-		sortRows(cp, in.sch(), order)
+		sortRows(cp, in.sch(), op.Order)
 		out.parts[s] = cp
 		if err := ex.charge(len(rows) * log2i(len(rows))); err != nil {
 			return nil, err
@@ -433,8 +443,8 @@ func log2i(n int) int {
 	return l
 }
 
-func (ex *executor) execLimit(op *ops.PhysicalLimit, child *ops.Expr) (*result, error) {
-	in, err := ex.exec(child)
+func (ex *executor) execPhysicalLimit(op *ops.PhysicalLimit, e *ops.Expr) (*result, error) {
+	in, err := ex.exec(e.Children[0])
 	if err != nil {
 		return nil, err
 	}
@@ -461,13 +471,13 @@ func (ex *executor) execLimit(op *ops.PhysicalLimit, child *ops.Expr) (*result, 
 	return out, nil
 }
 
-func (ex *executor) execUnion(op *ops.PhysicalUnionAll, children []*ops.Expr) (*result, error) {
+func (ex *executor) execPhysicalUnionAll(op *ops.PhysicalUnionAll, e *ops.Expr) (*result, error) {
 	sch := make([]base.ColID, len(op.OutCols))
 	for i, c := range op.OutCols {
 		sch[i] = c.ID
 	}
 	out := &result{schema: sch, parts: make([][]Row, ex.c.Segments)}
-	for ci, childE := range children {
+	for ci, childE := range e.Children {
 		in, err := ex.exec(childE)
 		if err != nil {
 			return nil, err

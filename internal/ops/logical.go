@@ -6,8 +6,12 @@ import (
 
 	"orca/internal/base"
 	"orca/internal/md"
-	"orca/internal/props"
 )
+
+// The logical operator structs and their Name/Arity/ParamHash/ParamEqual
+// methods are generated from defs/ops_logical.opt into ops.gen.go; this
+// file keeps the hand-written semantic halves: output/used column
+// derivation, enum types, element structs and Describe renderings.
 
 // logicalBase provides the Logical marker.
 type logicalBase struct{}
@@ -16,46 +20,6 @@ func (logicalBase) logical() {}
 
 // ---------------------------------------------------------------------------
 // Get
-
-// Get is a logical table access: one instance of a base relation with its
-// query-level column references (cf. dxl:LogicalGet in paper Listing 1).
-type Get struct {
-	logicalBase
-	Alias string
-	Rel   *md.Relation
-	Cols  []*md.ColRef
-}
-
-// Name implements Operator.
-func (*Get) Name() string { return "Get" }
-
-// Arity implements Operator.
-func (*Get) Arity() int { return 0 }
-
-// ParamHash implements Operator; two Gets are the same expression only if
-// they are the same table *instance*, which the first column id identifies.
-func (g *Get) ParamHash() uint64 {
-	h := hashString(fnvOffset, "get")
-	h = hashMix(h, uint64(g.Rel.Mdid.OID))
-	if len(g.Cols) > 0 {
-		h = hashMix(h, uint64(g.Cols[0].ID))
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (g *Get) ParamEqual(o Operator) bool {
-	og, ok := o.(*Get)
-	if !ok || og.Rel.Mdid != g.Rel.Mdid || len(og.Cols) != len(g.Cols) {
-		return false
-	}
-	for i := range g.Cols {
-		if og.Cols[i].ID != g.Cols[i].ID {
-			return false
-		}
-	}
-	return true
-}
 
 // OutputCols returns the columns the instance produces.
 func (g *Get) OutputCols() base.ColSet {
@@ -89,27 +53,6 @@ func (g *Get) Describe() string {
 // ---------------------------------------------------------------------------
 // Select
 
-// Select filters its child by a predicate.
-type Select struct {
-	logicalBase
-	Pred ScalarExpr
-}
-
-// Name implements Operator.
-func (*Select) Name() string { return "Select" }
-
-// Arity implements Operator.
-func (*Select) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (s *Select) ParamHash() uint64 { return hashMix(hashString(fnvOffset, "select"), s.Pred.Hash()) }
-
-// ParamEqual implements Operator.
-func (s *Select) ParamEqual(o Operator) bool {
-	os, ok := o.(*Select)
-	return ok && os.Pred.Equal(s.Pred)
-}
-
 // Describe renders the predicate.
 func (s *Select) Describe() string { return "Select " + s.Pred.String() }
 
@@ -117,47 +60,11 @@ func (s *Select) Describe() string { return "Select " + s.Pred.String() }
 // Project
 
 // ProjElem is one projected column: a target column reference and the
-// defining expression.
+// defining expression. Pass-through columns are ProjElems whose Expr is an
+// Ident of the same column.
 type ProjElem struct {
 	Col  *md.ColRef
 	Expr ScalarExpr
-}
-
-// Project computes scalar expressions; pass-through columns are ProjElems
-// whose Expr is an Ident of the same column.
-type Project struct {
-	logicalBase
-	Elems []ProjElem
-}
-
-// Name implements Operator.
-func (*Project) Name() string { return "Project" }
-
-// Arity implements Operator.
-func (*Project) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (p *Project) ParamHash() uint64 {
-	h := hashString(fnvOffset, "project")
-	for _, e := range p.Elems {
-		h = hashMix(h, uint64(e.Col.ID))
-		h = hashMix(h, e.Expr.Hash())
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (p *Project) ParamEqual(o Operator) bool {
-	op, ok := o.(*Project)
-	if !ok || len(op.Elems) != len(p.Elems) {
-		return false
-	}
-	for i := range p.Elems {
-		if op.Elems[i].Col.ID != p.Elems[i].Col.ID || !op.Elems[i].Expr.Equal(p.Elems[i].Expr) {
-			return false
-		}
-	}
-	return true
 }
 
 // OutputCols returns the projected column set.
@@ -217,37 +124,8 @@ func (t JoinType) String() string {
 	}
 }
 
-// Join is a binary logical join (children: outer, inner).
-type Join struct {
-	logicalBase
-	Type JoinType
-	Pred ScalarExpr // nil means cross join / constant TRUE
-}
-
-// Name implements Operator.
+// Name implements Operator; the display name carries the join semantics.
 func (j *Join) Name() string { return j.Type.String() + "Join" }
-
-// Arity implements Operator.
-func (*Join) Arity() int { return 2 }
-
-// ParamHash implements Operator.
-func (j *Join) ParamHash() uint64 {
-	h := hashString(fnvOffset, "join")
-	h = hashMix(h, uint64(j.Type))
-	if j.Pred != nil {
-		h = hashMix(h, j.Pred.Hash())
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (j *Join) ParamEqual(o Operator) bool {
-	oj, ok := o.(*Join)
-	if !ok || oj.Type != j.Type || (oj.Pred == nil) != (j.Pred == nil) {
-		return false
-	}
-	return j.Pred == nil || oj.Pred.Equal(j.Pred)
-}
 
 // Describe renders "InnerJoin (c0 = c3)".
 func (j *Join) Describe() string {
@@ -255,43 +133,6 @@ func (j *Join) Describe() string {
 		return j.Name()
 	}
 	return j.Name() + " " + j.Pred.String()
-}
-
-// NAryJoin is the collapsed inner-join of several inputs plus the conjunction
-// of all join predicates; the join-ordering exploration rules (DP, greedy,
-// left-deep — paper §7.2.2 "Join Ordering") expand it into binary join trees.
-type NAryJoin struct {
-	logicalBase
-	Preds []ScalarExpr
-}
-
-// Name implements Operator.
-func (*NAryJoin) Name() string { return "NAryJoin" }
-
-// Arity implements Operator.
-func (*NAryJoin) Arity() int { return -1 }
-
-// ParamHash implements Operator.
-func (j *NAryJoin) ParamHash() uint64 {
-	h := hashString(fnvOffset, "naryjoin")
-	for _, p := range j.Preds {
-		h = hashMix(h, p.Hash())
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (j *NAryJoin) ParamEqual(o Operator) bool {
-	oj, ok := o.(*NAryJoin)
-	if !ok || len(oj.Preds) != len(j.Preds) {
-		return false
-	}
-	for i := range j.Preds {
-		if !oj.Preds[i].Equal(j.Preds[i]) {
-			return false
-		}
-	}
-	return true
 }
 
 // Describe renders the predicate list.
@@ -312,67 +153,14 @@ type AggElem struct {
 	Agg *AggFunc
 }
 
-// GbAgg groups its input and computes aggregates.
-type GbAgg struct {
-	logicalBase
-	GroupCols []base.ColID
-	Aggs      []AggElem
-}
-
-// Name implements Operator.
-func (*GbAgg) Name() string { return "GbAgg" }
-
-// Arity implements Operator.
-func (*GbAgg) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (g *GbAgg) ParamHash() uint64 {
-	h := hashString(fnvOffset, "gbagg")
-	for _, c := range g.GroupCols {
-		h = hashMix(h, uint64(c))
-	}
-	for _, a := range g.Aggs {
-		h = hashMix(h, uint64(a.Col.ID))
-		h = hashMix(h, a.Agg.Hash())
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (g *GbAgg) ParamEqual(o Operator) bool {
-	og, ok := o.(*GbAgg)
-	if !ok || len(og.GroupCols) != len(g.GroupCols) || len(og.Aggs) != len(g.Aggs) {
-		return false
-	}
-	for i := range g.GroupCols {
-		if og.GroupCols[i] != g.GroupCols[i] {
-			return false
-		}
-	}
-	for i := range g.Aggs {
-		if og.Aggs[i].Col.ID != g.Aggs[i].Col.ID || !og.Aggs[i].Agg.Equal(g.Aggs[i].Agg) {
-			return false
-		}
-	}
-	return true
-}
-
 // OutputCols returns group columns plus aggregate output columns.
 func (g *GbAgg) OutputCols() base.ColSet {
-	s := base.MakeColSet(g.GroupCols...)
-	for _, a := range g.Aggs {
-		s.Add(a.Col.ID)
-	}
-	return s
+	return aggOutputCols(g.GroupCols, g.Aggs)
 }
 
 // UsedCols returns the columns referenced by grouping and aggregation.
 func (g *GbAgg) UsedCols() base.ColSet {
-	s := base.MakeColSet(g.GroupCols...)
-	for _, a := range g.Aggs {
-		s = s.Union(a.Agg.Cols())
-	}
-	return s
+	return aggUsedCols(g.GroupCols, g.Aggs)
 }
 
 // Describe renders grouping columns and aggregates.
@@ -387,41 +175,6 @@ func (g *GbAgg) Describe() string {
 // ---------------------------------------------------------------------------
 // Limit
 
-// Limit returns the first Count rows (after Offset) of its input under the
-// given order. A Limit with an empty order is a bare LIMIT clause.
-type Limit struct {
-	logicalBase
-	Order  props.OrderSpec
-	Count  int64
-	Offset int64
-	// HasCount distinguishes LIMIT 0 from no LIMIT (pure OFFSET).
-	HasCount bool
-}
-
-// Name implements Operator.
-func (*Limit) Name() string { return "Limit" }
-
-// Arity implements Operator.
-func (*Limit) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (l *Limit) ParamHash() uint64 {
-	h := hashString(fnvOffset, "limit")
-	h = hashMix(h, l.Order.Hash())
-	h = hashMix(h, uint64(l.Count))
-	h = hashMix(h, uint64(l.Offset))
-	if l.HasCount {
-		h = hashMix(h, 1)
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (l *Limit) ParamEqual(o Operator) bool {
-	ol, ok := o.(*Limit)
-	return ok && ol.Order.Equal(l.Order) && ol.Count == l.Count && ol.Offset == l.Offset && ol.HasCount == l.HasCount
-}
-
 // Describe renders count/offset/order.
 func (l *Limit) Describe() string {
 	return fmt.Sprintf("Limit %d offset %d order %s", l.Count, l.Offset, l.Order)
@@ -429,59 +182,6 @@ func (l *Limit) Describe() string {
 
 // ---------------------------------------------------------------------------
 // UnionAll
-
-// UnionAll concatenates its children. InCols maps each child's columns to the
-// output positions; OutCols are the produced column references.
-type UnionAll struct {
-	logicalBase
-	InCols  [][]base.ColID
-	OutCols []*md.ColRef
-}
-
-// Name implements Operator.
-func (*UnionAll) Name() string { return "UnionAll" }
-
-// Arity implements Operator.
-func (*UnionAll) Arity() int { return -1 }
-
-// ParamHash implements Operator.
-func (u *UnionAll) ParamHash() uint64 {
-	h := hashString(fnvOffset, "unionall")
-	for _, cols := range u.InCols {
-		for _, c := range cols {
-			h = hashMix(h, uint64(c))
-		}
-		h = hashMix(h, 0xfe)
-	}
-	for _, c := range u.OutCols {
-		h = hashMix(h, uint64(c.ID))
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (u *UnionAll) ParamEqual(o Operator) bool {
-	ou, ok := o.(*UnionAll)
-	if !ok || len(ou.InCols) != len(u.InCols) || len(ou.OutCols) != len(u.OutCols) {
-		return false
-	}
-	for i := range u.InCols {
-		if len(ou.InCols[i]) != len(u.InCols[i]) {
-			return false
-		}
-		for j := range u.InCols[i] {
-			if ou.InCols[i][j] != u.InCols[i][j] {
-				return false
-			}
-		}
-	}
-	for i := range u.OutCols {
-		if ou.OutCols[i].ID != u.OutCols[i].ID {
-			return false
-		}
-	}
-	return true
-}
 
 // OutputCols returns the union's output column set.
 func (u *UnionAll) OutputCols() base.ColSet {
@@ -496,73 +196,8 @@ func (u *UnionAll) OutputCols() base.ColSet {
 // Common table expressions (paper §7.2.2 "Common Expressions": a
 // producer/consumer model for WITH clause)
 
-// CTEAnchor scopes a common table expression: child 0 is the producer (the
-// CTE definition), child 1 is the body in which consumers appear. Physical
-// implementation is a Sequence that materializes the producer once and then
-// evaluates the body, the paper's produce-once/consume-many model.
-type CTEAnchor struct {
-	logicalBase
-	ID   int
-	Cols []*md.ColRef // producer output columns
-}
-
-// Name implements Operator.
-func (*CTEAnchor) Name() string { return "CTEAnchor" }
-
-// Arity implements Operator.
-func (*CTEAnchor) Arity() int { return 2 }
-
-// ParamHash implements Operator.
-func (c *CTEAnchor) ParamHash() uint64 {
-	return hashMix(hashString(fnvOffset, "cteanchor"), uint64(c.ID))
-}
-
-// ParamEqual implements Operator.
-func (c *CTEAnchor) ParamEqual(o Operator) bool {
-	oc, ok := o.(*CTEAnchor)
-	return ok && oc.ID == c.ID
-}
-
 // Describe renders the CTE id.
 func (c *CTEAnchor) Describe() string { return fmt.Sprintf("CTEAnchor(%d)", c.ID) }
-
-// CTEConsumer reads the materialized output of a CTE producer, exposing it
-// under fresh column references (each consumer instance gets its own ColIDs).
-type CTEConsumer struct {
-	logicalBase
-	ID           int
-	Cols         []*md.ColRef // this consumer's output columns
-	ProducerCols []base.ColID // the producer columns, positionally
-}
-
-// Name implements Operator.
-func (*CTEConsumer) Name() string { return "CTEConsumer" }
-
-// Arity implements Operator.
-func (*CTEConsumer) Arity() int { return 0 }
-
-// ParamHash implements Operator.
-func (c *CTEConsumer) ParamHash() uint64 {
-	h := hashMix(hashString(fnvOffset, "ctecons"), uint64(c.ID))
-	if len(c.Cols) > 0 {
-		h = hashMix(h, uint64(c.Cols[0].ID))
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (c *CTEConsumer) ParamEqual(o Operator) bool {
-	oc, ok := o.(*CTEConsumer)
-	if !ok || oc.ID != c.ID || len(oc.Cols) != len(c.Cols) {
-		return false
-	}
-	for i := range c.Cols {
-		if oc.Cols[i].ID != c.Cols[i].ID {
-			return false
-		}
-	}
-	return true
-}
 
 // OutputCols returns the consumer's output columns.
 func (c *CTEConsumer) OutputCols() base.ColSet {
@@ -583,53 +218,6 @@ func (c *CTEConsumer) Describe() string { return fmt.Sprintf("CTEConsumer(%d)", 
 type WinElem struct {
 	Col *md.ColRef
 	Fn  *WinFunc
-}
-
-// Window computes window functions over partitions of its input.
-type Window struct {
-	logicalBase
-	PartitionCols []base.ColID
-	Order         props.OrderSpec
-	Wins          []WinElem
-}
-
-// Name implements Operator.
-func (*Window) Name() string { return "Window" }
-
-// Arity implements Operator.
-func (*Window) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (w *Window) ParamHash() uint64 {
-	h := hashString(fnvOffset, "window")
-	for _, c := range w.PartitionCols {
-		h = hashMix(h, uint64(c))
-	}
-	h = hashMix(h, w.Order.Hash())
-	for _, e := range w.Wins {
-		h = hashMix(h, uint64(e.Col.ID))
-		h = hashMix(h, e.Fn.Hash())
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (w *Window) ParamEqual(o Operator) bool {
-	ow, ok := o.(*Window)
-	if !ok || len(ow.PartitionCols) != len(w.PartitionCols) || len(ow.Wins) != len(w.Wins) || !ow.Order.Equal(w.Order) {
-		return false
-	}
-	for i := range w.PartitionCols {
-		if ow.PartitionCols[i] != w.PartitionCols[i] {
-			return false
-		}
-	}
-	for i := range w.Wins {
-		if ow.Wins[i].Col.ID != w.Wins[i].Col.ID || !ow.Wins[i].Fn.Equal(w.Wins[i].Fn) {
-			return false
-		}
-	}
-	return true
 }
 
 // UsedCols returns columns referenced by partitioning, ordering and args.

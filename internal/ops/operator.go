@@ -7,6 +7,13 @@ import (
 	"orca/internal/props"
 )
 
+// The operator structs and their Name/Arity/ParamHash/ParamEqual methods,
+// the xform rule skeletons, the DXL physical-parameter serializer, the
+// cost/stats/engine dispatch switches and docs/opmatrix.md are generated
+// from defs/*.opt. check.sh regenerates and fails on drift.
+//
+//go:generate go run orca/cmd/optgen -defs ../../defs -root ../..
+
 // Operator is a relational operator — the content of a Memo group expression.
 // Operators are immutable values; their parameters (scalar conditions,
 // grouping columns, table descriptors) participate in the fingerprint used

@@ -9,6 +9,11 @@ import (
 	"orca/internal/props"
 )
 
+// The physical operator structs and their Name/Arity/ParamHash/ParamEqual
+// methods are generated from defs/ops_physical.opt into ops.gen.go; this
+// file keeps the hand-written property-framework halves (ChildReqs/Derive)
+// and Describe renderings.
+
 // physicalBase provides the Physical marker.
 type physicalBase struct{}
 
@@ -32,69 +37,6 @@ func passThrough(req props.Required) props.Required {
 
 // ---------------------------------------------------------------------------
 // Scan / IndexScan
-
-// Scan is a physical table scan. Filter is an optional pushed-down predicate
-// evaluated during the scan. For partitioned tables, Pruned/Parts record
-// static partition elimination (paper §7.2.2 "Partition Elimination"): when
-// Pruned is set, only the partitions listed in Parts are read.
-type Scan struct {
-	physicalBase
-	Alias  string
-	Rel    *md.Relation
-	Cols   []*md.ColRef
-	Filter ScalarExpr
-	Pruned bool
-	Parts  []int
-	// BaseRows is the estimated number of tuples the scan reads (after
-	// partition elimination, before the filter). It is derived state set by
-	// the implementation rules for costing and excluded from fingerprints.
-	BaseRows float64
-}
-
-// Name implements Operator.
-func (*Scan) Name() string { return "Scan" }
-
-// Arity implements Operator.
-func (*Scan) Arity() int { return 0 }
-
-// ParamHash implements Operator.
-func (s *Scan) ParamHash() uint64 {
-	h := hashString(fnvOffset, "scan")
-	h = hashMix(h, uint64(s.Rel.Mdid.OID))
-	if len(s.Cols) > 0 {
-		h = hashMix(h, uint64(s.Cols[0].ID))
-	}
-	if s.Filter != nil {
-		h = hashMix(h, s.Filter.Hash())
-	}
-	if s.Pruned {
-		h = hashMix(h, 1)
-		for _, p := range s.Parts {
-			h = hashMix(h, uint64(p))
-		}
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (s *Scan) ParamEqual(o Operator) bool {
-	os, ok := o.(*Scan)
-	if !ok || os.Rel.Mdid != s.Rel.Mdid || len(os.Cols) != len(s.Cols) ||
-		(os.Filter == nil) != (s.Filter == nil) || os.Pruned != s.Pruned || len(os.Parts) != len(s.Parts) {
-		return false
-	}
-	for i := range s.Cols {
-		if os.Cols[i].ID != s.Cols[i].ID {
-			return false
-		}
-	}
-	for i := range s.Parts {
-		if os.Parts[i] != s.Parts[i] {
-			return false
-		}
-	}
-	return s.Filter == nil || os.Filter.Equal(s.Filter)
-}
 
 // OutputCols returns the scanned columns.
 func (s *Scan) OutputCols() base.ColSet {
@@ -153,63 +95,6 @@ func tableDist(rel *md.Relation, cols []*md.ColRef) props.Distribution {
 	}
 }
 
-// IndexScan reads a relation through a secondary index, delivering the
-// index order without a Sort enforcer. EqFilter is the portion of the
-// predicate matched against the index key; Residual is evaluated afterwards.
-type IndexScan struct {
-	physicalBase
-	Alias    string
-	Rel      *md.Relation
-	Index    *md.Index
-	Cols     []*md.ColRef
-	EqFilter ScalarExpr
-	Residual ScalarExpr
-	// BaseRows is the table's estimated row count (derived state, excluded
-	// from fingerprints), used by the cost model's lookup formula.
-	BaseRows float64
-}
-
-// Name implements Operator.
-func (*IndexScan) Name() string { return "IndexScan" }
-
-// Arity implements Operator.
-func (*IndexScan) Arity() int { return 0 }
-
-// ParamHash implements Operator.
-func (s *IndexScan) ParamHash() uint64 {
-	h := hashString(fnvOffset, "indexscan")
-	h = hashMix(h, uint64(s.Rel.Mdid.OID))
-	h = hashMix(h, uint64(s.Index.Mdid.OID))
-	if len(s.Cols) > 0 {
-		h = hashMix(h, uint64(s.Cols[0].ID))
-	}
-	if s.EqFilter != nil {
-		h = hashMix(h, s.EqFilter.Hash())
-	}
-	if s.Residual != nil {
-		h = hashMix(h, s.Residual.Hash())
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (s *IndexScan) ParamEqual(o Operator) bool {
-	os, ok := o.(*IndexScan)
-	if !ok || os.Rel.Mdid != s.Rel.Mdid || os.Index.Mdid != s.Index.Mdid || len(os.Cols) != len(s.Cols) {
-		return false
-	}
-	for i := range s.Cols {
-		if os.Cols[i].ID != s.Cols[i].ID {
-			return false
-		}
-	}
-	if (os.EqFilter == nil) != (s.EqFilter == nil) || (os.Residual == nil) != (s.Residual == nil) {
-		return false
-	}
-	return (s.EqFilter == nil || os.EqFilter.Equal(s.EqFilter)) &&
-		(s.Residual == nil || os.Residual.Equal(s.Residual))
-}
-
 // OutputCols returns the scanned columns.
 func (s *IndexScan) OutputCols() base.ColSet {
 	var out base.ColSet
@@ -251,27 +136,6 @@ func (s *IndexScan) Describe() string {
 // ---------------------------------------------------------------------------
 // Filter / ComputeScalar
 
-// Filter evaluates a predicate over its child's rows.
-type Filter struct {
-	physicalBase
-	Pred ScalarExpr
-}
-
-// Name implements Operator.
-func (*Filter) Name() string { return "Filter" }
-
-// Arity implements Operator.
-func (*Filter) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (f *Filter) ParamHash() uint64 { return hashMix(hashString(fnvOffset, "filter"), f.Pred.Hash()) }
-
-// ParamEqual implements Operator.
-func (f *Filter) ParamEqual(o Operator) bool {
-	of, ok := o.(*Filter)
-	return ok && of.Pred.Equal(f.Pred)
-}
-
 // ChildReqs implements Physical: requirements pass through the filter.
 func (f *Filter) ChildReqs(req props.Required) [][]props.Required {
 	return [][]props.Required{{passThrough(req)}}
@@ -285,15 +149,6 @@ func (f *Filter) Derive(children []props.Derived) props.Derived {
 // Describe renders the predicate.
 func (f *Filter) Describe() string { return "Filter " + f.Pred.String() }
 
-// ComputeScalar evaluates projection expressions. PassMap maps output column
-// ids to the input columns they alias (identity projections), which lets
-// requirements on aliased columns pass through to the child.
-type ComputeScalar struct {
-	physicalBase
-	Elems   []ProjElem
-	PassMap map[base.ColID]base.ColID
-}
-
 // NewComputeScalar builds the operator, deriving the pass-through map.
 func NewComputeScalar(elems []ProjElem) *ComputeScalar {
 	pass := make(map[base.ColID]base.ColID)
@@ -303,36 +158,6 @@ func NewComputeScalar(elems []ProjElem) *ComputeScalar {
 		}
 	}
 	return &ComputeScalar{Elems: elems, PassMap: pass}
-}
-
-// Name implements Operator.
-func (*ComputeScalar) Name() string { return "ComputeScalar" }
-
-// Arity implements Operator.
-func (*ComputeScalar) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (p *ComputeScalar) ParamHash() uint64 {
-	h := hashString(fnvOffset, "compute")
-	for _, e := range p.Elems {
-		h = hashMix(h, uint64(e.Col.ID))
-		h = hashMix(h, e.Expr.Hash())
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (p *ComputeScalar) ParamEqual(o Operator) bool {
-	op, ok := o.(*ComputeScalar)
-	if !ok || len(op.Elems) != len(p.Elems) {
-		return false
-	}
-	for i := range p.Elems {
-		if op.Elems[i].Col.ID != p.Elems[i].Col.ID || !op.Elems[i].Expr.Equal(p.Elems[i].Expr) {
-			return false
-		}
-	}
-	return true
 }
 
 // OutputCols returns the projected columns.

@@ -8,6 +8,11 @@ import (
 	"orca/internal/props"
 )
 
+// The HashAgg/StreamAgg/ScalarAgg structs and their Arity/ParamHash/
+// ParamEqual methods are generated from defs/ops_physical.opt into
+// ops.gen.go; HashAgg/ScalarAgg keep hand-written Name methods (CustomName:
+// the display name carries the aggregation mode).
+
 // AggMode distinguishes the stages of a multi-stage (MPP) aggregate: a
 // Single aggregate does all the work at once; a Local aggregate
 // pre-aggregates segment-resident data and a Global aggregate combines the
@@ -31,41 +36,6 @@ func (m AggMode) String() string {
 	default:
 		return "Single"
 	}
-}
-
-func hashAggElems(h uint64, groupCols []base.ColID, aggs []AggElem) uint64 {
-	for _, c := range groupCols {
-		h = hashMix(h, uint64(c))
-	}
-	for _, a := range aggs {
-		h = hashMix(h, uint64(a.Col.ID))
-		h = hashMix(h, a.Agg.Hash())
-	}
-	return h
-}
-
-func aggElemsEqual(a, b []AggElem) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i].Col.ID != b[i].Col.ID || !a[i].Agg.Equal(b[i].Agg) {
-			return false
-		}
-	}
-	return true
-}
-
-func colIDsEqual(a, b []base.ColID) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 func aggOutputCols(groupCols []base.ColID, aggs []AggElem) base.ColSet {
@@ -104,34 +74,8 @@ func groupDistAlternatives(groupCols []base.ColID) []props.Distribution {
 // ---------------------------------------------------------------------------
 // HashAgg
 
-// HashAgg implements grouping via a hash table. In Global mode the aggregate
-// functions combine partial states produced by a matching Local aggregate
-// below (count→sum of partial counts, sum/min/max→same function).
-type HashAgg struct {
-	physicalBase
-	Mode      AggMode
-	GroupCols []base.ColID
-	Aggs      []AggElem
-}
-
 // Name implements Operator.
 func (a *HashAgg) Name() string { return a.Mode.String() + "HashAgg" }
-
-// Arity implements Operator.
-func (*HashAgg) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (a *HashAgg) ParamHash() uint64 {
-	h := hashString(fnvOffset, "hashagg")
-	h = hashMix(h, uint64(a.Mode))
-	return hashAggElems(h, a.GroupCols, a.Aggs)
-}
-
-// ParamEqual implements Operator.
-func (a *HashAgg) ParamEqual(o Operator) bool {
-	oa, ok := o.(*HashAgg)
-	return ok && oa.Mode == a.Mode && colIDsEqual(oa.GroupCols, a.GroupCols) && aggElemsEqual(oa.Aggs, a.Aggs)
-}
 
 // OutputCols returns group plus aggregate columns.
 func (a *HashAgg) OutputCols() base.ColSet { return aggOutputCols(a.GroupCols, a.Aggs) }
@@ -139,7 +83,9 @@ func (a *HashAgg) OutputCols() base.ColSet { return aggOutputCols(a.GroupCols, a
 // UsedCols returns referenced input columns.
 func (a *HashAgg) UsedCols() base.ColSet { return aggUsedCols(a.GroupCols, a.Aggs) }
 
-// ChildReqs implements Physical.
+// ChildReqs implements Physical. In Global mode the aggregate functions
+// combine partial states produced by a matching Local aggregate below
+// (count→sum of partial counts, sum/min/max→same function).
 func (a *HashAgg) ChildReqs(props.Required) [][]props.Required {
 	if a.Mode == AggLocal {
 		return [][]props.Required{{anyReq()}}
@@ -174,31 +120,6 @@ func aggList(aggs []AggElem) string {
 // ---------------------------------------------------------------------------
 // StreamAgg
 
-// StreamAgg implements grouping over input sorted by the grouping columns,
-// preserving that order in its output.
-type StreamAgg struct {
-	physicalBase
-	GroupCols []base.ColID
-	Aggs      []AggElem
-}
-
-// Name implements Operator.
-func (*StreamAgg) Name() string { return "StreamAgg" }
-
-// Arity implements Operator.
-func (*StreamAgg) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (a *StreamAgg) ParamHash() uint64 {
-	return hashAggElems(hashString(fnvOffset, "streamagg"), a.GroupCols, a.Aggs)
-}
-
-// ParamEqual implements Operator.
-func (a *StreamAgg) ParamEqual(o Operator) bool {
-	oa, ok := o.(*StreamAgg)
-	return ok && colIDsEqual(oa.GroupCols, a.GroupCols) && aggElemsEqual(oa.Aggs, a.Aggs)
-}
-
 // OutputCols returns group plus aggregate columns.
 func (a *StreamAgg) OutputCols() base.ColSet { return aggOutputCols(a.GroupCols, a.Aggs) }
 
@@ -232,32 +153,8 @@ func (a *StreamAgg) Describe() string {
 // ---------------------------------------------------------------------------
 // ScalarAgg
 
-// ScalarAgg aggregates without grouping, producing exactly one row (per
-// segment in Local mode).
-type ScalarAgg struct {
-	physicalBase
-	Mode AggMode
-	Aggs []AggElem
-}
-
 // Name implements Operator.
 func (a *ScalarAgg) Name() string { return a.Mode.String() + "ScalarAgg" }
-
-// Arity implements Operator.
-func (*ScalarAgg) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (a *ScalarAgg) ParamHash() uint64 {
-	h := hashString(fnvOffset, "scalaragg")
-	h = hashMix(h, uint64(a.Mode))
-	return hashAggElems(h, nil, a.Aggs)
-}
-
-// ParamEqual implements Operator.
-func (a *ScalarAgg) ParamEqual(o Operator) bool {
-	oa, ok := o.(*ScalarAgg)
-	return ok && oa.Mode == a.Mode && aggElemsEqual(oa.Aggs, a.Aggs)
-}
 
 // OutputCols returns the aggregate columns.
 func (a *ScalarAgg) OutputCols() base.ColSet { return aggOutputCols(nil, a.Aggs) }

@@ -3,37 +3,16 @@ package ops
 import (
 	"fmt"
 
-	"orca/internal/base"
 	"orca/internal/props"
 )
 
-// This file defines the enforcer operators of paper §4.1 (the black boxes of
-// Figure 6): Sort enforces order; Gather, GatherMerge, Redistribute and
-// Broadcast enforce distribution by moving data between segments; Spool
-// enforces rewindability by materializing its input. The optimizer plugs
-// enforcers into Memo groups; each enforcer strips the property it delivers
-// from the request passed to its child.
-
-// Sort orders its input per segment.
-type Sort struct {
-	enforcerBase
-	Order props.OrderSpec
-}
-
-// Name implements Operator.
-func (*Sort) Name() string { return "Sort" }
-
-// Arity implements Operator.
-func (*Sort) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (s *Sort) ParamHash() uint64 { return hashMix(hashString(fnvOffset, "sort"), s.Order.Hash()) }
-
-// ParamEqual implements Operator.
-func (s *Sort) ParamEqual(o Operator) bool {
-	os, ok := o.(*Sort)
-	return ok && os.Order.Equal(s.Order)
-}
+// The enforcer operators of paper §4.1 (the black boxes of Figure 6): Sort
+// enforces order; Gather, GatherMerge, Redistribute and Broadcast enforce
+// distribution by moving data between segments; Spool enforces
+// rewindability by materializing its input. The optimizer plugs enforcers
+// into Memo groups; each enforcer strips the property it delivers from the
+// request passed to its child. Structs and Name/Arity/ParamHash/ParamEqual
+// are generated from defs/ops_enforcers.opt into ops.gen.go.
 
 // ChildReqs implements Physical: the distribution requirement passes
 // through; the order requirement is satisfied here.
@@ -50,59 +29,15 @@ func (s *Sort) Derive(children []props.Derived) props.Derived {
 // Describe renders the sort order.
 func (s *Sort) Describe() string { return "Sort" + s.Order.String() }
 
-// Gather moves all tuples to the master, destroying order (tuples from
-// different segments interleave arbitrarily).
-type Gather struct {
-	enforcerBase
-}
-
-// Name implements Operator.
-func (*Gather) Name() string { return "Gather" }
-
-// Arity implements Operator.
-func (*Gather) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (*Gather) ParamHash() uint64 { return hashString(fnvOffset, "gather") }
-
-// ParamEqual implements Operator.
-func (*Gather) ParamEqual(o Operator) bool {
-	_, ok := o.(*Gather)
-	return ok
-}
-
 // ChildReqs implements Physical.
 func (*Gather) ChildReqs(props.Required) [][]props.Required {
 	return [][]props.Required{{anyReq()}}
 }
 
-// Derive implements Physical.
+// Derive implements Physical: all tuples move to the master; order is
+// destroyed (tuples from different segments interleave arbitrarily).
 func (*Gather) Derive([]props.Derived) props.Derived {
 	return props.Derived{Dist: props.SingletonDist}
-}
-
-// GatherMerge moves sorted streams from all segments to the master,
-// merge-preserving the order (paper §4.1).
-type GatherMerge struct {
-	enforcerBase
-	Order props.OrderSpec
-}
-
-// Name implements Operator.
-func (*GatherMerge) Name() string { return "GatherMerge" }
-
-// Arity implements Operator.
-func (*GatherMerge) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (g *GatherMerge) ParamHash() uint64 {
-	return hashMix(hashString(fnvOffset, "gathermerge"), g.Order.Hash())
-}
-
-// ParamEqual implements Operator.
-func (g *GatherMerge) ParamEqual(o Operator) bool {
-	og, ok := o.(*GatherMerge)
-	return ok && og.Order.Equal(g.Order)
 }
 
 // ChildReqs implements Physical: children must already deliver the order.
@@ -110,7 +45,8 @@ func (g *GatherMerge) ChildReqs(req props.Required) [][]props.Required {
 	return [][]props.Required{{{Dist: props.AnyDist, Order: g.Order}}}
 }
 
-// Derive implements Physical.
+// Derive implements Physical: sorted streams from all segments move to the
+// master, merge-preserving the order (paper §4.1).
 func (g *GatherMerge) Derive([]props.Derived) props.Derived {
 	return props.Derived{Dist: props.SingletonDist, Order: g.Order}
 }
@@ -118,36 +54,8 @@ func (g *GatherMerge) Derive([]props.Derived) props.Derived {
 // Describe renders the preserved order.
 func (g *GatherMerge) Describe() string { return "GatherMerge" + g.Order.String() }
 
-// Redistribute hashes tuples across segments on the given columns. An
-// instance on segment S both sends tuples from S and receives tuples hashed
-// to S (paper §4.1 "Query Execution").
-type Redistribute struct {
-	enforcerBase
-	Cols []base.ColID
-}
-
-// Name implements Operator.
-func (*Redistribute) Name() string { return "Redistribute" }
-
-// Arity implements Operator.
-func (*Redistribute) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (r *Redistribute) ParamHash() uint64 {
-	h := hashString(fnvOffset, "redistribute")
-	for _, c := range r.Cols {
-		h = hashMix(h, uint64(c))
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (r *Redistribute) ParamEqual(o Operator) bool {
-	or, ok := o.(*Redistribute)
-	return ok && colIDsEqual(or.Cols, r.Cols)
-}
-
-// ChildReqs implements Physical.
+// ChildReqs implements Physical. An instance on segment S both sends tuples
+// from S and receives tuples hashed to S (paper §4.1 "Query Execution").
 func (*Redistribute) ChildReqs(props.Required) [][]props.Required {
 	return [][]props.Required{{anyReq()}}
 }
@@ -160,59 +68,18 @@ func (r *Redistribute) Derive([]props.Derived) props.Derived {
 // Describe renders the hash columns.
 func (r *Redistribute) Describe() string { return fmt.Sprintf("Redistribute%v", r.Cols) }
 
-// Broadcast replicates its input to every segment.
-type Broadcast struct {
-	enforcerBase
-}
-
-// Name implements Operator.
-func (*Broadcast) Name() string { return "Broadcast" }
-
-// Arity implements Operator.
-func (*Broadcast) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (*Broadcast) ParamHash() uint64 { return hashString(fnvOffset, "broadcast") }
-
-// ParamEqual implements Operator.
-func (*Broadcast) ParamEqual(o Operator) bool {
-	_, ok := o.(*Broadcast)
-	return ok
-}
-
 // ChildReqs implements Physical.
 func (*Broadcast) ChildReqs(props.Required) [][]props.Required {
 	return [][]props.Required{{anyReq()}}
 }
 
-// Derive implements Physical.
+// Derive implements Physical: the input is replicated to every segment.
 func (*Broadcast) Derive([]props.Derived) props.Derived {
 	return props.Derived{Dist: props.ReplicatedDist}
 }
 
-// Spool materializes its input so it can be re-scanned cheaply, enforcing
-// rewindability for nested-loop-join inner sides.
-type Spool struct {
-	enforcerBase
-}
-
-// Name implements Operator.
-func (*Spool) Name() string { return "Spool" }
-
-// Arity implements Operator.
-func (*Spool) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (*Spool) ParamHash() uint64 { return hashString(fnvOffset, "spool") }
-
-// ParamEqual implements Operator.
-func (*Spool) ParamEqual(o Operator) bool {
-	_, ok := o.(*Spool)
-	return ok
-}
-
 // ChildReqs implements Physical: dist and order pass through; rewindability
-// is delivered here.
+// is delivered here (for nested-loop-join inner sides).
 func (*Spool) ChildReqs(req props.Required) [][]props.Required {
 	return [][]props.Required{{passThrough(req)}}
 }

@@ -7,17 +7,9 @@ import (
 	"orca/internal/props"
 )
 
-// HashJoin is a hash join on equality keys (children: outer/probe, inner/
-// build). Its child-request alternatives reproduce the paper's Figure 7:
-// co-locate both sides on the join keys, broadcast one side, or gather both
-// sides to a single host; the cost model differentiates them.
-type HashJoin struct {
-	physicalBase
-	Type      JoinType
-	LeftKeys  []base.ColID
-	RightKeys []base.ColID
-	Residual  ScalarExpr // non-equi conjuncts evaluated after matching
-}
+// The HashJoin/NLJoin structs and their Arity/ParamHash/ParamEqual methods
+// are generated from defs/ops_physical.opt into ops.gen.go; Name stays
+// hand-written (CustomName: the display name carries the join semantics).
 
 // Name implements Operator.
 func (j *HashJoin) Name() string { return "Inner" + suffixFor(j.Type) + "HashJoin" }
@@ -35,42 +27,6 @@ func suffixFor(t JoinType) string {
 	default:
 		return "?"
 	}
-}
-
-// Arity implements Operator.
-func (*HashJoin) Arity() int { return 2 }
-
-// ParamHash implements Operator.
-func (j *HashJoin) ParamHash() uint64 {
-	h := hashString(fnvOffset, "hashjoin")
-	h = hashMix(h, uint64(j.Type))
-	for _, c := range j.LeftKeys {
-		h = hashMix(h, uint64(c))
-	}
-	for _, c := range j.RightKeys {
-		h = hashMix(h, uint64(c))
-	}
-	if j.Residual != nil {
-		h = hashMix(h, j.Residual.Hash())
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (j *HashJoin) ParamEqual(o Operator) bool {
-	oj, ok := o.(*HashJoin)
-	if !ok || oj.Type != j.Type || len(oj.LeftKeys) != len(j.LeftKeys) || len(oj.RightKeys) != len(j.RightKeys) {
-		return false
-	}
-	for i := range j.LeftKeys {
-		if oj.LeftKeys[i] != j.LeftKeys[i] || oj.RightKeys[i] != j.RightKeys[i] {
-			return false
-		}
-	}
-	if (oj.Residual == nil) != (j.Residual == nil) {
-		return false
-	}
-	return j.Residual == nil || oj.Residual.Equal(j.Residual)
 }
 
 // ChildReqs implements Physical. Alternatives, in the paper's spirit
@@ -152,43 +108,13 @@ func keysString(l, r []base.ColID) string {
 	return s + "]"
 }
 
-// NLJoin is a nested-loops join (children: outer, inner). The inner side is
-// requested rewindable — it is re-scanned per outer tuple — and either
-// replicated or co-resident on a single host. NLJoin preserves the outer
-// child's sort order, which is how an order-preserving NL join avoids a Sort
-// enforcer (paper §4.1).
-type NLJoin struct {
-	physicalBase
-	Type JoinType
-	Pred ScalarExpr
-}
-
 // Name implements Operator.
 func (j *NLJoin) Name() string { return "Inner" + suffixFor(j.Type) + "NLJoin" }
 
-// Arity implements Operator.
-func (*NLJoin) Arity() int { return 2 }
-
-// ParamHash implements Operator.
-func (j *NLJoin) ParamHash() uint64 {
-	h := hashString(fnvOffset, "nljoin")
-	h = hashMix(h, uint64(j.Type))
-	if j.Pred != nil {
-		h = hashMix(h, j.Pred.Hash())
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (j *NLJoin) ParamEqual(o Operator) bool {
-	oj, ok := o.(*NLJoin)
-	if !ok || oj.Type != j.Type || (oj.Pred == nil) != (j.Pred == nil) {
-		return false
-	}
-	return j.Pred == nil || oj.Pred.Equal(j.Pred)
-}
-
-// ChildReqs implements Physical.
+// ChildReqs implements Physical. The inner side is requested rewindable —
+// it is re-scanned per outer tuple — and either replicated or co-resident
+// on a single host. NLJoin preserves the outer child's sort order, which is
+// how an order-preserving NL join avoids a Sort enforcer (paper §4.1).
 func (j *NLJoin) ChildReqs(req props.Required) [][]props.Required {
 	return [][]props.Required{
 		{

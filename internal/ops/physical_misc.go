@@ -4,47 +4,20 @@ import (
 	"fmt"
 
 	"orca/internal/base"
-	"orca/internal/md"
 	"orca/internal/props"
 )
 
-// PhysicalLimit returns the first rows of its input under an order. It
-// requires a Singleton child: the top-N must be computed over the complete
-// stream. (A streaming two-phase limit is a possible extension; the cost
-// model already charges motions for the gathered input.)
-type PhysicalLimit struct {
-	physicalBase
-	Order    props.OrderSpec
-	Count    int64
-	Offset   int64
-	HasCount bool
-}
+// The structs and Name/Arity/ParamHash/ParamEqual methods of the operators
+// in this file are generated from defs/ops_physical.opt into ops.gen.go;
+// this file keeps the hand-written property-framework halves.
 
-// Name implements Operator.
-func (*PhysicalLimit) Name() string { return "Limit" }
+// ---------------------------------------------------------------------------
+// Limit / UnionAll
 
-// Arity implements Operator.
-func (*PhysicalLimit) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (l *PhysicalLimit) ParamHash() uint64 {
-	h := hashString(fnvOffset, "plimit")
-	h = hashMix(h, l.Order.Hash())
-	h = hashMix(h, uint64(l.Count))
-	h = hashMix(h, uint64(l.Offset))
-	if l.HasCount {
-		h = hashMix(h, 1)
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (l *PhysicalLimit) ParamEqual(o Operator) bool {
-	ol, ok := o.(*PhysicalLimit)
-	return ok && ol.Order.Equal(l.Order) && ol.Count == l.Count && ol.Offset == l.Offset && ol.HasCount == l.HasCount
-}
-
-// ChildReqs implements Physical.
+// ChildReqs implements Physical: the top-N must be computed over the
+// complete stream, so the child is gathered to one host. (A streaming
+// two-phase limit is a possible extension; the cost model already charges
+// motions for the gathered input.)
 func (l *PhysicalLimit) ChildReqs(props.Required) [][]props.Required {
 	return [][]props.Required{{{Dist: props.SingletonDist, Order: l.Order}}}
 }
@@ -57,54 +30,6 @@ func (l *PhysicalLimit) Derive([]props.Derived) props.Derived {
 // Describe renders count/offset.
 func (l *PhysicalLimit) Describe() string {
 	return fmt.Sprintf("Limit %d offset %d order %s", l.Count, l.Offset, l.Order)
-}
-
-// PhysicalUnionAll concatenates children, mapping their columns to the
-// output columns positionally.
-type PhysicalUnionAll struct {
-	physicalBase
-	InCols  [][]base.ColID
-	OutCols []*md.ColRef
-}
-
-// Name implements Operator.
-func (*PhysicalUnionAll) Name() string { return "UnionAll" }
-
-// Arity implements Operator.
-func (*PhysicalUnionAll) Arity() int { return -1 }
-
-// ParamHash implements Operator.
-func (u *PhysicalUnionAll) ParamHash() uint64 {
-	h := hashString(fnvOffset, "punionall")
-	for _, cols := range u.InCols {
-		for _, c := range cols {
-			h = hashMix(h, uint64(c))
-		}
-		h = hashMix(h, 0xfe)
-	}
-	for _, c := range u.OutCols {
-		h = hashMix(h, uint64(c.ID))
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (u *PhysicalUnionAll) ParamEqual(o Operator) bool {
-	ou, ok := o.(*PhysicalUnionAll)
-	if !ok || len(ou.InCols) != len(u.InCols) || len(ou.OutCols) != len(u.OutCols) {
-		return false
-	}
-	for i := range u.InCols {
-		if !colIDsEqual(ou.InCols[i], u.InCols[i]) {
-			return false
-		}
-	}
-	for i := range u.OutCols {
-		if ou.OutCols[i].ID != u.OutCols[i].ID {
-			return false
-		}
-	}
-	return true
 }
 
 // OutputCols returns the union's output columns.
@@ -153,29 +78,9 @@ func (u *PhysicalUnionAll) Derive(children []props.Derived) props.Derived {
 // ---------------------------------------------------------------------------
 // CTE physical operators (paper §7.2.2 "Common Expressions")
 
-// Sequence evaluates children left to right and returns the last child's
-// rows: child 0 is a CTEProducer materializing the shared expression, child
-// 1 the consuming body.
-type Sequence struct {
-	physicalBase
-}
-
-// Name implements Operator.
-func (*Sequence) Name() string { return "Sequence" }
-
-// Arity implements Operator.
-func (*Sequence) Arity() int { return 2 }
-
-// ParamHash implements Operator.
-func (*Sequence) ParamHash() uint64 { return hashString(fnvOffset, "sequence") }
-
-// ParamEqual implements Operator.
-func (*Sequence) ParamEqual(o Operator) bool {
-	_, ok := o.(*Sequence)
-	return ok
-}
-
-// ChildReqs implements Physical: the body sees the incoming requirement.
+// ChildReqs implements Physical: child 0 is a CTEProducer materializing the
+// shared expression, child 1 the consuming body, which sees the incoming
+// requirement.
 func (*Sequence) ChildReqs(req props.Required) [][]props.Required {
 	return [][]props.Required{{anyReq(), passThrough(req)}}
 }
@@ -186,33 +91,9 @@ func (*Sequence) Derive(children []props.Derived) props.Derived {
 	return props.Derived{Dist: last.Dist, Order: last.Order}
 }
 
-// PhysicalCTEProducer materializes the CTE definition once per segment.
-// Its child must not be replicated (consumers claim a Random distribution;
-// replicated input would make them observe duplicated rows).
-type PhysicalCTEProducer struct {
-	physicalBase
-	ID   int
-	Cols []base.ColID
-}
-
-// Name implements Operator.
-func (*PhysicalCTEProducer) Name() string { return "CTEProducer" }
-
-// Arity implements Operator.
-func (*PhysicalCTEProducer) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (p *PhysicalCTEProducer) ParamHash() uint64 {
-	return hashMix(hashString(fnvOffset, "cteprod"), uint64(p.ID))
-}
-
-// ParamEqual implements Operator.
-func (p *PhysicalCTEProducer) ParamEqual(o Operator) bool {
-	op, ok := o.(*PhysicalCTEProducer)
-	return ok && op.ID == p.ID
-}
-
-// ChildReqs implements Physical.
+// ChildReqs implements Physical. The child must not be replicated
+// (consumers claim a Random distribution; replicated input would make them
+// observe duplicated rows).
 func (*PhysicalCTEProducer) ChildReqs(props.Required) [][]props.Required {
 	return [][]props.Required{{{Dist: props.RandomDist}}}
 }
@@ -224,45 +105,6 @@ func (p *PhysicalCTEProducer) Derive(children []props.Derived) props.Derived {
 
 // Describe renders the CTE id.
 func (p *PhysicalCTEProducer) Describe() string { return fmt.Sprintf("CTEProducer(%d)", p.ID) }
-
-// PhysicalCTEConsumer reads the materialized CTE output resident on each
-// segment. It claims a Random distribution (no placement guarantee) and is
-// rewindable because the data is already materialized.
-type PhysicalCTEConsumer struct {
-	physicalBase
-	ID           int
-	Cols         []*md.ColRef
-	ProducerCols []base.ColID
-}
-
-// Name implements Operator.
-func (*PhysicalCTEConsumer) Name() string { return "CTEConsumer" }
-
-// Arity implements Operator.
-func (*PhysicalCTEConsumer) Arity() int { return 0 }
-
-// ParamHash implements Operator.
-func (c *PhysicalCTEConsumer) ParamHash() uint64 {
-	h := hashMix(hashString(fnvOffset, "ctecons-p"), uint64(c.ID))
-	if len(c.Cols) > 0 {
-		h = hashMix(h, uint64(c.Cols[0].ID))
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (c *PhysicalCTEConsumer) ParamEqual(o Operator) bool {
-	oc, ok := o.(*PhysicalCTEConsumer)
-	if !ok || oc.ID != c.ID || len(oc.Cols) != len(c.Cols) {
-		return false
-	}
-	for i := range c.Cols {
-		if oc.Cols[i].ID != c.Cols[i].ID {
-			return false
-		}
-	}
-	return true
-}
 
 // OutputCols returns this consumer's output columns.
 func (c *PhysicalCTEConsumer) OutputCols() base.ColSet {
@@ -276,7 +118,9 @@ func (c *PhysicalCTEConsumer) OutputCols() base.ColSet {
 // ChildReqs implements Physical.
 func (*PhysicalCTEConsumer) ChildReqs(props.Required) [][]props.Required { return noChildren }
 
-// Derive implements Physical.
+// Derive implements Physical: the consumer reads the materialized CTE
+// output resident on each segment, claiming a Random distribution (no
+// placement guarantee); it is rewindable because the data is materialized.
 func (*PhysicalCTEConsumer) Derive([]props.Derived) props.Derived {
 	return props.Derived{Dist: props.RandomDist, Rewindable: true}
 }
@@ -286,49 +130,6 @@ func (c *PhysicalCTEConsumer) Describe() string { return fmt.Sprintf("CTEConsume
 
 // ---------------------------------------------------------------------------
 // Window
-
-// PhysicalWindow computes window functions; it requires input partitioned on
-// the PARTITION BY columns and sorted by partition then ORDER BY.
-type PhysicalWindow struct {
-	physicalBase
-	PartitionCols []base.ColID
-	Order         props.OrderSpec
-	Wins          []WinElem
-}
-
-// Name implements Operator.
-func (*PhysicalWindow) Name() string { return "Window" }
-
-// Arity implements Operator.
-func (*PhysicalWindow) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (w *PhysicalWindow) ParamHash() uint64 {
-	h := hashString(fnvOffset, "pwindow")
-	for _, c := range w.PartitionCols {
-		h = hashMix(h, uint64(c))
-	}
-	h = hashMix(h, w.Order.Hash())
-	for _, e := range w.Wins {
-		h = hashMix(h, uint64(e.Col.ID))
-		h = hashMix(h, e.Fn.Hash())
-	}
-	return h
-}
-
-// ParamEqual implements Operator.
-func (w *PhysicalWindow) ParamEqual(o Operator) bool {
-	ow, ok := o.(*PhysicalWindow)
-	if !ok || !colIDsEqual(ow.PartitionCols, w.PartitionCols) || !ow.Order.Equal(w.Order) || len(ow.Wins) != len(w.Wins) {
-		return false
-	}
-	for i := range w.Wins {
-		if ow.Wins[i].Col.ID != w.Wins[i].Col.ID || !ow.Wins[i].Fn.Equal(w.Wins[i].Fn) {
-			return false
-		}
-	}
-	return true
-}
 
 // fullOrder is partition columns followed by the window order.
 func (w *PhysicalWindow) fullOrder() props.OrderSpec {
@@ -340,7 +141,8 @@ func (w *PhysicalWindow) fullOrder() props.OrderSpec {
 	return props.OrderSpec{Items: items}
 }
 
-// ChildReqs implements Physical.
+// ChildReqs implements Physical: input partitioned on the PARTITION BY
+// columns and sorted by partition then ORDER BY.
 func (w *PhysicalWindow) ChildReqs(props.Required) [][]props.Required {
 	ord := w.fullOrder()
 	if len(w.PartitionCols) == 0 {
@@ -370,47 +172,11 @@ func (w *PhysicalWindow) Describe() string {
 // ---------------------------------------------------------------------------
 // SubPlans (legacy Planner baseline only)
 
-// SubPlanFilter filters outer rows by re-executing an uncorrelated-or-
-// correlated subplan per row — the pre-decorrelation execution strategy of
-// the legacy Planner (paper §7.2.2 "Correlated Subqueries" explains how Orca
-// avoids exactly this "repeated execution of subquery expressions"). Kind
-// selects EXISTS / NOT EXISTS / IN / NOT IN / scalar-comparison semantics;
-// Test is the comparison applied to the subplan's output for scalar and IN
-// kinds; SubCol is the subplan output column.
-type SubPlanFilter struct {
-	physicalBase
-	Kind   SubqueryKind
-	Plan   *Expr // physical plan, re-executed per outer row
-	SubCol base.ColID
-	Test   ScalarExpr
-}
-
-// Name implements Operator.
-func (*SubPlanFilter) Name() string { return "SubPlanFilter" }
-
-// Arity implements Operator.
-func (*SubPlanFilter) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (s *SubPlanFilter) ParamHash() uint64 {
-	h := hashString(fnvOffset, "subplanfilter")
-	h = hashMix(h, uint64(s.Kind))
-	h = hashMix(h, uint64(s.SubCol))
-	if s.Test != nil {
-		h = hashMix(h, s.Test.Hash())
-	}
-	return h
-}
-
-// ParamEqual implements Operator: subplans compare by identity.
-func (s *SubPlanFilter) ParamEqual(o Operator) bool {
-	os, ok := o.(*SubPlanFilter)
-	return ok && os == s
-}
-
 // ChildReqs implements Physical: the outer side is gathered to one host —
 // the subplan needs the full cluster state per row, which is exactly why
-// this strategy serializes execution.
+// this strategy serializes execution (paper §7.2.2 "Correlated Subqueries"
+// explains how Orca avoids exactly this "repeated execution of subquery
+// expressions").
 func (s *SubPlanFilter) ChildReqs(props.Required) [][]props.Required {
 	return [][]props.Required{{{Dist: props.SingletonDist}}}
 }
@@ -423,34 +189,6 @@ func (s *SubPlanFilter) Derive(children []props.Derived) props.Derived {
 // Describe renders the subplan kind.
 func (s *SubPlanFilter) Describe() string {
 	return fmt.Sprintf("SubPlanFilter kind=%v test=%v", s.Kind, s.Test)
-}
-
-// SubPlanProject computes a scalar subquery value as a new column OutCol by
-// re-executing the subplan per outer row (legacy Planner only).
-type SubPlanProject struct {
-	physicalBase
-	Plan   *Expr
-	SubCol base.ColID // subplan output column
-	OutCol base.ColID // column added to the outer row
-}
-
-// Name implements Operator.
-func (*SubPlanProject) Name() string { return "SubPlanProject" }
-
-// Arity implements Operator.
-func (*SubPlanProject) Arity() int { return 1 }
-
-// ParamHash implements Operator.
-func (s *SubPlanProject) ParamHash() uint64 {
-	h := hashString(fnvOffset, "subplanproject")
-	h = hashMix(h, uint64(s.SubCol))
-	return hashMix(h, uint64(s.OutCol))
-}
-
-// ParamEqual implements Operator: subplans compare by identity.
-func (s *SubPlanProject) ParamEqual(o Operator) bool {
-	os, ok := o.(*SubPlanProject)
-	return ok && os == s
 }
 
 // ChildReqs implements Physical.

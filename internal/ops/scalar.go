@@ -620,6 +620,24 @@ const (
 	SubNotIn // expr NOT IN (SELECT x ...)
 )
 
+// String names the subquery kind.
+func (k SubqueryKind) String() string {
+	switch k {
+	case SubScalar:
+		return "Scalar"
+	case SubExists:
+		return "Exists"
+	case SubNotExists:
+		return "NotExists"
+	case SubIn:
+		return "In"
+	case SubNotIn:
+		return "NotIn"
+	default:
+		return fmt.Sprintf("SubqueryKind(%d)", k)
+	}
+}
+
 // Subquery is a subquery embedded in a scalar context. Input is the logical
 // plan of the subquery; OutCol identifies the produced column for
 // scalar/IN kinds; Test is the left operand of IN. Orca's unified subquery

@@ -113,44 +113,61 @@ func (ctx *Context) ForGet(rel *md.Relation, cols []*md.ColRef) (*Stats, error) 
 	return out, nil
 }
 
-// Derive computes the statistics of an operator from its children's
-// statistics. It covers logical operators (Memo groups) and is reused by the
-// legacy Planner for its physical trees.
-func (ctx *Context) Derive(op ops.Operator, child []*Stats) (*Stats, error) {
-	switch o := op.(type) {
-	case *ops.Get:
-		return ctx.ForGet(o.Rel, o.Cols)
-	case *ops.Select:
-		return ctx.ApplyPred(child[0], o.Pred), nil
-	case *ops.Project:
-		out := child[0].scaled(child[0].Rows)
-		return out, nil
-	case *ops.Join:
-		return ctx.DeriveJoin(o.Type, o.Pred, child[0], child[1]), nil
-	case *ops.NAryJoin:
-		return ctx.deriveNAryJoin(o, child), nil
-	case *ops.GbAgg:
-		return ctx.DeriveGroupBy(o.GroupCols, child[0]), nil
-	case *ops.Limit:
-		rows := child[0].Rows
-		if o.HasCount && float64(o.Count) < rows {
-			rows = float64(o.Count)
-		}
-		return child[0].scaled(rows), nil
-	case *ops.UnionAll:
-		return deriveUnion(o.InCols, o.OutCols, child), nil
-	case *ops.CTEAnchor:
-		return child[1], nil
-	case *ops.CTEConsumer:
-		return ctx.deriveCTEConsumer(o.ID, colRefIDs(o.Cols), o.ProducerCols), nil
-	case *ops.Window:
-		return child[0].scaled(child[0].Rows), nil
-	default:
-		if len(child) > 0 {
-			return child[0], nil
-		}
-		return NewStats(1), nil
+// The Derive dispatch switch is generated into dispatch.gen.go from the
+// logical operator definitions in defs/; the per-operator derive<Op>
+// methods below are the hand-written derivation bodies it calls.
+
+func (ctx *Context) deriveGet(o *ops.Get, _ []*Stats) (*Stats, error) {
+	return ctx.ForGet(o.Rel, o.Cols)
+}
+
+func (ctx *Context) deriveSelect(o *ops.Select, child []*Stats) (*Stats, error) {
+	return ctx.ApplyPred(child[0], o.Pred), nil
+}
+
+func (ctx *Context) deriveProject(_ *ops.Project, child []*Stats) (*Stats, error) {
+	return child[0].scaled(child[0].Rows), nil
+}
+
+func (ctx *Context) deriveJoin(o *ops.Join, child []*Stats) (*Stats, error) {
+	return ctx.DeriveJoin(o.Type, o.Pred, child[0], child[1]), nil
+}
+
+func (ctx *Context) deriveGbAgg(o *ops.GbAgg, child []*Stats) (*Stats, error) {
+	return ctx.DeriveGroupBy(o.GroupCols, child[0]), nil
+}
+
+func (ctx *Context) deriveLimit(o *ops.Limit, child []*Stats) (*Stats, error) {
+	rows := child[0].Rows
+	if o.HasCount && float64(o.Count) < rows {
+		rows = float64(o.Count)
 	}
+	return child[0].scaled(rows), nil
+}
+
+func (ctx *Context) deriveUnionAll(o *ops.UnionAll, child []*Stats) (*Stats, error) {
+	return deriveUnion(o.InCols, o.OutCols, child), nil
+}
+
+func (ctx *Context) deriveCTEAnchor(_ *ops.CTEAnchor, child []*Stats) (*Stats, error) {
+	return child[1], nil
+}
+
+func (ctx *Context) deriveCTEConsumer(o *ops.CTEConsumer, _ []*Stats) (*Stats, error) {
+	return ctx.cteConsumerStats(o.ID, colRefIDs(o.Cols), o.ProducerCols), nil
+}
+
+func (ctx *Context) deriveWindow(_ *ops.Window, child []*Stats) (*Stats, error) {
+	return child[0].scaled(child[0].Rows), nil
+}
+
+// deriveDefault passes the first child's statistics through; operators
+// without a derivation body neither grow nor shrink their input.
+func (ctx *Context) deriveDefault(child []*Stats) *Stats {
+	if len(child) > 0 {
+		return child[0]
+	}
+	return NewStats(1)
 }
 
 func colRefIDs(refs []*md.ColRef) []base.ColID {
@@ -161,7 +178,7 @@ func colRefIDs(refs []*md.ColRef) []base.ColID {
 	return out
 }
 
-func (ctx *Context) deriveCTEConsumer(id int, cols, producerCols []base.ColID) *Stats {
+func (ctx *Context) cteConsumerStats(id int, cols, producerCols []base.ColID) *Stats {
 	ctx.mu.Lock()
 	prod, ok := ctx.cte[id]
 	ctx.mu.Unlock()
@@ -464,9 +481,9 @@ func colsOf(s *Stats) base.ColSet {
 
 // deriveNAryJoin chains the children pairwise in order, applying every
 // predicate at the first point both sides are available.
-func (ctx *Context) deriveNAryJoin(o *ops.NAryJoin, child []*Stats) *Stats {
+func (ctx *Context) deriveNAryJoin(o *ops.NAryJoin, child []*Stats) (*Stats, error) {
 	if len(child) == 0 {
-		return NewStats(1)
+		return NewStats(1), nil
 	}
 	acc := child[0]
 	remaining := make([]ops.ScalarExpr, len(o.Preds))
@@ -490,7 +507,7 @@ func (ctx *Context) deriveNAryJoin(o *ops.NAryJoin, child []*Stats) *Stats {
 	if len(remaining) > 0 {
 		acc = ctx.ApplyPred(acc, ops.And(remaining...))
 	}
-	return acc
+	return acc, nil
 }
 
 // ---------------------------------------------------------------------------

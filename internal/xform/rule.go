@@ -29,55 +29,57 @@ const (
 // ---------------------------------------------------------------------------
 // Rule registry: stable dense IDs
 
-// ruleRegistry assigns every rule name a stable small-int ID at registry
-// build time. The IDs index the Memo's per-expression applied-rule bitsets
-// (memo.GroupExpr.MarkApplied/Applied), so the rule-firing check path hashes
-// no strings; they also form the rule-set signature that keys optimization
-// epochs. DefaultRules are registered at package init in registration order,
-// which makes their IDs stable across sessions; rules registered later
-// (tests, extensions) get the next free ID.
-var ruleRegistry = struct {
+// The generated rules (defs/rules.opt) get their dense IDs at generation
+// time: the RuleID* const block in rules.gen.go assigns one compile-time
+// constant per rule in declaration order, and generatedRuleIDs /
+// generatedRuleNames are read-only after package init. RuleIDFor therefore
+// resolves every generated rule without taking a lock — the common case on
+// the search hot path. Only rules registered dynamically (tests,
+// extensions) fall through to the mutex-guarded runtime registry, which
+// hands out IDs from NumGeneratedRuleIDs upward.
+var dynRegistry = struct {
 	mu    sync.Mutex
 	ids   map[string]int
 	names []string
 }{ids: make(map[string]int)}
 
-func init() {
-	for _, r := range DefaultRules() {
-		RuleIDFor(r.Name())
-	}
-}
-
 // RuleIDFor returns the dense id of a rule name, assigning the next free id
-// on first use. IDs are process-stable: a name always maps to the same id.
+// on first use. IDs are process-stable: a name always maps to the same id,
+// and generated rules (the RuleID* constants) resolve lock-free.
 func RuleIDFor(name string) int {
-	ruleRegistry.mu.Lock()
-	defer ruleRegistry.mu.Unlock()
-	if id, ok := ruleRegistry.ids[name]; ok {
+	if id, ok := generatedRuleIDs[name]; ok {
 		return id
 	}
-	id := len(ruleRegistry.names)
-	ruleRegistry.ids[name] = id
-	ruleRegistry.names = append(ruleRegistry.names, name)
+	dynRegistry.mu.Lock()
+	defer dynRegistry.mu.Unlock()
+	if id, ok := dynRegistry.ids[name]; ok {
+		return id
+	}
+	id := NumGeneratedRuleIDs + len(dynRegistry.names)
+	dynRegistry.ids[name] = id
+	dynRegistry.names = append(dynRegistry.names, name)
 	return id
 }
 
 // RuleNameFor returns the name registered for a dense rule id, or "" when
 // the id was never assigned.
 func RuleNameFor(id int) string {
-	ruleRegistry.mu.Lock()
-	defer ruleRegistry.mu.Unlock()
-	if id < 0 || id >= len(ruleRegistry.names) {
+	if id >= 0 && id < NumGeneratedRuleIDs {
+		return generatedRuleNames[id]
+	}
+	dynRegistry.mu.Lock()
+	defer dynRegistry.mu.Unlock()
+	if id < NumGeneratedRuleIDs || id >= NumGeneratedRuleIDs+len(dynRegistry.names) {
 		return ""
 	}
-	return ruleRegistry.names[id]
+	return dynRegistry.names[id-NumGeneratedRuleIDs]
 }
 
 // NumRuleIDs returns the number of assigned rule ids.
 func NumRuleIDs() int {
-	ruleRegistry.mu.Lock()
-	defer ruleRegistry.mu.Unlock()
-	return len(ruleRegistry.names)
+	dynRegistry.mu.Lock()
+	defer dynRegistry.mu.Unlock()
+	return NumGeneratedRuleIDs + len(dynRegistry.names)
 }
 
 // ActiveRule is a rule activated for the current stage together with its
@@ -219,36 +221,21 @@ func (ctx *Context) Insert(n *Node, target memo.GroupID) (*memo.GroupExpr, error
 		}
 		children[i] = ge.Group().ID
 	}
-	return ctx.Memo.InsertExpr(n.Op, children, target)
-}
-
-// DefaultRules returns every rule in registration order. The optimizer's
-// stage configuration filters this list by name.
-func DefaultRules() []Rule {
-	return []Rule{
-		// Exploration.
-		&JoinCommutativity{},
-		&JoinAssociativity{},
-		&ExpandNAryJoinDP{},
-		&ExpandNAryJoinGreedy{},
-		&ExpandNAryJoinLeftDeep{},
-		// Implementation.
-		&Get2Scan{},
-		&Select2Scan{},
-		&Select2IndexScan{},
-		&Select2Filter{},
-		&Project2ComputeScalar{},
-		&Join2HashJoin{},
-		&Join2NLJoin{},
-		&GbAgg2HashAgg{},
-		&GbAgg2StreamAgg{},
-		&GbAgg2TwoStageAgg{},
-		&Limit2PhysicalLimit{},
-		&UnionAll2Physical{},
-		&CTEAnchor2Sequence{},
-		&CTEConsumer2Physical{},
-		&Window2PhysicalWindow{},
+	// Fresh inner-join subtrees register in canonical orientation (smaller
+	// group id on the left). The subtree registry creates one group per
+	// distinct (operator, children) shape, so without this the rotation
+	// rules — which synthesize the same subset pair in path-dependent
+	// orientations — seed duplicate groups for one logical sub-goal, and
+	// every parent expression then multiplies across the duplicates. An
+	// inner join's predicate is a symmetric conjunction, so the swap
+	// preserves semantics; JoinCommutativity still adds the mirrored
+	// expression inside the group for build-side alternatives.
+	if target < 0 && len(children) == 2 {
+		if j, ok := n.Op.(*ops.Join); ok && j.Type == ops.InnerJoin && children[0] > children[1] {
+			children[0], children[1] = children[1], children[0]
+		}
 	}
+	return ctx.Memo.InsertExpr(n.Op, children, target)
 }
 
 // RuleNames returns the names of the given rules.

@@ -8,24 +8,13 @@ import (
 	"orca/internal/ops"
 )
 
-// GbAgg2HashAgg implements grouped aggregation as a single-stage hash
+// The rule types and their Name/Kind/Matches/Apply skeletons are generated
+// from defs/rules.opt into rules.gen.go; this file keeps the hand-written
+// match predicates and apply bodies for the aggregation rules.
+
+// applyGbAgg2HashAgg implements grouped aggregation as a single-stage hash
 // aggregate (or a scalar aggregate when there are no grouping columns).
-type GbAgg2HashAgg struct{}
-
-// Name implements Rule.
-func (*GbAgg2HashAgg) Name() string { return "GbAgg2HashAgg" }
-
-// Kind implements Rule.
-func (*GbAgg2HashAgg) Kind() Kind { return Implementation }
-
-// Matches implements Rule.
-func (*GbAgg2HashAgg) Matches(ge *memo.GroupExpr) bool {
-	_, ok := ge.Op.(*ops.GbAgg)
-	return ok
-}
-
-// Apply implements Rule.
-func (*GbAgg2HashAgg) Apply(ctx *Context, ge *memo.GroupExpr) error {
+func applyGbAgg2HashAgg(ctx *Context, ge *memo.GroupExpr) error {
 	agg := ge.Op.(*ops.GbAgg)
 	var op ops.Operator
 	if len(agg.GroupCols) == 0 {
@@ -37,59 +26,37 @@ func (*GbAgg2HashAgg) Apply(ctx *Context, ge *memo.GroupExpr) error {
 	return err
 }
 
-// GbAgg2StreamAgg implements grouped aggregation over sorted input.
-type GbAgg2StreamAgg struct{}
-
-// Name implements Rule.
-func (*GbAgg2StreamAgg) Name() string { return "GbAgg2StreamAgg" }
-
-// Kind implements Rule.
-func (*GbAgg2StreamAgg) Kind() Kind { return Implementation }
-
-// Matches implements Rule.
-func (*GbAgg2StreamAgg) Matches(ge *memo.GroupExpr) bool {
-	agg, ok := ge.Op.(*ops.GbAgg)
-	return ok && len(agg.GroupCols) > 0
+// matchGbAgg2StreamAgg requires grouping columns: stream aggregation orders
+// on them.
+func matchGbAgg2StreamAgg(agg *ops.GbAgg, _ *memo.GroupExpr) bool {
+	return len(agg.GroupCols) > 0
 }
 
-// Apply implements Rule.
-func (*GbAgg2StreamAgg) Apply(ctx *Context, ge *memo.GroupExpr) error {
+// applyGbAgg2StreamAgg implements grouped aggregation over sorted input.
+func applyGbAgg2StreamAgg(ctx *Context, ge *memo.GroupExpr) error {
 	agg := ge.Op.(*ops.GbAgg)
 	op := &ops.StreamAgg{GroupCols: agg.GroupCols, Aggs: agg.Aggs}
 	_, err := ctx.Insert(Op(op, Leaf(ge.Children[0])), ge.Group().ID)
 	return err
 }
 
-// GbAgg2TwoStageAgg implements the MPP two-stage aggregation: a Local
-// aggregate computes partial states on segment-resident data, a motion
-// (placed by the enforcement framework) repartitions the partials, and a
-// Global aggregate combines them. This is the plan shape that avoids moving
-// the full input across the interconnect.
-type GbAgg2TwoStageAgg struct{}
-
-// Name implements Rule.
-func (*GbAgg2TwoStageAgg) Name() string { return "GbAgg2TwoStageAgg" }
-
-// Kind implements Rule.
-func (*GbAgg2TwoStageAgg) Kind() Kind { return Implementation }
-
-// Matches implements Rule.
-func (*GbAgg2TwoStageAgg) Matches(ge *memo.GroupExpr) bool {
-	agg, ok := ge.Op.(*ops.GbAgg)
-	if !ok {
-		return false
-	}
+// matchGbAgg2TwoStageAgg rejects DISTINCT aggregates: they cannot be split
+// into partials.
+func matchGbAgg2TwoStageAgg(agg *ops.GbAgg, _ *memo.GroupExpr) bool {
 	for _, a := range agg.Aggs {
 		if a.Agg.Distinct {
-			// DISTINCT aggregates cannot be split into partials.
 			return false
 		}
 	}
 	return true
 }
 
-// Apply implements Rule.
-func (*GbAgg2TwoStageAgg) Apply(ctx *Context, ge *memo.GroupExpr) error {
+// applyGbAgg2TwoStageAgg implements the MPP two-stage aggregation: a Local
+// aggregate computes partial states on segment-resident data, a motion
+// (placed by the enforcement framework) repartitions the partials, and a
+// Global aggregate combines them. This is the plan shape that avoids moving
+// the full input across the interconnect.
+func applyGbAgg2TwoStageAgg(ctx *Context, ge *memo.GroupExpr) error {
 	agg := ge.Op.(*ops.GbAgg)
 
 	localAggs := make([]ops.AggElem, len(agg.Aggs))

@@ -9,24 +9,14 @@ import (
 	"orca/internal/ops"
 )
 
-// Get2Scan implements a bare table access as a sequential scan — the paper's
-// canonical implementation-rule example (§4.1 step 3).
-type Get2Scan struct{}
+// The rule types and their Name/Kind/Matches/Apply skeletons are generated
+// from defs/rules.opt into rules.gen.go; this file keeps the hand-written
+// apply bodies for the scan, filter, projection and join implementation
+// rules.
 
-// Name implements Rule.
-func (*Get2Scan) Name() string { return "Get2Scan" }
-
-// Kind implements Rule.
-func (*Get2Scan) Kind() Kind { return Implementation }
-
-// Matches implements Rule.
-func (*Get2Scan) Matches(ge *memo.GroupExpr) bool {
-	_, ok := ge.Op.(*ops.Get)
-	return ok
-}
-
-// Apply implements Rule.
-func (*Get2Scan) Apply(ctx *Context, ge *memo.GroupExpr) error {
+// applyGet2Scan implements a bare table access as a sequential scan — the
+// paper's canonical implementation-rule example (§4.1 step 3).
+func applyGet2Scan(ctx *Context, ge *memo.GroupExpr) error {
 	get := ge.Op.(*ops.Get)
 	rows := groupRows(ctx, ge.Group())
 	scan := &ops.Scan{Alias: get.Alias, Rel: get.Rel, Cols: get.Cols, BaseRows: rows}
@@ -41,25 +31,10 @@ func groupRows(ctx *Context, g *memo.Group) float64 {
 	return 1000
 }
 
-// Select2Scan merges a Select over a Get into a filtering scan, performing
-// static partition elimination when the predicate constrains the partition
-// column (paper §7.2.2 "Partition Elimination").
-type Select2Scan struct{}
-
-// Name implements Rule.
-func (*Select2Scan) Name() string { return "Select2Scan" }
-
-// Kind implements Rule.
-func (*Select2Scan) Kind() Kind { return Implementation }
-
-// Matches implements Rule.
-func (*Select2Scan) Matches(ge *memo.GroupExpr) bool {
-	_, ok := ge.Op.(*ops.Select)
-	return ok
-}
-
-// Apply implements Rule.
-func (*Select2Scan) Apply(ctx *Context, ge *memo.GroupExpr) error {
+// applySelect2Scan merges a Select over a Get into a filtering scan,
+// performing static partition elimination when the predicate constrains the
+// partition column (paper §7.2.2 "Partition Elimination").
+func applySelect2Scan(ctx *Context, ge *memo.GroupExpr) error {
 	sel := ge.Op.(*ops.Select)
 	child := ctx.Memo.Group(ge.Children[0])
 	for _, cge := range child.Exprs() {
@@ -187,26 +162,11 @@ func PrunePartitions(rel *md.Relation, cols []*md.ColRef, pred ops.ScalarExpr) (
 	return keep, true
 }
 
-// Select2IndexScan implements Select(Get) through a matching index: the
-// index's leading key column must be constrained by an equality or range
-// conjunct. The resulting IndexScan delivers the index order natively —
-// letting plans skip a Sort enforcer, the IndexScan example of paper §3.
-type Select2IndexScan struct{}
-
-// Name implements Rule.
-func (*Select2IndexScan) Name() string { return "Select2IndexScan" }
-
-// Kind implements Rule.
-func (*Select2IndexScan) Kind() Kind { return Implementation }
-
-// Matches implements Rule.
-func (*Select2IndexScan) Matches(ge *memo.GroupExpr) bool {
-	_, ok := ge.Op.(*ops.Select)
-	return ok
-}
-
-// Apply implements Rule.
-func (*Select2IndexScan) Apply(ctx *Context, ge *memo.GroupExpr) error {
+// applySelect2IndexScan implements Select(Get) through a matching index:
+// the index's leading key column must be constrained by an equality or
+// range conjunct. The resulting IndexScan delivers the index order natively
+// — letting plans skip a Sort enforcer, the IndexScan example of paper §3.
+func applySelect2IndexScan(ctx *Context, ge *memo.GroupExpr) error {
 	if ctx.Accessor == nil {
 		return nil
 	}
@@ -264,68 +224,23 @@ func constrainsCol(cmp *ops.Cmp, col base.ColID) bool {
 	return lok && rok && id.Col == col
 }
 
-// Select2Filter implements Select as a Filter over any child plan.
-type Select2Filter struct{}
-
-// Name implements Rule.
-func (*Select2Filter) Name() string { return "Select2Filter" }
-
-// Kind implements Rule.
-func (*Select2Filter) Kind() Kind { return Implementation }
-
-// Matches implements Rule.
-func (*Select2Filter) Matches(ge *memo.GroupExpr) bool {
-	_, ok := ge.Op.(*ops.Select)
-	return ok
-}
-
-// Apply implements Rule.
-func (*Select2Filter) Apply(ctx *Context, ge *memo.GroupExpr) error {
+// applySelect2Filter implements Select as a Filter over any child plan.
+func applySelect2Filter(ctx *Context, ge *memo.GroupExpr) error {
 	sel := ge.Op.(*ops.Select)
 	_, err := ctx.Insert(Op(&ops.Filter{Pred: sel.Pred}, Leaf(ge.Children[0])), ge.Group().ID)
 	return err
 }
 
-// Project2ComputeScalar implements Project as ComputeScalar.
-type Project2ComputeScalar struct{}
-
-// Name implements Rule.
-func (*Project2ComputeScalar) Name() string { return "Project2ComputeScalar" }
-
-// Kind implements Rule.
-func (*Project2ComputeScalar) Kind() Kind { return Implementation }
-
-// Matches implements Rule.
-func (*Project2ComputeScalar) Matches(ge *memo.GroupExpr) bool {
-	_, ok := ge.Op.(*ops.Project)
-	return ok
-}
-
-// Apply implements Rule.
-func (*Project2ComputeScalar) Apply(ctx *Context, ge *memo.GroupExpr) error {
+// applyProject2ComputeScalar implements Project as ComputeScalar.
+func applyProject2ComputeScalar(ctx *Context, ge *memo.GroupExpr) error {
 	p := ge.Op.(*ops.Project)
 	_, err := ctx.Insert(Op(ops.NewComputeScalar(p.Elems), Leaf(ge.Children[0])), ge.Group().ID)
 	return err
 }
 
-// Join2HashJoin implements a join with extractable equality keys as a hash
-// join (paper: InnerJoin2HashJoin).
-type Join2HashJoin struct{}
-
-// Name implements Rule.
-func (*Join2HashJoin) Name() string { return "Join2HashJoin" }
-
-// Kind implements Rule.
-func (*Join2HashJoin) Kind() Kind { return Implementation }
-
-// Matches implements Rule.
-func (*Join2HashJoin) Matches(ge *memo.GroupExpr) bool {
-	_, ok := ge.Op.(*ops.Join)
-	return ok
-}
-
-// Apply implements Rule.
-func (*Join2HashJoin) Apply(ctx *Context, ge *memo.GroupExpr) error {
+// applyJoin2HashJoin implements a join with extractable equality keys as a
+// hash join (paper: InnerJoin2HashJoin).
+func applyJoin2HashJoin(ctx *Context, ge *memo.GroupExpr) error {
 	j := ge.Op.(*ops.Join)
 	leftCols := ctx.Memo.Group(ge.Children[0]).Logical().OutputCols
 	rightCols := ctx.Memo.Group(ge.Children[1]).Logical().OutputCols
@@ -338,24 +253,9 @@ func (*Join2HashJoin) Apply(ctx *Context, ge *memo.GroupExpr) error {
 	return err
 }
 
-// Join2NLJoin implements any join as a nested-loops join (paper:
+// applyJoin2NLJoin implements any join as a nested-loops join (paper:
 // InnerJoin2NLJoin); it is the only option for non-equi predicates.
-type Join2NLJoin struct{}
-
-// Name implements Rule.
-func (*Join2NLJoin) Name() string { return "Join2NLJoin" }
-
-// Kind implements Rule.
-func (*Join2NLJoin) Kind() Kind { return Implementation }
-
-// Matches implements Rule.
-func (*Join2NLJoin) Matches(ge *memo.GroupExpr) bool {
-	_, ok := ge.Op.(*ops.Join)
-	return ok
-}
-
-// Apply implements Rule.
-func (*Join2NLJoin) Apply(ctx *Context, ge *memo.GroupExpr) error {
+func applyJoin2NLJoin(ctx *Context, ge *memo.GroupExpr) error {
 	j := ge.Op.(*ops.Join)
 	nl := &ops.NLJoin{Type: j.Type, Pred: j.Pred}
 	_, err := ctx.Insert(Op(nl, Leaf(ge.Children[0]), Leaf(ge.Children[1])), ge.Group().ID)

@@ -11,24 +11,21 @@ import (
 	"orca/internal/stats"
 )
 
-// JoinCommutativity generates InnerJoin(B,A) from InnerJoin(A,B) — the
-// paper's first exploration example (§4.1 step 1).
-type JoinCommutativity struct{}
+// The rule types, their Name/Kind/Matches/Apply skeletons and DefaultRules
+// are generated from defs/rules.opt into rules.gen.go. This file keeps the
+// hand-written halves the skeletons delegate to: match<Name> predicates
+// (beyond the generated operator type assertion) and apply<Name>
+// transformation bodies.
 
-// Name implements Rule.
-func (*JoinCommutativity) Name() string { return "JoinCommutativity" }
+// ---------------------------------------------------------------------------
+// JoinCommutativity: InnerJoin(A,B) → InnerJoin(B,A) — the paper's first
+// exploration example (§4.1 step 1).
 
-// Kind implements Rule.
-func (*JoinCommutativity) Kind() Kind { return Exploration }
-
-// Matches implements Rule.
-func (*JoinCommutativity) Matches(ge *memo.GroupExpr) bool {
-	j, ok := ge.Op.(*ops.Join)
-	return ok && j.Type == ops.InnerJoin
+func matchJoinCommutativity(j *ops.Join, _ *memo.GroupExpr) bool {
+	return j.Type == ops.InnerJoin
 }
 
-// Apply implements Rule.
-func (*JoinCommutativity) Apply(ctx *Context, ge *memo.GroupExpr) error {
+func applyJoinCommutativity(ctx *Context, ge *memo.GroupExpr) error {
 	j := ge.Op.(*ops.Join)
 	_, err := ctx.Insert(
 		Op(&ops.Join{Type: ops.InnerJoin, Pred: j.Pred}, Leaf(ge.Children[1]), Leaf(ge.Children[0])),
@@ -36,26 +33,134 @@ func (*JoinCommutativity) Apply(ctx *Context, ge *memo.GroupExpr) error {
 	return err
 }
 
-// JoinAssociativity rewrites (A ⋈ B) ⋈ C into A ⋈ (B ⋈ C), redistributing
-// predicate conjuncts to the lowest join where their columns are available.
-// Together with commutativity it spans the full join-order space; the n-ary
+// ---------------------------------------------------------------------------
+// JoinAssociativity: (A ⋈ B) ⋈ C → A ⋈ (B ⋈ C), redistributing predicate
+// conjuncts to the lowest join where their columns are available. Together
+// with commutativity it spans the full join-order space; the n-ary
 // expansion rules below cover large joins without exhaustive exploration.
-type JoinAssociativity struct{}
 
-// Name implements Rule.
-func (*JoinAssociativity) Name() string { return "JoinAssociativity" }
-
-// Kind implements Rule.
-func (*JoinAssociativity) Kind() Kind { return Exploration }
-
-// Matches implements Rule.
-func (*JoinAssociativity) Matches(ge *memo.GroupExpr) bool {
-	j, ok := ge.Op.(*ops.Join)
-	return ok && j.Type == ops.InnerJoin
+func matchJoinAssociativity(j *ops.Join, _ *memo.GroupExpr) bool {
+	return j.Type == ops.InnerJoin
 }
 
-// Apply implements Rule.
-func (r *JoinAssociativity) Apply(ctx *Context, ge *memo.GroupExpr) error {
+func applyJoinAssociativity(ctx *Context, ge *memo.GroupExpr) error {
+	top := ge.Op.(*ops.Join)
+	leftGroup := ctx.Memo.Group(ge.Children[0])
+	cGroup := ge.Children[1]
+	cCols := ctx.Memo.Group(cGroup).Logical().OutputCols
+
+	for _, lower := range leftGroup.Exprs() {
+		lj, ok := lower.Op.(*ops.Join)
+		if !ok || lj.Type != ops.InnerJoin {
+			continue
+		}
+		aGroup, bGroup := lower.Children[0], lower.Children[1]
+		bCols := ctx.Memo.Group(bGroup).Logical().OutputCols
+
+		all := append(ops.Conjuncts(top.Pred), ops.Conjuncts(lj.Pred)...)
+		inner, outer, ok := splitJoinPreds(all, bCols, cCols)
+		if !ok {
+			continue
+		}
+		innerNode := Op(&ops.Join{Type: ops.InnerJoin, Pred: inner}, Leaf(bGroup), Leaf(cGroup))
+		if _, err := ctx.Insert(
+			Op(&ops.Join{Type: ops.InnerJoin, Pred: outer}, Leaf(aGroup), innerNode),
+			ge.Group().ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// canonAnd conjoins predicates in canonical order (by structural hash).
+// Rules that rebuild a predicate concatenate conjuncts in a path-dependent
+// order, and BoolOp hashing is order-sensitive; without canonicalization the
+// two rotation rules regenerate the same conjunct set in ever-new orders and
+// the memo never dedups them — a factorial blowup on 6-way joins.
+func canonAnd(preds []ops.ScalarExpr) ops.ScalarExpr {
+	if len(preds) < 2 {
+		return ops.And(preds...)
+	}
+	sorted := make([]ops.ScalarExpr, len(preds))
+	copy(sorted, preds)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Hash() < sorted[j].Hash() })
+	return ops.And(sorted...)
+}
+
+// splitJoinPreds partitions conjuncts into those fully covered by the
+// columns of the two subtrees forming a new join (inner) and the rest
+// (outer). ok is false when no inner conjunct references both subtrees —
+// the new join would be a manufactured cross product.
+func splitJoinPreds(all []ops.ScalarExpr, lCols, rCols base.ColSet) (inner, outer ops.ScalarExpr, ok bool) {
+	both := lCols.Union(rCols)
+	var innerPreds, outerPreds []ops.ScalarExpr
+	joinsBoth := false
+	for _, p := range all {
+		pc := p.Cols()
+		if pc.SubsetOf(both) {
+			innerPreds = append(innerPreds, p)
+			if pc.Intersects(lCols) && pc.Intersects(rCols) {
+				joinsBoth = true
+			}
+		} else {
+			outerPreds = append(outerPreds, p)
+		}
+	}
+	if !joinsBoth {
+		return nil, nil, false
+	}
+	return canonAnd(innerPreds), canonAnd(outerPreds), true
+}
+
+// ---------------------------------------------------------------------------
+// JoinAssociativityRight: A ⋈ (B ⋈ C) → (A ⋈ B) ⋈ C — the mirror rotation.
+// With commutativity alone the left rotation eventually reaches the same
+// shapes, but the mirror rule reaches them in one step, which matters when
+// exploration is bounded by stage rule subsets.
+
+func matchJoinAssociativityRight(j *ops.Join, _ *memo.GroupExpr) bool {
+	return j.Type == ops.InnerJoin
+}
+
+func applyJoinAssociativityRight(ctx *Context, ge *memo.GroupExpr) error {
+	top := ge.Op.(*ops.Join)
+	aGroup := ge.Children[0]
+	aCols := ctx.Memo.Group(aGroup).Logical().OutputCols
+	rightGroup := ctx.Memo.Group(ge.Children[1])
+
+	for _, lower := range rightGroup.Exprs() {
+		rj, ok := lower.Op.(*ops.Join)
+		if !ok || rj.Type != ops.InnerJoin {
+			continue
+		}
+		bGroup, cGroup := lower.Children[0], lower.Children[1]
+		bCols := ctx.Memo.Group(bGroup).Logical().OutputCols
+
+		all := append(ops.Conjuncts(top.Pred), ops.Conjuncts(rj.Pred)...)
+		inner, outer, ok := splitJoinPreds(all, aCols, bCols)
+		if !ok {
+			continue
+		}
+		innerNode := Op(&ops.Join{Type: ops.InnerJoin, Pred: inner}, Leaf(aGroup), Leaf(bGroup))
+		if _, err := ctx.Insert(
+			Op(&ops.Join{Type: ops.InnerJoin, Pred: outer}, innerNode, Leaf(cGroup)),
+			ge.Group().ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// JoinAssociativityExchange: (A ⋈ B) ⋈ C → (A ⋈ C) ⋈ B, when predicates
+// link A with C. The exchange step produces bushy alternatives the two
+// rotations only reach via intermediate shapes.
+
+func matchJoinAssociativityExchange(j *ops.Join, _ *memo.GroupExpr) bool {
+	return j.Type == ops.InnerJoin
+}
+
+func applyJoinAssociativityExchange(ctx *Context, ge *memo.GroupExpr) error {
 	top := ge.Op.(*ops.Join)
 	leftGroup := ctx.Memo.Group(ge.Children[0])
 	cGroup := ge.Children[1]
@@ -68,37 +173,118 @@ func (r *JoinAssociativity) Apply(ctx *Context, ge *memo.GroupExpr) error {
 		}
 		aGroup, bGroup := lower.Children[0], lower.Children[1]
 		aCols := ctx.Memo.Group(aGroup).Logical().OutputCols
-		bCols := ctx.Memo.Group(bGroup).Logical().OutputCols
 
 		all := append(ops.Conjuncts(top.Pred), ops.Conjuncts(lj.Pred)...)
-		bc := bCols.Union(cCols)
-		var innerPreds, outerPreds []ops.ScalarExpr
-		for _, p := range all {
-			if p.Cols().SubsetOf(bc) {
-				innerPreds = append(innerPreds, p)
-			} else {
-				outerPreds = append(outerPreds, p)
-			}
-		}
-		// Require a genuine join condition for the new inner join to avoid
-		// manufacturing cross products.
-		joinsBoth := false
-		for _, p := range innerPreds {
-			if p.Cols().Intersects(bCols) && p.Cols().Intersects(cCols) {
-				joinsBoth = true
-				break
-			}
-		}
-		if !joinsBoth {
+		inner, outer, ok := splitJoinPreds(all, aCols, cCols)
+		if !ok {
 			continue
 		}
-		inner := Op(&ops.Join{Type: ops.InnerJoin, Pred: ops.And(innerPreds...)}, Leaf(bGroup), Leaf(cGroup))
+		innerNode := Op(&ops.Join{Type: ops.InnerJoin, Pred: inner}, Leaf(aGroup), Leaf(cGroup))
 		if _, err := ctx.Insert(
-			Op(&ops.Join{Type: ops.InnerJoin, Pred: ops.And(outerPreds...)}, Leaf(aGroup), inner),
+			Op(&ops.Join{Type: ops.InnerJoin, Pred: outer}, innerNode, Leaf(bGroup)),
 			ge.Group().ID); err != nil {
 			return err
 		}
-		_ = aCols
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// PushSelectThroughJoin: σ(A ⋈ B) → σ'(σ_a(A) ⋈ σ_b(B)) — conjuncts whose
+// columns one join side covers move below the join, shrinking the
+// intermediate result before the join runs.
+
+func matchPushSelectThroughJoin(s *ops.Select, _ *memo.GroupExpr) bool {
+	return s.Pred != nil
+}
+
+func applyPushSelectThroughJoin(ctx *Context, ge *memo.GroupExpr) error {
+	sel := ge.Op.(*ops.Select)
+	childGroup := ctx.Memo.Group(ge.Children[0])
+
+	for _, lower := range childGroup.Exprs() {
+		j, ok := lower.Op.(*ops.Join)
+		if !ok || j.Type != ops.InnerJoin {
+			continue
+		}
+		lGroup, rGroup := lower.Children[0], lower.Children[1]
+		lCols := ctx.Memo.Group(lGroup).Logical().OutputCols
+		rCols := ctx.Memo.Group(rGroup).Logical().OutputCols
+
+		var leftPreds, rightPreds, residual []ops.ScalarExpr
+		for _, p := range ops.Conjuncts(sel.Pred) {
+			switch pc := p.Cols(); {
+			case pc.SubsetOf(lCols):
+				leftPreds = append(leftPreds, p)
+			case pc.SubsetOf(rCols):
+				rightPreds = append(rightPreds, p)
+			default:
+				residual = append(residual, p)
+			}
+		}
+		if len(leftPreds) == 0 && len(rightPreds) == 0 {
+			continue // nothing moves; re-inserting would just duplicate
+		}
+		lNode := Leaf(lGroup)
+		if len(leftPreds) > 0 {
+			lNode = Op(&ops.Select{Pred: canonAnd(leftPreds)}, lNode)
+		}
+		rNode := Leaf(rGroup)
+		if len(rightPreds) > 0 {
+			rNode = Op(&ops.Select{Pred: canonAnd(rightPreds)}, rNode)
+		}
+		result := Op(&ops.Join{Type: ops.InnerJoin, Pred: j.Pred}, lNode, rNode)
+		if len(residual) > 0 {
+			result = Op(&ops.Select{Pred: canonAnd(residual)}, result)
+		}
+		if _, err := ctx.Insert(result, ge.Group().ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// PushSelectThroughGbAgg: σ(Γ(X)) → σ'(Γ(σ_g(X))) — conjuncts referencing
+// only grouping columns filter groups identically before and after
+// aggregation, so they move below it and shrink the aggregation input.
+
+func matchPushSelectThroughGbAgg(s *ops.Select, _ *memo.GroupExpr) bool {
+	return s.Pred != nil
+}
+
+func applyPushSelectThroughGbAgg(ctx *Context, ge *memo.GroupExpr) error {
+	sel := ge.Op.(*ops.Select)
+	childGroup := ctx.Memo.Group(ge.Children[0])
+
+	for _, lower := range childGroup.Exprs() {
+		agg, ok := lower.Op.(*ops.GbAgg)
+		if !ok || len(agg.GroupCols) == 0 {
+			continue
+		}
+		var gcols base.ColSet
+		for _, c := range agg.GroupCols {
+			gcols.Add(c)
+		}
+		var movable, residual []ops.ScalarExpr
+		for _, p := range ops.Conjuncts(sel.Pred) {
+			if p.Cols().SubsetOf(gcols) {
+				movable = append(movable, p)
+			} else {
+				residual = append(residual, p)
+			}
+		}
+		if len(movable) == 0 {
+			continue // nothing moves; re-inserting would just duplicate
+		}
+		filtered := Op(&ops.Select{Pred: canonAnd(movable)}, Leaf(lower.Children[0]))
+		result := Op(&ops.GbAgg{GroupCols: agg.GroupCols, Aggs: agg.Aggs}, filtered)
+		if len(residual) > 0 {
+			result = Op(&ops.Select{Pred: canonAnd(residual)}, result)
+		}
+		if _, err := ctx.Insert(result, ge.Group().ID); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -185,7 +371,7 @@ func (g *joinGraph) leafTree(i int) *joinTree {
 // predicates to the new join node.
 func (g *joinGraph) combine(ctx *Context, l, r *joinTree) *joinTree {
 	preds := g.predsBetween(l.mask, r.mask)
-	pred := ops.And(preds...)
+	pred := canonAnd(preds)
 	st := ctx.Stats.DeriveJoin(ops.InnerJoin, pred, l.stats, r.stats)
 	return &joinTree{
 		mask:  l.mask | r.mask,
@@ -196,24 +382,10 @@ func (g *joinGraph) combine(ctx *Context, l, r *joinTree) *joinTree {
 	}
 }
 
-// ExpandNAryJoinDP enumerates bushy join trees over connected subgraphs with
-// dynamic programming (DPsub) and copies the cheapest tree into the group.
-type ExpandNAryJoinDP struct{}
-
-// Name implements Rule.
-func (*ExpandNAryJoinDP) Name() string { return "ExpandNAryJoinDP" }
-
-// Kind implements Rule.
-func (*ExpandNAryJoinDP) Kind() Kind { return Exploration }
-
-// Matches implements Rule.
-func (*ExpandNAryJoinDP) Matches(ge *memo.GroupExpr) bool {
-	_, ok := ge.Op.(*ops.NAryJoin)
-	return ok
-}
-
-// Apply implements Rule.
-func (r *ExpandNAryJoinDP) Apply(ctx *Context, ge *memo.GroupExpr) error {
+// applyExpandNAryJoinDP enumerates bushy join trees over connected
+// subgraphs with dynamic programming (DPsub) and copies the cheapest tree
+// into the group.
+func applyExpandNAryJoinDP(ctx *Context, ge *memo.GroupExpr) error {
 	n := len(ge.Children)
 	limit := ctx.JoinOrderDPLimit
 	if limit <= 0 {
@@ -296,25 +468,10 @@ func popcount(v uint32) int {
 	return n
 }
 
-// ExpandNAryJoinGreedy builds a join tree by repeatedly joining the pair
-// with the smallest estimated result (cardinality-based ordering); it covers
-// joins too large for DP.
-type ExpandNAryJoinGreedy struct{}
-
-// Name implements Rule.
-func (*ExpandNAryJoinGreedy) Name() string { return "ExpandNAryJoinGreedy" }
-
-// Kind implements Rule.
-func (*ExpandNAryJoinGreedy) Kind() Kind { return Exploration }
-
-// Matches implements Rule.
-func (*ExpandNAryJoinGreedy) Matches(ge *memo.GroupExpr) bool {
-	_, ok := ge.Op.(*ops.NAryJoin)
-	return ok
-}
-
-// Apply implements Rule.
-func (r *ExpandNAryJoinGreedy) Apply(ctx *Context, ge *memo.GroupExpr) error {
+// applyExpandNAryJoinGreedy builds a join tree by repeatedly joining the
+// pair with the smallest estimated result (cardinality-based ordering); it
+// covers joins too large for DP.
+func applyExpandNAryJoinGreedy(ctx *Context, ge *memo.GroupExpr) error {
 	n := len(ge.Children)
 	if n < 2 {
 		return nil
@@ -359,27 +516,12 @@ func (r *ExpandNAryJoinGreedy) Apply(ctx *Context, ge *memo.GroupExpr) error {
 	return err
 }
 
-// ExpandNAryJoinLeftDeep emits the literal left-deep tree in the order the
-// query listed the inputs; it guarantees the group always has at least one
-// binary expansion even when the cost-based expansions are disabled, and is
-// the shape rule-based systems (paper §7.3.2: Impala, Stinger) are stuck
-// with.
-type ExpandNAryJoinLeftDeep struct{}
-
-// Name implements Rule.
-func (*ExpandNAryJoinLeftDeep) Name() string { return "ExpandNAryJoinLeftDeep" }
-
-// Kind implements Rule.
-func (*ExpandNAryJoinLeftDeep) Kind() Kind { return Exploration }
-
-// Matches implements Rule.
-func (*ExpandNAryJoinLeftDeep) Matches(ge *memo.GroupExpr) bool {
-	_, ok := ge.Op.(*ops.NAryJoin)
-	return ok
-}
-
-// Apply implements Rule.
-func (r *ExpandNAryJoinLeftDeep) Apply(ctx *Context, ge *memo.GroupExpr) error {
+// applyExpandNAryJoinLeftDeep emits the literal left-deep tree in the order
+// the query listed the inputs; it guarantees the group always has at least
+// one binary expansion even when the cost-based expansions are disabled,
+// and is the shape rule-based systems (paper §7.3.2: Impala, Stinger) are
+// stuck with.
+func applyExpandNAryJoinLeftDeep(ctx *Context, ge *memo.GroupExpr) error {
 	n := len(ge.Children)
 	if n < 2 {
 		return nil

@@ -6,46 +6,20 @@ import (
 	"orca/internal/ops"
 )
 
-// Limit2PhysicalLimit implements Limit.
-type Limit2PhysicalLimit struct{}
+// The rule types and their Name/Kind/Matches/Apply skeletons are generated
+// from defs/rules.opt into rules.gen.go; this file keeps the hand-written
+// apply bodies for limit, union, CTE and window implementation rules.
 
-// Name implements Rule.
-func (*Limit2PhysicalLimit) Name() string { return "Limit2PhysicalLimit" }
-
-// Kind implements Rule.
-func (*Limit2PhysicalLimit) Kind() Kind { return Implementation }
-
-// Matches implements Rule.
-func (*Limit2PhysicalLimit) Matches(ge *memo.GroupExpr) bool {
-	_, ok := ge.Op.(*ops.Limit)
-	return ok
-}
-
-// Apply implements Rule.
-func (*Limit2PhysicalLimit) Apply(ctx *Context, ge *memo.GroupExpr) error {
+// applyLimit2PhysicalLimit implements Limit.
+func applyLimit2PhysicalLimit(ctx *Context, ge *memo.GroupExpr) error {
 	l := ge.Op.(*ops.Limit)
 	p := &ops.PhysicalLimit{Order: l.Order, Count: l.Count, Offset: l.Offset, HasCount: l.HasCount}
 	_, err := ctx.Insert(Op(p, Leaf(ge.Children[0])), ge.Group().ID)
 	return err
 }
 
-// UnionAll2Physical implements UnionAll.
-type UnionAll2Physical struct{}
-
-// Name implements Rule.
-func (*UnionAll2Physical) Name() string { return "UnionAll2Physical" }
-
-// Kind implements Rule.
-func (*UnionAll2Physical) Kind() Kind { return Implementation }
-
-// Matches implements Rule.
-func (*UnionAll2Physical) Matches(ge *memo.GroupExpr) bool {
-	_, ok := ge.Op.(*ops.UnionAll)
-	return ok
-}
-
-// Apply implements Rule.
-func (*UnionAll2Physical) Apply(ctx *Context, ge *memo.GroupExpr) error {
+// applyUnionAll2Physical implements UnionAll.
+func applyUnionAll2Physical(ctx *Context, ge *memo.GroupExpr) error {
 	u := ge.Op.(*ops.UnionAll)
 	p := &ops.PhysicalUnionAll{InCols: u.InCols, OutCols: u.OutCols}
 	leaves := make([]*Node, len(ge.Children))
@@ -56,26 +30,11 @@ func (*UnionAll2Physical) Apply(ctx *Context, ge *memo.GroupExpr) error {
 	return err
 }
 
-// CTEAnchor2Sequence implements the CTE anchor as a Sequence over a
+// applyCTEAnchor2Sequence implements the CTE anchor as a Sequence over a
 // CTEProducer — the paper's producer/consumer model for WITH (§7.2.2
 // "Common Expressions"): the shared expression is evaluated once and its
 // output consumed by every consumer.
-type CTEAnchor2Sequence struct{}
-
-// Name implements Rule.
-func (*CTEAnchor2Sequence) Name() string { return "CTEAnchor2Sequence" }
-
-// Kind implements Rule.
-func (*CTEAnchor2Sequence) Kind() Kind { return Implementation }
-
-// Matches implements Rule.
-func (*CTEAnchor2Sequence) Matches(ge *memo.GroupExpr) bool {
-	_, ok := ge.Op.(*ops.CTEAnchor)
-	return ok
-}
-
-// Apply implements Rule.
-func (*CTEAnchor2Sequence) Apply(ctx *Context, ge *memo.GroupExpr) error {
+func applyCTEAnchor2Sequence(ctx *Context, ge *memo.GroupExpr) error {
 	a := ge.Op.(*ops.CTEAnchor)
 	cols := make([]base.ColID, len(a.Cols))
 	for i, c := range a.Cols {
@@ -86,46 +45,16 @@ func (*CTEAnchor2Sequence) Apply(ctx *Context, ge *memo.GroupExpr) error {
 	return err
 }
 
-// CTEConsumer2Physical implements a CTE consumer leaf.
-type CTEConsumer2Physical struct{}
-
-// Name implements Rule.
-func (*CTEConsumer2Physical) Name() string { return "CTEConsumer2Physical" }
-
-// Kind implements Rule.
-func (*CTEConsumer2Physical) Kind() Kind { return Implementation }
-
-// Matches implements Rule.
-func (*CTEConsumer2Physical) Matches(ge *memo.GroupExpr) bool {
-	_, ok := ge.Op.(*ops.CTEConsumer)
-	return ok
-}
-
-// Apply implements Rule.
-func (*CTEConsumer2Physical) Apply(ctx *Context, ge *memo.GroupExpr) error {
+// applyCTEConsumer2Physical implements a CTE consumer leaf.
+func applyCTEConsumer2Physical(ctx *Context, ge *memo.GroupExpr) error {
 	c := ge.Op.(*ops.CTEConsumer)
 	p := &ops.PhysicalCTEConsumer{ID: c.ID, Cols: c.Cols, ProducerCols: c.ProducerCols}
 	_, err := ctx.Insert(Op(p), ge.Group().ID)
 	return err
 }
 
-// Window2PhysicalWindow implements window functions.
-type Window2PhysicalWindow struct{}
-
-// Name implements Rule.
-func (*Window2PhysicalWindow) Name() string { return "Window2PhysicalWindow" }
-
-// Kind implements Rule.
-func (*Window2PhysicalWindow) Kind() Kind { return Implementation }
-
-// Matches implements Rule.
-func (*Window2PhysicalWindow) Matches(ge *memo.GroupExpr) bool {
-	_, ok := ge.Op.(*ops.Window)
-	return ok
-}
-
-// Apply implements Rule.
-func (*Window2PhysicalWindow) Apply(ctx *Context, ge *memo.GroupExpr) error {
+// applyWindow2PhysicalWindow implements window functions.
+func applyWindow2PhysicalWindow(ctx *Context, ge *memo.GroupExpr) error {
 	w := ge.Op.(*ops.Window)
 	p := &ops.PhysicalWindow{PartitionCols: w.PartitionCols, Order: w.Order, Wins: w.Wins}
 	_, err := ctx.Insert(Op(p, Leaf(ge.Children[0])), ge.Group().ID)
