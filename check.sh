@@ -27,13 +27,18 @@
 #            show up here.
 #   test     go test ./...
 #   race     go test -race over the concurrency-heavy packages
-#            (search scheduler, memo, gpos worker pool, and core — the
-#            multi-stage driver shares one Memo across scheduler runs)
+#            (search scheduler, memo, gpos worker pool, core — the
+#            multi-stage driver shares one Memo across scheduler runs —
+#            and serve, whose admission/drain paths are all-concurrent)
+#   smoke    build cmd/orcad, start it on an ephemeral port against the
+#            demo catalog, require /readyz and one full /optimize round
+#            trip, then SIGTERM and require a clean drained exit
 #   chaos    a randomized fault-injection schedule (error/panic/delay at
 #            registered fault points) run under -race; the seed rotates
 #            daily and is printed on failure — replay with
 #            ORCA_CHAOS=1 ORCA_CHAOS_SEED=<n> go test -race -run
-#            TestChaosSchedule ./internal/core/
+#            TestChaosSchedule ./internal/core/ (and the service-level
+#            storm: -run TestServeChaosStorm ./internal/serve/)
 #   membench one short pass over the Memo hot-path microbenchmarks
 #            (internal/memo BenchmarkMemo*) — catches compile rot and
 #            gross regressions; the full -cpu=1,2,4,8 curve is
@@ -97,13 +102,53 @@ fi
 echo "==> go test"
 go test ./...
 
-echo "==> go test -race (scheduler / memo / gpos / core)"
-go test -race ./internal/search/... ./internal/memo/... ./internal/gpos/... ./internal/core/...
+echo "==> go test -race (scheduler / memo / gpos / core / serve)"
+go test -race ./internal/search/... ./internal/memo/... ./internal/gpos/... ./internal/core/... ./internal/serve/...
+
+echo "==> orcad smoke (ephemeral port, /readyz, one round trip, SIGTERM drain)"
+go build -o "$orcavet_tmp/orcad" ./cmd/orcad
+rm -f "$orcavet_tmp/orcad.addr"
+"$orcavet_tmp/orcad" -demo-catalog -addr=127.0.0.1:0 \
+    -addr-file="$orcavet_tmp/orcad.addr" 2> "$orcavet_tmp/orcad.log" &
+orcad_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    [ -s "$orcavet_tmp/orcad.addr" ] && { addr=$(cat "$orcavet_tmp/orcad.addr"); break; }
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "orcad smoke: server never wrote its address" >&2
+    cat "$orcavet_tmp/orcad.log" >&2
+    kill "$orcad_pid" 2>/dev/null || true
+    exit 1
+fi
+curl -sf "http://$addr/readyz" > /dev/null || {
+    echo "orcad smoke: /readyz failed" >&2; kill "$orcad_pid"; exit 1; }
+curl -sf -X POST "http://$addr/optimize" \
+    -d '{"sql":"SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b ORDER BY t1.a"}' \
+    | grep -q '"plan"' || {
+    echo "orcad smoke: /optimize round trip failed" >&2; kill "$orcad_pid"; exit 1; }
+kill -TERM "$orcad_pid"
+orcad_rc=0
+wait "$orcad_pid" || orcad_rc=$?
+if [ "$orcad_rc" -ne 0 ]; then
+    echo "orcad smoke: exit $orcad_rc after SIGTERM (want clean drained exit)" >&2
+    cat "$orcavet_tmp/orcad.log" >&2
+    exit 1
+fi
+grep -q "drained, exiting" "$orcavet_tmp/orcad.log" || {
+    echo "orcad smoke: no drain confirmation in the log" >&2
+    cat "$orcavet_tmp/orcad.log" >&2
+    exit 1
+}
 
 chaos_seed="${ORCA_CHAOS_SEED:-$(date +%Y%j)}"
 echo "==> chaos (randomized fault schedule under -race, seed $chaos_seed)"
 ORCA_CHAOS=1 ORCA_CHAOS_SEED="$chaos_seed" \
     go test -race -count=1 -run TestChaosSchedule ./internal/core/
+echo "==> chaos storm (serve under seeded faults at 4x admission, seed $chaos_seed)"
+ORCA_CHAOS=1 ORCA_CHAOS_SEED="$chaos_seed" \
+    go test -race -count=1 -run TestServeChaosStorm ./internal/serve/
 
 echo "==> memo microbenchmarks (smoke pass)"
 go test -run '^$' -bench 'BenchmarkMemo' -benchtime=1000x ./internal/memo/

@@ -11,7 +11,9 @@
 //
 // Robustness knobs (paper §6.1): -faults (or the ORCA_FAULTS environment
 // variable) arms a fault-injection schedule, -memory-budget/-max-groups cap
-// the search, -md-timeout bounds metadata lookups, -dump captures AMPERe
+// the search, -md-timeout bounds metadata lookups, -md-retries/-md-backoff
+// absorb transient provider failures, -deadline bounds the whole request
+// (the same lifecycle cmd/orcad serves), -dump captures AMPERe
 // repros of failures, and -no-degrade turns the graceful-degradation ladder
 // off so injected failures surface as errors.
 package main
@@ -47,7 +49,10 @@ func main() {
 	demo := flag.Bool("demo", false, "run the paper's running example (§4.1)")
 	faults := flag.String("faults", os.Getenv("ORCA_FAULTS"),
 		"fault-injection schedule, e.g. 'memo/insert:error:every=3,md/provider/fetch:delay=50ms' (defaults to $ORCA_FAULTS)")
-	mdTimeout := flag.Duration("md-timeout", 0, "per-lookup metadata provider timeout (0 = none)")
+	mdTimeout := flag.Duration("md-timeout", 0, "per-lookup metadata provider timeout (0 = unbounded; orcad refuses that)")
+	mdRetries := flag.Int("md-retries", 1, "max attempts for transient metadata lookup failures (1 = no retry)")
+	mdBackoff := flag.Duration("md-backoff", 0, "initial retry backoff (doubles per retry, jittered; 0 = policy default)")
+	deadline := flag.Duration("deadline", 0, "whole-request deadline; the degradation ladder still runs on expiry (0 = none)")
 	memBudget := flag.Int64("memory-budget", 0, "optimization memory budget in bytes (0 = unlimited)")
 	maxGroups := flag.Int("max-groups", 0, "Memo group cap; the search keeps the best plan found when it trips (0 = unlimited)")
 	noDegrade := flag.Bool("no-degrade", false, "disable the graceful-degradation ladder: fail instead of falling back")
@@ -63,13 +68,28 @@ func main() {
 			cfg.Faults = specs
 		}
 		cfg.MDLookupTimeout = *mdTimeout
+		cfg.MDRetry = md.RetryPolicy{MaxAttempts: *mdRetries, InitialBackoff: *mdBackoff}
 		cfg.MemoryBudget = *memBudget
 		cfg.MaxGroups = *maxGroups
 		cfg.DisableDegradation = *noDegrade
 	}
+	// optimize runs the same request lifecycle orcad serves: config
+	// validation, then core.OptimizeContext under the -deadline.
+	optimize := func(q *core.Query, cfg core.Config) (*core.Result, error) {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		ctx := context.Background()
+		if *deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *deadline)
+			defer cancel()
+		}
+		return core.OptimizeContext(ctx, q, cfg)
+	}
 
 	if *demo {
-		runDemo(*segments, *workers, tune)
+		runDemo(*segments, *workers, tune, optimize)
 		return
 	}
 	if *metadata == "" || (*sqlText == "" && *queryFile == "") {
@@ -103,7 +123,7 @@ func main() {
 	if *dumpDir != "" {
 		cfg.DumpCapture = dumpCapturer(*dumpDir, provider)
 	}
-	res, err := core.Optimize(q, cfg)
+	res, err := optimize(q, cfg)
 	if err != nil && *dumpDir != "" {
 		// The ladder is off (or itself failed): capture the outright failure.
 		ex := gpos.AsException(err)
@@ -170,7 +190,7 @@ func printSearchStats(res *core.Result) {
 
 // runDemo reproduces the paper's running example: SELECT T1.a FROM T1, T2
 // WHERE T1.a = T2.b ORDER BY T1.a with T1 Hashed(a), T2 Hashed(a).
-func runDemo(segments, workers int, tune func(*core.Config)) {
+func runDemo(segments, workers int, tune func(*core.Config), optimize func(*core.Query, core.Config) (*core.Result, error)) {
 	p := md.NewMemProvider()
 	md.Build(p, md.TableSpec{
 		Name: "t1", Rows: 100000, Policy: md.DistHash, DistCols: []int{0},
@@ -194,7 +214,7 @@ func runDemo(segments, workers int, tune func(*core.Config)) {
 	cfg := core.DefaultConfig(segments)
 	cfg.Workers = workers
 	tune(&cfg)
-	res, err := core.Optimize(q, cfg)
+	res, err := optimize(q, cfg)
 	fatal(err)
 	if res.Degraded {
 		fmt.Fprintf(os.Stderr, "orca: optimization degraded to the %s rung after %s/%s: %s\n",

@@ -7,10 +7,12 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"orca/internal/fault"
 	"orca/internal/gpos"
+	"orca/internal/md"
 )
 
 // Stage configures one optimization stage (paper §4.1 "Multi-Stage
@@ -65,9 +67,20 @@ type Config struct {
 	// MaxGroups caps the number of Memo groups (0 = unlimited), aborting the
 	// stage through the same drain path as MemoryBudget.
 	MaxGroups int
-	// MDLookupTimeout bounds each metadata provider lookup (0 = none); a
-	// lookup that exceeds it fails with a CompMD LookupTimeout exception.
+	// MDLookupTimeout bounds each metadata provider lookup. Zero means
+	// UNBOUNDED: a hung provider can stall the session indefinitely, which
+	// is acceptable for one-shot CLI runs against in-memory or file
+	// providers but never for a serving tier — cmd/orcad therefore always
+	// installs a non-zero default (and Config.Validate rejects negative
+	// values). A lookup that exceeds the bound fails with a CompMD
+	// LookupTimeout exception, classified transient by md.IsTransient so
+	// the MDRetry policy (when armed) may try again.
 	MDLookupTimeout time.Duration
+	// MDRetry retries transient metadata provider lookups with exponential
+	// backoff and jitter (see md.RetryPolicy). The zero policy disables
+	// retry. Each attempt runs under MDLookupTimeout; the whole loop is
+	// budgeted by the request context's deadline.
+	MDRetry md.RetryPolicy
 	// DisableDegradation turns off the degradation ladder: a failed
 	// optimization returns its error instead of retrying on lower rungs.
 	// The ladder's rungs use it internally to avoid recursing.
@@ -87,6 +100,104 @@ func DefaultConfig(segments int) Config {
 		Workers:          1,
 		JoinOrderDPLimit: 10,
 	}
+}
+
+// Validate rejects nonsensical configurations with a clear error instead of
+// letting them produce confusing behavior deep in the search (a negative
+// memory budget reads as "already exhausted", negative workers would deadlock
+// the scheduler pool). Zero values are meaningful everywhere — zero budget,
+// groups cap, or timeout mean unbounded; zero workers means the default of 1
+// — so only genuinely impossible values fail. Hosts that accept external
+// configuration (cmd/orca, cmd/orcad, the serving tier) call this before the
+// first request rather than discovering a bad flag mid-storm.
+func (c *Config) Validate() error {
+	if c.Segments < 0 {
+		return fmt.Errorf("core: config: Segments = %d; want >= 0 (0 means single-segment)", c.Segments)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: config: Workers = %d; want >= 0 (0 means the default of 1)", c.Workers)
+	}
+	if c.JoinOrderDPLimit < 0 {
+		return fmt.Errorf("core: config: JoinOrderDPLimit = %d; want >= 0", c.JoinOrderDPLimit)
+	}
+	if c.MemoryBudget < 0 {
+		return fmt.Errorf("core: config: MemoryBudget = %d bytes; want >= 0 (0 means unlimited)", c.MemoryBudget)
+	}
+	if c.MaxGroups < 0 {
+		return fmt.Errorf("core: config: MaxGroups = %d; want >= 0 (0 means unlimited)", c.MaxGroups)
+	}
+	if c.MDLookupTimeout < 0 {
+		return fmt.Errorf("core: config: MDLookupTimeout = %v; want >= 0 (0 means unbounded lookups)", c.MDLookupTimeout)
+	}
+	if c.MDRetry.MaxAttempts < 0 {
+		return fmt.Errorf("core: config: MDRetry.MaxAttempts = %d; want >= 0 (0 or 1 disables retry)", c.MDRetry.MaxAttempts)
+	}
+	if c.MDRetry.InitialBackoff < 0 || c.MDRetry.MaxBackoff < 0 {
+		return fmt.Errorf("core: config: MDRetry backoffs (%v initial, %v max) must be >= 0",
+			c.MDRetry.InitialBackoff, c.MDRetry.MaxBackoff)
+	}
+	for i, st := range c.Stages {
+		if st.Timeout < 0 {
+			return fmt.Errorf("core: config: stage %d (%s): Timeout = %v; want >= 0", i, st.Name, st.Timeout)
+		}
+		if st.StepLimit < 0 {
+			return fmt.Errorf("core: config: stage %d (%s): StepLimit = %d; want >= 0", i, st.Name, st.StepLimit)
+		}
+		if st.CostThreshold < 0 {
+			return fmt.Errorf("core: config: stage %d (%s): CostThreshold = %v; want >= 0", i, st.Name, st.CostThreshold)
+		}
+	}
+	return nil
+}
+
+// ScaleBudgets derives a per-request configuration from a server-wide
+// baseline by scaling every resource budget by frac in (0, 1]: memory,
+// group cap, per-lookup metadata timeout, and per-stage timeouts and step
+// limits all shrink proportionally. The serving tier calls this with a
+// load-derived fraction so that under admission pressure a hard query gets
+// a smaller search (and degrades sooner) instead of monopolizing the
+// process — a storm of hard queries then sheds work gracefully rather than
+// toppling the server. Unbounded budgets (zero) stay unbounded: scaling
+// cannot invent a limit the operator did not set. Fractions outside (0, 1)
+// return the config unchanged.
+func (c Config) ScaleBudgets(frac float64) Config {
+	if frac <= 0 || frac >= 1 {
+		return c
+	}
+	scaled := c
+	if c.MemoryBudget > 0 {
+		scaled.MemoryBudget = scaledInt64(c.MemoryBudget, frac)
+	}
+	if c.MaxGroups > 0 {
+		scaled.MaxGroups = int(scaledInt64(int64(c.MaxGroups), frac))
+	}
+	if c.MDLookupTimeout > 0 {
+		scaled.MDLookupTimeout = time.Duration(scaledInt64(int64(c.MDLookupTimeout), frac))
+	}
+	if len(c.Stages) > 0 {
+		stages := make([]Stage, len(c.Stages))
+		copy(stages, c.Stages)
+		for i := range stages {
+			if stages[i].Timeout > 0 {
+				stages[i].Timeout = time.Duration(scaledInt64(int64(stages[i].Timeout), frac))
+			}
+			if stages[i].StepLimit > 0 {
+				stages[i].StepLimit = scaledInt64(stages[i].StepLimit, frac)
+			}
+		}
+		scaled.Stages = stages
+	}
+	return scaled
+}
+
+// scaledInt64 scales v by frac, clamping to at least 1 so a bounded budget
+// never becomes "unbounded" (0) or negative through scaling.
+func scaledInt64(v int64, frac float64) int64 {
+	s := int64(float64(v) * frac)
+	if s < 1 {
+		return 1
+	}
+	return s
 }
 
 // disabled builds the effective rule-disable set for a stage.

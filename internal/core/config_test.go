@@ -1,6 +1,11 @@
 package core
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"orca/internal/md"
+)
 
 func TestMultiStageConfig(t *testing.T) {
 	cfg := DefaultConfig(4)
@@ -12,5 +17,96 @@ func TestMultiStageConfig(t *testing.T) {
 	d := cfg.disabled(&cfg.Stages[0])
 	if !d["A"] || !d["B"] || d["C"] {
 		t.Errorf("disabled set = %v", d)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	valid := func(mut func(*Config)) Config {
+		cfg := DefaultConfig(16)
+		cfg.MemoryBudget = 1 << 20
+		cfg.MaxGroups = 100
+		cfg.MDLookupTimeout = time.Second
+		cfg.MDRetry = md.RetryPolicy{MaxAttempts: 3, InitialBackoff: time.Millisecond}
+		cfg.Stages = []Stage{{Name: "s", Timeout: time.Second, StepLimit: 100}}
+		if mut != nil {
+			mut(&cfg)
+		}
+		return cfg
+	}
+
+	cfg := valid(nil)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	// Zero values are all meaningful (unbounded / defaults), not errors.
+	zero := Config{}
+	if err := zero.Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+
+	bad := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"negative segments", func(c *Config) { c.Segments = -1 }},
+		{"negative workers", func(c *Config) { c.Workers = -2 }},
+		{"negative dp limit", func(c *Config) { c.JoinOrderDPLimit = -1 }},
+		{"negative memory budget", func(c *Config) { c.MemoryBudget = -1 }},
+		{"negative group cap", func(c *Config) { c.MaxGroups = -5 }},
+		{"negative md timeout", func(c *Config) { c.MDLookupTimeout = -time.Second }},
+		{"negative retry attempts", func(c *Config) { c.MDRetry.MaxAttempts = -1 }},
+		{"negative retry backoff", func(c *Config) { c.MDRetry.InitialBackoff = -time.Millisecond }},
+		{"negative stage timeout", func(c *Config) { c.Stages[0].Timeout = -time.Second }},
+		{"negative stage steps", func(c *Config) { c.Stages[0].StepLimit = -1 }},
+		{"negative cost threshold", func(c *Config) { c.Stages[0].CostThreshold = -1 }},
+	}
+	for _, tc := range bad {
+		cfg := valid(tc.mut)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a nonsensical config", tc.name)
+		}
+	}
+}
+
+func TestScaleBudgets(t *testing.T) {
+	cfg := DefaultConfig(16)
+	cfg.MemoryBudget = 1000
+	cfg.MaxGroups = 200
+	cfg.MDLookupTimeout = time.Second
+	cfg.Stages = []Stage{{Name: "s", Timeout: 2 * time.Second, StepLimit: 1000}}
+
+	half := cfg.ScaleBudgets(0.5)
+	if half.MemoryBudget != 500 || half.MaxGroups != 100 {
+		t.Errorf("half budgets = %d bytes / %d groups, want 500/100", half.MemoryBudget, half.MaxGroups)
+	}
+	if half.MDLookupTimeout != 500*time.Millisecond {
+		t.Errorf("half MD timeout = %v, want 500ms", half.MDLookupTimeout)
+	}
+	if half.Stages[0].Timeout != time.Second || half.Stages[0].StepLimit != 500 {
+		t.Errorf("half stage = %+v", half.Stages[0])
+	}
+	// The original must be untouched (Stages is copied, not shared).
+	if cfg.Stages[0].StepLimit != 1000 || cfg.MemoryBudget != 1000 {
+		t.Errorf("ScaleBudgets mutated the baseline: %+v", cfg)
+	}
+
+	// Unbounded stays unbounded; scaling cannot invent a limit.
+	free := DefaultConfig(16).ScaleBudgets(0.25)
+	if free.MemoryBudget != 0 || free.MaxGroups != 0 || free.MDLookupTimeout != 0 {
+		t.Errorf("unbounded budgets gained limits: %+v", free)
+	}
+
+	// A tiny fraction clamps to 1, never 0 ("unbounded") or negative.
+	tiny := cfg.ScaleBudgets(0.0001)
+	if tiny.MemoryBudget != 1 || tiny.MaxGroups != 1 {
+		t.Errorf("tiny scale = %d bytes / %d groups, want 1/1", tiny.MemoryBudget, tiny.MaxGroups)
+	}
+
+	// Out-of-range fractions are identity.
+	if got := cfg.ScaleBudgets(0); got.MemoryBudget != 1000 {
+		t.Errorf("frac 0 scaled: %+v", got)
+	}
+	if got := cfg.ScaleBudgets(1.5); got.MemoryBudget != 1000 {
+		t.Errorf("frac 1.5 scaled: %+v", got)
 	}
 }

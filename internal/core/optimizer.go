@@ -149,6 +149,7 @@ func OptimizeContext(ctx context.Context, q *Query, cfg Config) (*Result, error)
 	}
 	if q.Accessor != nil {
 		q.Accessor.SetLookupTimeout(cfg.MDLookupTimeout)
+		q.Accessor.SetRetryPolicy(cfg.MDRetry)
 		q.Accessor.BindContext(ctx)
 	}
 

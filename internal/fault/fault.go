@@ -241,6 +241,8 @@ func componentFor(point string) gpos.Component {
 		return gpos.CompCost
 	case "search":
 		return gpos.CompSearch
+	case "serve":
+		return gpos.CompServe
 	default:
 		return gpos.CompOptimizer
 	}

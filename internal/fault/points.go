@@ -44,6 +44,26 @@ const (
 	// PointCoreExtract fires in core.Optimize before plan extraction from
 	// the Memo.
 	PointCoreExtract = "core/extract"
+
+	// The serve/* points let the chaos gate storm the optimizer service
+	// (cmd/orcad) itself rather than only the search underneath it.
+
+	// PointServeAdmit fires in serve's admission controller before a request
+	// takes a concurrency slot; an injected error sheds the request as if
+	// the queue were full (429 with Retry-After).
+	PointServeAdmit = "serve/admission/reject"
+	// PointServeMDTransient fires in md's retried lookup path before each
+	// provider attempt; injected errors are classified transient so they
+	// exercise the retry-with-backoff machinery end to end.
+	PointServeMDTransient = "serve/md/transient-error"
+	// PointServeHandlerPanic fires in serve's optimize handler inside the
+	// per-request containment boundary; arm it with panic to prove a
+	// panicking request produces a 500 + AMPERe dump, not a dead process.
+	PointServeHandlerPanic = "serve/handler/panic"
+	// PointServeHandlerSlow fires in serve's optimize handler before
+	// optimization starts; arm it with delay to simulate a slow handler
+	// eating the request deadline.
+	PointServeHandlerSlow = "serve/handler/slow"
 )
 
 // Registered maps every declared fault point to a one-line description of
@@ -62,6 +82,11 @@ var Registered = map[string]string{
 	PointSearchXformApply: "transformation-rule application (search Xform job)",
 	PointCoreNormalize:    "query normalization (core.Optimize)",
 	PointCoreExtract:      "plan extraction (core.Optimize)",
+
+	PointServeAdmit:        "admission-controller slot acquisition (serve admission)",
+	PointServeMDTransient:  "retryable metadata lookup attempt (md timedLookup retry loop)",
+	PointServeHandlerPanic: "optimize-handler containment boundary (serve request lifecycle)",
+	PointServeHandlerSlow:  "optimize-handler latency injection (serve request lifecycle)",
 }
 
 // Points returns all registered fault-point names, sorted.

@@ -21,6 +21,15 @@ import (
 //	search/job/exec:panic:limit=1
 //	md/provider/fetch:delay=5ms:prob=0.1:seed=42
 //
+// The serve/* points target the optimizer service (cmd/orcad) around the
+// search rather than inside it — admission shedding, transient metadata
+// errors feeding the retry machinery, handler panics and handler latency:
+//
+//	serve/admission/reject:error:prob=0.2:seed=7
+//	serve/md/transient-error:error:every=3
+//	serve/handler/panic:panic:limit=1
+//	serve/handler/slow:delay=50ms:prob=0.5:seed=9
+//
 // Whitespace around commas is ignored; an empty string yields no specs.
 func ParseSpecs(text string) ([]Spec, error) {
 	text = strings.TrimSpace(text)

@@ -32,6 +32,7 @@ const (
 	CompDXL       Component = "dxl"
 	CompEngine    Component = "engine"
 	CompSQL       Component = "sql"
+	CompServe     Component = "serve"
 )
 
 // Exception is a structured error with a captured stack trace, the GPOS

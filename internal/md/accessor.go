@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"orca/internal/fault"
@@ -34,7 +35,10 @@ type Accessor struct {
 	cache    *Cache
 	provider Provider
 	timeout  time.Duration
+	retry    RetryPolicy
 	ctx      context.Context
+
+	retries atomic.Int64
 
 	mu      sync.Mutex
 	pinned  map[MDId]int
@@ -71,6 +75,17 @@ func (a *Accessor) BindContext(ctx context.Context) {
 // stage — instead of hanging the session.
 func (a *Accessor) SetLookupTimeout(d time.Duration) { a.timeout = d }
 
+// SetRetryPolicy arms retry-with-backoff for transient provider lookups
+// (see RetryPolicy). The zero policy — the default — disables retry. With
+// retry enabled, each attempt still runs under the per-lookup timeout, and
+// the whole loop is budgeted by the session's base context.
+func (a *Accessor) SetRetryPolicy(p RetryPolicy) { a.retry = p }
+
+// LookupRetries reports how many provider-lookup retries this session has
+// performed — transient failures that were absorbed by the retry loop
+// rather than surfaced. The serving tier aggregates this into /varz.
+func (a *Accessor) LookupRetries() int64 { return a.retries.Load() }
+
 // Get returns the metadata object with the given id, fetching it through the
 // provider on a cache miss and pinning it for the session.
 func (a *Accessor) Get(id MDId) (Object, error) {
@@ -98,9 +113,9 @@ func (a *Accessor) Get(id MDId) (Object, error) {
 }
 
 // fetchObject retrieves an object from the provider under the session's
-// lookup timeout.
+// lookup timeout and retry policy.
 func (a *Accessor) fetchObject(id MDId) (Object, error) {
-	return timedLookup(a.ctx, a.timeout, fmt.Sprintf("object %s", id), func(ctx context.Context) (Object, error) {
+	return timedLookup(a, fmt.Sprintf("object %s", id), func(ctx context.Context) (Object, error) {
 		if err := fault.Inject(fault.PointMDProviderFetch); err != nil {
 			return nil, err
 		}
@@ -108,14 +123,49 @@ func (a *Accessor) fetchObject(id MDId) (Object, error) {
 	})
 }
 
-// timedLookup runs a provider call under the session's base context,
-// bounding it by the timeout (0 = unbounded, called inline). With a timeout
-// the call runs on its own goroutine and the caller abandons it once the
-// deadline passes — the derived context is cancelled so a cooperative
-// provider stops promptly, but a provider that ignores cancellation leaks
-// its goroutine until it returns, which is the price of not hanging the
-// optimization. Cancelling the base context cancels the lookup either way.
-func timedLookup[T any](base context.Context, timeout time.Duration, what string, call func(context.Context) (T, error)) (T, error) {
+// timedLookup runs a provider call under the session's base context, retry
+// policy and per-attempt timeout. Each attempt is deadline-bounded by
+// attemptLookup; failures classified transient by IsTransient are retried
+// with exponential backoff and jitter until the attempt budget, the base
+// context, or its deadline runs out — whichever comes first — so a flaky
+// catalog backend costs latency, not the query. Terminal failures surface
+// immediately. The serve/md/transient-error fault point fires before each
+// attempt and injects an explicitly transient failure, exercising the retry
+// machinery end to end under the chaos gate.
+func timedLookup[T any](a *Accessor, what string, call func(context.Context) (T, error)) (T, error) {
+	var zero T
+	var last error
+	attempts := a.retry.attempts()
+	for attempt := 1; ; attempt++ {
+		if err := fault.Inject(fault.PointServeMDTransient); err != nil {
+			last = Transient(err)
+		} else {
+			v, err := attemptLookup(a.ctx, a.timeout, what, call)
+			if err == nil {
+				return v, nil
+			}
+			last = err
+		}
+		if attempt >= attempts || !IsTransient(last) {
+			return zero, last
+		}
+		if !backoffWait(a.ctx, a.retry.backoff(attempt)) {
+			// The request deadline expired (or would expire mid-backoff):
+			// the retry budget is spent, surface the last transient failure.
+			return zero, last
+		}
+		a.retries.Add(1)
+	}
+}
+
+// attemptLookup runs one provider call under the base context, bounding it
+// by the timeout (0 = unbounded, called inline). With a timeout the call
+// runs on its own goroutine and the caller abandons it once the deadline
+// passes — the derived context is cancelled so a cooperative provider stops
+// promptly, but a provider that ignores cancellation leaks its goroutine
+// until it returns, which is the price of not hanging the optimization.
+// Cancelling the base context cancels the lookup either way.
+func attemptLookup[T any](base context.Context, timeout time.Duration, what string, call func(context.Context) (T, error)) (T, error) {
 	if timeout <= 0 {
 		return call(base)
 	}
@@ -159,7 +209,7 @@ func (a *Accessor) Relation(id MDId) (*Relation, error) {
 
 // RelationByName resolves and returns a relation by name.
 func (a *Accessor) RelationByName(name string) (*Relation, error) {
-	id, err := timedLookup(a.ctx, a.timeout, fmt.Sprintf("relation %q", name), func(ctx context.Context) (MDId, error) {
+	id, err := timedLookup(a, fmt.Sprintf("relation %q", name), func(ctx context.Context) (MDId, error) {
 		return a.provider.LookupRelation(ctx, name)
 	})
 	if err != nil {

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"orca/internal/fault"
+)
+
+// AdmissionConfig sizes the admission controller: a bounded concurrency
+// semaphore fronted by a bounded wait queue. Requests beyond MaxInFlight
+// wait; requests beyond MaxInFlight+MaxQueue — or whose wait exceeds
+// QueueTimeout — are shed with 429 and a Retry-After hint. Shedding early
+// and cheaply is the point: under a storm the server does a bounded amount
+// of optimization work and answers everyone else immediately, instead of
+// accepting unbounded work and toppling.
+type AdmissionConfig struct {
+	// MaxInFlight is the number of requests optimizing concurrently.
+	// Defaults to 4.
+	MaxInFlight int
+	// MaxQueue is the number of requests allowed to wait for a slot.
+	// Zero means no queue: anything beyond MaxInFlight sheds immediately.
+	MaxQueue int
+	// QueueTimeout bounds the wait in the queue; a request still queued
+	// when it fires is shed. Defaults to 1s.
+	QueueTimeout time.Duration
+}
+
+func (c AdmissionConfig) maxInFlight() int {
+	if c.MaxInFlight <= 0 {
+		return 4
+	}
+	return c.MaxInFlight
+}
+
+func (c AdmissionConfig) queueTimeout() time.Duration {
+	if c.QueueTimeout <= 0 {
+		return time.Second
+	}
+	return c.QueueTimeout
+}
+
+// Shed reasons reported in ShedError.Reason and the taxonomy bodies.
+const (
+	// ShedQueueFull: the wait queue is at capacity.
+	ShedQueueFull = "queue-full"
+	// ShedQueueTimeout: the request waited QueueTimeout without a slot.
+	ShedQueueTimeout = "queue-timeout"
+	// ShedDraining: the server is shutting down and admits nothing new.
+	ShedDraining = "draining"
+	// ShedClientGone: the client's context ended while queued.
+	ShedClientGone = "client-gone"
+	// ShedInjected: the serve/admission/reject fault point fired.
+	ShedInjected = "injected"
+)
+
+// ShedError reports a request rejected by admission control. It carries the
+// machine-readable reason and the Retry-After hint for the 429/503 response.
+type ShedError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("serve: request shed (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// admission is the runtime state of the controller: a semaphore channel for
+// slots, gauges shared with /varz, and the server's drain signal.
+type admission struct {
+	cfg      AdmissionConfig
+	slots    chan struct{}
+	draining chan struct{}
+	vars     *Counters
+}
+
+func newAdmission(cfg AdmissionConfig, draining chan struct{}, vars *Counters) *admission {
+	return &admission{
+		cfg:      cfg,
+		slots:    make(chan struct{}, cfg.maxInFlight()),
+		draining: draining,
+		vars:     vars,
+	}
+}
+
+// retryAfter estimates when a shed client should come back: one queue
+// timeout, rounded up to a whole second (the Retry-After header granularity).
+func (a *admission) retryAfter() time.Duration {
+	d := a.cfg.queueTimeout()
+	if d < time.Second {
+		return time.Second
+	}
+	return d.Round(time.Second)
+}
+
+// admit acquires a concurrency slot, waiting in the bounded queue under the
+// queue deadline, the request context, and the drain signal. On success it
+// returns the release function the caller must run exactly once when the
+// request finishes. On failure it returns a *ShedError naming why.
+func (a *admission) admit(ctx context.Context) (release func(), err error) {
+	if ierr := fault.Inject(fault.PointServeAdmit); ierr != nil {
+		a.vars.Shed.Add(1)
+		return nil, &ShedError{Reason: ShedInjected, RetryAfter: a.retryAfter()}
+	}
+	select {
+	case <-a.draining:
+		a.vars.Shed.Add(1)
+		return nil, &ShedError{Reason: ShedDraining, RetryAfter: a.retryAfter()}
+	default:
+	}
+
+	// Fast path: a slot is free right now.
+	select {
+	case a.slots <- struct{}{}:
+		return a.acquired(), nil
+	default:
+	}
+
+	// Slow path: join the bounded wait queue. The gauge doubles as the
+	// queue-capacity check — Add first, shed if we pushed it past the cap.
+	if a.vars.Queued.Add(1) > int64(a.cfg.MaxQueue) {
+		a.vars.Queued.Add(-1)
+		a.vars.Shed.Add(1)
+		return nil, &ShedError{Reason: ShedQueueFull, RetryAfter: a.retryAfter()}
+	}
+	defer a.vars.Queued.Add(-1)
+
+	timer := time.NewTimer(a.cfg.queueTimeout())
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return a.acquired(), nil
+	case <-timer.C:
+		a.vars.Shed.Add(1)
+		return nil, &ShedError{Reason: ShedQueueTimeout, RetryAfter: a.retryAfter()}
+	case <-ctx.Done():
+		a.vars.Shed.Add(1)
+		return nil, &ShedError{Reason: ShedClientGone, RetryAfter: a.retryAfter()}
+	case <-a.draining:
+		a.vars.Shed.Add(1)
+		return nil, &ShedError{Reason: ShedDraining, RetryAfter: a.retryAfter()}
+	}
+}
+
+// acquired finalizes a successful slot acquisition and builds its release.
+func (a *admission) acquired() func() {
+	a.vars.Admitted.Add(1)
+	a.vars.InFlight.Add(1)
+	return func() {
+		a.vars.InFlight.Add(-1)
+		<-a.slots
+	}
+}
+
+// load reports the controller's current utilization in [0, 1]: in-flight
+// plus queued over total capacity. The budget policy scales per-request
+// search budgets down as this approaches 1.
+func (a *admission) load() float64 {
+	capacity := a.cfg.maxInFlight() + a.cfg.MaxQueue
+	if capacity <= 0 {
+		return 0
+	}
+	busy := a.vars.InFlight.Load() + a.vars.Queued.Load()
+	l := float64(busy) / float64(capacity)
+	if l > 1 {
+		return 1
+	}
+	return l
+}

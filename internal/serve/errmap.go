@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"orca/internal/gpos"
+	"orca/internal/md"
+)
+
+// APIError is the machine-readable body of every non-2xx response — the
+// structured error taxonomy of the service. Component and Code mirror
+// gpos.Exception so a client (or the chaos gate) can programmatically tell a
+// shed from a deadline from a contained panic; Retryable tells it whether
+// coming back later can help, and RetryAfterMS says when.
+type APIError struct {
+	Status       int    `json:"-"`
+	Component    string `json:"component"`
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	Retryable    bool   `json:"retryable"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string { return e.Component + "/" + e.Code + ": " + e.Message }
+
+// Taxonomy codes minted by the serve layer itself (codes raised deeper in
+// the optimizer — LookupTimeout, FaultInjected, Panic, NoPlan — pass through
+// with their original component).
+const (
+	// CodeShed: rejected by admission control (429) or drain (503).
+	CodeShed = "AdmissionShed"
+	// CodeDeadline: the per-request deadline expired before a plan (and the
+	// degradation ladder could not rescue it either).
+	CodeDeadline = "DeadlineExceeded"
+	// CodeBadRequest: the request body failed to parse or bind.
+	CodeBadRequest = "BadRequest"
+	// CodeInternal: an unclassified failure; the fallback taxon.
+	CodeInternal = "Internal"
+)
+
+// mapShed converts an admission rejection into its response taxon: 503 when
+// the server is draining (the client should find another instance), 429
+// otherwise, both with Retry-After.
+func mapShed(shed *ShedError) *APIError {
+	status := http.StatusTooManyRequests
+	if shed.Reason == ShedDraining {
+		status = http.StatusServiceUnavailable
+	}
+	return &APIError{
+		Status:       status,
+		Component:    string(gpos.CompServe),
+		Code:         CodeShed,
+		Message:      shed.Error(),
+		Retryable:    true,
+		RetryAfterMS: shed.RetryAfter.Milliseconds(),
+	}
+}
+
+// mapError classifies an optimization failure into the response taxonomy.
+// The bind flag marks failures from the parse/bind phase, which are the
+// client's fault (400) unless the real cause is the request deadline.
+func mapError(err error, bind bool) *APIError {
+	var shed *ShedError
+	if errors.As(err, &shed) {
+		return mapShed(shed)
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return deadlineError(err)
+	}
+	ex := gpos.AsException(err)
+	if ex != nil && ex.Comp == gpos.CompMD && ex.Code == md.CodeLookupCancelled {
+		// The session's base context died mid-lookup: the request deadline,
+		// not the metadata layer, is the real failure.
+		return deadlineError(err)
+	}
+	var nf *md.ErrNotFound
+	if errors.As(err, &nf) {
+		return &APIError{
+			Status:    http.StatusNotFound,
+			Component: string(gpos.CompMD),
+			Code:      "NotFound",
+			Message:   err.Error(),
+		}
+	}
+	// Bind-phase failures are the client's fault (400) only when they come
+	// from the parsing/binding layers themselves; a server-side failure that
+	// happens to strike during bind (an injected metadata fault, say) keeps
+	// its own taxon below.
+	if bind && (ex == nil || ex.Comp == gpos.CompSQL || ex.Comp == gpos.CompDXL) {
+		return &APIError{
+			Status:    http.StatusBadRequest,
+			Component: componentOf(ex, gpos.CompSQL),
+			Code:      CodeBadRequest,
+			Message:   err.Error(),
+		}
+	}
+	if ex != nil {
+		return &APIError{
+			Status:    http.StatusInternalServerError,
+			Component: string(ex.Comp),
+			Code:      ex.Code,
+			Message:   ex.Msg,
+			Retryable: md.IsTransient(err),
+		}
+	}
+	return &APIError{
+		Status:    http.StatusInternalServerError,
+		Component: string(gpos.CompServe),
+		Code:      CodeInternal,
+		Message:   err.Error(),
+		Retryable: md.IsTransient(err),
+	}
+}
+
+// deadlineError is the 504 taxon: the request's deadline expired. Retryable
+// — with a longer deadline or a quieter server the query may well plan.
+func deadlineError(err error) *APIError {
+	return &APIError{
+		Status:       http.StatusGatewayTimeout,
+		Component:    string(gpos.CompServe),
+		Code:         CodeDeadline,
+		Message:      err.Error(),
+		Retryable:    true,
+		RetryAfterMS: time.Second.Milliseconds(),
+	}
+}
+
+// panicError is the taxon of a contained per-request panic: the process
+// survived, the request did not. dumpPath points at the captured AMPERe
+// repro when one was written.
+func panicError(ex *gpos.Exception) *APIError {
+	return &APIError{
+		Status:    http.StatusInternalServerError,
+		Component: string(ex.Comp),
+		Code:      gpos.CodePanic,
+		Message:   ex.Msg,
+	}
+}
+
+// componentOf names ex's component, or the fallback for plain errors.
+func componentOf(ex *gpos.Exception, fallback gpos.Component) string {
+	if ex != nil {
+		return string(ex.Comp)
+	}
+	return string(fallback)
+}

@@ -1,0 +1,54 @@
+package serve
+
+import "sync/atomic"
+
+// Counters are the server's monotonic event counters and level gauges,
+// exported verbatim by /varz. All fields are atomics: they are bumped from
+// concurrent request handlers and read by the varz handler and the drain
+// path without locks. Use them through a pointer — the struct must never be
+// copied.
+type Counters struct {
+	// Admitted counts requests granted a concurrency slot.
+	Admitted atomic.Int64
+	// Shed counts requests rejected by admission control (queue full, queue
+	// deadline, drain) — the 429/503 responses with Retry-After.
+	Shed atomic.Int64
+	// Completed counts successfully answered optimization requests,
+	// degraded ones included.
+	Completed atomic.Int64
+	// Failed counts requests answered with a taxonomy error (4xx/5xx other
+	// than sheds).
+	Failed atomic.Int64
+	// Degraded counts responses served by the degradation ladder rather
+	// than the normal optimization pass.
+	Degraded atomic.Int64
+	// Panicked counts contained per-request panics (the process survived
+	// every one of them).
+	Panicked atomic.Int64
+	// Retried counts transient metadata-lookup retries absorbed by the
+	// md retry policy across all requests.
+	Retried atomic.Int64
+
+	// InFlight is the number of requests currently holding a concurrency
+	// slot.
+	InFlight atomic.Int64
+	// Queued is the number of requests currently waiting for a slot in the
+	// bounded admission queue.
+	Queued atomic.Int64
+}
+
+// Snapshot returns a point-in-time copy of every counter, keyed by its /varz
+// name.
+func (c *Counters) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"admitted":  c.Admitted.Load(),
+		"shed":      c.Shed.Load(),
+		"completed": c.Completed.Load(),
+		"failed":    c.Failed.Load(),
+		"degraded":  c.Degraded.Load(),
+		"panicked":  c.Panicked.Load(),
+		"retried":   c.Retried.Load(),
+		"in_flight": c.InFlight.Load(),
+		"queued":    c.Queued.Load(),
+	}
+}
