@@ -29,16 +29,20 @@
 #   race     go test -race over the concurrency-heavy packages
 #            (search scheduler, memo, gpos worker pool, core — the
 #            multi-stage driver shares one Memo across scheduler runs —
-#            and serve, whose admission/drain paths are all-concurrent)
+#            serve, whose admission/drain paths are all-concurrent, and
+#            plancache, whose sharded LRU and singleflight are too)
 #   smoke    build cmd/orcad, start it on an ephemeral port against the
-#            demo catalog, require /readyz and one full /optimize round
-#            trip, then SIGTERM and require a clean drained exit
+#            demo catalog, require /readyz, one full /optimize round
+#            trip plus a warm repeat that must be a plan-cache hit
+#            (X-Orca-Cache: hit), then SIGTERM and require a clean
+#            drained exit
 #   chaos    a randomized fault-injection schedule (error/panic/delay at
 #            registered fault points) run under -race; the seed rotates
 #            daily and is printed on failure — replay with
 #            ORCA_CHAOS=1 ORCA_CHAOS_SEED=<n> go test -race -run
-#            TestChaosSchedule ./internal/core/ (and the service-level
-#            storm: -run TestServeChaosStorm ./internal/serve/)
+#            TestChaosSchedule ./internal/core/ (plus the service-level
+#            storm -run TestServeChaosStorm and the plan-cache schedule
+#            -run TestServeCacheChaos, both ./internal/serve/)
 #   membench one short pass over the Memo hot-path microbenchmarks
 #            (internal/memo BenchmarkMemo*) — catches compile rot and
 #            gross regressions; the full -cpu=1,2,4,8 curve is
@@ -102,10 +106,10 @@ fi
 echo "==> go test"
 go test ./...
 
-echo "==> go test -race (scheduler / memo / gpos / core / serve)"
-go test -race ./internal/search/... ./internal/memo/... ./internal/gpos/... ./internal/core/... ./internal/serve/...
+echo "==> go test -race (scheduler / memo / gpos / core / serve / plancache)"
+go test -race ./internal/search/... ./internal/memo/... ./internal/gpos/... ./internal/core/... ./internal/serve/... ./internal/plancache/...
 
-echo "==> orcad smoke (ephemeral port, /readyz, one round trip, SIGTERM drain)"
+echo "==> orcad smoke (ephemeral port, /readyz, cold+warm round trip, SIGTERM drain)"
 go build -o "$orcavet_tmp/orcad" ./cmd/orcad
 rm -f "$orcavet_tmp/orcad.addr"
 "$orcavet_tmp/orcad" -demo-catalog -addr=127.0.0.1:0 \
@@ -128,6 +132,13 @@ curl -sf -X POST "http://$addr/optimize" \
     -d '{"sql":"SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b ORDER BY t1.a"}' \
     | grep -q '"plan"' || {
     echo "orcad smoke: /optimize round trip failed" >&2; kill "$orcad_pid"; exit 1; }
+# The identical second request must be served from the parameterized plan
+# cache: assert the X-Orca-Cache: hit header on the warm round trip.
+curl -sf -D - -o /dev/null -X POST "http://$addr/optimize" \
+    -d '{"sql":"SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b ORDER BY t1.a"}' \
+    | grep -qi '^X-Orca-Cache: hit' || {
+    echo "orcad smoke: warm second request was not a plan-cache hit" >&2
+    kill "$orcad_pid"; exit 1; }
 kill -TERM "$orcad_pid"
 orcad_rc=0
 wait "$orcad_pid" || orcad_rc=$?
@@ -149,6 +160,9 @@ ORCA_CHAOS=1 ORCA_CHAOS_SEED="$chaos_seed" \
 echo "==> chaos storm (serve under seeded faults at 4x admission, seed $chaos_seed)"
 ORCA_CHAOS=1 ORCA_CHAOS_SEED="$chaos_seed" \
     go test -race -count=1 -run TestServeChaosStorm ./internal/serve/
+echo "==> chaos plan cache (corrupt/stale plancache faults, seed $chaos_seed)"
+ORCA_CHAOS=1 ORCA_CHAOS_SEED="$chaos_seed" \
+    go test -race -count=1 -run TestServeCacheChaos ./internal/serve/
 
 echo "==> memo microbenchmarks (smoke pass)"
 go test -run '^$' -bench 'BenchmarkMemo' -benchtime=1000x ./internal/memo/

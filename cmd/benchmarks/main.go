@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	benchmarks -experiment=fig12|opttime|fig13|fig14|fig15|taqo|memo|rules|serve|all \
+//	benchmarks -experiment=fig12|opttime|fig13|fig14|fig15|taqo|memo|rules|serve|cache|all \
 //	           [-segments=16] [-scale=2] [-budget=8000000] [-seed=N] [-json]
 //
 // With -json, experiments that define a machine-readable artifact write it to
-// the working directory (memo → BENCH_memo.json, rules → BENCH_rules.json, serve → BENCH_serve.json).
+// the working directory (memo → BENCH_memo.json, rules → BENCH_rules.json,
+// serve → BENCH_serve.json, cache → BENCH_cache.json).
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig12, opttime, fig13, fig14, fig15, taqo, memo, rules, serve or all")
+	experiment := flag.String("experiment", "all", "fig12, opttime, fig13, fig14, fig15, taqo, memo, rules, serve, cache or all")
 	segments := flag.Int("segments", 16, "number of cluster segments")
 	scale := flag.Int("scale", 2, "data scale factor")
 	budget := flag.Int64("budget", 8_000_000, "execution budget (work units) standing in for the paper's 10000s timeout")
@@ -53,6 +54,7 @@ func main() {
 	run("memo", func(e *experiments.Env) error { return memoExp(e, *jsonOut) })
 	run("rules", func(e *experiments.Env) error { return rulesExp(e, *jsonOut) })
 	run("serve", func(e *experiments.Env) error { return serveExp(e, *jsonOut) })
+	run("cache", func(e *experiments.Env) error { return cacheExp(e, *jsonOut) })
 }
 
 func fatal(err error) {

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"orca/internal/core"
+	"orca/internal/md"
+	"orca/internal/plancache"
+	"orca/internal/props"
+)
+
+// cachedOptimize is the stand-alone binary's plan-cache wrapper: the same
+// probe → hit-rebind / miss-optimize-admit lifecycle orcad serves, minus the
+// singleflight (one process, one request at a time). state is "hit", "miss",
+// or "" when the cache is disabled. Used with -repeat, warm iterations skip
+// the scheduler entirely — the cheapest way to watch the cache work without
+// standing up the server.
+func cachedOptimize(plans *plancache.Cache, acc *md.Accessor, q *core.Query, cfg core.Config,
+	optimize func(*core.Query, core.Config) (*core.Result, error)) (*core.Result, string, error) {
+	if !plans.Enabled() {
+		res, err := optimize(q, cfg)
+		return res, "", err
+	}
+	shape, cacheable := plancache.Extract(q.Tree, q.Order, q.OutCols)
+	if !cacheable {
+		res, err := optimize(q, cfg)
+		return res, "miss", err
+	}
+	key := plancache.Key{
+		FP:        shape.FP,
+		Req:       plans.InternReq(props.Required{Dist: props.SingletonDist, Order: q.Order}),
+		Buckets:   shape.Buckets,
+		MDVersion: acc.MDVersion(),
+	}
+	if e, ok := plans.Lookup(key, shape.Vector); ok {
+		if plan, ok := plancache.Rebind(e.Plan, shape.Vector); ok {
+			return &core.Result{Plan: plan, Cost: e.Cost, Stage: e.Stage}, "hit", nil
+		}
+	}
+	res, err := optimize(q, cfg)
+	if err != nil {
+		return nil, "miss", err
+	}
+	if admissible(res) && acc.MDVersion() == key.MDVersion {
+		if plan, ok := plancache.Parameterize(res.Plan, shape.Vector); ok {
+			plans.Admit(key, &plancache.Entry{
+				Plan:     plan,
+				Cost:     res.Cost,
+				Stage:    res.Stage,
+				OutCols:  q.OutCols,
+				OutNames: q.OutNames,
+				NParams:  len(shape.Vector),
+			})
+		}
+	}
+	return res, "miss", nil
+}
+
+// admissible mirrors the serving tier's never-cache rules: only full,
+// healthy optimizations are worth replaying.
+func admissible(r *core.Result) bool {
+	if r == nil || r.Plan == nil || r.Degraded || r.Failure != nil {
+		return false
+	}
+	for _, sr := range r.StageRuns {
+		if sr.TimedOut || sr.Aborted {
+			return false
+		}
+	}
+	return true
+}

@@ -33,6 +33,7 @@ import (
 	"orca/internal/fault"
 	"orca/internal/gpos"
 	"orca/internal/md"
+	"orca/internal/plancache"
 	"orca/internal/search"
 	"orca/internal/sql"
 )
@@ -57,6 +58,9 @@ func main() {
 	maxGroups := flag.Int("max-groups", 0, "Memo group cap; the search keeps the best plan found when it trips (0 = unlimited)")
 	noDegrade := flag.Bool("no-degrade", false, "disable the graceful-degradation ladder: fail instead of falling back")
 	dumpDir := flag.String("dump", "", "directory for AMPERe failure dumps")
+	planCacheBytes := flag.Int64("plan-cache-bytes", 64<<20, "parameterized plan cache byte budget")
+	planCacheOff := flag.Bool("plan-cache-off", false, "disable the parameterized plan cache")
+	repeat := flag.Int("repeat", 1, "run the request this many times through the plan cache (warm iterations report 'hit')")
 	flag.Parse()
 
 	// tune applies the robustness knobs shared by the file-driven and demo
@@ -100,20 +104,23 @@ func main() {
 	provider, err := dxl.FileProvider(*metadata)
 	fatal(err)
 	cache := md.NewCache(&gpos.MemoryAccountant{})
-	acc := md.NewAccessor(cache, provider)
-	f := md.NewColumnFactory()
 
-	var q *core.Query
-	if *sqlText != "" {
-		q, err = sql.Bind(*sqlText, acc, f)
-		fatal(err)
-	} else {
+	// bind produces a fresh bound query. With -repeat each iteration re-binds
+	// with its own accessor and column factory, exactly as separate requests
+	// would — the factory's deterministic column numbering is what lets a
+	// cached plan's column ids line up with a later binding of the same text.
+	var queryDoc *dxl.Node
+	if *queryFile != "" {
 		data, err := os.ReadFile(*queryFile)
 		fatal(err)
-		root, err := dxl.ParseXML(string(data))
+		queryDoc, err = dxl.ParseXML(string(data))
 		fatal(err)
-		q, err = dxl.ParseQuery(root, acc, f)
-		fatal(err)
+	}
+	bind := func(acc *md.Accessor, f *md.ColumnFactory) (*core.Query, error) {
+		if *sqlText != "" {
+			return sql.Bind(*sqlText, acc, f)
+		}
+		return dxl.ParseQuery(queryDoc, acc, f)
 	}
 
 	cfg := core.DefaultConfig(*segments)
@@ -123,7 +130,31 @@ func main() {
 	if *dumpDir != "" {
 		cfg.DumpCapture = dumpCapturer(*dumpDir, provider)
 	}
-	res, err := optimize(q, cfg)
+
+	pcBytes := *planCacheBytes
+	if *planCacheOff {
+		pcBytes = 0
+	}
+	plans := plancache.New(pcBytes)
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	var q *core.Query
+	var res *core.Result
+	for i := 0; i < *repeat; i++ {
+		acc := md.NewAccessor(cache, provider)
+		f := md.NewColumnFactory()
+		q, err = bind(acc, f)
+		fatal(err)
+		var state string
+		res, state, err = cachedOptimize(plans, acc, q, cfg, optimize)
+		if err != nil {
+			break
+		}
+		if state != "" && *repeat > 1 {
+			fmt.Fprintf(os.Stderr, "orca: iteration %d: plan cache %s\n", i+1, state)
+		}
+	}
 	if err != nil && *dumpDir != "" {
 		// The ladder is off (or itself failed): capture the outright failure.
 		ex := gpos.AsException(err)

@@ -65,6 +65,9 @@ func main() {
 	faults := flag.String("faults", os.Getenv("ORCA_FAULTS"),
 		"fault-injection schedule, e.g. 'serve/admission/reject:error:prob=0.1:seed=7' (defaults to $ORCA_FAULTS)")
 	dumpDir := flag.String("dump", "", "directory for AMPERe failure dumps")
+	planCacheBytes := flag.Int64("plan-cache-bytes", serve.DefaultPlanCacheBytes,
+		"parameterized plan cache byte budget (0 picks the default)")
+	planCacheOff := flag.Bool("plan-cache-off", false, "disable the parameterized plan cache")
 	flag.Parse()
 
 	if *mdTimeout <= 0 {
@@ -110,6 +113,8 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		MinBudgetFrac:  *minBudgetFrac,
 		DumpDir:        *dumpDir,
+		PlanCacheBytes: *planCacheBytes,
+		PlanCacheOff:   *planCacheOff,
 		Provider:       provider,
 	})
 	fatal(err)

@@ -87,7 +87,7 @@ func DefaultConfig() *Config {
 		EnginePkgPath: "orca/internal/engine",
 		DXLPkgPath:    dxlPkgPath,
 		MDPkgPath:     mdPkgPath,
-		RootPkgPaths:  []string{mdPkgPath, "orca/internal/core", searchPkgPath, gposPkgPath, "orca/internal/serve"},
+		RootPkgPaths:  []string{mdPkgPath, "orca/internal/core", searchPkgPath, gposPkgPath, "orca/internal/serve", "orca/internal/plancache"},
 		DefsDir:       "defs",
 	}
 }

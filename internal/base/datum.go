@@ -6,6 +6,7 @@ package base
 import (
 	"fmt"
 	"strconv"
+	"strings"
 )
 
 // TypeID identifies a scalar data type. The reproduction uses a small fixed
@@ -100,7 +101,9 @@ func (d Datum) String() string {
 	case DFloat:
 		return strconv.FormatFloat(d.F, 'g', -1, 64)
 	case DString:
-		return "'" + d.S + "'"
+		// Embedded quotes double, as the lexer expects, so a rendered
+		// literal re-parses to the same value ('O''Brien', not 'O'Brien').
+		return "'" + strings.ReplaceAll(d.S, "'", "''") + "'"
 	case DBool:
 		if d.I != 0 {
 			return "true"

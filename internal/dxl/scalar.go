@@ -15,6 +15,11 @@ func SerializeScalar(e ops.ScalarExpr) *Node {
 		return El("Ident").Setf("ColId", "%d", x.Col).Set("Type", x.Type.String())
 	case *ops.Const:
 		return El("Const").Set("Val", datumString(x.Val))
+	case *ops.Param:
+		// Defensive: rebinding replaces every Param with a Const before a
+		// plan leaves the plan cache, but a serialized placeholder must
+		// still round-trip for diagnostics.
+		return El("Param").Setf("Ord", "%d", x.Ord)
 	case *ops.Cmp:
 		return El("Comparison").Set("Operator", x.Op.String()).
 			Add(SerializeScalar(x.L), SerializeScalar(x.R))
@@ -94,6 +99,12 @@ func (qp *queryParser) parseScalar(n *Node) (ops.ScalarExpr, error) {
 			return nil, err
 		}
 		return ops.NewConst(d), nil
+	case "Param":
+		ord, err := strconv.Atoi(n.Attr("Ord"))
+		if err != nil {
+			return nil, fmt.Errorf("dxl: bad Param Ord: %v", err)
+		}
+		return ops.NewParam(ord), nil
 	case "Comparison":
 		op, ok := cmpByName[n.Attr("Operator")]
 		if !ok {

@@ -46,6 +46,10 @@ func (e *evalCtx) eval(x ops.ScalarExpr, row Row) (base.Datum, error) {
 		return e.col(v.Col, row)
 	case *ops.Const:
 		return v.Val, nil
+	case *ops.Param:
+		// Plan-cache rebinding replaces every Param with a Const before a
+		// plan leaves the cache; one reaching execution is a cache bug.
+		return base.Null, fmt.Errorf("engine: unbound plan-cache parameter $%d", v.Ord)
 	case *ops.Cmp:
 		l, err := e.eval(v.L, row)
 		if err != nil {

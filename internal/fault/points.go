@@ -64,6 +64,20 @@ const (
 	// optimization starts; arm it with delay to simulate a slow handler
 	// eating the request deadline.
 	PointServeHandlerSlow = "serve/handler/slow"
+
+	// The plancache/* points fault the parameterized plan cache's hit path:
+	// both make a probe distrust what it found, so chaos schedules exercise
+	// the defensive eviction paths and prove a poisoned cache degrades to a
+	// miss (re-optimization), never to a wrong plan.
+
+	// PointPlanCacheCorrupt fires in plancache.Cache.Lookup after an entry is
+	// found; when it fires the entry is treated as corrupt — evicted and
+	// reported as a miss — so the request re-optimizes.
+	PointPlanCacheCorrupt = "plancache/corrupt-entry"
+	// PointPlanCacheStale fires in plancache.Cache.Lookup after an entry is
+	// found; when it fires the entry is treated as if its metadata version
+	// stamp no longer matched — evicted and reported as a miss.
+	PointPlanCacheStale = "plancache/stale-version"
 )
 
 // Registered maps every declared fault point to a one-line description of
@@ -87,6 +101,9 @@ var Registered = map[string]string{
 	PointServeMDTransient:  "retryable metadata lookup attempt (md timedLookup retry loop)",
 	PointServeHandlerPanic: "optimize-handler containment boundary (serve request lifecycle)",
 	PointServeHandlerSlow:  "optimize-handler latency injection (serve request lifecycle)",
+
+	PointPlanCacheCorrupt: "plan-cache corrupt-entry discard (plancache.Cache.Lookup)",
+	PointPlanCacheStale:   "plan-cache stale-version discard (plancache.Cache.Lookup)",
 }
 
 // Points returns all registered fault-point names, sorted.

@@ -86,6 +86,17 @@ func (a *Accessor) SetRetryPolicy(p RetryPolicy) { a.retry = p }
 // rather than surfaced. The serving tier aggregates this into /varz.
 func (a *Accessor) LookupRetries() int64 { return a.retries.Load() }
 
+// MDVersion returns the shared metadata cache's monotonic invalidation stamp
+// as observed by this session (see Cache.Version). Derived artifacts keyed
+// on metadata — cached plans above all — record this stamp and are orphaned
+// by any later bump.
+func (a *Accessor) MDVersion() int64 {
+	if a.cache == nil {
+		return 0
+	}
+	return a.cache.Version()
+}
+
 // Get returns the metadata object with the given id, fetching it through the
 // provider on a cache miss and pinning it for the session.
 func (a *Accessor) Get(id MDId) (Object, error) {

@@ -2,6 +2,7 @@ package md
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"orca/internal/gpos"
 )
@@ -24,6 +25,16 @@ type Cache struct {
 
 	hits   int64
 	misses int64
+
+	// version is the cache's monotonic invalidation stamp: it advances on
+	// every mutation that can make previously derived state stale — a newer
+	// object version displacing a cached one, or an explicit eviction sweep.
+	// Purely additive inserts (an object cached for the first time) do NOT
+	// bump it: nothing derived before could have referenced the object.
+	// Consumers that key derived artifacts on metadata (the parameterized
+	// plan cache) stamp their entries with Version(); a bump orphans every
+	// dependent entry at lookup time.
+	version atomic.Int64
 }
 
 type cacheEntry struct {
@@ -68,6 +79,10 @@ func (c *Cache) Insert(obj Object) Object {
 		return e.obj
 	}
 	if prev, ok := c.byOID[id.OID]; ok && prev != id {
+		// A different version of this object is (or was) cached: plans and
+		// other derived state built against it are now stale regardless of
+		// whether the old entry can be dropped yet.
+		c.version.Add(1)
 		if e, ok := c.entries[prev]; ok && e.pins == 0 {
 			delete(c.entries, prev)
 			c.mem.Release(e.obj.SizeBytes())
@@ -103,8 +118,15 @@ func (c *Cache) Evict() int {
 			n++
 		}
 	}
+	if n > 0 {
+		c.version.Add(1)
+	}
 	return n
 }
+
+// Version returns the cache's monotonic invalidation stamp (see the field
+// comment). It is safe to read concurrently with mutations.
+func (c *Cache) Version() int64 { return c.version.Load() }
 
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {

@@ -1,0 +1,72 @@
+package md
+
+import "testing"
+
+// TestCacheVersionCounter pins the invalidation-stamp semantics the
+// parameterized plan cache keys on: purely additive inserts leave the stamp
+// alone (nothing derived earlier could reference a brand-new object), while
+// a newer object version displacing a cached one — and any eviction sweep —
+// bumps it.
+func TestCacheVersionCounter(t *testing.T) {
+	p, rel := testRel(t)
+	cache := NewCache(nil)
+	if cache.Version() != 0 {
+		t.Fatalf("fresh cache version = %d, want 0", cache.Version())
+	}
+
+	// Additive first insert: no bump.
+	acc := NewAccessor(cache, p)
+	if _, err := acc.Relation(rel.Mdid); err != nil {
+		t.Fatal(err)
+	}
+	v0 := cache.Version()
+	if v0 != 0 {
+		t.Errorf("additive insert bumped version to %d", v0)
+	}
+	acc.Close()
+
+	// A backend DDL bumps the object version; re-resolving inserts the new
+	// version, displacing the old entry — the stamp must advance.
+	if _, err := p.BumpRelationVersion("t"); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Version() != v0 {
+		t.Error("provider-side bump moved the stamp before the cache saw it")
+	}
+	acc2 := NewAccessor(cache, p)
+	if _, err := acc2.RelationByName("t"); err != nil {
+		t.Fatal(err)
+	}
+	v1 := cache.Version()
+	if v1 <= v0 {
+		t.Errorf("stale-displacing insert did not bump: %d -> %d", v0, v1)
+	}
+	acc2.Close()
+
+	// An eviction sweep that drops anything also bumps.
+	if n := cache.Evict(); n == 0 {
+		t.Fatal("nothing evicted")
+	}
+	if cache.Version() <= v1 {
+		t.Errorf("eviction sweep did not bump: %d", cache.Version())
+	}
+	v2 := cache.Version()
+
+	// A sweep of an empty cache drops nothing and must not bump.
+	if n := cache.Evict(); n != 0 {
+		t.Fatalf("evicted %d from empty cache", n)
+	}
+	if cache.Version() != v2 {
+		t.Errorf("no-op sweep bumped version to %d", cache.Version())
+	}
+
+	// MDVersion surfaces the stamp through the accessor (0 without a cache).
+	acc3 := NewAccessor(cache, p)
+	if acc3.MDVersion() != v2 {
+		t.Errorf("accessor MDVersion = %d, want %d", acc3.MDVersion(), v2)
+	}
+	acc3.Close()
+	if (&Accessor{}).MDVersion() != 0 {
+		t.Error("cacheless accessor MDVersion != 0")
+	}
+}

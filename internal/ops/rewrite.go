@@ -1,0 +1,283 @@
+package ops
+
+// Scalar-slot rewriting: the plan cache (internal/plancache) normalizes
+// expression trees modulo constants by rewriting every scalar an operator
+// carries, and rebinds cached plans by rewriting them back. The visitor here
+// is the single source of truth for which operator fields hold scalars —
+// fingerprinting and rebinding must see exactly the same slots, or a
+// constant could survive in a cached plan without participating in the key.
+//
+// Operators not listed (Get, Limit, UnionAll, Sort, motions, ...) carry no
+// ScalarExpr parameters; their constants-by-value (Limit counts, partition
+// lists) are operator identity and hash into the shape fingerprint via
+// ParamHash, which is what makes them safe to leave alone.
+
+// RewriteScalarLeaves rebuilds a scalar tree with every leaf (Const, Ident,
+// Param, Subquery) replaced by leaf's result; interior nodes are copied only
+// when a descendant changed, so an identity rewrite returns s itself.
+// Returning the argument unchanged from leaf keeps that leaf.
+func RewriteScalarLeaves(s ScalarExpr, leaf func(ScalarExpr) ScalarExpr) ScalarExpr {
+	if s == nil {
+		return nil
+	}
+	switch x := s.(type) {
+	case *Cmp:
+		l, r := RewriteScalarLeaves(x.L, leaf), RewriteScalarLeaves(x.R, leaf)
+		if l == x.L && r == x.R {
+			return x
+		}
+		return &Cmp{Op: x.Op, L: l, R: r}
+	case *BoolOp:
+		args, changed := rewriteScalarSlice(x.Args, leaf)
+		if !changed {
+			return x
+		}
+		return &BoolOp{Kind: x.Kind, Args: args}
+	case *BinOp:
+		l, r := RewriteScalarLeaves(x.L, leaf), RewriteScalarLeaves(x.R, leaf)
+		if l == x.L && r == x.R {
+			return x
+		}
+		return &BinOp{Op: x.Op, L: l, R: r}
+	case *Func:
+		args, changed := rewriteScalarSlice(x.Args, leaf)
+		if !changed {
+			return x
+		}
+		return &Func{Name: x.Name, Args: args}
+	case *Case:
+		changed := false
+		whens := make([]CaseWhen, len(x.Whens))
+		for i, w := range x.Whens {
+			whens[i].When = RewriteScalarLeaves(w.When, leaf)
+			whens[i].Then = RewriteScalarLeaves(w.Then, leaf)
+			if whens[i].When != w.When || whens[i].Then != w.Then {
+				changed = true
+			}
+		}
+		els := RewriteScalarLeaves(x.Else, leaf)
+		if !changed && els == x.Else {
+			return x
+		}
+		return &Case{Whens: whens, Else: els}
+	case *IsNull:
+		arg := RewriteScalarLeaves(x.Arg, leaf)
+		if arg == x.Arg {
+			return x
+		}
+		return &IsNull{Arg: arg, Negated: x.Negated}
+	case *InList:
+		arg := RewriteScalarLeaves(x.Arg, leaf)
+		vals, changed := rewriteScalarSlice(x.Vals, leaf)
+		if arg == x.Arg && !changed {
+			return x
+		}
+		return &InList{Arg: arg, Vals: vals, Negated: x.Negated}
+	default:
+		// Leaves: Ident, Const, Param — and Subquery, which the plan cache
+		// treats as a leaf because its identity is by pointer (the cache
+		// refuses shapes containing one rather than descending).
+		return leaf(s)
+	}
+}
+
+func rewriteScalarSlice(in []ScalarExpr, leaf func(ScalarExpr) ScalarExpr) ([]ScalarExpr, bool) {
+	out := make([]ScalarExpr, len(in))
+	changed := false
+	for i, a := range in {
+		out[i] = RewriteScalarLeaves(a, leaf)
+		if out[i] != a {
+			changed = true
+		}
+	}
+	if !changed {
+		return in, false
+	}
+	return out, true
+}
+
+// RewriteOpScalars returns op with every ScalarExpr parameter rewritten by
+// rw (which receives whole scalar slots, nil included for absent optional
+// predicates). Operators are immutable values, so an unchanged op is
+// returned as-is and a changed one is a shallow copy — callers never mutate
+// shared trees. The second result reports whether this operator kind is
+// known to the visitor: false means the operator carries out-of-line state
+// the rewrite cannot reach (SubPlanFilter/SubPlanProject bound plans), and
+// the plan cache must refuse the shape.
+func RewriteOpScalars(op Operator, rw func(ScalarExpr) ScalarExpr) (Operator, bool) {
+	switch x := op.(type) {
+	case *Select:
+		if p := rw(x.Pred); p != x.Pred {
+			c := *x
+			c.Pred = p
+			return &c, true
+		}
+	case *Join:
+		if p := rw(x.Pred); p != x.Pred {
+			c := *x
+			c.Pred = p
+			return &c, true
+		}
+	case *NAryJoin:
+		if preds, changed := rewriteSlots(x.Preds, rw); changed {
+			c := *x
+			c.Preds = preds
+			return &c, true
+		}
+	case *Project:
+		if elems, changed := rewriteProjElems(x.Elems, rw); changed {
+			c := *x
+			c.Elems = elems
+			return &c, true
+		}
+	case *GbAgg:
+		if aggs, changed := rewriteAggElems(x.Aggs, rw); changed {
+			c := *x
+			c.Aggs = aggs
+			return &c, true
+		}
+	case *Window:
+		if wins, changed := rewriteWinElems(x.Wins, rw); changed {
+			c := *x
+			c.Wins = wins
+			return &c, true
+		}
+	case *Scan:
+		if p := rw(x.Filter); p != x.Filter {
+			c := *x
+			c.Filter = p
+			return &c, true
+		}
+	case *IndexScan:
+		eq, res := rw(x.EqFilter), rw(x.Residual)
+		if eq != x.EqFilter || res != x.Residual {
+			c := *x
+			c.EqFilter, c.Residual = eq, res
+			return &c, true
+		}
+	case *Filter:
+		if p := rw(x.Pred); p != x.Pred {
+			c := *x
+			c.Pred = p
+			return &c, true
+		}
+	case *ComputeScalar:
+		if elems, changed := rewriteProjElems(x.Elems, rw); changed {
+			c := *x
+			c.Elems = elems
+			return &c, true
+		}
+	case *HashJoin:
+		if p := rw(x.Residual); p != x.Residual {
+			c := *x
+			c.Residual = p
+			return &c, true
+		}
+	case *NLJoin:
+		if p := rw(x.Pred); p != x.Pred {
+			c := *x
+			c.Pred = p
+			return &c, true
+		}
+	case *HashAgg:
+		if aggs, changed := rewriteAggElems(x.Aggs, rw); changed {
+			c := *x
+			c.Aggs = aggs
+			return &c, true
+		}
+	case *StreamAgg:
+		if aggs, changed := rewriteAggElems(x.Aggs, rw); changed {
+			c := *x
+			c.Aggs = aggs
+			return &c, true
+		}
+	case *ScalarAgg:
+		if aggs, changed := rewriteAggElems(x.Aggs, rw); changed {
+			c := *x
+			c.Aggs = aggs
+			return &c, true
+		}
+	case *PhysicalWindow:
+		if wins, changed := rewriteWinElems(x.Wins, rw); changed {
+			c := *x
+			c.Wins = wins
+			return &c, true
+		}
+	case *SubPlanFilter, *SubPlanProject:
+		// Bound subplans hold whole expression trees out of line with
+		// pointer identity; the rewrite cannot normalize them.
+		return op, false
+	}
+	return op, true
+}
+
+func rewriteSlots(in []ScalarExpr, rw func(ScalarExpr) ScalarExpr) ([]ScalarExpr, bool) {
+	out := make([]ScalarExpr, len(in))
+	changed := false
+	for i, s := range in {
+		out[i] = rw(s)
+		if out[i] != s {
+			changed = true
+		}
+	}
+	if !changed {
+		return in, false
+	}
+	return out, true
+}
+
+func rewriteProjElems(in []ProjElem, rw func(ScalarExpr) ScalarExpr) ([]ProjElem, bool) {
+	out := make([]ProjElem, len(in))
+	changed := false
+	for i, e := range in {
+		out[i] = e
+		out[i].Expr = rw(e.Expr)
+		if out[i].Expr != e.Expr {
+			changed = true
+		}
+	}
+	if !changed {
+		return in, false
+	}
+	return out, true
+}
+
+func rewriteAggElems(in []AggElem, rw func(ScalarExpr) ScalarExpr) ([]AggElem, bool) {
+	out := make([]AggElem, len(in))
+	changed := false
+	for i, e := range in {
+		out[i] = e
+		if e.Agg != nil && e.Agg.Arg != nil {
+			if arg := rw(e.Agg.Arg); arg != e.Agg.Arg {
+				agg := *e.Agg
+				agg.Arg = arg
+				out[i].Agg = &agg
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		return in, false
+	}
+	return out, true
+}
+
+func rewriteWinElems(in []WinElem, rw func(ScalarExpr) ScalarExpr) ([]WinElem, bool) {
+	out := make([]WinElem, len(in))
+	changed := false
+	for i, e := range in {
+		out[i] = e
+		if e.Fn != nil && e.Fn.Arg != nil {
+			if arg := rw(e.Fn.Arg); arg != e.Fn.Arg {
+				fn := *e.Fn
+				fn.Arg = arg
+				out[i].Fn = &fn
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		return in, false
+	}
+	return out, true
+}

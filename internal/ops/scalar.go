@@ -92,6 +92,38 @@ func (e *Const) Equal(o ScalarExpr) bool {
 // String implements ScalarExpr.
 func (e *Const) String() string { return e.Val.String() }
 
+// Param is a placeholder for a constant extracted from a query shape by the
+// parameterized plan cache (internal/plancache): the shape is fingerprinted
+// with Params where the literals were, and the cached physical plan carries
+// Params that a later hit rebinds with its own constant vector. Params exist
+// only inside plan-cache keys and cached entries — rebinding replaces every
+// Param with a Const before a plan leaves the cache, so the Memo, the DXL
+// serializer and the execution engine never see one (their legs are
+// defensive).
+type Param struct {
+	Ord int
+}
+
+// NewParam builds a parameter placeholder with the given vector ordinal.
+func NewParam(ord int) *Param { return &Param{Ord: ord} }
+
+// Cols implements ScalarExpr.
+func (e *Param) Cols() base.ColSet { return base.ColSet{} }
+
+// Hash implements ScalarExpr. The hash covers only the ordinal — two shapes
+// differing solely in constant values collide, which is the plan cache's
+// entire point.
+func (e *Param) Hash() uint64 { return hashMix(hashString(fnvOffset, "param"), uint64(e.Ord)) }
+
+// Equal implements ScalarExpr.
+func (e *Param) Equal(o ScalarExpr) bool {
+	p, ok := o.(*Param)
+	return ok && p.Ord == e.Ord
+}
+
+// String implements ScalarExpr.
+func (e *Param) String() string { return fmt.Sprintf("$%d", e.Ord) }
+
 // ---------------------------------------------------------------------------
 // Comparisons and boolean connectors
 

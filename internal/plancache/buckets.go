@@ -1,0 +1,82 @@
+package plancache
+
+import (
+	"math"
+
+	"orca/internal/base"
+)
+
+// Selectivity bucketing: two requests with the same shape may still deserve
+// different plans when a constant's magnitude swings the optimizer's
+// cardinality estimates (a predicate on id < 10 vs. id < 10_000_000 can flip
+// an index scan into a table scan). Hashing every constant's exact value into
+// the key would defeat the cache entirely, so each parameter contributes only
+// its coarse bucket: NULLs and booleans are their own buckets (they change
+// predicate semantics outright), integers and floats bucket by sign and
+// binary order of magnitude, strings by length order of magnitude. Values in
+// the same bucket produce close-enough estimates to share a plan; values in
+// different buckets get separate cache entries.
+
+// bucketOf maps one constant to its selectivity bucket.
+func bucketOf(d base.Datum) uint64 {
+	switch d.Kind {
+	case base.DNull:
+		return 0
+	case base.DBool:
+		if d.I != 0 {
+			return 1
+		}
+		return 2
+	case base.DInt:
+		return signedMagnitude(d.I)
+	case base.DFloat:
+		f := d.F
+		if math.IsNaN(f) {
+			return 3
+		}
+		if f > math.MinInt64 && f < math.MaxInt64 {
+			return signedMagnitude(int64(f))
+		}
+		if f < 0 {
+			return 4
+		}
+		return 5
+	case base.DString:
+		// Strings rarely drive range selectivity; only their length scale
+		// (empty vs. short key vs. long blob) moves estimates.
+		return 100 + uint64(bitLen(uint64(len(d.S))))
+	default:
+		return 6
+	}
+}
+
+// signedMagnitude buckets an integer by sign and bit length: 0 is its own
+// bucket, then ±[1,1], ±[2,3], ±[4,7], ... — 64 buckets per sign.
+func signedMagnitude(v int64) uint64 {
+	if v == 0 {
+		return 10
+	}
+	if v > 0 {
+		return 200 + uint64(bitLen(uint64(v)))
+	}
+	return 300 + uint64(bitLen(uint64(-(v+1))+1))
+}
+
+func bitLen(v uint64) int {
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// bucketsHash folds the per-parameter buckets, in vector order, into one key
+// component.
+func bucketsHash(vec []base.Datum) uint64 {
+	h := uint64(fnvOffset)
+	for _, d := range vec {
+		h = hashMix(h, bucketOf(d))
+	}
+	return h
+}

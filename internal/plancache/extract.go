@@ -1,0 +1,209 @@
+// Package plancache is the parameterized plan cache that lets hot, repetitive
+// traffic skip the Memo search entirely. "Query Optimization in the Wild"
+// observes that industrial optimizers survive production traffic because the
+// overwhelmingly repetitive query mix is absorbed by exactly this layer: a
+// bound logical tree is normalized modulo constants (every literal extracted
+// into an ordered parameter vector), the remaining shape is fingerprinted
+// with the Memo's structural-hash scheme, and a 64-way sharded,
+// size-accounted LRU keyed on (fingerprint, required-property ReqID,
+// metadata-version stamp, selectivity buckets) maps the shape to a
+// parameterized physical plan. A hit rebinds the request's own constants
+// into the cached plan — microseconds instead of a scheduler run; a miss is
+// coalesced through a singleflight group so a storm of one hard shape
+// optimizes once.
+//
+// What is never cached: degraded plans, budget-aborted or timed-out stages
+// (the admission decision belongs to the caller, see Cache.Admit's doc),
+// shapes containing subqueries or bound subplans (pointer identity defeats
+// structural fingerprinting), and plans whose constants cannot all be
+// value-matched back to the request's parameter vector.
+package plancache
+
+import (
+	"orca/internal/base"
+	"orca/internal/ops"
+	"orca/internal/props"
+)
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashMix(h, v uint64) uint64 { return (h ^ v) * fnvPrime }
+
+// Shape is a query normalized modulo constants: the parameterized logical
+// tree's structural fingerprint, the extracted constant vector in walk
+// order, and the selectivity-bucket hash that splits shapes whose plan
+// choice is constant-sensitive.
+type Shape struct {
+	// FP is the structural hash of the parameterized tree mixed with the
+	// query's output columns — everything that determines the bound shape
+	// except constant values and required properties.
+	FP uint64
+	// Vector is the extracted constants in deterministic walk order
+	// (pre-order over the tree, operator scalars before children).
+	Vector []base.Datum
+	// Buckets hashes each vector entry's selectivity bucket; it is part of
+	// the cache key so a parameter that flips the plan shape (a very
+	// selective vs. a very wide range, a NULL vs. a value) gets its own
+	// entry instead of reusing a plan optimized for different statistics.
+	Buckets uint64
+}
+
+// Extract normalizes a bound logical tree modulo constants. ok is false when
+// the shape is uncacheable: it contains a subquery or bound subplan, whose
+// pointer-based identity cannot be fingerprinted structurally.
+func Extract(tree *ops.Expr, order props.OrderSpec, outCols []base.ColID) (Shape, bool) {
+	var vec []base.Datum
+	cacheable := true
+	leaf := func(s ops.ScalarExpr) ops.ScalarExpr {
+		switch x := s.(type) {
+		case *ops.Const:
+			p := ops.NewParam(len(vec))
+			vec = append(vec, x.Val)
+			return p
+		case *ops.Subquery:
+			cacheable = false
+		default:
+			// Non-constant leaves (Ident, Param) pass through unchanged.
+		}
+		return s
+	}
+	shape, handled := rewriteTree(tree, leaf)
+	if !handled || !cacheable {
+		return Shape{}, false
+	}
+	fp := treeHash(shape)
+	for _, c := range outCols {
+		fp = hashMix(fp, uint64(c))
+	}
+	fp = hashMix(fp, order.Hash())
+	return Shape{FP: fp, Vector: vec, Buckets: bucketsHash(vec)}, true
+}
+
+// Parameterize rewrites an optimized physical plan into its cacheable form:
+// every constant is matched by value against the producing request's
+// parameter vector and replaced with the corresponding Param. ok is false
+// when any plan constant fails to match a vector entry — a constant the
+// optimizer synthesized from literals would silently serve the producing
+// request's value to every later hit, so such plans are refused outright.
+func Parameterize(plan *ops.Expr, vec []base.Datum) (*ops.Expr, bool) {
+	used := make([]bool, len(vec))
+	ok := true
+	leaf := func(s ops.ScalarExpr) ops.ScalarExpr {
+		switch x := s.(type) {
+		case *ops.Const:
+			if i, found := matchParam(x.Val, vec, used); found {
+				return ops.NewParam(i)
+			}
+			ok = false
+		case *ops.Subquery:
+			ok = false
+		default:
+			// Non-constant leaves pass through unchanged.
+		}
+		return s
+	}
+	out, handled := rewriteTree(plan, leaf)
+	if !handled || !ok {
+		return nil, false
+	}
+	return out, true
+}
+
+// matchParam finds the vector slot holding exactly this value (same kind,
+// equal value), preferring a slot not yet consumed so duplicated values map
+// to distinct ordinals; predicate pushdown may legitimately duplicate a
+// literal into several plan sites, so an already-used slot still matches.
+func matchParam(d base.Datum, vec []base.Datum, used []bool) (int, bool) {
+	reuse := -1
+	for i, v := range vec {
+		if v.Kind != d.Kind || !v.Equal(d) {
+			continue
+		}
+		if !used[i] {
+			used[i] = true
+			return i, true
+		}
+		if reuse < 0 {
+			reuse = i
+		}
+	}
+	if reuse >= 0 {
+		return reuse, true
+	}
+	return -1, false
+}
+
+// Rebind substitutes a request's constant vector into a parameterized plan,
+// returning a fresh tree that shares unchanged (constant-free) subtrees with
+// the cached one. ok is false if the plan references an ordinal outside the
+// vector — a corrupt entry the caller must discard.
+func Rebind(plan *ops.Expr, vec []base.Datum) (*ops.Expr, bool) {
+	ok := true
+	leaf := func(s ops.ScalarExpr) ops.ScalarExpr {
+		if p, isParam := s.(*ops.Param); isParam {
+			if p.Ord < 0 || p.Ord >= len(vec) {
+				ok = false
+				return s
+			}
+			return ops.NewConst(vec[p.Ord])
+		}
+		return s
+	}
+	out, handled := rewriteTree(plan, leaf)
+	if !handled || !ok {
+		return nil, false
+	}
+	return out, true
+}
+
+// rewriteTree applies a scalar-leaf rewrite over a whole expression tree in
+// deterministic pre-order (operator scalars first, then children), sharing
+// unchanged subtrees. handled is false when a node's operator carries scalar
+// state the rewrite cannot reach (ops.RewriteOpScalars contract).
+func rewriteTree(e *ops.Expr, leaf func(ops.ScalarExpr) ops.ScalarExpr) (*ops.Expr, bool) {
+	rw := func(s ops.ScalarExpr) ops.ScalarExpr { return ops.RewriteScalarLeaves(s, leaf) }
+	op, handled := ops.RewriteOpScalars(e.Op, rw)
+	if !handled {
+		return nil, false
+	}
+	children := e.Children
+	var copied []*ops.Expr
+	for i, c := range e.Children {
+		nc, chandled := rewriteTree(c, leaf)
+		if !chandled {
+			return nil, false
+		}
+		if nc != c && copied == nil {
+			copied = make([]*ops.Expr, len(e.Children))
+			copy(copied, e.Children[:i])
+		}
+		if copied != nil {
+			copied[i] = nc
+		}
+	}
+	if copied != nil {
+		children = copied
+	}
+	if op == e.Op && len(copied) == 0 {
+		return e, true
+	}
+	out := *e
+	out.Op = op
+	out.Children = children
+	return &out, true
+}
+
+// treeHash is the Memo's structural-hash scheme applied outside the Memo:
+// post-order over the tree, each node contributing its operator's parameter
+// hash (Params hash by ordinal, which is the whole point) mixed with its
+// children's hashes in order.
+func treeHash(e *ops.Expr) uint64 {
+	h := hashMix(fnvOffset, e.Op.ParamHash())
+	for _, c := range e.Children {
+		h = hashMix(h, treeHash(c))
+	}
+	return h
+}

@@ -1,0 +1,226 @@
+package plancache_test
+
+import (
+	"testing"
+
+	"orca/internal/base"
+	"orca/internal/core"
+	"orca/internal/gpos"
+	"orca/internal/md"
+	"orca/internal/plancache"
+	"orca/internal/sql"
+)
+
+// testCatalog is a two-table catalog with int and string columns so literal
+// extraction can be exercised across datum kinds.
+func testCatalog(t testing.TB) (*md.Accessor, *md.ColumnFactory) {
+	t.Helper()
+	p := md.NewMemProvider()
+	md.Build(p, md.TableSpec{
+		Name: "emp", Rows: 100, Policy: md.DistHash, DistCols: []int{0},
+		Cols: []md.ColSpec{
+			{Name: "id", Type: base.TInt, NDV: 100, Lo: 0, Hi: 100},
+			{Name: "dept", Type: base.TInt, NDV: 10, Lo: 0, Hi: 10},
+			{Name: "salary", Type: base.TFloat, NDV: 50, Lo: 0, Hi: 50000},
+		},
+	})
+	md.Build(p, md.TableSpec{
+		Name: "dept", Rows: 10, Policy: md.DistHash, DistCols: []int{0},
+		Cols: []md.ColSpec{
+			{Name: "id", Type: base.TInt, NDV: 10, Lo: 0, Hi: 10},
+			{Name: "name", Type: base.TString, NDV: 10, Lo: 0, Hi: 10},
+		},
+	})
+	return md.NewAccessor(md.NewCache(&gpos.MemoryAccountant{}), p), md.NewColumnFactory()
+}
+
+func bindQuery(t *testing.T, text string) *core.Query {
+	t.Helper()
+	acc, f := testCatalog(t)
+	q, err := sql.Bind(text, acc, f)
+	if err != nil {
+		t.Fatalf("Bind(%q): %v", text, err)
+	}
+	return q
+}
+
+func extract(t *testing.T, text string) plancache.Shape {
+	t.Helper()
+	q := bindQuery(t, text)
+	shape, ok := plancache.Extract(q.Tree, q.Order, q.OutCols)
+	if !ok {
+		t.Fatalf("Extract(%q): not cacheable", text)
+	}
+	return shape
+}
+
+// TestExtractShapeIdentity is the tentpole's keying property: queries that
+// differ only in constant values collide on the same fingerprint (and the
+// same selectivity buckets when the constants are of similar magnitude),
+// while structural differences separate fingerprints.
+func TestExtractShapeIdentity(t *testing.T) {
+	a := extract(t, "SELECT id FROM emp WHERE dept = 600 AND id > 520")
+	b := extract(t, "SELECT id FROM emp WHERE dept = 700 AND id > 800")
+	if a.FP != b.FP {
+		t.Errorf("same shape, different fingerprints: %x vs %x", a.FP, b.FP)
+	}
+	if a.Buckets != b.Buckets {
+		t.Errorf("same-magnitude constants, different buckets: %x vs %x", a.Buckets, b.Buckets)
+	}
+	if len(a.Vector) != 2 || len(b.Vector) != 2 {
+		t.Fatalf("vectors = %v, %v; want 2 constants each", a.Vector, b.Vector)
+	}
+	if !a.Vector[0].Equal(base.NewInt(600)) || !b.Vector[0].Equal(base.NewInt(700)) {
+		t.Errorf("vector order not deterministic: %v vs %v", a.Vector, b.Vector)
+	}
+
+	c := extract(t, "SELECT id FROM emp WHERE dept = 600 OR id > 520")
+	if c.FP == a.FP {
+		t.Error("AND vs OR shapes share a fingerprint")
+	}
+	d := extract(t, "SELECT dept FROM emp WHERE dept = 600 AND id > 520")
+	if d.FP == a.FP {
+		t.Error("different output columns share a fingerprint")
+	}
+	e := extract(t, "SELECT id FROM emp WHERE dept = 600 AND id > 520 ORDER BY id")
+	if e.FP == a.FP {
+		t.Error("ordered and unordered queries share a fingerprint")
+	}
+}
+
+// TestExtractBucketsSplit: constants whose magnitudes differ enough to swing
+// selectivity estimates must land in different buckets, so they key separate
+// cache entries.
+func TestExtractBucketsSplit(t *testing.T) {
+	small := extract(t, "SELECT id FROM emp WHERE id < 5")
+	huge := extract(t, "SELECT id FROM emp WHERE id < 5000000")
+	if small.FP != huge.FP {
+		t.Fatalf("same shape, different fingerprints")
+	}
+	if small.Buckets == huge.Buckets {
+		t.Error("5 and 5000000 share a selectivity bucket")
+	}
+	neg := extract(t, "SELECT id FROM emp WHERE id < -5")
+	if neg.Buckets == small.Buckets {
+		t.Error("-5 and 5 share a selectivity bucket")
+	}
+}
+
+// TestLiteralRoundTrip is the literal-handling satellite: every literal kind
+// — negative numbers above all, and strings with embedded quotes — must
+// survive bind → parameter vector → rebind → re-extract with its exact value
+// and kind, and its rendered form must re-parse to the same datum.
+func TestLiteralRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		sql  string
+		want base.Datum
+	}{
+		{"positive int", "SELECT id FROM emp WHERE id = 42", base.NewInt(42)},
+		{"negative int", "SELECT id FROM emp WHERE id = -3", base.NewInt(-3)},
+		{"zero", "SELECT id FROM emp WHERE id = 0", base.NewInt(0)},
+		{"positive float", "SELECT id FROM emp WHERE salary = 2.5", base.NewFloat(2.5)},
+		{"negative float", "SELECT id FROM emp WHERE salary = -2.5", base.NewFloat(-2.5)},
+		{"plain string", "SELECT name FROM dept WHERE name = 'eng'", base.NewString("eng")},
+		{"empty string", "SELECT name FROM dept WHERE name = ''", base.NewString("")},
+		{"embedded quote", "SELECT name FROM dept WHERE name = 'O''Brien'", base.NewString("O'Brien")},
+		{"only quotes", "SELECT name FROM dept WHERE name = ''''", base.NewString("'")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := bindQuery(t, tc.sql)
+			shape, ok := plancache.Extract(q.Tree, q.Order, q.OutCols)
+			if !ok {
+				t.Fatal("not cacheable")
+			}
+			if len(shape.Vector) != 1 {
+				t.Fatalf("vector = %v, want exactly the literal", shape.Vector)
+			}
+			got := shape.Vector[0]
+			if got.Kind != tc.want.Kind || !got.Equal(tc.want) {
+				t.Fatalf("extracted %v (kind %d), want %v (kind %d)",
+					got, got.Kind, tc.want, tc.want.Kind)
+			}
+
+			// Parameterize the tree against its own vector and rebind: the
+			// result must re-extract to the identical shape and values.
+			ptree, ok := plancache.Parameterize(q.Tree, shape.Vector)
+			if !ok {
+				t.Fatal("Parameterize refused the tree's own constants")
+			}
+			rebound, ok := plancache.Rebind(ptree, shape.Vector)
+			if !ok {
+				t.Fatal("Rebind failed")
+			}
+			again, ok := plancache.Extract(rebound, q.Order, q.OutCols)
+			if !ok {
+				t.Fatal("re-Extract failed")
+			}
+			if again.FP != shape.FP {
+				t.Errorf("fingerprint changed across round trip: %x vs %x", again.FP, shape.FP)
+			}
+			if got2 := again.Vector[0]; got2.Kind != tc.want.Kind || !got2.Equal(tc.want) {
+				t.Errorf("round-tripped literal %v, want %v", got2, tc.want)
+			}
+
+			// The rendered literal must re-parse to the same datum — this is
+			// what breaks if string escaping or sign folding regresses.
+			rendered := "SELECT id FROM emp WHERE id = " + tc.want.String()
+			if tc.want.Kind == base.DString {
+				rendered = "SELECT name FROM dept WHERE name = " + tc.want.String()
+			}
+			q2 := bindQuery(t, rendered)
+			shape2, ok := plancache.Extract(q2.Tree, q2.Order, q2.OutCols)
+			if !ok || len(shape2.Vector) != 1 {
+				t.Fatalf("rendered literal %q did not extract cleanly", rendered)
+			}
+			if got2 := shape2.Vector[0]; got2.Kind != tc.want.Kind || !got2.Equal(tc.want) {
+				t.Errorf("rendered %q re-bound to %v, want %v", tc.want.String(), got2, tc.want)
+			}
+		})
+	}
+}
+
+// TestRebindDifferentConstants: a plan parameterized from one request must
+// rebind cleanly under another request's constants — the cache-hit path.
+func TestRebindDifferentConstants(t *testing.T) {
+	q := bindQuery(t, "SELECT id FROM emp WHERE dept = 600 AND id > 520")
+	shape, ok := plancache.Extract(q.Tree, q.Order, q.OutCols)
+	if !ok {
+		t.Fatal("not cacheable")
+	}
+	ptree, ok := plancache.Parameterize(q.Tree, shape.Vector)
+	if !ok {
+		t.Fatal("Parameterize failed")
+	}
+	q2 := bindQuery(t, "SELECT id FROM emp WHERE dept = 700 AND id > 800")
+	shape2, ok := plancache.Extract(q2.Tree, q2.Order, q2.OutCols)
+	if !ok {
+		t.Fatal("not cacheable")
+	}
+	rebound, ok := plancache.Rebind(ptree, shape2.Vector)
+	if !ok {
+		t.Fatal("Rebind with second request's vector failed")
+	}
+	again, ok := plancache.Extract(rebound, q2.Order, q2.OutCols)
+	if !ok {
+		t.Fatal("re-Extract failed")
+	}
+	if !again.Vector[0].Equal(base.NewInt(700)) || !again.Vector[1].Equal(base.NewInt(800)) {
+		t.Errorf("rebound constants = %v, want [700 800]", again.Vector)
+	}
+
+	// An out-of-range ordinal (corrupt entry) must be refused, not served.
+	if _, ok := plancache.Rebind(ptree, shape2.Vector[:1]); ok {
+		t.Error("Rebind accepted a truncated vector")
+	}
+}
+
+// TestExtractUncacheable: shapes whose identity is pointer-based (subqueries)
+// must be refused outright rather than fingerprinted unstably.
+func TestExtractUncacheable(t *testing.T) {
+	q := bindQuery(t, "SELECT id FROM emp WHERE dept IN (SELECT id FROM dept)")
+	if _, ok := plancache.Extract(q.Tree, q.Order, q.OutCols); ok {
+		t.Error("subquery shape reported cacheable")
+	}
+}

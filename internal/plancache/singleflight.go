@@ -1,0 +1,92 @@
+package plancache
+
+import (
+	"context"
+	"sync"
+
+	"orca/internal/gpos"
+)
+
+// CodeLeaderFailed is the gpos.Exception code every singleflight waiter
+// receives when the flight's leader died — by error or by panic — before
+// publishing an entry. Waiters must not trust a dead leader's outcome: the
+// failure is surfaced as this typed error, nothing is cached, and the next
+// request for the shape re-optimizes from scratch.
+const CodeLeaderFailed = "PlanCacheLeaderFailed"
+
+// FlightGroup coalesces concurrent cache misses on the same key: the first
+// requester (the leader) runs the real optimization while later identical
+// requests wait for its published entry instead of stampeding the scheduler
+// with duplicate work. A flight's lifetime is one miss — the leader always
+// deletes the flight on exit, so a failed flight leaves no residue and the
+// next miss starts fresh.
+type FlightGroup struct {
+	mu      sync.Mutex
+	flights map[Key]*flight
+}
+
+type flight struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// NewFlightGroup returns an empty group.
+func NewFlightGroup() *FlightGroup {
+	return &FlightGroup{flights: make(map[Key]*flight)}
+}
+
+// Do runs fn once per key per flight. The leader (leader=true) runs fn and
+// its result is handed to every waiter that joined mid-flight. Waiters block
+// until the leader publishes or their own ctx expires. Outcomes for waiters:
+//
+//   - entry != nil: the leader optimized and admitted a plan; use it.
+//   - entry == nil, err == nil: the leader succeeded but the plan was not
+//     cacheable (e.g. unparameterizable) — fall back to own optimization.
+//   - err != nil: the leader failed; a CompOptimizer/CodeLeaderFailed
+//     exception if it died without publishing (panic unwinding through the
+//     containment boundary), otherwise the leader's own error.
+//
+// The leader publishes via defer, so even a panicking fn releases its
+// waiters before the panic propagates; the panic itself is NOT swallowed —
+// per-request containment is the caller's recover boundary.
+func (g *FlightGroup) Do(ctx context.Context, k Key, fn func() (*Entry, error)) (entry *Entry, err error, leader bool) {
+	g.mu.Lock()
+	if f, ok := g.flights[k]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.entry, f.err, false
+		case <-ctx.Done():
+			return nil, ctx.Err(), false
+		}
+	}
+	f := &flight{
+		done: make(chan struct{}),
+		err: gpos.Raise(gpos.CompOptimizer, CodeLeaderFailed,
+			"plan-cache flight leader died before publishing"),
+	}
+	g.flights[k] = f
+	g.mu.Unlock()
+
+	published := false
+	defer func() {
+		if !published {
+			// fn panicked: f.err keeps the preset LeaderFailed exception.
+			g.finish(k, f)
+		}
+	}()
+	entry, err = fn()
+	f.entry, f.err = entry, err
+	published = true
+	g.finish(k, f)
+	return entry, err, true
+}
+
+// finish publishes the flight's outcome and retires it.
+func (g *FlightGroup) finish(k Key, f *flight) {
+	g.mu.Lock()
+	delete(g.flights, k)
+	g.mu.Unlock()
+	close(f.done)
+}

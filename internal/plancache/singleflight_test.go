@@ -1,0 +1,169 @@
+package plancache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"orca/internal/gpos"
+)
+
+// TestFlightCoalesce is the singleflight satellite's core claim: N
+// concurrent identical misses run the expensive function exactly once, with
+// one leader and N-1 waiters all receiving the leader's entry. Run under
+// -race by check.sh.
+func TestFlightCoalesce(t *testing.T) {
+	g := NewFlightGroup()
+	k := Key{FP: 1}
+	const n = 16
+
+	var started sync.WaitGroup // every goroutine is about to call Do
+	started.Add(n)
+	var runs, leaders atomic.Int64
+	want := testEntry(0)
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started.Done()
+			e, err, leader := g.Do(context.Background(), k, func() (*Entry, error) {
+				// Hold the flight open until every goroutine has reached Do,
+				// then a beat longer, so all N coalesce into this one run.
+				started.Wait()
+				time.Sleep(20 * time.Millisecond)
+				runs.Add(1)
+				return want, nil
+			})
+			if leader {
+				leaders.Add(1)
+			}
+			if err != nil || e != want {
+				t.Errorf("Do = (%v, %v), want the leader's entry", e, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Errorf("fn ran %d times, want exactly 1", got)
+	}
+	if got := leaders.Load(); got != 1 {
+		t.Errorf("%d leaders, want exactly 1", got)
+	}
+	// The flight is retired: a later miss starts a fresh run.
+	_, _, leader := g.Do(context.Background(), k, func() (*Entry, error) {
+		runs.Add(1)
+		return want, nil
+	})
+	if !leader || runs.Load() != 2 {
+		t.Error("flight not retired after completion")
+	}
+}
+
+// TestFlightLeaderError: a failing leader poisons nothing — waiters see the
+// leader's error, and the next request re-runs from scratch.
+func TestFlightLeaderError(t *testing.T) {
+	g := NewFlightGroup()
+	k := Key{FP: 2}
+	boom := errors.New("optimize failed")
+
+	var started sync.WaitGroup
+	started.Add(8)
+	var runs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started.Done()
+			e, err, _ := g.Do(context.Background(), k, func() (*Entry, error) {
+				started.Wait()
+				time.Sleep(20 * time.Millisecond)
+				runs.Add(1)
+				return nil, boom
+			})
+			if e != nil || !errors.Is(err, boom) {
+				t.Errorf("Do = (%v, %v), want (nil, %v)", e, err, boom)
+			}
+		}()
+	}
+	wg.Wait()
+	if runs.Load() != 1 {
+		t.Errorf("fn ran %d times, want 1", runs.Load())
+	}
+	// The failure was not cached as a flight: the next call runs again.
+	_, err, leader := g.Do(context.Background(), k, func() (*Entry, error) {
+		runs.Add(1)
+		return testEntry(0), nil
+	})
+	if !leader || err != nil || runs.Load() != 2 {
+		t.Errorf("post-failure call: leader=%v err=%v runs=%d", leader, err, runs.Load())
+	}
+}
+
+// TestFlightLeaderPanic: a panicking leader still releases its waiters, who
+// receive the typed CodeLeaderFailed exception; the panic itself propagates
+// to the leader's own containment boundary.
+func TestFlightLeaderPanic(t *testing.T) {
+	g := NewFlightGroup()
+	k := Key{FP: 3}
+
+	entered := make(chan struct{})
+	waited := make(chan error, 1)
+	go func() {
+		<-entered
+		_, err, _ := g.Do(context.Background(), k, func() (*Entry, error) {
+			t.Error("waiter became a second leader")
+			return nil, nil
+		})
+		waited <- err
+	}()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader's panic was swallowed")
+			}
+		}()
+		g.Do(context.Background(), k, func() (*Entry, error) {
+			close(entered)
+			time.Sleep(20 * time.Millisecond)
+			panic("mid-flight death")
+		})
+	}()
+
+	select {
+	case err := <-waited:
+		ex := gpos.AsException(err)
+		if ex == nil || ex.Code != CodeLeaderFailed {
+			t.Errorf("waiter error = %v, want %s exception", err, CodeLeaderFailed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never released after leader panic")
+	}
+}
+
+// TestFlightWaiterDeadline: a waiter's own context bounds its wait.
+func TestFlightWaiterDeadline(t *testing.T) {
+	g := NewFlightGroup()
+	k := Key{FP: 4}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go g.Do(context.Background(), k, func() (*Entry, error) {
+		close(entered)
+		<-release
+		return nil, nil
+	})
+	<-entered
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err, leader := g.Do(ctx, k, func() (*Entry, error) { return nil, nil })
+	if leader || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("waiter under expired ctx: leader=%v err=%v", leader, err)
+	}
+	close(release)
+}

@@ -1,0 +1,63 @@
+package plancache
+
+import (
+	"reflect"
+	"unsafe"
+
+	"orca/internal/base"
+	"orca/internal/ops"
+)
+
+// Real size accounting for cache entries, in the Memo's style (see
+// memo/sizes.go): struct sizes via unsafe.Sizeof plus documented container
+// overheads, not guessed magic numbers. The cache's byte budget is only as
+// honest as these estimates — a cached plan is a whole operator tree, so the
+// tree is walked and each node charged for its Expr shell, its child slots,
+// and its concrete operator struct (reflected: operators are interface
+// values whose dynamic types vary per node).
+const (
+	// mapEntryOverheadBytes approximates one map entry's share of bucket
+	// memory beyond key+value.
+	mapEntryOverheadBytes = 16
+	// sliceSlotBytes is one pointer-sized slot in a container slice.
+	sliceSlotBytes = int64(unsafe.Sizeof(uintptr(0)))
+	// scalarNodeOverheadBytes is the flat per-node charge standing in for the
+	// scalar expressions hanging off an operator (predicates, projection
+	// elements); scalar trees are not walked, matching the Memo's treatment
+	// of operators as opaque payloads.
+	scalarNodeOverheadBytes = 64
+	// listElemOverheadBytes is one container/list.Element (4 pointers + the
+	// interface value it holds).
+	listElemOverheadBytes = 6 * sliceSlotBytes
+)
+
+// entrySizeBytes is the accounted size of one cache entry: the Entry struct,
+// its plan tree, its output-column bookkeeping, and its share of the shard's
+// map and LRU list.
+func entrySizeBytes(e *Entry) int64 {
+	sz := int64(unsafe.Sizeof(Entry{})) + int64(unsafe.Sizeof(Key{})) +
+		mapEntryOverheadBytes + listElemOverheadBytes
+	sz += planSizeBytes(e.Plan)
+	sz += int64(len(e.OutCols)) * int64(unsafe.Sizeof(base.ColID(0)))
+	for _, n := range e.OutNames {
+		sz += sliceSlotBytes + int64(len(n))
+	}
+	return sz
+}
+
+// planSizeBytes walks an operator tree charging each node.
+func planSizeBytes(e *ops.Expr) int64 {
+	if e == nil {
+		return 0
+	}
+	sz := int64(unsafe.Sizeof(ops.Expr{})) + scalarNodeOverheadBytes
+	if e.Op != nil {
+		if t := reflect.TypeOf(e.Op); t.Kind() == reflect.Pointer {
+			sz += int64(t.Elem().Size())
+		}
+	}
+	for _, c := range e.Children {
+		sz += sliceSlotBytes + planSizeBytes(c)
+	}
+	return sz
+}

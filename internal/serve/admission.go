@@ -100,6 +100,16 @@ func (a *admission) retryAfter() time.Duration {
 // returns the release function the caller must run exactly once when the
 // request finishes. On failure it returns a *ShedError naming why.
 func (a *admission) admit(ctx context.Context) (release func(), err error) {
+	// The admission controller contains its own failures: a panic here —
+	// fault-injected or real — sheds the request with a taxonomy answer
+	// instead of killing the connection. No slot is held at any panic site
+	// in this function, so there is nothing to release.
+	defer func() {
+		if rec := recover(); rec != nil {
+			a.vars.Shed.Add(1)
+			release, err = nil, &ShedError{Reason: ShedInjected, RetryAfter: a.retryAfter()}
+		}
+	}()
 	if ierr := fault.Inject(fault.PointServeAdmit); ierr != nil {
 		a.vars.Shed.Add(1)
 		return nil, &ShedError{Reason: ShedInjected, RetryAfter: a.retryAfter()}

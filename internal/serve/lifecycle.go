@@ -149,6 +149,18 @@ func (s *Server) runOptimize(w http.ResponseWriter, r *http.Request, timeout tim
 	}
 	defer release()
 
+	// Last-resort boundary for the serve glue outside optimizeContained
+	// (fault injection before bind, plan serialization after): an admitted
+	// request is always answered, never a dead connection.
+	defer func() {
+		if rec := recover(); rec != nil {
+			ex := gpos.PanicException(gpos.CompServe, rec)
+			s.vars.Panicked.Add(1)
+			s.vars.Failed.Add(1)
+			writeAPIError(w, panicError(ex))
+		}
+	}()
+
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
@@ -175,7 +187,7 @@ func (s *Server) runOptimize(w http.ResponseWriter, r *http.Request, timeout tim
 	acc.SetLookupTimeout(cfg.MDLookupTimeout)
 	acc.SetRetryPolicy(cfg.MDRetry)
 
-	q, res, bindPhase, err := s.optimizeContained(ctx, cfg, acc, f, bind)
+	q, res, cacheState, bindPhase, err := s.optimizeContained(ctx, cfg, acc, f, bind)
 	s.vars.Retried.Add(acc.LookupRetries())
 	if err != nil {
 		s.vars.Failed.Add(1)
@@ -187,6 +199,9 @@ func (s *Server) runOptimize(w http.ResponseWriter, r *http.Request, timeout tim
 		return
 	}
 
+	if cacheState != "" {
+		w.Header().Set("X-Orca-Cache", cacheState)
+	}
 	if res.Degraded {
 		s.vars.Degraded.Add(1)
 		w.Header().Set("X-Orca-Degraded", res.DegradedRung)
@@ -223,7 +238,9 @@ func (s *Server) runOptimize(w http.ResponseWriter, r *http.Request, timeout tim
 // glue, so nothing a single request does can take the process down.
 // bindPhase reports whether a returned error came from binding (a client
 // error) rather than optimization.
-func (s *Server) optimizeContained(ctx context.Context, cfg core.Config, acc *md.Accessor, f *md.ColumnFactory, bind bindFn) (q *core.Query, res *core.Result, bindPhase bool, err error) {
+// cacheState is "hit"/"miss" when the plan cache is enabled (the value of
+// the X-Orca-Cache response header), empty otherwise.
+func (s *Server) optimizeContained(ctx context.Context, cfg core.Config, acc *md.Accessor, f *md.ColumnFactory, bind bindFn) (q *core.Query, res *core.Result, cacheState string, bindPhase bool, err error) {
 	bindPhase = true
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -237,16 +254,16 @@ func (s *Server) optimizeContained(ctx context.Context, cfg core.Config, acc *md
 	}()
 	q, err = bind(acc, f)
 	if err != nil {
-		return q, nil, true, err
+		return q, nil, "", true, err
 	}
 	bindPhase = false
 	// serve/handler/panic sits after bind so a panic action exercises the
 	// containment boundary with a query in hand for the AMPERe dump.
 	if ferr := fault.Inject(fault.PointServeHandlerPanic); ferr != nil {
-		return q, nil, false, ferr
+		return q, nil, "", false, ferr
 	}
-	res, err = core.OptimizeContext(ctx, q, cfg)
-	return q, res, false, err
+	res, cacheState, err = s.cachedOptimize(ctx, cfg, acc, q)
+	return q, res, cacheState, false, err
 }
 
 // dumpCapturer builds the core.Config.DumpCapture hook writing AMPERe repro

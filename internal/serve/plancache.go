@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+
+	"orca/internal/core"
+	"orca/internal/md"
+	"orca/internal/plancache"
+	"orca/internal/props"
+)
+
+// Cache-state values reported in the X-Orca-Cache response header.
+const (
+	cacheHit  = "hit"
+	cacheMiss = "miss"
+)
+
+// cachedOptimize wraps core.OptimizeContext with the parameterized plan
+// cache (paper's "Query Optimization in the Wild" lineage: hot, repetitive
+// traffic must not pay for search). The flow per request:
+//
+//	extract shape → probe cache → hit: rebind constants, skip the scheduler
+//	                            → miss: singleflight the optimization, then
+//	                              admit the parameterized plan
+//
+// state is "hit"/"miss" for the X-Orca-Cache header, or "" when the cache is
+// disabled. A hit synthesizes a Result directly from the entry: Groups,
+// GroupExprs, RulesFired and Duration stay zero, which is the honest
+// accounting — no search happened.
+func (s *Server) cachedOptimize(ctx context.Context, cfg core.Config, acc *md.Accessor, q *core.Query) (*core.Result, string, error) {
+	if !s.plans.Enabled() {
+		res, err := core.OptimizeContext(ctx, q, cfg)
+		return res, "", err
+	}
+	shape, cacheable := plancache.Extract(q.Tree, q.Order, q.OutCols)
+	if !cacheable {
+		// Subqueries and other pointer-identity shapes cannot be
+		// fingerprinted; they always pay for search.
+		res, err := core.OptimizeContext(ctx, q, cfg)
+		return res, cacheMiss, err
+	}
+	// The key stamps the metadata version observed after bind: a later bump
+	// (DDL, stats refresh) changes the stamp and orphans this entry.
+	key := plancache.Key{
+		FP:        shape.FP,
+		Req:       s.plans.InternReq(props.Required{Dist: props.SingletonDist, Order: q.Order}),
+		Buckets:   shape.Buckets,
+		MDVersion: acc.MDVersion(),
+	}
+	if e, ok := s.plans.Lookup(key, shape.Vector); ok {
+		if res, ok := resultFromEntry(e, shape); ok {
+			return res, cacheHit, nil
+		}
+	}
+	// Miss: coalesce concurrent identical shapes so a storm of one hard
+	// query optimizes once. The leader runs the real optimization and admits
+	// the plan; waiters reuse its entry without touching the scheduler.
+	var leaderRes *core.Result
+	entry, err, leader := s.flight.Do(ctx, key, func() (*plancache.Entry, error) {
+		r, oerr := core.OptimizeContext(ctx, q, cfg)
+		if oerr != nil {
+			return nil, oerr
+		}
+		leaderRes = r
+		return s.admitPlan(key, shape, q, r, acc), nil
+	})
+	if leader {
+		return leaderRes, cacheMiss, err
+	}
+	if err == nil && entry != nil {
+		if res, ok := resultFromEntry(entry, shape); ok {
+			// Served from the leader's flight: no search ran for this
+			// request either, so the header says hit (the cache's own
+			// hit/miss counters recorded the probe miss above).
+			return res, cacheHit, nil
+		}
+	}
+	// The leader failed (typed CodeLeaderFailed error or its own) or its
+	// plan was uncacheable: fall back to an independent optimization rather
+	// than failing this request for the leader's sins.
+	res, err := core.OptimizeContext(ctx, q, cfg)
+	return res, cacheMiss, err
+}
+
+// resultFromEntry rebinds the request's constants into a cached plan and
+// synthesizes the optimization result a scheduler run would have produced.
+func resultFromEntry(e *plancache.Entry, shape plancache.Shape) (*core.Result, bool) {
+	plan, ok := plancache.Rebind(e.Plan, shape.Vector)
+	if !ok {
+		return nil, false
+	}
+	return &core.Result{Plan: plan, Cost: e.Cost, Stage: e.Stage}, true
+}
+
+// admitPlan parameterizes an optimization result and admits it, enforcing
+// the never-cache rules documented in DESIGN.md §16: no degraded plans, no
+// budget-aborted or timed-out stages (their plans reflect a truncated
+// search, not the shape), and nothing when the metadata version moved while
+// the optimization ran (the plan may embed metadata newer or older than its
+// stamp). Returns the admitted entry, or nil when the plan must not be
+// cached — waiters then fall back to their own optimization.
+func (s *Server) admitPlan(key plancache.Key, shape plancache.Shape, q *core.Query, r *core.Result, acc *md.Accessor) *plancache.Entry {
+	if !admissible(r) || acc.MDVersion() != key.MDVersion {
+		return nil
+	}
+	plan, ok := plancache.Parameterize(r.Plan, shape.Vector)
+	if !ok {
+		return nil
+	}
+	e := &plancache.Entry{
+		Plan:     plan,
+		Cost:     r.Cost,
+		Stage:    r.Stage,
+		OutCols:  q.OutCols,
+		OutNames: q.OutNames,
+		NParams:  len(shape.Vector),
+	}
+	if !s.plans.Admit(key, e) {
+		return nil
+	}
+	return e
+}
+
+// admissible reports whether a result represents a full, healthy
+// optimization — the only kind worth serving to future requests.
+func admissible(r *core.Result) bool {
+	if r == nil || r.Plan == nil || r.Degraded || r.Failure != nil {
+		return false
+	}
+	for _, sr := range r.StageRuns {
+		if sr.TimedOut || sr.Aborted {
+			return false
+		}
+	}
+	return true
+}

@@ -35,6 +35,7 @@ import (
 	"orca/internal/core"
 	"orca/internal/gpos"
 	"orca/internal/md"
+	"orca/internal/plancache"
 )
 
 // Config assembles a Server.
@@ -57,6 +58,13 @@ type Config struct {
 	// requests.
 	DumpDir string
 
+	// PlanCacheBytes bounds the parameterized plan cache's memory; 0 picks
+	// DefaultPlanCacheBytes. See internal/plancache.
+	PlanCacheBytes int64
+	// PlanCacheOff disables the plan cache: every request pays for a full
+	// optimization and no X-Orca-Cache header is emitted.
+	PlanCacheOff bool
+
 	// Provider is the metadata backend shared by all requests.
 	Provider md.Provider
 	// Cache is the shared metadata cache; New creates one when nil.
@@ -70,6 +78,21 @@ func (c Config) requestTimeout() time.Duration {
 	return c.RequestTimeout
 }
 
+// DefaultPlanCacheBytes is the plan cache's byte budget when the host does
+// not set one: big enough for thousands of parameterized plans, small next
+// to the Memo budgets of the optimizations it avoids.
+const DefaultPlanCacheBytes = 64 << 20
+
+func (c Config) planCacheBytes() int64 {
+	if c.PlanCacheOff {
+		return 0
+	}
+	if c.PlanCacheBytes <= 0 {
+		return DefaultPlanCacheBytes
+	}
+	return c.PlanCacheBytes
+}
+
 func (c Config) minBudgetFrac() float64 {
 	if c.MinBudgetFrac <= 0 || c.MinBudgetFrac > 1 {
 		return 0.25
@@ -81,11 +104,13 @@ func (c Config) minBudgetFrac() float64 {
 // Serve/ListenAndServe (or Handler for in-process tests), stop with
 // Shutdown.
 type Server struct {
-	cfg   Config
-	cache *md.Cache
-	vars  *Counters
-	adm   *admission
-	mux   *http.ServeMux
+	cfg    Config
+	cache  *md.Cache
+	plans  *plancache.Cache
+	flight *plancache.FlightGroup
+	vars   *Counters
+	adm    *admission
+	mux    *http.ServeMux
 
 	draining  chan struct{}
 	drainOnce sync.Once
@@ -117,6 +142,8 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		cache:    cache,
+		plans:    plancache.New(cfg.planCacheBytes()),
+		flight:   plancache.NewFlightGroup(),
 		vars:     &Counters{},
 		draining: make(chan struct{}),
 		mux:      http.NewServeMux(),
@@ -135,6 +162,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Vars exposes the server's counters for tests and the benchmark harness.
 func (s *Server) Vars() *Counters { return s.vars }
+
+// PlanCache exposes the parameterized plan cache for tests and tooling.
+func (s *Server) PlanCache() *plancache.Cache { return s.plans }
 
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool {
@@ -233,9 +263,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
-// handleVarz exposes the counters as flat JSON.
+// handleVarz exposes the counters as flat JSON, plan-cache counters merged
+// in under the plan_cache_ prefix.
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.vars.Snapshot())
+	vars := s.vars.Snapshot()
+	st := s.plans.Stats()
+	vars["plan_cache_hits"] = st.Hits
+	vars["plan_cache_misses"] = st.Misses
+	vars["plan_cache_evictions"] = st.Evictions
+	vars["plan_cache_bytes"] = st.Bytes
+	vars["plan_cache_entries"] = st.Entries
+	writeJSON(w, http.StatusOK, vars)
 }
 
 // writeJSON writes v as a JSON response body.

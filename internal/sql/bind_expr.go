@@ -75,6 +75,17 @@ func (b *binder) bindExpr(e Expr, sc *scope, replaced map[*FuncCall]*md.ColRef) 
 			}
 			return ops.Not(arg), nil
 		case "-":
+			// A negated numeric literal is a negative constant, not (0 - x):
+			// the plan cache's parameter extraction must see -5 as one
+			// literal so it round-trips bind → vector → rebind identically.
+			if c, ok := arg.(*ops.Const); ok {
+				switch c.Val.Kind {
+				case base.DInt:
+					return ops.NewConst(base.NewInt(-c.Val.I)), nil
+				case base.DFloat:
+					return ops.NewConst(base.NewFloat(-c.Val.F)), nil
+				}
+			}
 			return &ops.BinOp{Op: "-", L: ops.NewConst(base.NewInt(0)), R: arg}, nil
 		default:
 			return nil, fmt.Errorf("sql: unknown unary operator %q", x.Op)
