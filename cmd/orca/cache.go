@@ -24,9 +24,15 @@ func cachedOptimize(plans *plancache.Cache, acc *md.Accessor, q *core.Query, cfg
 		res, err := optimize(q, cfg)
 		return res, "miss", err
 	}
+	req, ok := plans.InternReq(props.Required{Dist: props.SingletonDist, Order: q.Order})
+	if !ok {
+		// ReqID intern table full: the shape cannot be keyed, optimize uncached.
+		res, err := optimize(q, cfg)
+		return res, "miss", err
+	}
 	key := plancache.Key{
 		FP:        shape.FP,
-		Req:       plans.InternReq(props.Required{Dist: props.SingletonDist, Order: q.Order}),
+		Req:       req,
 		Buckets:   shape.Buckets,
 		MDVersion: acc.MDVersion(),
 	}
@@ -39,15 +45,15 @@ func cachedOptimize(plans *plancache.Cache, acc *md.Accessor, q *core.Query, cfg
 	if err != nil {
 		return nil, "miss", err
 	}
-	if admissible(res) && acc.MDVersion() == key.MDVersion {
+	// Monotonic stamp: now == at-open proves no bump landed anywhere in the
+	// bind→optimize window (the key's stamp, read in between, matches too).
+	if admissible(res) && acc.MDVersion() == acc.MDVersionAtOpen() && acc.MDVersion() == key.MDVersion {
 		if plan, ok := plancache.Parameterize(res.Plan, shape.Vector); ok {
 			plans.Admit(key, &plancache.Entry{
-				Plan:     plan,
-				Cost:     res.Cost,
-				Stage:    res.Stage,
-				OutCols:  q.OutCols,
-				OutNames: q.OutNames,
-				NParams:  len(shape.Vector),
+				Plan:    plan,
+				Cost:    res.Cost,
+				Stage:   res.Stage,
+				NParams: len(shape.Vector),
 			})
 		}
 	}

@@ -38,6 +38,11 @@ type Accessor struct {
 	retry    RetryPolicy
 	ctx      context.Context
 
+	// openVersion is the cache's invalidation stamp at accessor creation —
+	// i.e. before the session's bind phase reads any metadata. See
+	// MDVersionAtOpen.
+	openVersion int64
+
 	retries atomic.Int64
 
 	mu      sync.Mutex
@@ -50,12 +55,16 @@ type Accessor struct {
 // hosts that carry a request context bind it with BindContext so provider
 // lookups inherit the request's cancellation.
 func NewAccessor(cache *Cache, provider Provider) *Accessor {
-	return &Accessor{
+	a := &Accessor{
 		cache:    cache,
 		provider: provider,
 		ctx:      context.Background(),
 		pinned:   make(map[MDId]int),
 	}
+	if cache != nil {
+		a.openVersion = cache.Version()
+	}
+	return a
 }
 
 // BindContext attaches the session's base context: every provider lookup
@@ -96,6 +105,15 @@ func (a *Accessor) MDVersion() int64 {
 	}
 	return a.cache.Version()
 }
+
+// MDVersionAtOpen returns the invalidation stamp snapshotted when the
+// accessor was created — before any of the session's metadata reads,
+// including the bind phase's. A derived artifact is only coherent if no bump
+// landed anywhere in its production window; since the stamp is monotonic,
+// MDVersion() == MDVersionAtOpen() at admission time proves exactly that.
+// Checking only the post-bind stamp is not enough: a bump landing mid-bind
+// would leave a tree bound against old metadata carrying a fresh stamp.
+func (a *Accessor) MDVersionAtOpen() int64 { return a.openVersion }
 
 // Get returns the metadata object with the given id, fetching it through the
 // provider on a cache miss and pinning it for the session.

@@ -70,3 +70,52 @@ func TestCacheVersionCounter(t *testing.T) {
 		t.Error("cacheless accessor MDVersion != 0")
 	}
 }
+
+// TestAccessorVersionSnapshot: MDVersionAtOpen freezes the stamp at accessor
+// creation while MDVersion tracks the live counter. The gap between them is
+// how the plan cache detects a bump landing anywhere in a session's
+// bind→optimize window — including mid-bind, where the post-bind stamp alone
+// looks perfectly fresh.
+func TestAccessorVersionSnapshot(t *testing.T) {
+	p, rel := testRel(t)
+	cache := NewCache(nil)
+
+	acc := NewAccessor(cache, p)
+	if acc.MDVersionAtOpen() != acc.MDVersion() {
+		t.Fatalf("fresh accessor: snapshot %d != live %d", acc.MDVersionAtOpen(), acc.MDVersion())
+	}
+	// The session's "bind": resolve and pin the relation.
+	if _, err := acc.Relation(rel.Mdid); err != nil {
+		t.Fatal(err)
+	}
+
+	// A bump lands mid-session: a DDL in the backend plus another session
+	// resolving the new version, displacing the cached one.
+	if _, err := p.BumpRelationVersion("t"); err != nil {
+		t.Fatal(err)
+	}
+	acc2 := NewAccessor(cache, p)
+	if _, err := acc2.RelationByName("t"); err != nil {
+		t.Fatal(err)
+	}
+	if acc.MDVersionAtOpen() == acc.MDVersion() {
+		t.Error("mid-session bump invisible: snapshot still equals live stamp")
+	}
+	// acc2 itself opened before its own resolution triggered the bump, so it
+	// too must report a straddled session — exactly the mid-bind case.
+	if acc2.MDVersionAtOpen() == acc2.MDVersion() {
+		t.Error("bump during acc2's own bind invisible to its snapshot")
+	}
+	acc2.Close()
+	acc.Close()
+
+	// A session opened after the dust settles sees snapshot == live again.
+	acc3 := NewAccessor(cache, p)
+	if acc3.MDVersionAtOpen() != acc3.MDVersion() {
+		t.Error("post-bump accessor: snapshot != live stamp")
+	}
+	acc3.Close()
+	if (&Accessor{}).MDVersionAtOpen() != 0 {
+		t.Error("cacheless accessor MDVersionAtOpen != 0")
+	}
+}

@@ -48,9 +48,6 @@ type Entry struct {
 	Cost float64
 	// Stage names the search stage that produced the plan.
 	Stage string
-	// OutCols and OutNames mirror the producing query's output bookkeeping.
-	OutCols  []base.ColID
-	OutNames []string
 	// NParams is the length of the producing parameter vector; a hit with a
 	// different vector length is structurally impossible and treated as a
 	// corrupt entry.
@@ -110,15 +107,26 @@ func New(maxBytes int64) *Cache {
 // Enabled reports whether the cache can hold anything at all.
 func (c *Cache) Enabled() bool { return c != nil && c.maxBytes > 0 }
 
+// maxInternedReqs bounds the ReqID intern table. ReqIDs are never evicted —
+// keys embed them, so recycling one would alias live cache entries — which
+// means the table must be capped or a long-lived server receiving endlessly
+// diverse ORDER BY shapes would leak memory outside the byte budget. Real
+// workloads use a handful of distinct required-property sets; a shape that
+// would mint an ID past the cap is simply not cacheable (InternReq reports
+// ok=false and the caller optimizes uncached).
+const maxInternedReqs = 4096
+
 // InternReq maps required properties to a stable ReqID with exact-equality
-// verification (hash collisions allocate distinct IDs).
-func (c *Cache) InternReq(r props.Required) ReqID {
+// verification (hash collisions allocate distinct IDs). ok is false when the
+// properties are not yet interned and the table is at maxInternedReqs — the
+// caller must then skip the cache for this request.
+func (c *Cache) InternReq(r props.Required) (ReqID, bool) {
 	h := r.Hash()
 	c.reqMu.RLock()
 	for _, id := range c.reqIdx[h] {
 		if c.reqByID[id].Equal(r) {
 			c.reqMu.RUnlock()
-			return id
+			return id, true
 		}
 	}
 	c.reqMu.RUnlock()
@@ -126,13 +134,16 @@ func (c *Cache) InternReq(r props.Required) ReqID {
 	defer c.reqMu.Unlock()
 	for _, id := range c.reqIdx[h] {
 		if c.reqByID[id].Equal(r) {
-			return id
+			return id, true
 		}
+	}
+	if len(c.reqByID) >= maxInternedReqs {
+		return 0, false
 	}
 	id := ReqID(len(c.reqByID))
 	c.reqByID = append(c.reqByID, r)
 	c.reqIdx[h] = append(c.reqIdx[h], id)
-	return id
+	return id, true
 }
 
 func (c *Cache) shardFor(k Key) *shard { return &c.shards[k.FP&(numShards-1)] }

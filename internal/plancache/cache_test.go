@@ -123,8 +123,8 @@ func TestLRUEviction(t *testing.T) {
 
 	// An entry bigger than a whole shard is refused outright.
 	big := testEntry(0)
-	for i := 0; i < 200; i++ {
-		big.OutNames = append(big.OutNames, "a-very-long-output-column-name")
+	for i := 0; i < 400; i++ {
+		big.Plan = &ops.Expr{Op: &ops.Limit{}, Children: []*ops.Expr{big.Plan}}
 	}
 	if c.Admit(Key{FP: 99 << 6}, big) {
 		t.Error("entry larger than shard budget admitted")
@@ -136,11 +136,40 @@ func TestInternReq(t *testing.T) {
 	r1 := props.Required{Dist: props.SingletonDist, Order: props.MakeOrder(1)}
 	r2 := props.Required{Dist: props.SingletonDist, Order: props.MakeOrder(1)}
 	r3 := props.Required{Dist: props.SingletonDist, Order: props.MakeOrder(2)}
-	if c.InternReq(r1) != c.InternReq(r2) {
+	id1, ok1 := c.InternReq(r1)
+	id2, ok2 := c.InternReq(r2)
+	id3, ok3 := c.InternReq(r3)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("InternReq refused below the cap: %v %v %v", ok1, ok2, ok3)
+	}
+	if id1 != id2 {
 		t.Error("equal requests interned differently")
 	}
-	if c.InternReq(r1) == c.InternReq(r3) {
+	if id1 == id3 {
 		t.Error("different requests share a ReqID")
+	}
+}
+
+// TestInternReqBounded: ReqIDs are permanent — keys embed them, so recycling
+// would alias live entries — which means the table must be capped or a
+// stream of endlessly diverse ORDER BY shapes would leak memory outside the
+// byte budget. Past the cap, new property sets are refused (the caller skips
+// the cache) while already-interned ones keep resolving.
+func TestInternReqBounded(t *testing.T) {
+	c := New(1 << 20)
+	for i := 0; i < maxInternedReqs; i++ {
+		r := props.Required{Dist: props.SingletonDist, Order: props.MakeOrder(base.ColID(i + 1))}
+		if _, ok := c.InternReq(r); !ok {
+			t.Fatalf("intern %d refused below the cap", i)
+		}
+	}
+	over := props.Required{Dist: props.SingletonDist, Order: props.MakeOrder(base.ColID(maxInternedReqs + 1))}
+	if _, ok := c.InternReq(over); ok {
+		t.Error("intern past the cap minted a new ReqID")
+	}
+	known := props.Required{Dist: props.SingletonDist, Order: props.MakeOrder(base.ColID(1))}
+	if _, ok := c.InternReq(known); !ok {
+		t.Error("already-interned request refused at the cap")
 	}
 }
 

@@ -15,8 +15,11 @@
 // What is never cached: degraded plans, budget-aborted or timed-out stages
 // (the admission decision belongs to the caller, see Cache.Admit's doc),
 // shapes containing subqueries or bound subplans (pointer identity defeats
-// structural fingerprinting), and plans whose constants cannot all be
-// value-matched back to the request's parameter vector.
+// structural fingerprinting), plans whose constants cannot all be
+// value-matched back to the request's parameter vector, and plans whose
+// producing vector holds two parameters with the same kind and value —
+// value-matching cannot tell such sites apart once the optimizer has
+// reordered them (see Parameterize).
 package plancache
 
 import (
@@ -88,13 +91,25 @@ func Extract(tree *ops.Expr, order props.OrderSpec, outCols []base.ColID) (Shape
 // when any plan constant fails to match a vector entry — a constant the
 // optimizer synthesized from literals would silently serve the producing
 // request's value to every later hit, so such plans are refused outright.
+//
+// Value matching is only sound when every vector slot is distinguishable by
+// value: the optimizer reorders constant sites (join reordering, predicate
+// pushdown), so two slots holding the same kind and value (WHERE dept = 5
+// AND id > 5) could have their ordinals swapped, and a later hit in the same
+// selectivity buckets would rebind the wrong values into the wrong predicate
+// sites. Such vectors are refused outright — the producing request is served
+// normally, it just does not seed the cache. Requests with duplicate values
+// can still *hit* entries seeded by duplicate-free producers: Rebind is
+// purely ordinal-based.
 func Parameterize(plan *ops.Expr, vec []base.Datum) (*ops.Expr, bool) {
-	used := make([]bool, len(vec))
+	if hasAmbiguousSlots(vec) {
+		return nil, false
+	}
 	ok := true
 	leaf := func(s ops.ScalarExpr) ops.ScalarExpr {
 		switch x := s.(type) {
 		case *ops.Const:
-			if i, found := matchParam(x.Val, vec, used); found {
+			if i, found := matchParam(x.Val, vec); found {
 				return ops.NewParam(i)
 			}
 			ok = false
@@ -112,26 +127,30 @@ func Parameterize(plan *ops.Expr, vec []base.Datum) (*ops.Expr, bool) {
 	return out, true
 }
 
-// matchParam finds the vector slot holding exactly this value (same kind,
-// equal value), preferring a slot not yet consumed so duplicated values map
-// to distinct ordinals; predicate pushdown may legitimately duplicate a
-// literal into several plan sites, so an already-used slot still matches.
-func matchParam(d base.Datum, vec []base.Datum, used []bool) (int, bool) {
-	reuse := -1
-	for i, v := range vec {
-		if v.Kind != d.Kind || !v.Equal(d) {
-			continue
-		}
-		if !used[i] {
-			used[i] = true
-			return i, true
-		}
-		if reuse < 0 {
-			reuse = i
+// hasAmbiguousSlots reports whether two vector slots hold the same kind and
+// value, which makes value→ordinal matching ambiguous. Vectors are a handful
+// of literals, so the quadratic scan is cheaper than hashing.
+func hasAmbiguousSlots(vec []base.Datum) bool {
+	for i := 1; i < len(vec); i++ {
+		for j := 0; j < i; j++ {
+			if vec[i].Kind == vec[j].Kind && vec[i].Equal(vec[j]) {
+				return true
+			}
 		}
 	}
-	if reuse >= 0 {
-		return reuse, true
+	return false
+}
+
+// matchParam finds the vector slot holding exactly this value (same kind,
+// equal value). Slots are unique by (kind, value) — Parameterize refuses
+// ambiguous vectors — so the first match is the only match; predicate
+// pushdown may legitimately duplicate a literal into several plan sites,
+// which all map to that one slot.
+func matchParam(d base.Datum, vec []base.Datum) (int, bool) {
+	for i, v := range vec {
+		if v.Kind == d.Kind && v.Equal(d) {
+			return i, true
+		}
 	}
 	return -1, false
 }

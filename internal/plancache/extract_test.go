@@ -216,6 +216,60 @@ func TestRebindDifferentConstants(t *testing.T) {
 	}
 }
 
+// TestParameterizeRefusesDuplicateValues: a producing vector holding two
+// parameters with the same kind and value must never seed the cache —
+// Parameterize matches plan constants back to ordinals by value, and the
+// optimizer reorders constant sites (join reordering, predicate pushdown),
+// so equal-valued slots could have their ordinals swapped and a later hit
+// would rebind the wrong values into the wrong predicate sites.
+func TestParameterizeRefusesDuplicateValues(t *testing.T) {
+	q := bindQuery(t, "SELECT id FROM emp WHERE dept = 5 AND id > 5")
+	shape, ok := plancache.Extract(q.Tree, q.Order, q.OutCols)
+	if !ok {
+		t.Fatal("not cacheable")
+	}
+	if len(shape.Vector) != 2 || !shape.Vector[0].Equal(shape.Vector[1]) {
+		t.Fatalf("vector = %v, want two equal constants", shape.Vector)
+	}
+	if _, ok := plancache.Parameterize(q.Tree, shape.Vector); ok {
+		t.Error("Parameterize accepted an ambiguous duplicate-valued vector")
+	}
+
+	// Equal values of different kinds are not ambiguous: kind is part of the
+	// match, so an int 1 and a float 1 stay distinguishable.
+	q2 := bindQuery(t, "SELECT id FROM emp WHERE dept = 1 AND salary > 1.0")
+	shape2, ok := plancache.Extract(q2.Tree, q2.Order, q2.OutCols)
+	if !ok || len(shape2.Vector) != 2 {
+		t.Fatalf("cross-kind query did not extract cleanly: %v", shape2.Vector)
+	}
+	if _, ok := plancache.Parameterize(q2.Tree, shape2.Vector); !ok {
+		t.Error("Parameterize refused cross-kind equal values — only same-kind duplicates are ambiguous")
+	}
+
+	// A duplicate-valued request may still HIT an entry seeded by a
+	// duplicate-free producer: Rebind is purely ordinal-based.
+	seed := bindQuery(t, "SELECT id FROM emp WHERE dept = 6 AND id > 7")
+	seedShape, ok := plancache.Extract(seed.Tree, seed.Order, seed.OutCols)
+	if !ok || seedShape.FP != shape.FP {
+		t.Fatalf("seed query not shape-equal: ok=%v", ok)
+	}
+	ptree, ok := plancache.Parameterize(seed.Tree, seedShape.Vector)
+	if !ok {
+		t.Fatal("Parameterize refused the duplicate-free seed")
+	}
+	rebound, ok := plancache.Rebind(ptree, shape.Vector)
+	if !ok {
+		t.Fatal("Rebind with the duplicate-valued vector failed")
+	}
+	again, ok := plancache.Extract(rebound, q.Order, q.OutCols)
+	if !ok || again.FP != shape.FP {
+		t.Fatalf("rebound tree changed shape: ok=%v", ok)
+	}
+	if !again.Vector[0].Equal(base.NewInt(5)) || !again.Vector[1].Equal(base.NewInt(5)) {
+		t.Errorf("rebound constants = %v, want [5 5]", again.Vector)
+	}
+}
+
 // TestExtractUncacheable: shapes whose identity is pointer-based (subqueries)
 // must be refused outright rather than fingerprinted unstably.
 func TestExtractUncacheable(t *testing.T) {

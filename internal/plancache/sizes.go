@@ -4,7 +4,6 @@ import (
 	"reflect"
 	"unsafe"
 
-	"orca/internal/base"
 	"orca/internal/ops"
 )
 
@@ -32,17 +31,10 @@ const (
 )
 
 // entrySizeBytes is the accounted size of one cache entry: the Entry struct,
-// its plan tree, its output-column bookkeeping, and its share of the shard's
-// map and LRU list.
+// its plan tree, and its share of the shard's map and LRU list.
 func entrySizeBytes(e *Entry) int64 {
-	sz := int64(unsafe.Sizeof(Entry{})) + int64(unsafe.Sizeof(Key{})) +
-		mapEntryOverheadBytes + listElemOverheadBytes
-	sz += planSizeBytes(e.Plan)
-	sz += int64(len(e.OutCols)) * int64(unsafe.Sizeof(base.ColID(0)))
-	for _, n := range e.OutNames {
-		sz += sliceSlotBytes + int64(len(n))
-	}
-	return sz
+	return int64(unsafe.Sizeof(Entry{})) + int64(unsafe.Sizeof(Key{})) +
+		mapEntryOverheadBytes + listElemOverheadBytes + planSizeBytes(e.Plan)
 }
 
 // planSizeBytes walks an operator tree charging each node.

@@ -53,6 +53,11 @@ const (
 	ShedClientGone = "client-gone"
 	// ShedInjected: the serve/admission/reject fault point fired.
 	ShedInjected = "injected"
+	// ShedPanic: the admission controller itself panicked and contained it —
+	// a fault point armed with the panic action, or a real bug in admission
+	// accounting. Kept distinct from ShedInjected so /varz and clients never
+	// read a genuine failure as scheduled fault injection.
+	ShedPanic = "panic"
 )
 
 // ShedError reports a request rejected by admission control. It carries the
@@ -103,11 +108,15 @@ func (a *admission) admit(ctx context.Context) (release func(), err error) {
 	// The admission controller contains its own failures: a panic here —
 	// fault-injected or real — sheds the request with a taxonomy answer
 	// instead of killing the connection. No slot is held at any panic site
-	// in this function, so there is nothing to release.
+	// in this function, so there is nothing to release. The reason is
+	// ShedPanic, not ShedInjected: only the non-panicking fault path below is
+	// provably injected, and mislabeling a real accounting bug as scheduled
+	// chaos would hide it. AdmitPanics makes the distinction visible in /varz.
 	defer func() {
 		if rec := recover(); rec != nil {
+			a.vars.AdmitPanics.Add(1)
 			a.vars.Shed.Add(1)
-			release, err = nil, &ShedError{Reason: ShedInjected, RetryAfter: a.retryAfter()}
+			release, err = nil, &ShedError{Reason: ShedPanic, RetryAfter: a.retryAfter()}
 		}
 	}()
 	if ierr := fault.Inject(fault.PointServeAdmit); ierr != nil {

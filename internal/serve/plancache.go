@@ -39,11 +39,21 @@ func (s *Server) cachedOptimize(ctx context.Context, cfg core.Config, acc *md.Ac
 		res, err := core.OptimizeContext(ctx, q, cfg)
 		return res, cacheMiss, err
 	}
+	req, ok := s.plans.InternReq(props.Required{Dist: props.SingletonDist, Order: q.Order})
+	if !ok {
+		// The ReqID intern table is full: this required-property shape cannot
+		// be keyed, so it pays for search (bounding the table is what keeps a
+		// diverse ORDER BY stream from leaking memory past the byte budget).
+		res, err := core.OptimizeContext(ctx, q, cfg)
+		return res, cacheMiss, err
+	}
 	// The key stamps the metadata version observed after bind: a later bump
-	// (DDL, stats refresh) changes the stamp and orphans this entry.
+	// (DDL, stats refresh) changes the stamp and orphans this entry. Note the
+	// stamp may already be newer than the one the bind phase started under;
+	// admitPlan refuses such straddled plans (see MDVersionAtOpen).
 	key := plancache.Key{
 		FP:        shape.FP,
-		Req:       s.plans.InternReq(props.Required{Dist: props.SingletonDist, Order: q.Order}),
+		Req:       req,
 		Buckets:   shape.Buckets,
 		MDVersion: acc.MDVersion(),
 	}
@@ -62,7 +72,7 @@ func (s *Server) cachedOptimize(ctx context.Context, cfg core.Config, acc *md.Ac
 			return nil, oerr
 		}
 		leaderRes = r
-		return s.admitPlan(key, shape, q, r, acc), nil
+		return s.admitPlan(key, shape, r, acc), nil
 	})
 	if leader {
 		return leaderRes, cacheMiss, err
@@ -95,12 +105,18 @@ func resultFromEntry(e *plancache.Entry, shape plancache.Shape) (*core.Result, b
 // admitPlan parameterizes an optimization result and admits it, enforcing
 // the never-cache rules documented in DESIGN.md §16: no degraded plans, no
 // budget-aborted or timed-out stages (their plans reflect a truncated
-// search, not the shape), and nothing when the metadata version moved while
-// the optimization ran (the plan may embed metadata newer or older than its
-// stamp). Returns the admitted entry, or nil when the plan must not be
-// cached — waiters then fall back to their own optimization.
-func (s *Server) admitPlan(key plancache.Key, shape plancache.Shape, q *core.Query, r *core.Result, acc *md.Accessor) *plancache.Entry {
-	if !admissible(r) || acc.MDVersion() != key.MDVersion {
+// search, not the shape), and nothing when the metadata version moved
+// anywhere between the accessor opening (before bind) and now — a bump
+// mid-bind leaves a tree bound against old metadata, a bump mid-optimization
+// a plan costed against it, and either would be served indefinitely under a
+// stamp it does not deserve. Returns the admitted entry, or nil when the
+// plan must not be cached — waiters then fall back to their own
+// optimization.
+func (s *Server) admitPlan(key plancache.Key, shape plancache.Shape, r *core.Result, acc *md.Accessor) *plancache.Entry {
+	// The stamp is monotonic, so now == at-open proves the whole
+	// bind→optimize window was bump-free (key.MDVersion was read in between,
+	// so it matches too; the explicit check guards key construction drifting).
+	if !admissible(r) || acc.MDVersion() != acc.MDVersionAtOpen() || acc.MDVersion() != key.MDVersion {
 		return nil
 	}
 	plan, ok := plancache.Parameterize(r.Plan, shape.Vector)
@@ -108,12 +124,10 @@ func (s *Server) admitPlan(key plancache.Key, shape plancache.Shape, q *core.Que
 		return nil
 	}
 	e := &plancache.Entry{
-		Plan:     plan,
-		Cost:     r.Cost,
-		Stage:    r.Stage,
-		OutCols:  q.OutCols,
-		OutNames: q.OutNames,
-		NParams:  len(shape.Vector),
+		Plan:    plan,
+		Cost:    r.Cost,
+		Stage:   r.Stage,
+		NParams: len(shape.Vector),
 	}
 	if !s.plans.Admit(key, e) {
 		return nil

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -12,8 +13,12 @@ import (
 	"time"
 
 	"orca/internal/base"
+	"orca/internal/core"
 	"orca/internal/fault"
 	"orca/internal/md"
+	"orca/internal/plancache"
+	"orca/internal/props"
+	"orca/internal/sql"
 )
 
 const shapeSQL = "SELECT t1.a FROM t1, t2 WHERE t1.a = t2.b AND t1.b > 600 ORDER BY t1.a"
@@ -155,7 +160,85 @@ func TestServeCacheMDBumpEvicts(t *testing.T) {
 		t.Fatal(err)
 	}
 	expect("post-bump", "miss")
+	// The post-bump request is itself not cached: resolving the bumped
+	// relation advanced the stamp during its own bind, and admission refuses
+	// any plan whose session straddled a bump (see admitPlan). The next
+	// request runs under a settled stamp and re-seeds; the one after is warm.
+	expect("re-seed", "miss")
 	expect("re-warmed", "hit")
+}
+
+// TestCacheAdmitRefusesMidBindBump: a metadata bump landing between the
+// session's accessor opening (bind start) and admission must refuse the
+// plan. The trap this pins down: a key stamped from the post-bind version is
+// fresh and matches the live version at admit time, so a check of only
+// "stamp still current" would cache a tree bound against pre-bump metadata
+// under the post-bump stamp — and serve it indefinitely. The pre-bind
+// snapshot (md.Accessor.MDVersionAtOpen) is what catches it.
+func TestCacheAdmitRefusesMidBindBump(t *testing.T) {
+	provider := md.NewMemProvider()
+	md.Build(provider, md.TableSpec{
+		Name: "t1", Rows: 100000, Policy: md.DistHash, DistCols: []int{0},
+		Cols: []md.ColSpec{
+			{Name: "a", Type: base.TInt, NDV: 50000, Lo: 0, Hi: 50000},
+			{Name: "b", Type: base.TInt, NDV: 1000, Lo: 0, Hi: 1000},
+		},
+	})
+	md.Build(provider, md.TableSpec{
+		Name: "t2", Rows: 80000, Policy: md.DistHash, DistCols: []int{0},
+		Cols: []md.ColSpec{
+			{Name: "a", Type: base.TInt, NDV: 80000, Lo: 0, Hi: 80000},
+			{Name: "b", Type: base.TInt, NDV: 40000, Lo: 0, Hi: 50000},
+		},
+	})
+	s := newTestServer(t, func(c *Config) { c.Provider = provider })
+
+	// The request's session: accessor opens (pre-bind snapshot), binds, and
+	// optimizes against the pre-bump metadata.
+	acc := md.NewAccessor(s.cache, provider)
+	f := md.NewColumnFactory()
+	q, err := sql.Bind(shapeSQL, acc, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.OptimizeContext(context.Background(), q, s.cfg.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A concurrent DDL: another session resolves the bumped relation, the
+	// newer version displaces the cached one, and the invalidation stamp
+	// advances — while our request is still in flight.
+	if _, err := provider.BumpRelationVersion("t1"); err != nil {
+		t.Fatal(err)
+	}
+	acc2 := md.NewAccessor(s.cache, provider)
+	if _, err := acc2.RelationByName("t1"); err != nil {
+		t.Fatal(err)
+	}
+	acc2.Close()
+	if acc.MDVersion() == acc.MDVersionAtOpen() {
+		t.Fatal("displacing insert did not advance the stamp")
+	}
+
+	// Build the key exactly as cachedOptimize would — after bind, so its
+	// stamp is the fresh post-bump version matching the live one.
+	shape, ok := plancache.Extract(q.Tree, q.Order, q.OutCols)
+	if !ok {
+		t.Fatal("shape not cacheable")
+	}
+	reqID, ok := s.plans.InternReq(props.Required{Dist: props.SingletonDist, Order: q.Order})
+	if !ok {
+		t.Fatal("InternReq refused")
+	}
+	key := plancache.Key{FP: shape.FP, Req: reqID, Buckets: shape.Buckets, MDVersion: acc.MDVersion()}
+	if e := s.admitPlan(key, shape, res, acc); e != nil {
+		t.Error("admitPlan cached a plan whose bind straddled an md-version bump")
+	}
+	if n := s.plans.Len(); n != 0 {
+		t.Errorf("stale-bound plan admitted: %d entries", n)
+	}
+	acc.Close()
 }
 
 // TestServeCacheSingleflight: a storm of one cold shape runs the scheduler

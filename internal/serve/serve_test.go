@@ -511,3 +511,49 @@ func TestStormShedsBounded(t *testing.T) {
 		t.Errorf("gauges nonzero after storm: %v", snap)
 	}
 }
+
+// TestAdmitPanicLabeled: a panic contained inside the admission controller
+// is shed with the distinct "panic" reason and counted in admission_panics —
+// never mislabeled as scheduled fault injection, which would hide a real
+// admission bug behind the chaos schedule.
+func TestAdmitPanicLabeled(t *testing.T) {
+	armFaults(t, fault.PointServeAdmit+":panic:limit=1")
+	vars := &Counters{}
+	a := newAdmission(AdmissionConfig{MaxInFlight: 1}, make(chan struct{}), vars)
+
+	release, err := a.admit(context.Background())
+	if release != nil || err == nil {
+		t.Fatal("panicking admit returned a slot")
+	}
+	shed, ok := err.(*ShedError)
+	if !ok {
+		t.Fatalf("admit error %T, want *ShedError", err)
+	}
+	if shed.Reason != ShedPanic {
+		t.Errorf("shed reason = %q, want %q", shed.Reason, ShedPanic)
+	}
+	if got := vars.AdmitPanics.Load(); got != 1 {
+		t.Errorf("admission_panics = %d, want 1", got)
+	}
+	if got := vars.Shed.Load(); got != 1 {
+		t.Errorf("shed = %d, want 1", got)
+	}
+
+	// The limit=1 schedule is spent: the controller works again.
+	release, err = a.admit(context.Background())
+	if err != nil {
+		t.Fatalf("post-panic admit failed: %v", err)
+	}
+	release()
+
+	// An injected (non-panic) rejection keeps its own distinct reason.
+	armFaults(t, fault.PointServeAdmit+":error:limit=1")
+	if _, err := a.admit(context.Background()); err == nil {
+		t.Fatal("injected rejection did not shed")
+	} else if shed, ok := err.(*ShedError); !ok || shed.Reason != ShedInjected {
+		t.Errorf("injected shed reason = %v, want %q", err, ShedInjected)
+	}
+	if got := vars.AdmitPanics.Load(); got != 1 {
+		t.Errorf("admission_panics moved on an injected error: %d", got)
+	}
+}

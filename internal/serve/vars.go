@@ -25,6 +25,10 @@ type Counters struct {
 	// Panicked counts contained per-request panics (the process survived
 	// every one of them).
 	Panicked atomic.Int64
+	// AdmitPanics counts panics contained inside the admission controller
+	// itself. Such requests are shed with reason "panic"; a nonzero value
+	// with no panic-action fault schedule armed means a real admission bug.
+	AdmitPanics atomic.Int64
 	// Retried counts transient metadata-lookup retries absorbed by the
 	// md retry policy across all requests.
 	Retried atomic.Int64
@@ -41,14 +45,15 @@ type Counters struct {
 // name.
 func (c *Counters) Snapshot() map[string]int64 {
 	return map[string]int64{
-		"admitted":  c.Admitted.Load(),
-		"shed":      c.Shed.Load(),
-		"completed": c.Completed.Load(),
-		"failed":    c.Failed.Load(),
-		"degraded":  c.Degraded.Load(),
-		"panicked":  c.Panicked.Load(),
-		"retried":   c.Retried.Load(),
-		"in_flight": c.InFlight.Load(),
-		"queued":    c.Queued.Load(),
+		"admitted":         c.Admitted.Load(),
+		"shed":             c.Shed.Load(),
+		"completed":        c.Completed.Load(),
+		"failed":           c.Failed.Load(),
+		"degraded":         c.Degraded.Load(),
+		"panicked":         c.Panicked.Load(),
+		"admission_panics": c.AdmitPanics.Load(),
+		"retried":          c.Retried.Load(),
+		"in_flight":        c.InFlight.Load(),
+		"queued":           c.Queued.Load(),
 	}
 }
