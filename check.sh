@@ -7,15 +7,17 @@
 #   orcavet  the project's own static analyzers (cmd/orcavet): the
 #            per-package suite (memoimmut, lockcheck, opexhaustive,
 #            errdrop, faultpoint) plus the interprocedural passes
-#            (atomicpub, ctxflow, opclosure, hotpath, golifetime).
-#            opclosure also cross-checks the defs/*.opt declarations
-#            against the Go operator inventory and the hand-written
-#            rule legs (apply<Rule> / match<Rule>) in internal/xform.
-#            The binary is compiled once to a temp path so the 60s
-#            budget times only the analysis, not the toolchain. One
-#            module-wide pass emitting SARIF, gated against
-#            orcavet.baseline.json: any non-baselined finding (or
-#            stale //orcavet:ignore) fails the build with exit 1;
+#            (atomicpub, ctxflow, opclosure, hotpath, golifetime) and
+#            the serving-tier passes (lockorder, pubimmut, respwrite) —
+#            thirteen analyzers total. opclosure also cross-checks the
+#            defs/*.opt declarations against the Go operator inventory
+#            and the hand-written rule legs (apply<Rule> / match<Rule>)
+#            in internal/xform. The binary is compiled once to a temp
+#            path so the 60s budget times only the analysis, not the
+#            toolchain. One module-wide pass emitting SARIF, gated
+#            against orcavet.baseline.json: any non-baselined finding,
+#            stale //orcavet:ignore, or stale baseline entry (one that
+#            matches no live finding) fails the build with exit 1;
 #            exit 2 means the analysis itself broke (loader error),
 #            which is reported as such rather than as findings.
 #            internal/analysis is part of ./..., so the suite also
@@ -81,7 +83,8 @@ echo "    orcavet analysis finished in ${orcavet_elapsed}s (compile excluded)"
 case "$orcavet_rc" in
 0) ;;
 1)
-    echo "orcavet: non-baselined finding(s) — fix them or add them to orcavet.baseline.json" >&2
+    echo "orcavet: non-baselined finding(s) or stale baseline entry(ies) —" >&2
+    echo "fix/remove them or regenerate orcavet.baseline.json with -write-baseline" >&2
     exit 1
     ;;
 *)

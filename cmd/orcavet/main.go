@@ -6,8 +6,9 @@
 // failed gate from a broken run:
 //
 //	0  clean — no finding remains after //orcavet:ignore:<analyzer>
-//	   suppression and baseline filtering
-//	1  findings — the gate fired
+//	   suppression and baseline filtering, and no baseline entry is stale
+//	1  findings — the gate fired (new findings, or on full-suite runs a
+//	   stale baseline entry that matches no live finding)
 //	2  internal error — loader/type-check failure, unknown analyzer,
 //	   unwritable artifact; the findings gate did not run
 //
@@ -16,6 +17,8 @@
 //
 // CI integration:
 //
+//	-only NAME        run exactly one analyzer (fast local iteration;
+//	                  -run NAME,... selects a subset)
 //	-json             machine-readable findings on stdout
 //	-sarif            SARIF 2.1.0 log on stdout (for code-scanning upload)
 //	-baseline FILE    filter out reviewed findings; gate only on new ones
@@ -42,6 +45,7 @@ func main() {
 	var (
 		list          = flag.Bool("analyzers", false, "print the analyzer suite and exit")
 		only          = flag.String("run", "", "comma-separated analyzer names to run (default all)")
+		single        = flag.String("only", "", "run exactly one analyzer by name (fast local iteration)")
 		jsonOut       = flag.Bool("json", false, "print findings as JSON")
 		sarifOut      = flag.Bool("sarif", false, "print findings as SARIF 2.1.0")
 		baselinePath  = flag.String("baseline", "", "baseline file; findings listed there do not fail the run")
@@ -68,6 +72,17 @@ func main() {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *single != "" {
+		if *only != "" {
+			fmt.Fprintf(os.Stderr, "orcavet: -only and -run are mutually exclusive\n")
+			os.Exit(2)
+		}
+		if strings.Contains(*single, ",") {
+			fmt.Fprintf(os.Stderr, "orcavet: -only takes a single analyzer name; use -run for a comma-separated subset\n")
+			os.Exit(2)
+		}
+		*only = *single
 	}
 	fullSuite := true
 	if *only != "" {
@@ -154,12 +169,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "orcavet: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
 		return
 	}
+	var stale []analysis.BaselineEntry
 	if *baselinePath != "" {
 		b, err := analysis.LoadBaseline(*baselinePath)
 		if err != nil {
 			fatal(err)
 		}
-		diags = b.Filter(diags, root)
+		// Stale entries gate only full-suite runs: under -run/-only, entries
+		// belonging to the excluded analyzers are legitimately unmatched.
+		diags, stale = b.Filter(diags, root)
+		if !fullSuite {
+			stale = nil
+		}
 	}
 
 	switch {
@@ -180,8 +201,18 @@ func main() {
 			fmt.Println(d)
 		}
 	}
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "orcavet: stale baseline entry matches no finding: %s: [%s] %s\n",
+			e.File, e.Analyzer, e.Message)
+	}
+	if len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "orcavet: %d stale entry(ies) in %s — remove them or regenerate with -write-baseline\n",
+			len(stale), *baselinePath)
+	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "orcavet: %d finding(s)\n", len(diags))
+	}
+	if len(diags) > 0 || len(stale) > 0 {
 		os.Exit(1)
 	}
 }

@@ -2,8 +2,10 @@
 // optimizer invariants the Go compiler cannot check: Memo immutability,
 // scheduler lock/condvar discipline, exhaustive operator-kind handling,
 // non-discarded errors from the GPOS/DXL layers, sync/atomic publication
-// discipline, context propagation through request paths, and cross-package
-// closure of the operator registries. The suite is built directly on the
+// discipline, context propagation through request paths, cross-package
+// closure of the operator registries, global lock-acquisition ordering,
+// immutability of objects past their publication point, and exactly-once
+// response commit in the serving tier. The suite is built directly on the
 // stdlib go/ast + go/types packages (no external dependencies); the loader
 // shells out to `go list -export` for package metadata and export data,
 // mirroring how the go vet driver loads packages.
@@ -61,6 +63,13 @@ type Config struct {
 	DXLPkgPath    string
 	// MDPkgPath hosts the Provider interface and the Accessor timeout layer.
 	MDPkgPath string
+	// ServePkgPath hosts the HTTP serving tier whose handler functions
+	// respwrite holds to the exactly-once response-commit contract.
+	ServePkgPath string
+	// GPOSPkgPath hosts Raise/Wrap, the exception constructors whose
+	// component/code pairs respwrite cross-checks against the serve error
+	// taxonomy.
+	GPOSPkgPath string
 	// RootPkgPaths are the packages whose exported functions are optimizer
 	// entry points; ctxflow reachability starts there. Fixture packages
 	// (orcavet.test/...) are always treated as roots.
@@ -87,6 +96,8 @@ func DefaultConfig() *Config {
 		EnginePkgPath: "orca/internal/engine",
 		DXLPkgPath:    dxlPkgPath,
 		MDPkgPath:     mdPkgPath,
+		ServePkgPath:  "orca/internal/serve",
+		GPOSPkgPath:   gposPkgPath,
 		RootPkgPaths:  []string{mdPkgPath, "orca/internal/core", searchPkgPath, gposPkgPath, "orca/internal/serve", "orca/internal/plancache"},
 		DefsDir:       "defs",
 	}
@@ -280,6 +291,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		MemoImmut, LockCheck, OpExhaustive, ErrDrop, FaultPoint,
 		AtomicPub, CtxFlow, OpClosure, HotPath, GoLifetime,
+		LockOrder, PubImmut, RespWrite,
 	}
 }
 

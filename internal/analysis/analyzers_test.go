@@ -13,6 +13,20 @@ func TestFaultPoint(t *testing.T)   { runFixture(t, FaultPoint, "faultpoint") }
 func TestAtomicPub(t *testing.T)    { runFixture(t, AtomicPub, "atomicpub") }
 func TestHotPath(t *testing.T)      { runFixture(t, HotPath, "hotpath") }
 func TestGoLifetime(t *testing.T)   { runFixture(t, GoLifetime, "golifetime") }
+func TestPubImmut(t *testing.T)     { runFixture(t, PubImmut, "pubimmut") }
+
+func TestLockOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MDPkgPath = "orcavet.test/lockorder/mdx"
+	runFixtureDirs(t, LockOrder, cfg, "lockorder", "mdx", "")
+}
+
+func TestRespWrite(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ServePkgPath = "orcavet.test/respwrite/srv"
+	cfg.GPOSPkgPath = "orcavet.test/respwrite/gposx"
+	runFixtureDirs(t, RespWrite, cfg, "respwrite", "gposx", "srv")
+}
 
 // TestParseHotpath pins the directive grammar corners that cannot carry an
 // inline `// want` expectation (the expectation text would become the reason).

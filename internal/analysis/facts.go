@@ -66,6 +66,24 @@ type FuncFacts struct {
 	// in the body (function literals included).
 	Spawns []*SpawnFact `json:"spawns,omitempty"`
 
+	// LockAcquires lists the lock classes the body acquires directly (sorted,
+	// deferred acquires excluded); TransLocks is the closure over static and
+	// devirtualized call edges — every class the function can take somewhere
+	// below it. lockorder uses these to order lock acquisitions globally.
+	LockAcquires []string `json:"lockAcquires,omitempty"`
+	TransLocks   []string `json:"transLocks,omitempty"`
+
+	// MutatesRecv / MutatesParams report parameters (receiver included) the
+	// function plainly writes through, closed over argument-passing edges.
+	// pubimmut uses them to catch mutation of published objects via helpers.
+	MutatesRecv   bool  `json:"mutatesRecv,omitempty"`
+	MutatesParams []int `json:"mutatesParams,omitempty"`
+
+	// RespCommit classifies what the function does with a ResponseWriter
+	// handed to it: "always" (commits a response on every path), "may"
+	// (commits on some), or "" (never writes). respwrite's fixpoint output.
+	RespCommit string `json:"respCommit,omitempty"`
+
 	// Positions are not exported (they are fset-relative); kept for
 	// reporting.
 	pos         token.Pos
@@ -82,6 +100,14 @@ type FuncFacts struct {
 	chanRanges   []chanRange
 	sleepPolls   []token.Pos
 	loopsForever bool
+
+	// v4 internals: the lock-event timeline (lockfacts.go), the parameter
+	// mutation/pass-through summary (pubfacts.go), and the gpos raise sites
+	// (respfacts.go).
+	lockOps   []lockOp
+	mutParams map[int]bool
+	paramPass []paramPassEdge
+	raises    []raiseSite
 }
 
 // Facts is the module-wide interprocedural store shared by all analyzers in
@@ -111,6 +137,10 @@ type Facts struct {
 	pins        map[string]bool
 	closedChans map[string]bool
 	hotIssues   []hotIssue
+
+	// respFns retains the declarations of ResponseWriter-taking functions for
+	// the respwrite commit fixpoint and rescans (respfacts.go).
+	respFns map[string]*respFn
 }
 
 // ComputeFacts builds the facts store over the loaded packages. The result
@@ -134,6 +164,9 @@ func ComputeFacts(pkgs []*Package, cfg *Config) *Facts {
 	f.computeCarriers()
 	f.computeReachability()
 	f.finalizeHotLife()
+	f.finalizeLockOrder()
+	f.finalizeMutations()
+	f.finalizeResp()
 	return f
 }
 
@@ -158,6 +191,9 @@ func (f *Facts) collectPkg(pkg *Package) {
 			f.Funcs[ff.Key] = ff
 			f.summarizeBody(pkg, fd, fn, ff)
 			f.summarizeHotLife(pkg, fd, fn, ff)
+			f.summarizeLockOps(pkg, fd, ff)
+			f.summarizeMutations(pkg, fd, ff)
+			f.summarizeResp(pkg, fd, fn, ff)
 			if f.cfg.isRootPkg(pkg.PkgPath) && ff.Exported {
 				f.Roots[ff.Key] = true
 			}

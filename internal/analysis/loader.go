@@ -44,6 +44,7 @@ type Loader struct {
 	exports map[string]string // import path -> export data file
 	meta    map[string]*listPkg
 	extra   map[string]*types.Package // packages checked from source (fixtures)
+	srcPkgs map[string]*Package       // module packages checked from source, by import path
 }
 
 // Import implements types.Importer: packages previously checked from source
@@ -81,6 +82,7 @@ func NewLoader(dir string) (*Loader, error) {
 		exports:   make(map[string]string),
 		meta:      make(map[string]*listPkg),
 		extra:     make(map[string]*types.Package),
+		srcPkgs:   make(map[string]*Package),
 	}
 	out, err := l.goList("list", "-m")
 	if err != nil {
@@ -183,6 +185,14 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		if len(r.GoFiles) == 0 {
 			continue
 		}
+		// A module package already checked from source is returned as-is: a
+		// re-check would mint a second types.Package for the same path while
+		// everything that imported the first keeps referencing it, splitting
+		// named-type identity for every later type-check through this loader.
+		if pkg, ok := l.srcPkgs[r.ImportPath]; ok {
+			pkgs = append(pkgs, pkg)
+			continue
+		}
 		files := make([]string, len(r.GoFiles))
 		for i, f := range r.GoFiles {
 			files[i] = filepath.Join(r.Dir, f)
@@ -196,6 +206,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		// its export-data twin. Object identity must hold across packages:
 		// opclosure matches ops.TypeName objects seen from consumer packages.
 		l.extra[r.ImportPath] = pkg.Types
+		l.srcPkgs[r.ImportPath] = pkg
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil

@@ -1,0 +1,310 @@
+package analysis
+
+// lockfacts.go: the facts extension behind the lockorder analyzer. Every
+// function body is summarized into an ordered timeline of lock-relevant
+// events — mutex acquisitions and releases, operations that can block
+// indefinitely (channel ops, selects, md.Provider lookups, singleflight
+// waits), and call sites — plus the transitive lock-class closure
+// (TransLocks) that lets the analyzer add acquisition-order edges for locks
+// taken deep inside callees.
+//
+// A lock's identity is its class: the (named type, field) pair rendered as
+// "pkgpath.Type.field". Sharded stripe arrays collapse automatically —
+// m.stripes[i].mu and m.stripes[j].mu select the same field of the same
+// element type, so both are one class. Locks that are not struct fields
+// (package-level or local mutexes) fall back to "pkgpath.expr".
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+const plancachePkgPath = "orca/internal/plancache"
+
+// Lock-op kinds of a function's event timeline, in the order summarizeLockOps
+// emits them (source order).
+const (
+	lockOpAcquire = iota // mutex Lock/RLock
+	lockOpRelease        // mutex Unlock/RUnlock
+	lockOpBlock          // an operation that can block indefinitely
+	lockOpCall           // a resolvable call site (static or interface)
+)
+
+// lockOp is one event of a function's lock timeline.
+type lockOp struct {
+	kind int
+	pos  token.Pos
+	// deferred marks events that run at function exit (directly deferred
+	// calls and events inside defer func(){...}() literals); the analyzer
+	// excludes them from the held-set simulation, except that a deferred
+	// release keeps its lock held to the end of the function.
+	deferred bool
+
+	// acquire/release
+	class string // lock class, "pkgpath.Type.field"
+	mode  byte   // 'W' (Lock/Unlock) or 'R' (RLock/RUnlock)
+	expr  string // receiver expression text, e.g. "s.mu"
+
+	// block
+	blockKind string // "channel send", "select statement", ...
+
+	// call
+	callee  string // function key, or interface method id when isIface
+	isIface bool
+}
+
+// summarizeLockOps builds the declaration's lock-event timeline. Function
+// literal bodies are skipped unless directly deferred: a goroutine or
+// callback body does not run under the spawning function's held locks,
+// while defer func(){ mu.Unlock() }() is the standard unlock idiom.
+func (f *Facts) summarizeLockOps(pkg *Package, fd *ast.FuncDecl, ff *FuncFacts) {
+	if fd.Body == nil {
+		return
+	}
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if !isDeferredLit(stack, n) {
+				return false
+			}
+		case *ast.CallExpr:
+			f.lockCallOp(pkg, n, stack, ff)
+		case *ast.SendStmt:
+			if !inCommGuard(stack, n) {
+				ff.lockOps = append(ff.lockOps, lockOp{
+					kind: lockOpBlock, pos: n.Pos(), deferred: inDeferredCtx(stack),
+					blockKind: "channel send",
+				})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inCommGuard(stack, n) {
+				ff.lockOps = append(ff.lockOps, lockOp{
+					kind: lockOpBlock, pos: n.Pos(), deferred: inDeferredCtx(stack),
+					blockKind: "channel receive",
+				})
+			}
+		case *ast.SelectStmt:
+			ff.lockOps = append(ff.lockOps, lockOp{
+				kind: lockOpBlock, pos: n.Pos(), deferred: inDeferredCtx(stack),
+				blockKind: "select statement",
+			})
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					ff.lockOps = append(ff.lockOps, lockOp{
+						kind: lockOpBlock, pos: n.Pos(), deferred: inDeferredCtx(stack),
+						blockKind: "channel range",
+					})
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// lockCallOp classifies one call expression: a mutex acquire/release, a
+// blocking lookup/wait, and/or a call edge for TransLocks propagation.
+func (f *Facts) lockCallOp(pkg *Package, call *ast.CallExpr, stack []ast.Node, ff *FuncFacts) {
+	deferred := inDeferredCtx(stack)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		recv := pkg.Info.TypeOf(sel.X)
+		var mode byte
+		switch sel.Sel.Name {
+		case "Lock", "Unlock":
+			mode = 'W'
+		case "RLock", "RUnlock":
+			mode = 'R'
+		}
+		if mode != 0 && (isNamed(recv, "sync", "Mutex") || isNamed(recv, "sync", "RWMutex")) {
+			kind := lockOpAcquire
+			if sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock" {
+				kind = lockOpRelease
+			}
+			class := fieldKey(pkg, sel.X)
+			if class == "" {
+				class = pkg.PkgPath + "." + types.ExprString(sel.X)
+			}
+			ff.lockOps = append(ff.lockOps, lockOp{
+				kind: kind, pos: call.Pos(), deferred: deferred,
+				class: class, mode: mode, expr: types.ExprString(sel.X),
+			})
+			return
+		}
+		// Singleflight wait: FlightGroup.Do blocks waiters on the leader.
+		if sel.Sel.Name == "Do" {
+			if n := namedType(recv); n != nil && n.Obj().Name() == "FlightGroup" &&
+				n.Obj().Pkg() != nil && isPlancachePkg(n.Obj().Pkg().Path()) {
+				ff.lockOps = append(ff.lockOps, lockOp{
+					kind: lockOpBlock, pos: call.Pos(), deferred: deferred,
+					blockKind: "singleflight wait",
+				})
+			}
+		}
+		// md.Provider lookups go to the catalog backend and can stall for the
+		// full lookup timeout.
+		if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal && types.IsInterface(s.Recv()) {
+			if id := ifaceMethodID(s.Recv(), sel.Sel.Name); id != "" {
+				if id == f.cfg.MDPkgPath+".Provider."+sel.Sel.Name {
+					ff.lockOps = append(ff.lockOps, lockOp{
+						kind: lockOpBlock, pos: call.Pos(), deferred: deferred,
+						blockKind: "md.Provider lookup",
+					})
+				}
+				ff.lockOps = append(ff.lockOps, lockOp{
+					kind: lockOpCall, pos: call.Pos(), deferred: deferred,
+					callee: id, isIface: true,
+				})
+				return
+			}
+		}
+	}
+	if fn, _ := calleeObjPkg(pkg, call).(*types.Func); fn != nil && fn.Pkg() != nil {
+		ff.lockOps = append(ff.lockOps, lockOp{
+			kind: lockOpCall, pos: call.Pos(), deferred: deferred,
+			callee: fn.FullName(),
+		})
+	}
+}
+
+// isPlancachePkg reports the real plancache package or a fixture standing in
+// for it (tamper copies keep their FlightGroup type, but under a fixture
+// path).
+func isPlancachePkg(path string) bool {
+	return path == plancachePkgPath || hasFixturePrefix(path)
+}
+
+func hasFixturePrefix(path string) bool {
+	return len(path) >= len(fixturePkgPrefix) && path[:len(fixturePkgPrefix)] == fixturePkgPrefix
+}
+
+// isDeferredLit reports a function literal invoked directly by a defer
+// statement: defer func() { ... }().
+func isDeferredLit(stack []ast.Node, lit *ast.FuncLit) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok || call.Fun != lit {
+		return false
+	}
+	_, ok = stack[len(stack)-2].(*ast.DeferStmt)
+	return ok
+}
+
+// inDeferredCtx reports whether the walker is inside a defer statement (a
+// direct deferred call, or the body of a deferred literal — non-deferred
+// literals are pruned before this runs).
+func inDeferredCtx(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// inCommGuard reports whether n is (part of) the communication guard of a
+// select case — `case <-ch:` / `case ch <- v:`. The enclosing SelectStmt is
+// recorded as the one blocking event; counting the guard too would
+// double-report.
+func inCommGuard(stack []ast.Node, n ast.Node) bool {
+	child := n
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.CommClause:
+			return child == ast.Node(s.Comm)
+		case *ast.FuncLit, *ast.FuncDecl, *ast.BlockStmt:
+			return false
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// finalizeLockOrder computes each function's direct lock-class set
+// (LockAcquires) and its transitive closure over static and devirtualized
+// call edges (TransLocks), the relation the lockorder analyzer uses to add
+// acquisition-order edges at call sites made under a held lock.
+func (f *Facts) finalizeLockOrder() {
+	keys := make([]string, 0, len(f.Funcs))
+	for k := range f.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	trans := make(map[string]map[string]bool, len(keys))
+	for _, k := range keys {
+		ff := f.Funcs[k]
+		set := make(map[string]bool)
+		for _, op := range ff.lockOps {
+			if op.kind == lockOpAcquire && !op.deferred {
+				set[op.class] = true
+			}
+		}
+		ff.LockAcquires = sortedKeys(set)
+		t := make(map[string]bool, len(set))
+		for c := range set {
+			t[c] = true
+		}
+		trans[k] = t
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, k := range keys {
+			ff := f.Funcs[k]
+			t := trans[k]
+			add := func(callee string) {
+				for c := range trans[callee] {
+					if !t[c] {
+						t[c] = true
+						changed = true
+					}
+				}
+			}
+			for _, c := range ff.Calls {
+				add(c)
+			}
+			for _, ic := range ff.IfaceCalls {
+				for _, impl := range f.IfaceImpls[ic] {
+					add(impl)
+				}
+			}
+		}
+	}
+	for _, k := range keys {
+		f.Funcs[k].TransLocks = sortedKeys(trans[k])
+	}
+}
+
+// transLocksOf returns the callee's transitive lock classes: the function's
+// own TransLocks for a static callee, or the union over the registered
+// implementations for an interface method id.
+func (f *Facts) transLocksOf(callee string, isIface bool) []string {
+	if !isIface {
+		if ff := f.Funcs[callee]; ff != nil {
+			return ff.TransLocks
+		}
+		return nil
+	}
+	impls := f.IfaceImpls[callee]
+	if len(impls) == 0 {
+		return nil
+	}
+	set := make(map[string]bool)
+	for _, impl := range impls {
+		if ff := f.Funcs[impl]; ff != nil {
+			for _, c := range ff.TransLocks {
+				set[c] = true
+			}
+		}
+	}
+	return sortedKeys(set)
+}

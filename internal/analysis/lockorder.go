@@ -1,0 +1,220 @@
+package analysis
+
+// lockorder builds a global lock-acquisition-order graph from the per-function
+// lock timelines (lockfacts.go): acquiring B while holding A adds the edge
+// A → B, both for direct acquisitions and — through the TransLocks closure —
+// for locks taken anywhere below a call made under A. Two goroutines taking
+// the same pair of locks in opposite orders deadlock, so any cycle among the
+// order edges is a finding. Independently, a lock held across an operation
+// that can block without bound — a channel op, a select, an md.Provider
+// lookup, a singleflight wait — stalls every other path through that lock and
+// is reported directly.
+
+import (
+	"go/token"
+	"sort"
+)
+
+// LockOrder is the global lock-acquisition-order analyzer.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "build the module-wide lock-acquisition-order graph over the call graph " +
+		"and report order cycles (deadlock potential) and locks held across " +
+		"indefinitely-blocking operations (channel ops, md.Provider lookups, " +
+		"singleflight waits)",
+	RunModule: runLockOrder,
+}
+
+// lockEdgeKey identifies one acquisition-order edge between lock classes.
+type lockEdgeKey struct {
+	from, to string
+}
+
+// lockWitness is the first site at which an order edge was observed.
+type lockWitness struct {
+	pos token.Pos
+	fn  string
+	via string // "" for a direct acquisition, the callee key otherwise
+}
+
+func runLockOrder(mp *ModulePass) {
+	f := mp.Facts
+	keys := make([]string, 0, len(f.Funcs))
+	for k := range f.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	edges := make(map[lockEdgeKey]lockWitness)
+	addEdge := func(from, to string, w lockWitness) {
+		if from == to {
+			return // reentrancy on one class is lockcheck's domain
+		}
+		key := lockEdgeKey{from, to}
+		if _, ok := edges[key]; !ok {
+			edges[key] = w
+		}
+	}
+
+	// Simulate each function's held set over its source-order lock timeline.
+	// Deferred acquires never run mid-body and are skipped; a deferred release
+	// keeps its lock held to the end of the function; a non-deferred release
+	// pops the most recent matching acquisition (by expression, else class).
+	for _, k := range keys {
+		ff := f.Funcs[k]
+		var held []lockOp
+		for _, op := range ff.lockOps {
+			switch op.kind {
+			case lockOpAcquire:
+				if op.deferred {
+					continue
+				}
+				for _, h := range held {
+					addEdge(h.class, op.class, lockWitness{pos: op.pos, fn: k})
+				}
+				held = append(held, op)
+			case lockOpRelease:
+				if op.deferred {
+					continue
+				}
+				idx := -1
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i].expr == op.expr && held[i].mode == op.mode {
+						idx = i
+						break
+					}
+				}
+				if idx == -1 {
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i].class == op.class && held[i].mode == op.mode {
+							idx = i
+							break
+						}
+					}
+				}
+				if idx >= 0 {
+					held = append(held[:idx], held[idx+1:]...)
+				}
+			case lockOpBlock:
+				if op.deferred || len(held) == 0 {
+					continue
+				}
+				h := held[len(held)-1]
+				mp.Reportf(op.pos, "lock %s held across %s: a goroutine blocked here keeps the lock and stalls every other path through it",
+					h.class, op.blockKind)
+			case lockOpCall:
+				if op.deferred || len(held) == 0 {
+					continue
+				}
+				for _, c := range f.transLocksOf(op.callee, op.isIface) {
+					for _, h := range held {
+						addEdge(h.class, c, lockWitness{pos: op.pos, fn: k, via: op.callee})
+					}
+				}
+			}
+		}
+	}
+
+	// Any edge inside a strongly-connected component participates in an
+	// acquisition-order cycle.
+	comp := lockSCC(edges)
+	ekeys := make([]lockEdgeKey, 0, len(edges))
+	for ek := range edges {
+		ekeys = append(ekeys, ek)
+	}
+	sort.Slice(ekeys, func(i, j int) bool {
+		if ekeys[i].from != ekeys[j].from {
+			return ekeys[i].from < ekeys[j].from
+		}
+		return ekeys[i].to < ekeys[j].to
+	})
+	for _, ek := range ekeys {
+		if comp[ek.from] != comp[ek.to] {
+			continue
+		}
+		w := edges[ek]
+		if w.via != "" {
+			mp.Reportf(w.pos, "lock acquisition order cycle: %s (via call to %s) is acquired while %s is held, and the reverse order exists elsewhere in the module",
+				ek.to, w.via, ek.from)
+		} else {
+			mp.Reportf(w.pos, "lock acquisition order cycle: %s is acquired while %s is held, and the reverse order exists elsewhere in the module",
+				ek.to, ek.from)
+		}
+	}
+}
+
+// lockSCC assigns each lock class an SCC id (iterative Tarjan).
+func lockSCC(edges map[lockEdgeKey]lockWitness) map[string]int {
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for ek := range edges {
+		adj[ek.from] = append(adj[ek.from], ek.to)
+		nodes[ek.from], nodes[ek.to] = true, true
+	}
+	order := sortedKeys(nodes)
+	for _, n := range order {
+		sort.Strings(adj[n])
+	}
+
+	index := make(map[string]int, len(nodes))
+	low := make(map[string]int, len(nodes))
+	onStack := make(map[string]bool, len(nodes))
+	comp := make(map[string]int, len(nodes))
+	var stack []string
+	next, compID := 0, 0
+
+	type frame struct {
+		node string
+		edge int
+	}
+	for _, root := range order {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		frames := []frame{{node: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			fr := &frames[len(frames)-1]
+			if fr.edge < len(adj[fr.node]) {
+				child := adj[fr.node][fr.edge]
+				fr.edge++
+				if _, seen := index[child]; !seen {
+					index[child], low[child] = next, next
+					next++
+					stack = append(stack, child)
+					onStack[child] = true
+					frames = append(frames, frame{node: child})
+				} else if onStack[child] {
+					if index[child] < low[fr.node] {
+						low[fr.node] = index[child]
+					}
+				}
+				continue
+			}
+			if low[fr.node] == index[fr.node] {
+				for {
+					n := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[n] = false
+					comp[n] = compID
+					if n == fr.node {
+						break
+					}
+				}
+				compID++
+			}
+			done := fr.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[done] < low[parent.node] {
+					low[parent.node] = low[done]
+				}
+			}
+		}
+	}
+	return comp
+}

@@ -1,0 +1,191 @@
+package analysis
+
+// pubfacts.go: the facts extension behind the pubimmut analyzer. Each
+// function is summarized with the parameters (and receiver) it plainly
+// mutates — a field store, an element store, or an increment through the
+// parameter — and the parameter-passing edges that let a mutation deep in a
+// callee chain surface at the caller: if setCost(e) writes e.Cost and
+// admit(x) calls setCost(x), then admit mutates its parameter too. The
+// pubimmut analyzer combines this closure with its publication-site registry
+// to flag writes to objects that have already escaped to other goroutines.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// paramPassEdge records one argument position: the caller's parameter
+// callerIdx flows into calleeIdx of callee (-1 = the callee's receiver).
+type paramPassEdge struct {
+	callee    string
+	callerIdx int
+	calleeIdx int
+}
+
+// summarizeMutations records which of the declaration's parameters are
+// plainly written through (receiver = index -1) and which are handed onward
+// to other functions as arguments or receivers.
+func (f *Facts) summarizeMutations(pkg *Package, fd *ast.FuncDecl, ff *FuncFacts) {
+	if fd.Body == nil {
+		return
+	}
+	params := make(map[types.Object]int)
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		if o := pkg.Info.Defs[fd.Recv.List[0].Names[0]]; o != nil {
+			params[o] = -1
+		}
+	}
+	idx := 0
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if len(field.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range field.Names {
+				if o := pkg.Info.Defs[name]; o != nil && name.Name != "_" {
+					params[o] = idx
+				}
+				idx++
+			}
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	ff.mutParams = make(map[int]bool)
+	mark := func(e ast.Expr) {
+		// A write through the parameter (e.f = v, e[k] = v, e.f.g = v)
+		// mutates it; rebinding the bare identifier does not.
+		if _, bare := ast.Unparen(e).(*ast.Ident); bare {
+			return
+		}
+		if id := rootIdent(e); id != nil {
+			if i, ok := params[pkg.Info.Uses[id]]; ok {
+				ff.mutParams[i] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.CallExpr:
+			fn, _ := calleeObjPkg(pkg, n).(*types.Func)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig := fn.Type().(*types.Signature)
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sig.Recv() != nil {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if i, ok := params[pkg.Info.Uses[id]]; ok {
+						ff.paramPass = append(ff.paramPass, paramPassEdge{fn.FullName(), i, -1})
+					}
+				}
+			}
+			for ai, arg := range n.Args {
+				id, ok := ast.Unparen(arg).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				i, ok := params[pkg.Info.Uses[id]]
+				if !ok {
+					continue
+				}
+				ci := ai
+				if sig.Variadic() && ci >= sig.Params().Len()-1 {
+					continue // a variadic slot is a fresh slice in the callee
+				}
+				ff.paramPass = append(ff.paramPass, paramPassEdge{fn.FullName(), i, ci})
+			}
+		}
+		return true
+	})
+}
+
+// rootIdent unwraps selector/index/star/paren chains to the base identifier,
+// or nil (e.g. for a call result base).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// finalizeMutations closes parameter mutation over the pass-through edges and
+// publishes the result as MutatesRecv / MutatesParams.
+func (f *Facts) finalizeMutations() {
+	keys := make([]string, 0, len(f.Funcs))
+	for k := range f.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for changed := true; changed; {
+		changed = false
+		for _, k := range keys {
+			ff := f.Funcs[k]
+			for _, e := range ff.paramPass {
+				cf := f.Funcs[e.callee]
+				if cf == nil || cf.mutParams == nil || !cf.mutParams[e.calleeIdx] {
+					continue
+				}
+				if ff.mutParams == nil {
+					ff.mutParams = make(map[int]bool)
+				}
+				if !ff.mutParams[e.callerIdx] {
+					ff.mutParams[e.callerIdx] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for _, k := range keys {
+		ff := f.Funcs[k]
+		if len(ff.mutParams) == 0 {
+			continue
+		}
+		for i := range ff.mutParams {
+			if i == -1 {
+				ff.MutatesRecv = true
+			} else {
+				ff.MutatesParams = append(ff.MutatesParams, i)
+			}
+		}
+		sort.Ints(ff.MutatesParams)
+	}
+}
+
+// mutatesArg reports whether calling fn with an object at argument position
+// idx (-1 = receiver) can plainly write through it.
+func (f *Facts) mutatesArg(key string, idx int) bool {
+	ff := f.Funcs[key]
+	if ff == nil {
+		return false
+	}
+	if idx == -1 {
+		return ff.MutatesRecv
+	}
+	for _, i := range ff.MutatesParams {
+		if i == idx {
+			return true
+		}
+	}
+	return false
+}

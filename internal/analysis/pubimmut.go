@@ -1,0 +1,225 @@
+package analysis
+
+// pubimmut generalizes memoimmut's immutability contract to publication
+// points: once an object escapes to other goroutines through a registered
+// publication site — a plan-cache shard insert, a singleflight result, a Memo
+// group publication, a JSON response snapshot — the publishing function must
+// not plainly write through it afterward. A later write races with every
+// concurrent reader the site just admitted; the fix is rebind-must-copy
+// (mutate a copy and publish that), which this analyzer turns from a review
+// comment into a build-time invariant. Helper calls count too: passing a
+// published object to a function whose facts say it writes the corresponding
+// parameter (pubfacts.go) is a mutation at the call site.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PubImmut is the published-object immutability analyzer.
+var PubImmut = &Analyzer{
+	Name: "pubimmut",
+	Doc: "report writes to objects after they escaped through a publication " +
+		"site (plan-cache shard insert, singleflight result, memo group " +
+		"publication, JSON response snapshot): published objects are shared " +
+		"with other goroutines and must be copied before mutation",
+	RunModule: runPubImmut,
+}
+
+// pubOrigin records how a tracked object escaped.
+type pubOrigin struct {
+	site string
+	pos  token.Pos
+}
+
+func runPubImmut(mp *ModulePass) {
+	for _, pkg := range mp.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkPublished(mp, pkg, fd)
+			}
+		}
+	}
+}
+
+// checkPublished walks one declaration in source order, tracking which local
+// objects have escaped through a publication site and reporting plain writes
+// and mutating calls that follow. Rebinding the bare identifier ends the
+// tracking — that is exactly the rebind-must-copy idiom.
+func checkPublished(mp *ModulePass, pkg *Package, fd *ast.FuncDecl) {
+	published := make(map[types.Object]pubOrigin)
+
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if o := pkg.Info.Uses[id]; o != nil {
+			return o
+		}
+		return pkg.Info.Defs[id]
+	}
+	publish := func(e ast.Expr, site string, pos token.Pos) {
+		if o := objOf(e); o != nil {
+			if _, ok := o.Type().Underlying().(*types.Basic); ok {
+				return // copied on publication; later writes are private
+			}
+			published[o] = pubOrigin{site: site, pos: pos}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if o := objOf(lhs); o != nil {
+					delete(published, o) // bare rebind: the name no longer aliases the published object
+					continue
+				}
+				if id := rootIdent(lhs); id != nil {
+					if org, ok := published[pkg.Info.Uses[id]]; ok {
+						mp.Reportf(lhs.Pos(), "%s is written after it escaped through %s: the object is shared with other goroutines; rebind a copy instead (rebind-must-copy)",
+							id.Name, org.site)
+					}
+				}
+				// Field-store publication: assigning into flight.entry hands
+				// the entry to every waiter blocked on the flight.
+				if len(n.Rhs) == len(n.Lhs) {
+					if site := fieldStoreSite(mp.Config, pkg, lhs); site != "" {
+						publish(n.Rhs[i], site, n.Pos())
+					}
+				}
+			}
+			// Result publication: a call returning an already-shared object
+			// (cache lookup hit, singleflight result) publishes the bound name.
+			if len(n.Rhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+					if site, idx := resultSite(mp.Config, pkg, call); site != "" && idx < len(n.Lhs) {
+						publish(n.Lhs[idx], site, n.Pos())
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id := rootIdent(n.X); id != nil {
+				if org, ok := published[pkg.Info.Uses[id]]; ok {
+					mp.Reportf(n.Pos(), "%s is written after it escaped through %s: the object is shared with other goroutines; rebind a copy instead (rebind-must-copy)",
+						id.Name, org.site)
+				}
+			}
+		case *ast.CallExpr:
+			fn, _ := calleeObjPkg(pkg, n).(*types.Func)
+			if fn == nil {
+				return true
+			}
+			facts := mp.Facts
+			// A call that hands a published object to a mutating parameter
+			// (or receiver) writes through it one frame down.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && fn.Type().(*types.Signature).Recv() != nil {
+				if o := objOf(sel.X); o != nil {
+					if org, ok := published[o]; ok && facts.mutatesArg(fn.FullName(), -1) {
+						mp.Reportf(n.Pos(), "call to %s mutates %s after it escaped through %s: copy before mutating (rebind-must-copy)",
+							fn.Name(), ast.Unparen(sel.X).(*ast.Ident).Name, org.site)
+					}
+				}
+			}
+			sig := fn.Type().(*types.Signature)
+			for i, arg := range n.Args {
+				if sig.Variadic() && i >= sig.Params().Len()-1 {
+					break // variadic slots arrive as a fresh slice
+				}
+				o := objOf(arg)
+				if o == nil {
+					continue
+				}
+				if org, ok := published[o]; ok && facts.mutatesArg(fn.FullName(), i) {
+					mp.Reportf(n.Pos(), "call to %s mutates %s after it escaped through %s: copy before mutating (rebind-must-copy)",
+						fn.Name(), ast.Unparen(arg).(*ast.Ident).Name, org.site)
+				}
+			}
+			// Argument publication: the site shares the argument onward.
+			if site, idx := callArgSite(mp.Config, pkg, n, fn); site != "" && idx < len(n.Args) {
+				publish(n.Args[idx], site, n.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// isServePkg reports the configured serve package or a fixture standing in
+// for it.
+func isServePkg(cfg *Config, path string) bool {
+	return path == cfg.ServePkgPath || hasFixturePrefix(path)
+}
+
+// isMemoPkg reports the real memo package or a fixture.
+func isMemoPkg(path string) bool {
+	return path == memoPkgPath || hasFixturePrefix(path)
+}
+
+// callArgSite matches publication sites where an argument escapes: the
+// plan-cache shard insert and the Memo group publication share the object
+// with every later cache/memo reader; a JSON snapshot hands it to the encoder
+// on the response goroutine's schedule.
+func callArgSite(cfg *Config, pkg *Package, call *ast.CallExpr, fn *types.Func) (string, int) {
+	recv := recvTypeName(fn)
+	switch {
+	case fn.Name() == "Admit" && recv == "Cache" && isPlancachePkg(fn.Pkg().Path()):
+		return "a plan-cache shard insert", 1
+	case fn.Name() == "publishGroup" && recv == "Memo" && isMemoPkg(fn.Pkg().Path()):
+		return "a memo group publication", 0
+	case fn.Name() == "writeJSON" && recv == "" && isServePkg(cfg, fn.Pkg().Path()):
+		return "a JSON response snapshot", 2
+	}
+	return "", 0
+}
+
+// resultSite matches publication sites where a call result is an object other
+// goroutines already hold: a plan-cache lookup hit and a singleflight result
+// are shared with every other caller that got the same entry.
+func resultSite(cfg *Config, pkg *Package, call *ast.CallExpr) (string, int) {
+	fn, _ := calleeObjPkg(pkg, call).(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return "", 0
+	}
+	recv := recvTypeName(fn)
+	switch {
+	case fn.Name() == "Lookup" && recv == "Cache" && isPlancachePkg(fn.Pkg().Path()):
+		return "a plan-cache lookup", 0
+	case fn.Name() == "Do" && recv == "FlightGroup" && isPlancachePkg(fn.Pkg().Path()):
+		return "a singleflight result", 0
+	}
+	return "", 0
+}
+
+// fieldStoreSite matches stores that publish their right-hand side: assigning
+// flight.entry makes the entry visible to every waiter of the flight once the
+// done channel closes.
+func fieldStoreSite(cfg *Config, pkg *Package, lhs ast.Expr) string {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "entry" {
+		return ""
+	}
+	n := namedType(pkg.Info.TypeOf(sel.X))
+	if n != nil && n.Obj().Name() == "flight" && n.Obj().Pkg() != nil && isPlancachePkg(n.Obj().Pkg().Path()) {
+		return "a singleflight publication"
+	}
+	return ""
+}
+
+// recvTypeName returns the name of the method's receiver named type, or "".
+func recvTypeName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return ""
+	}
+	n := namedType(sig.Recv().Type())
+	if n == nil {
+		return ""
+	}
+	return n.Obj().Name()
+}

@@ -1,0 +1,444 @@
+package analysis
+
+// respfacts.go: the facts extension behind the respwrite analyzer. Functions
+// taking an http.ResponseWriter are scanned with a branch-aware commit
+// tracker: every path through the body is classified by whether it has
+// committed a response (WriteHeader or first body write), may have committed
+// one (a branch that commits but falls through), or has not. The fixpoint
+// propagates the classification through helpers — writeJSON commits, so
+// writeAPIError commits, so every runOptimize error path commits — giving
+// the analyzer interprocedural answers for "does this call answer the
+// request?". Alongside, every gpos.Raise/Wrap call site with constant
+// component/code is recorded for the error-taxonomy cross-check.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Response-commit states of the scanner's path lattice.
+const (
+	respNo    = iota // nothing written yet
+	respMaybe        // some joined path committed, another did not
+	respYes          // the response status is committed on every path here
+)
+
+// respFn retains what finalizeResp and the respwrite analyzer need to rescan
+// one ResponseWriter-taking function.
+type respFn struct {
+	pkg     *Package
+	fd      *ast.FuncDecl
+	handler bool // (http.ResponseWriter, *http.Request) in a serve package
+	commit  int  // respNo / respMaybe / respYes (= never / may / always commits)
+}
+
+// raiseSite is one gpos.Raise/Wrap call with constant-folded component and
+// code ("" when not constant).
+type raiseSite struct {
+	comp, code string
+	pos        token.Pos
+}
+
+// isRespWriter reports the net/http.ResponseWriter interface type.
+func isRespWriter(t types.Type) bool {
+	return isNamed(t, "net/http", "ResponseWriter")
+}
+
+// summarizeResp registers ResponseWriter-taking declarations for the commit
+// fixpoint and records the body's gpos.Raise/Wrap sites.
+func (f *Facts) summarizeResp(pkg *Package, fd *ast.FuncDecl, fn *types.Func, ff *FuncFacts) {
+	if fd.Body != nil {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, _ := calleeObjPkg(pkg, call).(*types.Func)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != f.cfg.GPOSPkgPath {
+				return true
+			}
+			var compArg, codeArg int
+			switch callee.Name() {
+			case "Raise":
+				compArg, codeArg = 0, 1
+			case "Wrap":
+				compArg, codeArg = 1, 2
+			default:
+				return true
+			}
+			if len(call.Args) <= codeArg {
+				return true
+			}
+			ff.raises = append(ff.raises, raiseSite{
+				comp: constString(pkg, call.Args[compArg]),
+				code: constString(pkg, call.Args[codeArg]),
+				pos:  call.Pos(),
+			})
+			return true
+		})
+	}
+
+	sig := fn.Type().(*types.Signature)
+	hasRW, hasReq := false, false
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		if isRespWriter(t) {
+			hasRW = true
+		}
+		if isNamed(t, "net/http", "Request") {
+			hasReq = true
+		}
+	}
+	if !hasRW || fd.Body == nil {
+		return
+	}
+	if f.respFns == nil {
+		f.respFns = make(map[string]*respFn)
+	}
+	f.respFns[ff.Key] = &respFn{
+		pkg: pkg,
+		fd:  fd,
+		handler: hasReq &&
+			(pkg.PkgPath == f.cfg.ServePkgPath || hasFixturePrefix(pkg.PkgPath)),
+	}
+}
+
+// constString folds a constant string-valued expression ("NoPlan",
+// gpos.CompMD, md.CodeLookupTimeout) or returns "".
+func constString(pkg *Package, e ast.Expr) string {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(tv.Value)
+}
+
+// finalizeResp runs the commit scanner over every registered function until
+// the classes stabilize (classes only rise through no → may → always, so the
+// loop terminates), then mirrors the result into the exported facts.
+func (f *Facts) finalizeResp() {
+	keys := make([]string, 0, len(f.respFns))
+	for k := range f.respFns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for changed := true; changed; {
+		changed = false
+		for _, k := range keys {
+			rf := f.respFns[k]
+			sc := &respScan{pkg: rf.pkg, facts: f}
+			out, terminated := sc.scanStmts(rf.fd.Body.List, respNo)
+			commit := respNo
+			if sc.sawCommit {
+				commit = respYes
+				for _, r := range sc.returns {
+					if r.state != respYes {
+						commit = respMaybe
+					}
+				}
+				if !terminated && out != respYes {
+					commit = respMaybe
+				}
+			}
+			if commit > rf.commit {
+				rf.commit = commit
+				changed = true
+			}
+		}
+	}
+	for _, k := range keys {
+		switch f.respFns[k].commit {
+		case respYes:
+			f.Funcs[k].RespCommit = "always"
+		case respMaybe:
+			f.Funcs[k].RespCommit = "may"
+		}
+	}
+}
+
+// respCommitClass answers how a callee treats a ResponseWriter handed to it.
+func (f *Facts) respCommitClass(key string) int {
+	if rf := f.respFns[key]; rf != nil {
+		return rf.commit
+	}
+	return respNo
+}
+
+// respReturn records the commit state observed at one return statement.
+type respReturn struct {
+	pos   token.Pos
+	state int
+}
+
+// respScan walks one function body tracking the response-commit state along
+// each path. Deferred and go statements are excluded — a deferred recover
+// boundary answering the request is exceptional-path code, and an async
+// write is a different bug class. break/continue/goto conservatively end
+// their path.
+type respScan struct {
+	pkg       *Package
+	facts     *Facts
+	report    func(pos token.Pos, format string, args ...any) // nil: classification only
+	returns   []respReturn
+	sawCommit bool
+}
+
+// joinResp merges the states of two paths.
+func joinResp(a, b int) int {
+	if a == b {
+		return a
+	}
+	return respMaybe
+}
+
+// scanStmts runs the statement list from state and returns the fall-through
+// state plus whether every path terminated (returned, panicked, or branched
+// away).
+func (sc *respScan) scanStmts(stmts []ast.Stmt, state int) (int, bool) {
+	for _, s := range stmts {
+		var terminated bool
+		state, terminated = sc.scanStmt(s, state)
+		if terminated {
+			return state, true
+		}
+	}
+	return state, false
+}
+
+func (sc *respScan) scanStmt(s ast.Stmt, state int) (int, bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return sc.scanStmts(s.List, state)
+	case *ast.LabeledStmt:
+		return sc.scanStmt(s.Stmt, state)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			state = sc.scanExpr(r, state)
+		}
+		sc.returns = append(sc.returns, respReturn{pos: s.Pos(), state: state})
+		return state, true
+	case *ast.BranchStmt:
+		return state, true
+	case *ast.DeferStmt, *ast.GoStmt:
+		return state, false
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if tv, ok := sc.pkg.Info.Types[call.Fun]; ok && tv.IsBuiltin() {
+					return state, true
+				}
+			}
+		}
+		return sc.scanExpr(s.X, state), false
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			state = sc.scanExpr(r, state)
+		}
+		return state, false
+	case *ast.IncDecStmt, *ast.EmptyStmt, *ast.DeclStmt, *ast.SendStmt:
+		return state, false
+	case *ast.IfStmt:
+		if s.Init != nil {
+			state, _ = sc.scanStmt(s.Init, state)
+		}
+		state = sc.scanExpr(s.Cond, state)
+		thenOut, thenTerm := sc.scanStmts(s.Body.List, state)
+		if s.Else != nil {
+			elseOut, elseTerm := sc.scanStmt(s.Else, state)
+			switch {
+			case thenTerm && elseTerm:
+				return state, true
+			case thenTerm:
+				return elseOut, false
+			case elseTerm:
+				return thenOut, false
+			default:
+				return joinResp(thenOut, elseOut), false
+			}
+		}
+		if thenTerm {
+			return state, false
+		}
+		return joinResp(state, thenOut), false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			state, _ = sc.scanStmt(s.Init, state)
+		}
+		if s.Cond != nil {
+			state = sc.scanExpr(s.Cond, state)
+		}
+		bodyOut, _ := sc.scanStmts(s.Body.List, state)
+		return joinResp(state, bodyOut), false
+	case *ast.RangeStmt:
+		state = sc.scanExpr(s.X, state)
+		bodyOut, _ := sc.scanStmts(s.Body.List, state)
+		return joinResp(state, bodyOut), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return sc.scanBranches(s, state)
+	default:
+		return state, false
+	}
+}
+
+// scanBranches handles switch/type-switch/select: each clause runs from the
+// pre-branch state; the outcome joins every falling-through clause, plus the
+// pre-branch state itself when a switch has no default (select without a
+// default still runs exactly one clause, eventually).
+func (sc *respScan) scanBranches(s ast.Stmt, state int) (int, bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			state, _ = sc.scanStmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			state = sc.scanExpr(s.Tag, state)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	outs := []int{}
+	allTerm := true
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		}
+		out, term := sc.scanStmts(stmts, state)
+		if !term {
+			outs = append(outs, out)
+			allTerm = false
+		}
+	}
+	if _, isSelect := s.(*ast.SelectStmt); isSelect {
+		hasDefault = true // a default-less select still runs one clause
+	}
+	if !hasDefault || len(body.List) == 0 {
+		outs = append(outs, state)
+		allTerm = false
+	}
+	if allTerm {
+		return state, true
+	}
+	out := outs[0]
+	for _, o := range outs[1:] {
+		out = joinResp(out, o)
+	}
+	return out, false
+}
+
+// scanExpr applies the commit effects of every call in the expression tree,
+// in pre-order (function literals pruned — they do not run inline).
+func (sc *respScan) scanExpr(e ast.Expr, state int) int {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			state = sc.applyCall(call, state)
+		}
+		return true
+	})
+	return state
+}
+
+// applyCall transitions the commit state across one call and reports the
+// double-commit findings.
+func (sc *respScan) applyCall(call *ast.CallExpr, state int) int {
+	info := sc.pkg.Info
+	// Direct method calls on the ResponseWriter.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if t := info.TypeOf(sel.X); isRespWriter(t) {
+			switch sel.Sel.Name {
+			case "WriteHeader":
+				return sc.headerCommit(call.Pos(), "WriteHeader", state)
+			case "Write":
+				return sc.bodyWrite(call.Pos(), state)
+			}
+		}
+	}
+	fn, _ := calleeObjPkg(sc.pkg, call).(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return state
+	}
+	// Committing stdlib helpers taking the writer as their first argument.
+	if len(call.Args) > 0 && isRespWriter(info.TypeOf(call.Args[0])) {
+		switch fn.Pkg().Path() {
+		case "net/http":
+			switch fn.Name() {
+			case "Error", "NotFound", "Redirect", "ServeFile", "ServeContent":
+				return sc.headerCommit(call.Pos(), "http."+fn.Name(), state)
+			}
+		case "fmt":
+			switch fn.Name() {
+			case "Fprint", "Fprintf", "Fprintln":
+				return sc.bodyWrite(call.Pos(), state)
+			}
+		case "io":
+			if fn.Name() == "WriteString" {
+				return sc.bodyWrite(call.Pos(), state)
+			}
+		}
+	}
+	// In-module helpers handed the writer: use their commit classification.
+	passesRW := false
+	for _, arg := range call.Args {
+		if isRespWriter(info.TypeOf(arg)) {
+			passesRW = true
+			break
+		}
+	}
+	if !passesRW {
+		return state
+	}
+	switch sc.facts.respCommitClass(fn.FullName()) {
+	case respYes:
+		return sc.headerCommit(call.Pos(), fn.Name(), state)
+	case respMaybe:
+		sc.sawCommit = true
+		return joinResp(state, respMaybe)
+	}
+	return state
+}
+
+// headerCommit is a status-line commit (WriteHeader, a taxonomy helper, an
+// http.Error): at respYes it is a second response, at respMaybe it may be.
+func (sc *respScan) headerCommit(pos token.Pos, what string, state int) int {
+	sc.sawCommit = true
+	if sc.report != nil {
+		switch state {
+		case respYes:
+			sc.report(pos, "response committed more than once: %s runs after the response status is already written", what)
+		case respMaybe:
+			sc.report(pos, "response may already be committed on another path when %s runs", what)
+		}
+	}
+	return respYes
+}
+
+// bodyWrite is a body write: the first one implicitly commits a 200; a body
+// write on a maybe-committed path appends to a response another branch
+// already finished.
+func (sc *respScan) bodyWrite(pos token.Pos, state int) int {
+	sc.sawCommit = true
+	if sc.report != nil && state == respMaybe {
+		sc.report(pos, "body write while the response may already be committed on another path")
+	}
+	return respYes
+}

@@ -1,0 +1,191 @@
+package analysis
+
+// respwrite holds the serving tier to an exactly-once response contract.
+// Every function taking an http.ResponseWriter is rescanned with the commit
+// tracker from respfacts.go, reporting double commits (a WriteHeader or
+// taxonomy write after the status is already out) and body writes on paths
+// where another branch may already have finished the response. Handler roots
+// — (http.ResponseWriter, *http.Request) functions in the serve package —
+// additionally must commit on every path: a naked return or a fall-through
+// to the end of the body without a status write serves an implicit 200 with
+// no taxonomy payload. Finally, the gpos.Exception component/code pairs
+// reachable from handlers are cross-checked against the JSON error taxonomy:
+// every code a handler can surface must be mapped (or the taxonomy must carry
+// a generic code passthrough), so no exception reaches a client unnamed.
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// RespWrite is the handler response-lifecycle analyzer.
+var RespWrite = &Analyzer{
+	Name: "respwrite",
+	Doc: "enforce exactly-once response commit in serve handlers (no double " +
+		"WriteHeader, no write after a committed branch, no return without an " +
+		"error-taxonomy write) and cross-check that every gpos exception code " +
+		"reachable from handlers maps into the JSON error taxonomy",
+	RunModule: runRespWrite,
+}
+
+func runRespWrite(mp *ModulePass) {
+	f := mp.Facts
+	keys := make([]string, 0, len(f.respFns))
+	for k := range f.respFns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var handlers []string
+	for _, k := range keys {
+		rf := f.respFns[k]
+		sc := &respScan{pkg: rf.pkg, facts: f, report: mp.Reportf}
+		out, terminated := sc.scanStmts(rf.fd.Body.List, respNo)
+		if !rf.handler {
+			continue
+		}
+		handlers = append(handlers, k)
+		for _, r := range sc.returns {
+			switch r.state {
+			case respNo:
+				mp.Reportf(r.pos, "handler returns without committing a response: no status or error-taxonomy write happens on this path")
+			case respMaybe:
+				mp.Reportf(r.pos, "handler may return without committing a response on some path through this return")
+			}
+		}
+		if !terminated {
+			switch out {
+			case respNo:
+				mp.Reportf(rf.fd.Body.Rbrace, "handler reaches the end of its body without committing a response: no status or error-taxonomy write happens on this path")
+			case respMaybe:
+				mp.Reportf(rf.fd.Body.Rbrace, "handler may reach the end of its body without committing a response on some path")
+			}
+		}
+	}
+	if len(handlers) == 0 {
+		return
+	}
+	checkTaxonomy(mp, handlers)
+}
+
+// checkTaxonomy verifies that every constant gpos.Raise/Wrap code reachable
+// from the handler roots is representable in the serve error taxonomy. A
+// generic passthrough — an APIError built with `Code: ex.Code` from an
+// Exception — covers every code at once; otherwise each code must appear in
+// an APIError literal, a comparison, or a switch over an Exception code.
+func checkTaxonomy(mp *ModulePass, handlers []string) {
+	mapped, passthrough := collectTaxonomy(mp)
+	if passthrough {
+		return
+	}
+	f := mp.Facts
+	reach := make(map[string]bool)
+	queue := append([]string(nil), handlers...)
+	for _, k := range queue {
+		reach[k] = true
+	}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		ff := f.Funcs[k]
+		if ff == nil {
+			continue
+		}
+		visit := func(callee string) {
+			if !reach[callee] {
+				reach[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+		for _, c := range ff.Calls {
+			visit(c)
+		}
+		for _, ic := range ff.IfaceCalls {
+			for _, impl := range f.IfaceImpls[ic] {
+				visit(impl)
+			}
+		}
+	}
+	for _, k := range sortedKeys(reach) {
+		ff := f.Funcs[k]
+		if ff == nil {
+			continue
+		}
+		for _, r := range ff.raises {
+			if r.code == "" || mapped[r.code] {
+				continue // non-constant codes cannot be checked statically
+			}
+			mp.Reportf(r.pos, "gpos exception %s/%s is reachable from serve handlers but has no mapping in the JSON error taxonomy: clients would see it unnamed",
+				r.comp, r.code)
+		}
+	}
+}
+
+// collectTaxonomy scans the serve-tier packages for the codes the error
+// taxonomy can express.
+func collectTaxonomy(mp *ModulePass) (mapped map[string]bool, passthrough bool) {
+	mapped = make(map[string]bool)
+	cfg := mp.Config
+	isExceptionCode := func(pkg *Package, e ast.Expr) bool {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Code" {
+			return false
+		}
+		return isNamed(pkg.Info.TypeOf(sel.X), cfg.GPOSPkgPath, "Exception")
+	}
+	for _, pkg := range mp.Pkgs {
+		if !isServePkg(cfg, pkg.PkgPath) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CompositeLit:
+					named := namedType(pkg.Info.TypeOf(n))
+					if named == nil || named.Obj().Name() != "APIError" {
+						return true
+					}
+					for _, elt := range n.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, ok := kv.Key.(*ast.Ident)
+						if !ok || key.Name != "Code" {
+							continue
+						}
+						if code := constString(pkg, kv.Value); code != "" {
+							mapped[code] = true
+						} else if isExceptionCode(pkg, kv.Value) {
+							passthrough = true
+						}
+					}
+				case *ast.BinaryExpr:
+					if code := constString(pkg, n.Y); code != "" && isExceptionCode(pkg, n.X) {
+						mapped[code] = true
+					}
+					if code := constString(pkg, n.X); code != "" && isExceptionCode(pkg, n.Y) {
+						mapped[code] = true
+					}
+				case *ast.SwitchStmt:
+					if n.Tag == nil || !isExceptionCode(pkg, n.Tag) {
+						return true
+					}
+					for _, cl := range n.Body.List {
+						cc, ok := cl.(*ast.CaseClause)
+						if !ok {
+							continue
+						}
+						for _, e := range cc.List {
+							if code := constString(pkg, e); code != "" {
+								mapped[code] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return mapped, passthrough
+}

@@ -200,15 +200,21 @@ func WriteBaseline(path string, diags []Diagnostic, root string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// Filter returns the findings not covered by the baseline. Matching is a
-// multiset subtraction: two identical findings need two baseline entries.
-func (b *Baseline) Filter(diags []Diagnostic, root string) []Diagnostic {
+// Filter returns the findings not covered by the baseline, plus the stale
+// baseline entries that matched no finding. Matching is a multiset
+// subtraction: two identical findings need two baseline entries, and two
+// identical entries with only one live finding leave one stale. Stale entries
+// mean the accepted debt was paid down without the ledger shrinking — the
+// caller should fail the run so the baseline cannot silently re-waive a
+// future regression at the same site.
+func (b *Baseline) Filter(diags []Diagnostic, root string) (remaining []Diagnostic, stale []BaselineEntry) {
 	budget := make(map[BaselineEntry]int)
-	for _, e := range b.Entries {
+	norm := make([]BaselineEntry, len(b.Entries))
+	for i, e := range b.Entries {
 		e.File = filepath.ToSlash(e.File)
+		norm[i] = e
 		budget[e]++
 	}
-	var out []Diagnostic
 	for _, d := range diags {
 		key := BaselineEntry{
 			Analyzer: d.Analyzer,
@@ -219,9 +225,15 @@ func (b *Baseline) Filter(diags []Diagnostic, root string) []Diagnostic {
 			budget[key]--
 			continue
 		}
-		out = append(out, d)
+		remaining = append(remaining, d)
 	}
-	return out
+	for _, e := range norm {
+		if budget[e] > 0 {
+			budget[e]--
+			stale = append(stale, e)
+		}
+	}
+	return remaining, stale
 }
 
 // relPath renders name relative to root when it is inside it.

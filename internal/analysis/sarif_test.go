@@ -23,6 +23,21 @@ func sampleDiags() []Diagnostic {
 			Analyzer: "golifetime",
 			Message:  "goroutine spawned in gpos.NewWorkerPool has no provable stop path",
 		},
+		{
+			Pos:      token.Position{Filename: "/mod/internal/gpos/tasks.go", Line: 109, Column: 2},
+			Analyzer: "lockorder",
+			Message:  "lock orca/internal/gpos.WorkerPool.mu held across channel send",
+		},
+		{
+			Pos:      token.Position{Filename: "/mod/internal/serve/plancache.go", Line: 135, Column: 2},
+			Analyzer: "pubimmut",
+			Message:  "e is written after it escaped through a plan-cache shard insert",
+		},
+		{
+			Pos:      token.Position{Filename: "/mod/internal/serve/server.go", Line: 283, Column: 2},
+			Analyzer: "respwrite",
+			Message:  "response committed more than once",
+		},
 	}
 }
 
@@ -60,8 +75,8 @@ func TestSARIFRequiredFields(t *testing.T) {
 		t.Fatalf("driver declares %d rules, want at least %d", len(rules), len(All()))
 	}
 	results, _ := run["results"].([]any)
-	if len(results) != 2 {
-		t.Fatalf("got %d results, want 2", len(results))
+	if len(results) != len(sampleDiags()) {
+		t.Fatalf("got %d results, want %d", len(results), len(sampleDiags()))
 	}
 	declared := make(map[string]bool)
 	for _, r := range rules {
@@ -96,13 +111,14 @@ func TestSARIFRequiredFields(t *testing.T) {
 	}
 }
 
-// TestSARIFStableRuleIDs pins the rule IDs of all ten analyzers: baselines,
-// suppress lists, and dashboards key on them, so renaming one is a breaking
-// change that must show up in review as a test edit.
+// TestSARIFStableRuleIDs pins the rule IDs of all thirteen analyzers:
+// baselines, suppress lists, and dashboards key on them, so renaming one is a
+// breaking change that must show up in review as a test edit.
 func TestSARIFStableRuleIDs(t *testing.T) {
 	want := []string{
 		"memoimmut", "lockcheck", "opexhaustive", "errdrop", "faultpoint",
 		"atomicpub", "ctxflow", "opclosure", "hotpath", "golifetime",
+		"lockorder", "pubimmut", "respwrite",
 	}
 	suite := All()
 	if len(suite) != len(want) {
@@ -129,6 +145,40 @@ func TestSARIFStableRuleIDs(t *testing.T) {
 		if !got[id] {
 			t.Errorf("rule %q missing from driver rules", id)
 		}
+	}
+}
+
+// TestBaselineFilterStale pins the stale-entry side of the baseline gate:
+// entries that match no live finding are returned (multiset — a duplicated
+// entry with one live finding leaves exactly one stale), so CI can fail a
+// baseline whose accepted debt has already been paid down.
+func TestBaselineFilterStale(t *testing.T) {
+	live := Diagnostic{
+		Pos:      token.Position{Filename: "/mod/internal/memo/memo.go", Line: 12, Column: 1},
+		Analyzer: "hotpath",
+		Message:  "still here",
+	}
+	b := &Baseline{Entries: []BaselineEntry{
+		{Analyzer: "hotpath", File: "internal/memo/memo.go", Message: "still here"},
+		{Analyzer: "hotpath", File: "internal/memo/memo.go", Message: "still here"},
+		{Analyzer: "lockorder", File: "internal/gpos/tasks.go", Message: "long gone"},
+	}}
+	remaining, stale := b.Filter([]Diagnostic{live}, "/mod")
+	if len(remaining) != 0 {
+		t.Errorf("baselined finding not filtered: %v", remaining)
+	}
+	if len(stale) != 2 {
+		t.Fatalf("got %d stale entries, want 2 (one duplicate + one gone): %v", len(stale), stale)
+	}
+	if stale[0].Message != "still here" || stale[1].Analyzer != "lockorder" {
+		t.Errorf("stale entries mis-identified: %v", stale)
+	}
+
+	// A fully consumed baseline reports nothing stale.
+	b.Entries = b.Entries[:1]
+	remaining, stale = b.Filter([]Diagnostic{live}, "/mod")
+	if len(remaining) != 0 || len(stale) != 0 {
+		t.Errorf("clean baseline: remaining=%v stale=%v", remaining, stale)
 	}
 }
 

@@ -138,3 +138,56 @@ func TestTamperWorkerPoolLoop(t *testing.T) {
 	wantFinding(t, runTamper(t, dir, "gpostamper", GoLifetime),
 		"worker pool with unstoppable receive loop", "no provable stop path")
 }
+
+// TestTamperSingleflightUnlock deletes the waiter-path unlock in
+// FlightGroup.Do, leaving the group mutex held across the select that waits
+// for the flight leader — one stuck leader would then wedge every flight.
+func TestTamperSingleflightUnlock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a production package copy")
+	}
+	ctl := copyPkgDir(t, filepath.Join("..", "plancache"))
+	wantClean(t, runTamper(t, ctl, "plancachectl", LockOrder), "untampered plancache")
+
+	dir := copyPkgDir(t, filepath.Join("..", "plancache"))
+	mutate(t, dir, "singleflight.go",
+		"\tif f, ok := g.flights[k]; ok {\n\t\tg.mu.Unlock()\n",
+		"\tif f, ok := g.flights[k]; ok {\n")
+	wantFinding(t, runTamper(t, dir, "plancachetamper", LockOrder),
+		"singleflight waiting under the group mutex", "held across")
+}
+
+// TestTamperEntryAfterAdmit mutates a plan-cache entry after Admit published
+// it to the shard — the exact post-publication write class the PR 9 review
+// caught by hand, now a build failure.
+func TestTamperEntryAfterAdmit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a production package copy")
+	}
+	ctl := copyPkgDir(t, filepath.Join("..", "serve"))
+	wantClean(t, runTamper(t, ctl, "servectl", PubImmut), "untampered serve")
+
+	dir := copyPkgDir(t, filepath.Join("..", "serve"))
+	mutate(t, dir, "plancache.go",
+		"\tif !s.plans.Admit(key, e) {\n\t\treturn nil\n\t}\n\treturn e",
+		"\tif !s.plans.Admit(key, e) {\n\t\treturn nil\n\t}\n\te.NParams = e.NParams + 1\n\treturn e")
+	wantFinding(t, runTamper(t, dir, "servetamper", PubImmut),
+		"entry mutated after shard admission", "after it escaped")
+}
+
+// TestTamperDoubleWriteHeader duplicates the status write in the serve
+// tier's writeJSON — every handler would then double-commit its response.
+func TestTamperDoubleWriteHeader(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a production package copy")
+	}
+	ctl := copyPkgDir(t, filepath.Join("..", "serve"))
+	wantClean(t, runTamper(t, ctl, "serverespctl", RespWrite), "untampered serve")
+
+	dir := copyPkgDir(t, filepath.Join("..", "serve"))
+	mutate(t, dir, "server.go",
+		"\tw.WriteHeader(status)\n",
+		"\tw.WriteHeader(status)\n\tw.WriteHeader(status)\n")
+	wantFinding(t, runTamper(t, dir, "serveresptamper", RespWrite),
+		"writeJSON with a second WriteHeader", "committed more than once")
+}

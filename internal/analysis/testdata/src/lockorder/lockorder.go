@@ -1,0 +1,111 @@
+// Package lockorder exercises the lock-acquisition-order analyzer: order
+// cycles between lock classes (direct and through a callee) and locks held
+// across indefinitely-blocking operations.
+package lockorder
+
+import (
+	"sync"
+
+	"orcavet.test/lockorder/mdx"
+)
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type C struct{ mu sync.Mutex }
+
+// FlightGroup mirrors the plancache singleflight type; in fixture packages
+// its Do method counts as a singleflight wait.
+type FlightGroup struct{}
+
+func (g *FlightGroup) Do(k string) int { return len(k) }
+
+type Pair struct {
+	a    A
+	b    B
+	c    C
+	ch   chan int
+	prov mdx.Provider
+}
+
+// AB and BA take the two lock classes in opposite orders: every edge of the
+// resulting cycle is reported at its witness acquisition.
+func (p *Pair) AB() {
+	p.a.mu.Lock()
+	p.b.mu.Lock() // want "lock acquisition order cycle"
+	p.b.mu.Unlock()
+	p.a.mu.Unlock()
+}
+
+func (p *Pair) BA() {
+	p.b.mu.Lock()
+	defer p.b.mu.Unlock()
+	p.lockA() // want "lock acquisition order cycle"
+}
+
+func (p *Pair) lockA() {
+	p.a.mu.Lock()
+	p.a.mu.Unlock()
+}
+
+func (p *Pair) HeldSend(v int) {
+	p.a.mu.Lock()
+	p.ch <- v // want "held across channel send"
+	p.a.mu.Unlock()
+}
+
+func (p *Pair) HeldRecv() int {
+	p.a.mu.Lock()
+	v := <-p.ch // want "held across channel receive"
+	p.a.mu.Unlock()
+	return v
+}
+
+func (p *Pair) HeldSelect(done chan struct{}) {
+	p.a.mu.Lock()
+	defer p.a.mu.Unlock()
+	select { // want "held across select statement"
+	case <-done:
+	case v := <-p.ch:
+		_ = v
+	}
+}
+
+func (p *Pair) HeldProvider(id int) (string, error) {
+	p.a.mu.Lock()
+	defer p.a.mu.Unlock()
+	return p.prov.Lookup(id) // want "held across md.Provider lookup"
+}
+
+func (p *Pair) HeldFlight(g *FlightGroup) int {
+	p.a.mu.Lock()
+	defer p.a.mu.Unlock()
+	return g.Do("k") // want "held across singleflight wait"
+}
+
+// OKRelease releases before the send: nothing is held across it.
+func (p *Pair) OKRelease(v int) {
+	p.a.mu.Lock()
+	p.a.mu.Unlock()
+	p.ch <- v
+}
+
+// OKGoroutine sends from a spawned goroutine, which does not run under the
+// spawner's locks.
+func (p *Pair) OKGoroutine() {
+	p.a.mu.Lock()
+	defer p.a.mu.Unlock()
+	go func() {
+		p.ch <- 1
+	}()
+}
+
+// OKNested nests two classes in one consistent order only: an edge without a
+// reverse edge is not a cycle.
+func (p *Pair) OKNested() {
+	p.a.mu.Lock()
+	p.c.mu.Lock()
+	p.c.mu.Unlock()
+	p.a.mu.Unlock()
+}

@@ -1,0 +1,9 @@
+// Package mdx is the fixture stand-in for the metadata package: it carries
+// the Provider interface whose lookups the lockorder analyzer treats as
+// indefinitely-blocking operations.
+package mdx
+
+// Provider mirrors md.Provider for the fixture run.
+type Provider interface {
+	Lookup(id int) (string, error)
+}

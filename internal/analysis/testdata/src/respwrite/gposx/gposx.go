@@ -1,0 +1,27 @@
+// Package gposx is the fixture stand-in for the gpos exception layer: the
+// Exception type plus the Raise/Wrap constructors whose component/code pairs
+// respwrite cross-checks against the serve error taxonomy.
+package gposx
+
+type Component string
+
+const (
+	CompServe Component = "Serve"
+	CompMD    Component = "MD"
+)
+
+type Exception struct {
+	Comp Component
+	Code string
+	Msg  string
+}
+
+func (e *Exception) Error() string { return e.Msg }
+
+func Raise(comp Component, code, format string, args ...any) *Exception {
+	return &Exception{Comp: comp, Code: code, Msg: format}
+}
+
+func Wrap(cause error, comp Component, code, format string, args ...any) *Exception {
+	return &Exception{Comp: comp, Code: code, Msg: format}
+}

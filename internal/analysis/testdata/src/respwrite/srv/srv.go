@@ -1,0 +1,97 @@
+// Package srv exercises the handler response-lifecycle analyzer: handlers
+// that double-commit, return without answering, or write on maybe-committed
+// paths, plus an error taxonomy that enumerates codes (no generic
+// passthrough) so unmapped exception codes are findings.
+package srv
+
+import (
+	"fmt"
+	"net/http"
+
+	"orcavet.test/respwrite/gposx"
+)
+
+type APIError struct {
+	Status int
+	Code   string
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.WriteHeader(status)
+	fmt.Fprintln(w, v)
+}
+
+func writeErr(w http.ResponseWriter, e *APIError) {
+	writeJSON(w, e.Status, e.Code)
+}
+
+// mapError enumerates codes instead of passing ex.Code through, so only the
+// codes named here are considered mapped.
+func mapError(err error) *APIError {
+	if ex, ok := err.(*gposx.Exception); ok {
+		if ex.Code == "NoPlan" {
+			return &APIError{Status: 422, Code: "NoPlan"}
+		}
+	}
+	return &APIError{Status: 500, Code: "Internal"}
+}
+
+func optimize() error {
+	return gposx.Raise(gposx.CompServe, "NoPlan", "no plan produced")
+}
+
+func fetchMD() error {
+	return gposx.Raise(gposx.CompMD, "LookupTimeout", "metadata lookup timed out") // want "no mapping in the JSON error taxonomy"
+}
+
+// HandleOK commits exactly once on every path.
+func HandleOK(w http.ResponseWriter, r *http.Request) {
+	if err := optimize(); err != nil {
+		writeErr(w, mapError(err))
+		return
+	}
+	if err := fetchMD(); err != nil {
+		writeErr(w, mapError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, "ok")
+}
+
+func HandleDouble(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusOK) // want "committed more than once"
+	_, _ = w.Write([]byte("ok"))
+}
+
+func HandleNakedReturn(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		return // want "returns without committing a response"
+	}
+	writeJSON(w, http.StatusOK, "ok")
+}
+
+func HandleMaybeDouble(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		writeErr(w, &APIError{Status: 400, Code: "BadRequest"})
+	}
+	writeJSON(w, http.StatusOK, "ok") // want "may already be committed"
+}
+
+func HandleMaybeReturn(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		writeJSON(w, http.StatusOK, "ok")
+	}
+	return // want "may return without committing"
+}
+
+func HandleEndFallthrough(w http.ResponseWriter, r *http.Request) { // no response at all
+	_ = r.Method
+} // want "end of its body without committing"
+
+// HandleImplicit commits implicitly through its first body write; the later
+// explicit write-path is clean because the state is already committed on
+// every path.
+func HandleImplicit(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "streaming")
+	fmt.Fprintln(w, "more")
+}

@@ -44,8 +44,9 @@ type WorkerPool struct {
 	tasks chan *Task
 	wg    sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
+	mu         sync.Mutex
+	closed     bool
+	submitters sync.WaitGroup // in-flight Submit sends; Close waits before closing tasks
 }
 
 // NewWorkerPool starts a pool with n workers (n < 1 is clamped to 1).
@@ -99,14 +100,21 @@ func (p *WorkerPool) runTask(t *Task) {
 	t.finish(err)
 }
 
-// Submit enqueues a task; it returns false if the pool is closed.
+// Submit enqueues a task; it returns false if the pool is closed. The mutex
+// only guards the closed check and the submitter registration: holding it
+// across the channel send would park every Submit (and Close) behind a full
+// queue. The submitters WaitGroup keeps the send safe instead — Close waits
+// for registered senders to drain before closing the channel.
 func (p *WorkerPool) Submit(t *Task) bool {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return false
 	}
+	p.submitters.Add(1)
+	p.mu.Unlock()
 	p.tasks <- t
+	p.submitters.Done()
 	return true
 }
 
@@ -118,7 +126,10 @@ func (p *WorkerPool) Close() {
 		return
 	}
 	p.closed = true
-	close(p.tasks)
 	p.mu.Unlock()
+	// New Submits now fail the closed check; wait out the ones that already
+	// registered, then close the channel they were sending on.
+	p.submitters.Wait()
+	close(p.tasks)
 	p.wg.Wait()
 }
